@@ -1,0 +1,129 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * systematic clear-text prefix vs redundancy-only decoding;
+//! * Caching vs NoCaching recovery at a fixed channel;
+//! * i.i.d. (Bernoulli) vs bursty (Gilbert–Elliott) corruption;
+//! * stemming on vs off in the SC pipeline;
+//! * QIC product form vs MQIC sum form.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_bench::kernel_scale;
+use mrtweb_channel::bandwidth::Bandwidth;
+use mrtweb_channel::gilbert::GilbertElliott;
+use mrtweb_channel::link::Link;
+use mrtweb_content::mqic::ModifiedQueryContent;
+use mrtweb_content::qic::QueryContent;
+use mrtweb_content::query::Query;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_erasure::ida::Codec;
+use mrtweb_sim::browsing::run_session;
+use mrtweb_sim::params::Params;
+use mrtweb_sim::table1::paper_draft;
+use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
+use mrtweb_transport::session::{download, CacheMode, Relevance, SessionConfig};
+use mrtweb_textproc::pipeline::ScPipeline;
+
+fn benches(c: &mut Criterion) {
+    // --- systematic prefix vs redundancy-heavy decode -----------------
+    // γ = 2 so that even losing all 40 clear packets leaves M survivors.
+    let codec = Codec::new(40, 80, 256).unwrap();
+    let data: Vec<u8> = (0..10240).map(|i| (i * 29 + 3) as u8).collect();
+    let cooked = codec.encode(&data);
+    let mut g = c.benchmark_group("ablation_systematic");
+    for lost_clear in [0usize, 10, 20, 40] {
+        let survivors: Vec<(usize, Vec<u8>)> =
+            (lost_clear..(40 + lost_clear)).map(|i| (i, cooked[i].clone())).collect();
+        g.bench_with_input(
+            BenchmarkId::new("decode_lost_clear", lost_clear),
+            &survivors,
+            |b, s| b.iter(|| codec.decode(black_box(s), 10240).unwrap()),
+        );
+    }
+    g.finish();
+
+    // --- caching vs nocaching ------------------------------------------
+    let scale = kernel_scale();
+    let mut g = c.benchmark_group("ablation_caching");
+    for (name, mode) in [("nocaching", CacheMode::NoCaching), ("caching", CacheMode::Caching)] {
+        let params = Params {
+            alpha: 0.3,
+            cache_mode: mode,
+            irrelevant_fraction: 0.0,
+            docs_per_session: scale.docs,
+            max_rounds: scale.max_rounds,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_session(black_box(&params), Lod::Document, seed)
+            })
+        });
+    }
+    g.finish();
+
+    // --- iid vs bursty channel ------------------------------------------
+    let mut g = c.benchmark_group("ablation_channel");
+    let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
+    let config = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+    g.bench_function("bernoulli_a0.2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut link = Link::new(
+                Bandwidth::from_kbps(19.2),
+                mrtweb_channel::bernoulli::BernoulliChannel::new(0.2, seed),
+                seed,
+            );
+            download(black_box(&plan), Relevance::relevant(), &config, &mut link)
+        })
+    });
+    g.bench_function("gilbert_a0.2_burst8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut link = Link::new(
+                Bandwidth::from_kbps(19.2),
+                GilbertElliott::matched(0.2, 8.0, seed),
+                seed,
+            );
+            download(black_box(&plan), Relevance::relevant(), &config, &mut link)
+        })
+    });
+    g.finish();
+
+    // --- stemming on/off --------------------------------------------------
+    let doc = paper_draft();
+    let mut g = c.benchmark_group("ablation_pipeline");
+    g.bench_function("stemming_on", |b| {
+        let p = ScPipeline::new().with_stemming(true);
+        b.iter(|| p.run(black_box(&doc)))
+    });
+    g.bench_function("stemming_off", |b| {
+        let p = ScPipeline::new().with_stemming(false);
+        b.iter(|| p.run(black_box(&doc)))
+    });
+    g.finish();
+
+    // --- QIC vs MQIC ------------------------------------------------------
+    let pipeline = ScPipeline::default();
+    let index = pipeline.run(&doc);
+    let query = Query::parse("browsing mobile web", &pipeline);
+    let mut g = c.benchmark_group("ablation_measures");
+    g.bench_function("qic_product_form", |b| {
+        b.iter(|| QueryContent::from_index(black_box(&index), &query))
+    });
+    g.bench_function("mqic_sum_form", |b| {
+        b.iter(|| ModifiedQueryContent::from_index(black_box(&index), &query))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,57 @@
+//! Codec throughput at the paper's parameters: M = 40, N = 60,
+//! 256-byte packets (a 10240-byte document).
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mrtweb_erasure::crc::{crc16, crc32};
+use mrtweb_erasure::ida::Codec;
+use mrtweb_erasure::packet::Frame;
+
+fn benches(c: &mut Criterion) {
+    let codec = Codec::new(40, 60, 256).unwrap();
+    let data: Vec<u8> = (0..10240).map(|i| (i * 131 + 7) as u8).collect();
+    let cooked = codec.encode(&data);
+
+    let mut g = c.benchmark_group("erasure_codec");
+    g.throughput(Throughput::Bytes(10240));
+    g.bench_function("encode_40_60", |b| b.iter(|| codec.encode(black_box(&data))));
+
+    // Decode from the clear-text prefix (no inversion needed).
+    let clear: Vec<(usize, Vec<u8>)> = cooked.iter().take(40).cloned().enumerate().collect();
+    g.bench_function("decode_all_clear", |b| {
+        b.iter(|| codec.decode(black_box(&clear), 10240).unwrap())
+    });
+
+    // Decode from a worst-case survivor set (20 clear lost).
+    let mixed: Vec<(usize, Vec<u8>)> =
+        (20..60).map(|i| (i, cooked[i].clone())).collect();
+    g.bench_function("decode_20_erasures", |b| {
+        b.iter(|| codec.decode(black_box(&mixed), 10240).unwrap())
+    });
+
+    for m in [10usize, 40, 100] {
+        g.bench_with_input(BenchmarkId::new("codec_setup", m), &m, |b, &m| {
+            b.iter(|| Codec::new(black_box(m), black_box(m + m / 2), 256).unwrap())
+        });
+    }
+
+    g.throughput(Throughput::Bytes(260));
+    let frame = Frame::new(7, vec![0xA5; 256]);
+    let wire = frame.to_wire();
+    g.bench_function("frame_roundtrip", |b| {
+        b.iter(|| {
+            let w = frame.to_wire();
+            Frame::from_wire(black_box(&w), 256).unwrap()
+        })
+    });
+    g.bench_function("crc16_frame", |b| b.iter(|| crc16(black_box(&wire))));
+    g.bench_function("crc32_frame", |b| b.iter(|| crc32(black_box(&wire))));
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Figure 2: cooked packets N versus raw packets M.
+//!
+//! Prints the regenerated figure, then measures the negative-binomial
+//! planner.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_erasure::redundancy::{min_cooked_packets, success_probability};
+use mrtweb_sim::figures::render_figure2;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    for m in [10usize, 50, 100] {
+        g.bench_with_input(BenchmarkId::new("min_cooked_packets", m), &m, |b, &m| {
+            b.iter(|| min_cooked_packets(black_box(m), black_box(0.3), black_box(0.95)).unwrap())
+        });
+    }
+    g.bench_function("full_grid_s95", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for alpha in [0.1, 0.2, 0.3, 0.4, 0.5] {
+                for m in (10..=100).step_by(10) {
+                    total += min_cooked_packets(m, alpha, 0.95).unwrap();
+                }
+            }
+            total
+        })
+    });
+    g.bench_function("success_probability_tail", |b| {
+        b.iter(|| success_probability(black_box(100), black_box(250), black_box(0.5)).unwrap())
+    });
+    g.finish();
+}
+
+fn main() {
+    println!("{}", render_figure2());
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

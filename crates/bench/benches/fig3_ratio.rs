@@ -1,0 +1,42 @@
+//! Figure 3: redundancy ratio γ versus failure probability α.
+//!
+//! Prints the regenerated figure, then measures ratio planning,
+//! including the adaptive (EWMA-driven) variant of §4.2.
+
+use criterion::Criterion;
+use std::hint::black_box;
+
+use mrtweb_erasure::redundancy::redundancy_ratio;
+use mrtweb_sim::figures::render_figure3;
+use mrtweb_transport::adaptive::AdaptiveRedundancy;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("ratio_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in [10usize, 50, 100] {
+                for i in 1..=5 {
+                    acc += redundancy_ratio(m, i as f64 / 10.0, black_box(0.95)).unwrap();
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("adaptive_observe_and_plan", |b| {
+        let mut ctl = AdaptiveRedundancy::default();
+        b.iter(|| {
+            ctl.observe(black_box(true));
+            ctl.observe(black_box(false));
+            ctl.plan(black_box(40)).unwrap().cooked
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    println!("{}", render_figure3());
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

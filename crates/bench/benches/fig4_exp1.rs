@@ -1,0 +1,53 @@
+//! Figure 4 (Experiment 1): Caching vs NoCaching across redundancy
+//! ratios.
+//!
+//! Prints a reduced-scale regeneration of the figure, then measures the
+//! browsing-session kernel at representative cells.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_bench::{bench_scale, kernel_scale};
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_sim::browsing::run_session;
+use mrtweb_sim::experiments::experiment1;
+use mrtweb_sim::figures::render_figure4;
+use mrtweb_sim::params::Params;
+use mrtweb_transport::session::CacheMode;
+
+fn benches(c: &mut Criterion) {
+    let scale = kernel_scale();
+    let mut g = c.benchmark_group("fig4_exp1");
+    for (name, cache, alpha) in [
+        ("nocaching_a0.1", CacheMode::NoCaching, 0.1),
+        ("nocaching_a0.5", CacheMode::NoCaching, 0.5),
+        ("caching_a0.1", CacheMode::Caching, 0.1),
+        ("caching_a0.5", CacheMode::Caching, 0.5),
+    ] {
+        let params = Params {
+            alpha,
+            cache_mode: cache,
+            irrelevant_fraction: 0.5,
+            docs_per_session: scale.docs,
+            max_rounds: scale.max_rounds,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("session", name), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_session(black_box(p), Lod::Document, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    eprintln!("regenerating Figure 4 at reduced scale (docs=40, reps=3)...");
+    let pts = experiment1(&bench_scale(), 20000);
+    println!("{}", render_figure4(&pts));
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,48 @@
+//! Figure 5 (Experiment 2): the effect of early termination — varying
+//! the irrelevant fraction I and the relevance threshold F.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_bench::{bench_scale, kernel_scale};
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_sim::browsing::run_session;
+use mrtweb_sim::experiments::{experiment2_vary_f, experiment2_vary_i};
+use mrtweb_sim::figures::render_figure5;
+use mrtweb_sim::params::Params;
+use mrtweb_transport::session::CacheMode;
+
+fn benches(c: &mut Criterion) {
+    let scale = kernel_scale();
+    let mut g = c.benchmark_group("fig5_exp2");
+    for f in [0.1, 0.5, 0.9] {
+        let params = Params {
+            alpha: 0.3,
+            cache_mode: CacheMode::Caching,
+            irrelevant_fraction: 1.0,
+            threshold: f,
+            docs_per_session: scale.docs,
+            max_rounds: scale.max_rounds,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("session_threshold", f), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_session(black_box(p), Lod::Document, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    eprintln!("regenerating Figure 5 at reduced scale (docs=40, reps=3)...");
+    let scale = bench_scale();
+    let vi = experiment2_vary_i(&scale, 20000);
+    let vf = experiment2_vary_f(&scale, 20000);
+    println!("{}", render_figure5(&vi, &vf));
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

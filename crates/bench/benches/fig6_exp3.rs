@@ -1,0 +1,46 @@
+//! Figure 6 (Experiment 3): the benefit of multi-resolution browsing at
+//! each LOD for discarding irrelevant documents early.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_bench::{bench_scale, kernel_scale};
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_sim::browsing::run_session;
+use mrtweb_sim::experiments::experiment3;
+use mrtweb_sim::figures::render_improvement;
+use mrtweb_sim::params::Params;
+use mrtweb_transport::session::CacheMode;
+
+fn benches(c: &mut Criterion) {
+    let scale = kernel_scale();
+    let mut g = c.benchmark_group("fig6_exp3");
+    for lod in [Lod::Document, Lod::Section, Lod::Subsection, Lod::Paragraph] {
+        let params = Params {
+            alpha: 0.1,
+            cache_mode: CacheMode::Caching,
+            irrelevant_fraction: 1.0,
+            threshold: 0.2,
+            docs_per_session: scale.docs,
+            max_rounds: scale.max_rounds,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("session_lod", lod.name()), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_session(black_box(p), lod, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    eprintln!("regenerating Figure 6 at reduced scale (docs=40, reps=3)...");
+    let pts = experiment3(&bench_scale(), 20000);
+    println!("{}", render_improvement(&pts, "Figure 6"));
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Figure 7 (Experiment 4): the impact of the skew factor δ on
+//! multi-resolution transmission performance.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_bench::{bench_scale, kernel_scale};
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_sim::browsing::run_session;
+use mrtweb_sim::experiments::experiment4;
+use mrtweb_sim::figures::render_improvement;
+use mrtweb_sim::params::Params;
+use mrtweb_transport::session::CacheMode;
+
+fn benches(c: &mut Criterion) {
+    let scale = kernel_scale();
+    let mut g = c.benchmark_group("fig7_exp4");
+    for skew in [2.0, 3.0, 4.0, 5.0] {
+        let params = Params {
+            alpha: 0.1,
+            skew,
+            cache_mode: CacheMode::Caching,
+            irrelevant_fraction: 1.0,
+            threshold: 0.2,
+            docs_per_session: scale.docs,
+            max_rounds: scale.max_rounds,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("session_skew", skew as u32), &params, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run_session(black_box(p), Lod::Paragraph, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    eprintln!("regenerating Figure 7 at reduced scale (docs=40, reps=3)...");
+    let pts = experiment4(&bench_scale(), 20000);
+    println!("{}", render_improvement(&pts, "Figure 7"));
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Table 1: the structural-characteristic pipeline on the paper draft.
+//!
+//! Prints the regenerated Table 1, then measures the pipeline stages.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mrtweb_content::query::Query;
+use mrtweb_content::sc::StructuralCharacteristic;
+use mrtweb_docmodel::document::Document;
+use mrtweb_sim::table1::{paper_draft, render_table1, PAPER_DRAFT_XML, TABLE1_QUERY};
+use mrtweb_textproc::pipeline::ScPipeline;
+
+fn benches(c: &mut Criterion) {
+    let doc = paper_draft();
+    let pipeline = ScPipeline::default();
+    let index = pipeline.run(&doc);
+    let query = Query::parse(TABLE1_QUERY, &pipeline);
+
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("xml_parse", |b| {
+        b.iter(|| Document::parse_xml(black_box(PAPER_DRAFT_XML)).unwrap())
+    });
+    g.bench_function("sc_pipeline", |b| b.iter(|| pipeline.run(black_box(&doc))));
+    g.bench_function("sc_build_with_query", |b| {
+        b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)))
+    });
+    for q in ["mobile", "mobile web browsing", "mobile web browsing wireless cache energy"] {
+        g.bench_with_input(
+            BenchmarkId::new("qic_query_words", q.split(' ').count()),
+            &q,
+            |b, q| {
+                let query = Query::parse(q, &pipeline);
+                b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("=== Table 1 (regenerated from the embedded draft) ===");
+    println!("query = {{browsing, mobile, web}}\n{}", render_table1());
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,22 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation (printed before measurement) and then measures the
+//! computational kernel behind it with Criterion. Run
+//! `cargo bench -p mrtweb-bench` for everything, or
+//! `cargo bench -p mrtweb-bench --bench fig4_exp1` for one artifact.
+
+use mrtweb_sim::experiments::Scale;
+
+/// The workload used when a bench regenerates figure data: large enough
+/// to show the paper's shapes, small enough for `cargo bench` runs.
+/// Paper-scale data comes from `cargo run -p mrtweb-sim --bin figures --
+/// all --paper`.
+pub fn bench_scale() -> Scale {
+    Scale { docs: 40, reps: 3, max_rounds: 80 }
+}
+
+/// A tiny scale for the measured kernel itself.
+pub fn kernel_scale() -> Scale {
+    Scale { docs: 10, reps: 1, max_rounds: 40 }
+}

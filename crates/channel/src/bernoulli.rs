@@ -1,0 +1,117 @@
+//! The paper's i.i.d. corruption model.
+//!
+//! "Assuming that the probability a packet will be corrupted is α and
+//! that the corruption events of individual packets are independent"
+//! (§4.1) — each packet is corrupted with fixed probability α,
+//! independently of all others.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::loss::LossModel;
+
+/// Independent per-packet corruption with probability `α`.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::bernoulli::BernoulliChannel;
+/// use mrtweb_channel::loss::LossModel;
+///
+/// let mut ch = BernoulliChannel::new(0.0, 1);
+/// assert!(!ch.next_corrupted()); // α = 0 never corrupts
+/// ```
+#[derive(Debug, Clone)]
+pub struct BernoulliChannel {
+    alpha: f64,
+    rng: StdRng,
+}
+
+impl BernoulliChannel {
+    /// Creates the model with corruption probability `alpha` and a
+    /// deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha ∈ [0, 1]`.
+    pub fn new(alpha: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1], got {alpha}");
+        BernoulliChannel { alpha, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured corruption probability.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Changes the corruption probability mid-stream (e.g. to model a
+    /// client walking into a tunnel).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha ∈ [0, 1]`.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1], got {alpha}");
+        self.alpha = alpha;
+    }
+}
+
+impl LossModel for BernoulliChannel {
+    fn next_corrupted(&mut self) -> bool {
+        self.rng.random_bool(self.alpha)
+    }
+
+    fn long_run_rate(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_rate_matches_alpha() {
+        for &alpha in &[0.1, 0.3, 0.5] {
+            let mut ch = BernoulliChannel::new(alpha, 7);
+            let n = 50_000;
+            let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
+            let rate = corrupted as f64 / n as f64;
+            assert!((rate - alpha).abs() < 0.01, "rate {rate} far from alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut ch = BernoulliChannel::new(0.4, seed);
+            (0..64).map(|_| ch.next_corrupted()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn extremes() {
+        let mut never = BernoulliChannel::new(0.0, 1);
+        let mut always = BernoulliChannel::new(1.0, 1);
+        for _ in 0..100 {
+            assert!(!never.next_corrupted());
+            assert!(always.next_corrupted());
+        }
+    }
+
+    #[test]
+    fn set_alpha_changes_behaviour() {
+        let mut ch = BernoulliChannel::new(0.0, 1);
+        ch.set_alpha(1.0);
+        assert!(ch.next_corrupted());
+        assert_eq!(ch.long_run_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn invalid_alpha_panics() {
+        let _ = BernoulliChannel::new(1.5, 0);
+    }
+}

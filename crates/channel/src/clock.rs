@@ -1,0 +1,89 @@
+//! A deterministic simulated clock.
+
+use std::fmt;
+
+/// Virtual time in seconds, advanced explicitly by the simulation.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::clock::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(0.108);
+/// clock.advance(0.108);
+/// assert!((clock.now() - 0.216).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or NaN — simulated time only
+    /// moves forward.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "time cannot move backwards (got {seconds})");
+        self.now += seconds;
+    }
+
+    /// Resets the clock to zero.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+impl fmt::Display for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = SimClock::new();
+        c.advance(9.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time cannot move backwards")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn zero_advance_is_fine() {
+        let mut c = SimClock::new();
+        c.advance(0.0);
+        assert_eq!(c.now(), 0.0);
+    }
+}

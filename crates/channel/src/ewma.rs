@@ -1,0 +1,159 @@
+//! EWMA estimation of the channel corruption probability.
+//!
+//! The paper suggests choosing the redundancy ratio γ "as an adaptive
+//! function of the observed summarized value of α, using perhaps a kind
+//! of EWMA measure" (§4.2, citing the authors' cache-management work).
+//! [`EwmaEstimator`] maintains that summarized value from per-packet
+//! intact/corrupted observations.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponentially-weighted moving average of a 0/1 corruption stream.
+///
+/// `estimate ← (1 − β)·estimate + β·observation`, where `β` is the gain
+/// (weight of the newest observation).
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::ewma::EwmaEstimator;
+///
+/// let mut est = EwmaEstimator::new(0.1, 0.0);
+/// for _ in 0..200 {
+///     est.observe(true); // persistent corruption
+/// }
+/// assert!(est.estimate() > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaEstimator {
+    gain: f64,
+    estimate: f64,
+    observations: u64,
+}
+
+impl EwmaEstimator {
+    /// Creates an estimator with the given gain and initial estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gain ∈ (0, 1]` and `initial ∈ [0, 1]`.
+    pub fn new(gain: f64, initial: f64) -> Self {
+        assert!(gain > 0.0 && gain <= 1.0, "gain must be in (0, 1], got {gain}");
+        assert!((0.0..=1.0).contains(&initial), "initial estimate must be in [0, 1]");
+        EwmaEstimator { gain, estimate: initial, observations: 0 }
+    }
+
+    /// Records one packet observation (`true` = corrupted).
+    pub fn observe(&mut self, corrupted: bool) {
+        let x = if corrupted { 1.0 } else { 0.0 };
+        self.estimate = (1.0 - self.gain) * self.estimate + self.gain * x;
+        self.observations += 1;
+    }
+
+    /// Records a whole batch: `corrupted` out of `total` packets, in
+    /// unspecified order (applies the batch mean once per packet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corrupted > total`.
+    pub fn observe_batch(&mut self, corrupted: usize, total: usize) {
+        assert!(corrupted <= total, "corrupted count exceeds total");
+        if total == 0 {
+            return;
+        }
+        let mean = corrupted as f64 / total as f64;
+        for _ in 0..total {
+            self.estimate = (1.0 - self.gain) * self.estimate + self.gain * mean;
+        }
+        self.observations += total as u64;
+    }
+
+    /// The current estimate of α.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// The gain β.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Total observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl Default for EwmaEstimator {
+    /// Gain 0.05 starting from the paper's default α = 0.1.
+    fn default() -> Self {
+        EwmaEstimator::new(0.05, 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_true_rate() {
+        let mut est = EwmaEstimator::new(0.02, 0.5);
+        // Deterministic stream at 30% corruption.
+        for i in 0..10_000 {
+            est.observe(i % 10 < 3);
+        }
+        assert!((est.estimate() - 0.3).abs() < 0.05, "estimate {}", est.estimate());
+    }
+
+    #[test]
+    fn estimate_stays_in_unit_interval() {
+        let mut est = EwmaEstimator::new(1.0, 0.0);
+        est.observe(true);
+        assert_eq!(est.estimate(), 1.0);
+        est.observe(false);
+        assert_eq!(est.estimate(), 0.0);
+    }
+
+    #[test]
+    fn tracks_regime_changes() {
+        let mut est = EwmaEstimator::new(0.1, 0.1);
+        for _ in 0..200 {
+            est.observe(false);
+        }
+        let low = est.estimate();
+        for _ in 0..200 {
+            est.observe(true);
+        }
+        assert!(est.estimate() > 0.9 && low < 0.01);
+    }
+
+    #[test]
+    fn batch_equals_repeated_mean() {
+        let mut a = EwmaEstimator::new(0.1, 0.2);
+        let mut b = a;
+        a.observe_batch(5, 10);
+        for _ in 0..10 {
+            b.observe(false);
+            // direct comparison not possible per-packet; emulate mean 0.5
+        }
+        // Instead verify observation counting and range.
+        assert_eq!(a.observations(), 10);
+        assert!(a.estimate() > 0.2 && a.estimate() < 0.5);
+        let _ = b;
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut est = EwmaEstimator::default();
+        let before = est.estimate();
+        est.observe_batch(0, 0);
+        assert_eq!(est.estimate(), before);
+        assert_eq!(est.observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be in")]
+    fn zero_gain_panics() {
+        let _ = EwmaEstimator::new(0.0, 0.1);
+    }
+}

@@ -1,0 +1,199 @@
+//! A Gilbert–Elliott bursty channel.
+//!
+//! The paper assumes independent per-packet corruption; real wireless
+//! links fade in *bursts*. The classic two-state Gilbert–Elliott chain —
+//! a Good state with low corruption and a Bad state with high
+//! corruption, with geometric sojourn times — lets the benchmarks ablate
+//! the independence assumption while keeping the same long-run
+//! corruption rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::loss::LossModel;
+
+/// The channel state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Low-corruption state.
+    Good,
+    /// High-corruption (fading) state.
+    Bad,
+}
+
+/// A two-state Markov-modulated corruption model.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::gilbert::GilbertElliott;
+/// use mrtweb_channel::loss::LossModel;
+///
+/// // Matched to a long-run rate: p(bad) = 0.25, so
+/// // rate = 0.75·0.02 + 0.25·0.6 = 0.165.
+/// let ch = GilbertElliott::new(0.05, 0.15, 0.02, 0.6, 9);
+/// assert!((ch.long_run_rate() - 0.165).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// P(Good → Bad).
+    p_gb: f64,
+    /// P(Bad → Good).
+    p_bg: f64,
+    /// Corruption probability in Good.
+    alpha_good: f64,
+    /// Corruption probability in Bad.
+    alpha_bad: f64,
+    state: State,
+    rng: StdRng,
+}
+
+impl GilbertElliott {
+    /// Creates the chain starting in the Good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four probabilities are in `[0, 1]` and at
+    /// least one transition probability is positive (the chain must be
+    /// able to move).
+    pub fn new(p_gb: f64, p_bg: f64, alpha_good: f64, alpha_bad: f64, seed: u64) -> Self {
+        for (name, p) in
+            [("p_gb", p_gb), ("p_bg", p_bg), ("alpha_good", alpha_good), ("alpha_bad", alpha_bad)]
+        {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        }
+        assert!(p_gb + p_bg > 0.0, "the chain must have a positive transition probability");
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            alpha_good,
+            alpha_bad,
+            state: State::Good,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds a bursty channel with the same long-run corruption rate as
+    /// a Bernoulli channel of probability `alpha`, with mean burst
+    /// length `burst_len` packets. In the Bad state every packet is
+    /// corrupted; the Good state is clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha ∈ (0, 1)` and `burst_len ≥ 1`, or if the
+    /// requested combination is infeasible (`alpha · burst_len` too
+    /// large for a valid Good→Bad probability).
+    pub fn matched(alpha: f64, burst_len: f64, seed: u64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(burst_len >= 1.0, "mean burst length must be at least 1");
+        // Stationary P(Bad) must equal alpha: p_gb/(p_gb+p_bg) = alpha,
+        // with p_bg = 1/burst_len.
+        let p_bg = 1.0 / burst_len;
+        let p_gb = alpha * p_bg / (1.0 - alpha);
+        assert!(p_gb <= 1.0, "infeasible alpha/burst_len combination");
+        GilbertElliott::new(p_gb, p_bg, 0.0, 1.0, seed)
+    }
+
+    /// The current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Stationary probability of the Bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn next_corrupted(&mut self) -> bool {
+        // Transition first, then draw the packet fate in the new state.
+        let flip = match self.state {
+            State::Good => self.rng.random_bool(self.p_gb),
+            State::Bad => self.rng.random_bool(self.p_bg),
+        };
+        if flip {
+            self.state = match self.state {
+                State::Good => State::Bad,
+                State::Bad => State::Good,
+            };
+        }
+        let alpha = match self.state {
+            State::Good => self.alpha_good,
+            State::Bad => self.alpha_bad,
+        };
+        self.rng.random_bool(alpha)
+    }
+
+    fn long_run_rate(&self) -> f64 {
+        let pb = self.stationary_bad();
+        (1.0 - pb) * self.alpha_good + pb * self.alpha_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_rate_matches_long_run() {
+        let mut ch = GilbertElliott::new(0.05, 0.2, 0.01, 0.7, 11);
+        let expect = ch.long_run_rate();
+        let n = 200_000;
+        let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
+        let rate = corrupted as f64 / n as f64;
+        assert!((rate - expect).abs() < 0.01, "rate {rate} vs expected {expect}");
+    }
+
+    #[test]
+    fn matched_has_requested_rate() {
+        for &alpha in &[0.1, 0.3] {
+            let mut ch = GilbertElliott::matched(alpha, 8.0, 5);
+            assert!((ch.long_run_rate() - alpha).abs() < 1e-12);
+            let n = 200_000;
+            let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
+            let rate = corrupted as f64 / n as f64;
+            assert!((rate - alpha).abs() < 0.015, "matched rate {rate} vs alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_bursty() {
+        // Mean run length of corrupted packets should be near burst_len
+        // (geometric with mean 1/p_bg) and far above the Bernoulli value
+        // 1/(1-alpha) ≈ 1.11 for alpha = 0.1.
+        let mut ch = GilbertElliott::matched(0.1, 10.0, 3);
+        let fates: Vec<bool> = (0..300_000).map(|_| ch.next_corrupted()).collect();
+        let mut runs = Vec::new();
+        let mut cur = 0usize;
+        for f in fates {
+            if f {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean > 4.0, "burst mean {mean} too short for burst_len=10");
+    }
+
+    #[test]
+    fn starts_good() {
+        let ch = GilbertElliott::new(0.1, 0.1, 0.0, 1.0, 0);
+        assert_eq!(ch.state(), State::Good);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = GilbertElliott::new(1.2, 0.1, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_matched_panics() {
+        // alpha=0.9, burst=1 -> p_gb = 0.9/0.1 = 9 > 1.
+        let _ = GilbertElliott::matched(0.95, 1.0, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Weakly-connected wireless channel models.
+//!
+//! The paper characterizes the mobile environment by "low communication
+//! bandwidth and poor connectivity": packets sent over the FIFO wireless
+//! channel arrive either intact or detectably corrupted, independently
+//! with probability `α`, over a typical 19.2 kbps link (§4.1, Table 2).
+//! This crate provides:
+//!
+//! * [`clock`] — a deterministic simulated clock;
+//! * [`bandwidth`] — transmission-time accounting for a fixed-rate link;
+//! * [`loss`] — the [`loss::LossModel`] trait for per-packet corruption
+//!   decisions;
+//! * [`bernoulli`] — the paper's i.i.d. corruption model;
+//! * [`gilbert`] — a Gilbert–Elliott bursty channel (ablation of the
+//!   independence assumption);
+//! * [`ewma`] — an exponentially-weighted moving-average estimator of
+//!   the corruption probability, the paper's suggested driver for
+//!   adaptive redundancy (§4.2, citing the authors' cache-management work);
+//! * [`link`] — a lossy FIFO link combining bandwidth, loss model and
+//!   clock, with real byte-corruption for end-to-end wire tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mrtweb_channel::bernoulli::BernoulliChannel;
+//! use mrtweb_channel::loss::LossModel;
+//! use mrtweb_channel::bandwidth::Bandwidth;
+//!
+//! let mut ch = BernoulliChannel::new(0.1, 42);
+//! let corrupted = (0..10_000).filter(|_| ch.next_corrupted()).count();
+//! assert!((corrupted as f64 / 10_000.0 - 0.1).abs() < 0.02);
+//!
+//! // A 260-byte cooked packet takes ~108 ms at 19.2 kbps.
+//! let bw = Bandwidth::from_kbps(19.2);
+//! assert!((bw.seconds_for(260) - 0.10833).abs() < 1e-3);
+//! ```
+
+pub mod bandwidth;
+pub mod bernoulli;
+pub mod clock;
+pub mod ewma;
+pub mod gilbert;
+pub mod link;
+pub mod loss;
+pub mod outage;

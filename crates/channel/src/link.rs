@@ -1,0 +1,182 @@
+//! A lossy FIFO link: bandwidth + loss model + clock, with real byte
+//! corruption for end-to-end wire tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bandwidth::Bandwidth;
+use crate::clock::SimClock;
+use crate::loss::LossModel;
+
+/// Fate of one transmitted packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Virtual time at which the last byte arrived.
+    pub arrival_time: f64,
+    /// Whether the packet was corrupted in flight.
+    pub corrupted: bool,
+}
+
+/// A simulated weakly-connected link.
+///
+/// Packets are pushed through in FIFO order; each consumes wire time
+/// according to the bandwidth and is corrupted according to the loss
+/// model. [`Link::send_bytes`] additionally *applies* corruption to a
+/// real byte buffer (flipping bits) so CRC-based detection can be
+/// exercised end to end.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::link::Link;
+/// use mrtweb_channel::bandwidth::Bandwidth;
+/// use mrtweb_channel::loss::MaskLoss;
+///
+/// let mut link = Link::new(Bandwidth::from_kbps(19.2), MaskLoss::perfect(), 0);
+/// let d1 = link.send(260);
+/// let d2 = link.send(260);
+/// assert!(!d1.corrupted && !d2.corrupted);
+/// assert!(d2.arrival_time > d1.arrival_time); // FIFO, serialized
+/// ```
+#[derive(Debug)]
+pub struct Link<L> {
+    bandwidth: Bandwidth,
+    loss: L,
+    clock: SimClock,
+    rng: StdRng,
+    sent: u64,
+    corrupted: u64,
+}
+
+impl<L: LossModel> Link<L> {
+    /// Creates a link over the given bandwidth and loss model.
+    pub fn new(bandwidth: Bandwidth, loss: L, seed: u64) -> Self {
+        Link {
+            bandwidth,
+            loss,
+            clock: SimClock::new(),
+            rng: StdRng::seed_from_u64(seed),
+            sent: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Transmits a packet of `bytes` bytes; advances virtual time.
+    pub fn send(&mut self, bytes: usize) -> Delivery {
+        self.clock.advance(self.bandwidth.seconds_for(bytes));
+        let corrupted = self.loss.next_corrupted();
+        self.sent += 1;
+        if corrupted {
+            self.corrupted += 1;
+        }
+        Delivery { arrival_time: self.clock.now(), corrupted }
+    }
+
+    /// Transmits a real buffer: on corruption, flips 1–4 random bits in
+    /// place so that a CRC check downstream fails.
+    pub fn send_bytes(&mut self, data: &mut [u8]) -> Delivery {
+        let delivery = self.send(data.len());
+        if delivery.corrupted && !data.is_empty() {
+            let flips = self.rng.random_range(1..=4usize);
+            for _ in 0..flips {
+                let byte = self.rng.random_range(0..data.len());
+                let bit = self.rng.random_range(0..8u32);
+                data[byte] ^= 1 << bit;
+            }
+        }
+        delivery
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Total packets sent.
+    pub fn packets_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total packets corrupted.
+    pub fn packets_corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// The underlying loss model.
+    pub fn loss(&self) -> &L {
+        &self.loss
+    }
+
+    /// Mutable access to the loss model (e.g. to re-tune α mid-run).
+    pub fn loss_mut(&mut self) -> &mut L {
+        &mut self.loss
+    }
+
+    /// Resets clock and counters, keeping the loss model state.
+    pub fn reset(&mut self) {
+        self.clock.reset();
+        self.sent = 0;
+        self.corrupted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernoulli::BernoulliChannel;
+    use crate::loss::MaskLoss;
+
+    #[test]
+    fn time_accumulates_per_packet() {
+        let mut link = Link::new(Bandwidth::from_kbps(19.2), MaskLoss::perfect(), 0);
+        for i in 1..=10 {
+            let d = link.send(260);
+            assert!((d.arrival_time - i as f64 * 260.0 / 2400.0).abs() < 1e-9);
+        }
+        assert_eq!(link.packets_sent(), 10);
+        assert_eq!(link.packets_corrupted(), 0);
+    }
+
+    #[test]
+    fn mask_controls_fates() {
+        let mut link =
+            Link::new(Bandwidth::default(), MaskLoss::new(vec![true, false, true]), 0);
+        assert!(link.send(10).corrupted);
+        assert!(!link.send(10).corrupted);
+        assert!(link.send(10).corrupted);
+        assert_eq!(link.packets_corrupted(), 2);
+    }
+
+    #[test]
+    fn send_bytes_corrupts_buffer_only_when_marked() {
+        let mut link =
+            Link::new(Bandwidth::default(), MaskLoss::new(vec![true, false]), 42);
+        let original = vec![0u8; 64];
+        let mut first = original.clone();
+        let d = link.send_bytes(&mut first);
+        assert!(d.corrupted);
+        assert_ne!(first, original, "corrupted packet must differ");
+        let mut second = original.clone();
+        let d = link.send_bytes(&mut second);
+        assert!(!d.corrupted);
+        assert_eq!(second, original, "intact packet must be unchanged");
+    }
+
+    #[test]
+    fn reset_clears_counters_and_time() {
+        let mut link = Link::new(Bandwidth::default(), BernoulliChannel::new(0.5, 1), 0);
+        for _ in 0..10 {
+            link.send(100);
+        }
+        link.reset();
+        assert_eq!(link.now(), 0.0);
+        assert_eq!(link.packets_sent(), 0);
+    }
+
+    #[test]
+    fn loss_mut_allows_retuning() {
+        let mut link = Link::new(Bandwidth::default(), BernoulliChannel::new(0.0, 1), 0);
+        link.loss_mut().set_alpha(1.0);
+        assert!(link.send(10).corrupted);
+    }
+}

@@ -1,0 +1,95 @@
+//! The per-packet corruption abstraction.
+
+/// A model deciding, packet by packet, whether transmission corrupts it.
+///
+/// The channel is FIFO: packets are never reordered, only corrupted (a
+/// lost packet manifests as a corrupted/absent frame detectable through
+/// the sequence numbers of later frames).
+pub trait LossModel {
+    /// Draws the fate of the next packet: `true` means corrupted.
+    fn next_corrupted(&mut self) -> bool;
+
+    /// The long-run fraction of corrupted packets this model converges
+    /// to — the effective `α` seen by redundancy planning.
+    fn long_run_rate(&self) -> f64;
+}
+
+/// A deterministic loss model replaying a fixed corruption mask —
+/// useful for failure-injection tests (e.g. "exactly the clear-text
+/// packets are lost").
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::loss::{LossModel, MaskLoss};
+///
+/// let mut mask = MaskLoss::new(vec![true, false, false]);
+/// assert!(mask.next_corrupted());      // packet 0 corrupted
+/// assert!(!mask.next_corrupted());     // packet 1 intact
+/// assert!(!mask.next_corrupted());     // packet 2 intact
+/// assert!(!mask.next_corrupted());     // beyond the mask: intact
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaskLoss {
+    mask: Vec<bool>,
+    pos: usize,
+}
+
+impl MaskLoss {
+    /// Creates a model that corrupts exactly the `true` positions of
+    /// `mask`; packets beyond the mask are intact.
+    pub fn new(mask: Vec<bool>) -> Self {
+        MaskLoss { mask, pos: 0 }
+    }
+
+    /// A model that never corrupts anything.
+    pub fn perfect() -> Self {
+        MaskLoss::new(Vec::new())
+    }
+
+    /// Number of packets consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl LossModel for MaskLoss {
+    fn next_corrupted(&mut self) -> bool {
+        let fate = self.mask.get(self.pos).copied().unwrap_or(false);
+        self.pos += 1;
+        fate
+    }
+
+    fn long_run_rate(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.mask.iter().filter(|&&c| c).count() as f64 / self.mask.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_replays_exactly() {
+        let mut m = MaskLoss::new(vec![false, true, true, false]);
+        let fates: Vec<bool> = (0..6).map(|_| m.next_corrupted()).collect();
+        assert_eq!(fates, [false, true, true, false, false, false]);
+        assert_eq!(m.position(), 6);
+    }
+
+    #[test]
+    fn perfect_never_corrupts() {
+        let mut m = MaskLoss::perfect();
+        assert!((0..100).all(|_| !m.next_corrupted()));
+        assert_eq!(m.long_run_rate(), 0.0);
+    }
+
+    #[test]
+    fn long_run_rate_is_mask_density() {
+        let m = MaskLoss::new(vec![true, false, true, false]);
+        assert_eq!(m.long_run_rate(), 0.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Disconnection (outage) modelling.
+//!
+//! The paper's title phenomenon — *weak connectivity* — is more than
+//! per-packet corruption: mobile clients suffer whole disconnection
+//! windows ("occasional disconnection during transmission of web
+//! information is common", §4). [`OutageChannel`] wraps any base loss
+//! model with an on/off outage process: during an outage every packet
+//! is lost; between outages the base model applies. Sojourn times are
+//! geometric, so the composite is still a simple Markov-modulated
+//! channel whose long-run rate has a closed form.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::loss::LossModel;
+
+/// A loss model with geometric connected/disconnected periods layered
+/// over a base model.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_channel::bernoulli::BernoulliChannel;
+/// use mrtweb_channel::loss::LossModel;
+/// use mrtweb_channel::outage::OutageChannel;
+///
+/// // 10% base corruption, outages hitting 1% of packets and lasting
+/// // ~50 packets on average.
+/// let ch = OutageChannel::new(BernoulliChannel::new(0.1, 1), 0.01, 0.02, 2);
+/// let rate = ch.long_run_rate();
+/// assert!(rate > 0.1 && rate < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutageChannel<L> {
+    base: L,
+    /// P(connected → disconnected) per packet.
+    p_drop: f64,
+    /// P(disconnected → connected) per packet.
+    p_recover: f64,
+    disconnected: bool,
+    rng: StdRng,
+}
+
+impl<L: LossModel> OutageChannel<L> {
+    /// Wraps `base` with an outage process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both transition probabilities are in `[0, 1]` and
+    /// at least one is positive.
+    pub fn new(base: L, p_drop: f64, p_recover: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_drop), "p_drop must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_recover), "p_recover must be in [0, 1]");
+        assert!(p_drop + p_recover > 0.0, "the outage chain must be able to move");
+        OutageChannel {
+            base,
+            p_drop,
+            p_recover,
+            disconnected: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether the channel is currently in an outage.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
+    }
+
+    /// Stationary probability of being disconnected.
+    pub fn stationary_outage(&self) -> f64 {
+        self.p_drop / (self.p_drop + self.p_recover)
+    }
+
+    /// The wrapped base model.
+    pub fn base(&self) -> &L {
+        &self.base
+    }
+}
+
+impl<L: LossModel> LossModel for OutageChannel<L> {
+    fn next_corrupted(&mut self) -> bool {
+        let flip = if self.disconnected {
+            self.rng.random_bool(self.p_recover)
+        } else {
+            self.rng.random_bool(self.p_drop)
+        };
+        if flip {
+            self.disconnected = !self.disconnected;
+        }
+        if self.disconnected {
+            // Every packet in an outage is lost. The base model still
+            // advances so reconnection resumes an uncorrelated stream.
+            let _ = self.base.next_corrupted();
+            true
+        } else {
+            self.base.next_corrupted()
+        }
+    }
+
+    fn long_run_rate(&self) -> f64 {
+        let p_out = self.stationary_outage();
+        p_out + (1.0 - p_out) * self.base.long_run_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernoulli::BernoulliChannel;
+    use crate::loss::MaskLoss;
+
+    #[test]
+    fn empirical_rate_matches_long_run() {
+        let mut ch = OutageChannel::new(BernoulliChannel::new(0.1, 3), 0.02, 0.1, 7);
+        let expect = ch.long_run_rate();
+        let n = 300_000;
+        let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
+        let rate = corrupted as f64 / n as f64;
+        assert!((rate - expect).abs() < 0.01, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn outages_produce_long_loss_runs() {
+        let mut ch = OutageChannel::new(MaskLoss::perfect(), 0.01, 0.02, 5);
+        let fates: Vec<bool> = (0..200_000).map(|_| ch.next_corrupted()).collect();
+        let mut longest = 0usize;
+        let mut cur = 0usize;
+        for f in fates {
+            if f {
+                cur += 1;
+                longest = longest.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        // Mean outage is ~50 packets; the longest should far exceed
+        // anything a 0-corruption base could produce.
+        assert!(longest > 50, "longest outage run {longest}");
+    }
+
+    #[test]
+    fn no_outage_degenerates_to_base() {
+        let mut ch = OutageChannel::new(BernoulliChannel::new(0.2, 9), 0.0, 1.0, 1);
+        assert_eq!(ch.long_run_rate(), 0.2);
+        let n = 50_000;
+        let rate = (0..n).filter(|_| ch.next_corrupted()).count() as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn stationary_outage_formula() {
+        let ch = OutageChannel::new(MaskLoss::perfect(), 0.01, 0.03, 0);
+        assert!((ch.stationary_outage() - 0.25).abs() < 1e-12);
+        assert!(!ch.is_disconnected());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be able to move")]
+    fn frozen_chain_panics() {
+        let _ = OutageChannel::new(MaskLoss::perfect(), 0.0, 0.0, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Static information content (IC).
+//!
+//! "The information content `p_i` of an organizational unit `n_i` is
+//! the weighted sum of the keywords in the unit, normalized with respect
+//! to that of the document:
+//! `p_i = Σ_{a∈n_i} |a_{n_i}| ω_a / Σ_{d∈D} |d_D| ω_d`" (§3.1).
+//!
+//! Under this definition the additive rule holds — a unit's content is
+//! the sum of its sub-units' — and the whole document's content is 1.
+
+use mrtweb_textproc::index::DocumentIndex;
+
+use crate::scores::{ContentScores, UnitScore};
+use crate::weights::keyword_weight;
+
+/// The static information content of every unit of a document.
+///
+/// This is a thin, semantically named wrapper around [`ContentScores`];
+/// see the crate example for end-to-end usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InformationContent {
+    scores: ContentScores,
+}
+
+impl InformationContent {
+    /// Computes IC from a document's logical index.
+    ///
+    /// A document with no keywords at all yields all-zero contents
+    /// (rather than NaN).
+    pub fn from_index(index: &DocumentIndex) -> Self {
+        let max = index.max_count().max(1);
+        // Denominator: Σ_d |d_D| ω_d over the whole document.
+        let denom: f64 = index
+            .totals()
+            .iter()
+            .map(|(_, &n)| n as f64 * keyword_weight(n, max))
+            .sum();
+        let scores = index
+            .entries()
+            .iter()
+            .map(|e| {
+                let num: f64 = e
+                    .counts
+                    .iter()
+                    .map(|(stem, &n)| n as f64 * keyword_weight(index.total_count(stem), max))
+                    .sum();
+                UnitScore {
+                    path: e.path.clone(),
+                    kind: e.kind,
+                    synthetic: e.synthetic,
+                    own: if denom > 0.0 { num / denom } else { 0.0 },
+                }
+            })
+            .collect();
+        InformationContent { scores: ContentScores::new(scores) }
+    }
+
+    /// The underlying score container.
+    pub fn scores(&self) -> &ContentScores {
+        &self.scores
+    }
+
+    /// Total content of the document (1.0 unless the document has no
+    /// keywords).
+    pub fn total(&self) -> f64 {
+        self.scores.total()
+    }
+}
+
+impl From<InformationContent> for ContentScores {
+    fn from(ic: InformationContent) -> ContentScores {
+        ic.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::document::Document;
+    use mrtweb_docmodel::lod::Lod;
+    use mrtweb_docmodel::unit::UnitPath;
+    use mrtweb_textproc::pipeline::ScPipeline;
+
+    fn ic_for(xml: &str) -> (InformationContent, DocumentIndex) {
+        let doc = Document::parse_xml(xml).unwrap();
+        let idx = ScPipeline::default().run(&doc);
+        (InformationContent::from_index(&idx), idx)
+    }
+
+    #[test]
+    fn document_content_is_one() {
+        let (ic, _) = ic_for(
+            "<document><section><paragraph>alpha beta</paragraph></section>\
+             <section><paragraph>gamma delta epsilon</paragraph></section></document>",
+        );
+        assert!((ic.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn additive_rule_holds() {
+        let (ic, _) = ic_for(
+            "<document><section><paragraph>alpha beta</paragraph>\
+             <paragraph>gamma</paragraph></section>\
+             <section><paragraph>delta</paragraph></section></document>",
+        );
+        // Each section's subtree content equals the sum of its
+        // paragraphs' subtree contents (sections have no own text here).
+        let s = ic.scores();
+        let sec0 = s.subtree_at(&UnitPath::from_indices([0]));
+        let sec1 = s.subtree_at(&UnitPath::from_indices([1]));
+        assert!((sec0 + sec1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_with_more_rare_keywords_scores_higher() {
+        let (ic, _) = ic_for(
+            "<document>\
+             <section><paragraph>unique distinct special notions</paragraph></section>\
+             <section><paragraph>common common common common</paragraph></section>\
+             </document>",
+        );
+        let s = ic.scores();
+        let first = s.subtree_at(&UnitPath::from_indices([0]));
+        let second = s.subtree_at(&UnitPath::from_indices([1]));
+        // Four distinct rare words (weight 3 each) outweigh four
+        // occurrences of the most common word (weight 1 each).
+        assert!(first > second, "rare-keyword section should carry more content");
+    }
+
+    #[test]
+    fn empty_document_has_zero_content() {
+        let (ic, _) = ic_for("<document></document>");
+        assert_eq!(ic.total(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Document: "web web mobile" in one paragraph, "web" in another.
+        // Totals: web=3 (max), mobile=1.
+        // ω_web = 1 − log2(3/3) = 1;  ω_mobile = 1 − log2(1/3) ≈ 2.585.
+        // Denominator = 3·1 + 1·2.585 = 5.585.
+        // p(para1) = (2·1 + 1·2.585)/5.585 ≈ 0.8209
+        // p(para2) = 1/5.585 ≈ 0.1791
+        let (ic, idx) = ic_for(
+            "<document><section><paragraph>web web mobile</paragraph>\
+             <paragraph>web</paragraph></section></document>",
+        );
+        assert_eq!(idx.total_count("web"), 3);
+        let paras: Vec<f64> = ic
+            .scores()
+            .scores()
+            .iter()
+            .filter(|u| u.kind == Lod::Paragraph)
+            .map(|u| u.own)
+            .collect();
+        let w_mobile = 1.0 - (1.0f64 / 3.0).log2();
+        let denom = 3.0 + w_mobile;
+        assert!((paras[0] - (2.0 + w_mobile) / denom).abs() < 1e-12);
+        assert!((paras[1] - 1.0 / denom).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Information content measures for organizational units.
+//!
+//! Implements §3.1–3.2 of Leong et al. (ICDCS 2000):
+//!
+//! * [`weights`] — the keyword weight `ω_a = 1 − log₂(|a_D| / ‖V_D‖∞)`,
+//!   computable "without human intervention";
+//! * [`ic`] — the static **information content** `p_i` of a unit: the
+//!   weighted keyword mass of the unit normalized by the document's, so
+//!   contents are additive and the document sums to 1;
+//! * [`query`] — keyword queries with per-word emphasis by repetition;
+//! * [`qic`] — **query-based information content** (product form): units
+//!   re-scored by how much of their keyword mass matches the query;
+//! * [`mqic`] — **modified QIC** (scaled sum form): avoids zeroing units
+//!   that contain no querying word;
+//! * [`sc`] — the **structural characteristic**: the per-unit content
+//!   table (the paper's Table 1) and the QIC-descending transmission
+//!   ranking used by the fault-tolerant transmitter;
+//! * [`scores`] — the shared per-unit score container with additive
+//!   subtree aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use mrtweb_docmodel::document::Document;
+//! use mrtweb_textproc::pipeline::ScPipeline;
+//! use mrtweb_content::{ic::InformationContent, query::Query, sc::StructuralCharacteristic};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let doc = Document::parse_xml(
+//!     "<document>\
+//!      <section><title>Mobile</title><paragraph>mobile web browsing</paragraph></section>\
+//!      <section><title>Other</title><paragraph>databases and storage</paragraph></section>\
+//!      </document>")?;
+//! let pipeline = ScPipeline::default();
+//! let index = pipeline.run(&doc);
+//!
+//! // Static IC sums to 1 across the document.
+//! let ic = InformationContent::from_index(&index);
+//! assert!((ic.total() - 1.0).abs() < 1e-9);
+//!
+//! // A query biases content toward matching sections.
+//! let query = Query::parse("mobile web", &pipeline);
+//! let sc = StructuralCharacteristic::from_index(&index, Some(&query));
+//! # let _ = sc;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ic;
+pub mod mqic;
+pub mod profile;
+pub mod qic;
+pub mod query;
+pub mod sc;
+pub mod scores;
+pub mod weights;

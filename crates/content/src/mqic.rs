@@ -1,0 +1,178 @@
+//! Modified query-based information content (MQIC), sum form.
+//!
+//! QIC zeroes every unit that contains no querying word. The paper
+//! therefore offers a "more general definition … by replacing the
+//! product between the weights from document keyword and querying word
+//! with their sum. To ensure that individual weights are in comparable
+//! scale, we associate a scaling factor λ with ω^Q_a":
+//!
+//! ```text
+//! q̃^Q_i = Σ_{a∈n_i} |a_{n_i}| (ω_a + λ·ω^Q_a)
+//!         ───────────────────────────────────── ,
+//!         Σ_{d∈D}  |d_D|  (ω_d + λ·ω^Q_d)
+//!
+//! λ = Σ_{a∈D} |a_D| / Σ_{a∈Q} |a_Q|
+//! ```
+//!
+//! Every keyword of the unit contributes (the query term adds 0 for
+//! non-querying words), so no unit collapses to zero, and the additive
+//! rule still holds.
+
+use mrtweb_textproc::index::DocumentIndex;
+
+use crate::query::Query;
+use crate::scores::{ContentScores, UnitScore};
+use crate::weights::keyword_weight;
+
+/// The modified query-based information content of every unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModifiedQueryContent {
+    scores: ContentScores,
+    lambda: f64,
+}
+
+impl ModifiedQueryContent {
+    /// Computes MQIC from a document's logical index and a query.
+    ///
+    /// With an empty query, λ is taken as 0 and MQIC degenerates to the
+    /// static information content.
+    pub fn from_index(index: &DocumentIndex, query: &Query) -> Self {
+        let max = index.max_count().max(1);
+        let lambda = if query.total_occurrences() > 0 {
+            index.total_occurrences() as f64 / query.total_occurrences() as f64
+        } else {
+            0.0
+        };
+        let combined = |stem: &str, doc_count: u64| {
+            keyword_weight(doc_count, max) + lambda * query.weight(stem)
+        };
+        let denom: f64 = index
+            .totals()
+            .iter()
+            .map(|(stem, &n)| n as f64 * combined(stem, n))
+            .sum();
+        let scores = index
+            .entries()
+            .iter()
+            .map(|e| {
+                let num: f64 = e
+                    .counts
+                    .iter()
+                    .map(|(stem, &n)| n as f64 * combined(stem, index.total_count(stem)))
+                    .sum();
+                UnitScore {
+                    path: e.path.clone(),
+                    kind: e.kind,
+                    synthetic: e.synthetic,
+                    own: if denom > 0.0 { num / denom } else { 0.0 },
+                }
+            })
+            .collect();
+        ModifiedQueryContent { scores: ContentScores::new(scores), lambda }
+    }
+
+    /// The scaling factor λ that was applied to querying-word weights.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The underlying score container.
+    pub fn scores(&self) -> &ContentScores {
+        &self.scores
+    }
+
+    /// Total MQIC of the document (1.0 for any document with keywords).
+    pub fn total(&self) -> f64 {
+        self.scores.total()
+    }
+}
+
+impl From<ModifiedQueryContent> for ContentScores {
+    fn from(m: ModifiedQueryContent) -> ContentScores {
+        m.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic::InformationContent;
+    use crate::qic::QueryContent;
+    use mrtweb_docmodel::document::Document;
+    use mrtweb_docmodel::unit::UnitPath;
+    use mrtweb_textproc::pipeline::ScPipeline;
+
+    const TWO_SECTIONS: &str = "<document>\
+        <section><paragraph>mobile web browsing today</paragraph></section>\
+        <section><paragraph>database storage engines</paragraph></section>\
+        </document>";
+
+    fn setup(xml: &str, query: &str) -> (DocumentIndex, Query) {
+        let doc = Document::parse_xml(xml).unwrap();
+        let pipeline = ScPipeline::default();
+        let idx = pipeline.run(&doc);
+        let q = Query::parse(query, &pipeline);
+        (idx, q)
+    }
+
+    #[test]
+    fn normalizes_to_one() {
+        let (idx, q) = setup(TWO_SECTIONS, "mobile web");
+        let mqic = ModifiedQueryContent::from_index(&idx, &q);
+        assert!((mqic.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_matching_units_stay_positive() {
+        let (idx, q) = setup(TWO_SECTIONS, "mobile web");
+        let mqic = ModifiedQueryContent::from_index(&idx, &q);
+        let qic = QueryContent::from_index(&idx, &q);
+        let second = UnitPath::from_indices([1]);
+        assert_eq!(qic.scores().subtree_at(&second), 0.0, "QIC zeroes the non-matching section");
+        assert!(
+            mqic.scores().subtree_at(&second) > 0.0,
+            "MQIC must keep the non-matching section positive"
+        );
+    }
+
+    #[test]
+    fn query_still_biases_matching_units() {
+        let (idx, q) = setup(TWO_SECTIONS, "mobile web browsing");
+        let mqic = ModifiedQueryContent::from_index(&idx, &q);
+        let ic = InformationContent::from_index(&idx);
+        let first = UnitPath::from_indices([0]);
+        assert!(
+            mqic.scores().subtree_at(&first) > ic.scores().subtree_at(&first),
+            "MQIC should lift the matching section above its static IC"
+        );
+    }
+
+    #[test]
+    fn empty_query_degenerates_to_ic() {
+        let (idx, _) = setup(TWO_SECTIONS, "");
+        let mqic = ModifiedQueryContent::from_index(&idx, &Query::new());
+        let ic = InformationContent::from_index(&idx);
+        assert_eq!(mqic.lambda(), 0.0);
+        for (m, i) in mqic.scores().scores().iter().zip(ic.scores().scores()) {
+            assert!((m.own - i.own).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lambda_is_occurrence_ratio() {
+        let (idx, q) = setup(TWO_SECTIONS, "mobile web");
+        let mqic = ModifiedQueryContent::from_index(&idx, &q);
+        let expect = idx.total_occurrences() as f64 / 2.0;
+        assert!((mqic.lambda() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn additive_rule_holds() {
+        let (idx, q) = setup(TWO_SECTIONS, "mobile");
+        let mqic = ModifiedQueryContent::from_index(&idx, &q);
+        let s = mqic.scores();
+        let sum = s.subtree_at(&UnitPath::from_indices([0]))
+            + s.subtree_at(&UnitPath::from_indices([1]));
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

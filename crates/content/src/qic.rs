@@ -1,0 +1,164 @@
+//! Query-based information content (QIC), product form.
+//!
+//! "The QIC `q^Q_i` of an organizational unit `n_i` in `D` with respect
+//! to `Q` is the combined weighted sum of the keywords in the unit,
+//! normalized with respect to `D` and `Q`:
+//! `q^Q_i = Σ_{a∈n_i∩Q} |a_{n_i}| ω_a ω^Q_a / Σ_{d∈D∩Q} |d_D| ω_d ω^Q_d`"
+//! (§3.2). Only keywords shared by the unit and the query contribute;
+//! units without any querying word get QIC 0 (the motivation for
+//! [`crate::mqic`]).
+
+use mrtweb_textproc::index::DocumentIndex;
+
+use crate::query::Query;
+use crate::scores::{ContentScores, UnitScore};
+use crate::weights::keyword_weight;
+
+/// The query-based information content of every unit of a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryContent {
+    scores: ContentScores,
+}
+
+impl QueryContent {
+    /// Computes QIC from a document's logical index and a query.
+    ///
+    /// If no querying word occurs in the document (denominator 0), every
+    /// unit's QIC is 0.
+    pub fn from_index(index: &DocumentIndex, query: &Query) -> Self {
+        let max = index.max_count().max(1);
+        let denom: f64 = index
+            .totals()
+            .iter()
+            .map(|(stem, &n)| n as f64 * keyword_weight(n, max) * query.weight(stem))
+            .sum();
+        let scores = index
+            .entries()
+            .iter()
+            .map(|e| {
+                let num: f64 = e
+                    .counts
+                    .iter()
+                    .map(|(stem, &n)| {
+                        n as f64
+                            * keyword_weight(index.total_count(stem), max)
+                            * query.weight(stem)
+                    })
+                    .sum();
+                UnitScore {
+                    path: e.path.clone(),
+                    kind: e.kind,
+                    synthetic: e.synthetic,
+                    own: if denom > 0.0 { num / denom } else { 0.0 },
+                }
+            })
+            .collect();
+        QueryContent { scores: ContentScores::new(scores) }
+    }
+
+    /// The underlying score container.
+    pub fn scores(&self) -> &ContentScores {
+        &self.scores
+    }
+
+    /// Total QIC of the document: 1.0 when any querying word occurs in
+    /// the document, 0.0 otherwise.
+    pub fn total(&self) -> f64 {
+        self.scores.total()
+    }
+}
+
+impl From<QueryContent> for ContentScores {
+    fn from(q: QueryContent) -> ContentScores {
+        q.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::document::Document;
+    use mrtweb_docmodel::unit::UnitPath;
+    use mrtweb_textproc::pipeline::ScPipeline;
+
+    fn setup(xml: &str, query: &str) -> QueryContent {
+        let doc = Document::parse_xml(xml).unwrap();
+        let pipeline = ScPipeline::default();
+        let idx = pipeline.run(&doc);
+        let q = Query::parse(query, &pipeline);
+        QueryContent::from_index(&idx, &q)
+    }
+
+    const TWO_SECTIONS: &str = "<document>\
+        <section><paragraph>mobile web browsing today</paragraph></section>\
+        <section><paragraph>database storage engines</paragraph></section>\
+        </document>";
+
+    #[test]
+    fn matching_section_takes_all_content() {
+        let qic = setup(TWO_SECTIONS, "mobile web");
+        let s = qic.scores();
+        let first = s.subtree_at(&UnitPath::from_indices([0]));
+        let second = s.subtree_at(&UnitPath::from_indices([1]));
+        assert!((first - 1.0).abs() < 1e-9, "all QIC should be in the matching section");
+        assert_eq!(second, 0.0);
+    }
+
+    #[test]
+    fn qic_normalizes_to_one_when_query_matches() {
+        let qic = setup(TWO_SECTIONS, "mobile database");
+        assert!((qic.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_match_means_all_zero() {
+        let qic = setup(TWO_SECTIONS, "astronomy telescopes");
+        assert_eq!(qic.total(), 0.0);
+    }
+
+    #[test]
+    fn empty_query_means_all_zero() {
+        let qic = setup(TWO_SECTIONS, "");
+        assert_eq!(qic.total(), 0.0);
+    }
+
+    #[test]
+    fn additive_rule_holds_for_qic() {
+        let qic = setup(
+            "<document><section>\
+             <paragraph>mobile one</paragraph><paragraph>mobile two</paragraph>\
+             </section></document>",
+            "mobile",
+        );
+        let s = qic.scores();
+        let section = s.subtree_at(&UnitPath::from_indices([0]));
+        assert!((section - 1.0).abs() < 1e-9);
+        // Both paragraphs contribute; each own value is positive. The
+        // paragraphs sit inside a virtual subsection, hence depth 3.
+        let p0 = s.subtree_at(&UnitPath::from_indices([0, 0, 0]));
+        assert!(p0 > 0.0 && p0 < 1.0);
+    }
+
+    #[test]
+    fn repeated_query_word_shifts_mass() {
+        // Section 0 matches "mobile", section 1 matches "web".
+        //
+        // Note: the paper motivates repetition as *emphasis*, but its
+        // weight formula `ω^Q_a = 1 − log₂(|a_Q|/‖V_Q‖∞)` assigns the
+        // most frequent querying word weight exactly 1 and *rarer* words
+        // more — so repeating "mobile" lowers its relative weight. We
+        // reproduce the formula as published; this test pins down its
+        // actual behaviour.
+        let xml = "<document>\
+            <section><paragraph>mobile systems</paragraph></section>\
+            <section><paragraph>web pages</paragraph></section>\
+            </document>";
+        let balanced = setup(xml, "mobile web");
+        let biased = setup(xml, "mobile mobile mobile web");
+        let p = UnitPath::from_indices([0]);
+        assert!(
+            biased.scores().subtree_at(&p) < balanced.scores().subtree_at(&p),
+            "under the published formula, repetition lowers the repeated word's share"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! The structural characteristic (SC).
+//!
+//! "The structural organization of a document could be modeled by a
+//! tree-like indexing structure, called a structural characteristic"
+//! (§3). The SC couples every organizational unit with its information
+//! contents — static IC plus, when a query is given, QIC and MQIC — and
+//! is what the server consults to order units for transmission and what
+//! the paper's Table 1 prints.
+
+use std::fmt;
+
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_docmodel::unit::UnitPath;
+use mrtweb_textproc::index::DocumentIndex;
+use serde::{Deserialize, Serialize};
+
+use crate::ic::InformationContent;
+use crate::mqic::ModifiedQueryContent;
+use crate::qic::QueryContent;
+use crate::query::Query;
+use crate::scores::ContentScores;
+
+/// Which content measure orders the transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Measure {
+    /// Static information content (no query context).
+    #[default]
+    Ic,
+    /// Query-based information content (product form).
+    Qic,
+    /// Modified query-based information content (sum form).
+    Mqic,
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Measure::Ic => "IC",
+            Measure::Qic => "QIC",
+            Measure::Mqic => "MQIC",
+        })
+    }
+}
+
+/// One row of the structural characteristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScEntry {
+    /// Path from the document root.
+    pub path: UnitPath,
+    /// The unit's level of detail.
+    pub kind: Lod,
+    /// Whether the unit is a normalization artifact.
+    pub synthetic: bool,
+    /// The unit's title, if any.
+    pub title: Option<String>,
+    /// Subtree information content `p_i`.
+    pub ic: f64,
+    /// Subtree QIC `q^Q_i` (0 without a query).
+    pub qic: f64,
+    /// Subtree MQIC `q̃^Q_i` (equals IC without a query).
+    pub mqic: f64,
+    /// Content bytes of the unit subtree.
+    pub bytes: usize,
+}
+
+/// The structural characteristic of a document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructuralCharacteristic {
+    entries: Vec<ScEntry>,
+}
+
+impl StructuralCharacteristic {
+    /// Builds the SC from a logical index, with an optional query for
+    /// the QIC/MQIC columns.
+    pub fn from_index(index: &DocumentIndex, query: Option<&Query>) -> Self {
+        let ic: ContentScores = InformationContent::from_index(index).into();
+        let (qic, mqic): (ContentScores, ContentScores) = match query {
+            Some(q) => (
+                QueryContent::from_index(index, q).into(),
+                ModifiedQueryContent::from_index(index, q).into(),
+            ),
+            None => (
+                ContentScores::new(
+                    ic.scores()
+                        .iter()
+                        .map(|s| crate::scores::UnitScore { own: 0.0, ..s.clone() })
+                        .collect(),
+                ),
+                ic.clone(),
+            ),
+        };
+        // Subtree bytes per entry.
+        let entries = index
+            .entries()
+            .iter()
+            .map(|e| {
+                let bytes: usize = index
+                    .entries()
+                    .iter()
+                    .filter(|d| e.path.is_prefix_of(&d.path))
+                    .map(|d| d.own_bytes)
+                    .sum();
+                ScEntry {
+                    path: e.path.clone(),
+                    kind: e.kind,
+                    synthetic: e.synthetic,
+                    title: e.title.clone(),
+                    ic: ic.subtree_at(&e.path),
+                    qic: qic.subtree_at(&e.path),
+                    mqic: mqic.subtree_at(&e.path),
+                    bytes,
+                }
+            })
+            .collect();
+        StructuralCharacteristic { entries }
+    }
+
+    /// All rows in preorder (the root first).
+    pub fn entries(&self) -> &[ScEntry] {
+        &self.entries
+    }
+
+    /// The row for an exact path.
+    pub fn entry_at(&self, path: &UnitPath) -> Option<&ScEntry> {
+        self.entries.iter().find(|e| &e.path == path)
+    }
+
+    /// The chosen measure of a row.
+    pub fn value(entry: &ScEntry, measure: Measure) -> f64 {
+        match measure {
+            Measure::Ic => entry.ic,
+            Measure::Qic => entry.qic,
+            Measure::Mqic => entry.mqic,
+        }
+    }
+
+    /// Ranks the given unit paths in descending order of the measure
+    /// (ties keep document order) — the transmission order of §4.2.
+    pub fn rank(&self, paths: &[UnitPath], measure: Measure) -> Vec<UnitPath> {
+        let mut scored: Vec<(UnitPath, f64)> = paths
+            .iter()
+            .map(|p| {
+                let v = self.entry_at(p).map_or(0.0, |e| Self::value(e, measure));
+                (p.clone(), v)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Renders the Table 1 layout: one row per non-root unit with its
+    /// label and the three content columns.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Sect./Subsect./Para.      IC p       QIC q^Q    MQIC q~Q\n");
+        for e in &self.entries {
+            if e.path.is_root() {
+                continue;
+            }
+            let indent = "  ".repeat(e.path.depth().saturating_sub(1));
+            let label = format!("{indent}{}", e.path);
+            out.push_str(&format!(
+                "{label:<25} {ic:.5}    {qic:.5}    {mqic:.5}\n",
+                ic = e.ic,
+                qic = e.qic,
+                mqic = e.mqic,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::document::Document;
+    use mrtweb_textproc::pipeline::ScPipeline;
+
+    fn sc(xml: &str, query: Option<&str>) -> StructuralCharacteristic {
+        let doc = Document::parse_xml(xml).unwrap();
+        let pipeline = ScPipeline::default();
+        let idx = pipeline.run(&doc);
+        let q = query.map(|q| Query::parse(q, &pipeline));
+        StructuralCharacteristic::from_index(&idx, q.as_ref())
+    }
+
+    const DOC: &str = "<document>\
+        <section><title>Mobile</title><paragraph>mobile web browsing</paragraph></section>\
+        <section><title>Other</title><paragraph>database storage engines</paragraph></section>\
+        </document>";
+
+    #[test]
+    fn root_row_sums_to_one() {
+        let sc = sc(DOC, Some("mobile"));
+        let root = sc.entry_at(&UnitPath::root()).unwrap();
+        assert!((root.ic - 1.0).abs() < 1e-9);
+        assert!((root.qic - 1.0).abs() < 1e-9);
+        assert!((root.mqic - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_query_qic_is_zero_and_mqic_equals_ic() {
+        let sc = sc(DOC, None);
+        for e in sc.entries() {
+            assert_eq!(e.qic, 0.0);
+            assert!((e.mqic - e.ic).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_by_qic_puts_matching_section_first() {
+        let sc = sc(DOC, Some("database storage"));
+        let paths: Vec<UnitPath> =
+            vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
+        let ranked = sc.rank(&paths, Measure::Qic);
+        assert_eq!(ranked[0], UnitPath::from_indices([1]));
+    }
+
+    #[test]
+    fn rank_by_ic_vs_qic_can_differ() {
+        // IC ranks by static mass; QIC by query match.
+        let sc = sc(DOC, Some("database"));
+        let paths: Vec<UnitPath> =
+            vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
+        let by_qic = sc.rank(&paths, Measure::Qic);
+        assert_eq!(by_qic[0], UnitPath::from_indices([1]));
+    }
+
+    #[test]
+    fn bytes_aggregate_subtrees() {
+        let sc = sc(DOC, None);
+        let root = sc.entry_at(&UnitPath::root()).unwrap();
+        let s0 = sc.entry_at(&UnitPath::from_indices([0])).unwrap();
+        let s1 = sc.entry_at(&UnitPath::from_indices([1])).unwrap();
+        assert_eq!(root.bytes, s0.bytes + s1.bytes);
+        assert!(s0.bytes > 0);
+    }
+
+    #[test]
+    fn table_renders_every_non_root_unit() {
+        let sc = sc(DOC, Some("mobile web browsing"));
+        let table = sc.render_table();
+        let rows = table.lines().count() - 1; // header
+        assert_eq!(rows, sc.entries().len() - 1);
+        assert!(table.contains("IC p"));
+        assert!(table.contains("QIC"));
+    }
+
+    #[test]
+    fn measure_display() {
+        assert_eq!(Measure::Ic.to_string(), "IC");
+        assert_eq!(Measure::Qic.to_string(), "QIC");
+        assert_eq!(Measure::Mqic.to_string(), "MQIC");
+    }
+}

@@ -1,0 +1,83 @@
+//! Keyword weights.
+//!
+//! "A weight is associated with each keyword which indicates its
+//! relative importance in a document. We use a logarithmic function of
+//! keyword occurrences to define this weight:
+//! `ω_a = 1 − log₂(|a_D| / ‖V_D‖)` where `‖V_D‖` is the norm of the
+//! occurrence vector. We choose the infinity norm `‖V_D‖∞ = max(v_i)`"
+//! (§3.1). The same formula (with the query's own occurrence vector)
+//! weights querying words.
+//!
+//! Properties: the most frequent keyword gets weight exactly 1; rarer
+//! keywords get larger weights (`1 + log₂(max/count)`), so a keyword
+//! occurring half as often weighs 2. Weights are always ≥ 1 for
+//! occurring keywords.
+
+/// The weight `ω_a = 1 − log₂(count / max)` of a keyword occurring
+/// `count` times when the most frequent keyword occurs `max` times.
+///
+/// Returns 0 when `count` is 0, matching the paper's convention for
+/// querying words (`ω^Q_a = 0` if `|a_Q| = 0`).
+///
+/// # Panics
+///
+/// Panics if `count > max` or if `count > 0` while `max == 0` — the
+/// infinity norm must dominate every component.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_content::weights::keyword_weight;
+///
+/// assert_eq!(keyword_weight(8, 8), 1.0);   // the most frequent keyword
+/// assert_eq!(keyword_weight(4, 8), 2.0);   // half as frequent → weight 2
+/// assert_eq!(keyword_weight(1, 8), 4.0);   // 1 − log2(1/8)
+/// assert_eq!(keyword_weight(0, 8), 0.0);   // absent
+/// ```
+pub fn keyword_weight(count: u64, max: u64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    assert!(count <= max, "count {count} exceeds the vector norm {max}");
+    1.0 - (count as f64 / max as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_frequent_weighs_one() {
+        for max in [1u64, 2, 7, 1000] {
+            assert_eq!(keyword_weight(max, max), 1.0);
+        }
+    }
+
+    #[test]
+    fn rarer_keywords_weigh_more() {
+        let mut prev = keyword_weight(16, 16);
+        for count in (1..16).rev() {
+            let w = keyword_weight(count, 16);
+            assert!(w > prev, "weight should grow as count falls");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn halving_adds_one() {
+        assert!((keyword_weight(4, 16) - keyword_weight(8, 16) - 1.0).abs() < 1e-12);
+        assert!((keyword_weight(1, 16) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_count_is_zero_weight() {
+        assert_eq!(keyword_weight(0, 5), 0.0);
+        assert_eq!(keyword_weight(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the vector norm")]
+    fn count_above_norm_panics() {
+        let _ = keyword_weight(9, 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the content measures.
+
+use proptest::prelude::*;
+
+use mrtweb_content::ic::InformationContent;
+use mrtweb_content::mqic::ModifiedQueryContent;
+use mrtweb_content::qic::QueryContent;
+use mrtweb_content::query::Query;
+use mrtweb_content::weights::keyword_weight;
+use mrtweb_docmodel::gen::SyntheticDocSpec;
+use mrtweb_docmodel::unit::UnitPath;
+use mrtweb_textproc::pipeline::ScPipeline;
+
+fn doc_and_index(seed: u64) -> (mrtweb_docmodel::document::Document, mrtweb_textproc::index::DocumentIndex) {
+    let spec = SyntheticDocSpec {
+        sections: 3,
+        target_bytes: 1500,
+        keyword_budget: 60,
+        ..Default::default()
+    };
+    let doc = spec.generate(seed).document;
+    let index = ScPipeline::default().run(&doc);
+    (doc, index)
+}
+
+proptest! {
+    /// Weight formula: monotone decreasing in count, equals 1 at the
+    /// norm, and halving the count adds exactly one.
+    #[test]
+    fn weight_formula_properties(max in 1u64..10_000, frac in 1u64..100) {
+        let count = (max * frac / 100).max(1);
+        let w = keyword_weight(count, max);
+        prop_assert!(w >= 1.0 - 1e-12);
+        prop_assert_eq!(keyword_weight(max, max), 1.0);
+        if count * 2 <= max {
+            let w2 = keyword_weight(count * 2, max);
+            prop_assert!((w - w2 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// IC always normalizes to 1 on keyword-bearing documents, every
+    /// unit score is within [0, 1], and the root subtree equals the sum.
+    #[test]
+    fn ic_normalization_and_bounds(seed in any::<u64>()) {
+        let (_, index) = doc_and_index(seed);
+        let ic = InformationContent::from_index(&index);
+        prop_assert!((ic.total() - 1.0).abs() < 1e-9);
+        for s in ic.scores().scores() {
+            prop_assert!(s.own >= -1e-12 && s.own <= 1.0 + 1e-12);
+        }
+        prop_assert!((ic.scores().subtree_at(&UnitPath::root()) - 1.0).abs() < 1e-9);
+    }
+
+    /// QIC is bounded by: zero for units without query words, total
+    /// either 0 (no match) or 1 (match); MQIC always totals 1.
+    #[test]
+    fn qic_mqic_normalization(seed in any::<u64>(), pick in 0usize..20) {
+        let (_, index) = doc_and_index(seed);
+        // Build a query from an actual document stem (guaranteed match)
+        // plus a nonsense word (guaranteed non-match).
+        let stems: Vec<&String> = index.totals().keys().collect();
+        prop_assume!(!stems.is_empty());
+        let stem = stems[pick % stems.len()].clone();
+        let q = Query::from_stems([(stem, 1u64), ("zzzzzz".to_owned(), 1)]);
+        let qic = QueryContent::from_index(&index, &q);
+        prop_assert!((qic.total() - 1.0).abs() < 1e-9);
+        let mqic = ModifiedQueryContent::from_index(&index, &q);
+        prop_assert!((mqic.total() - 1.0).abs() < 1e-9);
+        // MQIC dominates QIC's zero-units: any unit with IC > 0 has
+        // MQIC > 0.
+        let ic = InformationContent::from_index(&index);
+        for (i, s) in ic.scores().scores().iter().enumerate() {
+            if s.own > 1e-9 {
+                prop_assert!(
+                    mqic.scores().scores()[i].own > 0.0,
+                    "unit {} has IC but zero MQIC", s.path
+                );
+            }
+        }
+    }
+
+    /// A query that matches nothing zeroes QIC everywhere while MQIC
+    /// degenerates toward IC (λ scales a zero contribution).
+    #[test]
+    fn unmatched_query_behaviour(seed in any::<u64>()) {
+        let (_, index) = doc_and_index(seed);
+        let q = Query::from_stems([("qqqqqqq".to_owned(), 3u64)]);
+        let qic = QueryContent::from_index(&index, &q);
+        prop_assert_eq!(qic.total(), 0.0);
+        let mqic = ModifiedQueryContent::from_index(&index, &q);
+        let ic = InformationContent::from_index(&index);
+        for (m, i) in mqic.scores().scores().iter().zip(ic.scores().scores()) {
+            prop_assert!((m.own - i.own).abs() < 1e-9);
+        }
+    }
+
+    /// Query parsing is insensitive to word order and casing.
+    #[test]
+    fn query_parse_canonical(words in proptest::collection::vec("[a-z]{3,10}", 1..6)) {
+        let pipeline = ScPipeline::default();
+        let forward = words.join(" ");
+        let mut rev = words.clone();
+        rev.reverse();
+        let backward = rev.join(" ").to_uppercase();
+        let qa = Query::parse(&forward, &pipeline);
+        let qb = Query::parse(&backward, &pipeline);
+        prop_assert_eq!(qa, qb);
+    }
+}

@@ -1,0 +1,278 @@
+//! Synthetic document generation for simulation and benchmarking.
+//!
+//! The paper's evaluation (§5, Table 2) simulates documents of 10240
+//! bytes composed of 5 sections × 2 subsections × 2 paragraphs, with
+//! paragraph information content drawn uniformly and a *skew factor* δ
+//! giving the ratio between the highest and lowest paragraph content.
+//!
+//! [`SyntheticDocSpec::generate`] produces a *real* [`Document`] with
+//! that shape: each paragraph's text mixes keywords from a topical
+//! vocabulary with stop-word filler, and the number of keyword
+//! occurrences is proportional to the paragraph's drawn weight — so the
+//! downstream text pipeline computes information contents whose skew
+//! mirrors the intent. The intended weights are returned alongside so
+//! simulations can use them directly without re-running the pipeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::document::Document;
+use crate::lod::Lod;
+use crate::unit::{Inline, Unit};
+
+/// Topical vocabulary used for keyword occurrences.
+const KEYWORDS: &[&str] = &[
+    "mobile", "wireless", "bandwidth", "browsing", "document", "transmission", "resolution",
+    "client", "server", "packet", "redundancy", "channel", "content", "keyword", "caching",
+    "retransmission", "reconstruction", "connectivity", "corruption", "latency", "prefetching",
+    "profile", "query", "relevance", "session", "structure", "section", "paragraph", "encoding",
+    "dispersal", "vandermonde", "polynomial", "battery", "energy", "disconnection", "surfing",
+    "hypertext", "navigation", "summary", "index",
+];
+
+/// Stop-word filler to pad paragraphs to their byte budget.
+const FILLER: &[&str] = &[
+    "the", "of", "and", "to", "a", "in", "that", "is", "was", "for", "it", "on", "as", "with",
+    "be", "by", "at", "this", "have", "from", "or", "an", "they", "which", "one", "we", "but",
+    "not", "what", "all", "were", "when", "there", "can", "more", "if", "will", "would", "about",
+    "may",
+];
+
+/// Specification for a synthetic document.
+///
+/// Defaults reproduce the paper's Table 2 workload.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_docmodel::gen::SyntheticDocSpec;
+///
+/// let spec = SyntheticDocSpec::default();
+/// let generated = spec.generate(42);
+/// assert_eq!(generated.paragraph_weights.len(), 20); // 5 × 2 × 2
+/// let sum: f64 = generated.paragraph_weights.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticDocSpec {
+    /// Number of sections (paper default: 5).
+    pub sections: usize,
+    /// Subsections per section (paper default: 2).
+    pub subsections_per_section: usize,
+    /// Paragraphs per subsection (paper default: 2).
+    pub paragraphs_per_subsection: usize,
+    /// Target document size in bytes (paper default: 10240).
+    pub target_bytes: usize,
+    /// Skew factor δ: ratio between the highest and lowest paragraph
+    /// information content (paper default: 3).
+    pub skew: f64,
+    /// Total keyword occurrences distributed across paragraphs.
+    pub keyword_budget: usize,
+}
+
+impl Default for SyntheticDocSpec {
+    fn default() -> Self {
+        SyntheticDocSpec {
+            sections: 5,
+            subsections_per_section: 2,
+            paragraphs_per_subsection: 2,
+            target_bytes: 10240,
+            skew: 3.0,
+            keyword_budget: 400,
+        }
+    }
+}
+
+/// A generated document plus the weights that shaped it.
+#[derive(Debug, Clone)]
+pub struct GeneratedDoc {
+    /// The generated document.
+    pub document: Document,
+    /// Intended per-paragraph information weights, in document order,
+    /// normalized to sum to 1.
+    pub paragraph_weights: Vec<f64>,
+}
+
+impl SyntheticDocSpec {
+    /// Total number of paragraphs the spec produces.
+    pub fn paragraph_count(&self) -> usize {
+        self.sections * self.subsections_per_section * self.paragraphs_per_subsection
+    }
+
+    /// Draws normalized paragraph weights: raw weights are
+    /// `U[1, δ]`-distributed so the expected max/min ratio approaches δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero paragraphs or `skew < 1`.
+    pub fn draw_weights(&self, rng: &mut impl Rng) -> Vec<f64> {
+        let n = self.paragraph_count();
+        assert!(n > 0, "spec must have at least one paragraph");
+        assert!(self.skew >= 1.0, "skew factor must be at least 1");
+        let raw: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..=self.skew)).collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Generates a document from a seed (deterministic).
+    pub fn generate(&self, seed: u64) -> GeneratedDoc {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_with_rng(&mut rng)
+    }
+
+    /// Generates a document using the caller's RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero sections/subsections/paragraphs or
+    /// `skew < 1`.
+    pub fn generate_with_rng(&self, rng: &mut impl Rng) -> GeneratedDoc {
+        assert!(
+            self.sections > 0 && self.subsections_per_section > 0
+                && self.paragraphs_per_subsection > 0,
+            "spec dimensions must be nonzero"
+        );
+        let weights = self.draw_weights(rng);
+        let para_bytes = self.target_bytes / self.paragraph_count();
+
+        let mut root = Unit::new(Lod::Document).with_title("Synthetic Document");
+        let mut w_iter = weights.iter();
+        for s in 0..self.sections {
+            let mut section = Unit::new(Lod::Section).with_title(format!("Section {s}"));
+            for ss in 0..self.subsections_per_section {
+                let mut sub =
+                    Unit::new(Lod::Subsection).with_title(format!("Subsection {s}.{ss}"));
+                for _ in 0..self.paragraphs_per_subsection {
+                    let w = *w_iter.next().expect("weight per paragraph");
+                    sub.push_child(self.make_paragraph(rng, w, para_bytes));
+                }
+                section.push_child(sub);
+            }
+            root.push_child(section);
+        }
+        GeneratedDoc { document: Document::from_root(root), paragraph_weights: weights }
+    }
+
+    fn make_paragraph(&self, rng: &mut impl Rng, weight: f64, budget: usize) -> Unit {
+        let mut para = Unit::new(Lod::Paragraph);
+        let keyword_count =
+            ((self.keyword_budget as f64) * weight).round().max(1.0) as usize;
+        let mut text = String::new();
+        let mut keywords_left = keyword_count;
+        // Interleave keywords among filler until both budgets are spent.
+        while text.len() < budget || keywords_left > 0 {
+            let place_keyword = keywords_left > 0
+                && (text.len() >= budget || rng.random_bool(0.35));
+            let word = if place_keyword {
+                keywords_left -= 1;
+                KEYWORDS[rng.random_range(0..KEYWORDS.len())]
+            } else {
+                FILLER[rng.random_range(0..FILLER.len())]
+            };
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(word);
+            if text.len() >= budget && keywords_left == 0 {
+                break;
+            }
+        }
+        para.push_run(Inline::plain(text));
+        para
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_matches_table2_shape() {
+        let spec = SyntheticDocSpec::default();
+        let g = spec.generate(1);
+        assert_eq!(g.document.units_at(Lod::Section).len(), 5);
+        assert_eq!(g.document.units_at(Lod::Subsection).len(), 10);
+        assert_eq!(g.document.units_at(Lod::Paragraph).len(), 20);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = SyntheticDocSpec::default();
+        assert_eq!(spec.generate(7).document, spec.generate(7).document);
+        assert_ne!(spec.generate(7).document, spec.generate(8).document);
+    }
+
+    #[test]
+    fn weights_are_normalized_and_bounded_by_skew() {
+        let spec = SyntheticDocSpec { skew: 4.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = spec.draw_weights(&mut rng);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let maxw = w.iter().cloned().fold(f64::MIN, f64::max);
+        let minw = w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(maxw / minw <= 4.0 + 1e-9, "ratio {} exceeds skew", maxw / minw);
+    }
+
+    #[test]
+    fn document_size_near_target() {
+        let spec = SyntheticDocSpec::default();
+        let g = spec.generate(5);
+        let len = g.document.content_len();
+        // Titles and keyword tails add some slack beyond the target.
+        assert!(len >= spec.target_bytes, "generated only {len} bytes");
+        assert!(len < spec.target_bytes * 2, "generated {len} bytes, way over target");
+    }
+
+    #[test]
+    fn heavier_paragraphs_have_more_keywords() {
+        let spec = SyntheticDocSpec::default();
+        let g = spec.generate(11);
+        let paras = g.document.units_at(Lod::Paragraph);
+        let counts: Vec<usize> = paras
+            .iter()
+            .map(|p| {
+                p.unit
+                    .own_text()
+                    .split_whitespace()
+                    .filter(|w| KEYWORDS.contains(w))
+                    .count()
+            })
+            .collect();
+        // Rank correlation between intended weights and keyword counts
+        // should be strongly positive.
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by(|&a, &b| g.paragraph_weights[a].total_cmp(&g.paragraph_weights[b]));
+        let heavy = &order[counts.len() / 2..];
+        let light = &order[..counts.len() / 2];
+        let heavy_sum: usize = heavy.iter().map(|&i| counts[i]).sum();
+        let light_sum: usize = light.iter().map(|&i| counts[i]).sum();
+        assert!(
+            heavy_sum > light_sum,
+            "heavy half should carry more keywords ({heavy_sum} vs {light_sum})"
+        );
+    }
+
+    #[test]
+    fn custom_shape() {
+        let spec = SyntheticDocSpec {
+            sections: 2,
+            subsections_per_section: 3,
+            paragraphs_per_subsection: 1,
+            target_bytes: 600,
+            skew: 2.0,
+            keyword_budget: 30,
+        };
+        let g = spec.generate(2);
+        assert_eq!(g.document.units_at(Lod::Paragraph).len(), 6);
+        assert_eq!(g.paragraph_weights.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew factor")]
+    fn skew_below_one_panics() {
+        let spec = SyntheticDocSpec { skew: 0.5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = spec.draw_weights(&mut rng);
+    }
+}

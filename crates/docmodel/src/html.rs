@@ -1,0 +1,388 @@
+//! Structure extraction from HTML documents.
+//!
+//! The paper's prototype "assumes a well-defined organizational
+//! structure on a web document defined by XML", and the authors state
+//! they "are working on algorithms to extract the structure of an HTML
+//! document from its content" (§6). This module implements that planned
+//! extension: heading levels induce the LOD hierarchy
+//! (`<h1>` → section, `<h2>` → subsection, `<h3>`–`<h6>` →
+//! subsubsection) and `<p>` elements become paragraphs. Inline emphasis
+//! (`<b>`, `<i>`, `<em>`, `<strong>`) is preserved for the keyword
+//! extractor, and `<script>`/`<style>` contents are discarded.
+//!
+//! HTML in the wild omits end tags; the extractor is therefore a
+//! forgiving state machine rather than a strict tree builder.
+
+use crate::document::Document;
+use crate::lod::Lod;
+use crate::unit::{Inline, Unit};
+use crate::xml::{normalize_whitespace, Event, ParseError, Tokenizer};
+
+/// Extracts an LOD-structured [`Document`] from HTML.
+///
+/// # Errors
+///
+/// [`ParseError`] only for irrecoverably malformed markup (unterminated
+/// comments/CDATA or entities); ordinary tag-soup is tolerated.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_docmodel::html::extract;
+/// use mrtweb_docmodel::lod::Lod;
+///
+/// # fn main() -> Result<(), mrtweb_docmodel::xml::ParseError> {
+/// let doc = extract(
+///     "<html><head><title>Page</title></head><body>\
+///      <h1>Intro</h1><p>First paragraph.<p>Second, unclosed.\
+///      <h2>Detail</h2><p>More <b>bold</b> text.</body></html>",
+/// )?;
+/// assert_eq!(doc.title(), Some("Page"));
+/// assert_eq!(doc.units_at(Lod::Section).len(), 1);
+/// assert_eq!(doc.units_at(Lod::Paragraph).len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract(input: &str) -> Result<Document, ParseError> {
+    let mut tok = Tokenizer::new(input);
+    let mut builder = HtmlBuilder::new();
+    while let Some(ev) = tok.next_event()? {
+        builder.event(ev);
+    }
+    Ok(builder.finish())
+}
+
+/// Heading depth for `h1`..`h6`, or `None` for other names.
+fn heading_level(name: &str) -> Option<usize> {
+    let name = name.to_ascii_lowercase();
+    let mut chars = name.chars();
+    if chars.next() != Some('h') {
+        return None;
+    }
+    let digit = chars.next()?.to_digit(10)?;
+    if chars.next().is_some() || !(1..=6).contains(&digit) {
+        return None;
+    }
+    Some(digit as usize)
+}
+
+fn is_emphasis(name: &str) -> bool {
+    matches!(name.to_ascii_lowercase().as_str(), "b" | "i" | "em" | "strong" | "u")
+}
+
+fn is_skipped_container(name: &str) -> bool {
+    // `<head>` is not skipped: the `<title>` inside it is wanted.
+    matches!(name.to_ascii_lowercase().as_str(), "script" | "style" | "noscript")
+}
+
+struct HtmlBuilder {
+    doc_title: Option<String>,
+    in_head_title: bool,
+    skip_depth: usize,
+    emphasis_depth: usize,
+    /// Finished sections.
+    sections: Vec<Unit>,
+    /// Open structural spine: section, then optional subsection, then
+    /// optional subsubsection.
+    section: Option<Unit>,
+    subsection: Option<Unit>,
+    subsubsection: Option<Unit>,
+    paragraph: Option<Unit>,
+    heading_buf: Option<(usize, String)>,
+}
+
+impl HtmlBuilder {
+    fn new() -> Self {
+        HtmlBuilder {
+            doc_title: None,
+            in_head_title: false,
+            skip_depth: 0,
+            emphasis_depth: 0,
+            sections: Vec::new(),
+            section: None,
+            subsection: None,
+            subsubsection: None,
+            paragraph: None,
+            heading_buf: None,
+        }
+    }
+
+    fn event(&mut self, ev: Event) {
+        match ev {
+            Event::Start { name, self_closing, .. } => {
+                let lname = name.to_ascii_lowercase();
+                if is_skipped_container(&lname) {
+                    if !self_closing {
+                        self.skip_depth += 1;
+                    }
+                    return;
+                }
+                if self.skip_depth > 0 {
+                    return;
+                }
+                if lname == "title" {
+                    self.in_head_title = true;
+                    return;
+                }
+                if let Some(level) = heading_level(&lname) {
+                    self.flush_paragraph();
+                    self.heading_buf = Some((level, String::new()));
+                    return;
+                }
+                match lname.as_str() {
+                    "p" => {
+                        self.flush_paragraph();
+                        self.paragraph = Some(Unit::new(Lod::Paragraph));
+                    }
+                    "br" | "hr" => {}
+                    _ if is_emphasis(&lname) && !self_closing => {
+                        self.emphasis_depth += 1;
+                    }
+                    // div/li/td/blockquote and friends break paragraphs.
+                    "div" | "li" | "td" | "th" | "blockquote" | "pre" | "tr" | "ul" | "ol"
+                    | "table" => {
+                        self.flush_paragraph();
+                    }
+                    _ => {}
+                }
+            }
+            Event::End { name } => {
+                let lname = name.to_ascii_lowercase();
+                if matches!(lname.as_str(), "script" | "style" | "noscript") {
+                    self.skip_depth = self.skip_depth.saturating_sub(1);
+                    return;
+                }
+                if self.skip_depth > 0 {
+                    return;
+                }
+                if lname == "title" {
+                    self.in_head_title = false;
+                    return;
+                }
+                if let Some(level) = heading_level(&lname) {
+                    self.close_heading(level);
+                    return;
+                }
+                match lname.as_str() {
+                    "p" | "body" | "html" => self.flush_paragraph(),
+                    _ if is_emphasis(&lname) => {
+                        self.emphasis_depth = self.emphasis_depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+            Event::Text(text) => {
+                if self.skip_depth > 0 {
+                    return;
+                }
+                let text = normalize_whitespace(&text);
+                if text.is_empty() {
+                    return;
+                }
+                if self.in_head_title {
+                    let t = self.doc_title.get_or_insert_with(String::new);
+                    if !t.is_empty() {
+                        t.push(' ');
+                    }
+                    t.push_str(&text);
+                    return;
+                }
+                if let Some((_, buf)) = &mut self.heading_buf {
+                    if !buf.is_empty() {
+                        buf.push(' ');
+                    }
+                    buf.push_str(&text);
+                    return;
+                }
+                let run = if self.emphasis_depth > 0 {
+                    Inline::emphasized(text)
+                } else {
+                    Inline::plain(text)
+                };
+                self.paragraph.get_or_insert_with(|| Unit::new(Lod::Paragraph)).push_run(run);
+            }
+        }
+    }
+
+    fn close_heading(&mut self, level: usize) {
+        let title = match self.heading_buf.take() {
+            Some((_, buf)) => buf,
+            None => return,
+        };
+        match level {
+            1 => {
+                self.flush_spine();
+                self.section = Some(Unit::new(Lod::Section).with_title(title));
+            }
+            2 => {
+                self.flush_subsection();
+                if self.section.is_none() {
+                    self.section = Some(Unit::new(Lod::Section).with_synthetic(true));
+                }
+                self.subsection = Some(Unit::new(Lod::Subsection).with_title(title));
+            }
+            _ => {
+                self.flush_subsubsection();
+                if self.section.is_none() {
+                    self.section = Some(Unit::new(Lod::Section).with_synthetic(true));
+                }
+                if self.subsection.is_none() {
+                    self.subsection = Some(Unit::new(Lod::Subsection).with_synthetic(true));
+                }
+                self.subsubsection = Some(Unit::new(Lod::Subsubsection).with_title(title));
+            }
+        }
+    }
+
+    fn flush_paragraph(&mut self) {
+        if let Some(p) = self.paragraph.take() {
+            if p.is_empty() {
+                return;
+            }
+            let target = if let Some(sss) = &mut self.subsubsection {
+                sss
+            } else if let Some(ss) = &mut self.subsection {
+                ss
+            } else {
+                self.section.get_or_insert_with(|| Unit::new(Lod::Section).with_synthetic(true))
+            };
+            target.push_child(p);
+        }
+    }
+
+    fn flush_subsubsection(&mut self) {
+        self.flush_paragraph();
+        if let Some(sss) = self.subsubsection.take() {
+            if !sss.is_empty() {
+                self.subsection
+                    .get_or_insert_with(|| Unit::new(Lod::Subsection).with_synthetic(true))
+                    .push_child(sss);
+            }
+        }
+    }
+
+    fn flush_subsection(&mut self) {
+        self.flush_subsubsection();
+        if let Some(ss) = self.subsection.take() {
+            if !ss.is_empty() {
+                self.section
+                    .get_or_insert_with(|| Unit::new(Lod::Section).with_synthetic(true))
+                    .push_child(ss);
+            }
+        }
+    }
+
+    fn flush_spine(&mut self) {
+        self.flush_subsection();
+        if let Some(s) = self.section.take() {
+            if !s.is_empty() {
+                self.sections.push(s);
+            }
+        }
+    }
+
+    fn finish(mut self) -> Document {
+        self.flush_spine();
+        let mut root = Unit::new(Lod::Document);
+        if let Some(t) = self.doc_title {
+            root.set_title(Some(t));
+        }
+        for s in self.sections {
+            root.push_child(s);
+        }
+        Document::from_root(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_page_structure() {
+        let doc = extract(
+            "<html><head><title>My Page</title></head><body>\
+             <h1>One</h1><p>a</p><p>b</p>\
+             <h1>Two</h1><h2>Two.One</h2><p>c</p>\
+             </body></html>",
+        )
+        .unwrap();
+        assert_eq!(doc.title(), Some("My Page"));
+        let sections = doc.units_at(Lod::Section);
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].unit.title(), Some("One"));
+        assert_eq!(sections[1].unit.title(), Some("Two"));
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 3);
+    }
+
+    #[test]
+    fn unclosed_p_tags() {
+        let doc = extract("<body><h1>S</h1><p>one<p>two<p>three</body>").unwrap();
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 3);
+    }
+
+    #[test]
+    fn text_before_any_heading_gets_synthetic_section() {
+        let doc = extract("<p>floating intro</p><h1>Real</h1><p>body</p>").unwrap();
+        let sections = doc.units_at(Lod::Section);
+        assert_eq!(sections.len(), 2);
+        assert!(sections[0].unit.is_synthetic());
+        assert_eq!(sections[1].unit.title(), Some("Real"));
+    }
+
+    #[test]
+    fn deep_headings_map_to_subsubsection() {
+        let doc = extract("<h1>A</h1><h2>B</h2><h3>C</h3><p>deep</p><h4>D</h4><p>deeper</p>")
+            .unwrap();
+        assert_eq!(doc.units_at(Lod::Subsubsection).len(), 2);
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 2);
+    }
+
+    #[test]
+    fn skipped_containers_drop_content() {
+        let doc = extract(
+            "<h1>S</h1><script>var x = '<p>not text</p>';</script>\
+             <style>p { color: red }</style><p>real</p>",
+        )
+        .unwrap();
+        let paras = doc.units_at(Lod::Paragraph);
+        assert_eq!(paras.len(), 1);
+        assert_eq!(paras[0].unit.own_text(), "real");
+    }
+
+    #[test]
+    fn emphasis_survives_extraction() {
+        let doc = extract("<h1>S</h1><p>plain <b>bold</b> done</p>").unwrap();
+        let paras = doc.units_at(Lod::Paragraph);
+        let runs = paras[0].unit.runs();
+        assert_eq!(runs.len(), 3);
+        assert!(runs[1].emphasized);
+    }
+
+    #[test]
+    fn h2_without_h1_synthesizes_section() {
+        let doc = extract("<h2>Sub</h2><p>text</p>").unwrap();
+        let sections = doc.units_at(Lod::Section);
+        assert_eq!(sections.len(), 1);
+        assert!(sections[0].unit.is_synthetic());
+        assert_eq!(doc.units_at(Lod::Subsection).len(), 1);
+    }
+
+    #[test]
+    fn bare_text_without_p() {
+        let doc = extract("<h1>S</h1>just words").unwrap();
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_document() {
+        let doc = extract("").unwrap();
+        assert_eq!(doc.unit_count(), 1);
+    }
+
+    #[test]
+    fn div_breaks_paragraphs() {
+        let doc = extract("<h1>S</h1>first<div>second</div>").unwrap();
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Document model for multi-resolution transmission.
+//!
+//! The multi-resolution transmission paradigm (Leong et al., ICDCS 2000,
+//! §3) partitions a web document into *organizational units* at five
+//! *levels of detail* (LOD): document, section, subsection,
+//! subsubsection and paragraph. This crate provides:
+//!
+//! * [`lod`] — the LOD lattice and its ordering;
+//! * [`mod@unit`] — the organizational-unit tree, unit paths (the `3.2.1`
+//!   labels of the paper's Table 1), and partitioning a document at a
+//!   chosen LOD;
+//! * [`document`] — the document type tying a unit tree to metadata,
+//!   with XML serialization;
+//! * [`xml`] — a dependency-free parser for the XML subset the paper's
+//!   `research-paper` DTD needs (elements, attributes, text, entities,
+//!   comments, CDATA), plus the element→LOD schema mapping;
+//! * [`html`] — structure extraction from HTML heading levels, the
+//!   paper's stated work-in-progress for unstructured documents;
+//! * [`gen`] — the synthetic document generator used by the paper's
+//!   simulation (5 sections × 2 subsections × 2 paragraphs, with a skew
+//!   factor δ controlling how non-uniform paragraph information is).
+//!
+//! # Example
+//!
+//! ```
+//! use mrtweb_docmodel::document::Document;
+//! use mrtweb_docmodel::lod::Lod;
+//!
+//! # fn main() -> Result<(), mrtweb_docmodel::xml::ParseError> {
+//! let doc = Document::parse_xml(
+//!     "<document><title>T</title>\
+//!      <section><title>S1</title><paragraph>alpha beta</paragraph></section>\
+//!      <section><title>S2</title><paragraph>gamma</paragraph></section>\
+//!      </document>",
+//! )?;
+//! assert_eq!(doc.units_at(Lod::Section).len(), 2);
+//! assert_eq!(doc.units_at(Lod::Paragraph).len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod collection;
+pub mod document;
+pub mod gen;
+pub mod html;
+pub mod lod;
+pub mod unit;
+pub mod validate;
+pub mod xml;

@@ -1,0 +1,840 @@
+//! A dependency-free parser for the XML subset structured documents use.
+//!
+//! The paper builds on XML because it "allows the explicit definition of
+//! document structures" (§3): a section LOD is implemented by a
+//! `<section>…</section>` element pair declared in a DTD for the
+//! `research-paper` document type. This module provides:
+//!
+//! * a streaming tokenizer for elements, attributes, character data,
+//!   entity references, comments, CDATA sections, processing
+//!   instructions and DOCTYPE declarations;
+//! * a [`Schema`] mapping element names to document roles (structural
+//!   LOD, title, emphasis), playing the part of the paper's DTD;
+//! * a tree builder producing a normalized [`crate::unit::Unit`]
+//!   tree.
+//!
+//! Validation against a full DTD grammar is intentionally out of scope,
+//! as it is in the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::lod::Lod;
+use crate::unit::{Inline, Unit};
+
+/// Position-annotated parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// 1-based column of the offending input.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The role an element name plays in the document structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Opens an organizational unit at the given LOD.
+    Structural(Lod),
+    /// Supplies the title of the enclosing organizational unit.
+    Title,
+    /// Marks contained text as specially formatted (keyword-qualifying).
+    Emphasis,
+    /// Structure-transparent: text inside flows to the enclosing unit.
+    Transparent,
+}
+
+/// Maps element names to [`Role`]s — the stand-in for the paper's DTD.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_docmodel::xml::{Role, Schema};
+/// use mrtweb_docmodel::lod::Lod;
+///
+/// let schema = Schema::research_paper();
+/// assert_eq!(schema.role("section"), Role::Structural(Lod::Section));
+/// assert_eq!(schema.role("b"), Role::Emphasis);
+/// assert_eq!(schema.role("unknown-tag"), Role::Transparent);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schema {
+    roles: HashMap<String, Role>,
+}
+
+impl Schema {
+    /// An empty schema where every element is transparent.
+    pub fn new() -> Self {
+        Schema { roles: HashMap::new() }
+    }
+
+    /// The default `research-paper` document type: `document`,
+    /// `section`, `subsection`, `subsubsection`, `paragraph` (aliases
+    /// `para`, `p`), `abstract` as a section, `title`, and the usual
+    /// emphasis tags.
+    pub fn research_paper() -> Self {
+        let mut s = Schema::new();
+        s.map("document", Role::Structural(Lod::Document));
+        s.map("section", Role::Structural(Lod::Section));
+        s.map("abstract", Role::Structural(Lod::Section));
+        s.map("subsection", Role::Structural(Lod::Subsection));
+        s.map("subsubsection", Role::Structural(Lod::Subsubsection));
+        s.map("paragraph", Role::Structural(Lod::Paragraph));
+        s.map("para", Role::Structural(Lod::Paragraph));
+        s.map("p", Role::Structural(Lod::Paragraph));
+        s.map("title", Role::Title);
+        for t in ["em", "emph", "i", "it", "b", "bold", "strong"] {
+            s.map(t, Role::Emphasis);
+        }
+        s
+    }
+
+    /// Assigns (or reassigns) a role to an element name.
+    pub fn map(&mut self, name: impl Into<String>, role: Role) -> &mut Self {
+        self.roles.insert(name.into().to_ascii_lowercase(), role);
+        self
+    }
+
+    /// The role for an element name (default [`Role::Transparent`]).
+    pub fn role(&self, name: &str) -> Role {
+        self.roles.get(&name.to_ascii_lowercase()).copied().unwrap_or(Role::Transparent)
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Schema::research_paper()
+    }
+}
+
+/// A parsed tag attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// A low-level markup event emitted by [`Tokenizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v">`; `self_closing` for `<name/>`.
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag was self-closing.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    End {
+        /// Element name.
+        name: String,
+    },
+    /// Decoded character data (text or CDATA).
+    Text(String),
+}
+
+/// Streaming tokenizer over a markup string.
+///
+/// Comments, processing instructions and DOCTYPE declarations are
+/// consumed silently. HTML parsing ([`crate::html`]) reuses this
+/// tokenizer with laxer tree-building rules.
+#[derive(Debug)]
+pub struct Tokenizer<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input: input.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> Result<(), ParseError> {
+        while self.pos < self.input.len() {
+            if self.starts_with(terminator) {
+                self.skip(terminator.len());
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.err(format!("unterminated construct, expected {terminator:?}")))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b':' | b'.') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn decode_entity(&mut self) -> Result<String, ParseError> {
+        // Called with the cursor on '&'.
+        self.bump();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                break;
+            }
+            if self.pos - start > 10 {
+                return Err(self.err("entity reference too long"));
+            }
+            self.bump();
+        }
+        if self.peek() != Some(b';') {
+            return Err(self.err("unterminated entity reference"));
+        }
+        let name = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        self.bump(); // ';'
+        let decoded = match name.as_str() {
+            "amp" => "&".to_owned(),
+            "lt" => "<".to_owned(),
+            "gt" => ">".to_owned(),
+            "apos" => "'".to_owned(),
+            "quot" => "\"".to_owned(),
+            _ => {
+                if let Some(rest) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    let code = u32::from_str_radix(rest, 16)
+                        .map_err(|_| self.err(format!("bad hex character reference &{name};")))?;
+                    char::from_u32(code)
+                        .ok_or_else(|| self.err(format!("invalid code point &{name};")))?
+                        .to_string()
+                } else if let Some(rest) = name.strip_prefix('#') {
+                    let code = rest
+                        .parse::<u32>()
+                        .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                    char::from_u32(code)
+                        .ok_or_else(|| self.err(format!("invalid code point &{name};")))?
+                        .to_string()
+                } else {
+                    return Err(self.err(format!("unknown entity &{name};")));
+                }
+            }
+        };
+        Ok(decoded)
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.bump();
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(String::from_utf8_lossy(&out).into_owned());
+                }
+                Some(b'&') => out.extend_from_slice(self.decode_entity()?.as_bytes()),
+                Some(b) => {
+                    out.push(b);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Returns the next markup event, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on malformed markup.
+    pub fn next_event(&mut self) -> Result<Option<Event>, ParseError> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                if self.starts_with("<!--") {
+                    self.skip(4);
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                if self.starts_with("<![CDATA[") {
+                    self.skip(9);
+                    let start = self.pos;
+                    while self.pos < self.input.len() && !self.starts_with("]]>") {
+                        self.bump();
+                    }
+                    if self.pos >= self.input.len() {
+                        return Err(self.err("unterminated CDATA section"));
+                    }
+                    let text =
+                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.skip(3);
+                    return Ok(Some(Event::Text(text)));
+                }
+                if self.starts_with("<!") {
+                    // DOCTYPE or other declaration: skip to '>'.
+                    self.skip_until(">")?;
+                    continue;
+                }
+                if self.starts_with("<?") {
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                if self.starts_with("</") {
+                    self.skip(2);
+                    self.skip_whitespace();
+                    let name = self.read_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err(format!("malformed end tag </{name}")));
+                    }
+                    self.bump();
+                    return Ok(Some(Event::End { name }));
+                }
+                // Start tag.
+                self.bump(); // '<'
+                let name = self.read_name()?;
+                let mut attrs = Vec::new();
+                loop {
+                    self.skip_whitespace();
+                    match self.peek() {
+                        None => return Err(self.err(format!("unterminated tag <{name}"))),
+                        Some(b'>') => {
+                            self.bump();
+                            return Ok(Some(Event::Start { name, attrs, self_closing: false }));
+                        }
+                        Some(b'/') => {
+                            self.bump();
+                            if self.peek() != Some(b'>') {
+                                return Err(self.err("expected '>' after '/'"));
+                            }
+                            self.bump();
+                            return Ok(Some(Event::Start { name, attrs, self_closing: true }));
+                        }
+                        _ => {
+                            let aname = self.read_name()?;
+                            self.skip_whitespace();
+                            let value = if self.peek() == Some(b'=') {
+                                self.bump();
+                                self.skip_whitespace();
+                                self.read_attr_value()?
+                            } else {
+                                // Boolean attribute (HTML-style).
+                                String::new()
+                            };
+                            attrs.push(Attribute { name: aname, value });
+                        }
+                    }
+                }
+            }
+            // Character data. Accumulate raw bytes and decode once:
+            // UTF-8 continuation bytes can never be '<' or '&', so byte
+            // scanning is safe.
+            let mut out: Vec<u8> = Vec::new();
+            while let Some(b) = self.peek() {
+                if b == b'<' {
+                    break;
+                }
+                if b == b'&' {
+                    out.extend_from_slice(self.decode_entity()?.as_bytes());
+                } else {
+                    out.push(b);
+                    self.bump();
+                }
+            }
+            let out = String::from_utf8_lossy(&out).into_owned();
+            if out.trim().is_empty() {
+                continue;
+            }
+            return Ok(Some(Event::Text(out)));
+        }
+    }
+}
+
+/// Collapses runs of whitespace into single spaces and trims the ends.
+pub fn normalize_whitespace(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Parses an XML document into a normalized unit tree under `schema`.
+///
+/// The root element must map to [`Lod::Document`]; the resulting tree is
+/// [`Unit::normalize`]d so stray paragraphs end up in virtual units.
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed markup, mismatched tags, a non-document
+/// root, trailing content, or an empty input.
+pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseError> {
+    let mut tok = Tokenizer::new(input);
+    // Stack of open structural units plus bookkeeping for title capture
+    // and emphasis depth.
+    let mut stack: Vec<Unit> = Vec::new();
+    let mut open_names: Vec<(String, Role)> = Vec::new();
+    let mut emphasis_depth = 0usize;
+    let mut title_buf: Option<String> = None;
+    let mut root: Option<Unit> = None;
+
+    while let Some(ev) = tok.next_event()? {
+        match ev {
+            Event::Start { name, self_closing, .. } => {
+                if root.is_some() {
+                    return Err(ParseError::new(tok.line, tok.col, "content after document root"));
+                }
+                let role = schema.role(&name);
+                match role {
+                    Role::Structural(lod) => {
+                        if stack.is_empty() && lod != Lod::Document {
+                            return Err(ParseError::new(
+                                tok.line,
+                                tok.col,
+                                format!("root element <{name}> must map to the document LOD"),
+                            ));
+                        }
+                        if title_buf.is_some() {
+                            return Err(ParseError::new(
+                                tok.line,
+                                tok.col,
+                                "structural element inside <title>",
+                            ));
+                        }
+                        let mut unit = Unit::new(lod);
+                        if name.eq_ignore_ascii_case("abstract") {
+                            unit.set_title(Some("Abstract".to_owned()));
+                        }
+                        stack.push(unit);
+                    }
+                    Role::Title => {
+                        if stack.is_empty() {
+                            return Err(ParseError::new(
+                                tok.line,
+                                tok.col,
+                                "<title> outside any structural element",
+                            ));
+                        }
+                        if title_buf.is_some() {
+                            return Err(ParseError::new(tok.line, tok.col, "nested <title>"));
+                        }
+                        title_buf = Some(String::new());
+                    }
+                    Role::Emphasis => emphasis_depth += 1,
+                    Role::Transparent => {}
+                }
+                if self_closing {
+                    // Immediately close what we just opened.
+                    close_element(&role, &mut stack, &mut emphasis_depth, &mut title_buf, &mut root)
+                        .map_err(|m| ParseError::new(tok.line, tok.col, m))?;
+                } else {
+                    open_names.push((name, role));
+                }
+            }
+            Event::End { name } => {
+                let (open_name, role) = open_names.pop().ok_or_else(|| {
+                    ParseError::new(tok.line, tok.col, format!("unexpected </{name}>"))
+                })?;
+                if !open_name.eq_ignore_ascii_case(&name) {
+                    return Err(ParseError::new(
+                        tok.line,
+                        tok.col,
+                        format!("mismatched tags: <{open_name}> closed by </{name}>"),
+                    ));
+                }
+                close_element(&role, &mut stack, &mut emphasis_depth, &mut title_buf, &mut root)
+                    .map_err(|m| ParseError::new(tok.line, tok.col, m))?;
+            }
+            Event::Text(text) => {
+                let text = normalize_whitespace(&text);
+                if text.is_empty() {
+                    continue;
+                }
+                if let Some(buf) = &mut title_buf {
+                    if !buf.is_empty() {
+                        buf.push(' ');
+                    }
+                    buf.push_str(&text);
+                } else if let Some(top) = stack.last_mut() {
+                    let run = if emphasis_depth > 0 {
+                        Inline::emphasized(text)
+                    } else {
+                        Inline::plain(text)
+                    };
+                    top.push_run(run);
+                } else if root.is_some() {
+                    return Err(ParseError::new(tok.line, tok.col, "text after document root"));
+                } else {
+                    return Err(ParseError::new(
+                        tok.line,
+                        tok.col,
+                        "text outside the document root",
+                    ));
+                }
+            }
+        }
+    }
+    if let Some((name, _)) = open_names.last() {
+        return Err(ParseError::new(tok.line, tok.col, format!("unclosed element <{name}>")));
+    }
+    let mut root = root.ok_or_else(|| ParseError::new(tok.line, tok.col, "empty document"))?;
+    root.normalize();
+    Ok(root)
+}
+
+fn close_element(
+    role: &Role,
+    stack: &mut Vec<Unit>,
+    emphasis_depth: &mut usize,
+    title_buf: &mut Option<String>,
+    root: &mut Option<Unit>,
+) -> Result<(), String> {
+    match role {
+        Role::Structural(_) => {
+            let unit = stack.pop().expect("structural close with empty stack");
+            match stack.last_mut() {
+                Some(parent) => parent.push_child(unit),
+                None => *root = Some(unit),
+            }
+        }
+        Role::Title => {
+            let text = title_buf.take().unwrap_or_default();
+            let top = stack.last_mut().expect("title close outside structure");
+            // An <abstract> pre-set title yields to an explicit <title>.
+            top.set_title(Some(text));
+        }
+        Role::Emphasis => {
+            *emphasis_depth = emphasis_depth.saturating_sub(1);
+        }
+        Role::Transparent => {}
+    }
+    Ok(())
+}
+
+/// Escapes `&`, `<`, `>`, `"` and `'` for XML output.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Serializes a unit tree back to XML using the canonical element names.
+pub fn to_xml(unit: &Unit) -> String {
+    let mut out = String::new();
+    write_unit(unit, &mut out);
+    out
+}
+
+fn write_unit(unit: &Unit, out: &mut String) {
+    if unit.is_synthetic() {
+        // Virtual wrappers are a normalization artifact, not source
+        // markup; emitting only their children makes serialization the
+        // exact inverse of parsing (the parser re-synthesizes them).
+        write_runs(unit, out);
+        for child in unit.children() {
+            write_unit(child, out);
+        }
+        return;
+    }
+    let tag = unit.kind().name();
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+    if let Some(t) = unit.title() {
+        out.push_str("<title>");
+        out.push_str(&escape(t));
+        out.push_str("</title>");
+    }
+    write_runs(unit, out);
+    for child in unit.children() {
+        write_unit(child, out);
+    }
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+fn write_runs(unit: &Unit, out: &mut String) {
+    // A space between adjacent runs mirrors `own_text()`; the parser's
+    // whitespace normalization keeps the round trip exact.
+    for (i, run) in unit.runs().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if run.emphasized {
+            out.push_str("<em>");
+            out.push_str(&escape(&run.text));
+            out.push_str("</em>");
+        } else {
+            out.push_str(&escape(&run.text));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Unit {
+        parse_with_schema(s, &Schema::research_paper()).expect("parse failed")
+    }
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<document><title>T</title></document>");
+        assert_eq!(doc.kind(), Lod::Document);
+        assert_eq!(doc.title(), Some("T"));
+        assert!(doc.children().is_empty());
+    }
+
+    #[test]
+    fn nested_structure_with_paragraphs() {
+        let doc = parse(
+            "<document><section><title>S</title>\
+             <subsection><paragraph>hello world</paragraph></subsection>\
+             </section></document>",
+        );
+        assert_eq!(doc.units_at(Lod::Section).len(), 1);
+        assert_eq!(doc.units_at(Lod::Subsection).len(), 1);
+        let paras = doc.units_at(Lod::Paragraph);
+        assert_eq!(paras.len(), 1);
+        assert_eq!(paras[0].unit.own_text(), "hello world");
+    }
+
+    #[test]
+    fn emphasis_marks_runs() {
+        let doc = parse("<document><paragraph>plain <b>bold words</b> tail</paragraph></document>");
+        let paras = doc.units_at(Lod::Paragraph);
+        let runs = paras[0].unit.runs();
+        assert_eq!(runs.len(), 3);
+        assert!(!runs[0].emphasized);
+        assert!(runs[1].emphasized);
+        assert_eq!(runs[1].text, "bold words");
+        assert!(!runs[2].emphasized);
+    }
+
+    #[test]
+    fn entities_decode() {
+        let doc = parse("<document><paragraph>a &amp; b &lt;c&gt; &#65; &#x42;</paragraph></document>");
+        let paras = doc.units_at(Lod::Paragraph);
+        assert_eq!(paras[0].unit.own_text(), "a & b <c> A B");
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let doc = parse("<document><paragraph><![CDATA[x < y && z]]></paragraph></document>");
+        let paras = doc.units_at(Lod::Paragraph);
+        assert_eq!(paras[0].unit.own_text(), "x < y && z");
+    }
+
+    #[test]
+    fn comments_prolog_doctype_skipped() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE document><!-- c -->\
+             <document><!-- inner --><paragraph>t</paragraph></document>",
+        );
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 1);
+    }
+
+    #[test]
+    fn abstract_maps_to_titled_section() {
+        let doc = parse("<document><abstract><paragraph>sum</paragraph></abstract></document>");
+        let secs = doc.units_at(Lod::Section);
+        assert_eq!(secs.len(), 1);
+        assert_eq!(secs[0].unit.title(), Some("Abstract"));
+    }
+
+    #[test]
+    fn stray_paragraph_normalized_into_virtual_units() {
+        let doc = parse("<document><section><paragraph>stray</paragraph></section></document>");
+        let subs = doc.units_at(Lod::Subsection);
+        assert_eq!(subs.len(), 1);
+        assert!(subs[0].unit.is_synthetic());
+    }
+
+    #[test]
+    fn attributes_parse_and_are_tolerated() {
+        let doc = parse(
+            "<document id=\"d1\" lang='en'><paragraph class=\"x&quot;y\">t</paragraph></document>",
+        );
+        assert_eq!(doc.units_at(Lod::Paragraph).len(), 1);
+    }
+
+    #[test]
+    fn self_closing_elements() {
+        let doc = parse("<document><paragraph>a<br/>b</paragraph></document>");
+        let paras = doc.units_at(Lod::Paragraph);
+        assert_eq!(paras[0].unit.own_text(), "a b");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse_with_schema(
+            "<document><section></paragraph></document>",
+            &Schema::research_paper(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_element_error() {
+        let err =
+            parse_with_schema("<document><section>", &Schema::research_paper()).unwrap_err();
+        assert!(err.message.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn unexpected_close_error() {
+        let err = parse_with_schema("</document>", &Schema::research_paper()).unwrap_err();
+        assert!(err.message.contains("unexpected"), "{err}");
+    }
+
+    #[test]
+    fn non_document_root_error() {
+        let err =
+            parse_with_schema("<section>x</section>", &Schema::research_paper()).unwrap_err();
+        assert!(err.message.contains("root element"), "{err}");
+    }
+
+    #[test]
+    fn content_after_root_error() {
+        let err = parse_with_schema(
+            "<document/><document/>",
+            &Schema::research_paper(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("after document root"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_error() {
+        let err = parse_with_schema("  \n ", &Schema::research_paper()).unwrap_err();
+        assert!(err.message.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn unknown_entity_error() {
+        let err = parse_with_schema(
+            "<document><paragraph>&bogus;</paragraph></document>",
+            &Schema::research_paper(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown entity"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse_with_schema(
+            "<document>\n  <section>\n</section",
+            &Schema::research_paper(),
+        )
+        .unwrap_err();
+        assert!(err.line >= 3, "line was {}", err.line);
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = "a<b>&\"'c";
+        let escaped = escape(nasty);
+        let doc = parse(&format!("<document><paragraph>{escaped}</paragraph></document>"));
+        assert_eq!(doc.units_at(Lod::Paragraph)[0].unit.own_text(), nasty);
+    }
+
+    #[test]
+    fn to_xml_parse_round_trip() {
+        let src = "<document><title>T</title><section><title>S</title>\
+                   <subsection><paragraph>one <em>two</em> three</paragraph></subsection>\
+                   </section></document>";
+        let doc = parse(src);
+        let xml = to_xml(&doc);
+        let again = parse(&xml);
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn whitespace_normalization() {
+        assert_eq!(normalize_whitespace("  a \n\t b  "), "a b");
+        assert_eq!(normalize_whitespace("   "), "");
+    }
+
+    #[test]
+    fn schema_custom_mapping() {
+        let mut schema = Schema::research_paper();
+        schema.map("chapter", Role::Structural(Lod::Section));
+        let doc = parse_with_schema(
+            "<document><chapter><paragraph>t</paragraph></chapter></document>",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(doc.units_at(Lod::Section).len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the document model.
+
+use proptest::prelude::*;
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::gen::SyntheticDocSpec;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_docmodel::unit::{Inline, Unit};
+use mrtweb_docmodel::xml::{escape, normalize_whitespace};
+
+/// Strategy producing text safe to compare after whitespace
+/// normalization (non-empty, no leading/trailing/double whitespace).
+fn word() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&'\"]{1,10}"
+}
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(word(), 1..6).prop_map(|ws| ws.join(" "))
+}
+
+fn paragraph() -> impl Strategy<Value = Unit> {
+    proptest::collection::vec((text(), any::<bool>()), 1..4).prop_map(|runs| {
+        let mut p = Unit::new(Lod::Paragraph);
+        for (t, emph) in runs {
+            p.push_run(if emph { Inline::emphasized(t) } else { Inline::plain(t) });
+        }
+        p
+    })
+}
+
+fn subsection() -> impl Strategy<Value = Unit> {
+    (proptest::option::of(text()), proptest::collection::vec(paragraph(), 1..4)).prop_map(
+        |(title, paras)| {
+            let mut s = Unit::new(Lod::Subsection);
+            s.set_title(title);
+            for p in paras {
+                s.push_child(p);
+            }
+            s
+        },
+    )
+}
+
+fn section() -> impl Strategy<Value = Unit> {
+    (proptest::option::of(text()), proptest::collection::vec(subsection(), 1..4)).prop_map(
+        |(title, subs)| {
+            let mut s = Unit::new(Lod::Section);
+            s.set_title(title);
+            for sub in subs {
+                s.push_child(sub);
+            }
+            s
+        },
+    )
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    (proptest::option::of(text()), proptest::collection::vec(section(), 1..5)).prop_map(
+        |(title, sections)| {
+            let mut root = Unit::new(Lod::Document);
+            root.set_title(title);
+            for s in sections {
+                root.push_child(s);
+            }
+            Document::from_root(root)
+        },
+    )
+}
+
+proptest! {
+    /// Serializing and re-parsing any structured document is lossless.
+    #[test]
+    fn xml_round_trip(doc in document()) {
+        let xml = doc.to_xml();
+        let again = Document::parse_xml(&xml).expect("serialized XML must re-parse");
+        prop_assert_eq!(doc, again);
+    }
+
+    /// Escaping always produces re-parseable text content.
+    #[test]
+    fn escape_any_text(t in "\\PC{0,64}") {
+        let xml = format!("<document><paragraph>{}</paragraph></document>", escape(&t));
+        let doc = Document::parse_xml(&xml).expect("escaped text must parse");
+        let normalized = normalize_whitespace(&t);
+        if normalized.is_empty() {
+            prop_assert!(doc.units_at(Lod::Paragraph).is_empty()
+                || doc.units_at(Lod::Paragraph)[0].unit.own_text().is_empty());
+        } else {
+            prop_assert_eq!(doc.units_at(Lod::Paragraph)[0].unit.own_text(), normalized);
+        }
+    }
+
+    /// content_len is additive over children plus local bytes.
+    #[test]
+    fn content_len_additive(doc in document()) {
+        fn check(u: &Unit) -> usize {
+            let own = u.title().map_or(0, str::len)
+                + u.runs().iter().map(|r| r.text.len()).sum::<usize>();
+            let children: usize = u.children().iter().map(check).sum();
+            assert_eq!(u.content_len(), own + children);
+            u.content_len()
+        }
+        check(doc.root());
+    }
+
+    /// Partitions at any LOD cover every paragraph exactly once.
+    #[test]
+    fn partitions_are_disjoint_covers(doc in document(), lod_idx in 0usize..5) {
+        let lod = Lod::ALL[lod_idx];
+        let parts = doc.partition_at(lod);
+        let all_paras = doc.units_at(Lod::Paragraph).len();
+        let covered: usize = parts
+            .iter()
+            .map(|r| {
+                if r.unit.kind() < lod && !r.unit.children().is_empty() {
+                    // Interior node emitted for its own title/runs only.
+                    0
+                } else {
+                    r.unit.units_at(Lod::Paragraph).len()
+                }
+            })
+            .sum();
+        prop_assert_eq!(covered, all_paras);
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(doc in document()) {
+        let mut once = doc.root().clone();
+        once.normalize();
+        let mut twice = once.clone();
+        twice.normalize();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The synthetic generator always produces the requested shape and
+    /// normalized weights, for any dimensions.
+    #[test]
+    fn generator_shape(
+        sections in 1usize..6,
+        subsections in 1usize..4,
+        paragraphs in 1usize..4,
+        skew in 1.0f64..6.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = SyntheticDocSpec {
+            sections,
+            subsections_per_section: subsections,
+            paragraphs_per_subsection: paragraphs,
+            target_bytes: 2000,
+            skew,
+            keyword_budget: 50,
+        };
+        let g = spec.generate(seed);
+        prop_assert_eq!(g.document.units_at(Lod::Section).len(), sections);
+        prop_assert_eq!(g.document.units_at(Lod::Paragraph).len(), spec.paragraph_count());
+        let sum: f64 = g.paragraph_weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

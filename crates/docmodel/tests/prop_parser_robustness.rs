@@ -1,0 +1,87 @@
+//! Parser robustness: arbitrary input never panics the tokenizer, the
+//! XML tree builder, or the HTML extractor — they either succeed or
+//! return a positioned error.
+
+use proptest::prelude::*;
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::html::extract;
+use mrtweb_docmodel::xml::Tokenizer;
+
+proptest! {
+    /// The tokenizer consumes any string without panicking.
+    #[test]
+    fn tokenizer_never_panics(input in "\\PC{0,300}") {
+        let mut tok = Tokenizer::new(&input);
+        // Drain until end or error; both are acceptable outcomes.
+        for _ in 0..2000 {
+            match tok.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Markup-dense random input never panics the XML parser.
+    #[test]
+    fn xml_parser_never_panics(
+        input in proptest::collection::vec(
+            prop_oneof![
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("</".to_string()),
+                Just("/>".to_string()),
+                Just("<document>".to_string()),
+                Just("</document>".to_string()),
+                Just("<section>".to_string()),
+                Just("</section>".to_string()),
+                Just("<paragraph>".to_string()),
+                Just("</paragraph>".to_string()),
+                Just("<title>".to_string()),
+                Just("</title>".to_string()),
+                Just("&amp;".to_string()),
+                Just("&".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                "[a-z ]{1,12}".prop_map(|s| s),
+            ],
+            0..30,
+        )
+    ) {
+        let text: String = input.concat();
+        let _ = Document::parse_xml(&text);
+    }
+
+    /// The HTML extractor tolerates arbitrary tag soup.
+    #[test]
+    fn html_extractor_never_panics(
+        input in proptest::collection::vec(
+            prop_oneof![
+                Just("<p>".to_string()),
+                Just("</p>".to_string()),
+                Just("<h1>".to_string()),
+                Just("</h1>".to_string()),
+                Just("<h3>".to_string()),
+                Just("</h9>".to_string()),
+                Just("<b>".to_string()),
+                Just("</b>".to_string()),
+                Just("<script>".to_string()),
+                Just("</script>".to_string()),
+                Just("<div>".to_string()),
+                Just("<br/>".to_string()),
+                "[a-zA-Z .,]{1,16}".prop_map(|s| s),
+            ],
+            0..40,
+        )
+    ) {
+        let text: String = input.concat();
+        // Tag soup must either extract or error; never panic. A
+        // successfully extracted document is always well-formed.
+        if let Ok(doc) = extract(&text) {
+            let _ = doc.to_xml();
+            let _ = doc.unit_count();
+        }
+    }
+}

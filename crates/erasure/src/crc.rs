@@ -1,0 +1,170 @@
+//! Cyclic redundancy checks for packet corruption detection.
+//!
+//! The paper adopts CRC for per-packet error detection because of its
+//! "low computational cost and high error coverage" (§4.1). The wire
+//! framing in [`crate::packet`] uses CRC-16/CCITT so that the total
+//! per-packet overhead (2-byte sequence number + 2-byte CRC) matches the
+//! 4-byte overhead `O` of the paper's Table 2. CRC-32/IEEE is provided
+//! as a stronger alternative for whole-document integrity checks.
+
+/// Table-driven CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+/// Computes the CRC-32/IEEE checksum of `data`.
+///
+/// # Example
+///
+/// ```
+/// // The canonical CRC-32 check value.
+/// assert_eq!(mrtweb_erasure::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32 hasher for streaming use.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_erasure::crc::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finish(), mrtweb_erasure::crc::crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = CRC32_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Returns the final checksum without consuming the hasher.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// Table-driven CRC-16/CCITT-FALSE (polynomial `0x1021`, init `0xFFFF`).
+const fn build_crc16_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = (i as u16) << 8;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 0x8000 != 0 { (c << 1) ^ 0x1021 } else { c << 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC16_TABLE: [u16; 256] = build_crc16_table();
+
+/// Computes the CRC-16/CCITT-FALSE checksum of `data`.
+///
+/// # Example
+///
+/// ```
+/// // The canonical CRC-16/CCITT-FALSE check value.
+/// assert_eq!(mrtweb_erasure::crc::crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut c = 0xFFFFu16;
+    for &b in data {
+        c = CRC16_TABLE[((c >> 8) ^ b as u16) as usize & 0xFF] ^ (c << 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc16_known_vectors() {
+        assert_eq!(crc16(b""), 0xFFFF);
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b"A"), 0xB915);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 17, 500, 999, 1000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected() {
+        let data = b"a representative cooked packet payload".to_vec();
+        let base16 = crc16(&data);
+        let base32 = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc16(&corrupted), base16, "crc16 missed flip {byte}:{bit}");
+                assert_ne!(crc32(&corrupted), base32, "crc32 missed flip {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(Crc32::default().finish(), Crc32::new().finish());
+    }
+}

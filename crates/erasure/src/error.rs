@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the erasure-coding layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested code parameters are not representable.
+    ///
+    /// GF(2⁸) supports at most 256 distinct evaluation points, so the
+    /// number of cooked packets `N` must satisfy `M ≤ N ≤ 256` with
+    /// `M ≥ 1`.
+    InvalidParameters {
+        /// Number of raw packets requested.
+        raw: usize,
+        /// Number of cooked packets requested.
+        cooked: usize,
+    },
+    /// A packet size of zero was requested.
+    ZeroPacketSize,
+    /// Fewer than `M` distinct intact packets were supplied to `decode`.
+    NotEnoughPackets {
+        /// Packets that were supplied.
+        have: usize,
+        /// Packets that are required (`M`).
+        need: usize,
+    },
+    /// A supplied packet index is out of range or duplicated.
+    BadPacketIndex(usize),
+    /// A supplied packet payload has the wrong length.
+    BadPacketLength {
+        /// Observed payload length.
+        got: usize,
+        /// Length the codec was configured with.
+        want: usize,
+    },
+    /// The requested output length exceeds the total coded capacity.
+    LengthOverflow {
+        /// Requested number of bytes.
+        requested: usize,
+        /// Maximum representable (`M × packet_size`).
+        capacity: usize,
+    },
+    /// A wire frame failed to parse (truncated or CRC mismatch).
+    MalformedFrame(&'static str),
+    /// A probability parameter was outside `(0, 1)`.
+    BadProbability(f64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameters { raw, cooked } => write!(
+                f,
+                "invalid code parameters: raw={raw}, cooked={cooked} (need 1 <= raw <= cooked <= 256)"
+            ),
+            Error::ZeroPacketSize => write!(f, "packet size must be nonzero"),
+            Error::NotEnoughPackets { have, need } => {
+                write!(f, "not enough intact packets to decode: have {have}, need {need}")
+            }
+            Error::BadPacketIndex(i) => write!(f, "packet index {i} out of range or duplicated"),
+            Error::BadPacketLength { got, want } => {
+                write!(f, "packet payload length {got} does not match configured size {want}")
+            }
+            Error::LengthOverflow { requested, capacity } => {
+                write!(f, "requested length {requested} exceeds coded capacity {capacity}")
+            }
+            Error::MalformedFrame(why) => write!(f, "malformed frame: {why}"),
+            Error::BadProbability(p) => write!(f, "probability {p} outside the open interval (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,401 @@
+//! Arithmetic over the finite field GF(2⁸).
+//!
+//! All information-dispersal operations run over GF(2⁸) with the
+//! primitive polynomial `x⁸ + x⁴ + x³ + x² + 1` (`0x11d`), the same field
+//! used by Reed–Solomon codes. Multiplication and division are
+//! table-driven: discrete logarithm and exponential tables are computed
+//! at compile time from the generator element `2`.
+//!
+//! [`Gf256`] is a transparent newtype over `u8`; addition is XOR, so the
+//! field has characteristic 2 and every element is its own additive
+//! inverse.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The reduction polynomial `x⁸ + x⁴ + x³ + x² + 1` (high bit implied).
+pub const POLY: u16 = 0x11d;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so `exp[log a + log b]` never needs a modulo.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+
+/// `EXP[i] = g^i` for the generator `g = 2`, doubled to length 512.
+pub(crate) const EXP: [u8; 512] = TABLES.0;
+
+/// `LOG[a] = log_g a` for `a != 0`; `LOG[0]` is unused and zero.
+pub(crate) const LOG: [u8; 256] = TABLES.1;
+
+/// An element of GF(2⁸).
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_erasure::gf256::Gf256;
+///
+/// let a = Gf256::new(0x53);
+/// let b = Gf256::new(0xca);
+/// assert_eq!((a * b) / b, a);
+/// assert_eq!(a + a, Gf256::ZERO); // characteristic 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator element used for the log/exp tables.
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a raw byte as a field element.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The generator raised to the power `i` (taken mod 255).
+    #[inline]
+    pub fn exp(i: usize) -> Self {
+        Gf256(EXP[i % 255])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero, which has no inverse.
+    #[inline]
+    pub fn inverse(self) -> Self {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse in GF(256)");
+        Gf256(EXP[255 - LOG[self.0 as usize] as usize])
+    }
+
+    /// Raises `self` to the power `n`.
+    ///
+    /// `pow(0)` is [`Gf256::ONE`] for every element, including zero, which
+    /// matches the empty-product convention used by Vandermonde matrices.
+    pub fn pow(self, n: usize) -> Self {
+        if n == 0 {
+            return Gf256::ONE;
+        }
+        if self.is_zero() {
+            return Gf256::ZERO;
+        }
+        let e = (LOG[self.0 as usize] as usize * n) % 255;
+        Gf256(EXP[e])
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    // Addition in GF(2^8) *is* XOR; clippy's suspicion is unwarranted here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Subtraction coincides with addition in characteristic 2.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        assert!(!rhs.is_zero(), "division by zero in GF(256)");
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        Gf256(EXP[255 + LOG[self.0 as usize] as usize - LOG[rhs.0 as usize] as usize])
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+/// Multiplies `src` by the scalar `c` and XOR-accumulates into `dst`.
+///
+/// This is the inner loop of both encoding and decoding:
+/// `dst[i] += c * src[i]` over GF(2⁸). Slices must have equal length.
+///
+/// # Panics
+///
+/// Panics if `dst` and `src` have different lengths.
+#[inline]
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_acc requires equal-length slices");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf256::ONE {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> impl Iterator<Item = Gf256> {
+        (0u16..256).map(|v| Gf256(v as u8))
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        for a in all() {
+            assert_eq!(a + a, Gf256::ZERO);
+            assert_eq!(a + Gf256::ZERO, a);
+            assert_eq!(-a, a);
+            assert_eq!(a - a, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplicative_identity_and_zero() {
+        for a in all() {
+            assert_eq!(a * Gf256::ONE, a);
+            assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for a in all().skip(1) {
+            assert_eq!(a * a.inverse(), Gf256::ONE, "inverse failed for {a}");
+            assert_eq!(a / a, Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_spot() {
+        // Full O(n^3) associativity is expensive; check a dense sample.
+        for a in all().step_by(7) {
+            for b in all().step_by(11) {
+                assert_eq!(a * b, b * a);
+                for c in all().step_by(31) {
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_spot() {
+        for a in all().step_by(5) {
+            for b in all().step_by(13) {
+                for c in all().step_by(17) {
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "generator order < 255");
+            seen[x.0 as usize] = true;
+            x *= Gf256::GENERATOR;
+        }
+        assert_eq!(x, Gf256::ONE, "generator order != 255");
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in all().step_by(3) {
+            let mut acc = Gf256::ONE;
+            for n in 0..20 {
+                assert_eq!(a.pow(n), acc, "pow mismatch for {a}^{n}");
+                acc *= a;
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_conventions() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn exp_wraps_modulo_255() {
+        assert_eq!(Gf256::exp(0), Gf256::ONE);
+        assert_eq!(Gf256::exp(255), Gf256::ONE);
+        assert_eq!(Gf256::exp(256), Gf256::GENERATOR);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_loop() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        for c in [0u8, 1, 2, 0x1d, 0xff] {
+            let mut dst = vec![0xa5u8; 64];
+            let mut expect = dst.clone();
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= (Gf256(c) * Gf256(*s)).0;
+            }
+            mul_acc(&mut dst, &src, Gf256(c));
+            assert_eq!(dst, expect, "mul_acc mismatch for c={c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = Gf256::ZERO.inverse();
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+}

@@ -1,0 +1,519 @@
+//! Systematic information dispersal (Rabin IDA with a Vandermonde twist).
+//!
+//! Rabin's Information Dispersal Algorithm splits a file into `M` *raw*
+//! packets and disperses them into `N ≥ M` *cooked* packets such that any
+//! `M` cooked packets reconstruct the file. The paper modifies the
+//! dispersal matrix — a Vandermonde matrix brought to *systematic* form
+//! by elementary column operations — so that the first `M` cooked packets
+//! are the raw packets verbatim ("clear text"). A mobile client can
+//! therefore render the leading portion of a document the moment those
+//! packets arrive, without waiting for `M` packets to invert a matrix.
+//!
+//! [`Codec`] is configured once per `(M, N, packet size)` triple: the
+//! systematic generator matrix is computed eagerly and reused across
+//! documents, which is how a server would amortize the cost.
+
+use crate::gf256::{mul_acc, Gf256};
+use crate::matrix::Matrix;
+use crate::Error;
+
+/// A configured `(M, N)` information-dispersal codec.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_erasure::ida::Codec;
+///
+/// # fn main() -> Result<(), mrtweb_erasure::Error> {
+/// let codec = Codec::new(3, 5, 8)?;
+/// let data = b"hello weak connection!".to_vec();
+/// let cooked = codec.encode(&data);
+/// assert_eq!(cooked.len(), 5);
+/// // First M cooked packets are the raw data in clear text:
+/// assert_eq!(&cooked[0][..8], &data[..8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Codec {
+    raw: usize,
+    cooked: usize,
+    packet_size: usize,
+    generator: Matrix,
+}
+
+impl Codec {
+    /// Creates a codec for `raw` (`M`) input packets, `cooked` (`N`)
+    /// output packets of `packet_size` bytes each.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameters`] unless `1 ≤ raw ≤ cooked ≤ 256`.
+    /// * [`Error::ZeroPacketSize`] if `packet_size` is zero.
+    pub fn new(raw: usize, cooked: usize, packet_size: usize) -> Result<Self, Error> {
+        if raw == 0 || cooked < raw || cooked > 256 {
+            return Err(Error::InvalidParameters { raw, cooked });
+        }
+        if packet_size == 0 {
+            return Err(Error::ZeroPacketSize);
+        }
+        let generator = Matrix::vandermonde(cooked, raw)?.into_systematic()?;
+        debug_assert!(generator.is_systematic());
+        Ok(Codec { raw, cooked, packet_size, generator })
+    }
+
+    /// Number of raw packets `M`.
+    pub fn raw_packets(&self) -> usize {
+        self.raw
+    }
+
+    /// Number of cooked packets `N`.
+    pub fn cooked_packets(&self) -> usize {
+        self.cooked
+    }
+
+    /// Payload size of each packet in bytes.
+    pub fn packet_size(&self) -> usize {
+        self.packet_size
+    }
+
+    /// Redundancy ratio `γ = N / M`.
+    pub fn redundancy_ratio(&self) -> f64 {
+        self.cooked as f64 / self.raw as f64
+    }
+
+    /// Maximum number of data bytes one encode call can carry.
+    pub fn capacity(&self) -> usize {
+        self.raw * self.packet_size
+    }
+
+    /// Splits `data` into `M` zero-padded raw packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() > self.capacity()`; use [`Codec::capacity`]
+    /// (or a chunking layer) to size inputs.
+    pub fn split(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        assert!(
+            data.len() <= self.capacity(),
+            "data ({} bytes) exceeds codec capacity ({} bytes)",
+            data.len(),
+            self.capacity()
+        );
+        (0..self.raw)
+            .map(|i| {
+                let start = (i * self.packet_size).min(data.len());
+                let end = ((i + 1) * self.packet_size).min(data.len());
+                let mut p = data[start..end].to_vec();
+                p.resize(self.packet_size, 0);
+                p
+            })
+            .collect()
+    }
+
+    /// Encodes `data` into `N` cooked packets.
+    ///
+    /// The first `M` packets equal the (padded) raw packets; the trailing
+    /// `N − M` packets carry redundancy. Cooked packet `i` is
+    /// `Σ_j G[i][j] · raw_j` over GF(2⁸).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() > self.capacity()`.
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let raws = self.split(data);
+        self.encode_packets(&raws)
+    }
+
+    /// Encodes pre-split raw packets (each exactly `packet_size` bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or size of raw packets does not match the
+    /// codec configuration.
+    pub fn encode_packets(&self, raws: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(raws.len(), self.raw, "expected {} raw packets", self.raw);
+        for (i, r) in raws.iter().enumerate() {
+            assert_eq!(r.len(), self.packet_size, "raw packet {i} has wrong size");
+        }
+        let mut out = Vec::with_capacity(self.cooked);
+        // Clear-text prefix: systematic rows are the identity, so copy.
+        for r in raws.iter().take(self.raw) {
+            out.push(r.clone());
+        }
+        for i in self.raw..self.cooked {
+            let mut p = vec![0u8; self.packet_size];
+            for (j, r) in raws.iter().enumerate() {
+                mul_acc(&mut p, r, self.generator.get(i, j));
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// Encodes only the single cooked packet with index `index`.
+    ///
+    /// Useful for selective retransmission, where the server regenerates
+    /// exactly the packets a client is missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ N` or the raw packets do not match the
+    /// configuration.
+    pub fn encode_one(&self, raws: &[Vec<u8>], index: usize) -> Vec<u8> {
+        assert!(index < self.cooked, "cooked index {index} out of range");
+        assert_eq!(raws.len(), self.raw, "expected {} raw packets", self.raw);
+        if index < self.raw {
+            return raws[index].clone();
+        }
+        let mut p = vec![0u8; self.packet_size];
+        for (j, r) in raws.iter().enumerate() {
+            mul_acc(&mut p, r, self.generator.get(index, j));
+        }
+        p
+    }
+
+    /// Reconstructs the original `len` bytes from any `M` intact cooked
+    /// packets, supplied as `(cooked index, payload)` pairs.
+    ///
+    /// Extra packets beyond `M` are ignored (the first `M` distinct
+    /// indices are used). If the supplied packets happen to be exactly
+    /// the clear-text prefix, no matrix inversion is performed.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotEnoughPackets`] if fewer than `M` distinct indices
+    ///   are supplied.
+    /// * [`Error::BadPacketIndex`] for an index `≥ N`.
+    /// * [`Error::BadPacketLength`] if a payload is not `packet_size`
+    ///   bytes.
+    /// * [`Error::LengthOverflow`] if `len > capacity()`.
+    pub fn decode(&self, packets: &[(usize, Vec<u8>)], len: usize) -> Result<Vec<u8>, Error> {
+        if len > self.capacity() {
+            return Err(Error::LengthOverflow { requested: len, capacity: self.capacity() });
+        }
+        // Deduplicate, validate, and take the first M distinct indices.
+        let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.raw);
+        let mut seen = vec![false; self.cooked];
+        for (idx, payload) in packets {
+            if *idx >= self.cooked {
+                return Err(Error::BadPacketIndex(*idx));
+            }
+            if payload.len() != self.packet_size {
+                return Err(Error::BadPacketLength { got: payload.len(), want: self.packet_size });
+            }
+            if seen[*idx] {
+                continue;
+            }
+            seen[*idx] = true;
+            chosen.push((*idx, payload.as_slice()));
+            if chosen.len() == self.raw {
+                break;
+            }
+        }
+        if chosen.len() < self.raw {
+            return Err(Error::NotEnoughPackets { have: chosen.len(), need: self.raw });
+        }
+
+        let all_clear = chosen.iter().all(|(i, _)| *i < self.raw);
+        let mut raws: Vec<Vec<u8>> = vec![vec![0u8; self.packet_size]; self.raw];
+        if all_clear {
+            for (i, payload) in &chosen {
+                raws[*i] = payload.to_vec();
+            }
+        } else {
+            let indices: Vec<usize> = chosen.iter().map(|(i, _)| *i).collect();
+            let sub = self.generator.select_rows(&indices);
+            let inv = sub.inverse()?;
+            for (r, raw) in raws.iter_mut().enumerate() {
+                for (k, (_, payload)) in chosen.iter().enumerate() {
+                    mul_acc(raw, payload, inv.get(r, k));
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(len);
+        for raw in &raws {
+            if out.len() + self.packet_size <= len {
+                out.extend_from_slice(raw);
+            } else {
+                out.extend_from_slice(&raw[..len - out.len()]);
+                break;
+            }
+        }
+        out.resize(len, 0);
+        Ok(out)
+    }
+
+    /// Returns the generator row for cooked packet `index` — the GF(2⁸)
+    /// coefficients combining the raw packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ N`.
+    pub fn coefficients(&self, index: usize) -> &[Gf256] {
+        self.generator.row(index)
+    }
+}
+
+/// Encodes data of arbitrary length by chunking into consecutive
+/// [`Codec`]-sized groups.
+///
+/// GF(2⁸) limits a single dispersal group to 256 cooked packets; real
+/// documents larger than `M × packet_size` are simply encoded as a
+/// sequence of groups, each independently recoverable. This mirrors how
+/// the paper's transmitter would page a large document through the
+/// dispersal stage.
+#[derive(Debug, Clone)]
+pub struct ChunkedCodec {
+    codec: Codec,
+}
+
+/// Received packets of one group: `(group index, (cooked index, payload) pairs, group byte length)`.
+pub type GroupPackets = (usize, Vec<(usize, Vec<u8>)>, usize);
+
+/// One encoded group produced by [`ChunkedCodec::encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Index of this group within the document.
+    pub index: usize,
+    /// Number of document bytes carried by this group (≤ capacity).
+    pub len: usize,
+    /// The `N` cooked payloads.
+    pub cooked: Vec<Vec<u8>>,
+}
+
+impl ChunkedCodec {
+    /// Wraps a [`Codec`] for multi-group use.
+    pub fn new(codec: Codec) -> Self {
+        ChunkedCodec { codec }
+    }
+
+    /// Access to the underlying per-group codec.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
+    }
+
+    /// Encodes `data` into consecutive groups.
+    pub fn encode(&self, data: &[u8]) -> Vec<Group> {
+        let cap = self.codec.capacity();
+        if data.is_empty() {
+            return vec![Group { index: 0, len: 0, cooked: self.codec.encode(&[]) }];
+        }
+        data.chunks(cap)
+            .enumerate()
+            .map(|(index, chunk)| Group {
+                index,
+                len: chunk.len(),
+                cooked: self.codec.encode(chunk),
+            })
+            .collect()
+    }
+
+    /// Decodes groups back into the original byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Codec::decode`] errors for the failing group.
+    pub fn decode(&self, groups: &[GroupPackets]) -> Result<Vec<u8>, Error> {
+        let mut sorted: Vec<_> = groups.iter().collect();
+        sorted.sort_by_key(|(gi, _, _)| *gi);
+        let mut out = Vec::new();
+        for (_, packets, len) in sorted {
+            out.extend(self.codec.decode(packets, *len)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn round_trip_all_clear() {
+        let codec = Codec::new(4, 6, 16).unwrap();
+        let data = sample(60);
+        let cooked = codec.encode(&data);
+        let packets: Vec<_> = cooked.iter().take(4).cloned().enumerate().collect();
+        assert_eq!(codec.decode(&packets, 60).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_redundancy_only_survivors() {
+        // Worst case: every clear-text packet lost, only redundancy and
+        // exactly M survivors remain.
+        let codec = Codec::new(3, 6, 8).unwrap();
+        let data = sample(20);
+        let cooked = codec.encode(&data);
+        let packets: Vec<_> = cooked.iter().enumerate().skip(3).map(|(i, p)| (i, p.clone())).collect();
+        assert_eq!(codec.decode(&packets, 20).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_mixed_survivors_out_of_order() {
+        let codec = Codec::new(4, 8, 8).unwrap();
+        let data = sample(30);
+        let cooked = codec.encode(&data);
+        let packets = vec![
+            (7, cooked[7].clone()),
+            (1, cooked[1].clone()),
+            (5, cooked[5].clone()),
+            (2, cooked[2].clone()),
+        ];
+        assert_eq!(codec.decode(&packets, 30).unwrap(), data);
+    }
+
+    #[test]
+    fn clear_text_prefix_matches_raw() {
+        let codec = Codec::new(5, 9, 10).unwrap();
+        let data = sample(47);
+        let cooked = codec.encode(&data);
+        let raws = codec.split(&data);
+        for i in 0..5 {
+            assert_eq!(cooked[i], raws[i], "clear packet {i} differs from raw");
+        }
+    }
+
+    #[test]
+    fn duplicate_indices_are_ignored() {
+        let codec = Codec::new(3, 5, 4).unwrap();
+        let data = sample(12);
+        let cooked = codec.encode(&data);
+        let packets = vec![
+            (0, cooked[0].clone()),
+            (0, cooked[0].clone()),
+            (1, cooked[1].clone()),
+            (4, cooked[4].clone()),
+        ];
+        assert_eq!(codec.decode(&packets, 12).unwrap(), data);
+    }
+
+    #[test]
+    fn too_few_packets_errors() {
+        let codec = Codec::new(3, 5, 4).unwrap();
+        let data = sample(12);
+        let cooked = codec.encode(&data);
+        let packets = vec![(0, cooked[0].clone()), (1, cooked[1].clone())];
+        assert_eq!(
+            codec.decode(&packets, 12),
+            Err(Error::NotEnoughPackets { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_index_errors() {
+        let codec = Codec::new(2, 3, 4).unwrap();
+        let packets = vec![(0, vec![0; 4]), (9, vec![0; 4])];
+        assert_eq!(codec.decode(&packets, 4), Err(Error::BadPacketIndex(9)));
+    }
+
+    #[test]
+    fn bad_length_errors() {
+        let codec = Codec::new(2, 3, 4).unwrap();
+        let packets = vec![(0, vec![0; 4]), (1, vec![0; 3])];
+        assert_eq!(
+            codec.decode(&packets, 4),
+            Err(Error::BadPacketLength { got: 3, want: 4 })
+        );
+    }
+
+    #[test]
+    fn length_overflow_errors() {
+        let codec = Codec::new(2, 3, 4).unwrap();
+        let packets = vec![(0, vec![0; 4]), (1, vec![0; 4])];
+        assert_eq!(
+            codec.decode(&packets, 100),
+            Err(Error::LengthOverflow { requested: 100, capacity: 8 })
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Codec::new(0, 1, 4).is_err());
+        assert!(Codec::new(4, 3, 4).is_err());
+        assert!(Codec::new(4, 257, 4).is_err());
+        assert!(Codec::new(4, 8, 0).is_err());
+        assert!(Codec::new(1, 1, 1).is_ok());
+        assert!(Codec::new(256, 256, 1).is_ok());
+    }
+
+    #[test]
+    fn degenerate_single_packet_code() {
+        let codec = Codec::new(1, 3, 8).unwrap();
+        let data = sample(5);
+        let cooked = codec.encode(&data);
+        for (i, payload) in cooked.iter().enumerate() {
+            let restored = codec.decode(&[(i, payload.clone())], 5).unwrap();
+            assert_eq!(restored, data, "failed via cooked packet {i}");
+        }
+    }
+
+    #[test]
+    fn encode_one_matches_full_encode() {
+        let codec = Codec::new(4, 9, 8).unwrap();
+        let data = sample(32);
+        let raws = codec.split(&data);
+        let cooked = codec.encode(&data);
+        for (i, expect) in cooked.iter().enumerate() {
+            assert_eq!(&codec.encode_one(&raws, i), expect, "cooked {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn empty_data_round_trips() {
+        let codec = Codec::new(2, 4, 4).unwrap();
+        let cooked = codec.encode(&[]);
+        let packets = vec![(2, cooked[2].clone()), (3, cooked[3].clone())];
+        assert_eq!(codec.decode(&packets, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn paper_scale_parameters() {
+        // Table 2: M = 40, N = 60, 256-byte packets, 10240-byte document.
+        let codec = Codec::new(40, 60, 256).unwrap();
+        assert_eq!(codec.capacity(), 10240);
+        let data = sample(10240);
+        let cooked = codec.encode(&data);
+        assert_eq!(cooked.len(), 60);
+        // Drop 20 arbitrary packets (indices ≡ 0 mod 3).
+        let packets: Vec<_> = cooked
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .collect();
+        assert!(packets.len() >= 40);
+        assert_eq!(codec.decode(&packets, 10240).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let codec = Codec::new(4, 6, 8).unwrap();
+        let chunked = ChunkedCodec::new(codec);
+        let data = sample(100); // capacity 32 -> 4 groups (32+32+32+4)
+        let groups = chunked.encode(&data);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[3].len, 4);
+        let recovered: Vec<_> = groups
+            .iter()
+            .map(|g| {
+                // keep packets 1..5 of each group (drop 0 and 5)
+                let pk: Vec<_> = g.cooked.iter().cloned().enumerate().skip(1).take(4).collect();
+                (g.index, pk, g.len)
+            })
+            .collect();
+        assert_eq!(chunked.decode(&recovered).unwrap(), data);
+    }
+
+    #[test]
+    fn chunked_empty_input() {
+        let chunked = ChunkedCodec::new(Codec::new(2, 3, 4).unwrap());
+        let groups = chunked.encode(&[]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Incremental decoding: spread the reconstruction cost over arrivals.
+//!
+//! The batch decoder in [`crate::ida`] inverts an `M × M` matrix once
+//! `M` intact packets are on hand. A mobile client would rather do a
+//! little work per packet than a burst at the end — especially since
+//! the systematic prefix means most coefficients reduce trivially.
+//! [`IncrementalDecoder`] performs online Gauss–Jordan elimination:
+//! each arriving cooked packet is reduced against the rows already
+//! held; the moment rank `M` is reached, the raw packets are available
+//! with only a back-substitution left (already folded into the forward
+//! pass, so completion is O(1) beyond the final packet's reduction).
+//!
+//! The decoder also reports *which* raw packets are already pinned down
+//! (their row is a unit vector), so clear-text bytes render progressively
+//! even when some redundancy has been mixed in.
+
+use crate::gf256::{mul_acc, Gf256};
+use crate::ida::Codec;
+use crate::Error;
+
+/// Online decoder for one dispersal group.
+#[derive(Debug, Clone)]
+pub struct IncrementalDecoder {
+    m: usize,
+    packet_size: usize,
+    /// Reduced coefficient rows (each length M) with their payloads;
+    /// row `i`, when present, has its pivot at column `i`.
+    rows: Vec<Option<(Vec<Gf256>, Vec<u8>)>>,
+    rank: usize,
+}
+
+impl IncrementalDecoder {
+    /// Creates a decoder for the codec's geometry.
+    pub fn new(codec: &Codec) -> Self {
+        IncrementalDecoder {
+            m: codec.raw_packets(),
+            packet_size: codec.packet_size(),
+            rows: (0..codec.raw_packets()).map(|_| None).collect(),
+            rank: 0,
+        }
+    }
+
+    /// Number of linearly independent packets absorbed so far.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Whether the group is fully decodable.
+    pub fn is_complete(&self) -> bool {
+        self.rank == self.m
+    }
+
+    /// Feeds one intact cooked packet (`index`, `payload`); the
+    /// coefficients come from the codec's generator row.
+    ///
+    /// Returns `true` if the packet increased the rank (duplicates and
+    /// linear combinations of already-held packets return `false`).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BadPacketIndex`] if `index` exceeds the codec's `N`.
+    /// * [`Error::BadPacketLength`] if the payload size is wrong.
+    pub fn absorb(&mut self, codec: &Codec, index: usize, payload: &[u8]) -> Result<bool, Error> {
+        if index >= codec.cooked_packets() {
+            return Err(Error::BadPacketIndex(index));
+        }
+        if payload.len() != self.packet_size {
+            return Err(Error::BadPacketLength { got: payload.len(), want: self.packet_size });
+        }
+        let mut coeffs: Vec<Gf256> = codec.coefficients(index).to_vec();
+        let mut data = payload.to_vec();
+
+        // Phase 1: reduce the incoming row against every held pivot.
+        // Stored rows are kept fully reduced (unit at their pivot, zero
+        // at every other pivot column), so one sweep suffices.
+        for col in 0..self.m {
+            if coeffs[col].is_zero() {
+                continue;
+            }
+            if let Some((prow, pdata)) = &self.rows[col] {
+                let factor = coeffs[col];
+                for c in col..self.m {
+                    coeffs[c] += factor * prow[c];
+                }
+                mul_acc(&mut data, pdata, factor);
+            }
+        }
+
+        // Phase 2: whatever survives is supported only on free columns.
+        let pivot = match coeffs.iter().position(|c| !c.is_zero()) {
+            Some(p) => p,
+            // Fully reduced to zero: linearly dependent on held packets.
+            None => return Ok(false),
+        };
+        debug_assert!(self.rows[pivot].is_none(), "pivot column must be free after reduction");
+        let inv = coeffs[pivot].inverse();
+        for c in coeffs.iter_mut().skip(pivot) {
+            *c *= inv;
+        }
+        for byte in data.iter_mut() {
+            *byte = (Gf256::new(*byte) * inv).value();
+        }
+        // Eliminate the new pivot column from previously stored rows so
+        // the full-reduction invariant holds.
+        for r in 0..self.m {
+            if r == pivot {
+                continue;
+            }
+            if let Some((orow, odata)) = self.rows[r].as_mut() {
+                let f = orow[pivot];
+                if !f.is_zero() {
+                    for c in pivot..self.m {
+                        orow[c] += f * coeffs[c];
+                    }
+                    mul_acc(odata, &data, f);
+                }
+            }
+        }
+        self.rows[pivot] = Some((coeffs, data));
+        self.rank += 1;
+        Ok(true)
+    }
+
+    /// Whether raw packet `i` is already individually known (its row is
+    /// a unit vector).
+    pub fn raw_available(&self, i: usize) -> bool {
+        match &self.rows.get(i).and_then(Option::as_ref) {
+            Some((row, _)) => {
+                row.iter().enumerate().all(|(c, v)| {
+                    (*v == Gf256::ONE && c == i) || (v.is_zero() && c != i)
+                })
+            }
+            None => false,
+        }
+    }
+
+    /// The bytes of raw packet `i`, if individually known.
+    pub fn raw_packet(&self, i: usize) -> Option<&[u8]> {
+        if self.raw_available(i) {
+            self.rows[i].as_ref().map(|(_, d)| d.as_slice())
+        } else {
+            None
+        }
+    }
+
+    /// Extracts the first `len` reconstructed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughPackets`] if the rank is below `M`.
+    pub fn finish(&self, len: usize) -> Result<Vec<u8>, Error> {
+        if !self.is_complete() {
+            return Err(Error::NotEnoughPackets { have: self.rank, need: self.m });
+        }
+        let mut out = Vec::with_capacity(len);
+        for i in 0..self.m {
+            let (_, data) = self.rows[i].as_ref().expect("complete decoder has all rows");
+            let take = self.packet_size.min(len - out.len());
+            out.extend_from_slice(&data[..take]);
+            if out.len() == len {
+                break;
+            }
+        }
+        out.resize(len, 0);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 97 + 13) as u8).collect()
+    }
+
+    #[test]
+    fn matches_batch_decoder_mixed_arrivals() {
+        let codec = Codec::new(5, 9, 16).unwrap();
+        let data = sample(77);
+        let cooked = codec.encode(&data);
+        let mut dec = IncrementalDecoder::new(&codec);
+        for &i in &[8usize, 1, 6, 3, 7] {
+            assert!(dec.absorb(&codec, i, &cooked[i]).unwrap());
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.finish(77).unwrap(), data);
+    }
+
+    #[test]
+    fn clear_packets_become_available_immediately() {
+        let codec = Codec::new(4, 7, 8).unwrap();
+        let data = sample(30);
+        let cooked = codec.encode(&data);
+        let mut dec = IncrementalDecoder::new(&codec);
+        dec.absorb(&codec, 2, &cooked[2]).unwrap();
+        assert!(dec.raw_available(2), "clear packet is its own raw packet");
+        assert_eq!(dec.raw_packet(2).unwrap(), &cooked[2][..]);
+        assert!(!dec.raw_available(0));
+    }
+
+    #[test]
+    fn duplicates_and_dependent_packets_rejected() {
+        let codec = Codec::new(3, 6, 8).unwrap();
+        let data = sample(20);
+        let cooked = codec.encode(&data);
+        let mut dec = IncrementalDecoder::new(&codec);
+        assert!(dec.absorb(&codec, 0, &cooked[0]).unwrap());
+        assert!(!dec.absorb(&codec, 0, &cooked[0]).unwrap(), "duplicate adds no rank");
+        assert!(dec.absorb(&codec, 1, &cooked[1]).unwrap());
+        assert!(dec.absorb(&codec, 2, &cooked[2]).unwrap());
+        // Any further packet is linearly dependent.
+        assert!(!dec.absorb(&codec, 5, &cooked[5]).unwrap());
+        assert_eq!(dec.rank(), 3);
+        assert_eq!(dec.finish(20).unwrap(), data);
+    }
+
+    #[test]
+    fn finish_before_complete_errors() {
+        let codec = Codec::new(3, 5, 4).unwrap();
+        let dec = IncrementalDecoder::new(&codec);
+        assert_eq!(dec.finish(4), Err(Error::NotEnoughPackets { have: 0, need: 3 }));
+    }
+
+    #[test]
+    fn redundancy_only_reconstruction() {
+        let codec = Codec::new(4, 8, 8).unwrap();
+        let data = sample(32);
+        let cooked = codec.encode(&data);
+        let mut dec = IncrementalDecoder::new(&codec);
+        for (i, payload) in cooked.iter().enumerate().skip(4) {
+            dec.absorb(&codec, i, payload).unwrap();
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.finish(32).unwrap(), data);
+        // With full rank, every raw packet is individually available.
+        for i in 0..4 {
+            assert!(dec.raw_available(i));
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let codec = Codec::new(2, 4, 8).unwrap();
+        let mut dec = IncrementalDecoder::new(&codec);
+        assert_eq!(dec.absorb(&codec, 9, &[0; 8]), Err(Error::BadPacketIndex(9)));
+        assert_eq!(
+            dec.absorb(&codec, 0, &[0; 7]),
+            Err(Error::BadPacketLength { got: 7, want: 8 })
+        );
+    }
+
+    #[test]
+    fn every_arrival_order_of_m_subset_works() {
+        let codec = Codec::new(3, 6, 4).unwrap();
+        let data = sample(12);
+        let cooked = codec.encode(&data);
+        // All 3-subsets of 6, a couple of orders each.
+        for a in 0..6 {
+            for b in 0..6 {
+                for c in 0..6 {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    let mut dec = IncrementalDecoder::new(&codec);
+                    dec.absorb(&codec, a, &cooked[a]).unwrap();
+                    dec.absorb(&codec, b, &cooked[b]).unwrap();
+                    dec.absorb(&codec, c, &cooked[c]).unwrap();
+                    assert!(dec.is_complete(), "subset {a},{b},{c}");
+                    assert_eq!(dec.finish(12).unwrap(), data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Dense matrices over GF(2⁸).
+//!
+//! The information-dispersal codec needs three operations: building
+//! Vandermonde matrices, turning them *systematic* (top `M` rows equal to
+//! the identity) via column operations, and inverting `M × M` submatrices
+//! during reconstruction. Everything here is plain row-major dense
+//! algebra — the matrices involved are at most 256×256, so asymptotic
+//! cleverness would be wasted.
+
+use crate::gf256::Gf256;
+use crate::Error;
+
+/// A dense row-major matrix over GF(2⁸).
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_erasure::matrix::Matrix;
+/// use mrtweb_erasure::gf256::Gf256;
+///
+/// let id = Matrix::identity(3);
+/// assert_eq!(id.get(1, 1), Gf256::ONE);
+/// assert_eq!(id.get(0, 2), Gf256::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix { rows, cols, data: vec![Gf256::ZERO; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, Gf256::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Gf256) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Builds the `rows × cols` Vandermonde matrix with evaluation points
+    /// `x_r = r` (as field elements): entry `(r, c)` is `x_r^c`.
+    ///
+    /// Because the evaluation points are pairwise distinct, every square
+    /// submatrix formed by choosing any `cols` **rows** is invertible —
+    /// the property that lets any `M` cooked packets reconstruct the
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] if `rows > 256` (GF(2⁸) has
+    /// only 256 distinct points) or if `cols > rows`.
+    pub fn vandermonde(rows: usize, cols: usize) -> Result<Self, Error> {
+        if rows == 0 || cols == 0 || rows > 256 || cols > rows {
+            return Err(Error::InvalidParameters { raw: cols, cooked: rows });
+        }
+        Ok(Matrix::from_fn(rows, cols, |r, c| Gf256::new(r as u8).pow(c)))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Gf256 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: Gf256) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Borrows a whole row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[Gf256] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + a * rhs.get(k, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the matrix formed by the given rows of `self`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `rows` is empty.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        assert!(!rows.is_empty(), "row selection must be nonempty");
+        Matrix::from_fn(rows.len(), self.cols, |r, c| self.get(rows[r], c))
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameters`] if the matrix is not square,
+    /// and [`Error::NotEnoughPackets`] is never returned here; a singular
+    /// matrix yields `None`-like failure expressed as
+    /// [`Error::MalformedFrame`]? No — singularity is reported as
+    /// [`Error::InvalidParameters`] with the matrix dimensions, since for
+    /// Vandermonde-derived matrices it indicates caller misuse
+    /// (duplicated packet indices).
+    pub fn inverse(&self) -> Result<Matrix, Error> {
+        if self.rows != self.cols {
+            return Err(Error::InvalidParameters { raw: self.cols, cooked: self.rows });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a nonzero pivot at or below the diagonal.
+            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero()).ok_or(
+                Error::InvalidParameters { raw: self.cols, cooked: self.rows },
+            )?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a.get(col, col);
+            let pinv = p.inverse();
+            for c in 0..n {
+                a.set(col, c, a.get(col, c) * pinv);
+                inv.set(col, c, inv.get(col, c) * pinv);
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = a.get(r, c) + factor * a.get(col, c);
+                    a.set(r, c, v);
+                    let w = inv.get(r, c) + factor * inv.get(col, c);
+                    inv.set(r, c, w);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Whether the top `cols × cols` block equals the identity matrix.
+    pub fn is_systematic(&self) -> bool {
+        if self.rows < self.cols {
+            return false;
+        }
+        for r in 0..self.cols {
+            for c in 0..self.cols {
+                let want = if r == c { Gf256::ONE } else { Gf256::ZERO };
+                if self.get(r, c) != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Turns a generator matrix systematic: returns `self × T⁻¹` where
+    /// `T` is the top `cols × cols` block.
+    ///
+    /// The result has the identity as its top block while preserving the
+    /// "any `cols` rows are invertible" property (multiplying by an
+    /// invertible matrix preserves the rank of every row subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the top block is singular; this never happens
+    /// for Vandermonde matrices with distinct evaluation points.
+    pub fn into_systematic(self) -> Result<Matrix, Error> {
+        let top: Vec<usize> = (0..self.cols).collect();
+        let t = self.select_rows(&top);
+        let tinv = t.inverse()?;
+        Ok(self.mul(&tinv))
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:02x}", self.get(r, c).value())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let v = Matrix::vandermonde(6, 4).unwrap();
+        let id = Matrix::identity(4);
+        assert_eq!(v.mul(&id), v);
+    }
+
+    #[test]
+    fn vandermonde_entries() {
+        let v = Matrix::vandermonde(4, 3).unwrap();
+        // Row r is [1, r, r^2] over GF(256).
+        assert_eq!(v.get(0, 0), Gf256::ONE);
+        assert_eq!(v.get(0, 1), Gf256::ZERO);
+        assert_eq!(v.get(3, 1), Gf256::new(3));
+        assert_eq!(v.get(3, 2), Gf256::new(3) * Gf256::new(3));
+    }
+
+    #[test]
+    fn vandermonde_rejects_bad_dims() {
+        assert!(Matrix::vandermonde(257, 2).is_err());
+        assert!(Matrix::vandermonde(3, 4).is_err());
+        assert!(Matrix::vandermonde(0, 0).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Matrix::vandermonde(5, 5).unwrap();
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.mul(&inv), Matrix::identity(5));
+        assert_eq!(inv.mul(&m), Matrix::identity(5));
+    }
+
+    #[test]
+    fn singular_matrix_fails_to_invert() {
+        let mut m = Matrix::zero(3, 3);
+        m.set(0, 0, Gf256::ONE);
+        m.set(1, 1, Gf256::ONE);
+        // Row 2 stays zero -> singular.
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn systematic_form_has_identity_top() {
+        let v = Matrix::vandermonde(9, 5).unwrap();
+        assert!(!v.is_systematic());
+        let s = v.into_systematic().unwrap();
+        assert!(s.is_systematic());
+    }
+
+    #[test]
+    fn systematic_preserves_any_rows_invertible() {
+        let s = Matrix::vandermonde(8, 4).unwrap().into_systematic().unwrap();
+        // Every 4-subset of 8 rows must be invertible. C(8,4) = 70.
+        let idx: Vec<usize> = (0..8).collect();
+        let mut combos = Vec::new();
+        for a in 0..8 {
+            for b in a + 1..8 {
+                for c in b + 1..8 {
+                    for d in c + 1..8 {
+                        combos.push(vec![idx[a], idx[b], idx[c], idx[d]]);
+                    }
+                }
+            }
+        }
+        assert_eq!(combos.len(), 70);
+        for combo in combos {
+            let sub = s.select_rows(&combo);
+            assert!(sub.inverse().is_ok(), "rows {combo:?} not invertible");
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let v = Matrix::vandermonde(6, 3).unwrap();
+        let s = v.select_rows(&[5, 0, 2]);
+        assert_eq!(s.row(0), v.row(5));
+        assert_eq!(s.row(1), v.row(0));
+        assert_eq!(s.row(2), v.row(2));
+    }
+
+    #[test]
+    fn swap_rows_is_involution() {
+        let mut v = Matrix::vandermonde(4, 4).unwrap();
+        let orig = v.clone();
+        v.swap_rows(1, 3);
+        assert_ne!(v, orig);
+        v.swap_rows(1, 3);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn mul_dimension_mismatch_panics() {
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(4);
+        let result = std::panic::catch_unwind(|| a.mul(&b));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the information-dispersal codec.
+
+use proptest::prelude::*;
+
+use mrtweb_erasure::crc::{crc16, crc32};
+use mrtweb_erasure::gf256::Gf256;
+use mrtweb_erasure::ida::{ChunkedCodec, Codec};
+use mrtweb_erasure::matrix::Matrix;
+use mrtweb_erasure::packet::Frame;
+use mrtweb_erasure::redundancy::{min_cooked_packets, success_probability};
+
+proptest! {
+    /// Any M distinct survivors reconstruct the original data exactly.
+    #[test]
+    fn ida_round_trip_any_m_survivors(
+        m in 1usize..12,
+        extra in 0usize..12,
+        packet_size in 1usize..40,
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let codec = Codec::new(m, n, packet_size).unwrap();
+        let data = &data[..data.len().min(codec.capacity())];
+        let cooked = codec.encode(data);
+        prop_assert_eq!(cooked.len(), n);
+
+        // Pick a pseudo-random M-subset of survivors from the seed.
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..indices.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            indices.swap(i, j);
+        }
+        let survivors: Vec<(usize, Vec<u8>)> =
+            indices[..m].iter().map(|&i| (i, cooked[i].clone())).collect();
+        let restored = codec.decode(&survivors, data.len()).unwrap();
+        prop_assert_eq!(restored.as_slice(), data);
+    }
+
+    /// The clear-text prefix equals the zero-padded raw split.
+    #[test]
+    fn systematic_prefix_is_clear_text(
+        m in 1usize..10,
+        extra in 0usize..10,
+        packet_size in 1usize..32,
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let codec = Codec::new(m, m + extra, packet_size).unwrap();
+        let data = &data[..data.len().min(codec.capacity())];
+        let cooked = codec.encode(data);
+        let raws = codec.split(data);
+        for i in 0..m {
+            prop_assert_eq!(&cooked[i], &raws[i]);
+        }
+    }
+
+    /// Supplying more than M packets never changes the decoded result.
+    #[test]
+    fn extra_packets_are_harmless(
+        m in 1usize..8,
+        extra in 1usize..8,
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let packet_size = 8usize;
+        let codec = Codec::new(m, m + extra, packet_size).unwrap();
+        let data = &data[..data.len().min(codec.capacity())];
+        let cooked = codec.encode(data);
+        let all: Vec<(usize, Vec<u8>)> = cooked.iter().cloned().enumerate().collect();
+        let first_m: Vec<(usize, Vec<u8>)> = all[..m].to_vec();
+        prop_assert_eq!(
+            codec.decode(&all, data.len()).unwrap(),
+            codec.decode(&first_m, data.len()).unwrap()
+        );
+    }
+
+    /// Vandermonde matrices with distinct points are always invertible,
+    /// and inversion is exact.
+    #[test]
+    fn square_vandermonde_inverts(n in 1usize..30) {
+        let v = Matrix::vandermonde(n, n).unwrap();
+        let inv = v.inverse().unwrap();
+        prop_assert_eq!(v.mul(&inv), Matrix::identity(n));
+    }
+
+    /// Field axioms on random triples.
+    #[test]
+    fn gf256_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        if !b.is_zero() {
+            prop_assert_eq!((a * b) / b, a);
+        }
+    }
+
+    /// Frames round-trip and corrupting any byte is detected.
+    #[test]
+    fn frame_round_trip_and_corruption(
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        flip_byte in any::<usize>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let frame = Frame::new(seq, payload.clone());
+        let wire = frame.to_wire();
+        let parsed = Frame::from_wire(&wire, payload.len()).unwrap();
+        prop_assert_eq!(parsed.sequence(), seq);
+        prop_assert_eq!(parsed.payload(), payload.as_slice());
+
+        let mut bad = wire.to_vec();
+        let i = flip_byte % bad.len();
+        bad[i] ^= flip_mask;
+        prop_assert!(Frame::from_wire(&bad, payload.len()).is_err());
+    }
+
+    /// CRCs change under random single-byte corruption (probabilistically
+    /// certain for CRC; here it is exact for single-byte flips).
+    #[test]
+    fn crc_detects_single_byte_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        pos in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bad = data.clone();
+        let i = pos % bad.len();
+        bad[i] ^= mask;
+        prop_assert_ne!(crc32(&data), crc32(&bad));
+        prop_assert_ne!(crc16(&data), crc16(&bad));
+    }
+
+    /// The minimal-N solver is consistent with the CDF it optimizes.
+    #[test]
+    fn min_n_consistent_with_cdf(
+        m in 1usize..60,
+        alpha in 0.01f64..0.6,
+        s in 0.5f64..0.999,
+    ) {
+        let n = min_cooked_packets(m, alpha, s).unwrap();
+        prop_assert!(success_probability(m, n, alpha).unwrap() >= s);
+        if n > m {
+            prop_assert!(success_probability(m, n - 1, alpha).unwrap() < s);
+        }
+    }
+
+    /// Chunked encoding round-trips arbitrary data lengths.
+    #[test]
+    fn chunked_round_trip(
+        m in 1usize..6,
+        extra in 0usize..6,
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let codec = Codec::new(m, m + extra, 16).unwrap();
+        let chunked = ChunkedCodec::new(codec);
+        let groups = chunked.encode(&data);
+        let packed: Vec<_> = groups
+            .iter()
+            .map(|g| {
+                let pk: Vec<(usize, Vec<u8>)> =
+                    g.cooked.iter().cloned().enumerate().rev().take(m).collect();
+                (g.index, pk, g.len)
+            })
+            .collect();
+        prop_assert_eq!(chunked.decode(&packed).unwrap(), data);
+    }
+}

@@ -1,0 +1,175 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [table1|fig2|fig3|fig4|fig5|fig6|fig7|all] [--paper|--quick|--docs N --reps R]
+//! ```
+//!
+//! `--quick` (the default) runs a reduced workload suitable for smoke
+//! runs; `--paper` runs the full 200-documents × 50-repetitions grid of
+//! the paper (slow: minutes).
+
+use std::env;
+
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_sim::baselines::{compare_baselines, Strategy};
+use mrtweb_sim::experiments::{
+    experiment1, experiment2_vary_f, experiment2_vary_i, experiment3, experiment4, Scale,
+};
+use mrtweb_sim::figures::{
+    render_figure2, render_figure3, render_figure4, render_figure5, render_improvement,
+};
+use mrtweb_sim::params::Params;
+use mrtweb_sim::table1::render_table1;
+use mrtweb_sim::throughput::replicate_throughput;
+use mrtweb_sim::weakconn::{replicate_outage, OutageSpec};
+use mrtweb_transport::session::CacheMode;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let mut scale = Scale { docs: 60, reps: 5, max_rounds: 100 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--quick" => scale = Scale::quick(),
+            "--docs" => {
+                i += 1;
+                scale.docs = args[i].parse().expect("--docs needs a number");
+            }
+            "--reps" => {
+                i += 1;
+                scale.reps = args[i].parse().expect("--reps needs a number");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let seed = 20000; // ICDCS 2000
+
+    let run = |name: &str| what == "all" || what == name;
+    if run("table1") {
+        println!("=== Table 1: information contents of a draft of this paper ===");
+        println!("query = {{browsing, mobile, web}}\n{}", render_table1());
+    }
+    if run("fig2") {
+        println!("{}", render_figure2());
+    }
+    if run("fig3") {
+        println!("{}", render_figure3());
+    }
+    if run("fig4") {
+        eprintln!("running experiment 1 (docs={}, reps={})...", scale.docs, scale.reps);
+        let pts = experiment1(&scale, seed);
+        println!("{}", render_figure4(&pts));
+    }
+    if run("fig5") {
+        eprintln!("running experiment 2 (docs={}, reps={})...", scale.docs, scale.reps);
+        let vi = experiment2_vary_i(&scale, seed);
+        let vf = experiment2_vary_f(&scale, seed);
+        println!("{}", render_figure5(&vi, &vf));
+    }
+    if run("fig6") {
+        eprintln!("running experiment 3 (docs={}, reps={})...", scale.docs, scale.reps);
+        let pts = experiment3(&scale, seed);
+        println!("{}", render_improvement(&pts, "Figure 6"));
+    }
+    if run("fig7") {
+        eprintln!("running experiment 4 (docs={}, reps={})...", scale.docs, scale.reps);
+        let pts = experiment4(&scale, seed);
+        println!("{}", render_improvement(&pts, "Figure 7"));
+    }
+    // Extension experiments (this reproduction, beyond the paper).
+    if run("baselines") {
+        eprintln!("running baseline comparison (docs={}, reps={})...", scale.docs, scale.reps);
+        let p = Params {
+            cache_mode: CacheMode::Caching,
+            docs_per_session: scale.docs,
+            max_rounds: scale.max_rounds,
+            threshold: 0.2,
+            ..Default::default()
+        };
+        let pts = compare_baselines(&p, scale.reps, seed);
+        println!("Extension: strategy comparison (I = 0.5, F = 0.2) — response time (s)");
+        println!("{:>24} {:>10} {:>10} {:>10}", "strategy", "α=0.1", "α=0.3", "α=0.5");
+        for strategy in [
+            Strategy::Mrt(Lod::Paragraph),
+            Strategy::Mrt(Lod::Document),
+            Strategy::SummaryFirst { summary_fraction: 0.08 },
+            Strategy::Arq,
+        ] {
+            let name = match strategy {
+                Strategy::Mrt(Lod::Paragraph) => "MRT (paragraph)".to_string(),
+                Strategy::Mrt(lod) => format!("MRT ({})", lod.name()),
+                Strategy::SummaryFirst { .. } => "summary-first (8%)".to_string(),
+                Strategy::Arq => "selective-repeat ARQ".to_string(),
+            };
+            print!("{name:>24}");
+            for alpha in [0.1, 0.3, 0.5] {
+                let v = pts
+                    .iter()
+                    .find(|p| p.strategy == strategy && (p.alpha - alpha).abs() < 1e-9)
+                    .map(|p| p.summary.mean)
+                    .unwrap_or(f64::NAN);
+                print!(" {v:>10.2}");
+            }
+            println!();
+        }
+        println!();
+    }
+    if run("throughput") {
+        eprintln!("running throughput experiment (docs={}, reps={})...", scale.docs, scale.reps);
+        println!("Extension: goodput (content units/s) per LOD, I = 0.7, F = 0.3, Caching");
+        println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "α", "document", "section", "subsect", "paragraph");
+        for alpha in [0.1, 0.3, 0.5] {
+            let p = Params {
+                alpha,
+                cache_mode: CacheMode::Caching,
+                irrelevant_fraction: 0.7,
+                threshold: 0.3,
+                docs_per_session: scale.docs,
+                max_rounds: scale.max_rounds,
+                ..Default::default()
+            };
+            print!("{alpha:>6.1}");
+            for lod in [Lod::Document, Lod::Section, Lod::Subsection, Lod::Paragraph] {
+                let (g, _) = replicate_throughput(&p, lod, scale.reps, seed);
+                print!(" {:>12.4}", g.mean);
+            }
+            println!();
+        }
+        println!();
+    }
+    if run("weakconn") {
+        eprintln!("running weak-connectivity experiment (docs={}, reps={})...", scale.docs, scale.reps);
+        println!("Extension: response time (s) under disconnection windows (α = 0.05 base)");
+        println!(
+            "{:>28} {:>12} {:>12}",
+            "outage regime", "NoCaching", "Caching"
+        );
+        for (label, spec) in [
+            ("none", OutageSpec { p_drop: 1e-12, p_recover: 1.0 }),
+            ("5% time, ~20-pkt bursts", OutageSpec { p_drop: 0.0026, p_recover: 0.05 }),
+            ("20% time, ~50-pkt bursts", OutageSpec { p_drop: 0.005, p_recover: 0.02 }),
+        ] {
+            print!("{label:>28}");
+            for cache in [CacheMode::NoCaching, CacheMode::Caching] {
+                let p = Params {
+                    alpha: 0.05,
+                    cache_mode: cache,
+                    irrelevant_fraction: 0.0,
+                    docs_per_session: scale.docs,
+                    max_rounds: scale.max_rounds,
+                    ..Default::default()
+                };
+                let s = replicate_outage(&p, &spec, Lod::Document, scale.reps, seed);
+                print!(" {:>12.2}", s.mean);
+            }
+            println!();
+        }
+        println!();
+    }
+}

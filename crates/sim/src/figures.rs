@@ -1,0 +1,267 @@
+//! Figure data generation and text rendering.
+//!
+//! Figures 2 and 3 are analytic (negative-binomial redundancy planning,
+//! re-exported from `mrtweb-erasure`); Figures 4–7 come from the
+//! simulation drivers in [`crate::experiments`]. The renderers here
+//! print each figure as aligned text series so a run of the `figures`
+//! binary regenerates every artifact of the paper's evaluation.
+
+use std::fmt::Write as _;
+
+use mrtweb_erasure::redundancy::{figure2, figure3, Figure2Point, Figure3Point};
+use mrtweb_erasure::Error;
+use mrtweb_transport::session::CacheMode;
+
+use crate::experiments::{Exp1Point, Exp2Point, ImprovementPoint, ALPHAS, LODS};
+
+/// Figure 2 data for both success targets: `(S, points)`.
+///
+/// # Errors
+///
+/// Propagates redundancy-model errors (none for these inputs).
+pub fn figure2_data() -> Result<Vec<(f64, Vec<Figure2Point>)>, Error> {
+    Ok(vec![(0.95, figure2(0.95)?), (0.99, figure2(0.99)?)])
+}
+
+/// Figure 3 data for both success targets: `(S, points)`.
+///
+/// # Errors
+///
+/// Propagates redundancy-model errors (none for these inputs).
+pub fn figure3_data() -> Result<Vec<(f64, Vec<Figure3Point>)>, Error> {
+    Ok(vec![(0.95, figure3(0.95)?), (0.99, figure3(0.99)?)])
+}
+
+/// Renders Figure 2 (cooked packets N versus raw packets M).
+pub fn render_figure2() -> String {
+    let mut out = String::new();
+    for (s, points) in figure2_data().expect("static inputs are valid") {
+        let _ = writeln!(out, "Figure 2: cooked packets N vs raw packets M (S = {:.0}%)", s * 100.0);
+        let _ = write!(out, "{:>6}", "M");
+        for &alpha in &ALPHAS {
+            let _ = write!(out, "  α={alpha:<4}");
+        }
+        let _ = writeln!(out);
+        for m in (10..=100).step_by(10) {
+            let _ = write!(out, "{m:>6}");
+            for &alpha in &ALPHAS {
+                let n = points
+                    .iter()
+                    .find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9)
+                    .map(|p| p.n)
+                    .unwrap_or(0);
+                let _ = write!(out, "  {n:>6}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Figure 3 (redundancy ratio γ versus failure probability α).
+pub fn render_figure3() -> String {
+    let mut out = String::new();
+    for (s, points) in figure3_data().expect("static inputs are valid") {
+        let _ = writeln!(out, "Figure 3: redundancy ratio γ vs α (S = {:.0}%)", s * 100.0);
+        let _ = writeln!(out, "{:>6} {:>8} {:>8} {:>8}", "α", "M=10", "M=50", "M=100");
+        for i in 1..=5 {
+            let alpha = i as f64 / 10.0;
+            let _ = write!(out, "{alpha:>6.1}");
+            for m in [10usize, 50, 100] {
+                let g = points
+                    .iter()
+                    .find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9)
+                    .map(|p| p.gamma)
+                    .unwrap_or(f64::NAN);
+                let _ = write!(out, " {g:>8.3}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn cache_name(c: CacheMode) -> &'static str {
+    match c {
+        CacheMode::NoCaching => "NoCaching",
+        CacheMode::Caching => "Caching",
+    }
+}
+
+/// Renders Experiment 1 (Figure 4): response time vs γ, one panel per
+/// (cache mode, I).
+pub fn render_figure4(points: &[Exp1Point]) -> String {
+    let mut out = String::new();
+    for cache in [CacheMode::NoCaching, CacheMode::Caching] {
+        for irrelevant in [0.0, 0.5] {
+            let _ = writeln!(
+                out,
+                "Figure 4 panel: {} (I = {irrelevant}) — response time (s) vs γ",
+                cache_name(cache)
+            );
+            let _ = write!(out, "{:>6}", "γ");
+            for &alpha in &ALPHAS {
+                let _ = write!(out, "  α={alpha:<6}");
+            }
+            let _ = writeln!(out);
+            for step in 0..=14 {
+                let gamma = 1.1 + 0.1 * step as f64;
+                let _ = write!(out, "{gamma:>6.1}");
+                for &alpha in &ALPHAS {
+                    let p = points.iter().find(|p| {
+                        p.cache == cache
+                            && (p.irrelevant - irrelevant).abs() < 1e-9
+                            && (p.alpha - alpha).abs() < 1e-9
+                            && (p.gamma - gamma).abs() < 1e-9
+                    });
+                    match p {
+                        Some(p) => {
+                            let _ = write!(out, "  {:>8.2}", p.summary.mean);
+                        }
+                        None => {
+                            let _ = write!(out, "  {:>8}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Renders Experiment 2 (Figure 5): response time vs I (top panels) or
+/// vs F (bottom panels).
+pub fn render_figure5(vary_i: &[Exp2Point], vary_f: &[Exp2Point]) -> String {
+    let mut out = String::new();
+    for (label, axis, points) in
+        [("F = 0.5, varying I", "I", vary_i), ("I = 0.5, varying F", "F", vary_f)]
+    {
+        for cache in [CacheMode::NoCaching, CacheMode::Caching] {
+            let _ = writeln!(
+                out,
+                "Figure 5 panel: {} ({label}) — response time (s) vs {axis}",
+                cache_name(cache)
+            );
+            let _ = write!(out, "{axis:>6}");
+            for &alpha in &ALPHAS {
+                let _ = write!(out, "  α={alpha:<6}");
+            }
+            let _ = writeln!(out);
+            for step in 0..=10 {
+                let x = step as f64 / 10.0;
+                let _ = write!(out, "{x:>6.1}");
+                for &alpha in &ALPHAS {
+                    let p = points.iter().find(|p| {
+                        p.cache == cache
+                            && (p.alpha - alpha).abs() < 1e-9
+                            && (p.x - x).abs() < 1e-9
+                    });
+                    match p {
+                        Some(p) => {
+                            let _ = write!(out, "  {:>8.2}", p.summary.mean);
+                        }
+                        None => {
+                            let _ = write!(out, "  {:>8}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Renders an improvement figure (Experiments 3 and 4, Figures 6 and 7):
+/// improvement vs F per LOD, one panel per `(α, δ)` pair present.
+pub fn render_improvement(points: &[ImprovementPoint], figure_name: &str) -> String {
+    let mut out = String::new();
+    let mut panels: Vec<(f64, f64)> = points.iter().map(|p| (p.alpha, p.skew)).collect();
+    panels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    panels.dedup();
+    for (alpha, skew) in panels {
+        let _ = writeln!(
+            out,
+            "{figure_name} panel: Caching (I = 1, α = {alpha}, δ = {skew}) — improvement vs F"
+        );
+        let _ = write!(out, "{:>6}", "F");
+        for lod in LODS {
+            let _ = write!(out, "  {:>12}", lod.name());
+        }
+        let _ = writeln!(out);
+        for step in 1..=10 {
+            let f = step as f64 / 10.0;
+            let _ = write!(out, "{f:>6.1}");
+            for lod in LODS {
+                let p = points.iter().find(|p| {
+                    (p.alpha - alpha).abs() < 1e-9
+                        && (p.skew - skew).abs() < 1e-9
+                        && p.lod == lod
+                        && (p.f - f).abs() < 1e-9
+                });
+                match p {
+                    Some(p) => {
+                        let _ = write!(out, "  {:>12.3}", p.improvement);
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{experiment3, Scale};
+
+    #[test]
+    fn figure2_rendering_has_all_rows() {
+        let text = render_figure2();
+        assert!(text.contains("S = 95%"));
+        assert!(text.contains("S = 99%"));
+        // 10 M-rows per panel.
+        assert_eq!(text.matches('\n').count(), 2 * (1 + 1 + 10 + 1));
+    }
+
+    #[test]
+    fn figure3_rendering_monotone_gamma() {
+        let data = figure3_data().unwrap();
+        for (_, pts) in data {
+            for m in [10usize, 50, 100] {
+                let series: Vec<f64> = (1..=5)
+                    .map(|i| {
+                        let alpha = i as f64 / 10.0;
+                        pts.iter()
+                            .find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9)
+                            .unwrap()
+                            .gamma
+                    })
+                    .collect();
+                for w in series.windows(2) {
+                    assert!(w[1] > w[0], "γ must grow with α");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_rendering_contains_panels() {
+        let scale = Scale { docs: 6, reps: 1, max_rounds: 30 };
+        let pts = experiment3(&scale, 2);
+        let text = render_improvement(&pts, "Figure 6");
+        assert!(text.contains("α = 0.1"));
+        assert!(text.contains("α = 0.5"));
+        assert!(text.contains("paragraph"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulation harness reproducing the evaluation of Leong et al.
+//! (ICDCS 2000), §5.
+//!
+//! "In order to quickly generate a portrait of an overall behavior and
+//! performance of our proposed scheme, we have developed a simulation
+//! model for the study" — this crate is that model:
+//!
+//! * [`params`] — the Table 2 parameter settings;
+//! * [`stats`] — means, standard deviations and confidence intervals
+//!   over the 50 experiment repetitions;
+//! * [`model`] — the simulated document (5 sections × 2 subsections ×
+//!   2 paragraphs, uniform content with skew δ) and its transmission
+//!   plans at each LOD;
+//! * [`browsing`] — a browsing session visiting 200 documents with a
+//!   fraction `I` irrelevant, measuring mean response time;
+//! * [`experiments`] — the four experiments behind Figures 4–7;
+//! * [`figures`] — the analytic Figures 2–3 and text rendering of every
+//!   figure's data;
+//! * [`table1`] — regenerates Table 1 (IC/QIC/MQIC of a draft of the
+//!   paper) from an embedded XML draft through the full text pipeline.
+
+pub mod adaptive_session;
+pub mod baselines;
+pub mod browsing;
+pub mod bursty;
+pub mod experiments;
+pub mod figures;
+pub mod model;
+pub mod params;
+pub mod stats;
+pub mod table1;
+pub mod throughput;
+pub mod weakconn;

@@ -1,0 +1,188 @@
+//! The simulated document and its transmission plans.
+//!
+//! "Each simulated document is composed of 5 sections; each section is
+//! composed of 2 subsections; each subsection is composed of 2
+//! paragraphs. We model the information content of each paragraph by a
+//! uniform distribution. We use a skewed factor δ to model the ratio
+//! between the highest … and the lowest information content of a
+//! paragraph" (§5). A [`SimDocument`] holds the drawn paragraph
+//! contents; [`SimDocument::plan_at`] turns them into the transmission
+//! plan the protocol uses at each LOD.
+
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
+use rand::Rng;
+
+use crate::params::Params;
+
+/// A simulated document: paragraph information contents plus shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimDocument {
+    /// Normalized paragraph contents in document order (sum = 1).
+    pub paragraph_contents: Vec<f64>,
+    /// Bytes per paragraph (uniform split of `s_D`).
+    pub paragraph_bytes: usize,
+    /// Paragraphs per subsection.
+    pub paragraphs_per_subsection: usize,
+    /// Subsections per section.
+    pub subsections_per_section: usize,
+}
+
+impl SimDocument {
+    /// Draws a document per the paper's model: paragraph contents
+    /// `U[1, δ]`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter shape has zero paragraphs or `skew < 1`.
+    pub fn draw(params: &Params, rng: &mut impl Rng) -> Self {
+        let n = params.paragraphs_per_doc();
+        assert!(n > 0, "document must have paragraphs");
+        assert!(params.skew >= 1.0, "skew must be at least 1");
+        let raw: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..=params.skew)).collect();
+        let total: f64 = raw.iter().sum();
+        SimDocument {
+            paragraph_contents: raw.into_iter().map(|w| w / total).collect(),
+            paragraph_bytes: params.doc_size / n,
+            paragraphs_per_subsection: params.paragraphs,
+            subsections_per_section: params.subsections,
+        }
+    }
+
+    /// Number of paragraphs.
+    pub fn paragraph_count(&self) -> usize {
+        self.paragraph_contents.len()
+    }
+
+    /// Total document bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.paragraph_bytes * self.paragraph_count()
+    }
+
+    /// Groups paragraph contents into units at `lod`, returning
+    /// `(bytes, content)` per unit in document order.
+    fn units_at(&self, lod: Lod) -> Vec<(usize, f64)> {
+        let group = match lod {
+            Lod::Document => self.paragraph_count(),
+            Lod::Section => self.paragraphs_per_subsection * self.subsections_per_section,
+            // The simulated documents define no subsubsection LOD
+            // (paper §5.3); it behaves like subsection granularity.
+            Lod::Subsection | Lod::Subsubsection => self.paragraphs_per_subsection,
+            Lod::Paragraph => 1,
+        };
+        self.paragraph_contents
+            .chunks(group)
+            .map(|chunk| (self.paragraph_bytes * chunk.len(), chunk.iter().sum()))
+            .collect()
+    }
+
+    /// The transmission plan at `lod`: sequential at the document LOD
+    /// (the conventional paradigm), content-ranked at finer LODs.
+    pub fn plan_at(&self, lod: Lod) -> TransmissionPlan {
+        let slices: Vec<UnitSlice> = self
+            .units_at(lod)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bytes, content))| UnitSlice::new(format!("u{i}"), bytes, content))
+            .collect();
+        if lod == Lod::Document {
+            TransmissionPlan::sequential(slices)
+        } else {
+            TransmissionPlan::ranked(slices)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn doc(seed: u64) -> SimDocument {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SimDocument::draw(&Params::default(), &mut rng)
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let d = doc(1);
+        assert_eq!(d.paragraph_count(), 20);
+        assert_eq!(d.paragraph_bytes, 512);
+        assert_eq!(d.total_bytes(), 10240);
+        let sum: f64 = d.paragraph_contents.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_counts_per_lod() {
+        let d = doc(2);
+        assert_eq!(d.plan_at(Lod::Document).slices().len(), 1);
+        assert_eq!(d.plan_at(Lod::Section).slices().len(), 5);
+        assert_eq!(d.plan_at(Lod::Subsection).slices().len(), 10);
+        assert_eq!(d.plan_at(Lod::Paragraph).slices().len(), 20);
+    }
+
+    #[test]
+    fn every_plan_carries_full_document() {
+        let d = doc(3);
+        for lod in Lod::ALL {
+            let p = d.plan_at(lod);
+            assert_eq!(p.total_bytes(), 10240, "lod {lod}");
+            assert!((p.total_content() - 1.0).abs() < 1e-9, "lod {lod}");
+            assert_eq!(p.raw_packets(256), 40, "lod {lod}");
+        }
+    }
+
+    #[test]
+    fn document_lod_is_sequential_finer_are_ranked() {
+        let d = doc(4);
+        let seq = d.plan_at(Lod::Document);
+        assert_eq!(seq.slices()[0].label, "u0");
+        let ranked = d.plan_at(Lod::Paragraph);
+        for w in ranked.slices().windows(2) {
+            assert!(w[0].content >= w[1].content, "paragraph plan must be sorted");
+        }
+    }
+
+    #[test]
+    fn skew_bounds_content_ratio() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = Params { skew: 5.0, ..Default::default() };
+            let d = SimDocument::draw(&params, &mut rng);
+            let maxc = d.paragraph_contents.iter().cloned().fold(f64::MIN, f64::max);
+            let minc = d.paragraph_contents.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(maxc / minc <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_content() {
+        // With δ=1 all paragraphs are equal; with δ=5 the top unit gets
+        // a clearly larger share, on average.
+        let share = |skew: f64| {
+            let params = Params { skew, ..Default::default() };
+            let mut total = 0.0;
+            for seed in 0..50 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let d = SimDocument::draw(&params, &mut rng);
+                total += d.paragraph_contents.iter().cloned().fold(f64::MIN, f64::max);
+            }
+            total / 50.0
+        };
+        let flat = share(1.0 + 1e-9);
+        let skewed = share(5.0);
+        assert!((flat - 0.05).abs() < 1e-3, "flat share {flat}");
+        assert!(skewed > flat * 1.2, "skewed {skewed} vs flat {flat}");
+    }
+
+    #[test]
+    fn subsubsection_behaves_like_subsection() {
+        let d = doc(6);
+        assert_eq!(
+            d.plan_at(Lod::Subsubsection).slices().len(),
+            d.plan_at(Lod::Subsection).slices().len()
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Compact binary serialization for stored documents and indexes.
+//!
+//! The paper's database server holds documents and their structural
+//! characteristics; this codec is the persistence format: versioned,
+//! length-prefixed, and hardened against corrupt input (decoding
+//! arbitrary bytes returns an error, never panics or over-allocates).
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::BTreeMap;
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_docmodel::unit::{Inline, Unit, UnitPath};
+use mrtweb_textproc::index::{DocumentIndex, UnitEntry};
+
+/// Format magic for documents.
+pub const DOC_MAGIC: &[u8; 4] = b"MRTD";
+/// Format magic for logical indexes.
+pub const INDEX_MAGIC: &[u8; 4] = b"MRTI";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on any single length field (guards hostile input).
+const MAX_LEN: usize = 16 * 1024 * 1024;
+
+/// Decoding error with a terse reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_exact<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError("truncated input"));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+fn get_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
+    Ok(get_exact(input, 1)?[0])
+}
+
+fn get_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
+    let mut b = get_exact(input, 4)?;
+    Ok(b.get_u32_le())
+}
+
+fn get_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut b = get_exact(input, 8)?;
+    Ok(b.get_u64_le())
+}
+
+fn get_len(input: &mut &[u8]) -> Result<usize, CodecError> {
+    let n = get_u32(input)? as usize;
+    if n > MAX_LEN {
+        return Err(CodecError("length field exceeds sanity bound"));
+    }
+    Ok(n)
+}
+
+fn get_str(input: &mut &[u8]) -> Result<String, CodecError> {
+    let n = get_len(input)?;
+    let bytes = get_exact(input, n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError("invalid UTF-8 in string"))
+}
+
+fn lod_to_byte(l: Lod) -> u8 {
+    l.depth() as u8
+}
+
+fn lod_from_byte(b: u8) -> Result<Lod, CodecError> {
+    if b > 4 {
+        return Err(CodecError("invalid LOD tag"));
+    }
+    Ok(Lod::from_depth(b as usize))
+}
+
+/// Serializes a document.
+pub fn encode_document(doc: &Document) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(DOC_MAGIC);
+    buf.put_u8(VERSION);
+    encode_unit(doc.root(), &mut buf);
+    buf.to_vec()
+}
+
+fn encode_unit(u: &Unit, buf: &mut BytesMut) {
+    buf.put_u8(lod_to_byte(u.kind()));
+    let mut flags = 0u8;
+    if u.title().is_some() {
+        flags |= 1;
+    }
+    if u.is_synthetic() {
+        flags |= 2;
+    }
+    buf.put_u8(flags);
+    if let Some(t) = u.title() {
+        put_str(buf, t);
+    }
+    buf.put_u32_le(u.runs().len() as u32);
+    for r in u.runs() {
+        put_str(buf, &r.text);
+        buf.put_u8(r.emphasized as u8);
+    }
+    buf.put_u32_le(u.children().len() as u32);
+    for c in u.children() {
+        encode_unit(c, buf);
+    }
+}
+
+/// Deserializes a document.
+///
+/// # Errors
+///
+/// [`CodecError`] for wrong magic/version, truncation, invalid tags or
+/// trailing garbage.
+pub fn decode_document(mut input: &[u8]) -> Result<Document, CodecError> {
+    let magic = get_exact(&mut input, 4)?;
+    if magic != DOC_MAGIC {
+        return Err(CodecError("bad document magic"));
+    }
+    if get_u8(&mut input)? != VERSION {
+        return Err(CodecError("unsupported version"));
+    }
+    let root = decode_unit(&mut input, 0)?;
+    if !input.is_empty() {
+        return Err(CodecError("trailing bytes after document"));
+    }
+    if root.kind() != Lod::Document {
+        return Err(CodecError("root unit is not at document LOD"));
+    }
+    Ok(Document::from_root(root))
+}
+
+fn decode_unit(input: &mut &[u8], depth: usize) -> Result<Unit, CodecError> {
+    if depth > 16 {
+        return Err(CodecError("unit tree too deep"));
+    }
+    let kind = lod_from_byte(get_u8(input)?)?;
+    let flags = get_u8(input)?;
+    let mut unit = Unit::new(kind).with_synthetic(flags & 2 != 0);
+    if flags & 1 != 0 {
+        unit.set_title(Some(get_str(input)?));
+    }
+    let runs = get_len(input)?;
+    for _ in 0..runs {
+        let text = get_str(input)?;
+        let emphasized = get_u8(input)? != 0;
+        unit.push_run(if emphasized { Inline::emphasized(text) } else { Inline::plain(text) });
+    }
+    let children = get_len(input)?;
+    for _ in 0..children {
+        let child = decode_unit(input, depth + 1)?;
+        unit.push_child(child);
+    }
+    Ok(unit)
+}
+
+/// Serializes a logical index.
+pub fn encode_index(index: &DocumentIndex) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(INDEX_MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(index.entries().len() as u32);
+    for e in index.entries() {
+        buf.put_u8(e.path.depth() as u8);
+        for &i in e.path.indices() {
+            buf.put_u32_le(i as u32);
+        }
+        buf.put_u8(lod_to_byte(e.kind));
+        buf.put_u8(e.synthetic as u8);
+        match &e.title {
+            Some(t) => {
+                buf.put_u8(1);
+                put_str(&mut buf, t);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(e.own_bytes as u64);
+        buf.put_u32_le(e.counts.len() as u32);
+        for (stem, n) in &e.counts {
+            put_str(&mut buf, stem);
+            buf.put_u64_le(*n);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserializes a logical index.
+///
+/// # Errors
+///
+/// [`CodecError`] on any malformed input.
+pub fn decode_index(mut input: &[u8]) -> Result<DocumentIndex, CodecError> {
+    let magic = get_exact(&mut input, 4)?;
+    if magic != INDEX_MAGIC {
+        return Err(CodecError("bad index magic"));
+    }
+    if get_u8(&mut input)? != VERSION {
+        return Err(CodecError("unsupported version"));
+    }
+    let n = get_len(&mut input)?;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let depth = get_u8(&mut input)? as usize;
+        if depth > 16 {
+            return Err(CodecError("path too deep"));
+        }
+        let mut indices = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            indices.push(get_u32(&mut input)? as usize);
+        }
+        let kind = lod_from_byte(get_u8(&mut input)?)?;
+        let synthetic = get_u8(&mut input)? != 0;
+        let title = if get_u8(&mut input)? != 0 { Some(get_str(&mut input)?) } else { None };
+        let own_bytes = get_u64(&mut input)? as usize;
+        let c = get_len(&mut input)?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..c {
+            let stem = get_str(&mut input)?;
+            let count = get_u64(&mut input)?;
+            counts.insert(stem, count);
+        }
+        entries.push(UnitEntry {
+            path: UnitPath::from_indices(indices),
+            kind,
+            synthetic,
+            title,
+            counts,
+            own_bytes,
+        });
+    }
+    if !input.is_empty() {
+        return Err(CodecError("trailing bytes after index"));
+    }
+    Ok(DocumentIndex::new(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::gen::SyntheticDocSpec;
+    use mrtweb_textproc::pipeline::ScPipeline;
+
+    fn sample_doc() -> Document {
+        Document::parse_xml(
+            "<document><title>Store Me</title>\
+             <section><title>S</title><paragraph>plain <b>bold</b> tail</paragraph>\
+             </section></document>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let doc = sample_doc();
+        let bytes = encode_document(&doc);
+        assert_eq!(decode_document(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn generated_documents_round_trip() {
+        for seed in 0..5 {
+            let doc = SyntheticDocSpec::default().generate(seed).document;
+            let bytes = encode_document(&doc);
+            assert_eq!(decode_document(&bytes).unwrap(), doc, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let doc = sample_doc();
+        let index = ScPipeline::default().run(&doc);
+        let bytes = encode_index(&index);
+        assert_eq!(decode_index(&bytes).unwrap(), index);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = encode_document(&sample_doc());
+        bytes[0] = b'X';
+        assert_eq!(decode_document(&bytes), Err(CodecError("bad document magic")));
+        let mut bytes = encode_index(&ScPipeline::default().run(&sample_doc()));
+        bytes[0] = b'X';
+        assert_eq!(decode_index(&bytes), Err(CodecError("bad index magic")));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode_document(&sample_doc());
+        bytes[4] = 99;
+        assert!(decode_document(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode_document(&sample_doc());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_document(&bytes[..cut]).is_err(),
+                "truncation at {cut} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_document(&sample_doc());
+        bytes.push(0);
+        assert_eq!(decode_document(&bytes), Err(CodecError("trailing bytes after document")));
+    }
+
+    #[test]
+    fn hostile_length_fields_do_not_allocate() {
+        // A document claiming a 4 GiB title.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(DOC_MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0); // kind = document
+        bytes.push(1); // has title
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_document(&bytes),
+            Err(CodecError("length field exceeds sanity bound"))
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(DOC_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0); // document
+        buf.put_u8(1); // has title
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        buf.put_u32_le(0); // runs
+        buf.put_u32_le(0); // children
+        assert_eq!(decode_document(&buf), Err(CodecError("invalid UTF-8 in string")));
+    }
+
+    #[test]
+    fn non_document_root_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(DOC_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(4); // paragraph at the root
+        buf.put_u8(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        assert_eq!(decode_document(&buf), Err(CodecError("root unit is not at document LOD")));
+    }
+}

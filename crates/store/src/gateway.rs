@@ -1,0 +1,207 @@
+//! The database gateway: store + pipeline → prepared transmissions.
+//!
+//! In the paper's Figure 1 the document transmitter sits behind a
+//! database gateway that serves documents and their structural
+//! characteristics. [`Gateway`] is that component: given a
+//! `(url, query, LOD, γ)` request it pulls the document and cached SC
+//! from the [`DocumentStore`] and hands back a ready
+//! [`LiveServer`], plus the plan metadata a sequence manager needs.
+
+use std::sync::Arc;
+
+use mrtweb_content::query::Query;
+use mrtweb_content::sc::Measure;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_erasure::Error as ErasureError;
+use mrtweb_transport::live::LiveServer;
+
+use crate::store::DocumentStore;
+
+/// A transmission request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Document URL.
+    pub url: String,
+    /// Free-text query (empty → static IC ordering).
+    pub query: String,
+    /// Transmission level of detail.
+    pub lod: Lod,
+    /// Content measure ordering the units.
+    pub measure: Measure,
+    /// Raw packet size.
+    pub packet_size: usize,
+    /// Redundancy ratio γ.
+    pub gamma: f64,
+}
+
+impl Request {
+    /// A request with the paper's defaults (256-byte packets, γ = 1.5,
+    /// QIC ordering at paragraph LOD).
+    pub fn new(url: impl Into<String>, query: impl Into<String>) -> Self {
+        Request {
+            url: url.into(),
+            query: query.into(),
+            lod: Lod::Paragraph,
+            measure: Measure::Qic,
+            packet_size: 256,
+            gamma: 1.5,
+        }
+    }
+}
+
+/// Gateway errors.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// The URL is not in the store.
+    NotFound(String),
+    /// The document cannot be coded with the requested parameters.
+    Encoding(ErasureError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::NotFound(u) => write!(f, "document not found: {u:?}"),
+            GatewayError::Encoding(e) => write!(f, "cannot encode transmission: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<ErasureError> for GatewayError {
+    fn from(e: ErasureError) -> Self {
+        GatewayError::Encoding(e)
+    }
+}
+
+/// The serving side of the prototype.
+#[derive(Debug)]
+pub struct Gateway {
+    store: Arc<DocumentStore>,
+}
+
+impl Gateway {
+    /// Wraps a store.
+    pub fn new(store: Arc<DocumentStore>) -> Self {
+        Gateway { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<DocumentStore> {
+        &self.store
+    }
+
+    /// Prepares a live transmission for a request.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::NotFound`] for unknown URLs;
+    /// [`GatewayError::Encoding`] when the document needs more than 256
+    /// cooked packets at the requested packet size.
+    pub fn prepare(&self, request: &Request) -> Result<LiveServer, GatewayError> {
+        let doc = self
+            .store
+            .document(&request.url)
+            .ok_or_else(|| GatewayError::NotFound(request.url.clone()))?;
+        let query = Query::parse(&request.query, self.store.pipeline());
+        let sc = self
+            .store
+            .structural_characteristic(&request.url, &query)
+            .ok_or_else(|| GatewayError::NotFound(request.url.clone()))?;
+        Ok(LiveServer::new(
+            &doc,
+            &sc,
+            request.lod,
+            request.measure,
+            request.packet_size,
+            request.gamma,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::document::Document;
+    use mrtweb_transport::live::{run_transfer, TransferConfig};
+
+    fn gateway() -> Gateway {
+        let store = Arc::new(DocumentStore::new(8));
+        store.put(
+            "http://site/paper",
+            Document::parse_xml(
+                "<document><title>Paper</title>\
+                 <section><title>Hot</title>\
+                 <paragraph>mobile wireless browsing content</paragraph></section>\
+                 <section><title>Cold</title>\
+                 <paragraph>miscellaneous appendix material</paragraph></section>\
+                 </document>",
+            )
+            .unwrap(),
+        );
+        Gateway::new(store)
+    }
+
+    #[test]
+    fn prepare_and_transfer_end_to_end() {
+        let gw = gateway();
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        let server = gw.prepare(&req).unwrap();
+        assert!(server.header().m >= 1);
+        let report = run_transfer(
+            server,
+            &TransferConfig { alpha: 0.2, seed: 5, ..Default::default() },
+        );
+        assert!(report.completed);
+        let text = String::from_utf8_lossy(&report.payload);
+        assert!(text.contains("mobile wireless browsing"));
+    }
+
+    #[test]
+    fn qic_ordering_is_applied_by_the_gateway() {
+        let gw = gateway();
+        let req = Request {
+            lod: Lod::Section,
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        let server = gw.prepare(&req).unwrap();
+        // Section 0 ("Hot") matches the query and must lead.
+        assert_eq!(server.header().plan.slices()[0].label, "0");
+    }
+
+    #[test]
+    fn unknown_url_is_not_found() {
+        let gw = gateway();
+        let err = gw.prepare(&Request::new("http://nowhere/", "x")).unwrap_err();
+        assert!(matches!(err, GatewayError::NotFound(_)));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_sc_cache() {
+        let gw = gateway();
+        let req = Request { packet_size: 32, ..Request::new("http://site/paper", "mobile") };
+        gw.prepare(&req).unwrap();
+        gw.prepare(&req).unwrap();
+        let stats = gw.store().stats();
+        assert_eq!(stats.sc_misses, 1);
+        assert_eq!(stats.sc_hits, 1);
+    }
+
+    #[test]
+    fn oversized_request_reports_encoding_error() {
+        let gw = gateway();
+        // 1-byte packets at γ = 4 need far more than 256 cooked packets.
+        let req = Request {
+            packet_size: 1,
+            gamma: 4.0,
+            ..Request::new("http://site/paper", "mobile")
+        };
+        let err = gw.prepare(&req).unwrap_err();
+        assert!(matches!(err, GatewayError::Encoding(_)));
+    }
+}

@@ -1,0 +1,313 @@
+//! The concurrent document store with structural-characteristic caching.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mrtweb_content::query::Query;
+use mrtweb_content::sc::StructuralCharacteristic;
+use mrtweb_docmodel::document::Document;
+use mrtweb_textproc::index::DocumentIndex;
+use mrtweb_textproc::pipeline::ScPipeline;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Structural characteristics served from cache.
+    pub sc_hits: u64,
+    /// Structural characteristics computed on demand.
+    pub sc_misses: u64,
+}
+
+/// A stored document with its pre-computed logical index.
+#[derive(Debug)]
+struct StoredDoc {
+    document: Arc<Document>,
+    index: Arc<DocumentIndex>,
+    /// Query-keyed SC cache with insertion-order eviction.
+    sc_cache: HashMap<String, Arc<StructuralCharacteristic>>,
+    sc_order: Vec<String>,
+}
+
+/// A concurrent URL-keyed document store.
+///
+/// The logical index of every document is computed once at `put` time —
+/// "the weights of keywords of a document remain unchanged across
+/// queries, only the contribution by querying words need be
+/// incorporated" (§3.3) — and per-query structural characteristics are
+/// cached with bounded LRU-ish eviction.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_store::store::DocumentStore;
+/// use mrtweb_docmodel::document::Document;
+/// use mrtweb_content::query::Query;
+///
+/// # fn main() -> Result<(), mrtweb_docmodel::xml::ParseError> {
+/// let store = DocumentStore::new(8);
+/// let doc = Document::parse_xml(
+///     "<document><paragraph>mobile web</paragraph></document>")?;
+/// store.put("http://a/", doc);
+/// let q = Query::parse("mobile", store.pipeline());
+/// let sc1 = store.structural_characteristic("http://a/", &q).unwrap();
+/// let sc2 = store.structural_characteristic("http://a/", &q).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&sc1, &sc2)); // second hit is cached
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DocumentStore {
+    docs: RwLock<HashMap<String, StoredDoc>>,
+    pipeline: ScPipeline,
+    sc_capacity: usize,
+    stats: RwLock<CacheStats>,
+}
+
+impl DocumentStore {
+    /// Creates a store caching at most `sc_capacity` structural
+    /// characteristics per document (0 disables SC caching).
+    pub fn new(sc_capacity: usize) -> Self {
+        DocumentStore {
+            docs: RwLock::new(HashMap::new()),
+            pipeline: ScPipeline::default(),
+            sc_capacity,
+            stats: RwLock::new(CacheStats::default()),
+        }
+    }
+
+    /// Uses a custom pipeline (stop words, policy, stemming).
+    pub fn with_pipeline(mut self, pipeline: ScPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// The pipeline queries must be normalized with.
+    pub fn pipeline(&self) -> &ScPipeline {
+        &self.pipeline
+    }
+
+    /// Inserts (or replaces) a document, computing its logical index.
+    /// Returns the previous document if one existed.
+    pub fn put(&self, url: impl Into<String>, document: Document) -> Option<Arc<Document>> {
+        let index = Arc::new(self.pipeline.run(&document));
+        let stored = StoredDoc {
+            document: Arc::new(document),
+            index,
+            sc_cache: HashMap::new(),
+            sc_order: Vec::new(),
+        };
+        self.docs.write().insert(url.into(), stored).map(|s| s.document)
+    }
+
+    /// Removes a document.
+    pub fn remove(&self, url: &str) -> Option<Arc<Document>> {
+        self.docs.write().remove(url).map(|s| s.document)
+    }
+
+    /// Fetches a document.
+    pub fn document(&self, url: &str) -> Option<Arc<Document>> {
+        self.docs.read().get(url).map(|s| Arc::clone(&s.document))
+    }
+
+    /// Fetches a document's pre-computed logical index.
+    pub fn index(&self, url: &str) -> Option<Arc<DocumentIndex>> {
+        self.docs.read().get(url).map(|s| Arc::clone(&s.index))
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.read().is_empty()
+    }
+
+    /// Stored URLs (unordered).
+    pub fn urls(&self) -> Vec<String> {
+        self.docs.read().keys().cloned().collect()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.read()
+    }
+
+    /// The structural characteristic of `url` under `query`, cached per
+    /// canonical query.
+    ///
+    /// Returns `None` for unknown URLs.
+    pub fn structural_characteristic(
+        &self,
+        url: &str,
+        query: &Query,
+    ) -> Option<Arc<StructuralCharacteristic>> {
+        let key = canonical_query_key(query);
+        // Fast path: read lock, cache hit.
+        {
+            let docs = self.docs.read();
+            let stored = docs.get(url)?;
+            if let Some(sc) = stored.sc_cache.get(&key) {
+                self.stats.write().sc_hits += 1;
+                return Some(Arc::clone(sc));
+            }
+        }
+        // Slow path: compute outside any lock, then insert.
+        let index = self.index(url)?;
+        let sc = Arc::new(StructuralCharacteristic::from_index(&index, Some(query)));
+        self.stats.write().sc_misses += 1;
+        if self.sc_capacity > 0 {
+            let mut docs = self.docs.write();
+            if let Some(stored) = docs.get_mut(url) {
+                if !stored.sc_cache.contains_key(&key) {
+                    if stored.sc_order.len() >= self.sc_capacity {
+                        let evict = stored.sc_order.remove(0);
+                        stored.sc_cache.remove(&evict);
+                    }
+                    stored.sc_cache.insert(key.clone(), Arc::clone(&sc));
+                    stored.sc_order.push(key);
+                }
+            }
+        }
+        Some(sc)
+    }
+}
+
+/// Canonical cache key of a query: sorted `stem:count` pairs.
+fn canonical_query_key(query: &Query) -> String {
+    let mut parts: Vec<String> =
+        query.iter().map(|(s, n)| format!("{s}:{n}")).collect();
+    parts.sort();
+    parts.join("\u{1f}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Document {
+        Document::parse_xml(&format!(
+            "<document><paragraph>{text}</paragraph></document>"
+        ))
+        .unwrap()
+    }
+
+    fn store_with_doc() -> DocumentStore {
+        let s = DocumentStore::new(2);
+        s.put("u1", doc("mobile web browsing"));
+        s.put("u2", doc("database storage engines"));
+        s
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let s = store_with_doc();
+        assert_eq!(s.len(), 2);
+        assert!(s.document("u1").is_some());
+        assert!(s.index("u1").is_some());
+        assert!(s.document("nope").is_none());
+        assert!(s.remove("u1").is_some());
+        assert!(s.document("u1").is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn put_replaces_and_returns_old() {
+        let s = DocumentStore::new(2);
+        assert!(s.put("u", doc("old text")).is_none());
+        let old = s.put("u", doc("new text")).unwrap();
+        assert!(old.full_text().contains("old"));
+        assert!(s.document("u").unwrap().full_text().contains("new"));
+    }
+
+    #[test]
+    fn sc_cache_hits_after_first_computation() {
+        let s = store_with_doc();
+        let q = Query::parse("mobile", s.pipeline());
+        let a = s.structural_characteristic("u1", &q).unwrap();
+        let b = s.structural_characteristic("u1", &q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let st = s.stats();
+        assert_eq!(st.sc_misses, 1);
+        assert_eq!(st.sc_hits, 1);
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_scs() {
+        let s = store_with_doc();
+        let qa = Query::parse("mobile", s.pipeline());
+        let qb = Query::parse("browsing", s.pipeline());
+        let a = s.structural_characteristic("u1", &qa).unwrap();
+        let b = s.structural_characteristic("u1", &qb).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(s.stats().sc_misses, 2);
+    }
+
+    #[test]
+    fn query_key_is_order_insensitive() {
+        let s = store_with_doc();
+        let qa = Query::parse("mobile web", s.pipeline());
+        let qb = Query::parse("web mobile", s.pipeline());
+        let a = s.structural_characteristic("u1", &qa).unwrap();
+        let b = s.structural_characteristic("u1", &qb).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "query word order must not defeat the cache");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let s = store_with_doc(); // capacity 2
+        let pipeline = s.pipeline().clone();
+        let q1 = Query::parse("mobile", &pipeline);
+        let q2 = Query::parse("web", &pipeline);
+        let q3 = Query::parse("browsing", &pipeline);
+        let first = s.structural_characteristic("u1", &q1).unwrap();
+        s.structural_characteristic("u1", &q2).unwrap();
+        s.structural_characteristic("u1", &q3).unwrap(); // evicts q1
+        let again = s.structural_characteristic("u1", &q1).unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "q1 should have been evicted");
+        assert_eq!(s.stats().sc_misses, 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let s = DocumentStore::new(0);
+        s.put("u", doc("mobile things"));
+        let q = Query::parse("mobile", s.pipeline());
+        s.structural_characteristic("u", &q).unwrap();
+        s.structural_characteristic("u", &q).unwrap();
+        assert_eq!(s.stats().sc_misses, 2);
+        assert_eq!(s.stats().sc_hits, 0);
+    }
+
+    #[test]
+    fn unknown_url_returns_none() {
+        let s = store_with_doc();
+        let q = Query::parse("mobile", s.pipeline());
+        assert!(s.structural_characteristic("ghost", &q).is_none());
+    }
+
+    #[test]
+    fn concurrent_reads_and_computes() {
+        let s = Arc::new(store_with_doc());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let q = Query::parse(if t % 2 == 0 { "mobile" } else { "web" }, s.pipeline());
+                for _ in 0..50 {
+                    let sc = s.structural_characteristic("u1", &q).unwrap();
+                    assert!(!sc.entries().is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.sc_hits + st.sc_misses, 400);
+        assert!(st.sc_misses <= 16, "misses {} should be near 2", st.sc_misses);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the persistence codec: round trips are exact and
+//! arbitrary bytes never panic the decoder.
+
+use proptest::prelude::*;
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::gen::SyntheticDocSpec;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_docmodel::unit::{Inline, Unit};
+use mrtweb_store::codec::{decode_document, decode_index, encode_document, encode_index};
+use mrtweb_textproc::pipeline::ScPipeline;
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9]{1,8}", 1..5).prop_map(|ws| ws.join(" "))
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    (
+        proptest::option::of(text()),
+        proptest::collection::vec(
+            (proptest::option::of(text()), proptest::collection::vec((text(), any::<bool>()), 1..4)),
+            1..4,
+        ),
+    )
+        .prop_map(|(title, sections)| {
+            let mut root = Unit::new(Lod::Document);
+            root.set_title(title);
+            for (stitle, paras) in sections {
+                let mut s = Unit::new(Lod::Section);
+                s.set_title(stitle);
+                for (t, emph) in paras {
+                    let mut p = Unit::new(Lod::Paragraph);
+                    p.push_run(if emph { Inline::emphasized(t) } else { Inline::plain(t) });
+                    s.push_child(p);
+                }
+                root.push_child(s);
+            }
+            Document::from_root(root)
+        })
+}
+
+proptest! {
+    /// Document round trips are exact for arbitrary structured content.
+    #[test]
+    fn document_round_trip(doc in document()) {
+        let bytes = encode_document(&doc);
+        prop_assert_eq!(decode_document(&bytes).unwrap(), doc);
+    }
+
+    /// Index round trips are exact.
+    #[test]
+    fn index_round_trip(seed in any::<u64>()) {
+        let doc = SyntheticDocSpec {
+            sections: 2,
+            target_bytes: 600,
+            keyword_budget: 25,
+            ..Default::default()
+        }
+        .generate(seed)
+        .document;
+        let index = ScPipeline::default().run(&doc);
+        let bytes = encode_index(&index);
+        prop_assert_eq!(decode_index(&bytes).unwrap(), index);
+    }
+
+    /// Decoding arbitrary garbage never panics (it errors).
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_document(&bytes);
+        let _ = decode_index(&bytes);
+    }
+
+    /// Flipping any single byte of a valid encoding either errors or
+    /// decodes to *some* document — never panics.
+    #[test]
+    fn bit_flips_never_panic(doc in document(), pos in any::<usize>(), mask in 1u8..=255) {
+        let mut bytes = encode_document(&doc);
+        let i = pos % bytes.len();
+        bytes[i] ^= mask;
+        let _ = decode_document(&bytes);
+    }
+
+    /// Truncating a valid encoding always errors (no silent partial
+    /// documents).
+    #[test]
+    fn truncations_error(doc in document(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_document(&doc);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(decode_document(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The keyword extractor: which stems count as keywords.
+//!
+//! "The keyword extractor performs a frequency analysis on the potential
+//! keywords. In addition, certain specially formatted words, such as
+//! boldfaced and italized, also qualify as keywords" (§3.3). A *potential*
+//! keyword is any stem that survived the stop-word filter; the policy
+//! here decides which potential keywords enter the logical index.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Keyword admission policy.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_textproc::keywords::KeywordPolicy;
+///
+/// // Default: every surviving stem is a keyword (min_frequency = 1).
+/// let p = KeywordPolicy::default();
+/// assert_eq!(p.min_frequency, 1);
+///
+/// // Frequency analysis at threshold 3, emphasized words always in.
+/// let strict = KeywordPolicy { min_frequency: 3, always_admit_emphasized: true };
+/// assert!(strict.always_admit_emphasized);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeywordPolicy {
+    /// Minimum whole-document occurrence count for a stem to qualify.
+    pub min_frequency: u64,
+    /// Whether specially formatted (bold/italic/title) words qualify
+    /// regardless of frequency, per the paper.
+    pub always_admit_emphasized: bool,
+}
+
+impl Default for KeywordPolicy {
+    fn default() -> Self {
+        KeywordPolicy { min_frequency: 1, always_admit_emphasized: true }
+    }
+}
+
+/// Document-wide stem statistics accumulated before admission.
+#[derive(Debug, Clone, Default)]
+pub struct StemStats {
+    counts: BTreeMap<String, u64>,
+    emphasized: BTreeSet<String>,
+}
+
+impl StemStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `stem`.
+    pub fn record(&mut self, stem: &str, emphasized: bool) {
+        *self.counts.entry(stem.to_owned()).or_insert(0) += 1;
+        if emphasized {
+            self.emphasized.insert(stem.to_owned());
+        }
+    }
+
+    /// Total occurrences of `stem` in the document.
+    pub fn count(&self, stem: &str) -> u64 {
+        self.counts.get(stem).copied().unwrap_or(0)
+    }
+
+    /// Whether `stem` ever appeared specially formatted.
+    pub fn was_emphasized(&self, stem: &str) -> bool {
+        self.emphasized.contains(stem)
+    }
+
+    /// Number of distinct stems recorded.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Applies the policy, returning the admitted keyword set.
+    pub fn admit(&self, policy: &KeywordPolicy) -> BTreeSet<String> {
+        self.counts
+            .iter()
+            .filter(|(stem, count)| {
+                **count >= policy.min_frequency
+                    || (policy.always_admit_emphasized && self.emphasized.contains(*stem))
+            })
+            .map(|(stem, _)| stem.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> StemStats {
+        let mut s = StemStats::new();
+        for _ in 0..5 {
+            s.record("mobil", false);
+        }
+        for _ in 0..2 {
+            s.record("web", false);
+        }
+        s.record("rare", false);
+        s.record("bold", true);
+        s
+    }
+
+    #[test]
+    fn default_policy_admits_everything() {
+        let admitted = stats().admit(&KeywordPolicy::default());
+        assert_eq!(admitted.len(), 4);
+    }
+
+    #[test]
+    fn frequency_threshold_filters() {
+        let p = KeywordPolicy { min_frequency: 2, always_admit_emphasized: false };
+        let admitted = stats().admit(&p);
+        assert!(admitted.contains("mobil"));
+        assert!(admitted.contains("web"));
+        assert!(!admitted.contains("rare"));
+        assert!(!admitted.contains("bold"));
+    }
+
+    #[test]
+    fn emphasized_words_bypass_frequency() {
+        let p = KeywordPolicy { min_frequency: 2, always_admit_emphasized: true };
+        let admitted = stats().admit(&p);
+        assert!(admitted.contains("bold"), "emphasized singleton must qualify");
+        assert!(!admitted.contains("rare"), "plain singleton must not");
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let s = stats();
+        assert_eq!(s.count("mobil"), 5);
+        assert_eq!(s.count("absent"), 0);
+        assert_eq!(s.distinct(), 4);
+        assert!(s.was_emphasized("bold"));
+        assert!(!s.was_emphasized("web"));
+    }
+}

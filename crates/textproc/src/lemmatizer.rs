@@ -1,0 +1,437 @@
+//! The lemmatizer: words → canonical stems.
+//!
+//! "The lemmatizer converts document words into their lemmatized form"
+//! (§3.3). This is a faithful implementation of the Porter stemming
+//! algorithm (M.F. Porter, *An algorithm for suffix stripping*, 1980),
+//! the standard lemmatization stand-in of classical IR systems like the
+//! ones the paper builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use mrtweb_textproc::lemmatizer::stem;
+//!
+//! assert_eq!(stem("browsing"), "brows");
+//! assert_eq!(stem("browsers"), "browser");
+//! assert_eq!(stem("connections"), "connect");
+//! assert_eq!(stem("relational"), "relat");
+//! ```
+
+/// Stems a single word.
+///
+/// The input is lowercased first. Possessive `'s` is stripped and any
+/// remaining apostrophes removed before stemming. Words shorter than
+/// three letters, or containing characters outside `a`–`z` after
+/// cleanup, are returned unchanged (lowercased) — stemming rules only
+/// make sense for plain English words.
+pub fn stem(word: &str) -> String {
+    let mut w = word.to_lowercase();
+    if let Some(stripped) = w.strip_suffix("'s") {
+        w = stripped.to_owned();
+    }
+    w.retain(|c| c != '\'');
+    if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_lowercase()) {
+        return w;
+    }
+    let mut s = Stemmer { b: w.into_bytes(), k: 0, j: 0 };
+    s.k = s.b.len() - 1;
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    s.b.truncate(s.k + 1);
+    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+}
+
+/// Porter stemmer state: `b[0..=k]` is the word, `j` is the stem
+/// *length* (bytes before the most recently matched suffix).
+struct Stemmer {
+    b: Vec<u8>,
+    k: usize,
+    j: usize,
+}
+
+impl Stemmer {
+    /// Is `b[i]` a consonant?
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Number of consonant–vowel sequences ("measure") in `b[0..j]`.
+    fn m(&self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip the initial consonant run.
+        loop {
+            if i >= self.j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            // Skip vowels.
+            loop {
+                if i >= self.j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            // Skip consonants.
+            loop {
+                if i >= self.j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Is there a vowel in `b[0..j]`?
+    fn vowel_in_stem(&self) -> bool {
+        (0..self.j).any(|i| !self.cons(i))
+    }
+
+    /// Is `b[i-1..=i]` a double consonant?
+    fn doublec(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+    }
+
+    /// Is `b[i-2..=i]` consonant–vowel–consonant, with the final
+    /// consonant not `w`, `x` or `y`? (Restores an `e` after e.g.
+    /// `hop(p)` → `hope` is *not* wanted, but `fil` → `file` is.)
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// Does the word end with `s`? Sets `j` on success.
+    fn ends(&mut self, s: &[u8]) -> bool {
+        if s.len() > self.k + 1 {
+            return false;
+        }
+        if &self.b[self.k + 1 - s.len()..=self.k] != s {
+            return false;
+        }
+        self.j = self.k + 1 - s.len();
+        true
+    }
+
+    /// Replaces the suffix after the stem with `s`.
+    fn set_to(&mut self, s: &[u8]) {
+        self.b.truncate(self.j);
+        self.b.extend_from_slice(s);
+        self.k = self.b.len() - 1;
+    }
+
+    /// `set_to(s)` if the stem measure is positive.
+    fn r(&mut self, s: &[u8]) {
+        if self.m() > 0 {
+            self.set_to(s);
+        }
+    }
+
+    /// Plurals and -ed / -ing.
+    fn step1ab(&mut self) {
+        if self.b[self.k] == b's' {
+            if self.ends(b"sses") {
+                self.k -= 2;
+            } else if self.ends(b"ies") {
+                self.set_to(b"i");
+            } else if self.k >= 1 && self.b[self.k - 1] != b's' {
+                self.k -= 1;
+            }
+        }
+        if self.ends(b"eed") {
+            if self.m() > 0 {
+                self.k -= 1;
+            }
+        } else if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+            self.k = self.j - 1; // stem nonempty: it contains a vowel
+            self.b.truncate(self.k + 1);
+            if self.ends(b"at") {
+                self.set_to(b"ate");
+            } else if self.ends(b"bl") {
+                self.set_to(b"ble");
+            } else if self.ends(b"iz") {
+                self.set_to(b"ize");
+            } else if self.doublec(self.k) {
+                self.k -= 1;
+                self.b.truncate(self.k + 1);
+                if matches!(self.b[self.k], b'l' | b's' | b'z') {
+                    self.k += 1;
+                    self.b.push(self.b[self.k - 1]);
+                }
+            } else if self.m() == 1 && self.cvc(self.k) {
+                self.j = self.k + 1;
+                self.set_to(b"e");
+            }
+        }
+        self.b.truncate(self.k + 1);
+    }
+
+    /// Turns terminal `y` into `i` when there is another vowel.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.vowel_in_stem() {
+            self.b[self.k] = b'i';
+        }
+    }
+
+    /// Double suffixes → single ones, when the measure is positive.
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let rules: &[(&[u8], &[u8])] = match self.b[self.k - 1] {
+            b'a' => &[(b"ational", b"ate"), (b"tional", b"tion")],
+            b'c' => &[(b"enci", b"ence"), (b"anci", b"ance")],
+            b'e' => &[(b"izer", b"ize")],
+            b'l' => &[
+                (b"bli", b"ble"),
+                (b"alli", b"al"),
+                (b"entli", b"ent"),
+                (b"eli", b"e"),
+                (b"ousli", b"ous"),
+            ],
+            b'o' => &[(b"ization", b"ize"), (b"ation", b"ate"), (b"ator", b"ate")],
+            b's' => &[
+                (b"alism", b"al"),
+                (b"iveness", b"ive"),
+                (b"fulness", b"ful"),
+                (b"ousness", b"ous"),
+            ],
+            b't' => &[(b"aliti", b"al"), (b"iviti", b"ive"), (b"biliti", b"ble")],
+            b'g' => &[(b"logi", b"log")],
+            _ => return,
+        };
+        for (suffix, replacement) in rules {
+            if self.ends(suffix) {
+                self.r(replacement);
+                return;
+            }
+        }
+    }
+
+    /// -ic-, -full, -ness and similar.
+    fn step3(&mut self) {
+        let rules: &[(&[u8], &[u8])] = match self.b[self.k] {
+            b'e' => &[(b"icate", b"ic"), (b"ative", b""), (b"alize", b"al")],
+            b'i' => &[(b"iciti", b"ic")],
+            b'l' => &[(b"ical", b"ic"), (b"ful", b"")],
+            b's' => &[(b"ness", b"")],
+            _ => return,
+        };
+        for (suffix, replacement) in rules {
+            if self.ends(suffix) {
+                self.r(replacement);
+                return;
+            }
+        }
+    }
+
+    /// Strips -ant, -ence etc. in context `m() > 1`.
+    fn step4(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let matched = match self.b[self.k - 1] {
+            b'a' => self.ends(b"al"),
+            b'c' => self.ends(b"ance") || self.ends(b"ence"),
+            b'e' => self.ends(b"er"),
+            b'i' => self.ends(b"ic"),
+            b'l' => self.ends(b"able") || self.ends(b"ible"),
+            b'n' => {
+                self.ends(b"ant")
+                    || self.ends(b"ement")
+                    || self.ends(b"ment")
+                    || self.ends(b"ent")
+            }
+            b'o' => {
+                (self.ends(b"ion")
+                    && self.j > 0
+                    && matches!(self.b[self.j - 1], b's' | b't'))
+                    || self.ends(b"ou")
+            }
+            b's' => self.ends(b"ism"),
+            b't' => self.ends(b"ate") || self.ends(b"iti"),
+            b'u' => self.ends(b"ous"),
+            b'v' => self.ends(b"ive"),
+            b'z' => self.ends(b"ize"),
+            _ => false,
+        };
+        if matched && self.m() > 1 {
+            self.k = self.j - 1; // m() > 1 implies a nonempty stem
+            self.b.truncate(self.k + 1);
+        }
+    }
+
+    /// Removes a final `e` and reduces `ll` in long words.
+    fn step5(&mut self) {
+        self.j = self.k + 1;
+        if self.b[self.k] == b'e' {
+            let a = self.m();
+            if a > 1 || (a == 1 && !self.cvc(self.k - 1)) {
+                self.k -= 1;
+            }
+        }
+        self.b.truncate(self.k + 1);
+        self.j = self.k + 1;
+        if self.b[self.k] == b'l' && self.doublec(self.k) && self.m() > 1 {
+            self.k -= 1;
+        }
+        self.b.truncate(self.k + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's published vocabulary.
+    #[test]
+    fn porter_reference_pairs() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            // Step 1b gives "agree"; step 5a then drops the final e.
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valency", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formality", "formal"),
+            ("sensitivity", "sensit"),
+            ("sensibility", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electricity", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angularity", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn related_forms_share_a_stem() {
+        assert_eq!(stem("connect"), stem("connection"));
+        assert_eq!(stem("connect"), stem("connections"));
+        assert_eq!(stem("connect"), stem("connected"));
+        assert_eq!(stem("connect"), stem("connecting"));
+        assert_eq!(stem("transmission"), stem("transmissions"));
+        assert_eq!(stem("browse"), stem("browses"));
+        assert_eq!(stem("browsing"), stem("browsings"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("be"), "be");
+        assert_eq!(stem("a"), "a");
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        assert_eq!(stem("Browsing"), stem("browsing"));
+        assert_eq!(stem("MOBILE"), stem("mobile"));
+    }
+
+    #[test]
+    fn possessives_are_stripped() {
+        assert_eq!(stem("client's"), stem("client"));
+        assert_eq!(stem("don't"), "dont");
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(stem("naïve"), "naïve");
+        assert_eq!(stem("漢字"), "漢字");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["mobile", "wireless", "bandwidth", "document", "paragraph", "transmission"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stem not idempotent on {w:?}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Text processing for structural-characteristic generation.
+//!
+//! The paper (§3.3) pre-processes a document through five pipelined
+//! modules to build the keyword-based logical index from which
+//! information contents are derived:
+//!
+//! 1. **document recognizer** ([`recognizer`]) — converts a structured
+//!    document into per-unit plain text, keeping track of the
+//!    hierarchical structure and specially formatted words;
+//! 2. **lemmatizer** ([`lemmatizer`]) — reduces words to canonical
+//!    stems (a faithful Porter stemmer);
+//! 3. **word filter** ([`stopwords`]) — eliminates non-meaning-bearing
+//!    "stop" words;
+//! 4. **keyword extractor** ([`keywords`]) — frequency analysis plus
+//!    automatic keyword status for specially formatted words;
+//! 5. **structural characteristic generator** ([`pipeline`]) — emits the
+//!    per-unit keyword occurrence index ([`index::DocumentIndex`]) that
+//!    the `mrtweb-content` crate turns into information contents.
+//!
+//! # Example
+//!
+//! ```
+//! use mrtweb_docmodel::document::Document;
+//! use mrtweb_textproc::pipeline::ScPipeline;
+//!
+//! # fn main() -> Result<(), mrtweb_docmodel::xml::ParseError> {
+//! let doc = Document::parse_xml(
+//!     "<document><section><title>Mobile Browsing</title>\
+//!      <paragraph>Browsing the mobile web consumes bandwidth. \
+//!      Mobile clients browse documents.</paragraph></section></document>",
+//! )?;
+//! let index = ScPipeline::default().run(&doc);
+//! // "mobile" appears three times (title + body); its Porter stem is "mobil".
+//! assert_eq!(index.total_count("mobil"), 3);
+//! // "the" is a stop word and never becomes a keyword.
+//! assert_eq!(index.total_count("the"), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod index;
+pub mod keywords;
+pub mod lemmatizer;
+pub mod pipeline;
+pub mod recognizer;
+pub mod stopwords;
+pub mod summary;

@@ -1,0 +1,240 @@
+//! The pipelined structural-characteristic generator.
+//!
+//! Runs the paper's five modules in order — recognize, lemmatize,
+//! filter, extract, index — producing the [`DocumentIndex`] from which
+//! information contents are derived.
+
+use mrtweb_docmodel::document::Document;
+
+use crate::index::{DocumentIndex, UnitEntry};
+use crate::keywords::{KeywordPolicy, StemStats};
+use crate::lemmatizer::stem;
+use crate::recognizer::{recognize, RecognizedUnit};
+use crate::stopwords::StopWords;
+
+/// Configuration for the SC-generation pipeline.
+///
+/// The default configuration stems with Porter, filters the classic
+/// stop-word list, and admits every surviving stem as a keyword
+/// (emphasized words always qualify).
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_docmodel::document::Document;
+/// use mrtweb_textproc::pipeline::ScPipeline;
+/// use mrtweb_textproc::keywords::KeywordPolicy;
+/// use mrtweb_textproc::stopwords::StopWords;
+///
+/// # fn main() -> Result<(), mrtweb_docmodel::xml::ParseError> {
+/// let doc = Document::parse_xml(
+///     "<document><paragraph>webs web webbing</paragraph></document>")?;
+/// let index = ScPipeline::new()
+///     .with_stop_words(StopWords::none())
+///     .with_policy(KeywordPolicy { min_frequency: 1, always_admit_emphasized: true })
+///     .run(&doc);
+/// assert_eq!(index.total_count("web"), 3); // all three forms share a stem
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScPipeline {
+    stop_words: StopWords,
+    policy: KeywordPolicy,
+    stemming: bool,
+}
+
+impl ScPipeline {
+    /// Creates the default pipeline.
+    pub fn new() -> Self {
+        ScPipeline { stop_words: StopWords::default(), policy: KeywordPolicy::default(), stemming: true }
+    }
+
+    /// Replaces the stop-word filter.
+    pub fn with_stop_words(mut self, stop_words: StopWords) -> Self {
+        self.stop_words = stop_words;
+        self
+    }
+
+    /// Replaces the keyword admission policy.
+    pub fn with_policy(mut self, policy: KeywordPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables lemmatization (useful for ablations).
+    pub fn with_stemming(mut self, stemming: bool) -> Self {
+        self.stemming = stemming;
+        self
+    }
+
+    /// Normalizes one query or document word through the same
+    /// lemmatize-and-filter stages the pipeline applies, so queries and
+    /// documents meet in the same stem space. Returns `None` for stop
+    /// words.
+    pub fn normalize_word(&self, word: &str) -> Option<String> {
+        let lower = word.to_lowercase();
+        if self.stop_words.is_stop_word(&lower) {
+            return None;
+        }
+        let stemmed = if self.stemming { stem(&lower) } else { lower };
+        if stemmed.is_empty() {
+            None
+        } else {
+            Some(stemmed)
+        }
+    }
+
+    /// Runs the full pipeline on a document.
+    pub fn run(&self, doc: &Document) -> DocumentIndex {
+        let recognized = recognize(doc);
+        self.run_recognized(&recognized)
+    }
+
+    /// Runs the lemmatize/filter/extract/index stages on pre-recognized
+    /// units (exposed so callers can reuse recognition output).
+    pub fn run_recognized(&self, recognized: &[RecognizedUnit]) -> DocumentIndex {
+        // Stage 2+3 (lemmatize, filter) and document-wide stats for the
+        // keyword extractor.
+        let mut stats = StemStats::new();
+        let mut per_unit: Vec<Vec<(String, bool)>> = Vec::with_capacity(recognized.len());
+        for ru in recognized {
+            let mut stems = Vec::with_capacity(ru.tokens.len());
+            for tok in &ru.tokens {
+                if self.stop_words.is_stop_word(&tok.word) {
+                    continue;
+                }
+                let s = if self.stemming { stem(&tok.word) } else { tok.word.clone() };
+                if s.is_empty() {
+                    continue;
+                }
+                stats.record(&s, tok.emphasized);
+                stems.push((s, tok.emphasized));
+            }
+            per_unit.push(stems);
+        }
+
+        // Stage 4: keyword extraction (frequency analysis + emphasis).
+        let admitted = stats.admit(&self.policy);
+
+        // Stage 5: per-unit logical index.
+        let entries: Vec<UnitEntry> = recognized
+            .iter()
+            .zip(per_unit)
+            .map(|(ru, stems)| {
+                let mut counts = std::collections::BTreeMap::new();
+                for (s, _) in stems {
+                    if admitted.contains(&s) {
+                        *counts.entry(s).or_insert(0u64) += 1;
+                    }
+                }
+                UnitEntry {
+                    path: ru.path.clone(),
+                    kind: ru.kind,
+                    synthetic: ru.synthetic,
+                    title: ru.title.clone(),
+                    counts,
+                    own_bytes: ru.own_bytes,
+                }
+            })
+            .collect();
+        DocumentIndex::new(entries)
+    }
+}
+
+impl Default for ScPipeline {
+    fn default() -> Self {
+        ScPipeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::lod::Lod;
+
+    fn doc(xml: &str) -> Document {
+        Document::parse_xml(xml).unwrap()
+    }
+
+    #[test]
+    fn stems_unify_morphological_variants() {
+        let d = doc("<document><paragraph>browse browsing browses browsed</paragraph></document>");
+        let idx = ScPipeline::new().run(&d);
+        // "browse/browses/browsed" stem to "brows" like "browsing".
+        assert_eq!(idx.total_count("brows"), 4);
+    }
+
+    #[test]
+    fn stop_words_never_indexed() {
+        let d = doc("<document><paragraph>the of and mobile</paragraph></document>");
+        let idx = ScPipeline::new().run(&d);
+        assert_eq!(idx.distinct_keywords(), 1);
+        assert_eq!(idx.total_count("mobil"), 1);
+    }
+
+    #[test]
+    fn counts_attach_to_owning_unit() {
+        let d = doc(
+            "<document><section><title>alpha</title>\
+             <subsection><paragraph>beta beta</paragraph></subsection>\
+             </section></document>",
+        );
+        let idx = ScPipeline::new().run(&d);
+        let para = idx
+            .entries()
+            .iter()
+            .find(|e| e.kind == Lod::Paragraph)
+            .unwrap();
+        assert_eq!(para.count("beta"), 2);
+        assert_eq!(para.count("alpha"), 0, "title belongs to the section");
+        let section = idx.entries().iter().find(|e| e.kind == Lod::Section).unwrap();
+        assert_eq!(section.count("alpha"), 1);
+    }
+
+    #[test]
+    fn frequency_policy_drops_rare_words() {
+        let d = doc("<document><paragraph>common common rare</paragraph></document>");
+        let idx = ScPipeline::new()
+            .with_policy(KeywordPolicy { min_frequency: 2, always_admit_emphasized: false })
+            .run(&d);
+        assert_eq!(idx.total_count("common"), 2);
+        assert_eq!(idx.total_count("rare"), 0);
+    }
+
+    #[test]
+    fn emphasized_rare_words_survive_strict_policy() {
+        let d = doc("<document><paragraph>common common <b>special</b></paragraph></document>");
+        let idx = ScPipeline::new()
+            .with_policy(KeywordPolicy { min_frequency: 2, always_admit_emphasized: true })
+            .run(&d);
+        assert_eq!(idx.total_count("special"), 1);
+    }
+
+    #[test]
+    fn stemming_can_be_disabled() {
+        let d = doc("<document><paragraph>browsing browses</paragraph></document>");
+        let idx = ScPipeline::new().with_stemming(false).run(&d);
+        assert_eq!(idx.total_count("browsing"), 1);
+        assert_eq!(idx.total_count("browses"), 1);
+        assert_eq!(idx.total_count("brows"), 0);
+    }
+
+    #[test]
+    fn normalize_word_matches_pipeline_space() {
+        let p = ScPipeline::new();
+        assert_eq!(p.normalize_word("Browsing"), Some("brows".to_owned()));
+        assert_eq!(p.normalize_word("the"), None);
+        let d = doc("<document><paragraph>browsing</paragraph></document>");
+        let idx = p.run(&d);
+        assert_eq!(idx.total_count(&p.normalize_word("browses").unwrap()), 1);
+    }
+
+    #[test]
+    fn empty_document_yields_empty_index() {
+        let d = doc("<document></document>");
+        let idx = ScPipeline::new().run(&d);
+        assert_eq!(idx.distinct_keywords(), 0);
+        assert_eq!(idx.entries().len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The document recognizer: structured document → per-unit word stream.
+//!
+//! "The document recognizer converts an XML document into a plain text
+//! document, taking consideration of formatting information including
+//! the hierarchical document structure and those specially formatted
+//! words" (§3.3). Here that means walking the unit tree and emitting,
+//! for every organizational unit, the sequence of raw word tokens the
+//! unit *itself* contains (titles included), each tagged with whether it
+//! was specially formatted.
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_docmodel::unit::{Unit, UnitPath};
+
+/// A raw word token before lemmatization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawToken {
+    /// The lowercased word.
+    pub word: String,
+    /// Whether the word was specially formatted (bold/italic) or part of
+    /// a title — the signals that later grant automatic keyword status.
+    pub emphasized: bool,
+}
+
+/// The recognized text of one organizational unit (own text only;
+/// descendant units appear as their own entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecognizedUnit {
+    /// Path from the document root.
+    pub path: UnitPath,
+    /// The unit's level of detail.
+    pub kind: Lod,
+    /// Whether the unit is a normalization artifact.
+    pub synthetic: bool,
+    /// The unit's title, verbatim.
+    pub title: Option<String>,
+    /// Raw tokens of the unit's own title and text runs.
+    pub tokens: Vec<RawToken>,
+    /// The unit's own content bytes (title + runs, not descendants).
+    pub own_bytes: usize,
+}
+
+/// Splits text into lowercase word tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters (plus internal
+/// apostrophes, so `don't` stays one token); tokens without any
+/// alphabetic character (pure numbers, stray punctuation) are dropped,
+/// matching classical IR practice.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_textproc::recognizer::tokenize;
+///
+/// let words: Vec<String> = tokenize("It's 42 degrees -- browse ON!")
+///     .map(|t| t.to_string())
+///     .collect();
+/// assert_eq!(words, ["it's", "degrees", "browse", "on"]);
+/// ```
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !(c.is_alphanumeric() || c == '\''))
+        .map(|t| t.trim_matches('\''))
+        .filter(|t| !t.is_empty() && t.chars().any(char::is_alphabetic))
+        .map(|t| t.to_lowercase())
+}
+
+/// Recognizes a whole document: one [`RecognizedUnit`] per
+/// organizational unit, in preorder.
+pub fn recognize(doc: &Document) -> Vec<RecognizedUnit> {
+    let mut out = Vec::new();
+    doc.root().walk(&mut UnitPath::root(), &mut |path, unit| {
+        out.push(recognize_unit(path.clone(), unit));
+    });
+    out
+}
+
+fn recognize_unit(path: UnitPath, unit: &Unit) -> RecognizedUnit {
+    let mut tokens = Vec::new();
+    if let Some(title) = unit.title() {
+        // Title words are specially formatted by construction.
+        for word in tokenize(title) {
+            tokens.push(RawToken { word, emphasized: true });
+        }
+    }
+    for run in unit.runs() {
+        for word in tokenize(&run.text) {
+            tokens.push(RawToken { word, emphasized: run.emphasized });
+        }
+    }
+    let own_bytes = unit.title().map_or(0, str::len)
+        + unit.runs().iter().map(|r| r.text.len()).sum::<usize>();
+    RecognizedUnit {
+        path,
+        kind: unit.kind(),
+        synthetic: unit.is_synthetic(),
+        title: unit.title().map(str::to_owned),
+        tokens,
+        own_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_docmodel::document::Document;
+
+    fn doc() -> Document {
+        Document::parse_xml(
+            "<document><title>Top Title</title>\
+             <section><title>Sec</title>\
+             <paragraph>Plain words and <b>Bold Words</b> here.</paragraph>\
+             </section></document>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        let toks: Vec<String> = tokenize("Hello, World! foo-bar baz_qux").collect();
+        assert_eq!(toks, ["hello", "world", "foo", "bar", "baz", "qux"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_internal_apostrophes() {
+        let toks: Vec<String> = tokenize("don't 'quoted' o'clock").collect();
+        assert_eq!(toks, ["don't", "quoted", "o'clock"]);
+    }
+
+    #[test]
+    fn tokenize_drops_pure_numbers() {
+        let toks: Vec<String> = tokenize("10 x86 2024 word").collect();
+        assert_eq!(toks, ["x86", "word"]);
+    }
+
+    #[test]
+    fn recognize_walks_all_units_preorder() {
+        let units = recognize(&doc());
+        // document, section, paragraph (normalization adds no synthetic
+        // wrapper here because the section has only paragraphs... it
+        // does: sections must contain subsections).
+        let kinds: Vec<Lod> = units.iter().map(|u| u.kind).collect();
+        assert_eq!(kinds[0], Lod::Document);
+        assert!(kinds.contains(&Lod::Paragraph));
+    }
+
+    #[test]
+    fn title_words_are_emphasized() {
+        let units = recognize(&doc());
+        let root = &units[0];
+        assert_eq!(root.tokens.len(), 2);
+        assert!(root.tokens.iter().all(|t| t.emphasized));
+        assert_eq!(root.tokens[0].word, "top");
+    }
+
+    #[test]
+    fn bold_runs_are_emphasized_plain_are_not() {
+        let units = recognize(&doc());
+        let para = units.iter().find(|u| u.kind == Lod::Paragraph).unwrap();
+        let bold: Vec<_> =
+            para.tokens.iter().filter(|t| t.emphasized).map(|t| t.word.as_str()).collect();
+        let plain: Vec<_> =
+            para.tokens.iter().filter(|t| !t.emphasized).map(|t| t.word.as_str()).collect();
+        assert_eq!(bold, ["bold", "words"]);
+        assert_eq!(plain, ["plain", "words", "and", "here"]);
+    }
+
+    #[test]
+    fn own_bytes_excludes_descendants() {
+        let units = recognize(&doc());
+        let root = &units[0];
+        assert_eq!(root.own_bytes, "Top Title".len());
+    }
+
+    #[test]
+    fn synthetic_units_are_flagged() {
+        let units = recognize(&doc());
+        assert!(units.iter().any(|u| u.synthetic), "normalization should add a virtual unit");
+    }
+}

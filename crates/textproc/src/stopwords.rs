@@ -1,0 +1,143 @@
+//! The word filter: eliminating non-meaning-bearing "stop" words.
+//!
+//! "The word filter eliminates non-meaning-bearing words, usually
+//! referred to as 'stop' words" (§3.3). The default list is the classic
+//! closed-class English vocabulary (articles, prepositions, pronouns,
+//! auxiliaries) used by IR engines of the paper's era.
+
+use std::collections::HashSet;
+
+/// The default stop-word list.
+pub const DEFAULT_STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "either", "etc", "few", "for", "from", "further",
+    "had", "hadn't", "has", "hasn't", "have", "haven't", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "isn't", "it",
+    "its", "itself", "let's", "may", "me", "might", "more", "most", "must", "mustn't", "my",
+    "myself", "neither", "no", "nor", "not", "of", "off", "on", "once", "only", "or", "other",
+    "ought", "our", "ours", "ourselves", "out", "over", "own", "per", "quite", "rather", "same",
+    "shall", "shan't", "she", "should", "shouldn't", "since", "so", "some", "such", "than",
+    "that", "the", "their", "theirs", "them", "themselves", "then", "there", "these", "they",
+    "this", "those", "through", "thus", "to", "too", "under", "until", "up", "upon", "us",
+    "very", "via", "was", "wasn't", "we", "were", "weren't", "what", "when", "where", "which",
+    "while", "who", "whom", "whose", "why", "will", "with", "won't", "would", "wouldn't", "yet",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// A stop-word filter.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_textproc::stopwords::StopWords;
+///
+/// let sw = StopWords::default();
+/// assert!(sw.is_stop_word("the"));
+/// assert!(sw.is_stop_word("The"));
+/// assert!(!sw.is_stop_word("bandwidth"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    words: HashSet<String>,
+}
+
+impl StopWords {
+    /// Builds a filter from an explicit word list.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        StopWords { words: words.into_iter().map(|w| w.as_ref().to_lowercase()).collect() }
+    }
+
+    /// An empty filter that passes every word.
+    pub fn none() -> Self {
+        StopWords { words: HashSet::new() }
+    }
+
+    /// Whether `word` (case-insensitive) is a stop word.
+    pub fn is_stop_word(&self, word: &str) -> bool {
+        if word.chars().any(|c| c.is_ascii_uppercase()) {
+            self.words.contains(&word.to_lowercase())
+        } else {
+            self.words.contains(word)
+        }
+    }
+
+    /// Adds a word to the filter.
+    pub fn insert(&mut self, word: &str) {
+        self.words.insert(word.to_lowercase());
+    }
+
+    /// Number of words in the list.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl Default for StopWords {
+    fn default() -> Self {
+        StopWords::from_words(DEFAULT_STOP_WORDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_list_contains_closed_class_words() {
+        let sw = StopWords::default();
+        for w in ["the", "of", "and", "is", "was", "with", "we", "that"] {
+            assert!(sw.is_stop_word(w), "{w:?} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        let sw = StopWords::default();
+        for w in ["mobile", "wireless", "document", "transmission", "web"] {
+            assert!(!sw.is_stop_word(w), "{w:?} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let sw = StopWords::default();
+        assert!(sw.is_stop_word("THE"));
+        assert!(sw.is_stop_word("The"));
+    }
+
+    #[test]
+    fn custom_lists_and_insert() {
+        let mut sw = StopWords::from_words(["foo"]);
+        assert!(sw.is_stop_word("foo"));
+        assert!(!sw.is_stop_word("bar"));
+        sw.insert("Bar");
+        assert!(sw.is_stop_word("bar"));
+        assert_eq!(sw.len(), 2);
+    }
+
+    #[test]
+    fn none_passes_everything() {
+        let sw = StopWords::none();
+        assert!(sw.is_empty());
+        assert!(!sw.is_stop_word("the"));
+    }
+
+    #[test]
+    fn no_duplicates_in_default_list() {
+        let mut seen = std::collections::HashSet::new();
+        for w in DEFAULT_STOP_WORDS {
+            assert!(seen.insert(*w), "duplicate stop word {w:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Lead-in-sentence summarization — the baseline the paper critiques.
+//!
+//! Related work (§2): "other researchers have worked on generating
+//! summarized information of a web document and presenting the summary
+//! before retrieving the whole document … Lead-in sentences are often
+//! recognized as a good summary of a paragraph. … However, the whole
+//! document is often not a refinement of the summary, thus consuming
+//! additional bandwidth when a relevant document is later retrieved."
+//!
+//! [`lead_in_summary`] implements that classic baseline (first sentence
+//! of each paragraph, budgeted), so the simulator can quantify the
+//! double-transmission penalty the paper uses to motivate
+//! multi-resolution transmission.
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::lod::Lod;
+
+/// Splits text into sentences on `.`, `!`, `?` boundaries followed by
+/// whitespace or end of text. Abbreviation handling is deliberately
+/// simple — the 1990s summarizers the paper cites were no smarter.
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if matches!(bytes[i], b'.' | b'!' | b'?') {
+            let end = i + 1;
+            let at_boundary =
+                end >= bytes.len() || bytes[end].is_ascii_whitespace();
+            if at_boundary {
+                let s = text[start..end].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = end;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// A generated summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// The selected lead-in sentences, in document order.
+    pub sentences: Vec<String>,
+}
+
+impl Summary {
+    /// Total bytes of the summary text (space-joined).
+    pub fn len_bytes(&self) -> usize {
+        if self.sentences.is_empty() {
+            0
+        } else {
+            self.sentences.iter().map(String::len).sum::<usize>() + self.sentences.len() - 1
+        }
+    }
+
+    /// The summary as one string.
+    pub fn text(&self) -> String {
+        self.sentences.join(" ")
+    }
+}
+
+/// Builds a lead-in summary: the first sentence of each paragraph, in
+/// document order, until `budget_bytes` is exhausted (at least one
+/// sentence is always taken from a nonempty document).
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_docmodel::document::Document;
+/// use mrtweb_textproc::summary::lead_in_summary;
+///
+/// # fn main() -> Result<(), mrtweb_docmodel::xml::ParseError> {
+/// let doc = Document::parse_xml(
+///     "<document><section>\
+///      <paragraph>Mobile links are lossy. They also fade.</paragraph>\
+///      <paragraph>Caching helps a lot. Really.</paragraph>\
+///      </section></document>")?;
+/// let s = lead_in_summary(&doc, 1000);
+/// assert_eq!(s.sentences, vec!["Mobile links are lossy.", "Caching helps a lot."]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lead_in_summary(doc: &Document, budget_bytes: usize) -> Summary {
+    let mut sentences = Vec::new();
+    let mut used = 0usize;
+    for para in doc.units_at(Lod::Paragraph) {
+        let text = para.unit.own_text();
+        if let Some(first) = split_sentences(&text).first() {
+            let cost = first.len() + 1;
+            if !sentences.is_empty() && used + cost > budget_bytes {
+                break;
+            }
+            used += cost;
+            sentences.push((*first).to_owned());
+        }
+    }
+    Summary { sentences }
+}
+
+/// The *summary-then-document* transfer cost model the paper argues
+/// against: the summary is always transmitted; if the document turns
+/// out relevant, the **whole** document is transmitted afterwards
+/// because "the whole document is often not a refinement of the
+/// summary". Returns `(bytes_if_relevant, bytes_if_irrelevant)`.
+pub fn summary_baseline_bytes(doc_bytes: usize, summary_bytes: usize) -> (usize, usize) {
+    (summary_bytes + doc_bytes, summary_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_splitting_basics() {
+        assert_eq!(
+            split_sentences("One. Two! Three? Four"),
+            vec!["One.", "Two!", "Three?", "Four"]
+        );
+        assert_eq!(split_sentences(""), Vec::<&str>::new());
+        assert_eq!(split_sentences("No terminator"), vec!["No terminator"]);
+    }
+
+    #[test]
+    fn dots_inside_tokens_do_not_split() {
+        assert_eq!(
+            split_sentences("Version 1.5 shipped. Next."),
+            vec!["Version 1.5 shipped.", "Next."]
+        );
+    }
+
+    fn doc() -> Document {
+        Document::parse_xml(
+            "<document><section>\
+             <paragraph>Alpha sentence one. Alpha two.</paragraph>\
+             <paragraph>Beta sentence one. Beta two.</paragraph>\
+             <paragraph>Gamma sentence one. Gamma two.</paragraph>\
+             </section></document>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn takes_first_sentence_of_each_paragraph() {
+        let s = lead_in_summary(&doc(), 10_000);
+        assert_eq!(
+            s.sentences,
+            vec!["Alpha sentence one.", "Beta sentence one.", "Gamma sentence one."]
+        );
+        assert!(s.text().starts_with("Alpha"));
+    }
+
+    #[test]
+    fn budget_truncates_but_keeps_first() {
+        let s = lead_in_summary(&doc(), 25);
+        assert_eq!(s.sentences.len(), 1);
+        // Even with an absurd budget of 1 byte, one sentence survives.
+        let s = lead_in_summary(&doc(), 1);
+        assert_eq!(s.sentences.len(), 1);
+    }
+
+    #[test]
+    fn len_bytes_matches_text() {
+        let s = lead_in_summary(&doc(), 60);
+        assert_eq!(s.len_bytes(), s.text().len());
+    }
+
+    #[test]
+    fn empty_document_gives_empty_summary() {
+        let d = Document::parse_xml("<document></document>").unwrap();
+        let s = lead_in_summary(&d, 100);
+        assert!(s.sentences.is_empty());
+        assert_eq!(s.len_bytes(), 0);
+    }
+
+    #[test]
+    fn baseline_double_transmits_relevant_documents() {
+        let (relevant, irrelevant) = summary_baseline_bytes(10_000, 800);
+        assert_eq!(relevant, 10_800, "the summary bytes are pure overhead when relevant");
+        assert_eq!(irrelevant, 800);
+    }
+}

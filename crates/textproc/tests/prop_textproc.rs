@@ -1,0 +1,114 @@
+//! Property-based tests for the text-processing pipeline.
+
+use proptest::prelude::*;
+
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::gen::SyntheticDocSpec;
+use mrtweb_textproc::lemmatizer::stem;
+use mrtweb_textproc::pipeline::ScPipeline;
+use mrtweb_textproc::recognizer::tokenize;
+
+proptest! {
+    /// Porter is *not* idempotent in general (e.g. "ebee" → "ebe" →
+    /// "eb"), but it is deterministic and stabilizes: repeated
+    /// application reaches a fixed point within a few rounds.
+    #[test]
+    fn stemming_stabilizes(word in "[a-z]{1,20}") {
+        let mut cur = stem(&word);
+        for _ in 0..24 {
+            let next = stem(&cur);
+            if next == cur {
+                return Ok(());
+            }
+            cur = next;
+        }
+        prop_assert!(false, "stemming of {word:?} never stabilized (ended at {cur:?})");
+    }
+
+    /// Constructed -ing forms over a vowel-bearing stem always lose the
+    /// suffix.
+    #[test]
+    fn ing_suffix_is_stripped(prefix in "[bcdfglmnprt]{0,2}[aeou][bcdfglmnprt]{1,3}") {
+        let word = format!("{prefix}ing");
+        let s = stem(&word);
+        prop_assert!(!s.ends_with("ing"), "{word:?} stemmed to {s:?}");
+    }
+
+    /// Stems never grow longer than the input and are never empty for
+    /// nonempty alphabetic input.
+    #[test]
+    fn stems_shrink_and_stay_nonempty(word in "[a-z]{1,24}") {
+        let s = stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.len() <= word.len());
+    }
+
+    /// Common plural forms share a stem with their singular.
+    #[test]
+    fn plural_unifies_with_singular(word in "[a-z]{3,12}") {
+        // Exclude words already ending in s/e/y where pluralization
+        // rules interact nontrivially.
+        prop_assume!(!word.ends_with('s') && !word.ends_with('e') && !word.ends_with('y'));
+        let plural = format!("{word}s");
+        prop_assert_eq!(stem(&word), stem(&plural), "{} vs {}", word, plural);
+    }
+
+    /// Tokenization output contains only lowercase tokens with at least
+    /// one alphabetic character, and tokens cover no whitespace.
+    #[test]
+    fn tokens_are_clean(text in "\\PC{0,200}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().any(char::is_alphabetic));
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// Document totals always equal the sum of per-unit counts.
+    ///
+    /// (Note: the index *can* contain stems that textually equal a stop
+    /// word — "one" stems to "on" — because filtering applies to the
+    /// surface form before stemming, exactly as the paper's pipeline
+    /// order prescribes.)
+    #[test]
+    fn index_totals_are_consistent(seed in any::<u64>(), sections in 1usize..4) {
+        let spec = SyntheticDocSpec {
+            sections,
+            target_bytes: 1200,
+            keyword_budget: 40,
+            ..Default::default()
+        };
+        let doc = spec.generate(seed).document;
+        let pipeline = ScPipeline::default();
+        let index = pipeline.run(&doc);
+        let mut summed: std::collections::BTreeMap<String, u64> = Default::default();
+        for e in index.entries() {
+            for (stem, n) in &e.counts {
+                *summed.entry(stem.clone()).or_insert(0) += n;
+            }
+        }
+        prop_assert_eq!(&summed, index.totals());
+        prop_assert_eq!(
+            index.max_count(),
+            index.totals().values().copied().max().unwrap_or(0)
+        );
+    }
+
+    /// The pipeline is insensitive to XML serialization: running on a
+    /// document and on its parse(to_xml()) round trip gives the same
+    /// index.
+    #[test]
+    fn pipeline_stable_under_round_trip(seed in any::<u64>()) {
+        let spec = SyntheticDocSpec {
+            sections: 2,
+            target_bytes: 800,
+            keyword_budget: 30,
+            ..Default::default()
+        };
+        let doc = spec.generate(seed).document;
+        let again = Document::parse_xml(&doc.to_xml()).unwrap();
+        let pipeline = ScPipeline::default();
+        prop_assert_eq!(pipeline.run(&doc), pipeline.run(&again));
+    }
+}

@@ -1,0 +1,302 @@
+//! Byte-stream compression at the interceptor layer.
+//!
+//! The paper's related work (§2/§4.2, citing the eNetwork Web Express
+//! interceptors) lists compression alongside ARQ as "alternative
+//! mechanisms" implementable at the same client/server interceptor
+//! layer that hosts the fault-tolerant encoder. This module provides a
+//! self-contained LZSS compressor (sliding-window match/literal coding
+//! with a greedy parser) so the benchmarks can quantify the classic
+//! trade-off: compression shrinks `M` — fewer packets to deliver — but
+//! makes every byte depend on the bytes before it, so a partial
+//! (early-stopped) transfer of compressed data yields nothing
+//! renderable, whereas clear-text multi-resolution slices render as
+//! they land.
+//!
+//! Format: a token stream. Control bytes group 8 tokens; bit `i` set
+//! means token `i` is a match `(distance: u16 LE, length: u8)` against
+//! the previous output, clear means a literal byte. Window 64 KiB,
+//! match lengths 4–258 (encoded as `length - 3`, with 4 the minimum
+//! worth encoding).
+
+use std::collections::HashMap;
+
+use crate::plan::TransmissionPlan;
+
+/// Minimum match length worth encoding (shorter is stored literally).
+const MIN_MATCH: usize = 4;
+/// Maximum encodable match length (`255 + 3`).
+const MAX_MATCH: usize = 258;
+/// Sliding-window size (maximum match distance).
+const WINDOW: usize = 65_535;
+
+/// Compresses `data` with LZSS.
+///
+/// The output always round-trips through [`decompress`]; it may be
+/// larger than the input for incompressible data (by at most ⅛ plus a
+/// few bytes of framing).
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_transport::compress::{compress, decompress};
+///
+/// let text = "mobile web mobile web mobile web documents".repeat(20);
+/// let packed = compress(text.as_bytes());
+/// assert!(packed.len() < text.len() / 2);
+/// assert_eq!(decompress(&packed).unwrap(), text.as_bytes());
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Chain hash of 4-byte prefixes → most recent positions.
+    let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
+    let key = |d: &[u8], i: usize| -> u32 {
+        u32::from_le_bytes([d[i], d[i + 1], d[i + 2], d[i + 3]])
+    };
+
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            if let Some(positions) = table.get(&key(data, i)) {
+                // Scan the most recent candidates only (bounded work).
+                for &p in positions.iter().rev().take(32) {
+                    if i - p > WINDOW {
+                        break;
+                    }
+                    let mut l = 0usize;
+                    let max = (data.len() - i).min(MAX_MATCH);
+                    while l < max && data[p + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - p;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { distance: best_dist as u16, length: best_len });
+            // Index every covered position (sparsely for long matches).
+            let step = if best_len > 32 { 4 } else { 1 };
+            let mut j = i;
+            while j < i + best_len && j + MIN_MATCH <= data.len() {
+                table.entry(key(data, j)).or_default().push(j);
+                j += step;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            if i + MIN_MATCH <= data.len() {
+                table.entry(key(data, i)).or_default().push(i);
+            }
+            i += 1;
+        }
+    }
+
+    // Serialize: u32 LE original length, then 8-token groups.
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    for group in tokens.chunks(8) {
+        let mut flags = 0u8;
+        for (b, t) in group.iter().enumerate() {
+            if matches!(t, Token::Match { .. }) {
+                flags |= 1 << b;
+            }
+        }
+        out.push(flags);
+        for t in group {
+            match t {
+                Token::Literal(b) => out.push(*b),
+                Token::Match { distance, length } => {
+                    out.extend_from_slice(&distance.to_le_bytes());
+                    out.push((length - 3) as u8);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug)]
+enum Token {
+    Literal(u8),
+    Match { distance: u16, length: usize },
+}
+
+/// Error decompressing a corrupted or truncated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompressError(pub &'static str);
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decompression failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Decompresses an LZSS stream produced by [`compress`].
+///
+/// # Errors
+///
+/// [`DecompressError`] on truncation, bad match references, or a length
+/// mismatch — the failure a corrupted compressed transfer exhibits.
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if packed.len() < 4 {
+        return Err(DecompressError("missing header"));
+    }
+    let expect = u32::from_le_bytes([packed[0], packed[1], packed[2], packed[3]]) as usize;
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 4usize;
+    while out.len() < expect {
+        if i >= packed.len() {
+            return Err(DecompressError("truncated stream"));
+        }
+        let flags = packed[i];
+        i += 1;
+        for b in 0..8 {
+            if out.len() >= expect {
+                break;
+            }
+            if flags & (1 << b) != 0 {
+                if i + 3 > packed.len() {
+                    return Err(DecompressError("truncated match token"));
+                }
+                let distance = u16::from_le_bytes([packed[i], packed[i + 1]]) as usize;
+                let length = packed[i + 2] as usize + 3;
+                i += 3;
+                if distance == 0 || distance > out.len() {
+                    return Err(DecompressError("match reference outside window"));
+                }
+                let start = out.len() - distance;
+                for k in 0..length {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                if i >= packed.len() {
+                    return Err(DecompressError("truncated literal token"));
+                }
+                out.push(packed[i]);
+                i += 1;
+            }
+        }
+    }
+    if out.len() != expect {
+        return Err(DecompressError("length mismatch"));
+    }
+    Ok(out)
+}
+
+/// How many raw packets a *compressed* conventional transfer needs,
+/// versus the uncompressed plan — the comparator the benchmarks sweep.
+pub fn compressed_raw_packets(plan_payload: &[u8], packet_size: usize) -> usize {
+    compress(plan_payload).len().div_ceil(packet_size).max(1)
+}
+
+/// Convenience: the packet savings ratio for a payload (`1.0` = no
+/// savings; `0.4` = compressed needs 40% of the packets).
+pub fn packet_savings(plan: &TransmissionPlan, payload: &[u8], packet_size: usize) -> f64 {
+    compressed_raw_packets(payload, packet_size) as f64 / plan.raw_packets(packet_size) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data);
+        assert_eq!(decompress(&packed).unwrap(), data, "round trip failed ({} bytes)", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"aaaa");
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let text = "the mobile web client browses the mobile web ".repeat(100);
+        let packed = compress(text.as_bytes());
+        assert!(
+            packed.len() < text.len() / 3,
+            "expected 3x on repetitive text: {} -> {}",
+            text.len(),
+            packed.len()
+        );
+        round_trip(text.as_bytes());
+    }
+
+    #[test]
+    fn incompressible_data_grows_boundedly() {
+        // A pseudo-random byte stream.
+        let data: Vec<u8> = (0u32..4096)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + data.len() / 8 + 8);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_runs_use_max_matches() {
+        let data = vec![0x55u8; 10_000];
+        let packed = compress(&data);
+        assert!(packed.len() < 200, "run-length case should collapse: {}", packed.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "abcabcabc..." forces distance < length copies.
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(1000).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupted_streams_are_rejected_not_garbled() {
+        let text = "structured mobile web documents ".repeat(50);
+        let packed = compress(text.as_bytes());
+        // Truncation.
+        assert!(decompress(&packed[..packed.len() / 2]).is_err());
+        assert!(decompress(&packed[..3]).is_err());
+        // A corrupted match distance pointing outside the window.
+        let mut bad = packed.clone();
+        if bad.len() > 8 {
+            bad[5] = 0xFF;
+            bad[6] = 0xFF;
+            // Either decodes to an error or (if it hit a literal) to a
+            // different payload; it must never panic.
+            let _ = decompress(&bad);
+        }
+    }
+
+    #[test]
+    fn savings_metric() {
+        use crate::plan::UnitSlice;
+        let text = "paragraph of mobile web content ".repeat(300);
+        let payload = text.as_bytes();
+        let plan = crate::plan::TransmissionPlan::sequential(vec![UnitSlice::new(
+            "doc",
+            payload.len(),
+            1.0,
+        )]);
+        let savings = packet_savings(&plan, payload, 256);
+        assert!(savings < 0.5, "expected >2x packet savings, got ratio {savings}");
+        assert!(savings > 0.0);
+    }
+
+    #[test]
+    fn binary_data_with_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        round_trip(&data);
+    }
+}

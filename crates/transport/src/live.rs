@@ -1,0 +1,593 @@
+//! A live client/server prototype exchanging real bytes.
+//!
+//! The paper demonstrates feasibility with a Java/CORBA prototype
+//! (Figure 1): a *document transmitter* behind the web server pushes
+//! organizational units to a browser-side *sequence manager* and
+//! *rendering manager*, which paints each unit "incrementally at the
+//! proper position in the browsing window when the unit is received".
+//!
+//! This module is the Rust analogue: a server thread packetizes, frames
+//! (CRC + sequence number) and pushes a document through a corrupting
+//! [`Link`]; the client verifies CRCs, discards corrupted frames,
+//! emits progressive [`ClientEvent::SliceProgress`] rendering events as
+//! clear-text bytes land, requests retransmission of what it lacks, and
+//! reconstructs the document from any `M` intact cooked packets.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+use mrtweb_channel::bandwidth::Bandwidth;
+use mrtweb_channel::bernoulli::BernoulliChannel;
+use mrtweb_channel::link::Link;
+use mrtweb_content::sc::{Measure, StructuralCharacteristic};
+use mrtweb_docmodel::document::Document;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_erasure::ida::Codec;
+use mrtweb_erasure::packet::Frame;
+use mrtweb_erasure::Error;
+
+use crate::plan::{plan_document, TransmissionPlan};
+use crate::receiver::ReceiverState;
+use crate::session::CacheMode;
+
+/// Reliable control-channel metadata describing a transmission — the
+/// structural characteristic the server ships ahead of the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentHeader {
+    /// Payload length in bytes (pre-padding).
+    pub doc_len: usize,
+    /// Raw packets `M`.
+    pub m: usize,
+    /// Cooked packets `N`.
+    pub n: usize,
+    /// Raw bytes per packet.
+    pub packet_size: usize,
+    /// The transmission plan (slice order, sizes, contents).
+    pub plan: TransmissionPlan,
+}
+
+/// Progressive events the rendering manager consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// More of a slice became renderable: `fraction` of its bytes are in.
+    SliceProgress {
+        /// The slice's label (unit path).
+        label: String,
+        /// Fraction of the slice's bytes now available, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// `M` intact packets arrived; the whole document reconstructs.
+    Reconstructed,
+}
+
+/// The server side: owns the encoded document.
+#[derive(Debug)]
+pub struct LiveServer {
+    header: DocumentHeader,
+    codec: Codec,
+    raws: Vec<Vec<u8>>,
+}
+
+impl LiveServer {
+    /// Prepares a document for transmission at `lod` ordered by
+    /// `measure`, with `gamma` redundancy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] if the document needs more than 256
+    /// cooked packets at this packet size (use a larger packet size or a
+    /// chunking layer).
+    pub fn new(
+        doc: &Document,
+        sc: &StructuralCharacteristic,
+        lod: Lod,
+        measure: Measure,
+        packet_size: usize,
+        gamma: f64,
+    ) -> Result<Self, Error> {
+        let (plan, payload) = plan_document(doc, sc, lod, measure);
+        let m = plan.raw_packets(packet_size);
+        let n = ((m as f64 * gamma).round() as usize).max(m);
+        let codec = Codec::new(m, n, packet_size)?;
+        let raws = codec.split(&payload);
+        Ok(LiveServer {
+            header: DocumentHeader { doc_len: payload.len(), m, n, packet_size, plan },
+            codec,
+            raws,
+        })
+    }
+
+    /// Like [`LiveServer::new`], but grows the packet size (from
+    /// `min_packet_size`, doubling) until the document fits the 256
+    /// cooked-packet limit of one GF(2⁸) dispersal group — how a server
+    /// would serve documents of any size without a chunking layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors only for pathological `gamma` (the search
+    /// always finds a fitting packet size otherwise).
+    pub fn new_auto(
+        doc: &Document,
+        sc: &StructuralCharacteristic,
+        lod: Lod,
+        measure: Measure,
+        min_packet_size: usize,
+        gamma: f64,
+    ) -> Result<Self, Error> {
+        let (plan, _) = plan_document(doc, sc, lod, measure);
+        let total = plan.total_bytes().max(1);
+        let mut packet_size = min_packet_size.max(1);
+        loop {
+            let m = total.div_ceil(packet_size).max(1);
+            let n = ((m as f64 * gamma).round() as usize).max(m);
+            if n <= 256 {
+                return LiveServer::new(doc, sc, lod, measure, packet_size, gamma);
+            }
+            packet_size *= 2;
+        }
+    }
+
+    /// The control-channel header describing this transmission.
+    pub fn header(&self) -> &DocumentHeader {
+        &self.header
+    }
+
+    /// The wire frame for cooked packet `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ N`.
+    pub fn frame(&self, index: usize) -> Vec<u8> {
+        let payload = self.codec.encode_one(&self.raws, index);
+        Frame::new(index as u16, payload).to_wire().to_vec()
+    }
+}
+
+/// The client side: sequence manager + rendering manager.
+#[derive(Debug)]
+pub struct LiveClient {
+    header: DocumentHeader,
+    state: ReceiverState,
+    packets: Vec<Option<Vec<u8>>>,
+    codec: Codec,
+    /// Intact clear bytes per slice (for rendering progress).
+    slice_have: Vec<usize>,
+    reconstructed: Option<Vec<u8>>,
+}
+
+impl LiveClient {
+    /// Creates a client for the given transmission header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec construction errors for inconsistent headers.
+    pub fn new(header: DocumentHeader) -> Result<Self, Error> {
+        let codec = Codec::new(header.m, header.n, header.packet_size)?;
+        let contents = header.plan.packet_contents(header.packet_size);
+        let state = ReceiverState::new(header.m, header.n, contents);
+        let slice_have = vec![0usize; header.plan.slices().len()];
+        Ok(LiveClient {
+            packets: vec![None; header.n],
+            state,
+            codec,
+            slice_have,
+            header,
+            reconstructed: None,
+        })
+    }
+
+    /// Feeds one wire frame (possibly corrupted). Returns rendering
+    /// events triggered by this frame.
+    pub fn on_wire(&mut self, wire: &[u8]) -> Vec<ClientEvent> {
+        let frame = match Frame::from_wire(wire, self.header.packet_size) {
+            Ok(f) => f,
+            Err(_) => {
+                // Corrupted: detected by CRC, discarded. Sequence is
+                // unknown, so we only book the corruption statistically;
+                // index 0 is safe because corrupted packets never alter
+                // intact bookkeeping.
+                self.state.on_packet(0, true);
+                return Vec::new();
+            }
+        };
+        let idx = frame.sequence() as usize;
+        if idx >= self.header.n || self.state.has(idx) {
+            // Unknown or duplicate: nothing new.
+            if idx < self.header.n {
+                self.state.on_packet(idx, false);
+            }
+            return Vec::new();
+        }
+        self.state.on_packet(idx, false);
+        self.packets[idx] = Some(frame.into_payload());
+        let mut events = Vec::new();
+        if idx < self.header.m {
+            events.extend(self.render_progress(idx));
+        }
+        if self.state.is_complete() && self.reconstructed.is_none() {
+            let collected: Vec<(usize, Vec<u8>)> = self
+                .packets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.clone().map(|p| (i, p)))
+                .collect();
+            if let Ok(bytes) = self.codec.decode(&collected, self.header.doc_len) {
+                self.reconstructed = Some(bytes);
+                events.push(ClientEvent::Reconstructed);
+            }
+        }
+        events
+    }
+
+    /// Rendering progress for the slices a clear packet touches.
+    fn render_progress(&mut self, packet_idx: usize) -> Vec<ClientEvent> {
+        let lo = packet_idx * self.header.packet_size;
+        let hi = ((packet_idx + 1) * self.header.packet_size).min(self.header.doc_len);
+        let mut events = Vec::new();
+        for (i, range) in self.header.plan.slice_ranges().iter().enumerate() {
+            let overlap = hi.min(range.end).saturating_sub(lo.max(range.start));
+            if overlap == 0 || range.is_empty() {
+                continue;
+            }
+            self.slice_have[i] += overlap;
+            let fraction = self.slice_have[i] as f64 / (range.end - range.start) as f64;
+            events.push(ClientEvent::SliceProgress {
+                label: self.header.plan.slices()[i].label.clone(),
+                fraction: fraction.min(1.0),
+            });
+        }
+        events
+    }
+
+    /// Protocol bookkeeping (intact counts, content, missing packets).
+    pub fn state(&self) -> &ReceiverState {
+        &self.state
+    }
+
+    /// The reconstructed payload, once available.
+    pub fn document_bytes(&self) -> Option<&[u8]> {
+        self.reconstructed.as_deref()
+    }
+
+    /// Discards all packet state (NoCaching reload).
+    pub fn reset(&mut self) {
+        self.state.reset_packets();
+        self.packets.iter_mut().for_each(|p| *p = None);
+        self.slice_have.iter_mut().for_each(|b| *b = 0);
+        self.reconstructed = None;
+    }
+}
+
+/// Control messages from client to server.
+#[derive(Debug)]
+enum Control {
+    /// Retransmit exactly these cooked packets.
+    Request(Vec<usize>),
+    /// The client is done (reconstructed or stopped).
+    Done,
+}
+
+/// Data messages from server to client.
+#[derive(Debug)]
+enum Wire {
+    Frame(Vec<u8>),
+    RoundEnd,
+    GaveUp,
+}
+
+/// Outcome of [`run_transfer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferReport {
+    /// Whether the document was fully reconstructed.
+    pub completed: bool,
+    /// Whether the client stopped early on the relevance threshold.
+    pub stopped_early: bool,
+    /// Rounds used (1 = no stall).
+    pub rounds: usize,
+    /// Frames pushed onto the wire.
+    pub frames_sent: u64,
+    /// Frames the client discarded as corrupted.
+    pub frames_corrupted: u64,
+    /// The reconstructed payload (empty if not completed).
+    pub payload: Vec<u8>,
+    /// Rendering events in order of occurrence.
+    pub events: Vec<ClientEvent>,
+}
+
+/// Parameters for [`run_transfer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferConfig {
+    /// Per-packet corruption probability of the simulated wireless link.
+    pub alpha: f64,
+    /// RNG seed for the link.
+    pub seed: u64,
+    /// Caching vs from-scratch reloads on stall.
+    pub cache_mode: CacheMode,
+    /// Stop once accrued content reaches this threshold (the user's
+    /// "stop" button for irrelevant documents).
+    pub stop_at_content: Option<f64>,
+    /// Retry budget in rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            alpha: 0.1,
+            seed: 0,
+            cache_mode: CacheMode::Caching,
+            stop_at_content: None,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Runs a full transfer: the server on its own thread pushing frames
+/// through a corrupting link, the client on the calling thread.
+///
+/// The header travels on the reliable control channel (modelled by
+/// cloning it to the client before the lossy data stream starts), as a
+/// real deployment would ship the structural characteristic first.
+///
+/// # Panics
+///
+/// Panics if the server thread panics (poisoned transfer).
+pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferReport {
+    // A small bounded window models the link's in-flight capacity: the
+    // server cannot run arbitrarily far ahead of the client, so a
+    // "stop" takes effect after at most a few frames.
+    let (wire_tx, wire_rx): (Sender<Wire>, Receiver<Wire>) = bounded(4);
+    let (ctl_tx, ctl_rx): (Sender<Control>, Receiver<Control>) = unbounded();
+
+    // (frames_sent, rounds), shared with the server thread.
+    let stats: Arc<Mutex<(u64, usize)>> = Arc::new(Mutex::new((0, 0)));
+    let header = server.header().clone();
+    let n = header.n;
+    let alpha = config.alpha;
+    let seed = config.seed;
+    let max_rounds = config.max_rounds;
+    let stats_server = Arc::clone(&stats);
+
+    let server_thread = thread::spawn(move || {
+        let mut link =
+            Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(alpha, seed), seed ^ 1);
+        let mut to_send: Vec<usize> = (0..n).collect();
+        loop {
+            {
+                let mut s = stats_server.lock();
+                s.1 += 1;
+                if s.1 > max_rounds {
+                    let _ = wire_tx.send(Wire::GaveUp);
+                    return;
+                }
+            }
+            for &idx in &to_send {
+                let mut bytes = server.frame(idx);
+                link.send_bytes(&mut bytes);
+                stats_server.lock().0 += 1;
+                if wire_tx.send(Wire::Frame(bytes)).is_err() {
+                    return; // client hung up
+                }
+            }
+            if wire_tx.send(Wire::RoundEnd).is_err() {
+                return;
+            }
+            match ctl_rx.recv() {
+                Ok(Control::Request(ids)) => to_send = ids,
+                Ok(Control::Done) | Err(_) => return,
+            }
+        }
+    });
+
+    let mut client = LiveClient::new(header).expect("header validated at server construction");
+    let mut events = Vec::new();
+    let mut completed = false;
+    let mut stopped_early = false;
+    let mut gave_up = false;
+
+    'transfer: for wire in wire_rx.iter() {
+        match wire {
+            Wire::Frame(bytes) => {
+                let new_events = client.on_wire(&bytes);
+                let reconstructed =
+                    new_events.iter().any(|e| matches!(e, ClientEvent::Reconstructed));
+                events.extend(new_events);
+                if reconstructed {
+                    completed = true;
+                    let _ = ctl_tx.send(Control::Done);
+                    break 'transfer;
+                }
+                if let Some(threshold) = config.stop_at_content {
+                    if client.state().content() >= threshold {
+                        stopped_early = true;
+                        let _ = ctl_tx.send(Control::Done);
+                        break 'transfer;
+                    }
+                }
+            }
+            Wire::RoundEnd => {
+                // Stalled round: arrange retransmission.
+                let request = match config.cache_mode {
+                    CacheMode::Caching => client.state().missing(),
+                    CacheMode::NoCaching => {
+                        client.reset();
+                        (0..n).collect()
+                    }
+                };
+                let _ = ctl_tx.send(Control::Request(request));
+            }
+            Wire::GaveUp => {
+                gave_up = true;
+                break 'transfer;
+            }
+        }
+    }
+    // Drop both channel ends so the server unblocks wherever it is
+    // (mid-send or waiting on control), then join.
+    drop(ctl_tx);
+    drop(wire_rx);
+    server_thread.join().expect("server thread panicked");
+    let _ = gave_up;
+
+    let (frames_sent, rounds) = *stats.lock();
+    TransferReport {
+        completed,
+        stopped_early,
+        rounds: rounds.min(max_rounds),
+        frames_sent,
+        frames_corrupted: client.state().corrupted(),
+        payload: client.document_bytes().map(<[u8]>::to_vec).unwrap_or_default(),
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrtweb_content::query::Query;
+    use mrtweb_textproc::pipeline::ScPipeline;
+
+    fn fixture() -> (Document, StructuralCharacteristic) {
+        let doc = Document::parse_xml(
+            "<document>\
+             <section><title>Mobile Web</title>\
+             <paragraph>mobile browsing over wireless channels needs bandwidth care</paragraph>\
+             <paragraph>clients cache cooked packets against corruption</paragraph></section>\
+             <section><title>Background</title>\
+             <paragraph>databases indexes storage engines and other prose</paragraph></section>\
+             </document>",
+        )
+        .unwrap();
+        let pipeline = ScPipeline::default();
+        let idx = pipeline.run(&doc);
+        let q = Query::parse("mobile wireless", &pipeline);
+        let sc = StructuralCharacteristic::from_index(&idx, Some(&q));
+        (doc, sc)
+    }
+
+    fn server(lod: Lod, gamma: f64) -> LiveServer {
+        let (doc, sc) = fixture();
+        LiveServer::new(&doc, &sc, lod, Measure::Qic, 32, gamma).unwrap()
+    }
+
+    #[test]
+    fn clean_channel_reconstructs_exactly() {
+        let srv = server(Lod::Paragraph, 1.5);
+        let (_, payload_expect) = {
+            let (doc, sc) = fixture();
+            plan_document(&doc, &sc, Lod::Paragraph, Measure::Qic)
+        };
+        let report = run_transfer(
+            srv,
+            &TransferConfig { alpha: 0.0, ..Default::default() },
+        );
+        assert!(report.completed);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.payload, payload_expect);
+        assert!(report.events.iter().any(|e| matches!(e, ClientEvent::Reconstructed)));
+    }
+
+    #[test]
+    fn lossy_channel_still_reconstructs_with_caching() {
+        let srv = server(Lod::Section, 1.5);
+        let (_, payload_expect) = {
+            let (doc, sc) = fixture();
+            plan_document(&doc, &sc, Lod::Section, Measure::Qic)
+        };
+        let report = run_transfer(
+            srv,
+            &TransferConfig { alpha: 0.3, seed: 7, ..Default::default() },
+        );
+        assert!(report.completed, "transfer failed: {report:?}");
+        assert_eq!(report.payload, payload_expect);
+        assert!(report.frames_corrupted > 0, "alpha=0.3 should corrupt something");
+    }
+
+    #[test]
+    fn nocaching_also_completes() {
+        let srv = server(Lod::Document, 1.5);
+        let report = run_transfer(
+            srv,
+            &TransferConfig {
+                alpha: 0.2,
+                seed: 3,
+                cache_mode: CacheMode::NoCaching,
+                ..Default::default()
+            },
+        );
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn stop_button_interrupts_irrelevant_document() {
+        let srv = server(Lod::Paragraph, 1.5);
+        let report = run_transfer(
+            srv,
+            &TransferConfig { alpha: 0.0, stop_at_content: Some(0.3), ..Default::default() },
+        );
+        assert!(report.stopped_early);
+        assert!(!report.completed);
+        assert!(report.payload.is_empty());
+    }
+
+    #[test]
+    fn progressive_rendering_is_monotone_per_slice() {
+        let srv = server(Lod::Paragraph, 1.2);
+        let report =
+            run_transfer(srv, &TransferConfig { alpha: 0.0, ..Default::default() });
+        let mut last: std::collections::HashMap<String, f64> = Default::default();
+        for e in &report.events {
+            if let ClientEvent::SliceProgress { label, fraction } = e {
+                let prev = last.insert(label.clone(), *fraction).unwrap_or(0.0);
+                assert!(*fraction >= prev, "progress went backwards for {label}");
+                assert!(*fraction <= 1.0 + 1e-12);
+            }
+        }
+        assert!(!last.is_empty(), "rendering events must be emitted");
+    }
+
+    #[test]
+    fn qic_ordering_renders_matching_section_first() {
+        let srv = server(Lod::Section, 1.5);
+        let first_label = srv.header().plan.slices()[0].label.clone();
+        let report =
+            run_transfer(srv, &TransferConfig { alpha: 0.0, ..Default::default() });
+        let first_event = report.events.iter().find_map(|e| match e {
+            ClientEvent::SliceProgress { label, .. } => Some(label.clone()),
+            _ => None,
+        });
+        assert_eq!(first_event.as_deref(), Some(first_label.as_str()));
+    }
+
+    #[test]
+    fn new_auto_fits_large_documents() {
+        use mrtweb_docmodel::gen::SyntheticDocSpec;
+        // A ~10 KiB document at 16-byte packets would need ~640 raw
+        // packets; new_auto must grow the packet size until N ≤ 256.
+        let doc = SyntheticDocSpec::default().generate(3).document;
+        let pipeline = ScPipeline::default();
+        let idx = pipeline.run(&doc);
+        let sc = StructuralCharacteristic::from_index(&idx, None);
+        let srv =
+            LiveServer::new_auto(&doc, &sc, Lod::Paragraph, Measure::Ic, 16, 1.5).unwrap();
+        assert!(srv.header().n <= 256, "N = {}", srv.header().n);
+        assert!(srv.header().packet_size >= 64, "packet size {}", srv.header().packet_size);
+        let report =
+            run_transfer(srv, &TransferConfig { alpha: 0.2, seed: 8, ..Default::default() });
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn hopeless_channel_gives_up_at_budget() {
+        let srv = server(Lod::Document, 1.0);
+        let report = run_transfer(
+            srv,
+            &TransferConfig { alpha: 1.0, max_rounds: 3, ..Default::default() },
+        );
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 3);
+        assert!(report.payload.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Information-content-ranked prefetching.
+//!
+//! The paper's future-work section (§6) proposes "intelligent
+//! prefetching based on information content and user-profiling,
+//! utilizing the unused wireless bandwidth being left idle". This module
+//! provides that queue: candidate documents (e.g. the pages linked from
+//! the one being read) are enrolled with a priority — typically their
+//! QIC against the user's standing query/profile — and the transmitter
+//! drains them highest-priority-first whenever the link is idle.
+
+use std::collections::BinaryHeap;
+
+/// A prefetch candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Identifier of the document (URL, database key, …).
+    pub id: String,
+    /// Priority — higher fetches first (e.g. QIC against the profile).
+    pub priority: f64,
+    /// Estimated size in bytes (for budget decisions).
+    pub bytes: usize,
+}
+
+impl Candidate {
+    /// Creates a candidate.
+    pub fn new(id: impl Into<String>, priority: f64, bytes: usize) -> Self {
+        Candidate { id: id.into(), priority, bytes }
+    }
+}
+
+/// Max-heap ordering on priority, with the id as a deterministic
+/// tie-break.
+#[derive(Debug, Clone, PartialEq)]
+struct HeapEntry(Candidate);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .priority
+            .total_cmp(&other.0.priority)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An idle-bandwidth prefetch queue.
+///
+/// # Example
+///
+/// ```
+/// use mrtweb_transport::prefetch::{Candidate, PrefetchQueue};
+///
+/// let mut q = PrefetchQueue::new();
+/// q.enroll(Candidate::new("doc-a", 0.2, 4096));
+/// q.enroll(Candidate::new("doc-b", 0.9, 4096));
+/// assert_eq!(q.pop().unwrap().id, "doc-b"); // highest content first
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchQueue {
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl PrefetchQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        PrefetchQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Enrolls a candidate.
+    pub fn enroll(&mut self, candidate: Candidate) {
+        self.heap.push(HeapEntry(candidate));
+    }
+
+    /// Pops the highest-priority candidate.
+    pub fn pop(&mut self) -> Option<Candidate> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Pops the highest-priority candidate that fits a byte budget —
+    /// the transmitter calls this with the bytes it can push before the
+    /// user's next expected action.
+    pub fn pop_within(&mut self, budget_bytes: usize) -> Option<Candidate> {
+        // Pull entries until one fits, re-enrolling the rest.
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some(entry) = self.heap.pop() {
+            if entry.0.bytes <= budget_bytes {
+                found = Some(entry.0);
+                break;
+            }
+            skipped.push(entry);
+        }
+        for s in skipped {
+            self.heap.push(s);
+        }
+        found
+    }
+
+    /// Number of waiting candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_priority_order() {
+        let mut q = PrefetchQueue::new();
+        q.enroll(Candidate::new("low", 0.1, 100));
+        q.enroll(Candidate::new("high", 0.9, 100));
+        q.enroll(Candidate::new("mid", 0.5, 100));
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|c| c.id).collect();
+        assert_eq!(order, ["high", "mid", "low"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_id() {
+        let mut q = PrefetchQueue::new();
+        q.enroll(Candidate::new("b", 0.5, 1));
+        q.enroll(Candidate::new("a", 0.5, 1));
+        assert_eq!(q.pop().unwrap().id, "a");
+        assert_eq!(q.pop().unwrap().id, "b");
+    }
+
+    #[test]
+    fn budget_respecting_pop() {
+        let mut q = PrefetchQueue::new();
+        q.enroll(Candidate::new("huge", 0.9, 100_000));
+        q.enroll(Candidate::new("small", 0.3, 1_000));
+        let picked = q.pop_within(2_000).unwrap();
+        assert_eq!(picked.id, "small");
+        // The big one is still queued for a roomier moment.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().id, "huge");
+    }
+
+    #[test]
+    fn budget_pop_returns_none_when_nothing_fits() {
+        let mut q = PrefetchQueue::new();
+        q.enroll(Candidate::new("big", 0.9, 10_000));
+        assert!(q.pop_within(100).is_none());
+        assert_eq!(q.len(), 1, "candidate must be preserved");
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = PrefetchQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.pop_within(1).is_none());
+        assert_eq!(q.len(), 0);
+    }
+}

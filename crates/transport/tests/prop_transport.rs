@@ -1,0 +1,151 @@
+//! Property-based tests for transmission planning and the receiver
+//! state machine.
+
+use proptest::prelude::*;
+
+use mrtweb_channel::bandwidth::Bandwidth;
+use mrtweb_channel::bernoulli::BernoulliChannel;
+use mrtweb_channel::link::Link;
+use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
+use mrtweb_transport::receiver::ReceiverState;
+use mrtweb_transport::session::{download, CacheMode, Outcome, Relevance, SessionConfig};
+
+fn slices_strategy() -> impl Strategy<Value = Vec<UnitSlice>> {
+    proptest::collection::vec((1usize..2000, 0.0f64..1.0), 1..30).prop_map(|parts| {
+        let total: f64 = parts.iter().map(|(_, c)| *c).sum::<f64>().max(1e-9);
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bytes, c))| UnitSlice::new(format!("u{i}"), bytes, c / total))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Packet contents always partition the plan's total content, for
+    /// any slice geometry and packet size.
+    #[test]
+    fn packet_contents_partition_content(
+        slices in slices_strategy(),
+        packet_size in 1usize..600,
+    ) {
+        let plan = TransmissionPlan::ranked(slices);
+        let pc = plan.packet_contents(packet_size);
+        prop_assert_eq!(pc.len(), plan.raw_packets(packet_size));
+        let sum: f64 = pc.iter().sum();
+        prop_assert!((sum - plan.total_content()).abs() < 1e-6);
+        prop_assert!(pc.iter().all(|&c| c >= -1e-12));
+    }
+
+    /// Ranked plans are sorted by descending content.
+    #[test]
+    fn ranked_plans_are_sorted(slices in slices_strategy()) {
+        let plan = TransmissionPlan::ranked(slices);
+        for w in plan.slices().windows(2) {
+            prop_assert!(w[0].content >= w[1].content - 1e-12);
+        }
+    }
+
+    /// Receiver content is monotone in arrivals and reaches exactly 1.0
+    /// on completion; intact counts never exceed distinct indices.
+    #[test]
+    fn receiver_monotone_and_bounded(
+        m in 1usize..40,
+        extra in 0usize..20,
+        arrivals in proptest::collection::vec((any::<usize>(), any::<bool>()), 0..200),
+    ) {
+        let n = m + extra;
+        let contents = vec![1.0 / m as f64; m];
+        let mut r = ReceiverState::new(m, n, contents);
+        let mut last_content = 0.0;
+        let mut distinct = std::collections::HashSet::new();
+        for (idx, corrupted) in arrivals {
+            let idx = idx % n;
+            r.on_packet(idx, corrupted);
+            if !corrupted {
+                distinct.insert(idx);
+            }
+            let c = r.content();
+            prop_assert!(c >= last_content - 1e-12, "content decreased");
+            prop_assert!(c <= 1.0 + 1e-12);
+            last_content = c;
+            prop_assert!(r.intact_count() <= distinct.len());
+            prop_assert_eq!(r.is_complete(), r.intact_count() >= m);
+        }
+        if r.is_complete() {
+            prop_assert_eq!(r.content(), 1.0);
+            prop_assert!(r.needed().is_empty());
+        } else {
+            prop_assert_eq!(r.needed().len(), m - r.intact_count());
+        }
+        prop_assert_eq!(r.missing().len(), n - r.intact_count());
+    }
+
+    /// Downloads are deterministic per seed and always terminate with a
+    /// consistent report.
+    #[test]
+    fn download_reports_are_consistent(
+        alpha in 0.0f64..0.8,
+        gamma in 1.0f64..2.5,
+        seed in any::<u64>(),
+        caching in any::<bool>(),
+        irrelevant in any::<bool>(),
+        threshold in 0.0f64..1.0,
+    ) {
+        let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 4096, 1.0)]);
+        let config = SessionConfig {
+            gamma,
+            cache_mode: if caching { CacheMode::Caching } else { CacheMode::NoCaching },
+            max_rounds: 50,
+            ..Default::default()
+        };
+        let relevance = if irrelevant {
+            Relevance::irrelevant(threshold)
+        } else {
+            Relevance::relevant()
+        };
+        let run = |seed| {
+            let mut link =
+                Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(alpha, seed), 0);
+            download(&plan, relevance, &config, &mut link)
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(&a, &b, "downloads must be deterministic per seed");
+
+        prop_assert!(a.response_time >= 0.0);
+        prop_assert!(a.content >= 0.0 && a.content <= 1.0);
+        prop_assert!(a.n >= a.m);
+        match a.outcome {
+            Outcome::Completed => prop_assert_eq!(a.content, 1.0),
+            Outcome::StoppedIrrelevant => prop_assert!(a.content >= threshold || threshold <= 0.0),
+            Outcome::Failed => prop_assert!(a.rounds == 50),
+        }
+        // Time accounting: every packet costs exactly frame/bandwidth,
+        // so time = packets × 260/2400.
+        let per_packet = 260.0 / 2400.0;
+        prop_assert!(
+            (a.response_time - a.packets_sent as f64 * per_packet).abs() < 1e-6,
+            "time {} != packets {} × {}", a.response_time, a.packets_sent, per_packet
+        );
+    }
+
+    /// With caching, retrying strictly adds distinct intact packets, so
+    /// completion always happens when alpha < 1 and the budget is ample.
+    #[test]
+    fn caching_always_completes_with_budget(
+        alpha in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 2048, 1.0)]);
+        let config = SessionConfig {
+            cache_mode: CacheMode::Caching,
+            max_rounds: 100_000,
+            ..Default::default()
+        };
+        let mut link =
+            Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(alpha, seed), 0);
+        let r = download(&plan, Relevance::relevant(), &config, &mut link);
+        prop_assert_eq!(r.outcome, Outcome::Completed);
+    }
+}

@@ -1,0 +1,13 @@
+fn main() {
+    let spec = mrtweb::docmodel::gen::SyntheticDocSpec::default();
+    let mut total_raw = 0usize;
+    let mut total_packed = 0usize;
+    for seed in 0..10 {
+        let doc = spec.generate(seed).document;
+        let text = doc.full_text();
+        let packed = mrtweb::transport::compress::compress(text.as_bytes());
+        total_raw += text.len();
+        total_packed += packed.len();
+    }
+    println!("mean compression ratio: {:.3}", total_packed as f64 / total_raw as f64);
+}

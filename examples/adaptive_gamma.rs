@@ -1,0 +1,56 @@
+//! Adaptive redundancy (§4.2's suggestion): the client feeds observed
+//! packet fates into an EWMA estimate of α; the server re-plans γ per
+//! document. The channel drifts from calm to stormy and back.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_gamma
+//! ```
+
+use mrtweb::channel::bandwidth::Bandwidth;
+use mrtweb::channel::bernoulli::BernoulliChannel;
+use mrtweb::channel::link::Link;
+use mrtweb::transport::adaptive::AdaptiveRedundancy;
+use mrtweb::transport::plan::{TransmissionPlan, UnitSlice};
+use mrtweb::transport::session::{download, CacheMode, Relevance, SessionConfig};
+
+fn main() {
+    let mut controller = AdaptiveRedundancy::new(0.95, 0.05, 0.1);
+    let mut link = Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(0.1, 99), 1);
+    let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
+
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "doc", "true α", "est α", "γ", "time (s)", "rounds"
+    );
+    for doc in 0..30 {
+        // The channel drifts: calm -> storm (docs 10..20) -> calm.
+        let true_alpha = if (10..20).contains(&doc) { 0.45 } else { 0.1 };
+        link.loss_mut().set_alpha(true_alpha);
+
+        let m = plan.raw_packets(256);
+        let gamma = controller.gamma(m).expect("valid plan");
+        let config = SessionConfig {
+            gamma,
+            cache_mode: CacheMode::Caching,
+            max_rounds: 100,
+            ..Default::default()
+        };
+        let report = download(&plan, Relevance::relevant(), &config, &mut link);
+        // Feed what the client observed back into the controller.
+        let observed = report.packets_sent as usize;
+        let corrupted = (report.packets_sent as f64 * true_alpha).round() as usize;
+        controller.observe_round(corrupted.min(observed), observed);
+
+        println!(
+            "{:>4} {:>8.2} {:>8.3} {:>8.3} {:>10.2} {:>8}",
+            doc,
+            true_alpha,
+            controller.estimated_alpha(),
+            gamma,
+            report.response_time,
+            report.rounds
+        );
+    }
+    println!("\nγ rises while the storm lasts and decays afterwards — bandwidth is");
+    println!("spent on redundancy only while the channel actually needs it.");
+}

@@ -1,0 +1,62 @@
+//! Sweeps channel corruption (α), redundancy (γ) and transmission LOD,
+//! printing mean response times — a compact tour of the trade-offs
+//! behind Figures 4 and 6.
+//!
+//! ```sh
+//! cargo run --release --example channel_explorer [docs] [reps]
+//! ```
+
+use mrtweb::docmodel::lod::Lod;
+use mrtweb::prelude::CacheMode;
+use mrtweb::sim::browsing::replicate;
+use mrtweb::sim::params::Params;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let docs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let reps: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    println!("mean response time (s) per document; docs={docs}, reps={reps}");
+    println!("\n== sweep 1: α × γ at the document LOD (all documents relevant) ==");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "α", "γ=1.2 NC", "γ=1.2 C", "γ=1.8 NC", "γ=1.8 C");
+    for alpha in [0.1, 0.3, 0.5] {
+        print!("{alpha:>6.1}");
+        for gamma in [1.2, 1.8] {
+            for cache in [CacheMode::NoCaching, CacheMode::Caching] {
+                let params = Params {
+                    alpha,
+                    gamma,
+                    cache_mode: cache,
+                    irrelevant_fraction: 0.0,
+                    docs_per_session: docs,
+                    max_rounds: 80,
+                    ..Default::default()
+                };
+                let s = replicate(&params, Lod::Document, reps, 7);
+                print!(" {:>10.2}", s.mean);
+            }
+        }
+        println!();
+    }
+
+    println!("\n== sweep 2: LOD × relevance threshold F (all documents irrelevant, Caching) ==");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "F", "document", "section", "subsect", "paragraph");
+    for f in [0.1, 0.3, 0.5, 0.8] {
+        print!("{f:>6.1}");
+        for lod in [Lod::Document, Lod::Section, Lod::Subsection, Lod::Paragraph] {
+            let params = Params {
+                alpha: 0.1,
+                cache_mode: CacheMode::Caching,
+                irrelevant_fraction: 1.0,
+                threshold: f,
+                docs_per_session: docs,
+                max_rounds: 80,
+                ..Default::default()
+            };
+            let s = replicate(&params, lod, reps, 11);
+            print!(" {:>10.2}", s.mean);
+        }
+        println!();
+    }
+    println!("\nlower is better; the paragraph column shows the multi-resolution win.");
+}

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table 1: IC / QIC / MQIC of every
+//! organizational unit of a draft of the manuscript under the query
+//! `{browsing, mobile, web}`.
+//!
+//! ```sh
+//! cargo run --example table1_paper_sc
+//! ```
+
+use mrtweb::content::query::Query;
+use mrtweb::content::sc::StructuralCharacteristic;
+use mrtweb::sim::table1::{paper_draft, render_table1};
+use mrtweb::textproc::pipeline::ScPipeline;
+
+fn main() {
+    println!("Table 1: information content of a draft paper");
+    println!("query = {{browsing, mobile, web}}\n");
+    println!("{}", render_table1());
+
+    // The same machinery with a different query, to show QIC is dynamic
+    // while IC stays fixed (§3.2).
+    let doc = paper_draft();
+    let pipeline = ScPipeline::default();
+    let index = pipeline.run(&doc);
+    let q2 = Query::parse("vandermonde packet cache", &pipeline);
+    let sc2 = StructuralCharacteristic::from_index(&index, Some(&q2));
+    println!("\nsame document, query = {{vandermonde, packet, cache}}:\n");
+    println!("{}", sc2.render_table());
+}

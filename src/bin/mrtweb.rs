@@ -1,0 +1,252 @@
+//! `mrtweb` — command-line front end to the library.
+//!
+//! ```text
+//! mrtweb sc <file.xml|file.html> [--query "words"]     print the structural characteristic
+//! mrtweb plan <file> [--query Q] [--lod L]             print the transmission order
+//! mrtweb transfer <file> [--alpha A] [--lod L] [--gamma G] [--query Q] [--nocache]
+//!                                                      run a live lossy transfer
+//! mrtweb summary <file> [--budget BYTES]               lead-in summary (baseline)
+//! mrtweb redundancy <M> <alpha> [--success S]          plan N for a code
+//! ```
+
+use std::process::ExitCode;
+
+use mrtweb::content::query::Query;
+use mrtweb::content::sc::{Measure, StructuralCharacteristic};
+use mrtweb::docmodel::document::Document;
+use mrtweb::docmodel::lod::Lod;
+use mrtweb::erasure::redundancy::Plan;
+use mrtweb::prelude::CacheMode;
+use mrtweb::textproc::pipeline::ScPipeline;
+use mrtweb::textproc::summary::lead_in_summary;
+use mrtweb::transport::live::{run_transfer, LiveServer, TransferConfig};
+use mrtweb::transport::plan::plan_document;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  mrtweb sc <file> [--query Q]");
+            eprintln!("  mrtweb plan <file> [--query Q] [--lod document|section|subsection|paragraph]");
+            eprintln!("  mrtweb transfer <file> [--alpha A] [--gamma G] [--lod L] [--query Q] [--nocache] [--seed S]");
+            eprintln!("  mrtweb summary <file> [--budget BYTES]");
+            eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Flags {
+    query: String,
+    lod: Lod,
+    alpha: f64,
+    gamma: f64,
+    seed: u64,
+    nocache: bool,
+    budget: usize,
+    success: f64,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            query: String::new(),
+            lod: Lod::Paragraph,
+            alpha: 0.1,
+            gamma: 1.5,
+            seed: 42,
+            nocache: false,
+            budget: 512,
+            success: 0.95,
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--query" => {
+                f.query = need(i)?.clone();
+                i += 1;
+            }
+            "--lod" => {
+                f.lod = need(i)?.parse().map_err(|e| format!("{e}"))?;
+                i += 1;
+            }
+            "--alpha" => {
+                f.alpha = need(i)?.parse().map_err(|_| "--alpha needs a number")?;
+                i += 1;
+            }
+            "--gamma" => {
+                f.gamma = need(i)?.parse().map_err(|_| "--gamma needs a number")?;
+                i += 1;
+            }
+            "--seed" => {
+                f.seed = need(i)?.parse().map_err(|_| "--seed needs an integer")?;
+                i += 1;
+            }
+            "--budget" => {
+                f.budget = need(i)?.parse().map_err(|_| "--budget needs an integer")?;
+                i += 1;
+            }
+            "--success" => {
+                f.success = need(i)?.parse().map_err(|_| "--success needs a number")?;
+                i += 1;
+            }
+            "--nocache" => f.nocache = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(f)
+}
+
+fn load_document(path: &str) -> Result<Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".html") || path.ends_with(".htm") {
+        mrtweb::docmodel::html::extract(&text).map_err(|e| format!("{e}"))
+    } else {
+        Document::parse_xml(&text).map_err(|e| format!("{e}"))
+    }
+}
+
+fn build_sc(doc: &Document, query: &str) -> (StructuralCharacteristic, Measure) {
+    let pipeline = ScPipeline::default();
+    let index = pipeline.run(doc);
+    if query.is_empty() {
+        (StructuralCharacteristic::from_index(&index, None), Measure::Ic)
+    } else {
+        let q = Query::parse(query, &pipeline);
+        (StructuralCharacteristic::from_index(&index, Some(&q)), Measure::Qic)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "sc" => {
+            let path = args.get(1).ok_or("sc needs a file")?;
+            let flags = parse_flags(&args[2..])?;
+            let doc = load_document(path)?;
+            let (sc, _) = build_sc(&doc, &flags.query);
+            println!(
+                "{} — {} units, {} bytes",
+                doc.title().unwrap_or("(untitled)"),
+                doc.unit_count(),
+                doc.content_len()
+            );
+            if !flags.query.is_empty() {
+                println!("query: {}", flags.query);
+            }
+            println!("{}", sc.render_table());
+            Ok(())
+        }
+        "plan" => {
+            let path = args.get(1).ok_or("plan needs a file")?;
+            let flags = parse_flags(&args[2..])?;
+            let doc = load_document(path)?;
+            let (sc, measure) = build_sc(&doc, &flags.query);
+            let (plan, _) = plan_document(&doc, &sc, flags.lod, measure);
+            println!("transmission order at the {} LOD (by {measure}):", flags.lod);
+            for (i, s) in plan.slices().iter().enumerate() {
+                println!(
+                    "  {i:>3}. unit {:<8} {:>6} bytes  content {:.4}",
+                    s.label, s.bytes, s.content
+                );
+            }
+            println!(
+                "total: {} bytes, M = {} raw packets at 256B",
+                plan.total_bytes(),
+                plan.raw_packets(256)
+            );
+            Ok(())
+        }
+        "transfer" => {
+            let path = args.get(1).ok_or("transfer needs a file")?;
+            let flags = parse_flags(&args[2..])?;
+            let doc = load_document(path)?;
+            let (sc, measure) = build_sc(&doc, &flags.query);
+            let server =
+                LiveServer::new_auto(&doc, &sc, flags.lod, measure, 64, flags.gamma)
+                    .map_err(|e| format!("{e}"))?;
+            println!(
+                "M={} N={} packet={}B γ={:.2} α={}",
+                server.header().m,
+                server.header().n,
+                server.header().packet_size,
+                flags.gamma,
+                flags.alpha
+            );
+            let report = run_transfer(
+                server,
+                &TransferConfig {
+                    alpha: flags.alpha,
+                    seed: flags.seed,
+                    cache_mode: if flags.nocache {
+                        CacheMode::NoCaching
+                    } else {
+                        CacheMode::Caching
+                    },
+                    ..Default::default()
+                },
+            );
+            println!(
+                "completed={} rounds={} frames={} corrupted={} payload={}B",
+                report.completed,
+                report.rounds,
+                report.frames_sent,
+                report.frames_corrupted,
+                report.payload.len()
+            );
+            if !report.completed {
+                return Err("transfer did not complete".into());
+            }
+            Ok(())
+        }
+        "summary" => {
+            let path = args.get(1).ok_or("summary needs a file")?;
+            let flags = parse_flags(&args[2..])?;
+            let doc = load_document(path)?;
+            let s = lead_in_summary(&doc, flags.budget);
+            println!(
+                "{} sentences, {} of {} bytes ({:.1}%):",
+                s.sentences.len(),
+                s.len_bytes(),
+                doc.content_len(),
+                100.0 * s.len_bytes() as f64 / doc.content_len().max(1) as f64
+            );
+            for sent in &s.sentences {
+                println!("  • {sent}");
+            }
+            Ok(())
+        }
+        "redundancy" => {
+            let m: usize =
+                args.get(1).ok_or("redundancy needs M")?.parse().map_err(|_| "bad M")?;
+            let alpha: f64 =
+                args.get(2).ok_or("redundancy needs alpha")?.parse().map_err(|_| "bad alpha")?;
+            let flags = parse_flags(&args[3..])?;
+            let plan = Plan::optimal(m, alpha, flags.success).map_err(|e| format!("{e}"))?;
+            println!(
+                "M={} α={} S={:.0}% → N={} (γ={:.3}), achieved {:.5}",
+                plan.raw,
+                plan.alpha,
+                flags.success * 100.0,
+                plan.cooked,
+                plan.ratio(),
+                plan.achieved_probability().map_err(|e| format!("{e}"))?
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}

@@ -1,0 +1,73 @@
+//! # mrtweb — fault-tolerant multi-resolution web transmission
+//!
+//! A faithful, production-quality Rust implementation of the system
+//! described in *On Supporting Weakly-Connected Browsing in a Mobile Web
+//! Environment* (Leong, McLeod, Si, Yau; ICDCS 2000).
+//!
+//! The facade re-exports every subsystem crate:
+//!
+//! * [`docmodel`] — XML subset parser, LOD document tree, organizational
+//!   units, synthetic document generation;
+//! * [`textproc`] — the five-stage structural-characteristic pipeline;
+//! * [`content`] — information content (IC), query-based (QIC) and
+//!   modified query-based (MQIC) measures;
+//! * [`erasure`] — systematic Vandermonde information dispersal, CRC
+//!   framing, and negative-binomial redundancy planning;
+//! * [`channel`] — weakly-connected wireless channel models;
+//! * [`transport`] — the fault-tolerant multi-resolution transmission
+//!   protocol with client-side caching;
+//! * [`sim`] — the browsing-session simulator and the drivers that
+//!   regenerate every table and figure of the paper's evaluation;
+//! * [`store`] — the server-side document store and database gateway
+//!   (the paper's Figure 1 back end), with binary persistence and
+//!   structural-characteristic caching.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mrtweb::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Parse a structured document and build its structural characteristic.
+//! let xml = "<document><title>Mobile Web</title>\
+//!            <section><title>Intro</title>\
+//!            <paragraph>Browsing the mobile web is weakly connected.</paragraph>\
+//!            </section></document>";
+//! let doc = Document::parse_xml(xml)?;
+//! let sc = ScPipeline::default().run(&doc);
+//!
+//! // Encode the document for a lossy channel: M -> N cooked packets.
+//! let bytes = doc.to_xml().into_bytes();
+//! let m = bytes.len().div_ceil(64);
+//! let plan = Plan::optimal(m, 0.2, 0.95)?;
+//! let codec = Codec::new(plan.raw, plan.cooked, 64)?;
+//! let cooked = codec.encode(&bytes);
+//! assert!(cooked.len() >= m);
+//! # let _ = sc;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mrtweb_channel as channel;
+pub use mrtweb_content as content;
+pub use mrtweb_docmodel as docmodel;
+pub use mrtweb_erasure as erasure;
+pub use mrtweb_sim as sim;
+pub use mrtweb_store as store;
+pub use mrtweb_textproc as textproc;
+pub use mrtweb_transport as transport;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use mrtweb_channel::bernoulli::BernoulliChannel;
+    pub use mrtweb_channel::clock::SimClock;
+    pub use mrtweb_channel::ewma::EwmaEstimator;
+    pub use mrtweb_content::ic::InformationContent;
+    pub use mrtweb_content::query::Query;
+    pub use mrtweb_docmodel::document::Document;
+    pub use mrtweb_docmodel::lod::Lod;
+    pub use mrtweb_erasure::ida::Codec;
+    pub use mrtweb_erasure::redundancy::Plan;
+    pub use mrtweb_textproc::pipeline::ScPipeline;
+    pub use mrtweb_transport::session::{CacheMode, SessionConfig};
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the `mrtweb` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn mrtweb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mrtweb"))
+}
+
+fn write_fixture(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mrtweb-cli-{name}-{}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const XML: &str = "<document><title>CLI Fixture</title>\
+    <section><title>Hot</title>\
+    <paragraph>mobile wireless browsing with careful caching. A second sentence.</paragraph>\
+    </section>\
+    <section><title>Cold</title>\
+    <paragraph>unrelated appendix prose about gardening. More prose.</paragraph>\
+    </section></document>";
+
+#[test]
+fn sc_prints_table() {
+    let path = write_fixture("sc.xml", XML);
+    let out = mrtweb().args(["sc"]).arg(&path).args(["--query", "mobile"]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CLI Fixture"));
+    assert!(stdout.contains("IC p"));
+    assert!(stdout.contains("MQIC"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn plan_orders_by_query() {
+    let path = write_fixture("plan.xml", XML);
+    let out = mrtweb()
+        .args(["plan"])
+        .arg(&path)
+        .args(["--query", "mobile wireless", "--lod", "section"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let hot = stdout.find("unit 0").expect("section 0 listed");
+    let cold = stdout.find("unit 1").expect("section 1 listed");
+    assert!(hot < cold, "query-matching section must be planned first:\n{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn transfer_completes_over_lossy_channel() {
+    let path = write_fixture("transfer.xml", XML);
+    let out = mrtweb()
+        .args(["transfer"])
+        .arg(&path)
+        .args(["--alpha", "0.3", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed=true"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn summary_respects_budget() {
+    let path = write_fixture("summary.xml", XML);
+    let out = mrtweb().args(["summary"]).arg(&path).args(["--budget", "60"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 sentences"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn redundancy_matches_library_plan() {
+    let out = mrtweb().args(["redundancy", "40", "0.1"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("N=48"), "{stdout}");
+}
+
+#[test]
+fn html_input_is_extracted() {
+    let path = write_fixture(
+        "page.html",
+        "<html><head><title>Page</title></head><body><h1>S</h1><p>mobile text</p></body></html>",
+    );
+    let renamed = path.with_extension("html");
+    std::fs::rename(&path, &renamed).unwrap();
+    let out = mrtweb().args(["sc"]).arg(&renamed).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Page"));
+    std::fs::remove_file(renamed).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = mrtweb().args(["bogus-subcommand"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = mrtweb().args(["sc", "/nonexistent/file.xml"]).output().unwrap();
+    assert!(!out.status.success());
+}

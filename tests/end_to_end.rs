@@ -1,0 +1,111 @@
+//! End-to-end integration: XML → pipeline → structural characteristic →
+//! fault-tolerant transmission over a corrupting link → bit-exact
+//! reconstruction.
+
+use mrtweb::content::query::Query;
+use mrtweb::content::sc::{Measure, StructuralCharacteristic};
+use mrtweb::docmodel::document::Document;
+use mrtweb::docmodel::lod::Lod;
+use mrtweb::prelude::CacheMode;
+use mrtweb::sim::table1::paper_draft;
+use mrtweb::textproc::pipeline::ScPipeline;
+use mrtweb::transport::live::{run_transfer, LiveServer, TransferConfig};
+use mrtweb::transport::plan::plan_document;
+
+fn sc_for(doc: &Document, query: &str) -> StructuralCharacteristic {
+    let pipeline = ScPipeline::default();
+    let index = pipeline.run(doc);
+    let q = Query::parse(query, &pipeline);
+    StructuralCharacteristic::from_index(&index, Some(&q))
+}
+
+#[test]
+fn paper_draft_survives_a_lossy_channel_at_every_lod() {
+    let doc = paper_draft();
+    let sc = sc_for(&doc, "browsing mobile web");
+    for lod in [Lod::Document, Lod::Section, Lod::Subsection, Lod::Paragraph] {
+        let (_, payload) = plan_document(&doc, &sc, lod, Measure::Qic);
+        let server = LiveServer::new(&doc, &sc, lod, Measure::Qic, 128, 1.6)
+            .expect("draft fits one dispersal group at 128B packets");
+        let report = run_transfer(
+            server,
+            &TransferConfig { alpha: 0.25, seed: 1000 + lod.depth() as u64, ..Default::default() },
+        );
+        assert!(report.completed, "transfer failed at {lod}");
+        assert_eq!(report.payload, payload, "payload mismatch at {lod}");
+    }
+}
+
+#[test]
+fn reconstructed_text_is_readable_document_content() {
+    let doc = paper_draft();
+    let sc = sc_for(&doc, "browsing mobile web");
+    let server =
+        LiveServer::new(&doc, &sc, Lod::Section, Measure::Qic, 128, 1.5).unwrap();
+    let report = run_transfer(
+        server,
+        &TransferConfig { alpha: 0.2, seed: 9, ..Default::default() },
+    );
+    assert!(report.completed);
+    let text = String::from_utf8_lossy(&report.payload);
+    assert!(text.contains("multi-resolution transmission paradigm"));
+    assert!(text.contains("Vandermonde"));
+}
+
+#[test]
+fn xml_round_trip_then_transfer_round_trip() {
+    // Serialize the draft, re-parse it, transfer it: all lossless.
+    let doc = paper_draft();
+    let reparsed = Document::parse_xml(&doc.to_xml()).expect("round trip parses");
+    assert_eq!(doc, reparsed);
+    let sc = sc_for(&reparsed, "packet cache");
+    let (_, payload) = plan_document(&reparsed, &sc, Lod::Paragraph, Measure::Mqic);
+    let server =
+        LiveServer::new(&reparsed, &sc, Lod::Paragraph, Measure::Mqic, 128, 1.5).unwrap();
+    let report = run_transfer(
+        server,
+        &TransferConfig { alpha: 0.15, seed: 4, cache_mode: CacheMode::Caching, ..Default::default() },
+    );
+    assert!(report.completed);
+    assert_eq!(report.payload, payload);
+}
+
+#[test]
+fn html_page_flows_through_the_same_stack() {
+    let doc = mrtweb::docmodel::html::extract(
+        "<html><head><title>T</title></head><body>\
+         <h1>Mobile</h1><p>mobile web mobile web wireless</p>\
+         <h1>Other</h1><p>unrelated filler text paragraph</p></body></html>",
+    )
+    .unwrap();
+    let sc = sc_for(&doc, "mobile web");
+    let (plan, _) = plan_document(&doc, &sc, Lod::Section, Measure::Qic);
+    // The query-matching section leads.
+    assert_eq!(plan.slices()[0].label, "0");
+    let server = LiveServer::new(&doc, &sc, Lod::Section, Measure::Qic, 32, 2.0).unwrap();
+    let report =
+        run_transfer(server, &TransferConfig { alpha: 0.3, seed: 2, ..Default::default() });
+    assert!(report.completed);
+}
+
+#[test]
+fn early_stop_saves_bandwidth_end_to_end() {
+    let doc = paper_draft();
+    let sc = sc_for(&doc, "browsing mobile web");
+    let full = run_transfer(
+        LiveServer::new(&doc, &sc, Lod::Paragraph, Measure::Qic, 128, 1.5).unwrap(),
+        &TransferConfig { alpha: 0.0, seed: 3, ..Default::default() },
+    );
+    let stopped = run_transfer(
+        LiveServer::new(&doc, &sc, Lod::Paragraph, Measure::Qic, 128, 1.5).unwrap(),
+        &TransferConfig { alpha: 0.0, seed: 3, stop_at_content: Some(0.3), ..Default::default() },
+    );
+    assert!(full.completed && !stopped.completed && stopped.stopped_early);
+    assert!(
+        stopped.frames_sent < full.frames_sent / 2,
+        "stopping at 30% content should cost well under half the frames \
+         ({} vs {})",
+        stopped.frames_sent,
+        full.frames_sent
+    );
+}

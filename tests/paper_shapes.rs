@@ -1,0 +1,189 @@
+//! The paper's qualitative findings, checked at reduced scale: every
+//! claim the evaluation section makes about *shape* (who wins, where the
+//! knees fall) must hold in the reproduction.
+
+use mrtweb::docmodel::lod::Lod;
+use mrtweb::erasure::redundancy::{min_cooked_packets, redundancy_ratio};
+use mrtweb::prelude::CacheMode;
+use mrtweb::sim::browsing::replicate;
+use mrtweb::sim::experiments::Scale;
+use mrtweb::sim::params::Params;
+
+fn scale() -> Scale {
+    Scale { docs: 40, reps: 4, max_rounds: 80 }
+}
+
+#[test]
+fn figure2_linearity_claim() {
+    // "the number of cooked packets required is pretty much of a linear
+    // relationship with the number of raw packets."
+    for alpha in [0.1, 0.3, 0.5] {
+        let n10 = min_cooked_packets(10, alpha, 0.95).unwrap() as f64;
+        let n50 = min_cooked_packets(50, alpha, 0.95).unwrap() as f64;
+        let n100 = min_cooked_packets(100, alpha, 0.95).unwrap() as f64;
+        let slope_a = (n50 - n10) / 40.0;
+        let slope_b = (n100 - n50) / 50.0;
+        assert!((slope_a - slope_b).abs() / slope_b < 0.25, "nonlinear at alpha={alpha}");
+    }
+}
+
+#[test]
+fn figure3_range_claim() {
+    // "the range of γ for different values of M does not change too
+    // much" and γ stays within the plotted 0..3.5 band.
+    for s in [0.95, 0.99] {
+        for i in 1..=5 {
+            let alpha = i as f64 / 10.0;
+            let gs: Vec<f64> = [10usize, 50, 100]
+                .iter()
+                .map(|&m| redundancy_ratio(m, alpha, s).unwrap())
+                .collect();
+            let spread = gs.iter().cloned().fold(f64::MIN, f64::max)
+                - gs.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread < 1.0, "spread {spread} at alpha={alpha}, S={s}");
+            assert!(gs.iter().all(|&g| g < 3.5));
+        }
+    }
+}
+
+#[test]
+fn figure4_claims() {
+    let sc = scale();
+    let run = |cache, alpha: f64, gamma: f64| {
+        let params = Params {
+            alpha,
+            gamma,
+            cache_mode: cache,
+            irrelevant_fraction: 0.0,
+            docs_per_session: sc.docs,
+            max_rounds: sc.max_rounds,
+            ..Default::default()
+        };
+        replicate(&params, Lod::Document, sc.reps, 31).mean
+    };
+    // "the impact of the cache is very significant, especially when the
+    // error rate of the channel is high."
+    let nc_high = run(CacheMode::NoCaching, 0.5, 1.3);
+    let c_high = run(CacheMode::Caching, 0.5, 1.3);
+    assert!(c_high * 3.0 < nc_high, "caching {c_high:.1}s vs nocaching {nc_high:.1}s");
+    // "γ = 1.5 is a good choice … for a small to moderate error rate, or
+    // when caching is enabled": response near the higher-γ plateau.
+    let c15 = run(CacheMode::Caching, 0.3, 1.5);
+    let c25 = run(CacheMode::Caching, 0.3, 2.5);
+    assert!(c15 < c25 * 1.25, "γ=1.5 ({c15:.2}s) should be near the γ=2.5 plateau ({c25:.2}s)");
+    // "Only when caching is disabled and α is over 0.3 will we require γ
+    // to be increased, perhaps up to a value of 2."
+    let nc_low_gamma = run(CacheMode::NoCaching, 0.4, 1.5);
+    let nc_gamma2 = run(CacheMode::NoCaching, 0.4, 2.0);
+    assert!(nc_gamma2 < nc_low_gamma, "raising γ must rescue NoCaching at α=0.4");
+}
+
+#[test]
+fn figure5_claims() {
+    let sc = scale();
+    let run_i = |irrelevant: f64| {
+        let params = Params {
+            alpha: 0.1,
+            cache_mode: CacheMode::Caching,
+            irrelevant_fraction: irrelevant,
+            threshold: 0.5,
+            docs_per_session: sc.docs,
+            max_rounds: sc.max_rounds,
+            ..Default::default()
+        };
+        replicate(&params, Lod::Document, sc.reps, 57).mean
+    };
+    // "As I increases, response times decrease … quite linear in nature."
+    let t0 = run_i(0.0);
+    let t5 = run_i(0.5);
+    let t10 = run_i(1.0);
+    assert!(t0 > t5 && t5 > t10);
+    let midpoint = (t0 + t10) / 2.0;
+    assert!(
+        (t5 - midpoint).abs() / midpoint < 0.15,
+        "I-curve should be linear: t0={t0:.2} t5={t5:.2} t10={t10:.2}"
+    );
+
+    // F-curve: slow rise, then fast, then flattening (S-curve).
+    let run_f = |f: f64| {
+        let params = Params {
+            alpha: 0.3,
+            cache_mode: CacheMode::Caching,
+            irrelevant_fraction: 1.0,
+            threshold: f,
+            docs_per_session: sc.docs,
+            max_rounds: sc.max_rounds,
+            ..Default::default()
+        };
+        replicate(&params, Lod::Document, sc.reps, 58).mean
+    };
+    let f02 = run_f(0.2);
+    let f05 = run_f(0.5);
+    let f08 = run_f(0.8);
+    let f10 = run_f(1.0);
+    assert!(f02 < f05 && f05 < f08, "response grows with F");
+    // Flattening near the end: the last 20% of F costs less than the
+    // middle 30%.
+    assert!(f10 - f08 < f08 - f05, "tail should flatten: {f05:.2} {f08:.2} {f10:.2}");
+}
+
+#[test]
+fn figure6_claims() {
+    let sc = scale();
+    let time_at = |lod, f: f64, alpha: f64| {
+        let params = Params {
+            alpha,
+            cache_mode: CacheMode::Caching,
+            irrelevant_fraction: 1.0,
+            threshold: f,
+            docs_per_session: sc.docs,
+            max_rounds: sc.max_rounds,
+            ..Default::default()
+        };
+        replicate(&params, lod, sc.reps, 77).mean
+    };
+    // "an LOD at the paragraph level leads to a better performance …
+    // the improvement for the paragraph LOD is quite significant" and
+    // LODs order document < section < subsection < paragraph.
+    for alpha in [0.1, 0.5] {
+        let doc = time_at(Lod::Document, 0.2, alpha);
+        let sec = time_at(Lod::Section, 0.2, alpha);
+        let sub = time_at(Lod::Subsection, 0.2, alpha);
+        let par = time_at(Lod::Paragraph, 0.2, alpha);
+        assert!(par < sub && sub < sec && sec < doc, "LOD ordering broken at alpha={alpha}");
+        let improvement = doc / par;
+        assert!(
+            improvement > 1.25 && improvement < 1.8,
+            "paragraph improvement {improvement:.2} outside the paper's 1.3–1.5 band at alpha={alpha}"
+        );
+    }
+}
+
+#[test]
+fn figure7_claims() {
+    let sc = scale();
+    let improvement = |skew: f64, f: f64| {
+        let mk = |lod| {
+            let params = Params {
+                alpha: 0.1,
+                skew,
+                cache_mode: CacheMode::Caching,
+                irrelevant_fraction: 1.0,
+                threshold: f,
+                docs_per_session: sc.docs,
+                max_rounds: sc.max_rounds,
+                ..Default::default()
+            };
+            replicate(&params, lod, sc.reps, 91).mean
+        };
+        mk(Lod::Document) / mk(Lod::Paragraph)
+    };
+    // "the higher the skewed factor δ, the more improvement."
+    let low = improvement(2.0, 0.2);
+    let high = improvement(5.0, 0.2);
+    assert!(high > low, "δ=5 improvement {high:.2} should exceed δ=2 {low:.2}");
+    // "the peak of improvement occurs when F = 0.1 or 0.2."
+    let peak_zone = improvement(4.0, 0.2);
+    let late = improvement(4.0, 0.8);
+    assert!(peak_zone > late, "improvement should peak early: {peak_zone:.2} vs {late:.2}");
+}

@@ -1,0 +1,105 @@
+//! Integration between the generator, the text pipeline and the content
+//! measures: synthetic documents built from intended weights must yield
+//! information contents that track those weights through the whole
+//! stack.
+
+use mrtweb::content::ic::InformationContent;
+use mrtweb::content::mqic::ModifiedQueryContent;
+use mrtweb::content::qic::QueryContent;
+use mrtweb::content::query::Query;
+use mrtweb::docmodel::gen::SyntheticDocSpec;
+use mrtweb::docmodel::lod::Lod;
+use mrtweb::textproc::pipeline::ScPipeline;
+
+#[test]
+fn generated_weights_correlate_with_computed_ic() {
+    let spec = SyntheticDocSpec::default();
+    let mut hits = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let g = spec.generate(seed);
+        let pipeline = ScPipeline::default();
+        let index = pipeline.run(&g.document);
+        let ic = InformationContent::from_index(&index);
+        // Collect per-paragraph computed IC in document order.
+        let computed: Vec<f64> = ic
+            .scores()
+            .scores()
+            .iter()
+            .filter(|s| s.kind == Lod::Paragraph)
+            .map(|s| s.own)
+            .collect();
+        assert_eq!(computed.len(), g.paragraph_weights.len());
+        // Spearman-ish check: the top-5 intended paragraphs should
+        // mostly land in the top half of computed IC.
+        let mut intended_order: Vec<usize> = (0..computed.len()).collect();
+        intended_order.sort_by(|&a, &b| g.paragraph_weights[b].total_cmp(&g.paragraph_weights[a]));
+        let mut computed_order: Vec<usize> = (0..computed.len()).collect();
+        computed_order.sort_by(|&a, &b| computed[b].total_cmp(&computed[a]));
+        let top_half: std::collections::HashSet<usize> =
+            computed_order[..computed.len() / 2].iter().copied().collect();
+        let agree = intended_order[..5].iter().filter(|i| top_half.contains(i)).count();
+        if agree >= 4 {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 7, "IC tracked intended weights in only {hits}/{trials} documents");
+}
+
+#[test]
+fn all_three_measures_normalize_on_generated_docs() {
+    let spec = SyntheticDocSpec { sections: 3, ..Default::default() };
+    for seed in 0..5 {
+        let g = spec.generate(seed);
+        let pipeline = ScPipeline::default();
+        let index = pipeline.run(&g.document);
+        let query = Query::parse("mobile bandwidth cache", &pipeline);
+        let ic = InformationContent::from_index(&index);
+        let qic = QueryContent::from_index(&index, &query);
+        let mqic = ModifiedQueryContent::from_index(&index, &query);
+        assert!((ic.total() - 1.0).abs() < 1e-9);
+        // The generator's vocabulary contains the query words, so QIC
+        // normalizes too.
+        assert!((qic.total() - 1.0).abs() < 1e-9, "seed {seed}");
+        assert!((mqic.total() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn additive_rule_holds_across_the_stack() {
+    let g = SyntheticDocSpec::default().generate(77);
+    let pipeline = ScPipeline::default();
+    let index = pipeline.run(&g.document);
+    let ic = InformationContent::from_index(&index);
+    // Every section's subtree IC equals the sum of its subsections'.
+    for section in g.document.units_at(Lod::Section) {
+        let section_ic = ic.scores().subtree_at(&section.path);
+        let own = ic.scores().own_at(&section.path);
+        let child_sum: f64 = section
+            .unit
+            .children()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut p = section.path.clone();
+                p.push(i);
+                ic.scores().subtree_at(&p)
+            })
+            .sum();
+        assert!(
+            (section_ic - own - child_sum).abs() < 1e-9,
+            "additivity broken at {}",
+            section.path
+        );
+    }
+}
+
+#[test]
+fn query_repetition_equalizes_weights_as_published() {
+    // Pin the published formula's behaviour end to end (see
+    // mrtweb-content's qic module docs for the discussion).
+    let pipeline = ScPipeline::default();
+    let q = Query::parse("cache cache network", &pipeline);
+    assert_eq!(q.weight("cach"), 1.0);
+    assert!(q.weight("network") > 1.0);
+}

@@ -1,0 +1,72 @@
+//! Whole-stack property test: generated document → pipeline → gateway →
+//! lossy live transfer → exact payload reconstruction, across random
+//! shapes, queries, channel qualities and cache modes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mrtweb::content::sc::Measure;
+use mrtweb::docmodel::gen::SyntheticDocSpec;
+use mrtweb::docmodel::lod::Lod;
+use mrtweb::prelude::CacheMode;
+use mrtweb::store::gateway::{Gateway, Request};
+use mrtweb::store::store::DocumentStore;
+use mrtweb::transport::live::{run_transfer, TransferConfig};
+use mrtweb::transport::plan::plan_document;
+
+proptest! {
+    // The full stack is slow-ish per case; a couple dozen cases keep CI
+    // snappy while sweeping the parameter space.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_documents_survive_the_full_stack(
+        seed in any::<u64>(),
+        sections in 1usize..5,
+        alpha in 0.0f64..0.45,
+        lod_idx in 0usize..4,
+        caching in any::<bool>(),
+        query in "[a-z]{3,8}( [a-z]{3,8}){0,2}",
+    ) {
+        let lod = [Lod::Document, Lod::Section, Lod::Subsection, Lod::Paragraph][lod_idx];
+        let spec = SyntheticDocSpec {
+            sections,
+            target_bytes: 3000,
+            keyword_budget: 80,
+            ..Default::default()
+        };
+        let doc = spec.generate(seed).document;
+
+        let store = Arc::new(DocumentStore::new(4));
+        store.put("doc", doc.clone());
+        let gateway = Gateway::new(Arc::clone(&store));
+        let request = Request {
+            lod,
+            measure: Measure::Mqic,
+            packet_size: 64,
+            gamma: 1.6,
+            ..Request::new("doc", query.clone())
+        };
+        let server = gateway.prepare(&request).expect("generated docs fit");
+
+        // The expected payload is what the planner produces for the
+        // same (doc, sc, lod, measure).
+        let q = mrtweb::content::query::Query::parse(&query, store.pipeline());
+        let sc = store.structural_characteristic("doc", &q).unwrap();
+        let (_, expect) = plan_document(&doc, &sc, lod, Measure::Mqic);
+
+        let report = run_transfer(
+            server,
+            &TransferConfig {
+                alpha,
+                seed,
+                cache_mode: if caching { CacheMode::Caching } else { CacheMode::NoCaching },
+                max_rounds: 1024,
+                ..Default::default()
+            },
+        );
+        prop_assert!(report.completed, "transfer failed (alpha={alpha}, lod={lod})");
+        prop_assert_eq!(report.payload, expect);
+    }
+}

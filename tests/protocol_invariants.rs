@@ -1,0 +1,184 @@
+//! Cross-crate protocol invariants, including statistical comparisons
+//! the paper's conclusions rest on.
+
+use mrtweb::channel::bandwidth::Bandwidth;
+use mrtweb::channel::bernoulli::BernoulliChannel;
+use mrtweb::channel::gilbert::GilbertElliott;
+use mrtweb::channel::link::Link;
+use mrtweb::channel::loss::MaskLoss;
+use mrtweb::transport::plan::{TransmissionPlan, UnitSlice};
+use mrtweb::transport::session::{
+    download, CacheMode, Outcome, Relevance, SessionConfig,
+};
+
+fn doc_plan() -> TransmissionPlan {
+    TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)])
+}
+
+fn bern_link(alpha: f64, seed: u64) -> Link<BernoulliChannel> {
+    Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(alpha, seed), seed)
+}
+
+#[test]
+fn completion_is_guaranteed_with_enough_rounds_caching() {
+    // Any alpha < 1 eventually completes under Caching: intact packets
+    // accumulate monotonically.
+    for alpha in [0.3, 0.6, 0.9] {
+        let mut link = bern_link(alpha, 5);
+        let config = SessionConfig {
+            cache_mode: CacheMode::Caching,
+            max_rounds: 100_000,
+            ..Default::default()
+        };
+        let r = download(&doc_plan(), Relevance::relevant(), &config, &mut link);
+        assert_eq!(r.outcome, Outcome::Completed, "alpha={alpha}");
+    }
+}
+
+#[test]
+fn response_time_is_monotone_in_alpha_caching() {
+    let mut prev = 0.0;
+    for alpha in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        // Average a few seeds to smooth noise.
+        let mut total = 0.0;
+        for seed in 0..10 {
+            let mut link = bern_link(alpha, seed);
+            let config =
+                SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+            total += download(&doc_plan(), Relevance::relevant(), &config, &mut link)
+                .response_time;
+        }
+        let mean = total / 10.0;
+        assert!(
+            mean >= prev - 0.05,
+            "response time decreased from {prev:.2} to {mean:.2} at alpha={alpha}"
+        );
+        prev = mean;
+    }
+}
+
+#[test]
+fn caching_dominates_nocaching_statistically() {
+    for alpha in [0.2, 0.35, 0.5] {
+        let mut nc = 0.0;
+        let mut ca = 0.0;
+        for seed in 0..15 {
+            let mut link = bern_link(alpha, seed);
+            let cfg = SessionConfig {
+                cache_mode: CacheMode::NoCaching,
+                max_rounds: 500,
+                ..Default::default()
+            };
+            nc += download(&doc_plan(), Relevance::relevant(), &cfg, &mut link).response_time;
+            let mut link = bern_link(alpha, seed);
+            let cfg = SessionConfig {
+                cache_mode: CacheMode::Caching,
+                max_rounds: 500,
+                ..Default::default()
+            };
+            ca += download(&doc_plan(), Relevance::relevant(), &cfg, &mut link).response_time;
+        }
+        assert!(ca <= nc, "alpha={alpha}: caching {ca:.1}s vs nocaching {nc:.1}s");
+    }
+}
+
+#[test]
+fn more_redundancy_never_slows_relevant_downloads_under_caching() {
+    // With Caching, larger gamma only adds packets after the useful ones;
+    // completion happens at the M-th intact packet either way, so times
+    // in a single round are identical and stalls become rarer.
+    for seed in 0..5 {
+        let mut times = Vec::new();
+        for gamma in [1.1, 1.5, 2.0, 2.5] {
+            let mut link = bern_link(0.3, seed);
+            let cfg = SessionConfig {
+                gamma,
+                cache_mode: CacheMode::Caching,
+                ..Default::default()
+            };
+            times.push(download(&doc_plan(), Relevance::relevant(), &cfg, &mut link).response_time);
+        }
+        for w in times.windows(2) {
+            assert!(w[1] <= w[0] + 1.0, "gamma increase should not badly hurt: {times:?}");
+        }
+    }
+}
+
+#[test]
+fn exact_worst_case_erasure_pattern_still_completes() {
+    // Lose every clear-text packet; redundancy alone must finish it
+    // (gamma = 2 gives N = 80, 40 redundancy packets).
+    let mut mask = vec![true; 40];
+    mask.extend(vec![false; 40]);
+    let mut link = Link::new(Bandwidth::from_kbps(19.2), MaskLoss::new(mask), 0);
+    let cfg = SessionConfig { gamma: 2.0, ..Default::default() };
+    let r = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.rounds, 1);
+    assert_eq!(r.packets_sent, 80);
+    assert_eq!(r.content, 1.0);
+}
+
+#[test]
+fn bursty_channel_with_equal_rate_behaves_comparably() {
+    // Same long-run corruption rate; the bursty channel may stall more
+    // per round but Caching keeps both bounded. This pins the ablation
+    // rather than a strict ordering.
+    let plan = doc_plan();
+    let cfg = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+    let mut bern = 0.0;
+    let mut burst = 0.0;
+    for seed in 0..15 {
+        let mut link = bern_link(0.2, seed);
+        bern += download(&plan, Relevance::relevant(), &cfg, &mut link).response_time;
+        let mut link = Link::new(
+            Bandwidth::from_kbps(19.2),
+            GilbertElliott::matched(0.2, 8.0, seed),
+            seed,
+        );
+        burst += download(&plan, Relevance::relevant(), &cfg, &mut link).response_time;
+    }
+    let (bern, burst) = (bern / 15.0, burst / 15.0);
+    assert!(
+        (burst - bern).abs() / bern < 0.5,
+        "bursty {burst:.2}s vs iid {bern:.2}s diverge wildly"
+    );
+}
+
+#[test]
+fn irrelevant_threshold_sweep_is_monotone() {
+    // Higher F requires receiving more before stopping.
+    let plan = doc_plan();
+    let mut prev = 0.0;
+    for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut total = 0.0;
+        for seed in 0..10 {
+            let mut link = bern_link(0.1, seed);
+            let cfg = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+            total += download(&plan, Relevance::irrelevant(f), &cfg, &mut link).response_time;
+        }
+        let mean = total / 10.0;
+        assert!(mean >= prev, "F={f}: {mean:.2} < {prev:.2}");
+        prev = mean;
+    }
+}
+
+#[test]
+fn failed_outcome_reports_partial_content() {
+    let mut link = Link::new(
+        Bandwidth::from_kbps(19.2),
+        // Corrupt everything after the first 10 packets, forever.
+        MaskLoss::new(
+            (0..100_000usize).map(|i| i >= 10).collect::<Vec<bool>>(),
+        ),
+        0,
+    );
+    let cfg = SessionConfig {
+        cache_mode: CacheMode::Caching,
+        max_rounds: 5,
+        ..Default::default()
+    };
+    let r = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
+    assert_eq!(r.outcome, Outcome::Failed);
+    assert!(r.content > 0.0 && r.content < 1.0, "partial content {}", r.content);
+}
