@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint and a perf smoke run.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh --no-bench # skip the bench smoke (e.g. constrained runners)
+#
+# The bench smoke runs the erasure-codec sweep in quick mode and leaves
+# its machine-readable summary in BENCH_erasure.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+if [ "$run_bench" -eq 1 ]; then
+  echo "==> bench smoke (quick mode): erasure_codec -> BENCH_erasure.json"
+  MRTWEB_BENCH_QUICK=1 cargo bench -p mrtweb-bench --bench erasure_codec
+  test -s BENCH_erasure.json || { echo "BENCH_erasure.json missing" >&2; exit 1; }
+fi
+
+echo "==> ci.sh OK"

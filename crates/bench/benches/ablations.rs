@@ -21,9 +21,9 @@ use mrtweb_erasure::ida::Codec;
 use mrtweb_sim::browsing::run_session;
 use mrtweb_sim::params::Params;
 use mrtweb_sim::table1::paper_draft;
+use mrtweb_textproc::pipeline::ScPipeline;
 use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
 use mrtweb_transport::session::{download, CacheMode, Relevance, SessionConfig};
-use mrtweb_textproc::pipeline::ScPipeline;
 
 fn benches(c: &mut Criterion) {
     // --- systematic prefix vs redundancy-heavy decode -----------------
@@ -33,8 +33,9 @@ fn benches(c: &mut Criterion) {
     let cooked = codec.encode(&data);
     let mut g = c.benchmark_group("ablation_systematic");
     for lost_clear in [0usize, 10, 20, 40] {
-        let survivors: Vec<(usize, Vec<u8>)> =
-            (lost_clear..(40 + lost_clear)).map(|i| (i, cooked[i].clone())).collect();
+        let survivors: Vec<(usize, Vec<u8>)> = (lost_clear..(40 + lost_clear))
+            .map(|i| (i, cooked[i].clone()))
+            .collect();
         g.bench_with_input(
             BenchmarkId::new("decode_lost_clear", lost_clear),
             &survivors,
@@ -46,7 +47,10 @@ fn benches(c: &mut Criterion) {
     // --- caching vs nocaching ------------------------------------------
     let scale = kernel_scale();
     let mut g = c.benchmark_group("ablation_caching");
-    for (name, mode) in [("nocaching", CacheMode::NoCaching), ("caching", CacheMode::Caching)] {
+    for (name, mode) in [
+        ("nocaching", CacheMode::NoCaching),
+        ("caching", CacheMode::Caching),
+    ] {
         let params = Params {
             alpha: 0.3,
             cache_mode: mode,
@@ -68,7 +72,10 @@ fn benches(c: &mut Criterion) {
     // --- iid vs bursty channel ------------------------------------------
     let mut g = c.benchmark_group("ablation_channel");
     let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
-    let config = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+    let config = SessionConfig {
+        cache_mode: CacheMode::Caching,
+        ..Default::default()
+    };
     g.bench_function("bernoulli_a0.2", |b| {
         let mut seed = 0u64;
         b.iter(|| {

@@ -1,21 +1,60 @@
-//! Codec throughput at the paper's parameters: M = 40, N = 60,
-//! 256-byte packets (a 10240-byte document).
+//! Codec throughput at the paper's parameters (M = 40, N = 60,
+//! 256-byte packets — a 10240-byte document) plus a packet-size sweep
+//! from 256 B to 64 KiB.
+//!
+//! Besides the live kernels, the harness times the *seed scalar path*
+//! (per-row allocation + log/exp `mul_acc_scalar`, exactly the shape of
+//! the pre-kernel `encode_packets`) so every run re-measures the
+//! speedup instead of trusting a number written down once. All
+//! measurements are exported to `BENCH_erasure.json` at the repository
+//! root so the perf trajectory is tracked across PRs.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use mrtweb_erasure::crc::{crc16, crc32};
+use mrtweb_erasure::crc::{crc16, crc16_reference, crc32, crc32_reference};
+use mrtweb_erasure::gf256::mul_acc_scalar;
 use mrtweb_erasure::ida::Codec;
 use mrtweb_erasure::packet::Frame;
+use mrtweb_erasure::par::{default_threads, encode_into_parallel};
+
+/// The seed's encode shape: clone the clear prefix, allocate one row
+/// per redundancy packet, accumulate with the scalar log/exp multiply.
+fn encode_scalar_baseline(codec: &Codec, raws: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut cooked = raws.to_vec();
+    for index in codec.raw_packets()..codec.cooked_packets() {
+        let coeffs = codec.coefficients(index);
+        let mut row = vec![0u8; codec.packet_size()];
+        for (raw, &c) in raws.iter().zip(coeffs) {
+            mul_acc_scalar(&mut row, raw, c);
+        }
+        cooked.push(row);
+    }
+    cooked
+}
 
 fn benches(c: &mut Criterion) {
     let codec = Codec::new(40, 60, 256).unwrap();
     let data: Vec<u8> = (0..10240).map(|i| (i * 131 + 7) as u8).collect();
+    let raws = codec.split(&data);
     let cooked = codec.encode(&data);
 
     let mut g = c.benchmark_group("erasure_codec");
     g.throughput(Throughput::Bytes(10240));
-    g.bench_function("encode_40_60", |b| b.iter(|| codec.encode(black_box(&data))));
+    g.bench_function("encode_40_60_scalar_baseline", |b| {
+        b.iter(|| encode_scalar_baseline(&codec, black_box(&raws)))
+    });
+    g.bench_function("encode_40_60", |b| {
+        b.iter(|| codec.encode(black_box(&data)))
+    });
+    let mut buf = Vec::new();
+    g.bench_function("encode_into_40_60", |b| {
+        b.iter(|| codec.encode_into(black_box(&data), &mut buf))
+    });
+    let threads = default_threads();
+    g.bench_function("encode_into_parallel_40_60", |b| {
+        b.iter(|| encode_into_parallel(&codec, black_box(&data), &mut buf, threads))
+    });
 
     // Decode from the clear-text prefix (no inversion needed).
     let clear: Vec<(usize, Vec<u8>)> = cooked.iter().take(40).cloned().enumerate().collect();
@@ -23,17 +62,47 @@ fn benches(c: &mut Criterion) {
         b.iter(|| codec.decode(black_box(&clear), 10240).unwrap())
     });
 
-    // Decode from a worst-case survivor set (20 clear lost).
-    let mixed: Vec<(usize, Vec<u8>)> =
-        (20..60).map(|i| (i, cooked[i].clone())).collect();
+    // Decode from a worst-case survivor set (20 clear lost): once with
+    // the shared inverse cache warm and once forcing a fresh inversion
+    // each call, so the cache's contribution stays visible.
+    let mixed: Vec<(usize, Vec<u8>)> = (20..60).map(|i| (i, cooked[i].clone())).collect();
     g.bench_function("decode_20_erasures", |b| {
         b.iter(|| codec.decode(black_box(&mixed), 10240).unwrap())
+    });
+    g.bench_function("decode_20_erasures_uncached", |b| {
+        b.iter(|| codec.decode_uncached(black_box(&mixed), 10240).unwrap())
     });
 
     for m in [10usize, 40, 100] {
         g.bench_with_input(BenchmarkId::new("codec_setup", m), &m, |b, &m| {
             b.iter(|| Codec::new(black_box(m), black_box(m + m / 2), 256).unwrap())
         });
+    }
+
+    // Packet-size sweep, 256 B → 64 KiB at the paper's M=40/N=60 shape:
+    // encode via the buffer-reuse kernel, decode under 20 erasures.
+    for ps in [256usize, 1024, 4096, 16384, 65536] {
+        let sweep_codec = Codec::new(40, 60, ps).unwrap();
+        let doc: Vec<u8> = (0..40 * ps).map(|i| (i * 89 + 3) as u8).collect();
+        g.throughput(Throughput::Bytes(doc.len() as u64));
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::new("encode_sweep", ps), &ps, |b, _| {
+            b.iter(|| sweep_codec.encode_into(black_box(&doc), &mut out))
+        });
+        let sweep_cooked = sweep_codec.encode(&doc);
+        let survivors: Vec<(usize, Vec<u8>)> =
+            (20..60).map(|i| (i, sweep_cooked[i].clone())).collect();
+        g.bench_with_input(
+            BenchmarkId::new("decode_sweep_20_erasures", ps),
+            &ps,
+            |b, _| {
+                b.iter(|| {
+                    sweep_codec
+                        .decode(black_box(&survivors), doc.len())
+                        .unwrap()
+                })
+            },
+        );
     }
 
     g.throughput(Throughput::Bytes(260));
@@ -47,11 +116,80 @@ fn benches(c: &mut Criterion) {
     });
     g.bench_function("crc16_frame", |b| b.iter(|| crc16(black_box(&wire))));
     g.bench_function("crc32_frame", |b| b.iter(|| crc32(black_box(&wire))));
+
+    // Sliced CRC kernels vs the bit-at-a-time references on a buffer
+    // large enough that table effects dominate.
+    let big: Vec<u8> = (0..65536).map(|i| (i * 211 + 9) as u8).collect();
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("crc32_64k_sliced", |b| b.iter(|| crc32(black_box(&big))));
+    g.bench_function("crc32_64k_bitwise", |b| {
+        b.iter(|| crc32_reference(black_box(&big)))
+    });
+    g.bench_function("crc16_64k_sliced", |b| b.iter(|| crc16(black_box(&big))));
+    g.bench_function("crc16_64k_bitwise", |b| {
+        b.iter(|| crc16_reference(black_box(&big)))
+    });
     g.finish();
+}
+
+/// Writes every recorded measurement (plus the headline speedups) as
+/// JSON next to the workspace root, overwriting the previous run.
+fn write_summary(c: &Criterion) {
+    fn find(c: &Criterion, name: &str) -> Option<f64> {
+        c.records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ns_per_iter)
+    }
+    let mut out = String::from("{\n  \"bench\": \"erasure_codec\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", c.is_quick()));
+    if let (Some(scalar), Some(fast)) = (
+        find(c, "encode_40_60_scalar_baseline"),
+        find(c, "encode_40_60"),
+    ) {
+        out.push_str(&format!(
+            "  \"encode_40_60_speedup_vs_scalar\": {:.2},\n",
+            scalar / fast
+        ));
+    }
+    if let (Some(bitwise), Some(sliced)) =
+        (find(c, "crc32_64k_bitwise"), find(c, "crc32_64k_sliced"))
+    {
+        out.push_str(&format!(
+            "  \"crc32_speedup_vs_bitwise\": {:.2},\n",
+            bitwise / sliced
+        ));
+    }
+    out.push_str("  \"results\": [\n");
+    let records = c.records();
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}",
+            r.name, r.ns_per_iter
+        ));
+        if let Some(bytes) = r.bytes_per_iter {
+            out.push_str(&format!(", \"bytes_per_iter\": {bytes}"));
+        }
+        if let Some(mib) = r.mib_per_s {
+            out.push_str(&format!(", \"mib_per_s\": {mib:.1}"));
+        }
+        out.push_str(if i + 1 == records.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_erasure.json");
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn main() {
     let mut c = Criterion::default().configure_from_args();
     benches(&mut c);
     c.final_summary();
+    write_summary(&c);
 }

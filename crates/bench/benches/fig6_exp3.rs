@@ -25,13 +25,17 @@ fn benches(c: &mut Criterion) {
             max_rounds: scale.max_rounds,
             ..Default::default()
         };
-        g.bench_with_input(BenchmarkId::new("session_lod", lod.name()), &params, |b, p| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                run_session(black_box(p), lod, seed)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("session_lod", lod.name()),
+            &params,
+            |b, p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    run_session(black_box(p), lod, seed)
+                })
+            },
+        );
     }
     g.finish();
 }

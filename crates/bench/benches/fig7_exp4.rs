@@ -26,13 +26,17 @@ fn benches(c: &mut Criterion) {
             max_rounds: scale.max_rounds,
             ..Default::default()
         };
-        g.bench_with_input(BenchmarkId::new("session_skew", skew as u32), &params, |b, p| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                run_session(black_box(p), Lod::Paragraph, seed)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("session_skew", skew as u32),
+            &params,
+            |b, p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    run_session(black_box(p), Lod::Paragraph, seed)
+                })
+            },
+        );
     }
     g.finish();
 }

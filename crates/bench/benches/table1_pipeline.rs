@@ -25,7 +25,11 @@ fn benches(c: &mut Criterion) {
     g.bench_function("sc_build_with_query", |b| {
         b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)))
     });
-    for q in ["mobile", "mobile web browsing", "mobile web browsing wireless cache energy"] {
+    for q in [
+        "mobile",
+        "mobile web browsing",
+        "mobile web browsing wireless cache energy",
+    ] {
         g.bench_with_input(
             BenchmarkId::new("qic_query_words", q.split(' ').count()),
             &q,

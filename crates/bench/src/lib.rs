@@ -13,10 +13,18 @@ use mrtweb_sim::experiments::Scale;
 /// Paper-scale data comes from `cargo run -p mrtweb-sim --bin figures --
 /// all --paper`.
 pub fn bench_scale() -> Scale {
-    Scale { docs: 40, reps: 3, max_rounds: 80 }
+    Scale {
+        docs: 40,
+        reps: 3,
+        max_rounds: 80,
+    }
 }
 
 /// A tiny scale for the measured kernel itself.
 pub fn kernel_scale() -> Scale {
-    Scale { docs: 10, reps: 1, max_rounds: 40 }
+    Scale {
+        docs: 10,
+        reps: 1,
+        max_rounds: 40,
+    }
 }

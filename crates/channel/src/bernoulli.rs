@@ -35,8 +35,14 @@ impl BernoulliChannel {
     ///
     /// Panics unless `alpha ∈ [0, 1]`.
     pub fn new(alpha: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1], got {alpha}");
-        BernoulliChannel { alpha, rng: StdRng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
+        BernoulliChannel {
+            alpha,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured corruption probability.
@@ -51,7 +57,10 @@ impl BernoulliChannel {
     ///
     /// Panics unless `alpha ∈ [0, 1]`.
     pub fn set_alpha(&mut self, alpha: f64) {
-        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1], got {alpha}");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
         self.alpha = alpha;
     }
 }
@@ -77,7 +86,10 @@ mod tests {
             let n = 50_000;
             let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
             let rate = corrupted as f64 / n as f64;
-            assert!((rate - alpha).abs() < 0.01, "rate {rate} far from alpha {alpha}");
+            assert!(
+                (rate - alpha).abs() < 0.01,
+                "rate {rate} far from alpha {alpha}"
+            );
         }
     }
 

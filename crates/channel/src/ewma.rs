@@ -38,9 +38,19 @@ impl EwmaEstimator {
     ///
     /// Panics unless `gain ∈ (0, 1]` and `initial ∈ [0, 1]`.
     pub fn new(gain: f64, initial: f64) -> Self {
-        assert!(gain > 0.0 && gain <= 1.0, "gain must be in (0, 1], got {gain}");
-        assert!((0.0..=1.0).contains(&initial), "initial estimate must be in [0, 1]");
-        EwmaEstimator { gain, estimate: initial, observations: 0 }
+        assert!(
+            gain > 0.0 && gain <= 1.0,
+            "gain must be in (0, 1], got {gain}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&initial),
+            "initial estimate must be in [0, 1]"
+        );
+        EwmaEstimator {
+            gain,
+            estimate: initial,
+            observations: 0,
+        }
     }
 
     /// Records one packet observation (`true` = corrupted).
@@ -102,7 +112,11 @@ mod tests {
         for i in 0..10_000 {
             est.observe(i % 10 < 3);
         }
-        assert!((est.estimate() - 0.3).abs() < 0.05, "estimate {}", est.estimate());
+        assert!(
+            (est.estimate() - 0.3).abs() < 0.05,
+            "estimate {}",
+            est.estimate()
+        );
     }
 
     #[test]

@@ -57,12 +57,21 @@ impl GilbertElliott {
     /// least one transition probability is positive (the chain must be
     /// able to move).
     pub fn new(p_gb: f64, p_bg: f64, alpha_good: f64, alpha_bad: f64, seed: u64) -> Self {
-        for (name, p) in
-            [("p_gb", p_gb), ("p_bg", p_bg), ("alpha_good", alpha_good), ("alpha_bad", alpha_bad)]
-        {
-            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        for (name, p) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("alpha_good", alpha_good),
+            ("alpha_bad", alpha_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
         }
-        assert!(p_gb + p_bg > 0.0, "the chain must have a positive transition probability");
+        assert!(
+            p_gb + p_bg > 0.0,
+            "the chain must have a positive transition probability"
+        );
         GilbertElliott {
             p_gb,
             p_bg,
@@ -142,7 +151,10 @@ mod tests {
         let n = 200_000;
         let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
         let rate = corrupted as f64 / n as f64;
-        assert!((rate - expect).abs() < 0.01, "rate {rate} vs expected {expect}");
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate {rate} vs expected {expect}"
+        );
     }
 
     #[test]
@@ -153,7 +165,10 @@ mod tests {
             let n = 200_000;
             let corrupted = (0..n).filter(|_| ch.next_corrupted()).count();
             let rate = corrupted as f64 / n as f64;
-            assert!((rate - alpha).abs() < 0.015, "matched rate {rate} vs alpha {alpha}");
+            assert!(
+                (rate - alpha).abs() < 0.015,
+                "matched rate {rate} vs alpha {alpha}"
+            );
         }
     }
 

@@ -69,7 +69,10 @@ impl<L: LossModel> Link<L> {
         if corrupted {
             self.corrupted += 1;
         }
-        Delivery { arrival_time: self.clock.now(), corrupted }
+        Delivery {
+            arrival_time: self.clock.now(),
+            corrupted,
+        }
     }
 
     /// Transmits a real buffer: on corruption, flips 1–4 random bits in
@@ -139,8 +142,11 @@ mod tests {
 
     #[test]
     fn mask_controls_fates() {
-        let mut link =
-            Link::new(Bandwidth::default(), MaskLoss::new(vec![true, false, true]), 0);
+        let mut link = Link::new(
+            Bandwidth::default(),
+            MaskLoss::new(vec![true, false, true]),
+            0,
+        );
         assert!(link.send(10).corrupted);
         assert!(!link.send(10).corrupted);
         assert!(link.send(10).corrupted);
@@ -149,8 +155,7 @@ mod tests {
 
     #[test]
     fn send_bytes_corrupts_buffer_only_when_marked() {
-        let mut link =
-            Link::new(Bandwidth::default(), MaskLoss::new(vec![true, false]), 42);
+        let mut link = Link::new(Bandwidth::default(), MaskLoss::new(vec![true, false]), 42);
         let original = vec![0u8; 64];
         let mut first = original.clone();
         let d = link.send_bytes(&mut first);

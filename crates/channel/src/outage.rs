@@ -50,8 +50,14 @@ impl<L: LossModel> OutageChannel<L> {
     /// at least one is positive.
     pub fn new(base: L, p_drop: f64, p_recover: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p_drop), "p_drop must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&p_recover), "p_recover must be in [0, 1]");
-        assert!(p_drop + p_recover > 0.0, "the outage chain must be able to move");
+        assert!(
+            (0.0..=1.0).contains(&p_recover),
+            "p_recover must be in [0, 1]"
+        );
+        assert!(
+            p_drop + p_recover > 0.0,
+            "the outage chain must be able to move"
+        );
         OutageChannel {
             base,
             p_drop,

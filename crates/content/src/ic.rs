@@ -52,7 +52,9 @@ impl InformationContent {
                 }
             })
             .collect();
-        InformationContent { scores: ContentScores::new(scores) }
+        InformationContent {
+            scores: ContentScores::new(scores),
+        }
     }
 
     /// The underlying score container.
@@ -124,7 +126,10 @@ mod tests {
         let second = s.subtree_at(&UnitPath::from_indices([1]));
         // Four distinct rare words (weight 3 each) outweigh four
         // occurrences of the most common word (weight 1 each).
-        assert!(first > second, "rare-keyword section should carry more content");
+        assert!(
+            first > second,
+            "rare-keyword section should carry more content"
+        );
     }
 
     #[test]

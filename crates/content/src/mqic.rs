@@ -68,7 +68,10 @@ impl ModifiedQueryContent {
                 }
             })
             .collect();
-        ModifiedQueryContent { scores: ContentScores::new(scores), lambda }
+        ModifiedQueryContent {
+            scores: ContentScores::new(scores),
+            lambda,
+        }
     }
 
     /// The scaling factor λ that was applied to querying-word weights.
@@ -128,7 +131,11 @@ mod tests {
         let mqic = ModifiedQueryContent::from_index(&idx, &q);
         let qic = QueryContent::from_index(&idx, &q);
         let second = UnitPath::from_indices([1]);
-        assert_eq!(qic.scores().subtree_at(&second), 0.0, "QIC zeroes the non-matching section");
+        assert_eq!(
+            qic.scores().subtree_at(&second),
+            0.0,
+            "QIC zeroes the non-matching section"
+        );
         assert!(
             mqic.scores().subtree_at(&second) > 0.0,
             "MQIC must keep the non-matching section positive"
@@ -171,8 +178,8 @@ mod tests {
         let (idx, q) = setup(TWO_SECTIONS, "mobile");
         let mqic = ModifiedQueryContent::from_index(&idx, &q);
         let s = mqic.scores();
-        let sum = s.subtree_at(&UnitPath::from_indices([0]))
-            + s.subtree_at(&UnitPath::from_indices([1]));
+        let sum =
+            s.subtree_at(&UnitPath::from_indices([0])) + s.subtree_at(&UnitPath::from_indices([1]));
         assert!((sum - 1.0).abs() < 1e-9);
     }
 }

@@ -64,7 +64,12 @@ impl UserProfile {
     pub fn new(decay: f64, rate: f64) -> Self {
         assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
         assert!(rate > 0.0, "learning rate must be positive");
-        UserProfile { interests: BTreeMap::new(), decay, rate, events: 0 }
+        UserProfile {
+            interests: BTreeMap::new(),
+            decay,
+            rate,
+            events: 0,
+        }
     }
 
     /// Positive feedback: the user read/kept this document.
@@ -114,8 +119,11 @@ impl UserProfile {
 
     /// The `top` most-interesting stems, strongest first.
     pub fn top_stems(&self, top: usize) -> Vec<(&str, f64)> {
-        let mut v: Vec<(&str, f64)> =
-            self.interests.iter().map(|(s, &w)| (s.as_str(), w)).collect();
+        let mut v: Vec<(&str, f64)> = self
+            .interests
+            .iter()
+            .map(|(s, &w)| (s.as_str(), w))
+            .collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         v.truncate(top);
         v
@@ -183,7 +191,10 @@ mod tests {
         for _ in 0..6 {
             p.accept(&index("fresh subject"));
         }
-        assert!(p.interest("vintag") < early * 0.1, "old interest should fade");
+        assert!(
+            p.interest("vintag") < early * 0.1,
+            "old interest should fade"
+        );
         assert!(p.interest("fresh") > p.interest("vintag"));
     }
 

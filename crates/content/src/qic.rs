@@ -40,9 +40,7 @@ impl QueryContent {
                     .counts
                     .iter()
                     .map(|(stem, &n)| {
-                        n as f64
-                            * keyword_weight(index.total_count(stem), max)
-                            * query.weight(stem)
+                        n as f64 * keyword_weight(index.total_count(stem), max) * query.weight(stem)
                     })
                     .sum();
                 UnitScore {
@@ -53,7 +51,9 @@ impl QueryContent {
                 }
             })
             .collect();
-        QueryContent { scores: ContentScores::new(scores) }
+        QueryContent {
+            scores: ContentScores::new(scores),
+        }
     }
 
     /// The underlying score container.
@@ -100,7 +100,10 @@ mod tests {
         let s = qic.scores();
         let first = s.subtree_at(&UnitPath::from_indices([0]));
         let second = s.subtree_at(&UnitPath::from_indices([1]));
-        assert!((first - 1.0).abs() < 1e-9, "all QIC should be in the matching section");
+        assert!(
+            (first - 1.0).abs() < 1e-9,
+            "all QIC should be in the matching section"
+        );
         assert_eq!(second, 0.0);
     }
 

@@ -83,7 +83,10 @@ impl StructuralCharacteristic {
                 ContentScores::new(
                     ic.scores()
                         .iter()
-                        .map(|s| crate::scores::UnitScore { own: 0.0, ..s.clone() })
+                        .map(|s| crate::scores::UnitScore {
+                            own: 0.0,
+                            ..s.clone()
+                        })
                         .collect(),
                 ),
                 ic.clone(),
@@ -210,8 +213,7 @@ mod tests {
     #[test]
     fn rank_by_qic_puts_matching_section_first() {
         let sc = sc(DOC, Some("database storage"));
-        let paths: Vec<UnitPath> =
-            vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
+        let paths: Vec<UnitPath> = vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
         let ranked = sc.rank(&paths, Measure::Qic);
         assert_eq!(ranked[0], UnitPath::from_indices([1]));
     }
@@ -220,8 +222,7 @@ mod tests {
     fn rank_by_ic_vs_qic_can_differ() {
         // IC ranks by static mass; QIC by query match.
         let sc = sc(DOC, Some("database"));
-        let paths: Vec<UnitPath> =
-            vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
+        let paths: Vec<UnitPath> = vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
         let by_qic = sc.rank(&paths, Measure::Qic);
         assert_eq!(by_qic[0], UnitPath::from_indices([1]));
     }

@@ -43,7 +43,10 @@ impl ContentScores {
 
     /// The own score at an exact path (0 if the path is unknown).
     pub fn own_at(&self, path: &UnitPath) -> f64 {
-        self.scores.iter().find(|s| &s.path == path).map_or(0.0, |s| s.own)
+        self.scores
+            .iter()
+            .find(|s| &s.path == path)
+            .map_or(0.0, |s| s.own)
     }
 
     /// The additive subtree score at `path`: own score plus all
@@ -74,8 +77,10 @@ impl ContentScores {
     /// Ranks the given paths by descending subtree score; ties keep the
     /// input (document) order, making the sort stable and deterministic.
     pub fn rank(&self, paths: &[UnitPath]) -> Vec<UnitPath> {
-        let mut scored: Vec<(UnitPath, f64)> =
-            paths.iter().map(|p| (p.clone(), self.subtree_at(p))).collect();
+        let mut scored: Vec<(UnitPath, f64)> = paths
+            .iter()
+            .map(|p| (p.clone(), self.subtree_at(p)))
+            .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.into_iter().map(|(p, _)| p).collect()
     }
@@ -129,8 +134,7 @@ mod tests {
     #[test]
     fn rank_sorts_descending_stable() {
         let s = scores();
-        let paths: Vec<UnitPath> =
-            vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
+        let paths: Vec<UnitPath> = vec![UnitPath::from_indices([0]), UnitPath::from_indices([1])];
         let ranked = s.rank(&paths);
         assert_eq!(ranked[0], UnitPath::from_indices([1]));
         assert_eq!(ranked[1], UnitPath::from_indices([0]));
@@ -140,8 +144,18 @@ mod tests {
     fn rank_preserves_order_on_ties() {
         let mk = |idx: &[usize]| UnitPath::from_indices(idx.iter().copied());
         let s = ContentScores::new(vec![
-            UnitScore { path: mk(&[0]), kind: Lod::Section, synthetic: false, own: 0.5 },
-            UnitScore { path: mk(&[1]), kind: Lod::Section, synthetic: false, own: 0.5 },
+            UnitScore {
+                path: mk(&[0]),
+                kind: Lod::Section,
+                synthetic: false,
+                own: 0.5,
+            },
+            UnitScore {
+                path: mk(&[1]),
+                kind: Lod::Section,
+                synthetic: false,
+                own: 0.5,
+            },
         ]);
         let ranked = s.rank(&[mk(&[0]), mk(&[1])]);
         assert_eq!(ranked, vec![mk(&[0]), mk(&[1])]);

@@ -11,7 +11,12 @@ use mrtweb_docmodel::gen::SyntheticDocSpec;
 use mrtweb_docmodel::unit::UnitPath;
 use mrtweb_textproc::pipeline::ScPipeline;
 
-fn doc_and_index(seed: u64) -> (mrtweb_docmodel::document::Document, mrtweb_textproc::index::DocumentIndex) {
+fn doc_and_index(
+    seed: u64,
+) -> (
+    mrtweb_docmodel::document::Document,
+    mrtweb_textproc::index::DocumentIndex,
+) {
     let spec = SyntheticDocSpec {
         sections: 3,
         target_bytes: 1500,

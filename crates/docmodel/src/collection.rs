@@ -64,7 +64,11 @@ impl std::error::Error for UnknownPageError {}
 impl Collection {
     /// Creates an empty collection whose entry page will be `root`.
     pub fn new(root: impl Into<String>) -> Self {
-        Collection { root: root.into(), pages: BTreeMap::new(), links: Vec::new() }
+        Collection {
+            root: root.into(),
+            pages: BTreeMap::new(),
+            links: Vec::new(),
+        }
     }
 
     /// The entry page key.
@@ -108,13 +112,20 @@ impl Collection {
                 return Err(UnknownPageError(k.to_owned()));
             }
         }
-        self.links.push(HyperLink { from: from.to_owned(), to: to.to_owned() });
+        self.links.push(HyperLink {
+            from: from.to_owned(),
+            to: to.to_owned(),
+        });
         Ok(())
     }
 
     /// Outgoing link targets of a page, in insertion order.
     pub fn links_from(&self, key: &str) -> Vec<&str> {
-        self.links.iter().filter(|l| l.from == key).map(|l| l.to.as_str()).collect()
+        self.links
+            .iter()
+            .filter(|l| l.from == key)
+            .map(|l| l.to.as_str())
+            .collect()
     }
 
     /// Breadth-first reading order from the root — the order a reader
@@ -142,7 +153,11 @@ impl Collection {
     /// never discover by following links).
     pub fn orphans(&self) -> Vec<&str> {
         let reachable: BTreeSet<&str> = self.reading_order().into_iter().collect();
-        self.pages.keys().map(String::as_str).filter(|k| !reachable.contains(k)).collect()
+        self.pages
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !reachable.contains(k))
+            .collect()
     }
 
     /// Total content bytes across all pages.
@@ -188,7 +203,10 @@ mod tests {
     #[test]
     fn links_require_existing_pages() {
         let mut c = sample();
-        assert_eq!(c.link("index", "nowhere"), Err(UnknownPageError("nowhere".into())));
+        assert_eq!(
+            c.link("index", "nowhere"),
+            Err(UnknownPageError("nowhere".into()))
+        );
         assert!(c.link("ch2", "appendix").is_ok());
     }
 

@@ -39,7 +39,11 @@ impl Document {
     /// Panics if `root` is not at the document LOD; use the parser or
     /// build the root with [`Unit::new`]`(Lod::Document)`.
     pub fn from_root(mut root: Unit) -> Self {
-        assert_eq!(root.kind(), Lod::Document, "document root must be at the document LOD");
+        assert_eq!(
+            root.kind(),
+            Lod::Document,
+            "document root must be at the document LOD"
+        );
         root.normalize();
         Document { root }
     }
@@ -59,7 +63,9 @@ impl Document {
     ///
     /// [`ParseError`] on malformed markup.
     pub fn parse_xml_with_schema(input: &str, schema: &Schema) -> Result<Self, ParseError> {
-        Ok(Document { root: xml::parse_with_schema(input, schema)? })
+        Ok(Document {
+            root: xml::parse_with_schema(input, schema)?,
+        })
     }
 
     /// The document's root unit.

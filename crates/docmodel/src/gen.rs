@@ -22,12 +22,46 @@ use crate::unit::{Inline, Unit};
 
 /// Topical vocabulary used for keyword occurrences.
 const KEYWORDS: &[&str] = &[
-    "mobile", "wireless", "bandwidth", "browsing", "document", "transmission", "resolution",
-    "client", "server", "packet", "redundancy", "channel", "content", "keyword", "caching",
-    "retransmission", "reconstruction", "connectivity", "corruption", "latency", "prefetching",
-    "profile", "query", "relevance", "session", "structure", "section", "paragraph", "encoding",
-    "dispersal", "vandermonde", "polynomial", "battery", "energy", "disconnection", "surfing",
-    "hypertext", "navigation", "summary", "index",
+    "mobile",
+    "wireless",
+    "bandwidth",
+    "browsing",
+    "document",
+    "transmission",
+    "resolution",
+    "client",
+    "server",
+    "packet",
+    "redundancy",
+    "channel",
+    "content",
+    "keyword",
+    "caching",
+    "retransmission",
+    "reconstruction",
+    "connectivity",
+    "corruption",
+    "latency",
+    "prefetching",
+    "profile",
+    "query",
+    "relevance",
+    "session",
+    "structure",
+    "section",
+    "paragraph",
+    "encoding",
+    "dispersal",
+    "vandermonde",
+    "polynomial",
+    "battery",
+    "energy",
+    "disconnection",
+    "surfing",
+    "hypertext",
+    "navigation",
+    "summary",
+    "index",
 ];
 
 /// Stop-word filler to pad paragraphs to their byte budget.
@@ -128,7 +162,8 @@ impl SyntheticDocSpec {
     /// `skew < 1`.
     pub fn generate_with_rng(&self, rng: &mut impl Rng) -> GeneratedDoc {
         assert!(
-            self.sections > 0 && self.subsections_per_section > 0
+            self.sections > 0
+                && self.subsections_per_section > 0
                 && self.paragraphs_per_subsection > 0,
             "spec dimensions must be nonzero"
         );
@@ -140,8 +175,7 @@ impl SyntheticDocSpec {
         for s in 0..self.sections {
             let mut section = Unit::new(Lod::Section).with_title(format!("Section {s}"));
             for ss in 0..self.subsections_per_section {
-                let mut sub =
-                    Unit::new(Lod::Subsection).with_title(format!("Subsection {s}.{ss}"));
+                let mut sub = Unit::new(Lod::Subsection).with_title(format!("Subsection {s}.{ss}"));
                 for _ in 0..self.paragraphs_per_subsection {
                     let w = *w_iter.next().expect("weight per paragraph");
                     sub.push_child(self.make_paragraph(rng, w, para_bytes));
@@ -150,19 +184,21 @@ impl SyntheticDocSpec {
             }
             root.push_child(section);
         }
-        GeneratedDoc { document: Document::from_root(root), paragraph_weights: weights }
+        GeneratedDoc {
+            document: Document::from_root(root),
+            paragraph_weights: weights,
+        }
     }
 
     fn make_paragraph(&self, rng: &mut impl Rng, weight: f64, budget: usize) -> Unit {
         let mut para = Unit::new(Lod::Paragraph);
-        let keyword_count =
-            ((self.keyword_budget as f64) * weight).round().max(1.0) as usize;
+        let keyword_count = ((self.keyword_budget as f64) * weight).round().max(1.0) as usize;
         let mut text = String::new();
         let mut keywords_left = keyword_count;
         // Interleave keywords among filler until both budgets are spent.
         while text.len() < budget || keywords_left > 0 {
-            let place_keyword = keywords_left > 0
-                && (text.len() >= budget || rng.random_bool(0.35));
+            let place_keyword =
+                keywords_left > 0 && (text.len() >= budget || rng.random_bool(0.35));
             let word = if place_keyword {
                 keywords_left -= 1;
                 KEYWORDS[rng.random_range(0..KEYWORDS.len())]
@@ -204,14 +240,21 @@ mod tests {
 
     #[test]
     fn weights_are_normalized_and_bounded_by_skew() {
-        let spec = SyntheticDocSpec { skew: 4.0, ..Default::default() };
+        let spec = SyntheticDocSpec {
+            skew: 4.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let w = spec.draw_weights(&mut rng);
         let sum: f64 = w.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         let maxw = w.iter().cloned().fold(f64::MIN, f64::max);
         let minw = w.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(maxw / minw <= 4.0 + 1e-9, "ratio {} exceeds skew", maxw / minw);
+        assert!(
+            maxw / minw <= 4.0 + 1e-9,
+            "ratio {} exceeds skew",
+            maxw / minw
+        );
     }
 
     #[test]
@@ -221,7 +264,10 @@ mod tests {
         let len = g.document.content_len();
         // Titles and keyword tails add some slack beyond the target.
         assert!(len >= spec.target_bytes, "generated only {len} bytes");
-        assert!(len < spec.target_bytes * 2, "generated {len} bytes, way over target");
+        assert!(
+            len < spec.target_bytes * 2,
+            "generated {len} bytes, way over target"
+        );
     }
 
     #[test]
@@ -271,7 +317,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "skew factor")]
     fn skew_below_one_panics() {
-        let spec = SyntheticDocSpec { skew: 0.5, ..Default::default() };
+        let spec = SyntheticDocSpec {
+            skew: 0.5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let _ = spec.draw_weights(&mut rng);
     }

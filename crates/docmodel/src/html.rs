@@ -67,12 +67,18 @@ fn heading_level(name: &str) -> Option<usize> {
 }
 
 fn is_emphasis(name: &str) -> bool {
-    matches!(name.to_ascii_lowercase().as_str(), "b" | "i" | "em" | "strong" | "u")
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "b" | "i" | "em" | "strong" | "u"
+    )
 }
 
 fn is_skipped_container(name: &str) -> bool {
     // `<head>` is not skipped: the `<title>` inside it is wanted.
-    matches!(name.to_ascii_lowercase().as_str(), "script" | "style" | "noscript")
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "script" | "style" | "noscript"
+    )
 }
 
 struct HtmlBuilder {
@@ -109,7 +115,9 @@ impl HtmlBuilder {
 
     fn event(&mut self, ev: Event) {
         match ev {
-            Event::Start { name, self_closing, .. } => {
+            Event::Start {
+                name, self_closing, ..
+            } => {
                 let lname = name.to_ascii_lowercase();
                 if is_skipped_container(&lname) {
                     if !self_closing {
@@ -199,7 +207,9 @@ impl HtmlBuilder {
                 } else {
                     Inline::plain(text)
                 };
-                self.paragraph.get_or_insert_with(|| Unit::new(Lod::Paragraph)).push_run(run);
+                self.paragraph
+                    .get_or_insert_with(|| Unit::new(Lod::Paragraph))
+                    .push_run(run);
             }
         }
     }
@@ -244,7 +254,8 @@ impl HtmlBuilder {
             } else if let Some(ss) = &mut self.subsection {
                 ss
             } else {
-                self.section.get_or_insert_with(|| Unit::new(Lod::Section).with_synthetic(true))
+                self.section
+                    .get_or_insert_with(|| Unit::new(Lod::Section).with_synthetic(true))
             };
             target.push_child(p);
         }
@@ -332,8 +343,8 @@ mod tests {
 
     #[test]
     fn deep_headings_map_to_subsubsection() {
-        let doc = extract("<h1>A</h1><h2>B</h2><h3>C</h3><p>deep</p><h4>D</h4><p>deeper</p>")
-            .unwrap();
+        let doc =
+            extract("<h1>A</h1><h2>B</h2><h3>C</h3><p>deep</p><h4>D</h4><p>deeper</p>").unwrap();
         assert_eq!(doc.units_at(Lod::Subsubsection).len(), 2);
         assert_eq!(doc.units_at(Lod::Paragraph).len(), 2);
     }

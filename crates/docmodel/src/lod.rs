@@ -42,8 +42,13 @@ pub enum Lod {
 
 impl Lod {
     /// All levels, coarsest to finest.
-    pub const ALL: [Lod; 5] =
-        [Lod::Document, Lod::Section, Lod::Subsection, Lod::Subsubsection, Lod::Paragraph];
+    pub const ALL: [Lod; 5] = [
+        Lod::Document,
+        Lod::Section,
+        Lod::Subsection,
+        Lod::Subsubsection,
+        Lod::Paragraph,
+    ];
 
     /// Tree depth of units at this LOD (document root is depth 0).
     pub const fn depth(self) -> usize {

@@ -33,12 +33,18 @@ pub struct Inline {
 impl Inline {
     /// A plain (non-emphasized) run.
     pub fn plain(text: impl Into<String>) -> Self {
-        Inline { text: text.into(), emphasized: false }
+        Inline {
+            text: text.into(),
+            emphasized: false,
+        }
     }
 
     /// An emphasized run.
     pub fn emphasized(text: impl Into<String>) -> Self {
-        Inline { text: text.into(), emphasized: true }
+        Inline {
+            text: text.into(),
+            emphasized: true,
+        }
     }
 }
 
@@ -68,7 +74,13 @@ pub struct Unit {
 impl Unit {
     /// Creates an empty unit of the given kind.
     pub fn new(kind: Lod) -> Self {
-        Unit { kind, title: None, runs: Vec::new(), children: Vec::new(), synthetic: false }
+        Unit {
+            kind,
+            title: None,
+            runs: Vec::new(),
+            children: Vec::new(),
+            synthetic: false,
+        }
     }
 
     /// Builder-style title setter.
@@ -193,7 +205,10 @@ impl Unit {
         let mut out = Vec::new();
         self.walk(&mut UnitPath::root(), &mut |path, unit| {
             if unit.kind == lod {
-                out.push(UnitRef { path: path.clone(), unit });
+                out.push(UnitRef {
+                    path: path.clone(),
+                    unit,
+                });
             }
         });
         out
@@ -210,14 +225,12 @@ impl Unit {
         out
     }
 
-    fn partition_walk<'a>(
-        &'a self,
-        path: &mut UnitPath,
-        lod: Lod,
-        out: &mut Vec<UnitRef<'a>>,
-    ) {
+    fn partition_walk<'a>(&'a self, path: &mut UnitPath, lod: Lod, out: &mut Vec<UnitRef<'a>>) {
         if self.kind >= lod || self.children.is_empty() {
-            out.push(UnitRef { path: path.clone(), unit: self });
+            out.push(UnitRef {
+                path: path.clone(),
+                unit: self,
+            });
             return;
         }
         // Titles and stray runs of an interior node ride with its first
@@ -227,7 +240,10 @@ impl Unit {
         // losing the coarser node's own text, emit it as its own slice
         // when nonempty.
         if self.title.is_some() || !self.runs.is_empty() {
-            out.push(UnitRef { path: path.clone(), unit: self });
+            out.push(UnitRef {
+                path: path.clone(),
+                unit: self,
+            });
         }
         for (i, c) in self.children.iter().enumerate() {
             path.push(i);
@@ -514,7 +530,10 @@ mod tests {
     fn partition_at_paragraph_hits_leaves() {
         let doc = sample_doc();
         let parts = doc.partition_at(Lod::Paragraph);
-        let para_parts: Vec<_> = parts.iter().filter(|r| r.unit.kind() == Lod::Paragraph).collect();
+        let para_parts: Vec<_> = parts
+            .iter()
+            .filter(|r| r.unit.kind() == Lod::Paragraph)
+            .collect();
         assert_eq!(para_parts.len(), 3);
     }
 

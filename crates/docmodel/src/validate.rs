@@ -116,7 +116,10 @@ pub fn validate(doc: &Document, strictness: Strictness) -> Vec<Violation> {
 
 fn walk(unit: &Unit, path: &mut UnitPath, out: &mut Vec<Violation>) {
     let mut push = |kind: ViolationKind, p: &UnitPath| {
-        out.push(Violation { path: p.to_string(), kind });
+        out.push(Violation {
+            path: p.to_string(),
+            kind,
+        });
     };
     if unit.kind() == Lod::Paragraph && !unit.children().is_empty() {
         push(ViolationKind::ParagraphWithChildren, path);
@@ -205,7 +208,8 @@ mod tests {
         // paragraph's children — the violation survives.
         let v = validate(&doc, Strictness::Lenient);
         assert!(
-            v.iter().any(|v| v.kind == ViolationKind::ParagraphWithChildren),
+            v.iter()
+                .any(|v| v.kind == ViolationKind::ParagraphWithChildren),
             "violations: {v:?}"
         );
     }
@@ -222,7 +226,9 @@ mod tests {
         let doc = Document::from_root(root);
         assert!(validate(&doc, Strictness::Lenient).is_empty());
         let strict = validate(&doc, Strictness::Strict);
-        assert!(strict.iter().any(|v| v.kind == ViolationKind::InteriorBodyText));
+        assert!(strict
+            .iter()
+            .any(|v| v.kind == ViolationKind::InteriorBodyText));
     }
 
     #[test]
@@ -246,13 +252,19 @@ mod tests {
         root.push_child(sec);
         let doc = Document::from_root(root);
         let v = validate(&doc, Strictness::Lenient);
-        let hit = v.iter().find(|v| v.kind == ViolationKind::ParagraphWithChildren).unwrap();
+        let hit = v
+            .iter()
+            .find(|v| v.kind == ViolationKind::ParagraphWithChildren)
+            .unwrap();
         assert_eq!(hit.path, "0.0.0");
     }
 
     #[test]
     fn display_is_informative() {
-        let k = ViolationKind::NonDescendingLevel { parent: Lod::Paragraph, child: Lod::Section };
+        let k = ViolationKind::NonDescendingLevel {
+            parent: Lod::Paragraph,
+            child: Lod::Section,
+        };
         assert_eq!(k.to_string(), "section nested inside paragraph");
     }
 }

@@ -35,13 +35,21 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
-        ParseError { line, col, message: message.into() }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "xml parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -81,7 +89,9 @@ pub struct Schema {
 impl Schema {
     /// An empty schema where every element is transparent.
     pub fn new() -> Self {
-        Schema { roles: HashMap::new() }
+        Schema {
+            roles: HashMap::new(),
+        }
     }
 
     /// The default `research-paper` document type: `document`,
@@ -113,7 +123,10 @@ impl Schema {
 
     /// The role for an element name (default [`Role::Transparent`]).
     pub fn role(&self, name: &str) -> Role {
-        self.roles.get(&name.to_ascii_lowercase()).copied().unwrap_or(Role::Transparent)
+        self.roles
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(Role::Transparent)
     }
 }
 
@@ -169,7 +182,12 @@ pub struct Tokenizer<'a> {
 impl<'a> Tokenizer<'a> {
     /// Creates a tokenizer over `input`.
     pub fn new(input: &'a str) -> Self {
-        Tokenizer { input: input.as_bytes(), pos: 0, line: 1, col: 1 }
+        Tokenizer {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -328,8 +346,7 @@ impl<'a> Tokenizer<'a> {
                     if self.pos >= self.input.len() {
                         return Err(self.err("unterminated CDATA section"));
                     }
-                    let text =
-                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let text = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     self.skip(3);
                     return Ok(Some(Event::Text(text)));
                 }
@@ -363,7 +380,11 @@ impl<'a> Tokenizer<'a> {
                         None => return Err(self.err(format!("unterminated tag <{name}"))),
                         Some(b'>') => {
                             self.bump();
-                            return Ok(Some(Event::Start { name, attrs, self_closing: false }));
+                            return Ok(Some(Event::Start {
+                                name,
+                                attrs,
+                                self_closing: false,
+                            }));
                         }
                         Some(b'/') => {
                             self.bump();
@@ -371,7 +392,11 @@ impl<'a> Tokenizer<'a> {
                                 return Err(self.err("expected '>' after '/'"));
                             }
                             self.bump();
-                            return Ok(Some(Event::Start { name, attrs, self_closing: true }));
+                            return Ok(Some(Event::Start {
+                                name,
+                                attrs,
+                                self_closing: true,
+                            }));
                         }
                         _ => {
                             let aname = self.read_name()?;
@@ -439,9 +464,15 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
 
     while let Some(ev) = tok.next_event()? {
         match ev {
-            Event::Start { name, self_closing, .. } => {
+            Event::Start {
+                name, self_closing, ..
+            } => {
                 if root.is_some() {
-                    return Err(ParseError::new(tok.line, tok.col, "content after document root"));
+                    return Err(ParseError::new(
+                        tok.line,
+                        tok.col,
+                        "content after document root",
+                    ));
                 }
                 let role = schema.role(&name);
                 match role {
@@ -484,8 +515,14 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
                 }
                 if self_closing {
                     // Immediately close what we just opened.
-                    close_element(&role, &mut stack, &mut emphasis_depth, &mut title_buf, &mut root)
-                        .map_err(|m| ParseError::new(tok.line, tok.col, m))?;
+                    close_element(
+                        &role,
+                        &mut stack,
+                        &mut emphasis_depth,
+                        &mut title_buf,
+                        &mut root,
+                    )
+                    .map_err(|m| ParseError::new(tok.line, tok.col, m))?;
                 } else {
                     open_names.push((name, role));
                 }
@@ -501,8 +538,14 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
                         format!("mismatched tags: <{open_name}> closed by </{name}>"),
                     ));
                 }
-                close_element(&role, &mut stack, &mut emphasis_depth, &mut title_buf, &mut root)
-                    .map_err(|m| ParseError::new(tok.line, tok.col, m))?;
+                close_element(
+                    &role,
+                    &mut stack,
+                    &mut emphasis_depth,
+                    &mut title_buf,
+                    &mut root,
+                )
+                .map_err(|m| ParseError::new(tok.line, tok.col, m))?;
             }
             Event::Text(text) => {
                 let text = normalize_whitespace(&text);
@@ -522,7 +565,11 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
                     };
                     top.push_run(run);
                 } else if root.is_some() {
-                    return Err(ParseError::new(tok.line, tok.col, "text after document root"));
+                    return Err(ParseError::new(
+                        tok.line,
+                        tok.col,
+                        "text after document root",
+                    ));
                 } else {
                     return Err(ParseError::new(
                         tok.line,
@@ -534,7 +581,11 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
         }
     }
     if let Some((name, _)) = open_names.last() {
-        return Err(ParseError::new(tok.line, tok.col, format!("unclosed element <{name}>")));
+        return Err(ParseError::new(
+            tok.line,
+            tok.col,
+            format!("unclosed element <{name}>"),
+        ));
     }
     let mut root = root.ok_or_else(|| ParseError::new(tok.line, tok.col, "empty document"))?;
     root.normalize();
@@ -683,7 +734,8 @@ mod tests {
 
     #[test]
     fn entities_decode() {
-        let doc = parse("<document><paragraph>a &amp; b &lt;c&gt; &#65; &#x42;</paragraph></document>");
+        let doc =
+            parse("<document><paragraph>a &amp; b &lt;c&gt; &#65; &#x42;</paragraph></document>");
         let paras = doc.units_at(Lod::Paragraph);
         assert_eq!(paras[0].unit.own_text(), "a & b <c> A B");
     }
@@ -747,8 +799,7 @@ mod tests {
 
     #[test]
     fn unclosed_element_error() {
-        let err =
-            parse_with_schema("<document><section>", &Schema::research_paper()).unwrap_err();
+        let err = parse_with_schema("<document><section>", &Schema::research_paper()).unwrap_err();
         assert!(err.message.contains("unclosed"), "{err}");
     }
 
@@ -760,18 +811,14 @@ mod tests {
 
     #[test]
     fn non_document_root_error() {
-        let err =
-            parse_with_schema("<section>x</section>", &Schema::research_paper()).unwrap_err();
+        let err = parse_with_schema("<section>x</section>", &Schema::research_paper()).unwrap_err();
         assert!(err.message.contains("root element"), "{err}");
     }
 
     #[test]
     fn content_after_root_error() {
-        let err = parse_with_schema(
-            "<document/><document/>",
-            &Schema::research_paper(),
-        )
-        .unwrap_err();
+        let err =
+            parse_with_schema("<document/><document/>", &Schema::research_paper()).unwrap_err();
         assert!(err.message.contains("after document root"), "{err}");
     }
 
@@ -805,7 +852,9 @@ mod tests {
     fn escape_round_trip() {
         let nasty = "a<b>&\"'c";
         let escaped = escape(nasty);
-        let doc = parse(&format!("<document><paragraph>{escaped}</paragraph></document>"));
+        let doc = parse(&format!(
+            "<document><paragraph>{escaped}</paragraph></document>"
+        ));
         assert_eq!(doc.units_at(Lod::Paragraph)[0].unit.own_text(), nasty);
     }
 

@@ -22,49 +22,59 @@ fn paragraph() -> impl Strategy<Value = Unit> {
     proptest::collection::vec((text(), any::<bool>()), 1..4).prop_map(|runs| {
         let mut p = Unit::new(Lod::Paragraph);
         for (t, emph) in runs {
-            p.push_run(if emph { Inline::emphasized(t) } else { Inline::plain(t) });
+            p.push_run(if emph {
+                Inline::emphasized(t)
+            } else {
+                Inline::plain(t)
+            });
         }
         p
     })
 }
 
 fn subsection() -> impl Strategy<Value = Unit> {
-    (proptest::option::of(text()), proptest::collection::vec(paragraph(), 1..4)).prop_map(
-        |(title, paras)| {
+    (
+        proptest::option::of(text()),
+        proptest::collection::vec(paragraph(), 1..4),
+    )
+        .prop_map(|(title, paras)| {
             let mut s = Unit::new(Lod::Subsection);
             s.set_title(title);
             for p in paras {
                 s.push_child(p);
             }
             s
-        },
-    )
+        })
 }
 
 fn section() -> impl Strategy<Value = Unit> {
-    (proptest::option::of(text()), proptest::collection::vec(subsection(), 1..4)).prop_map(
-        |(title, subs)| {
+    (
+        proptest::option::of(text()),
+        proptest::collection::vec(subsection(), 1..4),
+    )
+        .prop_map(|(title, subs)| {
             let mut s = Unit::new(Lod::Section);
             s.set_title(title);
             for sub in subs {
                 s.push_child(sub);
             }
             s
-        },
-    )
+        })
 }
 
 fn document() -> impl Strategy<Value = Document> {
-    (proptest::option::of(text()), proptest::collection::vec(section(), 1..5)).prop_map(
-        |(title, sections)| {
+    (
+        proptest::option::of(text()),
+        proptest::collection::vec(section(), 1..5),
+    )
+        .prop_map(|(title, sections)| {
             let mut root = Unit::new(Lod::Document);
             root.set_title(title);
             for s in sections {
                 root.push_child(s);
             }
             Document::from_root(root)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -6,25 +6,72 @@
 //! per-packet overhead (2-byte sequence number + 2-byte CRC) matches the
 //! 4-byte overhead `O` of the paper's Table 2. CRC-32/IEEE is provided
 //! as a stronger alternative for whole-document integrity checks.
+//!
+//! Both checksums run *sliced* table kernels — CRC-32 slicing-by-8
+//! (eight 256-entry tables, one 64-bit load per step) and CRC-16
+//! slicing-by-4 — so the CRC stage keeps pace with the SIMD dispersal
+//! kernels in [`crate::gf256`]. The obvious bit-at-a-time shift
+//! registers are kept as [`crc32_reference`]/[`crc16_reference`]: slow,
+//! table-free, and straight off the polynomial definition, they are the
+//! oracles the property tests compare the sliced kernels against.
 
-/// Table-driven CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
-const fn build_crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slicing tables for CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`).
+///
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k]` advances
+/// a byte through `k` extra zero bytes, letting eight input bytes fold
+/// into the state with eight independent lookups.
+const fn build_crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-const CRC32_TABLE: [u32; 256] = build_crc32_table();
+const CRC32_TABLES: [[u32; 256]; 8] = build_crc32_tables();
+
+/// Folds `data` into a raw (pre-inversion) CRC-32 state, slicing by 8.
+fn crc32_update_state(mut c: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = CRC32_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC32_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC32_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
 
 /// Computes the CRC-32/IEEE checksum of `data`.
 ///
@@ -35,9 +82,24 @@ const CRC32_TABLE: [u32; 256] = build_crc32_table();
 /// assert_eq!(mrtweb_erasure::crc::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update_state(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Bit-at-a-time CRC-32/IEEE, straight off the reflected polynomial.
+///
+/// Table-free and obviously correct; kept as the oracle the sliced
+/// kernel is property-tested against. Do not use on hot paths.
+pub fn crc32_reference(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c ^= b as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
     }
     c ^ 0xFFFF_FFFF
 }
@@ -67,9 +129,7 @@ impl Crc32 {
 
     /// Feeds more bytes into the checksum.
     pub fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.state = CRC32_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
-        }
+        self.state = crc32_update_state(self.state, data);
     }
 
     /// Returns the final checksum without consuming the hasher.
@@ -84,26 +144,45 @@ impl Default for Crc32 {
     }
 }
 
-/// Table-driven CRC-16/CCITT-FALSE (polynomial `0x1021`, init `0xFFFF`).
-const fn build_crc16_table() -> [u16; 256] {
-    let mut table = [0u16; 256];
+/// Slicing tables for CRC-16/CCITT-FALSE (poly `0x1021`, MSB-first).
+///
+/// Same construction as the CRC-32 tables: `TABLES[k]` advances a byte
+/// through `k` extra zero bytes. With a 16-bit state, two bytes flush
+/// the register entirely, so four bytes fold with four lookups where
+/// only the first two see state bits.
+const fn build_crc16_tables() -> [[u16; 256]; 4] {
+    let mut tables = [[0u16; 256]; 4];
     let mut i = 0;
     while i < 256 {
         let mut c = (i as u16) << 8;
         let mut k = 0;
         while k < 8 {
-            c = if c & 0x8000 != 0 { (c << 1) ^ 0x1021 } else { c << 1 };
+            c = if c & 0x8000 != 0 {
+                (c << 1) ^ 0x1021
+            } else {
+                c << 1
+            };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev >> 8) as usize] ^ (prev << 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-const CRC16_TABLE: [u16; 256] = build_crc16_table();
+const CRC16_TABLES: [[u16; 256]; 4] = build_crc16_tables();
 
-/// Computes the CRC-16/CCITT-FALSE checksum of `data`.
+/// Computes the CRC-16/CCITT-FALSE checksum of `data`, slicing by 4.
 ///
 /// # Example
 ///
@@ -113,8 +192,32 @@ const CRC16_TABLE: [u16; 256] = build_crc16_table();
 /// ```
 pub fn crc16(data: &[u8]) -> u16 {
     let mut c = 0xFFFFu16;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        c = CRC16_TABLES[3][((c >> 8) as u8 ^ chunk[0]) as usize]
+            ^ CRC16_TABLES[2][(c as u8 ^ chunk[1]) as usize]
+            ^ CRC16_TABLES[1][chunk[2] as usize]
+            ^ CRC16_TABLES[0][chunk[3] as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC16_TABLES[0][(((c >> 8) ^ b as u16) & 0xFF) as usize] ^ (c << 8);
+    }
+    c
+}
+
+/// Bit-at-a-time CRC-16/CCITT-FALSE: the property-test oracle for
+/// [`crc16`]. Do not use on hot paths.
+pub fn crc16_reference(data: &[u8]) -> u16 {
+    let mut c = 0xFFFFu16;
     for &b in data {
-        c = CRC16_TABLE[((c >> 8) ^ b as u16) as usize & 0xFF] ^ (c << 8);
+        c ^= (b as u16) << 8;
+        for _ in 0..8 {
+            c = if c & 0x8000 != 0 {
+                (c << 1) ^ 0x1021
+            } else {
+                c << 1
+            };
+        }
     }
     c
 }
@@ -127,7 +230,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -135,6 +241,35 @@ mod tests {
         assert_eq!(crc16(b""), 0xFFFF);
         assert_eq!(crc16(b"123456789"), 0x29B1);
         assert_eq!(crc16(b"A"), 0xB915);
+    }
+
+    #[test]
+    fn reference_implementations_hit_known_vectors() {
+        assert_eq!(crc32_reference(b""), 0x0000_0000);
+        assert_eq!(crc32_reference(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc16_reference(b""), 0xFFFF);
+        assert_eq!(crc16_reference(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn sliced_kernels_match_reference_across_lengths() {
+        // Lengths straddling every remainder case of the 8- and 4-byte
+        // slicing loops.
+        let data: Vec<u8> = (0..256).map(|i| (i as u32 * 167 + 41) as u8).collect();
+        for len in 0..=64 {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_reference(&data[..len]),
+                "crc32 len {len}"
+            );
+            assert_eq!(
+                crc16(&data[..len]),
+                crc16_reference(&data[..len]),
+                "crc16 len {len}"
+            );
+        }
+        assert_eq!(crc32(&data), crc32_reference(&data));
+        assert_eq!(crc16(&data), crc16_reference(&data));
     }
 
     #[test]

@@ -50,6 +50,65 @@ pub(crate) const EXP: [u8; 512] = TABLES.0;
 /// `LOG[a] = log_g a` for `a != 0`; `LOG[0]` is unused and zero.
 pub(crate) const LOG: [u8; 256] = TABLES.1;
 
+const fn const_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+const fn build_mul_rows() -> [[u8; 256]; 256] {
+    let mut rows = [[0u8; 256]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut x = 0;
+        while x < 256 {
+            rows[c][x] = const_mul(c as u8, x as u8);
+            x += 1;
+        }
+        c += 1;
+    }
+    rows
+}
+
+const fn build_nibble_tables() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut n = 0;
+        while n < 16 {
+            lo[c][n] = const_mul(c as u8, n as u8);
+            hi[c][n] = const_mul(c as u8, (n << 4) as u8);
+            n += 1;
+        }
+        c += 1;
+    }
+    (lo, hi)
+}
+
+/// `MUL[c][x] = c·x`: one dense 256-byte product row per coefficient.
+///
+/// A row fits in four cache lines, so the portable [`mul_acc`] path is a
+/// single branch-free table lookup per byte instead of the
+/// zero-test + log + add + exp chain of the scalar reference.
+pub(crate) static MUL: [[u8; 256]; 256] = build_mul_rows();
+
+const NIBBLE_TABLES: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_nibble_tables();
+
+/// `MUL_LO[c][n] = c·n` for low nibbles `n < 16`.
+///
+/// Together with [`MUL_HI`] this is the classic split-table formulation
+/// (ISA-L / vectorized Reed–Solomon): since GF(2⁸) multiplication is
+/// linear over XOR, `c·x = c·(x & 0x0f) ⊕ c·(x & 0xf0)`, and each
+/// 16-entry half-table fits exactly in one SIMD register lane group for
+/// byte-shuffle lookups.
+pub(crate) const MUL_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
+
+/// `MUL_HI[c][n] = c·(n << 4)` for high nibbles `n < 16`.
+pub(crate) const MUL_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
+
 /// An element of GF(2⁸).
 ///
 /// # Example
@@ -105,7 +164,10 @@ impl Gf256 {
     /// Panics if `self` is zero, which has no inverse.
     #[inline]
     pub fn inverse(self) -> Self {
-        assert!(!self.is_zero(), "zero has no multiplicative inverse in GF(256)");
+        assert!(
+            !self.is_zero(),
+            "zero has no multiplicative inverse in GF(256)"
+        );
         Gf256(EXP[255 - LOG[self.0 as usize] as usize])
     }
 
@@ -256,6 +318,13 @@ impl DivAssign for Gf256 {
 /// This is the inner loop of both encoding and decoding:
 /// `dst[i] += c * src[i]` over GF(2⁸). Slices must have equal length.
 ///
+/// Dispatches at runtime to the widest available kernel: AVX2 or SSSE3
+/// byte-shuffle over the split nibble tables ([`MUL_LO`]/[`MUL_HI`]) on
+/// x86-64, otherwise a branch-free lookup into the dense product row
+/// [`MUL[c]`](MUL). The original log/exp formulation survives as
+/// [`mul_acc_scalar`], the reference the property tests and benchmarks
+/// compare against.
+///
 /// # Panics
 ///
 /// Panics if `dst` and `src` have different lengths.
@@ -271,11 +340,187 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
         }
         return;
     }
+    kernel::<true>(dst, src, c.0);
+}
+
+/// Multiplies `src` by the scalar `c`, overwriting `dst` (`dst[i] = c·src[i]`).
+///
+/// The overwrite twin of [`mul_acc`]: row reconstructions start with
+/// `mul_row` for the first term instead of zero-filling the output and
+/// accumulating into it, saving one full pass over the buffer.
+///
+/// # Panics
+///
+/// Panics if `dst` and `src` have different lengths.
+#[inline]
+pub fn mul_row(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_row requires equal-length slices");
+    if c.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if c == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    kernel::<false>(dst, src, c.0);
+}
+
+/// Scalar log/exp reference for `dst[i] ^= c·src[i]`.
+///
+/// This is the seed implementation, kept as the correctness oracle for
+/// the table kernels and as the benchmark baseline. Not used on any hot
+/// path.
+#[inline]
+pub fn mul_acc_scalar(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_acc requires equal-length slices");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf256::ONE {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
     let lc = LOG[c.0 as usize] as usize;
     for (d, s) in dst.iter_mut().zip(src) {
         if *s != 0 {
             *d ^= EXP[lc + LOG[*s as usize] as usize];
         }
+    }
+}
+
+/// Shared dispatch for [`mul_acc`] (`ACC = true`) and [`mul_row`]
+/// (`ACC = false`) once the `c ∈ {0, 1}` fast paths are handled.
+#[inline]
+fn kernel<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { simd::mul_avx2::<ACC>(dst, src, c) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            // SAFETY: SSSE3 support was just verified at runtime.
+            unsafe { simd::mul_ssse3::<ACC>(dst, src, c) };
+            return;
+        }
+    }
+    mul_portable::<ACC>(dst, src, c);
+}
+
+/// Branch-free fallback: one dense-row lookup per byte, walked in
+/// 64-byte blocks so the compiler can unroll the inner loop.
+fn mul_portable<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
+    let row = &MUL[c as usize];
+    let mut d_blocks = dst.chunks_exact_mut(64);
+    let mut s_blocks = src.chunks_exact(64);
+    for (db, sb) in d_blocks.by_ref().zip(s_blocks.by_ref()) {
+        for i in 0..64 {
+            if ACC {
+                db[i] ^= row[sb[i] as usize];
+            } else {
+                db[i] = row[sb[i] as usize];
+            }
+        }
+    }
+    for (d, s) in d_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_blocks.remainder())
+    {
+        if ACC {
+            *d ^= row[*s as usize];
+        } else {
+            *d = row[*s as usize];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    //! x86-64 byte-shuffle kernels over the split nibble tables.
+    //!
+    //! `pshufb`/`vpshufb` performs sixteen parallel 4-bit table lookups
+    //! per 128-bit lane, so with the 16-entry half-tables for a
+    //! coefficient `c` loaded into two registers, a whole vector of
+    //! products is `shuffle(LO, x & 0x0f) ⊕ shuffle(HI, x >> 4)`.
+
+    use super::{MUL_HI, MUL_LO};
+
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// AVX2 kernel: 32 bytes per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_avx2<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
+        let lo128 = _mm_loadu_si128(MUL_LO[c as usize].as_ptr() as *const __m128i);
+        let hi128 = _mm_loadu_si128(MUL_HI[c as usize].as_ptr() as *const __m128i);
+        // vpshufb indexes within each 128-bit lane, so the half-tables
+        // are replicated into both lanes.
+        let lo_tbl = _mm256_broadcastsi128_si256(lo128);
+        let hi_tbl = _mm256_broadcastsi128_si256(hi128);
+        let mask = _mm256_set1_epi8(0x0f);
+
+        let len = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + 32 <= len {
+            let x = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+            let lo_idx = _mm256_and_si256(x, mask);
+            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(x), mask);
+            let mut prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_tbl, lo_idx),
+                _mm256_shuffle_epi8(hi_tbl, hi_idx),
+            );
+            if ACC {
+                let d = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+                prod = _mm256_xor_si256(prod, d);
+            }
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, prod);
+            i += 32;
+        }
+        super::mul_portable::<ACC>(&mut dst[i..], &src[i..], c);
+    }
+
+    /// SSSE3 kernel: 16 bytes per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure SSSE3 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_ssse3<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
+        let lo_tbl = _mm_loadu_si128(MUL_LO[c as usize].as_ptr() as *const __m128i);
+        let hi_tbl = _mm_loadu_si128(MUL_HI[c as usize].as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+
+        let len = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + 16 <= len {
+            let x = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            let lo_idx = _mm_and_si128(x, mask);
+            let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(x), mask);
+            let mut prod = _mm_xor_si128(
+                _mm_shuffle_epi8(lo_tbl, lo_idx),
+                _mm_shuffle_epi8(hi_tbl, hi_idx),
+            );
+            if ACC {
+                let d = _mm_loadu_si128(dp.add(i) as *const __m128i);
+                prod = _mm_xor_si128(prod, d);
+            }
+            _mm_storeu_si128(dp.add(i) as *mut __m128i, prod);
+            i += 16;
+        }
+        super::mul_portable::<ACC>(&mut dst[i..], &src[i..], c);
     }
 }
 
@@ -384,6 +629,58 @@ mod tests {
             }
             mul_acc(&mut dst, &src, Gf256(c));
             assert_eq!(dst, expect, "mul_acc mismatch for c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_tables_match_field_multiplication() {
+        for c in all() {
+            for x in all() {
+                let expect = (c * x).0;
+                assert_eq!(MUL[c.0 as usize][x.0 as usize], expect);
+                let split = MUL_LO[c.0 as usize][(x.0 & 0x0f) as usize]
+                    ^ MUL_HI[c.0 as usize][(x.0 >> 4) as usize];
+                assert_eq!(split, expect, "split tables wrong at c={c} x={x}");
+            }
+        }
+    }
+
+    /// Lengths straddling every kernel boundary: sub-16-byte tails,
+    /// 16/32-byte SIMD steps, and the 64-byte portable block.
+    const KERNEL_LENGTHS: [usize; 9] = [0, 1, 15, 16, 31, 33, 64, 100, 257];
+
+    fn pseudo_bytes(len: usize, salt: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(151).wrapping_add(salt))
+            .collect()
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_for_all_coefficients() {
+        for len in KERNEL_LENGTHS {
+            let src = pseudo_bytes(len, 17);
+            let init = pseudo_bytes(len, 91);
+            for c in all() {
+                let mut fast = init.clone();
+                let mut reference = init.clone();
+                mul_acc(&mut fast, &src, c);
+                mul_acc_scalar(&mut reference, &src, c);
+                assert_eq!(fast, reference, "mul_acc mismatch at c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_row_matches_scalar_for_all_coefficients() {
+        for len in KERNEL_LENGTHS {
+            let src = pseudo_bytes(len, 54);
+            for c in all() {
+                let mut fast = pseudo_bytes(len, 200);
+                let mut reference = vec![0u8; len];
+                mul_acc_scalar(&mut reference, &src, c);
+                mul_row(&mut fast, &src, c);
+                assert_eq!(fast, reference, "mul_row mismatch at c={c} len={len}");
+            }
         }
     }
 

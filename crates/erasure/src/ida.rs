@@ -13,9 +13,20 @@
 //! systematic generator matrix is computed eagerly and reused across
 //! documents, which is how a server would amortize the cost.
 
-use crate::gf256::{mul_acc, Gf256};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::gf256::{mul_acc, mul_row, Gf256};
 use crate::matrix::Matrix;
 use crate::Error;
+
+/// Decode inverses retained per codec before the cache is reset.
+///
+/// A survivor set keys one entry; real sessions see few distinct loss
+/// patterns per document, so a few hundred entries make the cache
+/// effectively unbounded in practice while capping worst-case memory at
+/// `512 · M²` bytes.
+const INVERSE_CACHE_CAP: usize = 512;
 
 /// A configured `(M, N)` information-dispersal codec.
 ///
@@ -40,6 +51,10 @@ pub struct Codec {
     cooked: usize,
     packet_size: usize,
     generator: Matrix,
+    /// Decode inverses keyed by the surviving cooked-index set. Shared
+    /// across clones (and therefore across worker threads in the `par`
+    /// layer) so every thread benefits from every inversion.
+    inverse_cache: Arc<Mutex<HashMap<Vec<u8>, Arc<Matrix>>>>,
 }
 
 impl Codec {
@@ -59,7 +74,13 @@ impl Codec {
         }
         let generator = Matrix::vandermonde(cooked, raw)?.into_systematic()?;
         debug_assert!(generator.is_systematic());
-        Ok(Codec { raw, cooked, packet_size, generator })
+        Ok(Codec {
+            raw,
+            cooked,
+            packet_size,
+            generator,
+            inverse_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
     }
 
     /// Number of raw packets `M`.
@@ -121,34 +142,89 @@ impl Codec {
     ///
     /// Panics if `data.len() > self.capacity()`.
     pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
-        let raws = self.split(data);
-        self.encode_packets(&raws)
+        self.encode_packets(self.split(data))
     }
 
     /// Encodes pre-split raw packets (each exactly `packet_size` bytes).
+    ///
+    /// Takes the raw packets by value: the clear-text prefix of the
+    /// output *is* the input, moved rather than copied, so encoding
+    /// touches only the `N − M` redundancy packets.
     ///
     /// # Panics
     ///
     /// Panics if the number or size of raw packets does not match the
     /// codec configuration.
-    pub fn encode_packets(&self, raws: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    pub fn encode_packets(&self, raws: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         assert_eq!(raws.len(), self.raw, "expected {} raw packets", self.raw);
         for (i, r) in raws.iter().enumerate() {
             assert_eq!(r.len(), self.packet_size, "raw packet {i} has wrong size");
         }
-        let mut out = Vec::with_capacity(self.cooked);
-        // Clear-text prefix: systematic rows are the identity, so copy.
-        for r in raws.iter().take(self.raw) {
-            out.push(r.clone());
-        }
+        let mut out = raws;
+        out.reserve_exact(self.cooked - self.raw);
         for i in self.raw..self.cooked {
             let mut p = vec![0u8; self.packet_size];
-            for (j, r) in raws.iter().enumerate() {
-                mul_acc(&mut p, r, self.generator.get(i, j));
-            }
+            self.fill_redundancy_row(&out[..self.raw], i, &mut p);
             out.push(p);
         }
         out
+    }
+
+    /// Encodes `data` into a caller-owned flat buffer of `N` consecutive
+    /// `packet_size`-byte rows (cooked packet `i` at `i · packet_size`).
+    ///
+    /// This is the zero-allocation encode path: `out` is resized once on
+    /// first use and reused verbatim on subsequent calls, so a server
+    /// encoding a stream of documents performs no allocation at all
+    /// after warm-up. The clear-text prefix is written directly from
+    /// `data` (no intermediate split), and redundancy rows are built
+    /// with overwriting [`mul_row`] first terms — no zero-fill pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() > self.capacity()`.
+    pub fn encode_into(&self, data: &[u8], out: &mut Vec<u8>) {
+        assert!(
+            data.len() <= self.capacity(),
+            "data ({} bytes) exceeds codec capacity ({} bytes)",
+            data.len(),
+            self.capacity()
+        );
+        let ps = self.packet_size;
+        out.resize(self.cooked * ps, 0);
+        let (clear, redundancy) = out.split_at_mut(self.raw * ps);
+        clear[..data.len()].copy_from_slice(data);
+        clear[data.len()..].fill(0);
+        for (ri, row) in redundancy.chunks_exact_mut(ps).enumerate() {
+            let i = self.raw + ri;
+            mul_row(row, &clear[..ps], self.generator.get(i, 0));
+            for j in 1..self.raw {
+                mul_acc(row, &clear[j * ps..(j + 1) * ps], self.generator.get(i, j));
+            }
+        }
+    }
+
+    /// Computes redundancy row `index` (`M ≤ index < N`) from the raw
+    /// packets into `row`, overwriting it.
+    ///
+    /// Exposed to the [`par`](crate::par) layer, which fans disjoint
+    /// redundancy rows out across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is a clear-text row, the raw packet count is
+    /// wrong, or `row` is not `packet_size` bytes.
+    pub(crate) fn fill_redundancy_row<S: AsRef<[u8]>>(
+        &self,
+        raws: &[S],
+        index: usize,
+        row: &mut [u8],
+    ) {
+        debug_assert!(index >= self.raw && index < self.cooked);
+        mul_row(row, raws[0].as_ref(), self.generator.get(index, 0));
+        for (j, r) in raws.iter().enumerate().skip(1) {
+            mul_acc(row, r.as_ref(), self.generator.get(index, j));
+        }
     }
 
     /// Encodes only the single cooked packet with index `index`.
@@ -161,16 +237,25 @@ impl Codec {
     /// Panics if `index ≥ N` or the raw packets do not match the
     /// configuration.
     pub fn encode_one(&self, raws: &[Vec<u8>], index: usize) -> Vec<u8> {
+        let mut p = vec![0u8; self.packet_size];
+        self.encode_one_into(raws, index, &mut p);
+        p
+    }
+
+    /// Like [`Codec::encode_one`], writing into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ N`, the raw packets do not match the
+    /// configuration, or `out` is not `packet_size` bytes.
+    pub fn encode_one_into(&self, raws: &[Vec<u8>], index: usize, out: &mut [u8]) {
         assert!(index < self.cooked, "cooked index {index} out of range");
         assert_eq!(raws.len(), self.raw, "expected {} raw packets", self.raw);
         if index < self.raw {
-            return raws[index].clone();
+            out.copy_from_slice(&raws[index]);
+            return;
         }
-        let mut p = vec![0u8; self.packet_size];
-        for (j, r) in raws.iter().enumerate() {
-            mul_acc(&mut p, r, self.generator.get(index, j));
-        }
-        p
+        self.fill_redundancy_row(raws, index, out);
     }
 
     /// Reconstructs the original `len` bytes from any `M` intact cooked
@@ -189,8 +274,37 @@ impl Codec {
     ///   bytes.
     /// * [`Error::LengthOverflow`] if `len > capacity()`.
     pub fn decode(&self, packets: &[(usize, Vec<u8>)], len: usize) -> Result<Vec<u8>, Error> {
+        self.decode_impl(packets, len, true)
+    }
+
+    /// [`Codec::decode`] with the inverse cache bypassed: the recovery
+    /// matrix is inverted fresh on every call.
+    ///
+    /// Exists so tests can prove cached and fresh decodes agree; it is
+    /// never faster than [`Codec::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Codec::decode`].
+    pub fn decode_uncached(
+        &self,
+        packets: &[(usize, Vec<u8>)],
+        len: usize,
+    ) -> Result<Vec<u8>, Error> {
+        self.decode_impl(packets, len, false)
+    }
+
+    fn decode_impl(
+        &self,
+        packets: &[(usize, Vec<u8>)],
+        len: usize,
+        use_cache: bool,
+    ) -> Result<Vec<u8>, Error> {
         if len > self.capacity() {
-            return Err(Error::LengthOverflow { requested: len, capacity: self.capacity() });
+            return Err(Error::LengthOverflow {
+                requested: len,
+                capacity: self.capacity(),
+            });
         }
         // Deduplicate, validate, and take the first M distinct indices.
         let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.raw);
@@ -200,7 +314,10 @@ impl Codec {
                 return Err(Error::BadPacketIndex(*idx));
             }
             if payload.len() != self.packet_size {
-                return Err(Error::BadPacketLength { got: payload.len(), want: self.packet_size });
+                return Err(Error::BadPacketLength {
+                    got: payload.len(),
+                    want: self.packet_size,
+                });
             }
             if seen[*idx] {
                 continue;
@@ -212,37 +329,78 @@ impl Codec {
             }
         }
         if chosen.len() < self.raw {
-            return Err(Error::NotEnoughPackets { have: chosen.len(), need: self.raw });
+            return Err(Error::NotEnoughPackets {
+                have: chosen.len(),
+                need: self.raw,
+            });
         }
 
+        // Raw packet r occupies output bytes [r·ps, (r+1)·ps), truncated
+        // to `len`, so rows are reconstructed directly into the result —
+        // no intermediate per-packet buffers, and rows entirely past
+        // `len` are never computed.
+        let ps = self.packet_size;
+        let mut out = vec![0u8; len];
         let all_clear = chosen.iter().all(|(i, _)| *i < self.raw);
-        let mut raws: Vec<Vec<u8>> = vec![vec![0u8; self.packet_size]; self.raw];
         if all_clear {
             for (i, payload) in &chosen {
-                raws[*i] = payload.to_vec();
+                let start = i * ps;
+                if start >= len {
+                    continue;
+                }
+                let end = (start + ps).min(len);
+                out[start..end].copy_from_slice(&payload[..end - start]);
             }
         } else {
             let indices: Vec<usize> = chosen.iter().map(|(i, _)| *i).collect();
-            let sub = self.generator.select_rows(&indices);
-            let inv = sub.inverse()?;
-            for (r, raw) in raws.iter_mut().enumerate() {
-                for (k, (_, payload)) in chosen.iter().enumerate() {
-                    mul_acc(raw, payload, inv.get(r, k));
+            let inv = if use_cache {
+                self.inverse_for(&indices)?
+            } else {
+                Arc::new(self.generator.select_rows(&indices).inverse()?)
+            };
+            for r in 0..self.raw {
+                let start = r * ps;
+                if start >= len {
+                    break;
+                }
+                let end = (start + ps).min(len);
+                let row = &mut out[start..end];
+                mul_row(row, &chosen[0].1[..end - start], inv.get(r, 0));
+                for (k, (_, payload)) in chosen.iter().enumerate().skip(1) {
+                    mul_acc(row, &payload[..end - start], inv.get(r, k));
                 }
             }
         }
-
-        let mut out = Vec::with_capacity(len);
-        for raw in &raws {
-            if out.len() + self.packet_size <= len {
-                out.extend_from_slice(raw);
-            } else {
-                out.extend_from_slice(&raw[..len - out.len()]);
-                break;
-            }
-        }
-        out.resize(len, 0);
         Ok(out)
+    }
+
+    /// Returns the decode inverse for the given survivor set, from the
+    /// cache when present.
+    ///
+    /// Weakly-connected sessions revisit the same few loss patterns
+    /// (burst losses hit the same interleave positions), so the
+    /// `O(M³)` Gauss–Jordan inversion — which dominates small-packet
+    /// decodes — is paid once per pattern instead of once per document.
+    fn inverse_for(&self, indices: &[usize]) -> Result<Arc<Matrix>, Error> {
+        let key: Vec<u8> = indices.iter().map(|&i| i as u8).collect();
+        let cache = self
+            .inverse_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(inv) = cache.get(&key) {
+            return Ok(Arc::clone(inv));
+        }
+        drop(cache); // do not hold the lock across the O(M³) inversion
+        let inv = Arc::new(self.generator.select_rows(indices).inverse()?);
+        let mut cache = self
+            .inverse_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if cache.len() >= INVERSE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&inv));
+        Ok(inv)
     }
 
     /// Returns the generator row for cooked packet `index` — the GF(2⁸)
@@ -298,7 +456,11 @@ impl ChunkedCodec {
     pub fn encode(&self, data: &[u8]) -> Vec<Group> {
         let cap = self.codec.capacity();
         if data.is_empty() {
-            return vec![Group { index: 0, len: 0, cooked: self.codec.encode(&[]) }];
+            return vec![Group {
+                index: 0,
+                len: 0,
+                cooked: self.codec.encode(&[]),
+            }];
         }
         data.chunks(cap)
             .enumerate()
@@ -350,7 +512,12 @@ mod tests {
         let codec = Codec::new(3, 6, 8).unwrap();
         let data = sample(20);
         let cooked = codec.encode(&data);
-        let packets: Vec<_> = cooked.iter().enumerate().skip(3).map(|(i, p)| (i, p.clone())).collect();
+        let packets: Vec<_> = cooked
+            .iter()
+            .enumerate()
+            .skip(3)
+            .map(|(i, p)| (i, p.clone()))
+            .collect();
         assert_eq!(codec.decode(&packets, 20).unwrap(), data);
     }
 
@@ -428,7 +595,10 @@ mod tests {
         let packets = vec![(0, vec![0; 4]), (1, vec![0; 4])];
         assert_eq!(
             codec.decode(&packets, 100),
-            Err(Error::LengthOverflow { requested: 100, capacity: 8 })
+            Err(Error::LengthOverflow {
+                requested: 100,
+                capacity: 8
+            })
         );
     }
 
@@ -502,7 +672,14 @@ mod tests {
             .iter()
             .map(|g| {
                 // keep packets 1..5 of each group (drop 0 and 5)
-                let pk: Vec<_> = g.cooked.iter().cloned().enumerate().skip(1).take(4).collect();
+                let pk: Vec<_> = g
+                    .cooked
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .skip(1)
+                    .take(4)
+                    .collect();
                 (g.index, pk, g.len)
             })
             .collect();

@@ -27,6 +27,12 @@ pub struct IncrementalDecoder {
     /// row `i`, when present, has its pivot at column `i`.
     rows: Vec<Option<(Vec<Gf256>, Vec<u8>)>>,
     rank: usize,
+    /// Reusable reduction buffers. Rejected packets (duplicates and
+    /// linear combinations — the common case during retransmission
+    /// rounds) are reduced entirely in these, costing no allocation;
+    /// only the ≤ M accepted packets move their buffers into `rows`.
+    scratch_coeffs: Vec<Gf256>,
+    scratch_data: Vec<u8>,
 }
 
 impl IncrementalDecoder {
@@ -37,6 +43,8 @@ impl IncrementalDecoder {
             packet_size: codec.packet_size(),
             rows: (0..codec.raw_packets()).map(|_| None).collect(),
             rank: 0,
+            scratch_coeffs: Vec::new(),
+            scratch_data: Vec::new(),
         }
     }
 
@@ -65,10 +73,18 @@ impl IncrementalDecoder {
             return Err(Error::BadPacketIndex(index));
         }
         if payload.len() != self.packet_size {
-            return Err(Error::BadPacketLength { got: payload.len(), want: self.packet_size });
+            return Err(Error::BadPacketLength {
+                got: payload.len(),
+                want: self.packet_size,
+            });
         }
-        let mut coeffs: Vec<Gf256> = codec.coefficients(index).to_vec();
-        let mut data = payload.to_vec();
+        self.scratch_coeffs.clear();
+        self.scratch_coeffs
+            .extend_from_slice(codec.coefficients(index));
+        self.scratch_data.clear();
+        self.scratch_data.extend_from_slice(payload);
+        let coeffs = &mut self.scratch_coeffs;
+        let data = &mut self.scratch_data;
 
         // Phase 1: reduce the incoming row against every held pivot.
         // Stored rows are kept fully reduced (unit at their pivot, zero
@@ -82,7 +98,7 @@ impl IncrementalDecoder {
                 for c in col..self.m {
                     coeffs[c] += factor * prow[c];
                 }
-                mul_acc(&mut data, pdata, factor);
+                mul_acc(data, pdata, factor);
             }
         }
 
@@ -92,7 +108,10 @@ impl IncrementalDecoder {
             // Fully reduced to zero: linearly dependent on held packets.
             None => return Ok(false),
         };
-        debug_assert!(self.rows[pivot].is_none(), "pivot column must be free after reduction");
+        debug_assert!(
+            self.rows[pivot].is_none(),
+            "pivot column must be free after reduction"
+        );
         let inv = coeffs[pivot].inverse();
         for c in coeffs.iter_mut().skip(pivot) {
             *c *= inv;
@@ -112,11 +131,14 @@ impl IncrementalDecoder {
                     for c in pivot..self.m {
                         orow[c] += f * coeffs[c];
                     }
-                    mul_acc(odata, &data, f);
+                    mul_acc(odata, data, f);
                 }
             }
         }
-        self.rows[pivot] = Some((coeffs, data));
+        self.rows[pivot] = Some((
+            std::mem::take(&mut self.scratch_coeffs),
+            std::mem::take(&mut self.scratch_data),
+        ));
         self.rank += 1;
         Ok(true)
     }
@@ -125,11 +147,10 @@ impl IncrementalDecoder {
     /// a unit vector).
     pub fn raw_available(&self, i: usize) -> bool {
         match &self.rows.get(i).and_then(Option::as_ref) {
-            Some((row, _)) => {
-                row.iter().enumerate().all(|(c, v)| {
-                    (*v == Gf256::ONE && c == i) || (v.is_zero() && c != i)
-                })
-            }
+            Some((row, _)) => row
+                .iter()
+                .enumerate()
+                .all(|(c, v)| (*v == Gf256::ONE && c == i) || (v.is_zero() && c != i)),
             None => false,
         }
     }
@@ -150,11 +171,16 @@ impl IncrementalDecoder {
     /// [`Error::NotEnoughPackets`] if the rank is below `M`.
     pub fn finish(&self, len: usize) -> Result<Vec<u8>, Error> {
         if !self.is_complete() {
-            return Err(Error::NotEnoughPackets { have: self.rank, need: self.m });
+            return Err(Error::NotEnoughPackets {
+                have: self.rank,
+                need: self.m,
+            });
         }
         let mut out = Vec::with_capacity(len);
         for i in 0..self.m {
-            let (_, data) = self.rows[i].as_ref().expect("complete decoder has all rows");
+            let (_, data) = self.rows[i]
+                .as_ref()
+                .expect("complete decoder has all rows");
             let take = self.packet_size.min(len - out.len());
             out.extend_from_slice(&data[..take]);
             if out.len() == len {
@@ -206,7 +232,10 @@ mod tests {
         let cooked = codec.encode(&data);
         let mut dec = IncrementalDecoder::new(&codec);
         assert!(dec.absorb(&codec, 0, &cooked[0]).unwrap());
-        assert!(!dec.absorb(&codec, 0, &cooked[0]).unwrap(), "duplicate adds no rank");
+        assert!(
+            !dec.absorb(&codec, 0, &cooked[0]).unwrap(),
+            "duplicate adds no rank"
+        );
         assert!(dec.absorb(&codec, 1, &cooked[1]).unwrap());
         assert!(dec.absorb(&codec, 2, &cooked[2]).unwrap());
         // Any further packet is linearly dependent.
@@ -219,7 +248,10 @@ mod tests {
     fn finish_before_complete_errors() {
         let codec = Codec::new(3, 5, 4).unwrap();
         let dec = IncrementalDecoder::new(&codec);
-        assert_eq!(dec.finish(4), Err(Error::NotEnoughPackets { have: 0, need: 3 }));
+        assert_eq!(
+            dec.finish(4),
+            Err(Error::NotEnoughPackets { have: 0, need: 3 })
+        );
     }
 
     #[test]
@@ -243,7 +275,10 @@ mod tests {
     fn validation_errors() {
         let codec = Codec::new(2, 4, 8).unwrap();
         let mut dec = IncrementalDecoder::new(&codec);
-        assert_eq!(dec.absorb(&codec, 9, &[0; 8]), Err(Error::BadPacketIndex(9)));
+        assert_eq!(
+            dec.absorb(&codec, 9, &[0; 8]),
+            Err(Error::BadPacketIndex(9))
+        );
         assert_eq!(
             dec.absorb(&codec, 0, &[0; 7]),
             Err(Error::BadPacketLength { got: 7, want: 8 })

@@ -32,11 +32,17 @@ use serde::{Deserialize, Serialize};
 pub struct Interleaver {
     n: usize,
     rows: usize,
+    /// Transmission order: position `t` carries packet `order[t]`.
+    order: Vec<usize>,
+    /// Inverse permutation: packet `p` travels in slot `inverse[p]`.
+    inverse: Vec<usize>,
 }
 
 impl Interleaver {
     /// Creates an interleaver for `n` packets with `rows` interleaving
-    /// depth (1 = no interleaving).
+    /// depth (1 = no interleaving). The permutation and its inverse are
+    /// computed once here; [`order`](Interleaver::order) and
+    /// [`restore`](Interleaver::restore) never allocate them again.
     ///
     /// # Panics
     ///
@@ -44,7 +50,27 @@ impl Interleaver {
     pub fn new(n: usize, rows: usize) -> Self {
         assert!(n > 0, "packet count must be nonzero");
         assert!(rows > 0, "interleaving depth must be nonzero");
-        Interleaver { n, rows: rows.min(n) }
+        let rows = rows.min(n);
+        let cols = n.div_ceil(rows);
+        let mut order = Vec::with_capacity(n);
+        for c in 0..cols {
+            for r in 0..rows {
+                let idx = r * cols + c;
+                if idx < n {
+                    order.push(idx);
+                }
+            }
+        }
+        let mut inverse = vec![0usize; n];
+        for (t, &idx) in order.iter().enumerate() {
+            inverse[idx] = t;
+        }
+        Interleaver {
+            n,
+            rows,
+            order,
+            inverse,
+        }
     }
 
     /// Number of packets.
@@ -63,19 +89,25 @@ impl Interleaver {
     }
 
     /// The transmission order: position `t` carries packet
-    /// `order()[t]`.
-    pub fn order(&self) -> Vec<usize> {
-        let cols = self.n.div_ceil(self.rows);
-        let mut out = Vec::with_capacity(self.n);
-        for c in 0..cols {
-            for r in 0..self.rows {
-                let idx = r * cols + c;
-                if idx < self.n {
-                    out.push(idx);
-                }
-            }
-        }
-        out
+    /// `order()[t]`. Borrowed from the precomputed permutation — no
+    /// per-call allocation.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Consumes the interleaver, yielding the owned transmission order.
+    pub fn into_order(self) -> Vec<usize> {
+        self.order
+    }
+
+    /// The transmission slot carrying packet `p` (the inverse
+    /// permutation of [`order`](Interleaver::order)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.len()`.
+    pub fn slot_of(&self, p: usize) -> usize {
+        self.inverse[p]
     }
 
     /// Maps a transmission-order sequence of values back to packet
@@ -85,19 +117,29 @@ impl Interleaver {
     ///
     /// Panics if `transmitted.len() != self.len()`.
     pub fn restore<T: Copy + Default>(&self, transmitted: &[T]) -> Vec<T> {
-        assert_eq!(transmitted.len(), self.n, "length mismatch");
         let mut out = vec![T::default(); self.n];
-        for (t, &idx) in self.order().iter().enumerate() {
+        self.restore_into(transmitted, &mut out);
+        out
+    }
+
+    /// Deinterleaves into a caller-provided buffer, allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmitted.len() != self.len()` or
+    /// `out.len() != self.len()`.
+    pub fn restore_into<T: Copy>(&self, transmitted: &[T], out: &mut [T]) {
+        assert_eq!(transmitted.len(), self.n, "length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for (t, &idx) in self.order.iter().enumerate() {
             out[idx] = transmitted[t];
         }
-        out
     }
 
     /// The minimum sequence-space distance between packets that are
     /// adjacent in transmission order — the burst-resistance figure.
     pub fn adjacent_distance(&self) -> usize {
-        let order = self.order();
-        order
+        self.order
             .windows(2)
             .map(|w| w[0].abs_diff(w[1]))
             .min()
@@ -113,7 +155,7 @@ mod tests {
     fn order_is_a_permutation() {
         for (n, rows) in [(12, 3), (13, 4), (40, 8), (7, 1), (5, 9)] {
             let il = Interleaver::new(n, rows);
-            let mut order = il.order();
+            let mut order = il.order().to_vec();
             assert_eq!(order.len(), n, "n={n}, rows={rows}");
             order.sort_unstable();
             assert_eq!(order, (0..n).collect::<Vec<_>>(), "n={n}, rows={rows}");
@@ -129,9 +171,14 @@ mod tests {
     #[test]
     fn restore_inverts_order() {
         let il = Interleaver::new(17, 5);
-        let order = il.order();
-        let transmitted: Vec<usize> = order.clone();
+        let transmitted: Vec<usize> = il.order().to_vec();
         assert_eq!(il.restore(&transmitted), (0..17).collect::<Vec<_>>());
+        let mut buf = vec![0usize; 17];
+        il.restore_into(&transmitted, &mut buf);
+        assert_eq!(buf, (0..17).collect::<Vec<_>>());
+        for p in 0..17 {
+            assert_eq!(il.order()[il.slot_of(p)], p);
+        }
     }
 
     #[test]

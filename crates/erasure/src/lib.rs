@@ -52,6 +52,7 @@ pub mod incremental;
 pub mod interleave;
 pub mod matrix;
 pub mod packet;
+pub mod par;
 pub mod redundancy;
 
 mod error;

@@ -37,7 +37,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zero(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
-        Matrix { rows, cols, data: vec![Gf256::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -74,9 +78,14 @@ impl Matrix {
     /// only 256 distinct points) or if `cols > rows`.
     pub fn vandermonde(rows: usize, cols: usize) -> Result<Self, Error> {
         if rows == 0 || cols == 0 || rows > 256 || cols > rows {
-            return Err(Error::InvalidParameters { raw: cols, cooked: rows });
+            return Err(Error::InvalidParameters {
+                raw: cols,
+                cooked: rows,
+            });
         }
-        Ok(Matrix::from_fn(rows, cols, |r, c| Gf256::new(r as u8).pow(c)))
+        Ok(Matrix::from_fn(rows, cols, |r, c| {
+            Gf256::new(r as u8).pow(c)
+        }))
     }
 
     /// Number of rows.
@@ -96,7 +105,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Gf256 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -107,7 +119,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, v: Gf256) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = v;
     }
 
@@ -164,16 +179,23 @@ impl Matrix {
     /// (duplicated packet indices).
     pub fn inverse(&self) -> Result<Matrix, Error> {
         if self.rows != self.cols {
-            return Err(Error::InvalidParameters { raw: self.cols, cooked: self.rows });
+            return Err(Error::InvalidParameters {
+                raw: self.cols,
+                cooked: self.rows,
+            });
         }
         let n = self.rows;
         let mut a = self.clone();
         let mut inv = Matrix::identity(n);
         for col in 0..n {
             // Find a nonzero pivot at or below the diagonal.
-            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero()).ok_or(
-                Error::InvalidParameters { raw: self.cols, cooked: self.rows },
-            )?;
+            let pivot =
+                (col..n)
+                    .find(|&r| !a.get(r, col).is_zero())
+                    .ok_or(Error::InvalidParameters {
+                        raw: self.cols,
+                        cooked: self.rows,
+                    })?;
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
@@ -319,7 +341,10 @@ mod tests {
 
     #[test]
     fn systematic_preserves_any_rows_invertible() {
-        let s = Matrix::vandermonde(8, 4).unwrap().into_systematic().unwrap();
+        let s = Matrix::vandermonde(8, 4)
+            .unwrap()
+            .into_systematic()
+            .unwrap();
         // Every 4-subset of 8 rows must be invertible. C(8,4) = 70.
         let idx: Vec<usize> = (0..8).collect();
         let mut combos = Vec::new();

@@ -89,7 +89,10 @@ impl Frame {
             return Err(Error::MalformedFrame("CRC mismatch"));
         }
         let sequence = u16::from_be_bytes([wire[0], wire[1]]);
-        Ok(Frame { sequence, payload: wire[2..wire.len() - 2].to_vec() })
+        Ok(Frame {
+            sequence,
+            payload: wire[2..wire.len() - 2].to_vec(),
+        })
     }
 
     /// Checks integrity without allocating a [`Frame`].

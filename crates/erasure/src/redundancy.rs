@@ -162,7 +162,12 @@ impl Plan {
     ///
     /// Same as [`min_cooked_packets`].
     pub fn optimal(m: usize, alpha: f64, s: f64) -> Result<Plan, Error> {
-        Ok(Plan { raw: m, cooked: min_cooked_packets(m, alpha, s)?, alpha, success: s })
+        Ok(Plan {
+            raw: m,
+            cooked: min_cooked_packets(m, alpha, s)?,
+            alpha,
+            success: s,
+        })
     }
 
     /// Plans a code from a fixed redundancy ratio `γ` (how the paper's
@@ -170,7 +175,12 @@ impl Plan {
     pub fn from_ratio(m: usize, gamma: f64, alpha: f64) -> Plan {
         assert!(gamma >= 1.0, "redundancy ratio must be at least 1");
         let cooked = ((m as f64 * gamma).round() as usize).max(m);
-        Plan { raw: m, cooked, alpha, success: f64::NAN }
+        Plan {
+            raw: m,
+            cooked,
+            alpha,
+            success: f64::NAN,
+        }
     }
 
     /// Redundancy ratio `γ = N / M` of this plan.
@@ -209,7 +219,11 @@ pub fn figure2(s: f64) -> Result<Vec<Figure2Point>, Error> {
     let mut out = Vec::new();
     for &alpha in &[0.1, 0.2, 0.3, 0.4, 0.5] {
         for m in (10..=100).step_by(10) {
-            out.push(Figure2Point { m, alpha, n: min_cooked_packets(m, alpha, s)? });
+            out.push(Figure2Point {
+                m,
+                alpha,
+                n: min_cooked_packets(m, alpha, s)?,
+            });
         }
     }
     Ok(out)
@@ -237,7 +251,11 @@ pub fn figure3(s: f64) -> Result<Vec<Figure3Point>, Error> {
     for &m in &[10usize, 50, 100] {
         for i in 1..=5 {
             let alpha = i as f64 / 10.0;
-            out.push(Figure3Point { alpha, m, gamma: redundancy_ratio(m, alpha, s)? });
+            out.push(Figure3Point {
+                alpha,
+                m,
+                gamma: redundancy_ratio(m, alpha, s)?,
+            });
         }
     }
     Ok(out)
@@ -261,7 +279,10 @@ mod tests {
                     }
                     x += 1;
                 }
-                assert!(sum > 1.0 - 1e-9, "pmf sums to {sum} for m={m}, alpha={alpha}");
+                assert!(
+                    sum > 1.0 - 1e-9,
+                    "pmf sums to {sum} for m={m}, alpha={alpha}"
+                );
             }
         }
     }
@@ -333,7 +354,10 @@ mod tests {
         // a linear relationship with the number of raw packets".
         let pts = figure2(0.95).unwrap();
         let at = |m: usize, alpha: f64| {
-            pts.iter().find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9).unwrap().n as f64
+            pts.iter()
+                .find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9)
+                .unwrap()
+                .n as f64
         };
         for &alpha in &[0.1, 0.3, 0.5] {
             let slope_lo = (at(50, alpha) - at(10, alpha)) / 40.0;
@@ -352,7 +376,10 @@ mod tests {
         // exceeds 1/(1-alpha). Also gamma varies little with M.
         let pts = figure3(0.99).unwrap();
         for p in &pts {
-            assert!(p.gamma >= 1.0 / (1.0 - p.alpha) - 0.05, "gamma below mean requirement: {p:?}");
+            assert!(
+                p.gamma >= 1.0 / (1.0 - p.alpha) - 0.05,
+                "gamma below mean requirement: {p:?}"
+            );
             assert!(p.gamma < 3.5, "gamma unexpectedly large: {p:?}");
         }
         // Range across M at fixed alpha is modest ("does not change too much").

@@ -2,12 +2,28 @@
 
 use proptest::prelude::*;
 
-use mrtweb_erasure::crc::{crc16, crc32};
-use mrtweb_erasure::gf256::Gf256;
-use mrtweb_erasure::ida::{ChunkedCodec, Codec};
+use mrtweb_erasure::crc::{crc16, crc16_reference, crc32, crc32_reference};
+use mrtweb_erasure::gf256::{mul_acc, mul_acc_scalar, mul_row, Gf256};
+use mrtweb_erasure::ida::{ChunkedCodec, Codec, GroupPackets};
 use mrtweb_erasure::matrix::Matrix;
 use mrtweb_erasure::packet::Frame;
+use mrtweb_erasure::par::{encode_into_parallel, GroupCodec};
 use mrtweb_erasure::redundancy::{min_cooked_packets, success_probability};
+
+/// Deterministically selects `keep` distinct indices from `0..n`.
+fn pick_survivors(n: usize, keep: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..n).rev() {
+        // xorshift64 is plenty for test shuffling.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        indices.swap(i, (state as usize) % (i + 1));
+    }
+    indices.truncate(keep);
+    indices
+}
 
 proptest! {
     /// Any M distinct survivors reconstruct the original data exactly.
@@ -166,5 +182,147 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(chunked.decode(&packed).unwrap(), data);
+    }
+}
+
+// Properties pinning the fast dispersal paths to their reference
+// implementations: the split-table/SIMD GF(2⁸) kernels against the
+// scalar log/exp loop, parallel encode/decode against serial, the
+// cached-inverse decode against a fresh inversion, and the sliced CRC
+// kernels against the bit-at-a-time shift registers. Fewer cases than
+// above — each case sweeps all 256 coefficients or runs full decodes.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
+
+    /// The dispatched `mul_acc` kernel (AVX2/SSSE3/portable, whichever
+    /// this host selects) matches the scalar log/exp reference for every
+    /// one of the 256 coefficients on the same random slice.
+    #[test]
+    fn mul_acc_matches_scalar_for_all_coefficients(
+        src in proptest::collection::vec(any::<u8>(), 0..300),
+        dst_seed in any::<u8>(),
+    ) {
+        let dst_init: Vec<u8> =
+            (0..src.len()).map(|i| (i as u8).wrapping_mul(31).wrapping_add(dst_seed)).collect();
+        for c in 0..=255u8 {
+            let c = Gf256::new(c);
+            let mut fast = dst_init.clone();
+            let mut slow = dst_init.clone();
+            mul_acc(&mut fast, &src, c);
+            mul_acc_scalar(&mut slow, &src, c);
+            prop_assert_eq!(&fast, &slow, "mul_acc diverged at c={:?}", c);
+        }
+    }
+
+    /// `mul_row` (overwrite variant) equals scalar-accumulate into a
+    /// zeroed destination for every coefficient.
+    #[test]
+    fn mul_row_matches_scalar_for_all_coefficients(
+        src in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        for c in 0..=255u8 {
+            let c = Gf256::new(c);
+            let mut fast = vec![0xAAu8; src.len()]; // junk: must be overwritten
+            let mut slow = vec![0u8; src.len()];
+            mul_row(&mut fast, &src, c);
+            mul_acc_scalar(&mut slow, &src, c);
+            prop_assert_eq!(&fast, &slow, "mul_row diverged at c={:?}", c);
+        }
+    }
+
+    /// `encode_into` (flat buffer) and `encode_into_parallel` at any
+    /// thread count reproduce the allocating `encode` bit for bit.
+    #[test]
+    fn encode_variants_are_bit_identical(
+        m in 1usize..=8,
+        extra in 0usize..=6,
+        ps in 1usize..=24,
+        fill in 0.0f64..=1.0,
+        threads in 1usize..=8,
+    ) {
+        let n = m + extra;
+        let codec = Codec::new(m, n, ps).unwrap();
+        let len = ((codec.capacity() as f64) * fill) as usize;
+        let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        let reference: Vec<u8> =
+            codec.encode(&data).into_iter().flatten().collect();
+        let mut flat = Vec::new();
+        codec.encode_into(&data, &mut flat);
+        prop_assert_eq!(&flat, &reference);
+        let mut par = Vec::new();
+        encode_into_parallel(&codec, &data, &mut par, threads);
+        prop_assert_eq!(&par, &reference);
+    }
+
+    /// Parallel `GroupCodec` encode/decode is bit-identical to the
+    /// serial `ChunkedCodec` across random geometries, document sizes,
+    /// loss patterns and thread counts.
+    #[test]
+    fn group_codec_parallel_matches_serial(
+        m in 1usize..=6,
+        extra in 1usize..=5,
+        ps in 1usize..=16,
+        doc_groups in 0.0f64..4.0,
+        threads in 1usize..=6,
+        loss_seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let codec = Codec::new(m, n, ps).unwrap();
+        let len = ((codec.capacity() as f64) * doc_groups) as usize;
+        let data: Vec<u8> = (0..len).map(|i| (i * 89 + 5) as u8).collect();
+        let serial_codec = ChunkedCodec::new(codec.clone());
+        let gc = GroupCodec::with_threads(codec, threads);
+
+        let groups = gc.encode(&data);
+        prop_assert_eq!(&groups, &serial_codec.encode(&data));
+
+        let received: Vec<GroupPackets> = groups
+            .iter()
+            .map(|g| {
+                let keep = pick_survivors(n, m, loss_seed ^ g.index as u64);
+                let pk: Vec<(usize, Vec<u8>)> =
+                    keep.into_iter().map(|i| (i, g.cooked[i].clone())).collect();
+                (g.index, pk, g.len)
+            })
+            .collect();
+        let parallel = gc.decode(&received).unwrap();
+        let serial = serial_codec.decode(&received).unwrap();
+        prop_assert_eq!(&parallel, &serial);
+        prop_assert_eq!(&parallel, &data);
+    }
+
+    /// A decode served from the inverse cache equals a fresh inversion
+    /// for any loss pattern — including repeats of the same pattern,
+    /// the case the cache exists for.
+    #[test]
+    fn cached_decode_matches_fresh_decode(
+        m in 1usize..=8,
+        extra in 1usize..=6,
+        ps in 1usize..=16,
+        loss_seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let codec = Codec::new(m, n, ps).unwrap();
+        let data: Vec<u8> = (0..codec.capacity() - 1).map(|i| (i * 53 + 7) as u8).collect();
+        let cooked = codec.encode(&data);
+        let keep = pick_survivors(n, m, loss_seed);
+        let packets: Vec<(usize, Vec<u8>)> =
+            keep.into_iter().map(|i| (i, cooked[i].clone())).collect();
+        let fresh = codec.decode_uncached(&packets, data.len()).unwrap();
+        let first = codec.decode(&packets, data.len()).unwrap(); // populates cache
+        let second = codec.decode(&packets, data.len()).unwrap(); // served from cache
+        prop_assert_eq!(&fresh, &first);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(&second, &data);
+    }
+
+    /// The sliced CRC kernels agree with the bit-at-a-time references
+    /// on arbitrary buffers (all remainder lengths get exercised).
+    #[test]
+    fn sliced_crcs_match_bitwise_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        prop_assert_eq!(crc32(&data), crc32_reference(&data));
+        prop_assert_eq!(crc16(&data), crc16_reference(&data));
     }
 }

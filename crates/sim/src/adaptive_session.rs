@@ -60,15 +60,15 @@ pub fn run_adaptive_session(params: &Params, policy: GammaPolicy, seed: u64) -> 
         seed,
     );
     let mut controller = match policy {
-        GammaPolicy::Adaptive { gain, initial_alpha } => {
-            Some(AdaptiveRedundancy::new(0.95, gain, initial_alpha))
-        }
+        GammaPolicy::Adaptive {
+            gain,
+            initial_alpha,
+        } => Some(AdaptiveRedundancy::new(0.95, gain, initial_alpha)),
         _ => None,
     };
     let m = params.raw_packets();
-    let oracle_gamma = min_cooked_packets(m, params.alpha, 0.95)
-        .expect("valid parameters") as f64
-        / m as f64;
+    let oracle_gamma =
+        min_cooked_packets(m, params.alpha, 0.95).expect("valid parameters") as f64 / m as f64;
 
     let mut total_time = 0.0;
     let mut total_packets = 0u64;
@@ -96,9 +96,11 @@ pub fn run_adaptive_session(params: &Params, policy: GammaPolicy, seed: u64) -> 
         if let Some(ctl) = controller.as_mut() {
             // The client observed the per-packet fates; feed the round
             // summary back (corrupted ≈ sent − intact ≥ M useful ones).
-            let corrupted =
-                (report.packets_sent as f64 * params.alpha).round() as usize;
-            ctl.observe_round(corrupted.min(report.packets_sent as usize), report.packets_sent as usize);
+            let corrupted = (report.packets_sent as f64 * params.alpha).round() as usize;
+            ctl.observe_round(
+                corrupted.min(report.packets_sent as usize),
+                report.packets_sent as usize,
+            );
             gamma = ctl.gamma(m).expect("valid plan");
         }
     }
@@ -130,7 +132,10 @@ mod tests {
         let p = params(0.3, CacheMode::NoCaching);
         let adaptive = run_adaptive_session(
             &p,
-            GammaPolicy::Adaptive { gain: 0.05, initial_alpha: 0.1 },
+            GammaPolicy::Adaptive {
+                gain: 0.05,
+                initial_alpha: 0.1,
+            },
             5,
         );
         let oracle = run_adaptive_session(&p, GammaPolicy::Oracle, 5);
@@ -147,11 +152,17 @@ mod tests {
         // The channel is much worse than the default assumes. The very
         // first document pays dearly (γ is still tuned for α = 0.1);
         // over a longer session the converged controller wins clearly.
-        let p = Params { docs_per_session: 100, ..params(0.4, CacheMode::NoCaching) };
+        let p = Params {
+            docs_per_session: 100,
+            ..params(0.4, CacheMode::NoCaching)
+        };
         let fixed = run_adaptive_session(&p, GammaPolicy::Fixed(1.5), 7);
         let adaptive = run_adaptive_session(
             &p,
-            GammaPolicy::Adaptive { gain: 0.1, initial_alpha: 0.1 },
+            GammaPolicy::Adaptive {
+                gain: 0.1,
+                initial_alpha: 0.1,
+            },
             7,
         );
         assert!(
@@ -170,10 +181,17 @@ mod tests {
         let fixed = run_adaptive_session(&p, GammaPolicy::Fixed(1.5), 9);
         let adaptive = run_adaptive_session(
             &p,
-            GammaPolicy::Adaptive { gain: 0.1, initial_alpha: 0.3 },
+            GammaPolicy::Adaptive {
+                gain: 0.1,
+                initial_alpha: 0.3,
+            },
             9,
         );
-        assert!(adaptive.final_gamma < 1.2, "γ should shrink, got {}", adaptive.final_gamma);
+        assert!(
+            adaptive.final_gamma < 1.2,
+            "γ should shrink, got {}",
+            adaptive.final_gamma
+        );
         // Caching-mode early termination makes packet counts equal; in
         // NoCaching a stalled round costs the full N, so expected packets
         // track γ. Mean packets should not exceed the fixed policy's.
@@ -188,7 +206,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = params(0.2, CacheMode::Caching);
-        let policy = GammaPolicy::Adaptive { gain: 0.05, initial_alpha: 0.1 };
-        assert_eq!(run_adaptive_session(&p, policy, 3), run_adaptive_session(&p, policy, 3));
+        let policy = GammaPolicy::Adaptive {
+            gain: 0.05,
+            initial_alpha: 0.1,
+        };
+        assert_eq!(
+            run_adaptive_session(&p, policy, 3),
+            run_adaptive_session(&p, policy, 3)
+        );
     }
 }

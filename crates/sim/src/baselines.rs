@@ -55,11 +55,7 @@ pub struct BaselinePoint {
 
 /// Runs one browsing session under a strategy; returns the mean
 /// response time per document.
-pub fn run_strategy_session(
-    params: &Params,
-    strategy: Strategy,
-    seed: u64,
-) -> f64 {
+pub fn run_strategy_session(params: &Params, strategy: Strategy, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut link = Link::new(
         Bandwidth::from_kbps(params.bandwidth_kbps),
@@ -75,8 +71,7 @@ pub fn run_strategy_session(
         interleave_depth: params.interleave_depth,
     };
     let docs = params.docs_per_session;
-    let irrelevant_count =
-        ((params.irrelevant_fraction * docs as f64).round() as usize).min(docs);
+    let irrelevant_count = ((params.irrelevant_fraction * docs as f64).round() as usize).min(docs);
     let mut flags = vec![false; docs];
     for f in flags.iter_mut().take(irrelevant_count) {
         *f = true;
@@ -99,8 +94,7 @@ pub fn run_strategy_session(
             Strategy::SummaryFirst { summary_fraction } => {
                 // Phase 1: the summary, delivered in full (it is the
                 // only basis for the relevance judgement).
-                let summary_bytes =
-                    ((doc.total_bytes() as f64) * summary_fraction).ceil() as usize;
+                let summary_bytes = ((doc.total_bytes() as f64) * summary_fraction).ceil() as usize;
                 let summary_plan = TransmissionPlan::sequential(vec![UnitSlice::new(
                     "summary",
                     summary_bytes.max(1),
@@ -114,8 +108,7 @@ pub fn run_strategy_session(
                     // Phase 2: the whole document from scratch — the
                     // summary is not a prefix of it.
                     let plan = doc.plan_at(Lod::Document);
-                    t1 + download(&plan, Relevance::relevant(), &config, &mut link)
-                        .response_time
+                    t1 + download(&plan, Relevance::relevant(), &config, &mut link).response_time
                 }
             }
             Strategy::Arq => {
@@ -126,9 +119,17 @@ pub fn run_strategy_session(
                     // content accrual — ARQ has no redundancy, so use
                     // the plain session with gamma 1 (N = M, clear text
                     // only) as its early-stop behaviour.
-                    let cfg = SessionConfig { gamma: 1.0, ..config.clone() };
-                    download(&plan, Relevance::irrelevant(params.threshold), &cfg, &mut link)
-                        .response_time
+                    let cfg = SessionConfig {
+                        gamma: 1.0,
+                        ..config.clone()
+                    };
+                    download(
+                        &plan,
+                        Relevance::irrelevant(params.threshold),
+                        &cfg,
+                        &mut link,
+                    )
+                    .response_time
                 } else {
                     download_arq(&plan, &ArqConfig::default(), &mut link).response_time
                 }
@@ -139,27 +140,32 @@ pub fn run_strategy_session(
 }
 
 /// Sweeps strategies × α and summarizes over repetitions.
-pub fn compare_baselines(
-    params: &Params,
-    reps: usize,
-    base_seed: u64,
-) -> Vec<BaselinePoint> {
+pub fn compare_baselines(params: &Params, reps: usize, base_seed: u64) -> Vec<BaselinePoint> {
     let strategies = [
         Strategy::Mrt(Lod::Paragraph),
         Strategy::Mrt(Lod::Document),
-        Strategy::SummaryFirst { summary_fraction: 0.08 },
+        Strategy::SummaryFirst {
+            summary_fraction: 0.08,
+        },
         Strategy::Arq,
     ];
     let mut out = Vec::new();
     for &alpha in &[0.1, 0.3, 0.5] {
         for &strategy in &strategies {
-            let p = Params { alpha, ..params.clone() };
+            let p = Params {
+                alpha,
+                ..params.clone()
+            };
             let means: Vec<f64> = (0..reps)
                 .map(|r| {
                     run_strategy_session(&p, strategy, base_seed.wrapping_add(r as u64 * 31337))
                 })
                 .collect();
-            out.push(BaselinePoint { strategy, alpha, summary: Summary::of(&means) });
+            out.push(BaselinePoint {
+                strategy,
+                alpha,
+                summary: Summary::of(&means),
+            });
         }
     }
     out
@@ -184,10 +190,19 @@ mod tests {
     #[test]
     fn summary_first_pays_double_for_relevant_documents() {
         // With few irrelevant documents the summary is pure overhead.
-        let p = Params { irrelevant_fraction: 0.0, alpha: 0.1, ..params() };
+        let p = Params {
+            irrelevant_fraction: 0.0,
+            alpha: 0.1,
+            ..params()
+        };
         let mrt = run_strategy_session(&p, Strategy::Mrt(Lod::Document), 7);
-        let summary =
-            run_strategy_session(&p, Strategy::SummaryFirst { summary_fraction: 0.08 }, 7);
+        let summary = run_strategy_session(
+            &p,
+            Strategy::SummaryFirst {
+                summary_fraction: 0.08,
+            },
+            7,
+        );
         assert!(
             summary > mrt * 1.04,
             "summary-first ({summary:.2}s) should cost visibly more than MRT ({mrt:.2}s)"
@@ -198,10 +213,19 @@ mod tests {
     fn summary_first_wins_when_everything_is_irrelevant() {
         // All irrelevant: an 8% summary is cheaper than streaming until
         // F = 0.5 of the content has arrived.
-        let p = Params { irrelevant_fraction: 1.0, alpha: 0.1, ..params() };
+        let p = Params {
+            irrelevant_fraction: 1.0,
+            alpha: 0.1,
+            ..params()
+        };
         let mrt = run_strategy_session(&p, Strategy::Mrt(Lod::Document), 9);
-        let summary =
-            run_strategy_session(&p, Strategy::SummaryFirst { summary_fraction: 0.08 }, 9);
+        let summary = run_strategy_session(
+            &p,
+            Strategy::SummaryFirst {
+                summary_fraction: 0.08,
+            },
+            9,
+        );
         assert!(
             summary < mrt,
             "tiny summaries must win at I=1 ({summary:.2}s vs {mrt:.2}s)"
@@ -216,10 +240,19 @@ mod tests {
         // double-transmitted. (The trade-off genuinely crosses over —
         // at higher F a tiny summary wins on irrelevant documents —
         // which is exactly the tension the paper's §2 describes.)
-        let p = Params { alpha: 0.3, threshold: 0.2, ..params() };
+        let p = Params {
+            alpha: 0.3,
+            threshold: 0.2,
+            ..params()
+        };
         let mrt = run_strategy_session(&p, Strategy::Mrt(Lod::Paragraph), 11);
-        let summary =
-            run_strategy_session(&p, Strategy::SummaryFirst { summary_fraction: 0.08 }, 11);
+        let summary = run_strategy_session(
+            &p,
+            Strategy::SummaryFirst {
+                summary_fraction: 0.08,
+            },
+            11,
+        );
         assert!(
             mrt < summary,
             "MRT ({mrt:.2}s) should beat summary-first ({summary:.2}s) at I=0.5, F=0.2"
@@ -228,7 +261,10 @@ mod tests {
 
     #[test]
     fn compare_baselines_produces_full_grid() {
-        let p = Params { docs_per_session: 10, ..params() };
+        let p = Params {
+            docs_per_session: 10,
+            ..params()
+        };
         let pts = compare_baselines(&p, 2, 3);
         assert_eq!(pts.len(), 3 * 4);
         assert!(pts.iter().all(|pt| pt.summary.mean > 0.0));
@@ -236,9 +272,16 @@ mod tests {
 
     #[test]
     fn arq_is_competitive_on_clean_channels() {
-        let p = Params { alpha: 0.1, irrelevant_fraction: 0.0, ..params() };
+        let p = Params {
+            alpha: 0.1,
+            irrelevant_fraction: 0.0,
+            ..params()
+        };
         let arq = run_strategy_session(&p, Strategy::Arq, 5);
         let mrt = run_strategy_session(&p, Strategy::Mrt(Lod::Document), 5);
-        assert!(arq / mrt < 1.5 && mrt / arq < 1.5, "arq {arq:.2}s vs mrt {mrt:.2}s");
+        assert!(
+            arq / mrt < 1.5 && mrt / arq < 1.5,
+            "arq {arq:.2}s vs mrt {mrt:.2}s"
+        );
     }
 }

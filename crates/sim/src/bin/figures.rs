@@ -27,7 +27,11 @@ use mrtweb_transport::session::CacheMode;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let mut scale = Scale { docs: 60, reps: 5, max_rounds: 100 };
+    let mut scale = Scale {
+        docs: 60,
+        reps: 5,
+        max_rounds: 100,
+    };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,29 +66,44 @@ fn main() {
         println!("{}", render_figure3());
     }
     if run("fig4") {
-        eprintln!("running experiment 1 (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running experiment 1 (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         let pts = experiment1(&scale, seed);
         println!("{}", render_figure4(&pts));
     }
     if run("fig5") {
-        eprintln!("running experiment 2 (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running experiment 2 (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         let vi = experiment2_vary_i(&scale, seed);
         let vf = experiment2_vary_f(&scale, seed);
         println!("{}", render_figure5(&vi, &vf));
     }
     if run("fig6") {
-        eprintln!("running experiment 3 (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running experiment 3 (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         let pts = experiment3(&scale, seed);
         println!("{}", render_improvement(&pts, "Figure 6"));
     }
     if run("fig7") {
-        eprintln!("running experiment 4 (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running experiment 4 (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         let pts = experiment4(&scale, seed);
         println!("{}", render_improvement(&pts, "Figure 7"));
     }
     // Extension experiments (this reproduction, beyond the paper).
     if run("baselines") {
-        eprintln!("running baseline comparison (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running baseline comparison (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         let p = Params {
             cache_mode: CacheMode::Caching,
             docs_per_session: scale.docs,
@@ -94,11 +113,16 @@ fn main() {
         };
         let pts = compare_baselines(&p, scale.reps, seed);
         println!("Extension: strategy comparison (I = 0.5, F = 0.2) — response time (s)");
-        println!("{:>24} {:>10} {:>10} {:>10}", "strategy", "α=0.1", "α=0.3", "α=0.5");
+        println!(
+            "{:>24} {:>10} {:>10} {:>10}",
+            "strategy", "α=0.1", "α=0.3", "α=0.5"
+        );
         for strategy in [
             Strategy::Mrt(Lod::Paragraph),
             Strategy::Mrt(Lod::Document),
-            Strategy::SummaryFirst { summary_fraction: 0.08 },
+            Strategy::SummaryFirst {
+                summary_fraction: 0.08,
+            },
             Strategy::Arq,
         ] {
             let name = match strategy {
@@ -121,9 +145,15 @@ fn main() {
         println!();
     }
     if run("throughput") {
-        eprintln!("running throughput experiment (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running throughput experiment (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         println!("Extension: goodput (content units/s) per LOD, I = 0.7, F = 0.3, Caching");
-        println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "α", "document", "section", "subsect", "paragraph");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "α", "document", "section", "subsect", "paragraph"
+        );
         for alpha in [0.1, 0.3, 0.5] {
             let p = Params {
                 alpha,
@@ -144,16 +174,37 @@ fn main() {
         println!();
     }
     if run("weakconn") {
-        eprintln!("running weak-connectivity experiment (docs={}, reps={})...", scale.docs, scale.reps);
+        eprintln!(
+            "running weak-connectivity experiment (docs={}, reps={})...",
+            scale.docs, scale.reps
+        );
         println!("Extension: response time (s) under disconnection windows (α = 0.05 base)");
         println!(
             "{:>28} {:>12} {:>12}",
             "outage regime", "NoCaching", "Caching"
         );
         for (label, spec) in [
-            ("none", OutageSpec { p_drop: 1e-12, p_recover: 1.0 }),
-            ("5% time, ~20-pkt bursts", OutageSpec { p_drop: 0.0026, p_recover: 0.05 }),
-            ("20% time, ~50-pkt bursts", OutageSpec { p_drop: 0.005, p_recover: 0.02 }),
+            (
+                "none",
+                OutageSpec {
+                    p_drop: 1e-12,
+                    p_recover: 1.0,
+                },
+            ),
+            (
+                "5% time, ~20-pkt bursts",
+                OutageSpec {
+                    p_drop: 0.0026,
+                    p_recover: 0.05,
+                },
+            ),
+            (
+                "20% time, ~50-pkt bursts",
+                OutageSpec {
+                    p_drop: 0.005,
+                    p_recover: 0.02,
+                },
+            ),
         ] {
             print!("{label:>28}");
             for cache in [CacheMode::NoCaching, CacheMode::Caching] {

@@ -95,7 +95,9 @@ pub fn run_session(params: &Params, lod: Lod, seed: u64) -> SessionResult {
 /// paper plots.
 pub fn replicate(params: &Params, lod: Lod, reps: usize, base_seed: u64) -> Summary {
     let means: Vec<f64> = (0..reps)
-        .map(|r| run_session(params, lod, base_seed.wrapping_add(r as u64 * 7919)).mean_response_time)
+        .map(|r| {
+            run_session(params, lod, base_seed.wrapping_add(r as u64 * 7919)).mean_response_time
+        })
         .collect();
     Summary::of(&means)
 }
@@ -106,7 +108,11 @@ mod tests {
     use mrtweb_transport::session::CacheMode;
 
     fn quick_params() -> Params {
-        Params { docs_per_session: 30, max_rounds: 100, ..Default::default() }
+        Params {
+            docs_per_session: 30,
+            max_rounds: 100,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -137,11 +143,27 @@ mod tests {
 
     #[test]
     fn irrelevant_docs_cut_response_time() {
-        let base = Params { alpha: 0.0, docs_per_session: 40, ..Default::default() };
-        let all_relevant =
-            run_session(&Params { irrelevant_fraction: 0.0, ..base.clone() }, Lod::Document, 3);
-        let half_irrelevant =
-            run_session(&Params { irrelevant_fraction: 0.5, ..base.clone() }, Lod::Document, 3);
+        let base = Params {
+            alpha: 0.0,
+            docs_per_session: 40,
+            ..Default::default()
+        };
+        let all_relevant = run_session(
+            &Params {
+                irrelevant_fraction: 0.0,
+                ..base.clone()
+            },
+            Lod::Document,
+            3,
+        );
+        let half_irrelevant = run_session(
+            &Params {
+                irrelevant_fraction: 0.5,
+                ..base.clone()
+            },
+            Lod::Document,
+            3,
+        );
         assert!(
             half_irrelevant.mean_response_time < all_relevant.mean_response_time,
             "early termination must reduce mean response time"
@@ -157,18 +179,29 @@ mod tests {
             ..Default::default()
         };
         let nc = replicate(
-            &Params { cache_mode: CacheMode::NoCaching, ..base.clone() },
+            &Params {
+                cache_mode: CacheMode::NoCaching,
+                ..base.clone()
+            },
             Lod::Document,
             5,
             77,
         );
         let c = replicate(
-            &Params { cache_mode: CacheMode::Caching, ..base.clone() },
+            &Params {
+                cache_mode: CacheMode::Caching,
+                ..base.clone()
+            },
             Lod::Document,
             5,
             77,
         );
-        assert!(c.mean < nc.mean, "caching {:.2}s vs nocaching {:.2}s", c.mean, nc.mean);
+        assert!(
+            c.mean < nc.mean,
+            "caching {:.2}s vs nocaching {:.2}s",
+            c.mean,
+            nc.mean
+        );
     }
 
     #[test]
@@ -196,7 +229,11 @@ mod tests {
         // our shorter sessions.
         let p = quick_params();
         let s = replicate(&p, Lod::Document, 10, 1);
-        assert!(s.relative_std() < 0.25, "relative std {:.3}", s.relative_std());
+        assert!(
+            s.relative_std() < 0.25,
+            "relative std {:.3}",
+            s.relative_std()
+        );
         assert_eq!(s.n, 10);
     }
 }

@@ -38,12 +38,7 @@ pub struct BurstyPoint {
 
 /// Runs one all-irrelevant browsing session over a bursty channel,
 /// returning the mean response time.
-pub fn run_bursty_session(
-    params: &Params,
-    burst_len: f64,
-    lod: Lod,
-    seed: u64,
-) -> f64 {
+pub fn run_bursty_session(params: &Params, burst_len: f64, lod: Lod, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let loss = GilbertElliott::matched(params.alpha, burst_len, seed ^ 0xb00b);
     let mut link = Link::new(Bandwidth::from_kbps(params.bandwidth_kbps), loss, seed);
@@ -59,8 +54,12 @@ pub fn run_bursty_session(
     for _ in 0..params.docs_per_session {
         let doc = SimDocument::draw(params, &mut rng);
         let plan = doc.plan_at(lod);
-        let report =
-            download(&plan, Relevance::irrelevant(params.threshold), &config, &mut link);
+        let report = download(
+            &plan,
+            Relevance::irrelevant(params.threshold),
+            &config,
+            &mut link,
+        );
         total += report.response_time;
     }
     total / params.docs_per_session as f64
@@ -71,7 +70,10 @@ pub fn bursty_comparison(params: &Params, reps: usize, base_seed: u64) -> Vec<Bu
     let mut out = Vec::new();
     for &burst_len in &[1.5, 8.0, 20.0] {
         for &depth in &[1usize, 12] {
-            let p = Params { interleave_depth: depth, ..params.clone() };
+            let p = Params {
+                interleave_depth: depth,
+                ..params.clone()
+            };
             let means: Vec<f64> = (0..reps)
                 .map(|r| {
                     run_bursty_session(
@@ -82,7 +84,11 @@ pub fn bursty_comparison(params: &Params, reps: usize, base_seed: u64) -> Vec<Bu
                     )
                 })
                 .collect();
-            out.push(BurstyPoint { burst_len, interleave_depth: depth, summary: Summary::of(&means) });
+            out.push(BurstyPoint {
+                burst_len,
+                interleave_depth: depth,
+                summary: Summary::of(&means),
+            });
         }
     }
     out
@@ -107,7 +113,10 @@ mod tests {
 
     #[test]
     fn comparison_produces_full_grid() {
-        let p = Params { docs_per_session: 8, ..params() };
+        let p = Params {
+            docs_per_session: 8,
+            ..params()
+        };
         let pts = bursty_comparison(&p, 2, 1);
         assert_eq!(pts.len(), 6);
         assert!(pts.iter().all(|pt| pt.summary.mean > 0.0));
@@ -120,7 +129,10 @@ mod tests {
         // more than burst protection saves.
         let base = params();
         let mean = |depth: usize, reps: usize| {
-            let p = Params { interleave_depth: depth, ..base.clone() };
+            let p = Params {
+                interleave_depth: depth,
+                ..base.clone()
+            };
             let vals: Vec<f64> = (0..reps)
                 .map(|r| run_bursty_session(&p, 20.0, Lod::Paragraph, 100 + r as u64))
                 .collect();
@@ -139,11 +151,14 @@ mod tests {
     fn bursts_do_not_change_reconstruction_time_much() {
         // For relevant documents (full reconstruction) the MDS property
         // makes burst length nearly irrelevant at equal long-run rate.
-        let p = Params { irrelevant_fraction: 0.0, ..params() };
+        let p = Params {
+            irrelevant_fraction: 0.0,
+            ..params()
+        };
         let mean = |burst: f64| {
             let vals: Vec<f64> = (0..6)
                 .map(|r| {
-                    let mut rng_seed = 500 + r as u64;
+                    let rng_seed = 500 + r as u64;
                     let loss = GilbertElliott::matched(p.alpha, burst, rng_seed ^ 0xb00b);
                     let mut link =
                         Link::new(Bandwidth::from_kbps(p.bandwidth_kbps), loss, rng_seed);
@@ -162,7 +177,6 @@ mod tests {
                         let plan = doc.plan_at(Lod::Document);
                         total += download(&plan, Relevance::relevant(), &config, &mut link)
                             .response_time;
-                        rng_seed += 1;
                     }
                     total / 20.0
                 })

@@ -27,12 +27,20 @@ pub struct Scale {
 impl Scale {
     /// The paper's scale: 200 documents, 50 repetitions.
     pub fn paper() -> Self {
-        Scale { docs: 200, reps: 50, max_rounds: 200 }
+        Scale {
+            docs: 200,
+            reps: 50,
+            max_rounds: 200,
+        }
     }
 
     /// A fast scale for tests and smoke runs.
     pub fn quick() -> Self {
-        Scale { docs: 30, reps: 3, max_rounds: 60 }
+        Scale {
+            docs: 30,
+            reps: 3,
+            max_rounds: 60,
+        }
     }
 
     fn apply(&self, params: &mut Params) {
@@ -79,7 +87,13 @@ pub fn experiment1(scale: &Scale, seed: u64) -> Vec<Exp1Point> {
                     };
                     scale.apply(&mut params);
                     let summary = replicate(&params, Lod::Document, scale.reps, seed);
-                    out.push(Exp1Point { cache, irrelevant, alpha, gamma, summary });
+                    out.push(Exp1Point {
+                        cache,
+                        irrelevant,
+                        alpha,
+                        gamma,
+                        summary,
+                    });
                 }
             }
         }
@@ -126,7 +140,12 @@ fn sweep_exp2(scale: &Scale, seed: u64, vary_i: bool) -> Vec<Exp2Point> {
                 };
                 scale.apply(&mut params);
                 let summary = replicate(&params, Lod::Document, scale.reps, seed);
-                out.push(Exp2Point { cache, alpha, x, summary });
+                out.push(Exp2Point {
+                    cache,
+                    alpha,
+                    x,
+                    summary,
+                });
             }
         }
     }
@@ -176,12 +195,7 @@ pub fn experiment4(scale: &Scale, seed: u64) -> Vec<ImprovementPoint> {
     out
 }
 
-fn improvement_sweep(
-    scale: &Scale,
-    seed: u64,
-    alpha: f64,
-    skew: f64,
-) -> Vec<ImprovementPoint> {
+fn improvement_sweep(scale: &Scale, seed: u64, alpha: f64, skew: f64) -> Vec<ImprovementPoint> {
     let mut out = Vec::new();
     for step in 1..=10 {
         let f = step as f64 / 10.0;
@@ -223,7 +237,11 @@ mod tests {
 
     #[test]
     fn experiment1_shapes() {
-        let scale = Scale { docs: 10, reps: 2, max_rounds: 40 };
+        let scale = Scale {
+            docs: 10,
+            reps: 2,
+            max_rounds: 40,
+        };
         let pts = experiment1(&scale, 1);
         assert_eq!(pts.len(), 2 * 2 * 5 * 15);
         // γ grid is exact.
@@ -233,7 +251,11 @@ mod tests {
 
     #[test]
     fn experiment1_caching_wins_at_high_alpha() {
-        let scale = Scale { docs: 15, reps: 3, max_rounds: 60 };
+        let scale = Scale {
+            docs: 15,
+            reps: 3,
+            max_rounds: 60,
+        };
         let pts = experiment1(&scale, 3);
         let cell = |cache, alpha: f64, gamma: f64| {
             pts.iter()
@@ -255,7 +277,11 @@ mod tests {
 
     #[test]
     fn experiment2_response_time_decreases_with_i() {
-        let scale = Scale { docs: 30, reps: 2, max_rounds: 60 };
+        let scale = Scale {
+            docs: 30,
+            reps: 2,
+            max_rounds: 60,
+        };
         let pts = experiment2_vary_i(&scale, 5);
         let at = |x: f64| {
             pts.iter()
@@ -268,12 +294,19 @@ mod tests {
                 .summary
                 .mean
         };
-        assert!(at(1.0) < at(0.0), "more irrelevant docs must mean faster sessions");
+        assert!(
+            at(1.0) < at(0.0),
+            "more irrelevant docs must mean faster sessions"
+        );
     }
 
     #[test]
     fn experiment3_paragraph_lod_improves_at_low_f() {
-        let scale = Scale { docs: 30, reps: 3, max_rounds: 60 };
+        let scale = Scale {
+            docs: 30,
+            reps: 3,
+            max_rounds: 60,
+        };
         let pts = improvement_sweep(&scale, 9, 0.1, 3.0);
         let para_at_02 = pts
             .iter()
@@ -292,7 +325,11 @@ mod tests {
 
     #[test]
     fn experiment4_higher_skew_more_improvement() {
-        let scale = Scale { docs: 40, reps: 3, max_rounds: 60 };
+        let scale = Scale {
+            docs: 40,
+            reps: 3,
+            max_rounds: 60,
+        };
         let low = improvement_sweep(&scale, 21, 0.1, 2.0);
         let high = improvement_sweep(&scale, 21, 0.1, 5.0);
         let peak = |pts: &[ImprovementPoint]| {

@@ -36,7 +36,11 @@ pub fn figure3_data() -> Result<Vec<(f64, Vec<Figure3Point>)>, Error> {
 pub fn render_figure2() -> String {
     let mut out = String::new();
     for (s, points) in figure2_data().expect("static inputs are valid") {
-        let _ = writeln!(out, "Figure 2: cooked packets N vs raw packets M (S = {:.0}%)", s * 100.0);
+        let _ = writeln!(
+            out,
+            "Figure 2: cooked packets N vs raw packets M (S = {:.0}%)",
+            s * 100.0
+        );
         let _ = write!(out, "{:>6}", "M");
         for &alpha in &ALPHAS {
             let _ = write!(out, "  α={alpha:<4}");
@@ -63,7 +67,11 @@ pub fn render_figure2() -> String {
 pub fn render_figure3() -> String {
     let mut out = String::new();
     for (s, points) in figure3_data().expect("static inputs are valid") {
-        let _ = writeln!(out, "Figure 3: redundancy ratio γ vs α (S = {:.0}%)", s * 100.0);
+        let _ = writeln!(
+            out,
+            "Figure 3: redundancy ratio γ vs α (S = {:.0}%)",
+            s * 100.0
+        );
         let _ = writeln!(out, "{:>6} {:>8} {:>8} {:>8}", "α", "M=10", "M=50", "M=100");
         for i in 1..=5 {
             let alpha = i as f64 / 10.0;
@@ -137,9 +145,10 @@ pub fn render_figure4(points: &[Exp1Point]) -> String {
 /// vs F (bottom panels).
 pub fn render_figure5(vary_i: &[Exp2Point], vary_f: &[Exp2Point]) -> String {
     let mut out = String::new();
-    for (label, axis, points) in
-        [("F = 0.5, varying I", "I", vary_i), ("I = 0.5, varying F", "F", vary_f)]
-    {
+    for (label, axis, points) in [
+        ("F = 0.5, varying I", "I", vary_i),
+        ("I = 0.5, varying F", "F", vary_f),
+    ] {
         for cache in [CacheMode::NoCaching, CacheMode::Caching] {
             let _ = writeln!(
                 out,
@@ -156,9 +165,7 @@ pub fn render_figure5(vary_i: &[Exp2Point], vary_f: &[Exp2Point]) -> String {
                 let _ = write!(out, "{x:>6.1}");
                 for &alpha in &ALPHAS {
                     let p = points.iter().find(|p| {
-                        p.cache == cache
-                            && (p.alpha - alpha).abs() < 1e-9
-                            && (p.x - x).abs() < 1e-9
+                        p.cache == cache && (p.alpha - alpha).abs() < 1e-9 && (p.x - x).abs() < 1e-9
                     });
                     match p {
                         Some(p) => {
@@ -257,7 +264,11 @@ mod tests {
 
     #[test]
     fn improvement_rendering_contains_panels() {
-        let scale = Scale { docs: 6, reps: 1, max_rounds: 30 };
+        let scale = Scale {
+            docs: 6,
+            reps: 1,
+            max_rounds: 30,
+        };
         let pts = experiment3(&scale, 2);
         let text = render_improvement(&pts, "Figure 6");
         assert!(text.contains("α = 0.1"));

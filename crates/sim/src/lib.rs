@@ -23,6 +23,7 @@ pub mod adaptive_session;
 pub mod baselines;
 pub mod browsing;
 pub mod bursty;
+pub mod codec_cost;
 pub mod experiments;
 pub mod figures;
 pub mod model;

@@ -39,7 +39,9 @@ impl SimDocument {
         let n = params.paragraphs_per_doc();
         assert!(n > 0, "document must have paragraphs");
         assert!(params.skew >= 1.0, "skew must be at least 1");
-        let raw: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..=params.skew)).collect();
+        let raw: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(1.0..=params.skew))
+            .collect();
         let total: f64 = raw.iter().sum();
         SimDocument {
             paragraph_contents: raw.into_iter().map(|w| w / total).collect(),
@@ -141,7 +143,10 @@ mod tests {
         assert_eq!(seq.slices()[0].label, "u0");
         let ranked = d.plan_at(Lod::Paragraph);
         for w in ranked.slices().windows(2) {
-            assert!(w[0].content >= w[1].content, "paragraph plan must be sorted");
+            assert!(
+                w[0].content >= w[1].content,
+                "paragraph plan must be sorted"
+            );
         }
     }
 
@@ -149,10 +154,21 @@ mod tests {
     fn skew_bounds_content_ratio() {
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let params = Params { skew: 5.0, ..Default::default() };
+            let params = Params {
+                skew: 5.0,
+                ..Default::default()
+            };
             let d = SimDocument::draw(&params, &mut rng);
-            let maxc = d.paragraph_contents.iter().cloned().fold(f64::MIN, f64::max);
-            let minc = d.paragraph_contents.iter().cloned().fold(f64::MAX, f64::min);
+            let maxc = d
+                .paragraph_contents
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max);
+            let minc = d
+                .paragraph_contents
+                .iter()
+                .cloned()
+                .fold(f64::MAX, f64::min);
             assert!(maxc / minc <= 5.0 + 1e-9);
         }
     }
@@ -162,12 +178,19 @@ mod tests {
         // With δ=1 all paragraphs are equal; with δ=5 the top unit gets
         // a clearly larger share, on average.
         let share = |skew: f64| {
-            let params = Params { skew, ..Default::default() };
+            let params = Params {
+                skew,
+                ..Default::default()
+            };
             let mut total = 0.0;
             for seed in 0..50 {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let d = SimDocument::draw(&params, &mut rng);
-                total += d.paragraph_contents.iter().cloned().fold(f64::MIN, f64::max);
+                total += d
+                    .paragraph_contents
+                    .iter()
+                    .cloned()
+                    .fold(f64::MIN, f64::max);
             }
             total / 50.0
         };

@@ -38,7 +38,12 @@ impl Summary {
         };
         let std_dev = var.sqrt();
         let ci95 = 1.96 * std_dev / (n as f64).sqrt();
-        Summary { n, mean, std_dev, ci95 }
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+        }
     }
 
     /// Standard deviation as a fraction of the mean (the paper quotes

@@ -78,7 +78,10 @@ mod tests {
             .map(|e| e.ic)
             .sum();
         // Sections cover all content except the document title words.
-        assert!(section_sum > 0.95 && section_sum <= 1.0 + 1e-9, "sum {section_sum}");
+        assert!(
+            section_sum > 0.95 && section_sum <= 1.0 + 1e-9,
+            "sum {section_sum}"
+        );
     }
 
     #[test]
@@ -122,7 +125,10 @@ mod tests {
             .iter()
             .filter(|e| e.kind == Lod::Paragraph && e.ic > 1e-6 && e.qic < 1e-12)
             .count();
-        assert!(zeroed > 0, "expected at least one paragraph without query words");
+        assert!(
+            zeroed > 0,
+            "expected at least one paragraph without query words"
+        );
     }
 
     #[test]

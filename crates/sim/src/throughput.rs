@@ -52,8 +52,7 @@ pub fn measure_throughput(params: &Params, lod: Lod, seed: u64) -> ThroughputRes
         interleave_depth: params.interleave_depth,
     };
     let docs = params.docs_per_session;
-    let irrelevant_count =
-        ((params.irrelevant_fraction * docs as f64).round() as usize).min(docs);
+    let irrelevant_count = ((params.irrelevant_fraction * docs as f64).round() as usize).min(docs);
     let mut flags = vec![false; docs];
     for f in flags.iter_mut().take(irrelevant_count) {
         *f = true;
@@ -125,7 +124,11 @@ mod tests {
 
     #[test]
     fn mrt_beats_traditional_goodput_with_irrelevant_docs() {
-        let p = Params { irrelevant_fraction: 0.7, threshold: 0.3, ..params() };
+        let p = Params {
+            irrelevant_fraction: 0.7,
+            threshold: 0.3,
+            ..params()
+        };
         let (doc_g, _) = replicate_throughput(&p, Lod::Document, 5, 3);
         let (para_g, _) = replicate_throughput(&p, Lod::Paragraph, 5, 3);
         assert!(
@@ -138,7 +141,10 @@ mod tests {
 
     #[test]
     fn all_relevant_docs_show_no_ordering_advantage() {
-        let p = Params { irrelevant_fraction: 0.0, ..params() };
+        let p = Params {
+            irrelevant_fraction: 0.0,
+            ..params()
+        };
         let (doc_g, _) = replicate_throughput(&p, Lod::Document, 4, 5);
         let (para_g, _) = replicate_throughput(&p, Lod::Paragraph, 4, 5);
         // Full downloads need M intact packets regardless of order.
@@ -152,8 +158,22 @@ mod tests {
 
     #[test]
     fn goodput_falls_with_alpha() {
-        let lo = measure_throughput(&Params { alpha: 0.1, ..params() }, Lod::Paragraph, 9);
-        let hi = measure_throughput(&Params { alpha: 0.5, ..params() }, Lod::Paragraph, 9);
+        let lo = measure_throughput(
+            &Params {
+                alpha: 0.1,
+                ..params()
+            },
+            Lod::Paragraph,
+            9,
+        );
+        let hi = measure_throughput(
+            &Params {
+                alpha: 0.5,
+                ..params()
+            },
+            Lod::Paragraph,
+            9,
+        );
         assert!(lo.goodput > hi.goodput);
         assert!(lo.efficiency > hi.efficiency);
     }

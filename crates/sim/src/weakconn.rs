@@ -64,8 +64,7 @@ pub fn run_outage_session(
         interleave_depth: params.interleave_depth,
     };
     let docs = params.docs_per_session;
-    let irrelevant_count =
-        ((params.irrelevant_fraction * docs as f64).round() as usize).min(docs);
+    let irrelevant_count = ((params.irrelevant_fraction * docs as f64).round() as usize).min(docs);
     let mut flags = vec![false; docs];
     for f in flags.iter_mut().take(irrelevant_count) {
         *f = true;
@@ -101,7 +100,13 @@ pub fn replicate_outage(
 ) -> Summary {
     let means: Vec<f64> = (0..reps)
         .map(|r| {
-            run_outage_session(params, outage, lod, base_seed.wrapping_add(r as u64 * 104729)).0
+            run_outage_session(
+                params,
+                outage,
+                lod,
+                base_seed.wrapping_add(r as u64 * 104729),
+            )
+            .0
         })
         .collect();
     Summary::of(&means)
@@ -125,15 +130,24 @@ mod tests {
 
     #[test]
     fn outage_spec_derived_quantities() {
-        let o = OutageSpec { p_drop: 0.01, p_recover: 0.04 };
+        let o = OutageSpec {
+            p_drop: 0.01,
+            p_recover: 0.04,
+        };
         assert!((o.mean_outage() - 25.0).abs() < 1e-12);
         assert!((o.outage_fraction() - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn outages_slow_sessions_down() {
-        let o_none = OutageSpec { p_drop: 1e-12, p_recover: 1.0 };
-        let o_heavy = OutageSpec { p_drop: 0.02, p_recover: 0.05 };
+        let o_none = OutageSpec {
+            p_drop: 1e-12,
+            p_recover: 1.0,
+        };
+        let o_heavy = OutageSpec {
+            p_drop: 0.02,
+            p_recover: 0.05,
+        };
         let p = params(CacheMode::Caching);
         let clean = replicate_outage(&p, &o_none, Lod::Document, 3, 5);
         let stormy = replicate_outage(&p, &o_heavy, Lod::Document, 3, 5);
@@ -147,15 +161,26 @@ mod tests {
 
     #[test]
     fn caching_helps_under_outages_too() {
-        let o = OutageSpec { p_drop: 0.02, p_recover: 0.05 };
+        let o = OutageSpec {
+            p_drop: 0.02,
+            p_recover: 0.05,
+        };
         let nc = replicate_outage(&params(CacheMode::NoCaching), &o, Lod::Document, 3, 9);
         let c = replicate_outage(&params(CacheMode::Caching), &o, Lod::Document, 3, 9);
-        assert!(c.mean < nc.mean, "caching {:.2}s vs nocaching {:.2}s", c.mean, nc.mean);
+        assert!(
+            c.mean < nc.mean,
+            "caching {:.2}s vs nocaching {:.2}s",
+            c.mean,
+            nc.mean
+        );
     }
 
     #[test]
     fn sessions_are_deterministic() {
-        let o = OutageSpec { p_drop: 0.01, p_recover: 0.1 };
+        let o = OutageSpec {
+            p_drop: 0.01,
+            p_recover: 0.1,
+        };
         let p = params(CacheMode::Caching);
         let a = run_outage_session(&p, &o, Lod::Paragraph, 42);
         let b = run_outage_session(&p, &o, Lod::Paragraph, 42);

@@ -11,12 +11,17 @@ use std::collections::BTreeMap;
 use mrtweb_docmodel::document::Document;
 use mrtweb_docmodel::lod::Lod;
 use mrtweb_docmodel::unit::{Inline, Unit, UnitPath};
+use mrtweb_erasure::crc::crc32;
+use mrtweb_erasure::ida::{Codec as DispersalCodec, GroupPackets};
+use mrtweb_erasure::par::GroupCodec;
 use mrtweb_textproc::index::{DocumentIndex, UnitEntry};
 
 /// Format magic for documents.
 pub const DOC_MAGIC: &[u8; 4] = b"MRTD";
 /// Format magic for logical indexes.
 pub const INDEX_MAGIC: &[u8; 4] = b"MRTI";
+/// Format magic for dispersed blobs.
+pub const BLOB_MAGIC: &[u8; 4] = b"MRTB";
 /// Current format version.
 pub const VERSION: u8 = 1;
 
@@ -159,7 +164,11 @@ fn decode_unit(input: &mut &[u8], depth: usize) -> Result<Unit, CodecError> {
     for _ in 0..runs {
         let text = get_str(input)?;
         let emphasized = get_u8(input)? != 0;
-        unit.push_run(if emphasized { Inline::emphasized(text) } else { Inline::plain(text) });
+        unit.push_run(if emphasized {
+            Inline::emphasized(text)
+        } else {
+            Inline::plain(text)
+        });
     }
     let children = get_len(input)?;
     for _ in 0..children {
@@ -225,7 +234,11 @@ pub fn decode_index(mut input: &[u8]) -> Result<DocumentIndex, CodecError> {
         }
         let kind = lod_from_byte(get_u8(&mut input)?)?;
         let synthetic = get_u8(&mut input)? != 0;
-        let title = if get_u8(&mut input)? != 0 { Some(get_str(&mut input)?) } else { None };
+        let title = if get_u8(&mut input)? != 0 {
+            Some(get_str(&mut input)?)
+        } else {
+            None
+        };
         let own_bytes = get_u64(&mut input)? as usize;
         let c = get_len(&mut input)?;
         let mut counts = BTreeMap::new();
@@ -247,6 +260,119 @@ pub fn decode_index(mut input: &[u8]) -> Result<DocumentIndex, CodecError> {
         return Err(CodecError("trailing bytes after index"));
     }
     Ok(DocumentIndex::new(entries))
+}
+
+/// Serializes `payload` as a *dispersed blob*: the bytes are split into
+/// dispersal groups and stored as all `N` cooked packets per group, each
+/// packet guarded by its own CRC-32. Any storage-level corruption that
+/// leaves at least `M` intact packets per group still decodes — the
+/// same fault-tolerance discipline the paper applies to the wireless
+/// link, applied to the database server's media.
+///
+/// Layout: `magic | version | m | n | packet_size | doc_len | n_groups`,
+/// then per group `group_len` followed by `n` records of
+/// `packet bytes (packet_size) | crc32`.
+///
+/// Encoding fans groups across worker threads via [`GroupCodec`].
+///
+/// # Errors
+///
+/// [`CodecError`] if the dispersal parameters are invalid (`m == 0`,
+/// `n < m`, `n > 256`, or `packet_size == 0`).
+pub fn encode_dispersed(
+    payload: &[u8],
+    m: usize,
+    n: usize,
+    packet_size: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let codec = DispersalCodec::new(m, n, packet_size)
+        .map_err(|_| CodecError("invalid dispersal parameters"))?;
+    let groups = GroupCodec::new(codec).encode(payload);
+    let mut buf = BytesMut::with_capacity(29 + groups.len() * (4 + n * (packet_size + 4)));
+    buf.put_slice(BLOB_MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(m as u32);
+    buf.put_u32_le(n as u32);
+    buf.put_u32_le(packet_size as u32);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u32_le(groups.len() as u32);
+    for g in &groups {
+        buf.put_u32_le(g.len as u32);
+        for p in &g.cooked {
+            buf.put_slice(p);
+            buf.put_u32_le(crc32(p));
+        }
+    }
+    Ok(buf.to_vec())
+}
+
+/// Deserializes a dispersed blob, tolerating per-packet corruption.
+///
+/// Packets whose CRC-32 fails are dropped; each group then reconstructs
+/// from its surviving packets (fanned across worker threads). Decoding
+/// succeeds as long as every group retains at least `M` intact packets.
+///
+/// # Errors
+///
+/// [`CodecError`] for wrong magic/version, truncation, inconsistent
+/// header fields, trailing garbage, or groups with too few intact
+/// packets.
+pub fn decode_dispersed(mut input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let magic = get_exact(&mut input, 4)?;
+    if magic != BLOB_MAGIC {
+        return Err(CodecError("bad blob magic"));
+    }
+    if get_u8(&mut input)? != VERSION {
+        return Err(CodecError("unsupported version"));
+    }
+    let m = get_u32(&mut input)? as usize;
+    let n = get_u32(&mut input)? as usize;
+    let packet_size = get_u32(&mut input)? as usize;
+    if packet_size > MAX_LEN {
+        return Err(CodecError("length field exceeds sanity bound"));
+    }
+    let doc_len = get_u64(&mut input)? as usize;
+    if doc_len > MAX_LEN {
+        return Err(CodecError("length field exceeds sanity bound"));
+    }
+    let n_groups = get_len(&mut input)?;
+    let codec = DispersalCodec::new(m, n, packet_size)
+        .map_err(|_| CodecError("invalid dispersal parameters"))?;
+    let group_capacity = codec.capacity();
+    let expected_groups = if doc_len == 0 {
+        1
+    } else {
+        doc_len.div_ceil(group_capacity)
+    };
+    if n_groups != expected_groups {
+        return Err(CodecError("group count inconsistent with length"));
+    }
+    let mut groups: Vec<GroupPackets> = Vec::with_capacity(n_groups);
+    for gi in 0..n_groups {
+        let group_len = get_u32(&mut input)? as usize;
+        if group_len > group_capacity {
+            return Err(CodecError("group length exceeds capacity"));
+        }
+        let mut intact: Vec<(usize, Vec<u8>)> = Vec::with_capacity(n);
+        for pi in 0..n {
+            let packet = get_exact(&mut input, packet_size)?;
+            let stored = get_u32(&mut input)?;
+            if crc32(packet) == stored {
+                intact.push((pi, packet.to_vec()));
+            }
+        }
+        groups.push((gi, intact, group_len));
+    }
+    if !input.is_empty() {
+        return Err(CodecError("trailing bytes after blob"));
+    }
+    let out = GroupCodec::new(codec)
+        .decode(&groups)
+        .map_err(|_| CodecError("too many corrupted packets"))?;
+    if out.len() != doc_len {
+        return Err(CodecError("group lengths inconsistent with length"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -292,7 +418,10 @@ mod tests {
     fn wrong_magic_rejected() {
         let mut bytes = encode_document(&sample_doc());
         bytes[0] = b'X';
-        assert_eq!(decode_document(&bytes), Err(CodecError("bad document magic")));
+        assert_eq!(
+            decode_document(&bytes),
+            Err(CodecError("bad document magic"))
+        );
         let mut bytes = encode_index(&ScPipeline::default().run(&sample_doc()));
         bytes[0] = b'X';
         assert_eq!(decode_index(&bytes), Err(CodecError("bad index magic")));
@@ -320,7 +449,10 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = encode_document(&sample_doc());
         bytes.push(0);
-        assert_eq!(decode_document(&bytes), Err(CodecError("trailing bytes after document")));
+        assert_eq!(
+            decode_document(&bytes),
+            Err(CodecError("trailing bytes after document"))
+        );
     }
 
     #[test]
@@ -349,7 +481,82 @@ mod tests {
         buf.put_slice(&[0xFF, 0xFE]);
         buf.put_u32_le(0); // runs
         buf.put_u32_le(0); // children
-        assert_eq!(decode_document(&buf), Err(CodecError("invalid UTF-8 in string")));
+        assert_eq!(
+            decode_document(&buf),
+            Err(CodecError("invalid UTF-8 in string"))
+        );
+    }
+
+    #[test]
+    fn dispersed_blob_round_trip() {
+        let payload: Vec<u8> = (0..5000).map(|i| (i * 31 + 7) as u8).collect();
+        let blob = encode_dispersed(&payload, 8, 12, 64).unwrap();
+        assert_eq!(decode_dispersed(&blob).unwrap(), payload);
+    }
+
+    #[test]
+    fn dispersed_blob_empty_payload() {
+        let blob = encode_dispersed(&[], 4, 6, 16).unwrap();
+        assert_eq!(decode_dispersed(&blob).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn dispersed_blob_survives_packet_corruption() {
+        let payload: Vec<u8> = (0..2000).map(|i| (i * 13 + 1) as u8).collect();
+        let m = 8;
+        let n = 12;
+        let ps = 64;
+        let mut blob = encode_dispersed(&payload, m, n, ps).unwrap();
+        // Corrupt N - M packets in the first group: one byte each.
+        let header = 4 + 1 + 4 + 4 + 4 + 8 + 4; // magic..n_groups
+        let group_start = header + 4; // + group_len
+        for k in 0..(n - m) {
+            blob[group_start + k * (ps + 4) + 3] ^= 0xA5;
+        }
+        assert_eq!(decode_dispersed(&blob).unwrap(), payload);
+    }
+
+    #[test]
+    fn dispersed_blob_too_much_corruption_rejected() {
+        let payload: Vec<u8> = (0..500).map(|i| (i * 3) as u8).collect();
+        let m = 4;
+        let n = 6;
+        let ps = 32;
+        let mut blob = encode_dispersed(&payload, m, n, ps).unwrap();
+        let header = 4 + 1 + 4 + 4 + 4 + 8 + 4;
+        let group_start = header + 4;
+        // Kill N - M + 1 packets of group 0: below the decode threshold.
+        for k in 0..(n - m + 1) {
+            blob[group_start + k * (ps + 4)] ^= 0xFF;
+        }
+        assert_eq!(
+            decode_dispersed(&blob),
+            Err(CodecError("too many corrupted packets"))
+        );
+    }
+
+    #[test]
+    fn dispersed_blob_malformed_input_rejected() {
+        let blob = encode_dispersed(b"hello dispersed world", 2, 4, 8).unwrap();
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_dispersed(&bad), Err(CodecError("bad blob magic")));
+        let mut bad = blob.clone();
+        bad.push(0);
+        assert_eq!(
+            decode_dispersed(&bad),
+            Err(CodecError("trailing bytes after blob"))
+        );
+        for cut in 0..blob.len() {
+            assert!(
+                decode_dispersed(&blob[..cut]).is_err(),
+                "truncation at {cut}"
+            );
+        }
+        assert_eq!(
+            encode_dispersed(b"x", 0, 4, 8),
+            Err(CodecError("invalid dispersal parameters"))
+        );
     }
 
     #[test]
@@ -361,6 +568,9 @@ mod tests {
         buf.put_u8(0);
         buf.put_u32_le(0);
         buf.put_u32_le(0);
-        assert_eq!(decode_document(&buf), Err(CodecError("root unit is not at document LOD")));
+        assert_eq!(
+            decode_document(&buf),
+            Err(CodecError("root unit is not at document LOD"))
+        );
     }
 }

@@ -121,7 +121,10 @@ pub fn save_store(dir: &Path, store: &DocumentStore) -> Result<usize, DiskError>
 /// # Errors
 ///
 /// Only directory-level I/O failures abort.
-pub fn load_store(dir: &Path, sc_capacity: usize) -> Result<(DocumentStore, Vec<String>), DiskError> {
+pub fn load_store(
+    dir: &Path,
+    sc_capacity: usize,
+) -> Result<(DocumentStore, Vec<String>), DiskError> {
     let store = DocumentStore::new(sc_capacity);
     let mut corrupt = Vec::new();
     if !dir.exists() {
@@ -150,7 +153,10 @@ mod tests {
     use std::time::{SystemTime, UNIX_EPOCH};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_nanos();
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
         let dir = std::env::temp_dir().join(format!("mrtweb-store-{tag}-{nanos}"));
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -183,7 +189,10 @@ mod tests {
         let (loaded, corrupt) = load_store(&dir, 4).unwrap();
         assert!(corrupt.is_empty());
         assert_eq!(loaded.len(), 2);
-        assert_eq!(loaded.document("a").unwrap().as_ref(), store.document("a").unwrap().as_ref());
+        assert_eq!(
+            loaded.document("a").unwrap().as_ref(),
+            store.document("a").unwrap().as_ref()
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -234,8 +243,14 @@ mod tests {
         let dir = temp_dir("collide");
         save_document(&dir, "u1", &doc("one")).unwrap();
         save_document(&dir, "u2", &doc("two")).unwrap();
-        assert!(load_document(&dir, "u1").unwrap().full_text().contains("one"));
-        assert!(load_document(&dir, "u2").unwrap().full_text().contains("two"));
+        assert!(load_document(&dir, "u1")
+            .unwrap()
+            .full_text()
+            .contains("one"));
+        assert!(load_document(&dir, "u2")
+            .unwrap()
+            .full_text()
+            .contains("two"));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

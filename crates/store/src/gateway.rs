@@ -154,7 +154,11 @@ mod tests {
         assert!(server.header().m >= 1);
         let report = run_transfer(
             server,
-            &TransferConfig { alpha: 0.2, seed: 5, ..Default::default() },
+            &TransferConfig {
+                alpha: 0.2,
+                seed: 5,
+                ..Default::default()
+            },
         );
         assert!(report.completed);
         let text = String::from_utf8_lossy(&report.payload);
@@ -177,14 +181,19 @@ mod tests {
     #[test]
     fn unknown_url_is_not_found() {
         let gw = gateway();
-        let err = gw.prepare(&Request::new("http://nowhere/", "x")).unwrap_err();
+        let err = gw
+            .prepare(&Request::new("http://nowhere/", "x"))
+            .unwrap_err();
         assert!(matches!(err, GatewayError::NotFound(_)));
     }
 
     #[test]
     fn repeated_requests_hit_the_sc_cache() {
         let gw = gateway();
-        let req = Request { packet_size: 32, ..Request::new("http://site/paper", "mobile") };
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile")
+        };
         gw.prepare(&req).unwrap();
         gw.prepare(&req).unwrap();
         let stats = gw.store().stats();

@@ -98,7 +98,10 @@ impl DocumentStore {
             sc_cache: HashMap::new(),
             sc_order: Vec::new(),
         };
-        self.docs.write().insert(url.into(), stored).map(|s| s.document)
+        self.docs
+            .write()
+            .insert(url.into(), stored)
+            .map(|s| s.document)
     }
 
     /// Removes a document.
@@ -178,8 +181,7 @@ impl DocumentStore {
 
 /// Canonical cache key of a query: sorted `stem:count` pairs.
 fn canonical_query_key(query: &Query) -> String {
-    let mut parts: Vec<String> =
-        query.iter().map(|(s, n)| format!("{s}:{n}")).collect();
+    let mut parts: Vec<String> = query.iter().map(|(s, n)| format!("{s}:{n}")).collect();
     parts.sort();
     parts.join("\u{1f}")
 }
@@ -253,7 +255,10 @@ mod tests {
         let qb = Query::parse("web mobile", s.pipeline());
         let a = s.structural_characteristic("u1", &qa).unwrap();
         let b = s.structural_characteristic("u1", &qb).unwrap();
-        assert!(Arc::ptr_eq(&a, &b), "query word order must not defeat the cache");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "query word order must not defeat the cache"
+        );
     }
 
     #[test]
@@ -308,6 +313,10 @@ mod tests {
         }
         let st = s.stats();
         assert_eq!(st.sc_hits + st.sc_misses, 400);
-        assert!(st.sc_misses <= 16, "misses {} should be near 2", st.sc_misses);
+        assert!(
+            st.sc_misses <= 16,
+            "misses {} should be near 2",
+            st.sc_misses
+        );
     }
 }

@@ -18,7 +18,10 @@ fn document() -> impl Strategy<Value = Document> {
     (
         proptest::option::of(text()),
         proptest::collection::vec(
-            (proptest::option::of(text()), proptest::collection::vec((text(), any::<bool>()), 1..4)),
+            (
+                proptest::option::of(text()),
+                proptest::collection::vec((text(), any::<bool>()), 1..4),
+            ),
             1..4,
         ),
     )
@@ -30,7 +33,11 @@ fn document() -> impl Strategy<Value = Document> {
                 s.set_title(stitle);
                 for (t, emph) in paras {
                     let mut p = Unit::new(Lod::Paragraph);
-                    p.push_run(if emph { Inline::emphasized(t) } else { Inline::plain(t) });
+                    p.push_run(if emph {
+                        Inline::emphasized(t)
+                    } else {
+                        Inline::plain(t)
+                    });
                     s.push_child(p);
                 }
                 root.push_child(s);

@@ -34,7 +34,10 @@ pub struct KeywordPolicy {
 
 impl Default for KeywordPolicy {
     fn default() -> Self {
-        KeywordPolicy { min_frequency: 1, always_admit_emphasized: true }
+        KeywordPolicy {
+            min_frequency: 1,
+            always_admit_emphasized: true,
+        }
     }
 }
 
@@ -112,7 +115,10 @@ mod tests {
 
     #[test]
     fn frequency_threshold_filters() {
-        let p = KeywordPolicy { min_frequency: 2, always_admit_emphasized: false };
+        let p = KeywordPolicy {
+            min_frequency: 2,
+            always_admit_emphasized: false,
+        };
         let admitted = stats().admit(&p);
         assert!(admitted.contains("mobil"));
         assert!(admitted.contains("web"));
@@ -122,9 +128,15 @@ mod tests {
 
     #[test]
     fn emphasized_words_bypass_frequency() {
-        let p = KeywordPolicy { min_frequency: 2, always_admit_emphasized: true };
+        let p = KeywordPolicy {
+            min_frequency: 2,
+            always_admit_emphasized: true,
+        };
         let admitted = stats().admit(&p);
-        assert!(admitted.contains("bold"), "emphasized singleton must qualify");
+        assert!(
+            admitted.contains("bold"),
+            "emphasized singleton must qualify"
+        );
         assert!(!admitted.contains("rare"), "plain singleton must not");
     }
 

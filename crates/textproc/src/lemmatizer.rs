@@ -33,7 +33,11 @@ pub fn stem(word: &str) -> String {
     if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_lowercase()) {
         return w;
     }
-    let mut s = Stemmer { b: w.into_bytes(), k: 0, j: 0 };
+    let mut s = Stemmer {
+        b: w.into_bytes(),
+        k: 0,
+        j: 0,
+    };
     s.k = s.b.len() - 1;
     s.step1ab();
     s.step1c();
@@ -267,15 +271,10 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
-                (self.ends(b"ion")
-                    && self.j > 0
-                    && matches!(self.b[self.j - 1], b's' | b't'))
+                (self.ends(b"ion") && self.j > 0 && matches!(self.b[self.j - 1], b's' | b't'))
                     || self.ends(b"ou")
             }
             b's' => self.ends(b"ism"),
@@ -429,7 +428,14 @@ mod tests {
 
     #[test]
     fn idempotent_on_common_words() {
-        for w in ["mobile", "wireless", "bandwidth", "document", "paragraph", "transmission"] {
+        for w in [
+            "mobile",
+            "wireless",
+            "bandwidth",
+            "document",
+            "paragraph",
+            "transmission",
+        ] {
             let once = stem(w);
             assert_eq!(stem(&once), once, "stem not idempotent on {w:?}");
         }

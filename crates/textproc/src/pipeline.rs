@@ -47,7 +47,11 @@ pub struct ScPipeline {
 impl ScPipeline {
     /// Creates the default pipeline.
     pub fn new() -> Self {
-        ScPipeline { stop_words: StopWords::default(), policy: KeywordPolicy::default(), stemming: true }
+        ScPipeline {
+            stop_words: StopWords::default(),
+            policy: KeywordPolicy::default(),
+            stemming: true,
+        }
     }
 
     /// Replaces the stop-word filter.
@@ -104,7 +108,11 @@ impl ScPipeline {
                 if self.stop_words.is_stop_word(&tok.word) {
                     continue;
                 }
-                let s = if self.stemming { stem(&tok.word) } else { tok.word.clone() };
+                let s = if self.stemming {
+                    stem(&tok.word)
+                } else {
+                    tok.word.clone()
+                };
                 if s.is_empty() {
                     continue;
                 }
@@ -175,11 +183,9 @@ mod tests {
 
     #[test]
     fn counts_attach_to_owning_unit() {
-        let d = doc(
-            "<document><section><title>alpha</title>\
+        let d = doc("<document><section><title>alpha</title>\
              <subsection><paragraph>beta beta</paragraph></subsection>\
-             </section></document>",
-        );
+             </section></document>");
         let idx = ScPipeline::new().run(&d);
         let para = idx
             .entries()
@@ -188,7 +194,11 @@ mod tests {
             .unwrap();
         assert_eq!(para.count("beta"), 2);
         assert_eq!(para.count("alpha"), 0, "title belongs to the section");
-        let section = idx.entries().iter().find(|e| e.kind == Lod::Section).unwrap();
+        let section = idx
+            .entries()
+            .iter()
+            .find(|e| e.kind == Lod::Section)
+            .unwrap();
         assert_eq!(section.count("alpha"), 1);
     }
 
@@ -196,7 +206,10 @@ mod tests {
     fn frequency_policy_drops_rare_words() {
         let d = doc("<document><paragraph>common common rare</paragraph></document>");
         let idx = ScPipeline::new()
-            .with_policy(KeywordPolicy { min_frequency: 2, always_admit_emphasized: false })
+            .with_policy(KeywordPolicy {
+                min_frequency: 2,
+                always_admit_emphasized: false,
+            })
             .run(&d);
         assert_eq!(idx.total_count("common"), 2);
         assert_eq!(idx.total_count("rare"), 0);
@@ -206,7 +219,10 @@ mod tests {
     fn emphasized_rare_words_survive_strict_policy() {
         let d = doc("<document><paragraph>common common <b>special</b></paragraph></document>");
         let idx = ScPipeline::new()
-            .with_policy(KeywordPolicy { min_frequency: 2, always_admit_emphasized: true })
+            .with_policy(KeywordPolicy {
+                min_frequency: 2,
+                always_admit_emphasized: true,
+            })
             .run(&d);
         assert_eq!(idx.total_count("special"), 1);
     }

@@ -79,16 +79,22 @@ fn recognize_unit(path: UnitPath, unit: &Unit) -> RecognizedUnit {
     if let Some(title) = unit.title() {
         // Title words are specially formatted by construction.
         for word in tokenize(title) {
-            tokens.push(RawToken { word, emphasized: true });
+            tokens.push(RawToken {
+                word,
+                emphasized: true,
+            });
         }
     }
     for run in unit.runs() {
         for word in tokenize(&run.text) {
-            tokens.push(RawToken { word, emphasized: run.emphasized });
+            tokens.push(RawToken {
+                word,
+                emphasized: run.emphasized,
+            });
         }
     }
-    let own_bytes = unit.title().map_or(0, str::len)
-        + unit.runs().iter().map(|r| r.text.len()).sum::<usize>();
+    let own_bytes =
+        unit.title().map_or(0, str::len) + unit.runs().iter().map(|r| r.text.len()).sum::<usize>();
     RecognizedUnit {
         path,
         kind: unit.kind(),
@@ -156,10 +162,18 @@ mod tests {
     fn bold_runs_are_emphasized_plain_are_not() {
         let units = recognize(&doc());
         let para = units.iter().find(|u| u.kind == Lod::Paragraph).unwrap();
-        let bold: Vec<_> =
-            para.tokens.iter().filter(|t| t.emphasized).map(|t| t.word.as_str()).collect();
-        let plain: Vec<_> =
-            para.tokens.iter().filter(|t| !t.emphasized).map(|t| t.word.as_str()).collect();
+        let bold: Vec<_> = para
+            .tokens
+            .iter()
+            .filter(|t| t.emphasized)
+            .map(|t| t.word.as_str())
+            .collect();
+        let plain: Vec<_> = para
+            .tokens
+            .iter()
+            .filter(|t| !t.emphasized)
+            .map(|t| t.word.as_str())
+            .collect();
         assert_eq!(bold, ["bold", "words"]);
         assert_eq!(plain, ["plain", "words", "and", "here"]);
     }
@@ -174,6 +188,9 @@ mod tests {
     #[test]
     fn synthetic_units_are_flagged() {
         let units = recognize(&doc());
-        assert!(units.iter().any(|u| u.synthetic), "normalization should add a virtual unit");
+        assert!(
+            units.iter().any(|u| u.synthetic),
+            "normalization should add a virtual unit"
+        );
     }
 }

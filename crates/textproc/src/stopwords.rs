@@ -9,21 +9,166 @@ use std::collections::HashSet;
 
 /// The default stop-word list.
 pub const DEFAULT_STOP_WORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
-    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
-    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
-    "doing", "don't", "down", "during", "each", "either", "etc", "few", "for", "from", "further",
-    "had", "hadn't", "has", "hasn't", "have", "haven't", "having", "he", "her", "here", "hers",
-    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "isn't", "it",
-    "its", "itself", "let's", "may", "me", "might", "more", "most", "must", "mustn't", "my",
-    "myself", "neither", "no", "nor", "not", "of", "off", "on", "once", "only", "or", "other",
-    "ought", "our", "ours", "ourselves", "out", "over", "own", "per", "quite", "rather", "same",
-    "shall", "shan't", "she", "should", "shouldn't", "since", "so", "some", "such", "than",
-    "that", "the", "their", "theirs", "them", "themselves", "then", "there", "these", "they",
-    "this", "those", "through", "thus", "to", "too", "under", "until", "up", "upon", "us",
-    "very", "via", "was", "wasn't", "we", "were", "weren't", "what", "when", "where", "which",
-    "while", "who", "whom", "whose", "why", "will", "with", "won't", "would", "wouldn't", "yet",
-    "you", "your", "yours", "yourself", "yourselves",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren't",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "couldn't",
+    "did",
+    "didn't",
+    "do",
+    "does",
+    "doesn't",
+    "doing",
+    "don't",
+    "down",
+    "during",
+    "each",
+    "either",
+    "etc",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "hadn't",
+    "has",
+    "hasn't",
+    "have",
+    "haven't",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isn't",
+    "it",
+    "its",
+    "itself",
+    "let's",
+    "may",
+    "me",
+    "might",
+    "more",
+    "most",
+    "must",
+    "mustn't",
+    "my",
+    "myself",
+    "neither",
+    "no",
+    "nor",
+    "not",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "per",
+    "quite",
+    "rather",
+    "same",
+    "shall",
+    "shan't",
+    "she",
+    "should",
+    "shouldn't",
+    "since",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "thus",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "upon",
+    "us",
+    "very",
+    "via",
+    "was",
+    "wasn't",
+    "we",
+    "were",
+    "weren't",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "whose",
+    "why",
+    "will",
+    "with",
+    "won't",
+    "would",
+    "wouldn't",
+    "yet",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
 ];
 
 /// A stop-word filter.
@@ -50,12 +195,19 @@ impl StopWords {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        StopWords { words: words.into_iter().map(|w| w.as_ref().to_lowercase()).collect() }
+        StopWords {
+            words: words
+                .into_iter()
+                .map(|w| w.as_ref().to_lowercase())
+                .collect(),
+        }
     }
 
     /// An empty filter that passes every word.
     pub fn none() -> Self {
-        StopWords { words: HashSet::new() }
+        StopWords {
+            words: HashSet::new(),
+        }
     }
 
     /// Whether `word` (case-insensitive) is a stop word.

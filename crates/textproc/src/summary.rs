@@ -26,8 +26,7 @@ pub fn split_sentences(text: &str) -> Vec<&str> {
     while i < bytes.len() {
         if matches!(bytes[i], b'.' | b'!' | b'?') {
             let end = i + 1;
-            let at_boundary =
-                end >= bytes.len() || bytes[end].is_ascii_whitespace();
+            let at_boundary = end >= bytes.len() || bytes[end].is_ascii_whitespace();
             if at_boundary {
                 let s = text[start..end].trim();
                 if !s.is_empty() {
@@ -153,7 +152,11 @@ mod tests {
         let s = lead_in_summary(&doc(), 10_000);
         assert_eq!(
             s.sentences,
-            vec!["Alpha sentence one.", "Beta sentence one.", "Gamma sentence one."]
+            vec![
+                "Alpha sentence one.",
+                "Beta sentence one.",
+                "Gamma sentence one."
+            ]
         );
         assert!(s.text().starts_with("Alpha"));
     }
@@ -184,7 +187,10 @@ mod tests {
     #[test]
     fn baseline_double_transmits_relevant_documents() {
         let (relevant, irrelevant) = summary_baseline_bytes(10_000, 800);
-        assert_eq!(relevant, 10_800, "the summary bytes are pure overhead when relevant");
+        assert_eq!(
+            relevant, 10_800,
+            "the summary bytes are pure overhead when relevant"
+        );
         assert_eq!(irrelevant, 800);
     }
 }

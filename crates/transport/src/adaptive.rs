@@ -50,7 +50,10 @@ impl AdaptiveRedundancy {
             target_success > 0.0 && target_success < 1.0,
             "target success probability must be in (0, 1)"
         );
-        AdaptiveRedundancy { estimator: EwmaEstimator::new(gain, initial_alpha), target_success }
+        AdaptiveRedundancy {
+            estimator: EwmaEstimator::new(gain, initial_alpha),
+            target_success,
+        }
     }
 
     /// Records one packet outcome (`true` = corrupted).
@@ -91,7 +94,12 @@ impl AdaptiveRedundancy {
     pub fn plan(&self, m: usize) -> Result<Plan, Error> {
         let alpha = self.estimated_alpha().clamp(0.0, 0.95);
         let cooked = min_cooked_packets(m, alpha, self.target_success)?;
-        Ok(Plan { raw: m, cooked, alpha, success: self.target_success })
+        Ok(Plan {
+            raw: m,
+            cooked,
+            alpha,
+            success: self.target_success,
+        })
     }
 
     /// The redundancy ratio γ the controller would use right now.

@@ -34,7 +34,12 @@ pub struct ArqConfig {
 
 impl Default for ArqConfig {
     fn default() -> Self {
-        ArqConfig { packet_size: 256, overhead: 4, feedback_latency: 0.2, max_rounds: 100_000 }
+        ArqConfig {
+            packet_size: 256,
+            overhead: 4,
+            feedback_latency: 0.2,
+            max_rounds: 100_000,
+        }
     }
 }
 
@@ -190,18 +195,26 @@ mod tests {
             &SessionConfig::default(),
             &mut link,
         );
-        assert_eq!(arq.packets_sent, coded.packets_sent, "both send exactly M when clean");
+        assert_eq!(
+            arq.packets_sent, coded.packets_sent,
+            "both send exactly M when clean"
+        );
 
         // On a lossy channel ARQ pays feedback latency per repair round.
         let mut arq_time = 0.0;
         let mut coded_time = 0.0;
         for seed in 0..10 {
-            let mut link =
-                Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(0.3, seed), 0);
-            arq_time +=
-                download_arq(&doc_plan(), &ArqConfig::default(), &mut link).response_time;
-            let mut link =
-                Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(0.3, seed), 0);
+            let mut link = Link::new(
+                Bandwidth::from_kbps(19.2),
+                BernoulliChannel::new(0.3, seed),
+                0,
+            );
+            arq_time += download_arq(&doc_plan(), &ArqConfig::default(), &mut link).response_time;
+            let mut link = Link::new(
+                Bandwidth::from_kbps(19.2),
+                BernoulliChannel::new(0.3, seed),
+                0,
+            );
             coded_time += download(
                 &doc_plan(),
                 Relevance::relevant(),
@@ -221,9 +234,11 @@ mod tests {
 
     #[test]
     fn hopeless_channel_fails_at_budget() {
-        let mut link =
-            Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(1.0, 0), 0);
-        let cfg = ArqConfig { max_rounds: 4, ..Default::default() };
+        let mut link = Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(1.0, 0), 0);
+        let cfg = ArqConfig {
+            max_rounds: 4,
+            ..Default::default()
+        };
         let r = download_arq(&doc_plan(), &cfg, &mut link);
         assert!(!r.completed);
         assert_eq!(r.rounds, 4);
@@ -237,7 +252,10 @@ mod tests {
         let mut mask = vec![true; 1_000_000];
         mask[39] = false;
         let mut link = Link::new(Bandwidth::from_kbps(19.2), MaskLoss::new(mask), 0);
-        let cfg = ArqConfig { max_rounds: 2, ..Default::default() };
+        let cfg = ArqConfig {
+            max_rounds: 2,
+            ..Default::default()
+        };
         let r = download_arq(&doc_plan(), &cfg, &mut link);
         assert!(!r.completed);
         assert!((r.content - 1.0 / 40.0).abs() < 1e-9);

@@ -49,9 +49,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     // Chain hash of 4-byte prefixes → most recent positions.
     let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
-    let key = |d: &[u8], i: usize| -> u32 {
-        u32::from_le_bytes([d[i], d[i + 1], d[i + 2], d[i + 3]])
-    };
+    let key =
+        |d: &[u8], i: usize| -> u32 { u32::from_le_bytes([d[i], d[i + 1], d[i + 2], d[i + 3]]) };
 
     let mut tokens: Vec<Token> = Vec::new();
     let mut i = 0usize;
@@ -81,7 +80,10 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             }
         }
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { distance: best_dist as u16, length: best_len });
+            tokens.push(Token::Match {
+                distance: best_dist as u16,
+                length: best_len,
+            });
             // Index every covered position (sparsely for long matches).
             let step = if best_len > 32 { 4 } else { 1 };
             let mut j = i;
@@ -211,7 +213,12 @@ mod tests {
 
     fn round_trip(data: &[u8]) {
         let packed = compress(data);
-        assert_eq!(decompress(&packed).unwrap(), data, "round trip failed ({} bytes)", data.len());
+        assert_eq!(
+            decompress(&packed).unwrap(),
+            data,
+            "round trip failed ({} bytes)",
+            data.len()
+        );
     }
 
     #[test]
@@ -250,7 +257,11 @@ mod tests {
     fn long_runs_use_max_matches() {
         let data = vec![0x55u8; 10_000];
         let packed = compress(&data);
-        assert!(packed.len() < 200, "run-length case should collapse: {}", packed.len());
+        assert!(
+            packed.len() < 200,
+            "run-length case should collapse: {}",
+            packed.len()
+        );
         round_trip(&data);
     }
 
@@ -290,7 +301,10 @@ mod tests {
             1.0,
         )]);
         let savings = packet_savings(&plan, payload, 256);
-        assert!(savings < 0.5, "expected >2x packet savings, got ratio {savings}");
+        assert!(
+            savings < 0.5,
+            "expected >2x packet savings, got ratio {savings}"
+        );
         assert!(savings > 0.0);
     }
 

@@ -53,7 +53,10 @@ impl IntuitionOrdering {
     /// Panics if `lambda` is outside `[0, 1]`.
     pub fn new(lambda: f64) -> Self {
         assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-        IntuitionOrdering { levels: BTreeMap::new(), lambda }
+        IntuitionOrdering {
+            levels: BTreeMap::new(),
+            lambda,
+        }
     }
 
     /// Sets the intuition level of a unit label.
@@ -62,7 +65,10 @@ impl IntuitionOrdering {
     ///
     /// Panics if `level` is outside `[0, 1]`.
     pub fn set(&mut self, label: impl Into<String>, level: f64) -> &mut Self {
-        assert!((0.0..=1.0).contains(&level), "intuition level must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&level),
+            "intuition level must be in [0, 1]"
+        );
         self.levels.insert(label.into(), level);
         self
     }
@@ -94,8 +100,10 @@ impl IntuitionOrdering {
                 * slices.len() as f64
         };
         let mut order: Vec<usize> = (0..slices.len()).collect();
-        let prio: Vec<f64> =
-            slices.iter().map(|s| self.priority(s, mass_scale)).collect();
+        let prio: Vec<f64> = slices
+            .iter()
+            .map(|s| self.priority(s, mass_scale))
+            .collect();
         order.sort_by(|&a, &b| prio[b].total_cmp(&prio[a]));
         TransmissionPlan::sequential(order.into_iter().map(|i| slices[i].clone()).collect())
     }

@@ -26,6 +26,7 @@ use mrtweb_docmodel::document::Document;
 use mrtweb_docmodel::lod::Lod;
 use mrtweb_erasure::ida::Codec;
 use mrtweb_erasure::packet::Frame;
+use mrtweb_erasure::par::{default_threads, encode_into_parallel};
 use mrtweb_erasure::Error;
 
 use crate::plan::{plan_document, TransmissionPlan};
@@ -63,11 +64,16 @@ pub enum ClientEvent {
 }
 
 /// The server side: owns the encoded document.
+///
+/// All `N` cooked packets are encoded once at construction (redundancy
+/// rows fanned across threads) and framed once, so retransmission
+/// rounds replay cached wire bytes instead of redoing GF(2⁸) math and
+/// CRCs per request.
 #[derive(Debug)]
 pub struct LiveServer {
     header: DocumentHeader,
-    codec: Codec,
-    raws: Vec<Vec<u8>>,
+    /// Pre-framed wire bytes for every cooked packet, index = sequence.
+    wire_frames: Vec<Vec<u8>>,
 }
 
 impl LiveServer {
@@ -91,11 +97,22 @@ impl LiveServer {
         let m = plan.raw_packets(packet_size);
         let n = ((m as f64 * gamma).round() as usize).max(m);
         let codec = Codec::new(m, n, packet_size)?;
-        let raws = codec.split(&payload);
+        let mut cooked = Vec::new();
+        encode_into_parallel(&codec, &payload, &mut cooked, default_threads());
+        let wire_frames = cooked
+            .chunks_exact(packet_size)
+            .enumerate()
+            .map(|(i, payload)| Frame::new(i as u16, payload.to_vec()).to_wire().to_vec())
+            .collect();
         Ok(LiveServer {
-            header: DocumentHeader { doc_len: payload.len(), m, n, packet_size, plan },
-            codec,
-            raws,
+            header: DocumentHeader {
+                doc_len: payload.len(),
+                m,
+                n,
+                packet_size,
+                plan,
+            },
+            wire_frames,
         })
     }
 
@@ -134,14 +151,15 @@ impl LiveServer {
         &self.header
     }
 
-    /// The wire frame for cooked packet `index`.
+    /// The wire frame for cooked packet `index` — a copy of the cached
+    /// framing, so repeat requests (retransmission rounds) cost a
+    /// memcpy, not an encode.
     ///
     /// # Panics
     ///
     /// Panics if `index ≥ N`.
     pub fn frame(&self, index: usize) -> Vec<u8> {
-        let payload = self.codec.encode_one(&self.raws, index);
-        Frame::new(index as u16, payload).to_wire().to_vec()
+        self.wire_frames[index].clone()
     }
 }
 
@@ -351,8 +369,11 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
     let stats_server = Arc::clone(&stats);
 
     let server_thread = thread::spawn(move || {
-        let mut link =
-            Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(alpha, seed), seed ^ 1);
+        let mut link = Link::new(
+            Bandwidth::from_kbps(19.2),
+            BernoulliChannel::new(alpha, seed),
+            seed ^ 1,
+        );
         let mut to_send: Vec<usize> = (0..n).collect();
         loop {
             {
@@ -391,8 +412,9 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
         match wire {
             Wire::Frame(bytes) => {
                 let new_events = client.on_wire(&bytes);
-                let reconstructed =
-                    new_events.iter().any(|e| matches!(e, ClientEvent::Reconstructed));
+                let reconstructed = new_events
+                    .iter()
+                    .any(|e| matches!(e, ClientEvent::Reconstructed));
                 events.extend(new_events);
                 if reconstructed {
                     completed = true;
@@ -438,7 +460,10 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
         rounds: rounds.min(max_rounds),
         frames_sent,
         frames_corrupted: client.state().corrupted(),
-        payload: client.document_bytes().map(<[u8]>::to_vec).unwrap_or_default(),
+        payload: client
+            .document_bytes()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default(),
         events,
     }
 }
@@ -481,12 +506,18 @@ mod tests {
         };
         let report = run_transfer(
             srv,
-            &TransferConfig { alpha: 0.0, ..Default::default() },
+            &TransferConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
         );
         assert!(report.completed);
         assert_eq!(report.rounds, 1);
         assert_eq!(report.payload, payload_expect);
-        assert!(report.events.iter().any(|e| matches!(e, ClientEvent::Reconstructed)));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, ClientEvent::Reconstructed)));
     }
 
     #[test]
@@ -498,11 +529,18 @@ mod tests {
         };
         let report = run_transfer(
             srv,
-            &TransferConfig { alpha: 0.3, seed: 7, ..Default::default() },
+            &TransferConfig {
+                alpha: 0.3,
+                seed: 7,
+                ..Default::default()
+            },
         );
         assert!(report.completed, "transfer failed: {report:?}");
         assert_eq!(report.payload, payload_expect);
-        assert!(report.frames_corrupted > 0, "alpha=0.3 should corrupt something");
+        assert!(
+            report.frames_corrupted > 0,
+            "alpha=0.3 should corrupt something"
+        );
     }
 
     #[test]
@@ -525,7 +563,11 @@ mod tests {
         let srv = server(Lod::Paragraph, 1.5);
         let report = run_transfer(
             srv,
-            &TransferConfig { alpha: 0.0, stop_at_content: Some(0.3), ..Default::default() },
+            &TransferConfig {
+                alpha: 0.0,
+                stop_at_content: Some(0.3),
+                ..Default::default()
+            },
         );
         assert!(report.stopped_early);
         assert!(!report.completed);
@@ -535,8 +577,13 @@ mod tests {
     #[test]
     fn progressive_rendering_is_monotone_per_slice() {
         let srv = server(Lod::Paragraph, 1.2);
-        let report =
-            run_transfer(srv, &TransferConfig { alpha: 0.0, ..Default::default() });
+        let report = run_transfer(
+            srv,
+            &TransferConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
         let mut last: std::collections::HashMap<String, f64> = Default::default();
         for e in &report.events {
             if let ClientEvent::SliceProgress { label, fraction } = e {
@@ -552,8 +599,13 @@ mod tests {
     fn qic_ordering_renders_matching_section_first() {
         let srv = server(Lod::Section, 1.5);
         let first_label = srv.header().plan.slices()[0].label.clone();
-        let report =
-            run_transfer(srv, &TransferConfig { alpha: 0.0, ..Default::default() });
+        let report = run_transfer(
+            srv,
+            &TransferConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
         let first_event = report.events.iter().find_map(|e| match e {
             ClientEvent::SliceProgress { label, .. } => Some(label.clone()),
             _ => None,
@@ -570,12 +622,21 @@ mod tests {
         let pipeline = ScPipeline::default();
         let idx = pipeline.run(&doc);
         let sc = StructuralCharacteristic::from_index(&idx, None);
-        let srv =
-            LiveServer::new_auto(&doc, &sc, Lod::Paragraph, Measure::Ic, 16, 1.5).unwrap();
+        let srv = LiveServer::new_auto(&doc, &sc, Lod::Paragraph, Measure::Ic, 16, 1.5).unwrap();
         assert!(srv.header().n <= 256, "N = {}", srv.header().n);
-        assert!(srv.header().packet_size >= 64, "packet size {}", srv.header().packet_size);
-        let report =
-            run_transfer(srv, &TransferConfig { alpha: 0.2, seed: 8, ..Default::default() });
+        assert!(
+            srv.header().packet_size >= 64,
+            "packet size {}",
+            srv.header().packet_size
+        );
+        let report = run_transfer(
+            srv,
+            &TransferConfig {
+                alpha: 0.2,
+                seed: 8,
+                ..Default::default()
+            },
+        );
         assert!(report.completed);
     }
 
@@ -584,7 +645,11 @@ mod tests {
         let srv = server(Lod::Document, 1.0);
         let report = run_transfer(
             srv,
-            &TransferConfig { alpha: 1.0, max_rounds: 3, ..Default::default() },
+            &TransferConfig {
+                alpha: 1.0,
+                max_rounds: 3,
+                ..Default::default()
+            },
         );
         assert!(!report.completed);
         assert_eq!(report.rounds, 3);

@@ -28,7 +28,11 @@ pub struct UnitSlice {
 impl UnitSlice {
     /// Creates a slice.
     pub fn new(label: impl Into<String>, bytes: usize, content: f64) -> Self {
-        UnitSlice { label: label.into(), bytes, content }
+        UnitSlice {
+            label: label.into(),
+            bytes,
+            content,
+        }
     }
 }
 
@@ -357,7 +361,11 @@ mod tests {
         // Same byte multiset modulo the newline separators; compare
         // non-whitespace content.
         let clean = |v: &[u8]| {
-            let mut c: Vec<u8> = v.iter().copied().filter(|b| !b.is_ascii_whitespace()).collect();
+            let mut c: Vec<u8> = v
+                .iter()
+                .copied()
+                .filter(|b| !b.is_ascii_whitespace())
+                .collect();
             c.sort_unstable();
             c
         };

@@ -24,7 +24,11 @@ pub struct Candidate {
 impl Candidate {
     /// Creates a candidate.
     pub fn new(id: impl Into<String>, priority: f64, bytes: usize) -> Self {
-        Candidate { id: id.into(), priority, bytes }
+        Candidate {
+            id: id.into(),
+            priority,
+            bytes,
+        }
     }
 }
 
@@ -70,7 +74,9 @@ pub struct PrefetchQueue {
 impl PrefetchQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        PrefetchQueue { heap: BinaryHeap::new() }
+        PrefetchQueue {
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Enrolls a candidate.

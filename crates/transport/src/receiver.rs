@@ -39,7 +39,11 @@ impl ReceiverState {
     /// Panics unless `0 < M ≤ N` and `packet_contents.len() == M`.
     pub fn new(m: usize, n: usize, packet_contents: Vec<f64>) -> Self {
         assert!(m > 0 && m <= n, "need 0 < M <= N (got M={m}, N={n})");
-        assert_eq!(packet_contents.len(), m, "need one content entry per raw packet");
+        assert_eq!(
+            packet_contents.len(),
+            m,
+            "need one content entry per raw packet"
+        );
         ReceiverState {
             m,
             n,
@@ -71,7 +75,11 @@ impl ReceiverState {
     ///
     /// Panics if `index ≥ N`.
     pub fn on_packet(&mut self, index: usize, corrupted: bool) {
-        assert!(index < self.n, "cooked index {index} out of range (N={})", self.n);
+        assert!(
+            index < self.n,
+            "cooked index {index} out of range (N={})",
+            self.n
+        );
         self.observed += 1;
         if corrupted {
             self.corrupted += 1;
@@ -196,7 +204,10 @@ mod tests {
         r.on_packet(3, false); // redundancy: no direct content
         assert_eq!(r.content(), 0.0);
         r.on_packet(0, false);
-        assert!((r.content() - 0.6).abs() < 1e-12, "clear packet contributes its content");
+        assert!(
+            (r.content() - 0.6).abs() < 1e-12,
+            "clear packet contributes its content"
+        );
         // Completing (3 distinct) jumps content to 1.0.
         r.on_packet(4, false);
         assert!(r.is_complete());

@@ -51,12 +51,18 @@ pub struct Relevance {
 impl Relevance {
     /// A relevant document (downloaded in full).
     pub fn relevant() -> Self {
-        Relevance { irrelevant: false, threshold: 0.0 }
+        Relevance {
+            irrelevant: false,
+            threshold: 0.0,
+        }
     }
 
     /// An irrelevant document discarded at content `threshold`.
     pub fn irrelevant(threshold: f64) -> Self {
-        Relevance { irrelevant: true, threshold }
+        Relevance {
+            irrelevant: true,
+            threshold,
+        }
     }
 }
 
@@ -182,7 +188,8 @@ pub fn download<L: LossModel>(
         // Which cooked packets this round carries.
         let indices: Vec<usize> = if rounds == 1 {
             if config.interleave_depth > 1 {
-                mrtweb_erasure::interleave::Interleaver::new(n, config.interleave_depth).order()
+                mrtweb_erasure::interleave::Interleaver::new(n, config.interleave_depth)
+                    .into_order()
             } else {
                 (0..n).collect()
             }
@@ -228,7 +235,12 @@ mod tests {
     #[test]
     fn perfect_channel_takes_exactly_m_packets() {
         let mut link = link_with_mask(Vec::new());
-        let r = download(&doc_plan(), Relevance::relevant(), &SessionConfig::default(), &mut link);
+        let r = download(
+            &doc_plan(),
+            Relevance::relevant(),
+            &SessionConfig::default(),
+            &mut link,
+        );
         assert_eq!(r.outcome, Outcome::Completed);
         assert_eq!(r.packets_sent, 40);
         assert_eq!(r.rounds, 1);
@@ -241,7 +253,12 @@ mod tests {
     fn corruption_delays_completion_via_redundancy() {
         // Corrupt the first 5 packets; completion needs 45 packets.
         let mut link = link_with_mask(vec![true; 5]);
-        let r = download(&doc_plan(), Relevance::relevant(), &SessionConfig::default(), &mut link);
+        let r = download(
+            &doc_plan(),
+            Relevance::relevant(),
+            &SessionConfig::default(),
+            &mut link,
+        );
         assert_eq!(r.outcome, Outcome::Completed);
         assert_eq!(r.packets_sent, 45);
         assert_eq!(r.rounds, 1);
@@ -285,7 +302,12 @@ mod tests {
             *slot = true;
         }
         let mut link = link_with_mask(mask);
-        let r = download(&doc_plan(), Relevance::relevant(), &SessionConfig::default(), &mut link);
+        let r = download(
+            &doc_plan(),
+            Relevance::relevant(),
+            &SessionConfig::default(),
+            &mut link,
+        );
         assert_eq!(r.outcome, Outcome::Completed);
         assert_eq!(r.rounds, 2);
         // 60 (stalled round) + 40 (fresh round, needs M intact).
@@ -299,7 +321,10 @@ mod tests {
             *slot = true;
         }
         let mut link = link_with_mask(mask);
-        let config = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+        let config = SessionConfig {
+            cache_mode: CacheMode::Caching,
+            ..Default::default()
+        };
         let r = download(&doc_plan(), Relevance::relevant(), &config, &mut link);
         assert_eq!(r.outcome, Outcome::Completed);
         assert_eq!(r.rounds, 2);
@@ -311,19 +336,37 @@ mod tests {
     #[test]
     fn caching_beats_nocaching_on_bad_channels() {
         let plan = doc_plan();
-        let mk = |mode| SessionConfig { cache_mode: mode, ..Default::default() };
+        let mk = |mode| SessionConfig {
+            cache_mode: mode,
+            ..Default::default()
+        };
         let mut total_nc = 0.0;
         let mut total_c = 0.0;
         for seed in 0..20 {
-            let mut link =
-                Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(0.4, seed), 0);
-            total_nc +=
-                download(&plan, Relevance::relevant(), &mk(CacheMode::NoCaching), &mut link)
-                    .response_time;
-            let mut link =
-                Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(0.4, seed), 0);
-            total_c += download(&plan, Relevance::relevant(), &mk(CacheMode::Caching), &mut link)
-                .response_time;
+            let mut link = Link::new(
+                Bandwidth::from_kbps(19.2),
+                BernoulliChannel::new(0.4, seed),
+                0,
+            );
+            total_nc += download(
+                &plan,
+                Relevance::relevant(),
+                &mk(CacheMode::NoCaching),
+                &mut link,
+            )
+            .response_time;
+            let mut link = Link::new(
+                Bandwidth::from_kbps(19.2),
+                BernoulliChannel::new(0.4, seed),
+                0,
+            );
+            total_c += download(
+                &plan,
+                Relevance::relevant(),
+                &mk(CacheMode::Caching),
+                &mut link,
+            )
+            .response_time;
         }
         assert!(
             total_c < total_nc,
@@ -349,11 +392,9 @@ mod tests {
         let ranked = TransmissionPlan::ranked(slices);
         let cfg = SessionConfig::default();
         let mut link = link_with_mask(Vec::new());
-        let t_seq =
-            download(&seq, Relevance::irrelevant(0.5), &cfg, &mut link).response_time;
+        let t_seq = download(&seq, Relevance::irrelevant(0.5), &cfg, &mut link).response_time;
         let mut link = link_with_mask(Vec::new());
-        let t_ranked =
-            download(&ranked, Relevance::irrelevant(0.5), &cfg, &mut link).response_time;
+        let t_ranked = download(&ranked, Relevance::irrelevant(0.5), &cfg, &mut link).response_time;
         assert!(
             t_ranked < t_seq,
             "ranked ({t_ranked:.2}s) must beat sequential ({t_seq:.2}s)"
@@ -365,7 +406,10 @@ mod tests {
         // For relevant documents, interleaving must not change whether
         // or when reconstruction happens on a perfect channel (exactly
         // M packets either way).
-        let cfg = SessionConfig { interleave_depth: 10, ..Default::default() };
+        let cfg = SessionConfig {
+            interleave_depth: 10,
+            ..Default::default()
+        };
         let mut link = link_with_mask(Vec::new());
         let r = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
         assert_eq!(r.outcome, Outcome::Completed);
@@ -408,7 +452,10 @@ mod tests {
     #[test]
     fn always_corrupting_channel_fails_at_budget() {
         let mut link = link_with_mask(vec![true; 1_000_000]);
-        let config = SessionConfig { max_rounds: 3, ..Default::default() };
+        let config = SessionConfig {
+            max_rounds: 3,
+            ..Default::default()
+        };
         let r = download(&doc_plan(), Relevance::relevant(), &config, &mut link);
         assert_eq!(r.outcome, Outcome::Failed);
         assert_eq!(r.rounds, 3);
@@ -422,16 +469,28 @@ mod tests {
         let r1 = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
         let r2 = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
         assert!((r1.response_time - r2.response_time).abs() < 1e-9);
-        assert!(link.now() > r1.response_time, "link clock accumulates across documents");
+        assert!(
+            link.now() > r1.response_time,
+            "link clock accumulates across documents"
+        );
     }
 
     #[test]
     fn cooked_packet_rounding() {
-        let cfg = SessionConfig { gamma: 1.1, ..Default::default() };
+        let cfg = SessionConfig {
+            gamma: 1.1,
+            ..Default::default()
+        };
         assert_eq!(cfg.cooked_packets(40), 44);
-        let cfg = SessionConfig { gamma: 1.0, ..Default::default() };
+        let cfg = SessionConfig {
+            gamma: 1.0,
+            ..Default::default()
+        };
         assert_eq!(cfg.cooked_packets(40), 40);
-        let cfg = SessionConfig { gamma: 2.5, ..Default::default() };
+        let cfg = SessionConfig {
+            gamma: 2.5,
+            ..Default::default()
+        };
         assert_eq!(cfg.cooked_packets(40), 100);
     }
 }

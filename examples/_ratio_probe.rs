@@ -9,5 +9,8 @@ fn main() {
         total_raw += text.len();
         total_packed += packed.len();
     }
-    println!("mean compression ratio: {:.3}", total_packed as f64 / total_raw as f64);
+    println!(
+        "mean compression ratio: {:.3}",
+        total_packed as f64 / total_raw as f64
+    );
 }

@@ -15,7 +15,11 @@ use mrtweb::transport::session::{download, CacheMode, Relevance, SessionConfig};
 
 fn main() {
     let mut controller = AdaptiveRedundancy::new(0.95, 0.05, 0.1);
-    let mut link = Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(0.1, 99), 1);
+    let mut link = Link::new(
+        Bandwidth::from_kbps(19.2),
+        BernoulliChannel::new(0.1, 99),
+        1,
+    );
     let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
 
     println!(

@@ -52,7 +52,12 @@ fn run(alpha: f64, cache: CacheMode, label: &str) {
     );
     let report = run_transfer(
         server,
-        &TransferConfig { alpha, seed: 42, cache_mode: cache, ..Default::default() },
+        &TransferConfig {
+            alpha,
+            seed: 42,
+            cache_mode: cache,
+            ..Default::default()
+        },
     );
     let mut rendered: Vec<String> = Vec::new();
     for event in &report.events {

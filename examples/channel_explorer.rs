@@ -18,7 +18,10 @@ fn main() {
 
     println!("mean response time (s) per document; docs={docs}, reps={reps}");
     println!("\n== sweep 1: α × γ at the document LOD (all documents relevant) ==");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "α", "γ=1.2 NC", "γ=1.2 C", "γ=1.8 NC", "γ=1.8 C");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "α", "γ=1.2 NC", "γ=1.2 C", "γ=1.8 NC", "γ=1.8 C"
+    );
     for alpha in [0.1, 0.3, 0.5] {
         print!("{alpha:>6.1}");
         for gamma in [1.2, 1.8] {
@@ -40,7 +43,10 @@ fn main() {
     }
 
     println!("\n== sweep 2: LOD × relevance threshold F (all documents irrelevant, Caching) ==");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "F", "document", "section", "subsect", "paragraph");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "F", "document", "section", "subsect", "paragraph"
+    );
     for f in [0.1, 0.3, 0.5, 0.8] {
         print!("{f:>6.1}");
         for lod in [Lod::Document, Lod::Section, Lod::Subsection, Lod::Paragraph] {

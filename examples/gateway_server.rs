@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     store.put(
         "http://site/cookbook",
-        page("Cookbook", "slow braises for winter evenings", "index of suppliers"),
+        page(
+            "Cookbook",
+            "slow braises for winter evenings",
+            "index of suppliers",
+        ),
     );
     println!("store holds {} documents", store.len());
 
@@ -47,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("mrtweb-gateway-example");
     let saved = save_store(&dir, &store)?;
     let (reloaded, corrupt) = load_store(&dir, 16)?;
-    println!("persisted {saved} documents; reloaded {} (corrupt: {})", reloaded.len(), corrupt.len());
+    println!(
+        "persisted {saved} documents; reloaded {} (corrupt: {})",
+        reloaded.len(),
+        corrupt.len()
+    );
 
     // 3. Serve a query-biased transmission over a 25%-lossy channel.
     let gateway = Gateway::new(Arc::new(reloaded));
@@ -65,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = run_transfer(
         server,
-        &TransferConfig { alpha: 0.25, seed: 17, ..Default::default() },
+        &TransferConfig {
+            alpha: 0.25,
+            seed: 17,
+            ..Default::default()
+        },
     );
     println!(
         "transfer: completed={} rounds={} corrupted={} of {} frames",
@@ -75,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. The second identical request hits the SC cache.
     let _ = gateway.prepare(&request)?;
     let stats = gateway.store().stats();
-    println!("sc cache: {} hits, {} misses", stats.sc_hits, stats.sc_misses);
+    println!(
+        "sc cache: {} hits, {} misses",
+        stats.sc_hits, stats.sc_misses
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

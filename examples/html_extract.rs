@@ -49,7 +49,10 @@ fn main() {
     let (plan, _) = plan_document(&doc, &sc, Lod::Paragraph, Measure::Qic);
     println!("paragraph transmission order under the query:");
     for s in plan.slices() {
-        println!("  {:<8} {:>4} bytes  content {:.4}", s.label, s.bytes, s.content);
+        println!(
+            "  {:<8} {:>4} bytes  content {:.4}",
+            s.label, s.bytes, s.content
+        );
     }
     println!("\nthe connectivity paragraph outranks administrivia, as it should.");
 }

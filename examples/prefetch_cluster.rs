@@ -29,13 +29,22 @@ fn main() {
     site.insert("index", page("Index", "links to everything below"));
     site.insert(
         "wireless-tips",
-        page("Wireless Tips", "mobile wireless bandwidth caching for weak connectivity"),
+        page(
+            "Wireless Tips",
+            "mobile wireless bandwidth caching for weak connectivity",
+        ),
     );
     site.insert(
         "packet-codes",
-        page("Packet Codes", "vandermonde dispersal packet redundancy reconstruction"),
+        page(
+            "Packet Codes",
+            "vandermonde dispersal packet redundancy reconstruction",
+        ),
     );
-    site.insert("gardening", page("Gardening", "tomatoes compost seedlings and mulch"));
+    site.insert(
+        "gardening",
+        page("Gardening", "tomatoes compost seedlings and mulch"),
+    );
     site.insert("recipes", page("Recipes", "flour butter sugar and an oven"));
     for to in ["wireless-tips", "packet-codes", "gardening", "recipes"] {
         site.link("index", to).expect("pages exist");
@@ -68,15 +77,22 @@ fn main() {
             .map(|s| index.total_count(s) as f64)
             .sum();
         let priority = score * mass;
-        println!("page {key:<14} qic-root {score:.1}  match-mass {mass:>4}  priority {priority:.1}");
+        println!(
+            "page {key:<14} qic-root {score:.1}  match-mass {mass:>4}  priority {priority:.1}"
+        );
         queue.enroll(Candidate::new(key, priority, doc.content_len()));
     }
 
     println!("\nidle-bandwidth prefetch order:");
     let mut rank = 1;
     while let Some(c) = queue.pop() {
-        println!("  {rank}. {} (priority {:.1}, {} bytes)", c.id, c.priority, c.bytes);
+        println!(
+            "  {rank}. {} (priority {:.1}, {} bytes)",
+            c.id, c.priority, c.bytes
+        );
         rank += 1;
     }
-    println!("\nnetworking articles outrank gardening and recipes — the profile steers the prefetcher.");
+    println!(
+        "\nnetworking articles outrank gardening and recipes — the profile steers the prefetcher."
+    );
 }

@@ -9,11 +9,11 @@
 use mrtweb::content::query::Query;
 use mrtweb::content::sc::{Measure, StructuralCharacteristic};
 use mrtweb::docmodel::document::Document;
+use mrtweb::docmodel::lod::Lod;
 use mrtweb::erasure::ida::Codec;
 use mrtweb::erasure::redundancy::Plan;
 use mrtweb::textproc::pipeline::ScPipeline;
 use mrtweb::transport::plan::plan_document;
-use mrtweb::docmodel::lod::Lod;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A structured web document (XML per the paper's model).
@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cooked packets; any M intact cooked packets reconstruct the document.</paragraph>\
         </section></document>";
     let doc = Document::parse_xml(xml)?;
-    println!("parsed: {:?} ({} units, {} bytes)", doc.title(), doc.unit_count(), doc.content_len());
+    println!(
+        "parsed: {:?} ({} units, {} bytes)",
+        doc.title(),
+        doc.unit_count(),
+        doc.content_len()
+    );
 
     // 2. Structural characteristic with a user query.
     let pipeline = ScPipeline::default();
@@ -41,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (plan, payload) = plan_document(&doc, &sc, Lod::Paragraph, Measure::Qic);
     println!("transmission order:");
     for s in plan.slices() {
-        println!("  unit {:<6} {:>4} bytes  content {:.4}", s.label, s.bytes, s.content);
+        println!(
+            "  unit {:<6} {:>4} bytes  content {:.4}",
+            s.label, s.bytes, s.content
+        );
     }
 
     // 4. Plan redundancy for a 20%-lossy channel at 99% success.

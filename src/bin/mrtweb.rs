@@ -31,7 +31,9 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  mrtweb sc <file> [--query Q]");
-            eprintln!("  mrtweb plan <file> [--query Q] [--lod document|section|subsection|paragraph]");
+            eprintln!(
+                "  mrtweb plan <file> [--query Q] [--lod document|section|subsection|paragraph]"
+            );
             eprintln!("  mrtweb transfer <file> [--alpha A] [--gamma G] [--lod L] [--query Q] [--nocache] [--seed S]");
             eprintln!("  mrtweb summary <file> [--budget BYTES]");
             eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
@@ -71,7 +73,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> Result<&String, String> {
-            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
         };
         match args[i].as_str() {
             "--query" => {
@@ -123,10 +126,16 @@ fn build_sc(doc: &Document, query: &str) -> (StructuralCharacteristic, Measure) 
     let pipeline = ScPipeline::default();
     let index = pipeline.run(doc);
     if query.is_empty() {
-        (StructuralCharacteristic::from_index(&index, None), Measure::Ic)
+        (
+            StructuralCharacteristic::from_index(&index, None),
+            Measure::Ic,
+        )
     } else {
         let q = Query::parse(query, &pipeline);
-        (StructuralCharacteristic::from_index(&index, Some(&q)), Measure::Qic)
+        (
+            StructuralCharacteristic::from_index(&index, Some(&q)),
+            Measure::Qic,
+        )
     }
 }
 
@@ -156,7 +165,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let doc = load_document(path)?;
             let (sc, measure) = build_sc(&doc, &flags.query);
             let (plan, _) = plan_document(&doc, &sc, flags.lod, measure);
-            println!("transmission order at the {} LOD (by {measure}):", flags.lod);
+            println!(
+                "transmission order at the {} LOD (by {measure}):",
+                flags.lod
+            );
             for (i, s) in plan.slices().iter().enumerate() {
                 println!(
                     "  {i:>3}. unit {:<8} {:>6} bytes  content {:.4}",
@@ -175,9 +187,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let flags = parse_flags(&args[2..])?;
             let doc = load_document(path)?;
             let (sc, measure) = build_sc(&doc, &flags.query);
-            let server =
-                LiveServer::new_auto(&doc, &sc, flags.lod, measure, 64, flags.gamma)
-                    .map_err(|e| format!("{e}"))?;
+            let server = LiveServer::new_auto(&doc, &sc, flags.lod, measure, 64, flags.gamma)
+                .map_err(|e| format!("{e}"))?;
             println!(
                 "M={} N={} packet={}B γ={:.2} α={}",
                 server.header().m,
@@ -230,10 +241,16 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "redundancy" => {
-            let m: usize =
-                args.get(1).ok_or("redundancy needs M")?.parse().map_err(|_| "bad M")?;
-            let alpha: f64 =
-                args.get(2).ok_or("redundancy needs alpha")?.parse().map_err(|_| "bad alpha")?;
+            let m: usize = args
+                .get(1)
+                .ok_or("redundancy needs M")?
+                .parse()
+                .map_err(|_| "bad M")?;
+            let alpha: f64 = args
+                .get(2)
+                .ok_or("redundancy needs alpha")?
+                .parse()
+                .map_err(|_| "bad alpha")?;
             let flags = parse_flags(&args[3..])?;
             let plan = Plan::optimal(m, alpha, flags.success).map_err(|e| format!("{e}"))?;
             println!(

@@ -25,8 +25,17 @@ const XML: &str = "<document><title>CLI Fixture</title>\
 #[test]
 fn sc_prints_table() {
     let path = write_fixture("sc.xml", XML);
-    let out = mrtweb().args(["sc"]).arg(&path).args(["--query", "mobile"]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = mrtweb()
+        .args(["sc"])
+        .arg(&path)
+        .args(["--query", "mobile"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("CLI Fixture"));
     assert!(stdout.contains("IC p"));
@@ -47,7 +56,10 @@ fn plan_orders_by_query() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     let hot = stdout.find("unit 0").expect("section 0 listed");
     let cold = stdout.find("unit 1").expect("section 1 listed");
-    assert!(hot < cold, "query-matching section must be planned first:\n{stdout}");
+    assert!(
+        hot < cold,
+        "query-matching section must be planned first:\n{stdout}"
+    );
     std::fs::remove_file(path).ok();
 }
 
@@ -60,7 +72,11 @@ fn transfer_completes_over_lossy_channel() {
         .args(["--alpha", "0.3", "--seed", "5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("completed=true"), "{stdout}");
     std::fs::remove_file(path).ok();
@@ -69,7 +85,12 @@ fn transfer_completes_over_lossy_channel() {
 #[test]
 fn summary_respects_budget() {
     let path = write_fixture("summary.xml", XML);
-    let out = mrtweb().args(["summary"]).arg(&path).args(["--budget", "60"]).output().unwrap();
+    let out = mrtweb()
+        .args(["summary"])
+        .arg(&path)
+        .args(["--budget", "60"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 sentences"), "{stdout}");
@@ -104,6 +125,9 @@ fn bad_usage_exits_nonzero() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 
-    let out = mrtweb().args(["sc", "/nonexistent/file.xml"]).output().unwrap();
+    let out = mrtweb()
+        .args(["sc", "/nonexistent/file.xml"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }

@@ -29,7 +29,11 @@ fn paper_draft_survives_a_lossy_channel_at_every_lod() {
             .expect("draft fits one dispersal group at 128B packets");
         let report = run_transfer(
             server,
-            &TransferConfig { alpha: 0.25, seed: 1000 + lod.depth() as u64, ..Default::default() },
+            &TransferConfig {
+                alpha: 0.25,
+                seed: 1000 + lod.depth() as u64,
+                ..Default::default()
+            },
         );
         assert!(report.completed, "transfer failed at {lod}");
         assert_eq!(report.payload, payload, "payload mismatch at {lod}");
@@ -40,11 +44,14 @@ fn paper_draft_survives_a_lossy_channel_at_every_lod() {
 fn reconstructed_text_is_readable_document_content() {
     let doc = paper_draft();
     let sc = sc_for(&doc, "browsing mobile web");
-    let server =
-        LiveServer::new(&doc, &sc, Lod::Section, Measure::Qic, 128, 1.5).unwrap();
+    let server = LiveServer::new(&doc, &sc, Lod::Section, Measure::Qic, 128, 1.5).unwrap();
     let report = run_transfer(
         server,
-        &TransferConfig { alpha: 0.2, seed: 9, ..Default::default() },
+        &TransferConfig {
+            alpha: 0.2,
+            seed: 9,
+            ..Default::default()
+        },
     );
     assert!(report.completed);
     let text = String::from_utf8_lossy(&report.payload);
@@ -60,11 +67,15 @@ fn xml_round_trip_then_transfer_round_trip() {
     assert_eq!(doc, reparsed);
     let sc = sc_for(&reparsed, "packet cache");
     let (_, payload) = plan_document(&reparsed, &sc, Lod::Paragraph, Measure::Mqic);
-    let server =
-        LiveServer::new(&reparsed, &sc, Lod::Paragraph, Measure::Mqic, 128, 1.5).unwrap();
+    let server = LiveServer::new(&reparsed, &sc, Lod::Paragraph, Measure::Mqic, 128, 1.5).unwrap();
     let report = run_transfer(
         server,
-        &TransferConfig { alpha: 0.15, seed: 4, cache_mode: CacheMode::Caching, ..Default::default() },
+        &TransferConfig {
+            alpha: 0.15,
+            seed: 4,
+            cache_mode: CacheMode::Caching,
+            ..Default::default()
+        },
     );
     assert!(report.completed);
     assert_eq!(report.payload, payload);
@@ -83,8 +94,14 @@ fn html_page_flows_through_the_same_stack() {
     // The query-matching section leads.
     assert_eq!(plan.slices()[0].label, "0");
     let server = LiveServer::new(&doc, &sc, Lod::Section, Measure::Qic, 32, 2.0).unwrap();
-    let report =
-        run_transfer(server, &TransferConfig { alpha: 0.3, seed: 2, ..Default::default() });
+    let report = run_transfer(
+        server,
+        &TransferConfig {
+            alpha: 0.3,
+            seed: 2,
+            ..Default::default()
+        },
+    );
     assert!(report.completed);
 }
 
@@ -94,11 +111,20 @@ fn early_stop_saves_bandwidth_end_to_end() {
     let sc = sc_for(&doc, "browsing mobile web");
     let full = run_transfer(
         LiveServer::new(&doc, &sc, Lod::Paragraph, Measure::Qic, 128, 1.5).unwrap(),
-        &TransferConfig { alpha: 0.0, seed: 3, ..Default::default() },
+        &TransferConfig {
+            alpha: 0.0,
+            seed: 3,
+            ..Default::default()
+        },
     );
     let stopped = run_transfer(
         LiveServer::new(&doc, &sc, Lod::Paragraph, Measure::Qic, 128, 1.5).unwrap(),
-        &TransferConfig { alpha: 0.0, seed: 3, stop_at_content: Some(0.3), ..Default::default() },
+        &TransferConfig {
+            alpha: 0.0,
+            seed: 3,
+            stop_at_content: Some(0.3),
+            ..Default::default()
+        },
     );
     assert!(full.completed && !stopped.completed && stopped.stopped_early);
     assert!(

@@ -10,7 +10,11 @@ use mrtweb::sim::experiments::Scale;
 use mrtweb::sim::params::Params;
 
 fn scale() -> Scale {
-    Scale { docs: 40, reps: 4, max_rounds: 80 }
+    Scale {
+        docs: 40,
+        reps: 4,
+        max_rounds: 80,
+    }
 }
 
 #[test]
@@ -23,7 +27,10 @@ fn figure2_linearity_claim() {
         let n100 = min_cooked_packets(100, alpha, 0.95).unwrap() as f64;
         let slope_a = (n50 - n10) / 40.0;
         let slope_b = (n100 - n50) / 50.0;
-        assert!((slope_a - slope_b).abs() / slope_b < 0.25, "nonlinear at alpha={alpha}");
+        assert!(
+            (slope_a - slope_b).abs() / slope_b < 0.25,
+            "nonlinear at alpha={alpha}"
+        );
     }
 }
 
@@ -65,17 +72,26 @@ fn figure4_claims() {
     // error rate of the channel is high."
     let nc_high = run(CacheMode::NoCaching, 0.5, 1.3);
     let c_high = run(CacheMode::Caching, 0.5, 1.3);
-    assert!(c_high * 3.0 < nc_high, "caching {c_high:.1}s vs nocaching {nc_high:.1}s");
+    assert!(
+        c_high * 3.0 < nc_high,
+        "caching {c_high:.1}s vs nocaching {nc_high:.1}s"
+    );
     // "γ = 1.5 is a good choice … for a small to moderate error rate, or
     // when caching is enabled": response near the higher-γ plateau.
     let c15 = run(CacheMode::Caching, 0.3, 1.5);
     let c25 = run(CacheMode::Caching, 0.3, 2.5);
-    assert!(c15 < c25 * 1.25, "γ=1.5 ({c15:.2}s) should be near the γ=2.5 plateau ({c25:.2}s)");
+    assert!(
+        c15 < c25 * 1.25,
+        "γ=1.5 ({c15:.2}s) should be near the γ=2.5 plateau ({c25:.2}s)"
+    );
     // "Only when caching is disabled and α is over 0.3 will we require γ
     // to be increased, perhaps up to a value of 2."
     let nc_low_gamma = run(CacheMode::NoCaching, 0.4, 1.5);
     let nc_gamma2 = run(CacheMode::NoCaching, 0.4, 2.0);
-    assert!(nc_gamma2 < nc_low_gamma, "raising γ must rescue NoCaching at α=0.4");
+    assert!(
+        nc_gamma2 < nc_low_gamma,
+        "raising γ must rescue NoCaching at α=0.4"
+    );
 }
 
 #[test]
@@ -124,7 +140,10 @@ fn figure5_claims() {
     assert!(f02 < f05 && f05 < f08, "response grows with F");
     // Flattening near the end: the last 20% of F costs less than the
     // middle 30%.
-    assert!(f10 - f08 < f08 - f05, "tail should flatten: {f05:.2} {f08:.2} {f10:.2}");
+    assert!(
+        f10 - f08 < f08 - f05,
+        "tail should flatten: {f05:.2} {f08:.2} {f10:.2}"
+    );
 }
 
 #[test]
@@ -150,7 +169,10 @@ fn figure6_claims() {
         let sec = time_at(Lod::Section, 0.2, alpha);
         let sub = time_at(Lod::Subsection, 0.2, alpha);
         let par = time_at(Lod::Paragraph, 0.2, alpha);
-        assert!(par < sub && sub < sec && sec < doc, "LOD ordering broken at alpha={alpha}");
+        assert!(
+            par < sub && sub < sec && sec < doc,
+            "LOD ordering broken at alpha={alpha}"
+        );
         let improvement = doc / par;
         assert!(
             improvement > 1.25 && improvement < 1.8,
@@ -181,9 +203,15 @@ fn figure7_claims() {
     // "the higher the skewed factor δ, the more improvement."
     let low = improvement(2.0, 0.2);
     let high = improvement(5.0, 0.2);
-    assert!(high > low, "δ=5 improvement {high:.2} should exceed δ=2 {low:.2}");
+    assert!(
+        high > low,
+        "δ=5 improvement {high:.2} should exceed δ=2 {low:.2}"
+    );
     // "the peak of improvement occurs when F = 0.1 or 0.2."
     let peak_zone = improvement(4.0, 0.2);
     let late = improvement(4.0, 0.8);
-    assert!(peak_zone > late, "improvement should peak early: {peak_zone:.2} vs {late:.2}");
+    assert!(
+        peak_zone > late,
+        "improvement should peak early: {peak_zone:.2} vs {late:.2}"
+    );
 }

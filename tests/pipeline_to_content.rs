@@ -36,19 +36,30 @@ fn generated_weights_correlate_with_computed_ic() {
         intended_order.sort_by(|&a, &b| g.paragraph_weights[b].total_cmp(&g.paragraph_weights[a]));
         let mut computed_order: Vec<usize> = (0..computed.len()).collect();
         computed_order.sort_by(|&a, &b| computed[b].total_cmp(&computed[a]));
-        let top_half: std::collections::HashSet<usize> =
-            computed_order[..computed.len() / 2].iter().copied().collect();
-        let agree = intended_order[..5].iter().filter(|i| top_half.contains(i)).count();
+        let top_half: std::collections::HashSet<usize> = computed_order[..computed.len() / 2]
+            .iter()
+            .copied()
+            .collect();
+        let agree = intended_order[..5]
+            .iter()
+            .filter(|i| top_half.contains(i))
+            .count();
         if agree >= 4 {
             hits += 1;
         }
     }
-    assert!(hits >= 7, "IC tracked intended weights in only {hits}/{trials} documents");
+    assert!(
+        hits >= 7,
+        "IC tracked intended weights in only {hits}/{trials} documents"
+    );
 }
 
 #[test]
 fn all_three_measures_normalize_on_generated_docs() {
-    let spec = SyntheticDocSpec { sections: 3, ..Default::default() };
+    let spec = SyntheticDocSpec {
+        sections: 3,
+        ..Default::default()
+    };
     for seed in 0..5 {
         let g = spec.generate(seed);
         let pipeline = ScPipeline::default();

@@ -7,16 +7,18 @@ use mrtweb::channel::gilbert::GilbertElliott;
 use mrtweb::channel::link::Link;
 use mrtweb::channel::loss::MaskLoss;
 use mrtweb::transport::plan::{TransmissionPlan, UnitSlice};
-use mrtweb::transport::session::{
-    download, CacheMode, Outcome, Relevance, SessionConfig,
-};
+use mrtweb::transport::session::{download, CacheMode, Outcome, Relevance, SessionConfig};
 
 fn doc_plan() -> TransmissionPlan {
     TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)])
 }
 
 fn bern_link(alpha: f64, seed: u64) -> Link<BernoulliChannel> {
-    Link::new(Bandwidth::from_kbps(19.2), BernoulliChannel::new(alpha, seed), seed)
+    Link::new(
+        Bandwidth::from_kbps(19.2),
+        BernoulliChannel::new(alpha, seed),
+        seed,
+    )
 }
 
 #[test]
@@ -43,10 +45,11 @@ fn response_time_is_monotone_in_alpha_caching() {
         let mut total = 0.0;
         for seed in 0..10 {
             let mut link = bern_link(alpha, seed);
-            let config =
-                SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
-            total += download(&doc_plan(), Relevance::relevant(), &config, &mut link)
-                .response_time;
+            let config = SessionConfig {
+                cache_mode: CacheMode::Caching,
+                ..Default::default()
+            };
+            total += download(&doc_plan(), Relevance::relevant(), &config, &mut link).response_time;
         }
         let mean = total / 10.0;
         assert!(
@@ -78,7 +81,10 @@ fn caching_dominates_nocaching_statistically() {
             };
             ca += download(&doc_plan(), Relevance::relevant(), &cfg, &mut link).response_time;
         }
-        assert!(ca <= nc, "alpha={alpha}: caching {ca:.1}s vs nocaching {nc:.1}s");
+        assert!(
+            ca <= nc,
+            "alpha={alpha}: caching {ca:.1}s vs nocaching {nc:.1}s"
+        );
     }
 }
 
@@ -99,7 +105,10 @@ fn more_redundancy_never_slows_relevant_downloads_under_caching() {
             times.push(download(&doc_plan(), Relevance::relevant(), &cfg, &mut link).response_time);
         }
         for w in times.windows(2) {
-            assert!(w[1] <= w[0] + 1.0, "gamma increase should not badly hurt: {times:?}");
+            assert!(
+                w[1] <= w[0] + 1.0,
+                "gamma increase should not badly hurt: {times:?}"
+            );
         }
     }
 }
@@ -111,7 +120,10 @@ fn exact_worst_case_erasure_pattern_still_completes() {
     let mut mask = vec![true; 40];
     mask.extend(vec![false; 40]);
     let mut link = Link::new(Bandwidth::from_kbps(19.2), MaskLoss::new(mask), 0);
-    let cfg = SessionConfig { gamma: 2.0, ..Default::default() };
+    let cfg = SessionConfig {
+        gamma: 2.0,
+        ..Default::default()
+    };
     let r = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
     assert_eq!(r.outcome, Outcome::Completed);
     assert_eq!(r.rounds, 1);
@@ -125,7 +137,10 @@ fn bursty_channel_with_equal_rate_behaves_comparably() {
     // per round but Caching keeps both bounded. This pins the ablation
     // rather than a strict ordering.
     let plan = doc_plan();
-    let cfg = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+    let cfg = SessionConfig {
+        cache_mode: CacheMode::Caching,
+        ..Default::default()
+    };
     let mut bern = 0.0;
     let mut burst = 0.0;
     for seed in 0..15 {
@@ -154,7 +169,10 @@ fn irrelevant_threshold_sweep_is_monotone() {
         let mut total = 0.0;
         for seed in 0..10 {
             let mut link = bern_link(0.1, seed);
-            let cfg = SessionConfig { cache_mode: CacheMode::Caching, ..Default::default() };
+            let cfg = SessionConfig {
+                cache_mode: CacheMode::Caching,
+                ..Default::default()
+            };
             total += download(&plan, Relevance::irrelevant(f), &cfg, &mut link).response_time;
         }
         let mean = total / 10.0;
@@ -168,9 +186,7 @@ fn failed_outcome_reports_partial_content() {
     let mut link = Link::new(
         Bandwidth::from_kbps(19.2),
         // Corrupt everything after the first 10 packets, forever.
-        MaskLoss::new(
-            (0..100_000usize).map(|i| i >= 10).collect::<Vec<bool>>(),
-        ),
+        MaskLoss::new((0..100_000usize).map(|i| i >= 10).collect::<Vec<bool>>()),
         0,
     );
     let cfg = SessionConfig {
@@ -180,5 +196,9 @@ fn failed_outcome_reports_partial_content() {
     };
     let r = download(&doc_plan(), Relevance::relevant(), &cfg, &mut link);
     assert_eq!(r.outcome, Outcome::Failed);
-    assert!(r.content > 0.0 && r.content < 1.0, "partial content {}", r.content);
+    assert!(
+        r.content > 0.0 && r.content < 1.0,
+        "partial content {}",
+        r.content
+    );
 }

@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion` (no network in this build
+//! environment). Implements the harness subset the workspace's
+//! `harness = false` benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, byte throughput reporting,
+//! and `final_summary`. Timing is a plain warm-up + calibrated-batch
+//! loop over `Instant` — no statistics engine — which is adequate for
+//! the relative before/after comparisons recorded in this repository.
+//!
+//! Quick mode (`--quick` argument or `MRTWEB_BENCH_QUICK=1`) cuts the
+//! measurement budget ~50× so CI smoke runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement, kept so harness binaries can export
+/// machine-readable summaries (e.g. `BENCH_erasure.json`) without
+/// re-running the workload.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name passed to `benchmark_group`.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Bytes processed per iteration, when a byte throughput was set.
+    pub bytes_per_iter: Option<u64>,
+    /// Derived MiB/s, when a byte throughput was set.
+    pub mib_per_s: Option<f64>,
+}
+
+/// Top-level harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var_os("MRTWEB_BENCH_QUICK").is_some(),
+            filter: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--quick`, and a free-form
+    /// substring filter like the real crate's positional FILTER).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => self.quick = true,
+                // Cargo's libtest pass-through flags; ignore.
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\n{name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            quick: self.quick,
+            filter: self.filter.clone(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Prints the closing summary (no-op beyond a newline here).
+    pub fn final_summary(&self) {
+        eprintln!();
+    }
+
+    /// Whether quick mode is active (`--quick` / `MRTWEB_BENCH_QUICK`).
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Measurements recorded so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+}
+
+/// Unit used to convert time per iteration into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"<name>/<parameter>"`, like the real crate.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    quick: bool,
+    filter: Option<String>,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Shrinks/extends the sample budget (accepted for API parity).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Adjusts the measurement window (accepted for API parity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+    }
+
+    /// Runs one benchmark closure with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Closes the group (separator line only; measurements print live).
+    pub fn finish(self) {
+        eprintln!();
+    }
+
+    fn run(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{name}", self.group);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(self.quick);
+        f(&mut bencher);
+        let Some(ns) = bencher.ns_per_iter else {
+            return;
+        };
+        let mut line = format!("  {full:<40} {:>12} ns/iter", group_digits(ns));
+        let mut bytes_per_iter = None;
+        let mut mib_per_s = None;
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            bytes_per_iter = Some(bytes);
+            if ns > 0.0 {
+                let mib_s = bytes as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+                mib_per_s = Some(mib_s);
+                line.push_str(&format!("  {mib_s:>10.1} MiB/s"));
+            }
+        }
+        if let Some(Throughput::Elements(elems)) = self.throughput {
+            if ns > 0.0 {
+                let per_s = elems as f64 / (ns * 1e-9);
+                line.push_str(&format!("  {per_s:>12.0} elem/s"));
+            }
+        }
+        eprintln!("{line}");
+        self.criterion.records.push(BenchRecord {
+            group: self.group.clone(),
+            name: name.to_string(),
+            ns_per_iter: ns,
+            bytes_per_iter,
+            mib_per_s,
+        });
+    }
+}
+
+fn group_digits(ns: f64) -> String {
+    let raw = format!("{:.0}", ns);
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, ch) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    fn new(quick: bool) -> Self {
+        Bencher {
+            quick,
+            ns_per_iter: None,
+        }
+    }
+
+    /// Measures `routine`: warm up, calibrate a batch size that runs
+    /// long enough to trust `Instant`, then time a few batches and keep
+    /// the fastest (least-noise) estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (warmup, target_batch_ns, rounds) = if self.quick {
+            (Duration::from_millis(10), 2_000_000.0, 2)
+        } else {
+            (Duration::from_millis(300), 50_000_000.0, 5)
+        };
+
+        // Warm-up: fill caches, trigger lazy init, estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        let batch = ((target_batch_ns / est_ns.max(1.0)).ceil() as u64).max(1);
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.ns_per_iter = Some(best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("MRTWEB_BENCH_QUICK", "1");
+        let mut b = Bencher::new(true);
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("enc", 42).to_string(), "enc/42");
+    }
+}

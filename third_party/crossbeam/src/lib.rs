@@ -1,0 +1,109 @@
+//! Offline stand-in for `crossbeam` (no network in this build
+//! environment). Provides the `channel` module over `std::sync::mpsc`
+//! with crossbeam's unified `Sender`/`Receiver` types, plus `scope`
+//! forwarding to `std::thread::scope`. MPMC cloning of receivers is not
+//! reproduced — the workspace uses single-consumer channels only.
+
+/// Multi-producer channels, mirroring `crossbeam::channel` (subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel; unifies bounded and unbounded flavours.
+    pub enum Sender<T> {
+        /// Backed by a rendezvous/bounded `SyncSender`.
+        Bounded(mpsc::SyncSender<T>),
+        /// Backed by an unbounded `Sender`.
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over received values; ends on disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::scope` on top of the (since
+/// Rust 1.63) equivalent `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn unbounded_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

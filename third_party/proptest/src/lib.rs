@@ -1,0 +1,529 @@
+//! Offline stand-in for `proptest` (no network in this build
+//! environment). Implements the subset the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, `any::<T>()`, [`Just`],
+//! range and tuple strategies, `collection::vec`, `option::of`,
+//! string-from-mini-regex strategies, `prop_oneof!`, and the
+//! [`proptest!`] macro with `prop_assert*`/`prop_assume!`.
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! raw generated case via the panic message) and a fixed deterministic
+//! RNG seeded per test name, so every run explores the same cases.
+//! `PROPTEST_CASES` overrides the case count like upstream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator; each test gets one seeded from its name.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Generator of values of one type, mirroring `proptest::strategy::Strategy`.
+///
+/// Object-safe: `generate` takes no generic parameters, so strategies
+/// can be boxed for heterogeneous unions (`prop_oneof!`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy that post-processes generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy for heterogeneous composition.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy yielding one fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives; target of `prop_oneof!`.
+pub struct OneOf<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union; panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        OneOf { alternatives }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.alternatives.len() as u64) as usize;
+        self.alternatives[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy backing `any::<int>()`.
+pub struct FullInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Strategy for FullInt<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // Bias towards structure-revealing edge values now
+                    // and then, like the real crate's integer strategy.
+                    match rng.below(16) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullInt<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullInt { _marker: std::marker::PhantomData }
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy backing `any::<bool>()`.
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        AnyBool
+    }
+}
+
+/// Strategy backing `any::<f64>()` (finite values only).
+pub struct AnyF64;
+
+impl Strategy for AnyF64 {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Spread across magnitudes; keep finite so tests never trip on
+        // NaN comparisons the real crate also avoids by default.
+        let mag = rng.below(61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * rng.unit_f64() * 2f64.powi(mag)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyF64;
+    fn arbitrary() -> Self::Strategy {
+        AnyF64
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    start + rng.below(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    start + (rng.unit_f64() as $t) * (end - start)
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Collection strategies, mirroring `proptest::collection` (subset).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for variable-length `Vec`s.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s with length drawn from `size` and elements
+    /// from `element`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies, mirroring `proptest::option` (subset).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option`s biased towards `Some` (3:1, like upstream).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps a strategy to also produce `None`, mirroring
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+mod regex_gen;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+/// Per-run configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+    /// Accepted for API parity; shrinking is not implemented here.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override, like upstream.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Builds the deterministic per-test generator from the test's name.
+pub fn test_rng(name: &str) -> TestRng {
+    // FNV-1a keeps distinct test names on distinct streams.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(hash)
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests; see the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = $crate::resolve_cases(config.cases);
+                let mut rng = $crate::test_rng(stringify!($name));
+                for __case in 0..cases {
+                    // Result lets prop_assume! discard a case by
+                    // early-returning without aborting the test.
+                    let __outcome: ::std::result::Result<(), ()> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with possibly different concrete
+/// types; mirrors `proptest::prop_oneof!` (unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($alt)),+])
+    };
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discards the current case when the precondition fails, mirroring
+/// `prop_assume!`. Only valid inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = crate::test_rng("bounds");
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let v = collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2u32)].prop_map(|x| x * 10);
+        let mut rng = crate::test_rng("oneof");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0usize..100, flag in any::<bool>(), s in "[a-z]{2,4}") {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert_ne!(x, 13);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Mini regex-driven string generator backing `&'static str`
+//! strategies, mirroring proptest's string strategy for the pattern
+//! subset this workspace uses: literal characters, character classes
+//! with ranges (`[a-zA-Z0-9<>&'"]`), groups, `{m,n}`/`{n}` repetition,
+//! and the `\PC` escape ("any non-control character").
+//!
+//! Patterns are parsed on every generation; they are tiny, and this
+//! keeps the strategy type a plain `&'static str` with no cache state.
+
+use crate::TestRng;
+
+/// One repeatable element of the pattern.
+enum Node {
+    /// A fixed character.
+    Lit(char),
+    /// Choice among an explicit set of characters.
+    Class(Vec<char>),
+    /// Choice from the printable pool (`\PC`).
+    Printable,
+    /// A parenthesized sub-pattern.
+    Group(Vec<(Node, u32, u32)>),
+}
+
+/// Pool for `\PC`: printable ASCII plus multibyte characters so UTF-8
+/// handling gets exercised (all outside Unicode category C).
+const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', '中', '→', '😀'];
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset — a property test
+/// author error, caught on the test's first run.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    let nodes = parse_sequence(&mut chars, false);
+    assert!(chars.is_empty(), "unbalanced ')' in pattern {pattern:?}");
+    let mut out = String::new();
+    emit_sequence(&nodes, rng, &mut out);
+    out
+}
+
+fn parse_sequence(rest: &mut Vec<char>, in_group: bool) -> Vec<(Node, u32, u32)> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = rest.last() {
+        match c {
+            ')' => {
+                assert!(in_group, "stray ')' in pattern");
+                return nodes;
+            }
+            '(' => {
+                rest.pop();
+                let inner = parse_sequence(rest, true);
+                assert_eq!(rest.pop(), Some(')'), "unclosed '(' in pattern");
+                let (min, max) = parse_quantifier(rest);
+                nodes.push((Node::Group(inner), min, max));
+            }
+            '[' => {
+                rest.pop();
+                let class = parse_class(rest);
+                let (min, max) = parse_quantifier(rest);
+                nodes.push((Node::Class(class), min, max));
+            }
+            '\\' => {
+                rest.pop();
+                let node = parse_escape(rest);
+                let (min, max) = parse_quantifier(rest);
+                nodes.push((node, min, max));
+            }
+            _ => {
+                rest.pop();
+                let (min, max) = parse_quantifier(rest);
+                nodes.push((Node::Lit(c), min, max));
+            }
+        }
+    }
+    assert!(!in_group, "unclosed '(' in pattern");
+    nodes
+}
+
+fn parse_escape(rest: &mut Vec<char>) -> Node {
+    match rest.pop() {
+        Some('P') => {
+            // Only the \PC ("not category C", i.e. printable) form is
+            // used in this workspace.
+            assert_eq!(rest.pop(), Some('C'), "unsupported \\P class");
+            Node::Printable
+        }
+        Some(c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '+' | '*' | '?' | '|')) => {
+            Node::Lit(c)
+        }
+        Some('n') => Node::Lit('\n'),
+        Some('t') => Node::Lit('\t'),
+        other => panic!("unsupported escape \\{other:?}"),
+    }
+}
+
+fn parse_class(rest: &mut Vec<char>) -> Vec<char> {
+    let mut class = Vec::new();
+    loop {
+        let c = rest.pop().expect("unclosed '[' in pattern");
+        match c {
+            ']' => break,
+            '\\' => class.push(rest.pop().expect("dangling escape in class")),
+            _ => {
+                if rest.last() == Some(&'-') && rest.get(rest.len().wrapping_sub(2)) != Some(&']') {
+                    rest.pop(); // the '-'
+                    let hi = rest.pop().expect("unclosed range in class");
+                    assert!(c <= hi, "inverted range {c}-{hi} in class");
+                    for code in c as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(code) {
+                            class.push(ch);
+                        }
+                    }
+                } else {
+                    class.push(c);
+                }
+            }
+        }
+    }
+    assert!(!class.is_empty(), "empty character class");
+    class
+}
+
+fn parse_quantifier(rest: &mut Vec<char>) -> (u32, u32) {
+    match rest.last() {
+        Some('{') => {
+            rest.pop();
+            let mut min_digits = String::new();
+            let mut max_digits = String::new();
+            let mut in_max = false;
+            loop {
+                match rest.pop().expect("unclosed '{' in pattern") {
+                    '}' => break,
+                    ',' => in_max = true,
+                    d if d.is_ascii_digit() => {
+                        if in_max {
+                            max_digits.push(d);
+                        } else {
+                            min_digits.push(d);
+                        }
+                    }
+                    other => panic!("bad quantifier character {other:?}"),
+                }
+            }
+            let min: u32 = min_digits.parse().expect("quantifier needs a minimum");
+            let max: u32 = if in_max {
+                max_digits.parse().expect("open-ended {m,} not supported")
+            } else {
+                min
+            };
+            assert!(min <= max, "inverted quantifier {{{min},{max}}}");
+            (min, max)
+        }
+        Some('?') => {
+            rest.pop();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_sequence(nodes: &[(Node, u32, u32)], rng: &mut TestRng, out: &mut String) {
+    for (node, min, max) in nodes {
+        let span = (*max - *min + 1) as u64;
+        let reps = *min + rng.below(span) as u32;
+        for _ in 0..reps {
+            emit_node(node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(chars) => {
+            out.push(chars[rng.below(chars.len() as u64) as usize]);
+        }
+        Node::Printable => {
+            let pool = 95 + PRINTABLE_EXTRA.len() as u64;
+            let pick = rng.below(pool);
+            if pick < 95 {
+                out.push(char::from(b' ' + pick as u8));
+            } else {
+                out.push(PRINTABLE_EXTRA[(pick - 95) as usize]);
+            }
+        }
+        Node::Group(inner) => emit_sequence(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(99)
+    }
+
+    #[test]
+    fn word_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{3,8}", &mut r);
+            assert!((3..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn grouped_phrase_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{3,8}( [a-z]{3,8}){0,2}", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            assert!(words.iter().all(|w| (3..=8).contains(&w.len())));
+        }
+    }
+
+    #[test]
+    fn class_with_specials_and_quote() {
+        let mut r = rng();
+        let allowed: Vec<char> = ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain("<>&'\"".chars())
+            .collect();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9<>&'\"]{1,10}", &mut r);
+            assert!((1..=10).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut r = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = generate("\\PC{0,64}", &mut r);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_non_ascii |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_non_ascii, "pool should include multibyte characters");
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for `rand` 0.9 (no network in this build
+//! environment). Implements the subset the workspace uses:
+//! `rngs::StdRng` + `SeedableRng::seed_from_u64`, the `Rng` extension
+//! methods `random_range` / `random_bool`, and
+//! `seq::SliceRandom::shuffle`. The generator is SplitMix64 — not the
+//! ChaCha12 of the real `StdRng`, so streams differ from upstream, but
+//! every simulation in this workspace seeds explicitly and only needs
+//! determinism, not a particular stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source, mirroring `rand_core::RngCore` (subset).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng` (subset).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, like the real crate.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seeding constructor, mirroring `rand::SeedableRng` (subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps 64 random bits to a float uniform in [0, 1).
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits give the densest uniform grid representable in f64.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range types that can be sampled, mirroring `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    // Multiply-shift bounded sampling; the slight modulo
+                    // bias is irrelevant for simulation-scale spans.
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start + draw as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every draw is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    start + draw as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_range {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    start + (unit_f64(rng.next_u64()) as $t) * (end - start)
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (xorshift128+ over SplitMix64-expanded seeds).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift128+ (Vigna): two words of state so nearby seeds
+            // decorrelate after the SplitMix64 expansion below.
+            let mut x = self.s0;
+            let y = self.s1;
+            self.s0 = y;
+            x ^= x << 23;
+            self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+            self.s1.wrapping_add(y)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand through SplitMix64 like rand's own seed_from_u64,
+            // so sequential seeds land on unrelated streams.
+            let mut st = seed;
+            let s0 = splitmix(&mut st);
+            let s1 = splitmix(&mut st);
+            StdRng { s0, s1: s1 | 1 }
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq` (subset).
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffle support for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let span = (i + 1) as u64;
+                let j = ((rng.next_u64() as u128 * span as u128) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_and_bounds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = a.random_range(0..17);
+            assert_eq!(x, b.random_range(0..17));
+            assert!(x < 17);
+            let f: f64 = a.random_range(1.0..=3.0);
+            assert!((1.0..=3.0).contains(&f));
+            b.random_range::<f64, _>(1.0..=3.0);
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

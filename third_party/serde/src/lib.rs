@@ -1,0 +1,70 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! vendored registry, so the real `serde` cannot be fetched. The codebase
+//! only uses `#[derive(Serialize, Deserialize)]` as forward-looking markers
+//! (no serializer crate such as `serde_json` is in the dependency graph),
+//! so this stub provides the two traits as empty markers plus no-op derive
+//! macros. Swapping the real serde back in is a one-line change in the
+//! workspace `[patch.crates-io]` table.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Carries no methods: nothing in this workspace serializes through serde
+/// at runtime; the derive exists so the data model is serde-ready.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::ser` with the stub trait.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirror of `serde::de` with the stub traits.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<T: Serialize> Serialize for std::ops::Range<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::ops::Range<T> {}
