@@ -27,8 +27,14 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> workspace tests"
-cargo test --workspace -q
+echo "==> workspace tests (PROPTEST_CASES=${PROPTEST_CASES:-192})"
+PROPTEST_CASES="${PROPTEST_CASES:-192}" cargo test --workspace -q
+
+echo "==> fault-injection matrix (8 scenarios x 3 seeds)"
+for seed in 1 2 3; do
+  target/release/mrtweb faultrun --all --seed "$seed" \
+    | grep -E '^(PASS|FAIL)' | sed "s/^/    /"
+done
 
 if [ "$run_bench" -eq 1 ]; then
   echo "==> bench smoke (quick mode): erasure_codec -> BENCH_erasure.json"

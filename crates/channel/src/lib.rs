@@ -39,6 +39,7 @@ pub mod bandwidth;
 pub mod bernoulli;
 pub mod clock;
 pub mod ewma;
+pub mod fault;
 pub mod gilbert;
 pub mod link;
 pub mod loss;

@@ -227,6 +227,39 @@ pub fn render_improvement(points: &[ImprovementPoint], figure_name: &str) -> Str
     out
 }
 
+/// Formats an `f64` as a JSON number, or `null` when it is not finite.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes improvement points (Experiments 3 and 4, Figures 6 and 7)
+/// as a JSON array — one object per line, mean times only — for the
+/// golden-fixture tests.
+pub fn improvement_points_json(points: &[ImprovementPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"alpha\": {}, \"skew\": {}, \"lod\": \"{}\", \"f\": {}, \
+             \"improvement\": {}, \"lod_time\": {}, \"document_time\": {}}}",
+            json_f64(p.alpha),
+            json_f64(p.skew),
+            p.lod.name(),
+            json_f64(p.f),
+            json_f64(p.improvement),
+            json_f64(p.lod_time.mean),
+            json_f64(p.document_time.mean),
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,33 @@ pub fn render_table1() -> String {
     build_table1().render_table()
 }
 
+/// Serializes the regenerated Table 1 as a JSON array — one object per
+/// organizational unit with its IC, QIC, MQIC and size — for the
+/// golden-fixture tests.
+pub fn table1_json() -> String {
+    use std::fmt::Write as _;
+
+    let sc = build_table1();
+    let entries = sc.entries();
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"path\": \"{}\", \"kind\": \"{}\", \"bytes\": {}, \
+             \"ic\": {}, \"qic\": {}, \"mqic\": {}}}",
+            e.path,
+            e.kind.name(),
+            e.bytes,
+            crate::figures::json_f64(e.ic),
+            crate::figures::json_f64(e.qic),
+            crate::figures::json_f64(e.mqic),
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

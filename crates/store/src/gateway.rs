@@ -159,7 +159,8 @@ mod tests {
                 seed: 5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(report.completed);
         let text = String::from_utf8_lossy(&report.payload);
         assert!(text.contains("mobile wireless browsing"));

@@ -1,0 +1,114 @@
+//! Property tests rotting dispersed blobs at rest.
+//!
+//! `decode_dispersed` promises: per-packet CRC-32 screening, groups
+//! reconstructing from any `M` intact packets, typed errors (never
+//! panics) below that — for arbitrary payloads, geometry, and damage
+//! patterns.
+
+use proptest::prelude::*;
+
+use mrtweb_store::codec::{decode_dispersed, encode_dispersed};
+
+/// Byte offsets of the `i`-th packet record of group `g` in the blob.
+/// Layout: 29-byte header, then per group 4 bytes of length plus `n`
+/// records of `packet_size + 4` (packet ‖ crc32).
+fn record_range(g: usize, p: usize, n: usize, packet_size: usize) -> std::ops::Range<usize> {
+    let record = packet_size + 4;
+    let start = 29 + g * (4 + n * record) + 4 + p * record;
+    start..start + record
+}
+
+proptest! {
+    /// Damaging up to `N - M` packets per group never changes the
+    /// decoded bytes; damaging more fails with a typed error.
+    #[test]
+    fn rot_below_margin_is_invisible_above_fails(
+        m in 1usize..8,
+        extra in 0usize..6,
+        packet_size in 8usize..64,
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        rot_per_group in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let blob = encode_dispersed(&data, m, n, packet_size).unwrap();
+        let record = packet_size + 4;
+        let n_groups = (blob.len() - 29) / (4 + n * record);
+        let rot = rot_per_group.min(n);
+
+        let mut rotted = blob.clone();
+        let mut state = seed | 1;
+        for g in 0..n_groups {
+            // Rot `rot` distinct packets of this group.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                idx.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            for &p in idx.iter().take(rot) {
+                let r = record_range(g, p, n, packet_size);
+                // Flip one payload byte: CRC-32 must catch it.
+                rotted[r.start + (state as usize % packet_size)] ^= 0x01;
+            }
+        }
+
+        match decode_dispersed(&rotted) {
+            Ok(decoded) => {
+                prop_assert!(rot <= n - m, "decode passed with {} > N-M={} rotted", rot, n - m);
+                prop_assert_eq!(decoded, data);
+            }
+            Err(_) => {
+                prop_assert!(rot > n - m, "decode failed with only {} ≤ N-M={} rotted", rot, n - m);
+            }
+        }
+    }
+
+    /// Rotting a stored CRC (rather than the packet) equally disables
+    /// only that packet; the blob still decodes while ≥ M survive.
+    #[test]
+    fn crc_rot_is_equivalent_to_packet_rot(
+        m in 1usize..6,
+        extra in 1usize..6,
+        packet_size in 8usize..48,
+        data in proptest::collection::vec(any::<u8>(), 1..1000),
+        seed in any::<u64>(),
+    ) {
+        let n = m + extra;
+        let blob = encode_dispersed(&data, m, n, packet_size).unwrap();
+        let record = packet_size + 4;
+        let n_groups = (blob.len() - 29) / (4 + n * record);
+        let victim = seed as usize % n;
+        let mut rotted = blob.clone();
+        for g in 0..n_groups {
+            let r = record_range(g, victim, n, packet_size);
+            // Damage the 4 stored CRC bytes only.
+            for b in &mut rotted[r.end - 4..r.end] {
+                *b ^= 0xFF;
+            }
+        }
+        let decoded = decode_dispersed(&rotted).unwrap();
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// Arbitrary byte-garbage input never panics the decoder.
+    #[test]
+    fn hostile_input_fails_cleanly(
+        garbage in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = decode_dispersed(&garbage);
+    }
+
+    /// Truncating a valid blob anywhere fails cleanly.
+    #[test]
+    fn truncation_fails_cleanly(
+        m in 1usize..5,
+        extra in 0usize..4,
+        data in proptest::collection::vec(any::<u8>(), 1..600),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let n = m + extra;
+        let blob = encode_dispersed(&data, m, n, 16).unwrap();
+        let cut = ((blob.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(decode_dispersed(&blob[..cut]).is_err());
+    }
+}

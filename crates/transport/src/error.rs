@@ -1,0 +1,44 @@
+//! Typed errors for the live transport.
+//!
+//! The fault-injection harness drives [`crate::live::run_transfer`]
+//! through deliberately hostile schedules; failure paths that were
+//! acceptable panics under benign unit tests (a malformed header, a
+//! poisoned server thread) become recoverable, reportable errors here.
+
+use std::fmt;
+
+/// Errors surfaced by the live transfer machinery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The erasure codec rejected the transmission header (inconsistent
+    /// `M`/`N`/packet-size) or failed to decode.
+    Codec(mrtweb_erasure::Error),
+    /// The server thread panicked mid-transfer; the transfer state is
+    /// unrecoverable.
+    ServerPanicked,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(e) => write!(f, "erasure codec error: {e}"),
+            Error::ServerPanicked => write!(f, "server thread panicked mid-transfer"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Codec(e) => Some(e),
+            Error::ServerPanicked => None,
+        }
+    }
+}
+
+impl From<mrtweb_erasure::Error> for Error {
+    fn from(e: mrtweb_erasure::Error) -> Self {
+        Error::Codec(e)
+    }
+}

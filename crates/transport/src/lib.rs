@@ -28,6 +28,7 @@
 pub mod adaptive;
 pub mod arq;
 pub mod compress;
+pub mod error;
 pub mod intuition;
 pub mod live;
 pub mod plan;

@@ -20,6 +20,7 @@ use std::thread;
 
 use mrtweb_channel::bandwidth::Bandwidth;
 use mrtweb_channel::bernoulli::BernoulliChannel;
+use mrtweb_channel::fault::{FaultConfig, FaultEvent, FaultyLink};
 use mrtweb_channel::link::Link;
 use mrtweb_content::sc::{Measure, StructuralCharacteristic};
 use mrtweb_docmodel::document::Document;
@@ -29,6 +30,7 @@ use mrtweb_erasure::packet::Frame;
 use mrtweb_erasure::par::{default_threads, encode_into_parallel};
 use mrtweb_erasure::Error;
 
+use crate::error::Error as TransportError;
 use crate::plan::{plan_document, TransmissionPlan};
 use crate::receiver::ReceiverState;
 use crate::session::CacheMode;
@@ -157,9 +159,17 @@ impl LiveServer {
     ///
     /// # Panics
     ///
-    /// Panics if `index ≥ N`.
+    /// Panics if `index ≥ N`; use [`LiveServer::try_frame`] on routes
+    /// where the index comes off the (faultable) wire.
     pub fn frame(&self, index: usize) -> Vec<u8> {
         self.wire_frames[index].clone()
+    }
+
+    /// Like [`LiveServer::frame`], but `None` for an out-of-range index
+    /// instead of panicking — the server loop's defense against a
+    /// request mangled in flight.
+    pub fn try_frame(&self, index: usize) -> Option<Vec<u8>> {
+        self.wire_frames.get(index).cloned()
     }
 }
 
@@ -312,6 +322,12 @@ pub struct TransferReport {
     pub payload: Vec<u8>,
     /// Rendering events in order of occurrence.
     pub events: Vec<ClientEvent>,
+    /// Retransmission request sets in round order (Caching: the missing
+    /// packets; NoCaching: full reloads). Empty if no round stalled.
+    pub requests: Vec<Vec<usize>>,
+    /// The fault scheduler's replayable trace (empty without injected
+    /// faults).
+    pub fault_events: Vec<FaultEvent>,
 }
 
 /// Parameters for [`run_transfer`].
@@ -328,6 +344,10 @@ pub struct TransferConfig {
     pub stop_at_content: Option<f64>,
     /// Retry budget in rounds.
     pub max_rounds: usize,
+    /// Optional scheduled fault injection layered over the link's own
+    /// Bernoulli corruption (drops, duplication, reordering, garbling,
+    /// outages — see [`FaultConfig`]).
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for TransferConfig {
@@ -338,6 +358,7 @@ impl Default for TransferConfig {
             cache_mode: CacheMode::Caching,
             stop_at_content: None,
             max_rounds: 64,
+            fault: None,
         }
     }
 }
@@ -349,10 +370,15 @@ impl Default for TransferConfig {
 /// cloning it to the client before the lossy data stream starts), as a
 /// real deployment would ship the structural characteristic first.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the server thread panics (poisoned transfer).
-pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferReport {
+/// [`TransportError::Codec`] if the header does not describe a valid
+/// codec; [`TransportError::ServerPanicked`] if the server thread dies
+/// mid-transfer.
+pub fn run_transfer(
+    server: LiveServer,
+    config: &TransferConfig,
+) -> Result<TransferReport, TransportError> {
     // A small bounded window models the link's in-flight capacity: the
     // server cannot run arbitrarily far ahead of the client, so a
     // "stop" takes effect after at most a few frames.
@@ -366,44 +392,62 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
     let alpha = config.alpha;
     let seed = config.seed;
     let max_rounds = config.max_rounds;
+    let fault_cfg = config.fault.clone().unwrap_or_else(FaultConfig::clean);
     let stats_server = Arc::clone(&stats);
 
-    let server_thread = thread::spawn(move || {
-        let mut link = Link::new(
+    // The thread returns the fault scheduler's trace so a failing
+    // schedule can be replayed exactly.
+    let server_thread = thread::spawn(move || -> Vec<FaultEvent> {
+        let link = Link::new(
             Bandwidth::from_kbps(19.2),
             BernoulliChannel::new(alpha, seed),
             seed ^ 1,
         );
+        let mut faulty = FaultyLink::new(link, fault_cfg, seed ^ 2);
         let mut to_send: Vec<usize> = (0..n).collect();
-        loop {
+        'rounds: loop {
             {
                 let mut s = stats_server.lock();
                 s.1 += 1;
                 if s.1 > max_rounds {
                     let _ = wire_tx.send(Wire::GaveUp);
-                    return;
+                    break 'rounds;
                 }
             }
             for &idx in &to_send {
-                let mut bytes = server.frame(idx);
-                link.send_bytes(&mut bytes);
+                // A request index mangled in flight must not crash the
+                // server; unknown packets are simply not served.
+                let Some(bytes) = server.try_frame(idx) else {
+                    continue;
+                };
                 stats_server.lock().0 += 1;
-                if wire_tx.send(Wire::Frame(bytes)).is_err() {
-                    return; // client hung up
+                for delivery in faulty.transmit(&bytes) {
+                    if wire_tx.send(Wire::Frame(delivery.bytes)).is_err() {
+                        break 'rounds; // client hung up
+                    }
+                }
+            }
+            // Nothing left on the wire this round: held (reordered)
+            // frames can no longer be overtaken.
+            for delivery in faulty.flush() {
+                if wire_tx.send(Wire::Frame(delivery.bytes)).is_err() {
+                    break 'rounds;
                 }
             }
             if wire_tx.send(Wire::RoundEnd).is_err() {
-                return;
+                break 'rounds;
             }
             match ctl_rx.recv() {
                 Ok(Control::Request(ids)) => to_send = ids,
-                Ok(Control::Done) | Err(_) => return,
+                Ok(Control::Done) | Err(_) => break 'rounds,
             }
         }
+        faulty.into_trace()
     });
 
-    let mut client = LiveClient::new(header).expect("header validated at server construction");
+    let mut client = LiveClient::new(header)?;
     let mut events = Vec::new();
+    let mut requests: Vec<Vec<usize>> = Vec::new();
     let mut completed = false;
     let mut stopped_early = false;
     let mut gave_up = false;
@@ -438,6 +482,7 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
                         (0..n).collect()
                     }
                 };
+                requests.push(request.clone());
                 let _ = ctl_tx.send(Control::Request(request));
             }
             Wire::GaveUp => {
@@ -450,11 +495,13 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
     // (mid-send or waiting on control), then join.
     drop(ctl_tx);
     drop(wire_rx);
-    server_thread.join().expect("server thread panicked");
+    let fault_events = server_thread
+        .join()
+        .map_err(|_| TransportError::ServerPanicked)?;
     let _ = gave_up;
 
     let (frames_sent, rounds) = *stats.lock();
-    TransferReport {
+    Ok(TransferReport {
         completed,
         stopped_early,
         rounds: rounds.min(max_rounds),
@@ -465,7 +512,9 @@ pub fn run_transfer(server: LiveServer, config: &TransferConfig) -> TransferRepo
             .map(<[u8]>::to_vec)
             .unwrap_or_default(),
         events,
-    }
+        requests,
+        fault_events,
+    })
 }
 
 #[cfg(test)]
@@ -497,6 +546,10 @@ mod tests {
         LiveServer::new(&doc, &sc, lod, Measure::Qic, 32, gamma).unwrap()
     }
 
+    fn try_run(srv: LiveServer, config: &TransferConfig) -> TransferReport {
+        run_transfer(srv, config).unwrap()
+    }
+
     #[test]
     fn clean_channel_reconstructs_exactly() {
         let srv = server(Lod::Paragraph, 1.5);
@@ -504,7 +557,7 @@ mod tests {
             let (doc, sc) = fixture();
             plan_document(&doc, &sc, Lod::Paragraph, Measure::Qic)
         };
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.0,
@@ -527,7 +580,7 @@ mod tests {
             let (doc, sc) = fixture();
             plan_document(&doc, &sc, Lod::Section, Measure::Qic)
         };
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.3,
@@ -546,7 +599,7 @@ mod tests {
     #[test]
     fn nocaching_also_completes() {
         let srv = server(Lod::Document, 1.5);
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.2,
@@ -561,7 +614,7 @@ mod tests {
     #[test]
     fn stop_button_interrupts_irrelevant_document() {
         let srv = server(Lod::Paragraph, 1.5);
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.0,
@@ -577,7 +630,7 @@ mod tests {
     #[test]
     fn progressive_rendering_is_monotone_per_slice() {
         let srv = server(Lod::Paragraph, 1.2);
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.0,
@@ -599,7 +652,7 @@ mod tests {
     fn qic_ordering_renders_matching_section_first() {
         let srv = server(Lod::Section, 1.5);
         let first_label = srv.header().plan.slices()[0].label.clone();
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.0,
@@ -629,7 +682,7 @@ mod tests {
             "packet size {}",
             srv.header().packet_size
         );
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 0.2,
@@ -643,7 +696,7 @@ mod tests {
     #[test]
     fn hopeless_channel_gives_up_at_budget() {
         let srv = server(Lod::Document, 1.0);
-        let report = run_transfer(
+        let report = try_run(
             srv,
             &TransferConfig {
                 alpha: 1.0,

@@ -1,0 +1,155 @@
+//! Property tests driving `session::download` through randomized fault
+//! schedules for both cache modes.
+//!
+//! The schedule space covers i.i.d. corruption, bursts, garbles, drops
+//! and short outage windows, over randomized protocol geometry
+//! `(M, γ, packet_size)`. The central invariant is the paper's §4.2
+//! caching argument: for the *identical* per-slot fate schedule,
+//! Caching completes at the M-th intact slot overall and therefore
+//! never transmits more packets than NoCaching.
+
+use proptest::prelude::*;
+
+use mrtweb_channel::bandwidth::Bandwidth;
+use mrtweb_channel::fault::{FaultConfig, ScheduledLoss};
+use mrtweb_channel::link::Link;
+use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
+use mrtweb_transport::session::{download, CacheMode, Outcome, Relevance, SessionConfig};
+
+/// Fault mixes gentle enough that Caching always completes: total
+/// damaging probability ≤ ~0.3, outages short and rare.
+fn fault_config_strategy() -> impl Strategy<Value = FaultConfig> {
+    (
+        0.0f64..0.12,
+        0.0f64..0.08,
+        0.0f64..0.04,
+        0.0f64..0.08,
+        0.0f64..0.01,
+    )
+        .prop_map(
+            |(p_flip, p_burst, p_garble, p_drop, p_outage_start)| FaultConfig {
+                p_flip,
+                p_burst,
+                p_garble,
+                p_drop,
+                p_outage_start,
+                p_outage_end: 0.25,
+                ..FaultConfig::clean()
+            },
+        )
+}
+
+fn run_mode(
+    cfg: &FaultConfig,
+    seed: u64,
+    mode: CacheMode,
+    bytes: usize,
+    packet_size: usize,
+    gamma: f64,
+) -> mrtweb_transport::session::DownloadReport {
+    let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", bytes, 1.0)]);
+    let mut link = Link::new(
+        Bandwidth::from_kbps(19.2),
+        ScheduledLoss::new(cfg.clone(), seed),
+        seed,
+    );
+    let config = SessionConfig {
+        packet_size,
+        gamma,
+        cache_mode: mode,
+        max_rounds: 4096,
+        ..Default::default()
+    };
+    download(&plan, Relevance::relevant(), &config, &mut link)
+}
+
+proptest! {
+    /// Caching always completes under moderate fault schedules, with
+    /// full content, at least M packets, and within the round budget.
+    #[test]
+    fn caching_completes_under_fault_schedules(
+        cfg in fault_config_strategy(),
+        seed in any::<u64>(),
+        bytes in 500usize..12_000,
+        packet_size in 32usize..512,
+        gamma in 1.5f64..2.5,
+    ) {
+        let r = run_mode(&cfg, seed, CacheMode::Caching, bytes, packet_size, gamma);
+        prop_assert_eq!(r.outcome, Outcome::Completed, "cfg={:?} seed={}", cfg, seed);
+        prop_assert!((r.content - 1.0).abs() < 1e-9);
+        prop_assert!(r.packets_sent >= r.m as u64);
+        prop_assert!(r.rounds <= 4096);
+        prop_assert!(r.n >= r.m);
+    }
+
+    /// For the identical fate schedule, Caching never transmits more
+    /// packets (nor takes longer) than NoCaching.
+    #[test]
+    fn caching_dominates_nocaching_on_identical_schedules(
+        cfg in fault_config_strategy(),
+        seed in any::<u64>(),
+        bytes in 500usize..12_000,
+        packet_size in 64usize..512,
+        gamma in 1.5f64..2.2,
+    ) {
+        let caching = run_mode(&cfg, seed, CacheMode::Caching, bytes, packet_size, gamma);
+        let nocaching = run_mode(&cfg, seed, CacheMode::NoCaching, bytes, packet_size, gamma);
+        // NoCaching needs M intact within a single round and may
+        // legitimately exhaust its budget; the comparison only makes
+        // sense when both completed.
+        prop_assume!(nocaching.outcome == Outcome::Completed);
+        prop_assert_eq!(caching.outcome, Outcome::Completed);
+        prop_assert!(
+            caching.packets_sent <= nocaching.packets_sent,
+            "caching sent {} > nocaching {} (cfg={:?} seed={})",
+            caching.packets_sent, nocaching.packets_sent, cfg, seed
+        );
+        prop_assert!(caching.response_time <= nocaching.response_time + 1e-9);
+    }
+
+    /// The same `(config, seed)` replays the identical download: fault
+    /// schedules are fully deterministic.
+    #[test]
+    fn downloads_replay_deterministically(
+        cfg in fault_config_strategy(),
+        seed in any::<u64>(),
+        bytes in 500usize..8_000,
+        packet_size in 32usize..256,
+    ) {
+        let a = run_mode(&cfg, seed, CacheMode::Caching, bytes, packet_size, 1.6);
+        let b = run_mode(&cfg, seed, CacheMode::Caching, bytes, packet_size, 1.6);
+        prop_assert_eq!(a, b);
+    }
+
+    /// An irrelevant document never costs more packets than downloading
+    /// it in full under the same schedule (early stop can only save).
+    #[test]
+    fn early_stop_never_costs_packets(
+        cfg in fault_config_strategy(),
+        seed in any::<u64>(),
+        threshold in 0.05f64..0.95,
+    ) {
+        let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
+        let config = SessionConfig {
+            cache_mode: CacheMode::Caching,
+            max_rounds: 4096,
+            ..Default::default()
+        };
+        let mut link = Link::new(
+            Bandwidth::from_kbps(19.2),
+            ScheduledLoss::new(cfg.clone(), seed),
+            seed,
+        );
+        let full = download(&plan, Relevance::relevant(), &config, &mut link);
+        let mut link = Link::new(
+            Bandwidth::from_kbps(19.2),
+            ScheduledLoss::new(cfg.clone(), seed),
+            seed,
+        );
+        let stopped = download(&plan, Relevance::irrelevant(threshold), &config, &mut link);
+        prop_assert!(stopped.packets_sent <= full.packets_sent);
+        if stopped.outcome == Outcome::StoppedIrrelevant {
+            prop_assert!(stopped.content >= threshold - 1e-9);
+        }
+    }
+}

@@ -58,7 +58,8 @@ fn run(alpha: f64, cache: CacheMode, label: &str) {
             cache_mode: cache,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let mut rendered: Vec<String> = Vec::new();
     for event in &report.events {
         match event {

@@ -78,7 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 17,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     println!(
         "transfer: completed={} rounds={} corrupted={} of {} frames",
         report.completed, report.rounds, report.frames_corrupted, report.frames_sent

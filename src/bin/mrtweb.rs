@@ -7,6 +7,9 @@
 //!                                                      run a live lossy transfer
 //! mrtweb summary <file> [--budget BYTES]               lead-in summary (baseline)
 //! mrtweb redundancy <M> <alpha> [--success S]          plan N for a code
+//! mrtweb faultrun --scenario NAME [--seed S]           run a fault-injection scenario
+//! mrtweb faultrun --all [--seed S]                     run every scenario
+//! mrtweb faultrun --list                               list scenarios
 //! ```
 
 use std::process::ExitCode;
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
             eprintln!("  mrtweb transfer <file> [--alpha A] [--gamma G] [--lod L] [--query Q] [--nocache] [--seed S]");
             eprintln!("  mrtweb summary <file> [--budget BYTES]");
             eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
+            eprintln!("  mrtweb faultrun --scenario NAME [--seed S] | --all [--seed S] | --list");
             ExitCode::from(2)
         }
     }
@@ -51,6 +55,9 @@ struct Flags {
     nocache: bool,
     budget: usize,
     success: f64,
+    scenario: String,
+    all: bool,
+    list: bool,
 }
 
 impl Default for Flags {
@@ -64,6 +71,9 @@ impl Default for Flags {
             nocache: false,
             budget: 512,
             success: 0.95,
+            scenario: String::new(),
+            all: false,
+            list: false,
         }
     }
 }
@@ -105,6 +115,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.success = need(i)?.parse().map_err(|_| "--success needs a number")?;
                 i += 1;
             }
+            "--scenario" => {
+                f.scenario = need(i)?.clone();
+                i += 1;
+            }
+            "--all" => f.all = true,
+            "--list" => f.list = true,
             "--nocache" => f.nocache = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -209,7 +225,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     },
                     ..Default::default()
                 },
-            );
+            )
+            .map_err(|e| e.to_string())?;
             println!(
                 "completed={} rounds={} frames={} corrupted={} payload={}B",
                 report.completed,
@@ -262,6 +279,34 @@ fn run(args: &[String]) -> Result<(), String> {
                 plan.ratio(),
                 plan.achieved_probability().map_err(|e| format!("{e}"))?
             );
+            Ok(())
+        }
+        "faultrun" => {
+            let flags = parse_flags(&args[1..])?;
+            if flags.list {
+                println!("fault-injection scenarios:");
+                for (name, what) in mrtweb::faultrun::SCENARIOS {
+                    println!("  {name:<12} {what}");
+                }
+                return Ok(());
+            }
+            let reports = if flags.all {
+                mrtweb::faultrun::run_all(flags.seed)
+            } else if flags.scenario.is_empty() {
+                return Err("faultrun needs --scenario NAME, --all, or --list".into());
+            } else {
+                vec![mrtweb::faultrun::run_scenario(&flags.scenario, flags.seed)?]
+            };
+            let mut failed = 0usize;
+            for r in &reports {
+                print!("{}", r.render());
+                if !r.passed() {
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                return Err(format!("{failed} of {} scenario(s) failed", reports.len()));
+            }
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),

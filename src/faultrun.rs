@@ -1,0 +1,648 @@
+//! The deterministic fault-injection harness.
+//!
+//! Each named scenario drives one or more layers of the stack — the
+//! threaded live transport, the session protocol (stall →
+//! NoCaching/Caching retransmission), the selective-repeat ARQ
+//! baseline, and the dispersed-blob store — through a seed-driven
+//! [`FaultConfig`] schedule, and checks the protocol invariants the
+//! paper's design promises:
+//!
+//! 1. any `M` intact cooked packets reconstruct the document
+//!    **byte-identically**;
+//! 2. CRC never passes a corrupted frame (observable as byte-identity
+//!    of every completed reconstruction);
+//! 3. Caching never re-requests a packet it already holds intact;
+//! 4. ARQ terminates within its round budget;
+//! 5. progressive [`ClientEvent::SliceProgress`] fractions are monotone
+//!    per slice and in `[0, 1]`.
+//!
+//! Every run is fully determined by `(scenario, seed)`, so any failure
+//! reproduces with `mrtweb faultrun --scenario <name> --seed <s>`; the
+//! scheduler's trace is carried in the report for replay and diagnosis.
+
+use mrtweb_channel::bandwidth::Bandwidth;
+use mrtweb_channel::fault::{
+    apply_fault, render_trace, FaultConfig, FaultEvent, FaultKind, FaultScheduler, ScheduledLoss,
+};
+use mrtweb_channel::link::Link;
+use mrtweb_content::sc::{Measure, StructuralCharacteristic};
+use mrtweb_docmodel::gen::SyntheticDocSpec;
+use mrtweb_docmodel::lod::Lod;
+use mrtweb_store::codec::{decode_dispersed, encode_dispersed};
+use mrtweb_transport::arq::{download_arq, ArqConfig};
+use mrtweb_transport::live::{run_transfer, ClientEvent, LiveServer, TransferConfig};
+use mrtweb_transport::plan::{plan_document, TransmissionPlan, UnitSlice};
+use mrtweb_transport::session::{download, CacheMode, Outcome, Relevance, SessionConfig};
+
+/// Scenario registry: `(name, what it stresses)`.
+pub const SCENARIOS: &[(&str, &str)] = &[
+    (
+        "clean",
+        "control arm: zero faults through every layer; everything must complete in one round",
+    ),
+    (
+        "bernoulli",
+        "i.i.d. bit-flip corruption at α=0.3 through live transport and both session cache modes",
+    ),
+    (
+        "burst",
+        "multi-byte burst damage plus occasional garbles through live transport and the store",
+    ),
+    (
+        "outage",
+        "timed disconnection windows over light corruption through session and ARQ",
+    ),
+    (
+        "mixed",
+        "every fault family at once (drops, dups, reorder, garble, truncate, outage) through live transport and session",
+    ),
+    (
+        "garble",
+        "whole-frame garbling and truncation: CRC detection stress through live transport and the store",
+    ),
+    (
+        "arq-storm",
+        "heavy silent drops: ARQ NACK-repair rounds and session retransmission under α=0.35 loss",
+    ),
+    (
+        "store-rot",
+        "at-rest packet rot in dispersed blobs: decode survives ≥M intact per group, fails cleanly below",
+    ),
+];
+
+/// Names of all registered scenarios.
+pub fn scenario_names() -> Vec<&'static str> {
+    SCENARIOS.iter().map(|(n, _)| *n).collect()
+}
+
+/// Outcome of one `(scenario, seed)` harness run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario that ran.
+    pub scenario: String,
+    /// The seed that determined the schedule.
+    pub seed: u64,
+    /// Invariant checks performed.
+    pub checks: usize,
+    /// Human-readable description of every violated invariant.
+    pub failures: Vec<String>,
+    /// The concatenated fault traces of every injected layer.
+    pub trace: Vec<FaultEvent>,
+}
+
+impl ScenarioReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Multi-line render: verdict, failures, and (on failure) the trace.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "{verdict} scenario={} seed={} checks={} failures={}",
+            self.scenario,
+            self.seed,
+            self.checks,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAIL: {f}");
+        }
+        if !self.passed() {
+            let _ = writeln!(out, "fault trace ({} events):", self.trace.len());
+            out.push_str(&render_trace(&self.trace));
+            let _ = writeln!(
+                out,
+                "reproduce with: mrtweb faultrun --scenario {} --seed {}",
+                self.scenario, self.seed
+            );
+        }
+        out
+    }
+}
+
+/// Accumulates invariant checks for one scenario run.
+struct Harness {
+    checks: usize,
+    failures: Vec<String>,
+    trace: Vec<FaultEvent>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            checks: 0,
+            failures: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, cond: bool, msg: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !cond {
+            self.failures.push(msg());
+        }
+    }
+}
+
+/// Runs one scenario under one seed.
+///
+/// # Errors
+///
+/// `Err` names the unknown scenario; all invariant *violations* come
+/// back inside the `Ok` report, never as `Err`.
+pub fn run_scenario(name: &str, seed: u64) -> Result<ScenarioReport, String> {
+    let mut h = Harness::new();
+    match name {
+        "clean" => {
+            live_layer(
+                &mut h,
+                &FaultConfig::clean(),
+                seed,
+                CacheMode::Caching,
+                true,
+            );
+            session_layer(&mut h, &FaultConfig::clean(), seed);
+            arq_layer(&mut h, &FaultConfig::clean(), seed);
+            store_layer(&mut h, &FaultConfig::clean(), seed);
+        }
+        "bernoulli" => {
+            let cfg = FaultConfig::corrupting(0.3);
+            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
+            live_layer(&mut h, &cfg, seed, CacheMode::NoCaching, false);
+            session_layer(&mut h, &cfg, seed);
+        }
+        "burst" => {
+            let cfg = FaultConfig::bursty();
+            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
+            store_layer(&mut h, &cfg, seed);
+        }
+        "outage" => {
+            let cfg = FaultConfig::outage_heavy();
+            session_layer(&mut h, &cfg, seed);
+            arq_layer(&mut h, &cfg, seed);
+        }
+        "mixed" => {
+            let cfg = FaultConfig::mixed();
+            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
+            session_layer(&mut h, &cfg, seed);
+        }
+        "garble" => {
+            let cfg = FaultConfig::garbling();
+            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
+            store_layer(&mut h, &cfg, seed);
+        }
+        "arq-storm" => {
+            let cfg = FaultConfig::dropping(0.35);
+            arq_layer(&mut h, &cfg, seed);
+            session_layer(&mut h, &cfg, seed);
+        }
+        "store-rot" => {
+            store_layer(&mut h, &FaultConfig::mixed(), seed);
+            store_hardening(&mut h, seed);
+        }
+        other => return Err(format!("unknown scenario {other:?}")),
+    }
+    Ok(ScenarioReport {
+        scenario: name.to_string(),
+        seed,
+        checks: h.checks,
+        failures: h.failures,
+        trace: h.trace,
+    })
+}
+
+/// Runs every scenario under one seed.
+pub fn run_all(seed: u64) -> Vec<ScenarioReport> {
+    scenario_names()
+        .iter()
+        .map(|n| run_scenario(n, seed).expect("registered scenario"))
+        .collect()
+}
+
+/// A deterministic document fixture with enough structure for every LOD.
+fn fixture() -> (
+    mrtweb_docmodel::document::Document,
+    StructuralCharacteristic,
+    Vec<u8>,
+) {
+    let doc = SyntheticDocSpec {
+        sections: 3,
+        subsections_per_section: 2,
+        paragraphs_per_subsection: 2,
+        target_bytes: 4000,
+        ..Default::default()
+    }
+    .generate(11)
+    .document;
+    let pipeline = mrtweb_textproc::pipeline::ScPipeline::default();
+    let idx = pipeline.run(&doc);
+    let sc = StructuralCharacteristic::from_index(&idx, None);
+    let (_, payload) = plan_document(&doc, &sc, Lod::Paragraph, Measure::Ic);
+    (doc, sc, payload)
+}
+
+/// Drives the threaded live transport under a fault schedule.
+fn live_layer(
+    h: &mut Harness,
+    cfg: &FaultConfig,
+    seed: u64,
+    cache_mode: CacheMode,
+    expect_clean: bool,
+) {
+    let (doc, sc, expected) = fixture();
+    let server = match LiveServer::new_auto(&doc, &sc, Lod::Paragraph, Measure::Ic, 64, 1.8) {
+        Ok(s) => s,
+        Err(e) => {
+            h.check(false, || format!("live: server construction failed: {e}"));
+            return;
+        }
+    };
+    let n = server.header().n;
+    let slice_labels: Vec<String> = server
+        .header()
+        .plan
+        .slices()
+        .iter()
+        .map(|s| s.label.clone())
+        .collect();
+    let report = match run_transfer(
+        server,
+        &TransferConfig {
+            alpha: 0.0,
+            seed,
+            cache_mode,
+            stop_at_content: None,
+            max_rounds: 512,
+            fault: Some(cfg.clone()),
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            h.check(false, || {
+                format!("live[{cache_mode:?}]: transfer error: {e}")
+            });
+            return;
+        }
+    };
+    h.trace.extend(report.fault_events.iter().copied());
+
+    // Invariant 1+2: a completed transfer is byte-identical — any M
+    // intact packets reconstruct exactly, and no CRC-passing corrupted
+    // frame contaminated the payload.
+    if report.completed {
+        h.check(report.payload == expected, || {
+            format!(
+                "live[{cache_mode:?}]: reconstructed payload differs from source \
+                 ({} vs {} bytes) — corruption passed CRC or decode is wrong",
+                report.payload.len(),
+                expected.len()
+            )
+        });
+    } else {
+        // 512 rounds at these fault rates is beyond any plausible stall
+        // streak; not completing means lost progress, i.e. a cache or
+        // repair bug.
+        h.check(false, || {
+            format!(
+                "live[{cache_mode:?}]: transfer failed to complete within {} rounds",
+                report.rounds
+            )
+        });
+    }
+    h.check(report.rounds <= 512, || {
+        format!(
+            "live[{cache_mode:?}]: round budget exceeded: {}",
+            report.rounds
+        )
+    });
+
+    // Invariant 5: SliceProgress monotone per slice, in-bounds, and only
+    // for planned slices.
+    let mut last: std::collections::HashMap<&str, f64> = Default::default();
+    for e in &report.events {
+        if let ClientEvent::SliceProgress { label, fraction } = e {
+            h.check(slice_labels.iter().any(|l| l == label), || {
+                format!("live[{cache_mode:?}]: progress for unplanned slice {label:?}")
+            });
+            h.check((0.0..=1.0 + 1e-12).contains(fraction), || {
+                format!("live[{cache_mode:?}]: fraction {fraction} out of bounds for {label}")
+            });
+            let prev = last.insert(label.as_str(), *fraction).unwrap_or(0.0);
+            h.check(*fraction >= prev, || {
+                format!(
+                    "live[{cache_mode:?}]: progress went backwards for {label}: \
+                     {prev} -> {fraction}"
+                )
+            });
+        }
+    }
+
+    // Invariant 3: in Caching mode, request sets shrink monotonically
+    // (⊆ the previous request) — an intact packet is never re-requested.
+    if cache_mode == CacheMode::Caching {
+        for pair in report.requests.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            h.check(next.iter().all(|i| prev.contains(i)), || {
+                format!(
+                    "live[Caching]: round re-requested a packet outside the previous \
+                         missing set: {next:?} ⊄ {prev:?}"
+                )
+            });
+        }
+    }
+    for req in &report.requests {
+        h.check(req.iter().all(|&i| i < n), || {
+            format!("live[{cache_mode:?}]: request index out of range (N={n}): {req:?}")
+        });
+    }
+
+    if expect_clean {
+        h.check(report.rounds == 1, || {
+            format!("live[clean]: expected 1 round, used {}", report.rounds)
+        });
+        h.check(report.frames_corrupted == 0, || {
+            format!(
+                "live[clean]: {} frames corrupted on a clean schedule",
+                report.frames_corrupted
+            )
+        });
+        h.check(report.fault_events.is_empty(), || {
+            format!(
+                "live[clean]: clean schedule logged {} fault events",
+                report.fault_events.len()
+            )
+        });
+    }
+}
+
+/// Drives `session::download` for both cache modes over the identical
+/// schedule and checks the Caching ≤ NoCaching dominance.
+fn session_layer(h: &mut Harness, cfg: &FaultConfig, seed: u64) {
+    let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
+    let run = |mode: CacheMode| {
+        let mut link = Link::new(
+            Bandwidth::from_kbps(19.2),
+            ScheduledLoss::new(cfg.clone(), seed),
+            seed,
+        );
+        let config = SessionConfig {
+            cache_mode: mode,
+            max_rounds: 4096,
+            ..Default::default()
+        };
+        download(&plan, Relevance::relevant(), &config, &mut link)
+    };
+    let caching = run(CacheMode::Caching);
+    let nocaching = run(CacheMode::NoCaching);
+
+    for (mode, r) in [("Caching", &caching), ("NoCaching", &nocaching)] {
+        h.check(r.rounds <= 4096, || {
+            format!("session[{mode}]: round budget exceeded: {}", r.rounds)
+        });
+        if r.outcome == Outcome::Completed {
+            h.check(r.packets_sent >= r.m as u64, || {
+                format!(
+                    "session[{mode}]: completed with only {} packets for M={}",
+                    r.packets_sent, r.m
+                )
+            });
+            h.check(r.content >= 1.0 - 1e-9, || {
+                format!(
+                    "session[{mode}]: completed but content only {:.4}",
+                    r.content
+                )
+            });
+        }
+    }
+    // Caching must always complete within the budget at these fault
+    // rates; NoCaching may legitimately fail at high loss (it needs M
+    // intact within a single round).
+    h.check(caching.outcome == Outcome::Completed, || {
+        format!("session[Caching]: did not complete: {:?}", caching.outcome)
+    });
+    // Per-slot fate schedules are identical (same `(cfg, seed)`), so
+    // Caching completes at the M-th intact slot overall — never later
+    // than NoCaching, which needs M intact within one round.
+    if caching.outcome == Outcome::Completed && nocaching.outcome == Outcome::Completed {
+        h.check(caching.packets_sent <= nocaching.packets_sent, || {
+            format!(
+                "session: Caching sent {} packets > NoCaching's {} on the identical schedule",
+                caching.packets_sent, nocaching.packets_sent
+            )
+        });
+        h.check(caching.response_time <= nocaching.response_time + 1e-9, || {
+            format!(
+                "session: Caching slower ({:.2}s) than NoCaching ({:.2}s) on the identical schedule",
+                caching.response_time, nocaching.response_time
+            )
+        });
+    }
+    // Record the schedule for replay.
+    let mut sched = ScheduledLoss::new(cfg.clone(), seed);
+    {
+        use mrtweb_channel::loss::LossModel;
+        for _ in 0..caching.packets_sent {
+            let _ = sched.next_corrupted();
+        }
+    }
+    h.trace.extend(sched.scheduler().trace().iter().copied());
+}
+
+/// Drives the selective-repeat ARQ baseline under a fault schedule.
+fn arq_layer(h: &mut Harness, cfg: &FaultConfig, seed: u64) {
+    let plan = TransmissionPlan::sequential(vec![UnitSlice::new("doc", 10240, 1.0)]);
+    let mut link = Link::new(
+        Bandwidth::from_kbps(19.2),
+        ScheduledLoss::new(cfg.clone(), seed),
+        seed,
+    );
+    let config = ArqConfig {
+        max_rounds: 256,
+        ..Default::default()
+    };
+    let r = download_arq(&plan, &config, &mut link);
+    // Invariant 4: ARQ terminates within its round budget, and reports
+    // honestly when it could not finish.
+    h.check(r.rounds <= 256, || {
+        format!("arq: round budget exceeded: {}", r.rounds)
+    });
+    h.check(r.completed || r.rounds == 256, || {
+        format!(
+            "arq: gave up after {} rounds without exhausting the budget",
+            r.rounds
+        )
+    });
+    if r.completed {
+        h.check((r.content - 1.0).abs() < 1e-9, || {
+            format!("arq: completed but content {:.4} != 1", r.content)
+        });
+        h.check(r.packets_sent >= 40, || {
+            format!("arq: completed with {} packets for M=40", r.packets_sent)
+        });
+    }
+    // ARQ at these fault rates must finish: every round independently
+    // retries the missing packets, and the budget is generous.
+    h.check(r.completed, || {
+        format!("arq: did not complete in {} rounds", r.rounds)
+    });
+}
+
+/// Rots packets inside a dispersed blob per the schedule, then checks
+/// that decoding either reconstructs byte-identically (≥ M intact per
+/// group) or fails cleanly — never panics, never returns wrong bytes.
+fn store_layer(h: &mut Harness, cfg: &FaultConfig, seed: u64) {
+    let (m, n, packet_size) = (20usize, 30usize, 64usize);
+    let payload: Vec<u8> = (0..5000u32)
+        .map(|i| (i.wrapping_mul(2654435761).wrapping_add(seed as u32) >> 8) as u8)
+        .collect();
+    let blob = match encode_dispersed(&payload, m, n, packet_size) {
+        Ok(b) => b,
+        Err(e) => {
+            h.check(false, || format!("store: encode failed: {e}"));
+            return;
+        }
+    };
+    // Blob layout: 29-byte header, then per group a 4-byte length plus
+    // `n` records of `packet_size + 4` (packet ‖ crc32) bytes.
+    let header = 29usize;
+    let record = packet_size + 4;
+    let group_bytes = 4 + n * record;
+    let n_groups = (blob.len() - header) / group_bytes;
+    let mut rotted = blob.clone();
+    let mut sched = FaultScheduler::new(cfg.clone(), seed ^ 0x5707E);
+    let mut min_intact = n;
+    for g in 0..n_groups {
+        let mut intact = n;
+        for p in 0..n {
+            let start = header + g * group_bytes + 4 + p * record;
+            let kind = sched.next_kind(record);
+            // At-rest rot: only byte-damaging faults apply; delivery
+            // multiplicity (drop/dup/reorder) has no storage analogue,
+            // but an outage window models an unreadable region.
+            let kind = match kind {
+                FaultKind::Drop | FaultKind::Outage => FaultKind::Garble {
+                    seed: seed ^ p as u64,
+                },
+                FaultKind::Duplicate | FaultKind::Reorder { .. } | FaultKind::Truncate { .. } => {
+                    FaultKind::Deliver
+                }
+                k => k,
+            };
+            if kind.corrupts() {
+                let mut rec = rotted[start..start + record].to_vec();
+                apply_fault(kind, &mut rec);
+                rotted[start..start + record].copy_from_slice(&rec);
+                intact -= 1;
+            }
+        }
+        min_intact = min_intact.min(intact);
+    }
+    h.trace.extend(sched.trace().iter().copied());
+
+    match decode_dispersed(&rotted) {
+        Ok(decoded) => {
+            // Invariant 1: whatever decodes must be byte-identical.
+            h.check(decoded == payload, || {
+                format!(
+                    "store: decode returned {} bytes differing from the {}-byte source",
+                    decoded.len(),
+                    payload.len()
+                )
+            });
+            h.check(min_intact >= m, || {
+                format!(
+                    "store: decode succeeded with a group at {min_intact} < M={m} intact \
+                     packets — CRC-32 passed a corrupted packet"
+                )
+            });
+        }
+        Err(e) => {
+            h.check(min_intact < m, || {
+                format!(
+                    "store: decode failed ({e}) although every group kept ≥ M={m} \
+                     intact packets (min {min_intact})"
+                )
+            });
+        }
+    }
+    // The pristine blob must always decode byte-identically.
+    match decode_dispersed(&blob) {
+        Ok(decoded) => h.check(decoded == payload, || {
+            "store: pristine blob decoded to different bytes".to_string()
+        }),
+        Err(e) => h.check(false, || {
+            format!("store: pristine blob failed to decode: {e}")
+        }),
+    }
+}
+
+/// Structural hardening checks: hostile blob inputs fail cleanly.
+fn store_hardening(h: &mut Harness, seed: u64) {
+    let payload = vec![0xAB; 1000];
+    let blob = encode_dispersed(&payload, 5, 8, 32).expect("valid parameters");
+
+    let mut bad_magic = blob.clone();
+    bad_magic[0] ^= 0xFF;
+    h.check(decode_dispersed(&bad_magic).is_err(), || {
+        "store: blob with mangled magic decoded".to_string()
+    });
+
+    for cut in [0, 4, 12, 28, blob.len() / 2, blob.len() - 1] {
+        h.check(decode_dispersed(&blob[..cut]).is_err(), || {
+            format!("store: blob truncated to {cut} bytes decoded")
+        });
+    }
+
+    let mut grown = blob.clone();
+    grown.extend_from_slice(&[(seed & 0xFF) as u8; 7]);
+    h.check(decode_dispersed(&grown).is_err(), || {
+        "store: blob with trailing garbage decoded".to_string()
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_passes_smoke_seeds() {
+        for (name, _) in SCENARIOS {
+            for seed in [1u64, 2, 3] {
+                let r = run_scenario(name, seed).unwrap();
+                assert!(
+                    r.passed(),
+                    "scenario {name} seed {seed} failed:\n{}",
+                    r.render()
+                );
+                assert!(r.checks > 0, "scenario {name} performed no checks");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let a = run_scenario("mixed", 7).unwrap();
+        let b = run_scenario("mixed", 7).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        assert!(run_scenario("nope", 1).is_err());
+    }
+
+    #[test]
+    fn faulted_scenarios_log_nonempty_traces() {
+        for name in ["bernoulli", "mixed", "garble", "arq-storm"] {
+            let r = run_scenario(name, 1).unwrap();
+            assert!(!r.trace.is_empty(), "{name} logged no fault events");
+        }
+    }
+}

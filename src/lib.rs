@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+pub mod faultrun;
+
 pub use mrtweb_channel as channel;
 pub use mrtweb_content as content;
 pub use mrtweb_docmodel as docmodel;

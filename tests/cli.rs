@@ -120,6 +120,48 @@ fn html_input_is_extracted() {
 }
 
 #[test]
+fn faultrun_lists_scenarios() {
+    let out = mrtweb().args(["faultrun", "--list"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["clean", "bernoulli", "burst", "outage", "mixed", "garble"] {
+        assert!(stdout.contains(name), "missing scenario {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn faultrun_scenario_passes_and_is_deterministic() {
+    let run = || {
+        let out = mrtweb()
+            .args(["faultrun", "--scenario", "mixed", "--seed", "7"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    assert!(first.contains("PASS scenario=mixed seed=7"), "{first}");
+    assert_eq!(first, run(), "same seed must reproduce the same report");
+}
+
+#[test]
+fn faultrun_rejects_unknown_scenario() {
+    let out = mrtweb()
+        .args(["faultrun", "--scenario", "no-such-fault"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no-such-fault"));
+
+    let out = mrtweb().args(["faultrun"]).output().unwrap();
+    assert!(!out.status.success(), "faultrun with no mode must fail");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = mrtweb().args(["bogus-subcommand"]).output().unwrap();
     assert!(!out.status.success());

@@ -34,7 +34,8 @@ fn paper_draft_survives_a_lossy_channel_at_every_lod() {
                 seed: 1000 + lod.depth() as u64,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(report.completed, "transfer failed at {lod}");
         assert_eq!(report.payload, payload, "payload mismatch at {lod}");
     }
@@ -52,7 +53,8 @@ fn reconstructed_text_is_readable_document_content() {
             seed: 9,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(report.completed);
     let text = String::from_utf8_lossy(&report.payload);
     assert!(text.contains("multi-resolution transmission paradigm"));
@@ -76,7 +78,8 @@ fn xml_round_trip_then_transfer_round_trip() {
             cache_mode: CacheMode::Caching,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(report.completed);
     assert_eq!(report.payload, payload);
 }
@@ -101,7 +104,8 @@ fn html_page_flows_through_the_same_stack() {
             seed: 2,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(report.completed);
 }
 
@@ -116,7 +120,8 @@ fn early_stop_saves_bandwidth_end_to_end() {
             seed: 3,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let stopped = run_transfer(
         LiveServer::new(&doc, &sc, Lod::Paragraph, Measure::Qic, 128, 1.5).unwrap(),
         &TransferConfig {
@@ -125,7 +130,8 @@ fn early_stop_saves_bandwidth_end_to_end() {
             stop_at_content: Some(0.3),
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(full.completed && !stopped.completed && stopped.stopped_early);
     assert!(
         stopped.frames_sent < full.frames_sent / 2,

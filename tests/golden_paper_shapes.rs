@@ -1,0 +1,309 @@
+//! Golden tests pinning the paper's evaluation artifacts.
+//!
+//! Table 1 (structural characteristic of the embedded draft) and the
+//! Figure 6/7 improvement curves (Experiments 3 and 4) are serialized
+//! to JSON and compared against committed fixtures in
+//! `tests/fixtures/`. Structural fields (paths, LODs, swept parameters)
+//! must match exactly; measured values are compared within tolerance
+//! bands — tight for the deterministic Table 1 pipeline, looser for the
+//! simulated curves so benign refactors of the simulator do not churn
+//! the fixtures.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! MRTWEB_REGEN_GOLDEN=1 cargo test --test golden_paper_shapes
+//! ```
+
+use std::fmt::Write as _;
+
+use mrtweb::sim::experiments::{experiment3, experiment4, Scale};
+use mrtweb::sim::figures::improvement_points_json;
+use mrtweb::sim::table1::table1_json;
+
+/// The scale and seed the figure fixtures were generated at. Small on
+/// purpose: the goldens pin reproducibility, not statistical power
+/// (`tests/paper_shapes.rs` covers the qualitative claims).
+const GOLDEN_SCALE: Scale = Scale {
+    docs: 6,
+    reps: 1,
+    max_rounds: 30,
+};
+const GOLDEN_SEED: u64 = 2;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (the workspace has no JSON dependency).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                // The emitters never escape; fixtures contain none.
+                Some(b'\\') => return Err("escapes not supported".into()),
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Json {
+    let mut r = Reader::new(text);
+    let v = r.value().unwrap_or_else(|e| panic!("JSON parse: {e}"));
+    r.skip_ws();
+    assert_eq!(r.pos, r.bytes.len(), "trailing JSON garbage");
+    v
+}
+
+// ---------------------------------------------------------------------
+// Tolerant comparison.
+// ---------------------------------------------------------------------
+
+/// Absolute and relative tolerance for a numeric field, selected by the
+/// field's key (the key of the innermost enclosing object member).
+type TolFn = fn(&str) -> (f64, f64);
+
+fn compare(actual: &Json, expected: &Json, key: &str, tol: TolFn, at: &str, errs: &mut String) {
+    match (actual, expected) {
+        (Json::Num(a), Json::Num(e)) => {
+            let (abs, rel) = tol(key);
+            if (a - e).abs() > abs + rel * e.abs() {
+                let _ = writeln!(errs, "  {at}: {a} vs golden {e} (tol {abs}+{rel}rel)");
+            }
+        }
+        (Json::Arr(a), Json::Arr(e)) => {
+            if a.len() != e.len() {
+                let _ = writeln!(errs, "  {at}: {} items vs golden {}", a.len(), e.len());
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(e).enumerate() {
+                compare(x, y, key, tol, &format!("{at}[{i}]"), errs);
+            }
+        }
+        (Json::Obj(a), Json::Obj(e)) => {
+            let keys = |o: &[(String, Json)]| o.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>();
+            if keys(a) != keys(e) {
+                let _ = writeln!(errs, "  {at}: keys {:?} vs golden {:?}", keys(a), keys(e));
+                return;
+            }
+            for ((k, x), (_, y)) in a.iter().zip(e) {
+                compare(x, y, k, tol, &format!("{at}.{k}"), errs);
+            }
+        }
+        (a, e) if a == e => {}
+        (a, e) => {
+            let _ = writeln!(errs, "  {at}: {a:?} vs golden {e:?}");
+        }
+    }
+}
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `rendered` against the committed fixture, or rewrites the
+/// fixture when `MRTWEB_REGEN_GOLDEN` is set.
+fn check_golden(name: &str, rendered: &str, tol: TolFn) {
+    let path = fixture_path(name);
+    if std::env::var_os("MRTWEB_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with MRTWEB_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let mut errs = String::new();
+    compare(&parse(rendered), &parse(&golden), "", tol, name, &mut errs);
+    assert!(
+        errs.is_empty(),
+        "{name} drifted from its golden fixture:\n{errs}\
+         regenerate with MRTWEB_REGEN_GOLDEN=1 if the change is intentional"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The goldens.
+// ---------------------------------------------------------------------
+
+/// Table 1 is a deterministic pipeline over an embedded asset: the
+/// content measures must reproduce to near machine precision.
+fn table1_tol(_key: &str) -> (f64, f64) {
+    (1e-9, 0.0)
+}
+
+/// Figure curves: swept parameters are exact; measured times and the
+/// derived improvement ratio get a band wide enough to absorb benign
+/// simulator refactors but narrow enough to catch shape changes.
+fn figure_tol(key: &str) -> (f64, f64) {
+    match key {
+        "alpha" | "skew" | "f" => (1e-9, 0.0),
+        _ => (0.05, 0.25),
+    }
+}
+
+#[test]
+fn table1_matches_golden() {
+    check_golden("table1.json", &table1_json(), table1_tol);
+}
+
+#[test]
+fn fig6_improvement_curves_match_golden() {
+    let points = experiment3(&GOLDEN_SCALE, GOLDEN_SEED);
+    check_golden("fig6.json", &improvement_points_json(&points), figure_tol);
+}
+
+#[test]
+fn fig7_skew_curves_match_golden() {
+    let points = experiment4(&GOLDEN_SCALE, GOLDEN_SEED);
+    check_golden("fig7.json", &improvement_points_json(&points), figure_tol);
+}

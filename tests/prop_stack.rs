@@ -65,7 +65,8 @@ proptest! {
                 max_rounds: 1024,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         prop_assert!(report.completed, "transfer failed (alpha={alpha}, lod={lod})");
         prop_assert_eq!(report.payload, expect);
     }
