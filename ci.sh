@@ -20,8 +20,29 @@ done
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> mrtweb-analysis (in-tree lint: panic paths, SAFETY comments, layering)"
+cargo run -q -p mrtweb-analysis -- check
+
+echo "==> cargo clippy -D warnings (pedantic)"
+# Pedantic is the baseline; the -A list below names the lints we accept
+# wholesale (cast style in numeric simulation code, doc phrasing) so
+# everything else stays deny-by-default.
+cargo clippy --workspace --all-targets -- \
+  -W clippy::pedantic \
+  -A clippy::cast-possible-truncation \
+  -A clippy::cast-precision-loss \
+  -A clippy::cast-sign-loss \
+  -A clippy::cast-lossless \
+  -A clippy::must-use-candidate \
+  -A clippy::return-self-not-must-use \
+  -A clippy::doc-markdown \
+  -A clippy::float-cmp \
+  -A clippy::unreadable-literal \
+  -A clippy::too-many-lines \
+  -A clippy::missing-errors-doc \
+  -A clippy::missing-panics-doc \
+  -A clippy::module-name-repetitions \
+  -D warnings
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release

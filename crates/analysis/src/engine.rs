@@ -1,0 +1,109 @@
+//! Workspace walker: discovers crates, prepares every `.rs` file and
+//! runs the rule catalog plus the layering check.
+
+use crate::lexer::Prepared;
+use crate::manifest;
+use crate::report::{Analysis, Finding};
+use crate::rules;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Analyzes the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+pub fn analyze(root: &Path) -> io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+
+    // Root binary crate (`mrtweb`): src/ only; top-level tests/ and
+    // examples/ are test code and exempt from every per-file rule by
+    // construction, so they are not walked.
+    scan_tree(root, &root.join("src"), "mrtweb", false, &mut analysis)?;
+
+    // Workspace member crates under crates/.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<(String, PathBuf)> = std::fs::read_dir(&crates_dir)?
+            .filter_map(std::result::Result::ok)
+            .filter(|e| e.path().join("Cargo.toml").is_file())
+            .filter_map(|e| {
+                e.file_name()
+                    .into_string()
+                    .ok()
+                    .map(|name| (name, e.path()))
+            })
+            .collect();
+        names.sort();
+        for (name, dir) in names {
+            scan_tree(root, &dir.join("src"), &name, false, &mut analysis)?;
+            // Integration tests and benches are test code wholesale.
+            scan_tree(root, &dir.join("tests"), &name, true, &mut analysis)?;
+            scan_tree(root, &dir.join("benches"), &name, true, &mut analysis)?;
+        }
+    }
+
+    let (layer_findings, manifests) = manifest::check_layering(root);
+    analysis.findings.extend(layer_findings);
+    analysis.manifests_checked = manifests;
+
+    // Deterministic report order regardless of filesystem iteration.
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(analysis)
+}
+
+/// Recursively scans every `.rs` file under `dir` as part of `krate`.
+fn scan_tree(
+    root: &Path,
+    dir: &Path,
+    krate: &str,
+    all_test: bool,
+    analysis: &mut Analysis,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(std::result::Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            scan_tree(root, &path, krate, all_test, analysis)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            analysis.files_scanned += 1;
+            analysis
+                .findings
+                .extend(scan_source(krate, &rel, &text, all_test));
+        }
+    }
+    Ok(())
+}
+
+/// Scans a single source text (exposed for fixture-based unit tests).
+pub fn scan_source(krate: &str, path: &str, text: &str, all_test: bool) -> Vec<Finding> {
+    let prep = Prepared::new(text);
+    rules::scan_file(krate, path, &prep, all_test)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

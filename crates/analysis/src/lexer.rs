@@ -1,0 +1,365 @@
+//! Token-level source preparation.
+//!
+//! The rule engine never pattern-matches raw source text: a forbidden
+//! token inside a string literal, a char literal, a raw string, or a
+//! (possibly nested) block comment is not a finding. This module
+//! produces a *stripped* view of a file — same character layout, same
+//! line structure, but with every comment and every literal body
+//! blanked to spaces — plus a per-line mask of which lines belong to
+//! test code (`#[cfg(test)]` modules and `#[test]`/`#[bench]` items).
+//!
+//! The stripped view is what the rules scan; the original text is kept
+//! alongside it so comment-dependent rules (`safety-comment`,
+//! suppression parsing) can inspect what was blanked.
+
+/// A source file prepared for rule scanning.
+pub struct Prepared {
+    /// Original lines, exactly as read.
+    pub original: Vec<String>,
+    /// Stripped lines: comments and literal bodies replaced by spaces.
+    pub stripped: Vec<String>,
+    /// `test[i]` is true when line `i` (0-indexed) lies inside a
+    /// `#[cfg(test)]` region or a `#[test]`/`#[bench]` item.
+    pub test: Vec<bool>,
+}
+
+impl Prepared {
+    /// Lexes `source` into the stripped + test-masked representation.
+    pub fn new(source: &str) -> Prepared {
+        let stripped_text = strip(source);
+        let test = test_line_mask(&stripped_text);
+        let original: Vec<String> = source.lines().map(str::to_owned).collect();
+        let stripped: Vec<String> = stripped_text.lines().map(str::to_owned).collect();
+        let mut test = test;
+        test.resize(original.len(), false);
+        Prepared {
+            original,
+            stripped,
+            test,
+        }
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Replaces comment and literal bodies with spaces, preserving the
+/// character count of every line (newlines are kept in place so line
+/// numbers survive the transformation).
+///
+/// Handles: `//` line comments (incl. doc comments), nested `/* */`
+/// block comments, `"…"` strings with escapes, `b"…"` byte strings,
+/// `r"…"` / `r#"…"#` / `br##"…"##` raw (byte) strings, `'x'` char and
+/// `b'x'` byte literals, and leaves lifetimes (`'a`, `'static`) and raw
+/// identifiers (`r#match`) untouched.
+pub fn strip(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = chars.clone();
+    let n = chars.len();
+    let blank = |out: &mut Vec<char>, lo: usize, hi: usize| {
+        for slot in out.iter_mut().take(hi.min(n)).skip(lo) {
+            if *slot != '\n' {
+                *slot = ' ';
+            }
+        }
+    };
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            blank(&mut out, start, i);
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, start, i);
+        } else if c == '"' {
+            i = skip_string(&chars, &mut out, i, blank);
+        } else if c == '\'' {
+            i = skip_char_or_lifetime(&chars, &mut out, i, blank);
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && is_ident(chars[i]) {
+                i += 1;
+            }
+            let next = if i < n { chars[i] } else { '\0' };
+            let ident: String = chars[start..i].iter().collect();
+            match (ident.as_str(), next) {
+                ("r" | "br", '"' | '#') => {
+                    if let Some(end) = raw_string_end(&chars, i) {
+                        blank(&mut out, i, end);
+                        i = end;
+                    }
+                }
+                ("b", '"') => i = skip_string(&chars, &mut out, i, blank),
+                ("b", '\'') => i = skip_char_or_lifetime(&chars, &mut out, i, blank),
+                _ => {}
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Skips a `"…"` string starting at the opening quote; blanks the body
+/// and both delimiters. Returns the index just past the closing quote.
+fn skip_string(
+    chars: &[char],
+    out: &mut Vec<char>,
+    open: usize,
+    blank: impl Fn(&mut Vec<char>, usize, usize),
+) -> usize {
+    let n = chars.len();
+    let mut i = open + 1;
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    blank(out, open, i);
+    i
+}
+
+/// At a `'`: consumes a char literal (blanked) or steps over a lifetime
+/// (left intact). Returns the next scan index.
+fn skip_char_or_lifetime(
+    chars: &[char],
+    out: &mut Vec<char>,
+    open: usize,
+    blank: impl Fn(&mut Vec<char>, usize, usize),
+) -> usize {
+    let n = chars.len();
+    if open + 1 >= n {
+        return open + 1;
+    }
+    if chars[open + 1] == '\\' {
+        // Escaped char literal: '\n', '\'', '\u{1F600}', '\x41', …
+        let mut i = open + 2;
+        while i < n && chars[i] != '\'' {
+            if chars[i] == '\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        let end = (i + 1).min(n);
+        blank(out, open, end);
+        end
+    } else if open + 2 < n && chars[open + 2] == '\'' && chars[open + 1] != '\'' {
+        // Plain one-char literal 'x'. ('' never occurs in valid Rust.)
+        blank(out, open, open + 3);
+        open + 3
+    } else {
+        // Lifetime ('a, 'static) — plain identifier text, keep it.
+        open + 1
+    }
+}
+
+/// From the position of the first `#` / `"` after an `r`/`br` prefix,
+/// finds the end of the raw string (index just past the final `#`), or
+/// `None` when this is a raw identifier (`r#match`), not a string.
+fn raw_string_end(chars: &[char], mut i: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || chars[i] != '"' {
+        return None; // raw identifier, e.g. r#match
+    }
+    i += 1;
+    while i < n {
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < n && seen < hashes && chars[j] == '#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(n)
+}
+
+/// Computes the per-line test mask from *stripped* text: every line in
+/// the brace-delimited item following `#[cfg(test)]`, `#[test]` or
+/// `#[bench]` is test code.
+fn test_line_mask(stripped: &str) -> Vec<bool> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let n = chars.len();
+    let line_of = {
+        // Prefix-sum of newline positions → char index to line number.
+        let mut lines = Vec::with_capacity(n);
+        let mut ln = 0usize;
+        for &c in &chars {
+            lines.push(ln);
+            if c == '\n' {
+                ln += 1;
+            }
+        }
+        lines
+    };
+    let total_lines = stripped.lines().count();
+    let mut mask = vec![false; total_lines];
+    let mut i = 0;
+    while i < n {
+        if chars[i] != '#' || i + 1 >= n || chars[i + 1] != '[' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some((content, after)) = attr_content(&chars, i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attr(&content) {
+            i = after;
+            continue;
+        }
+        // Walk forward past further attributes to the item body: the
+        // region ends at the matching `}` of the first `{`, or at a
+        // top-level `;` (e.g. `#[cfg(test)] mod tests;`).
+        let mut j = after;
+        let mut end = after;
+        while j < n {
+            if chars[j] == '#' && j + 1 < n && chars[j + 1] == '[' {
+                if let Some((_, a)) = attr_content(&chars, j + 1) {
+                    j = a;
+                    continue;
+                }
+            }
+            if chars[j] == ';' {
+                end = j + 1;
+                break;
+            }
+            if chars[j] == '{' {
+                end = match_brace(&chars, j);
+                break;
+            }
+            j += 1;
+            end = j;
+        }
+        let first = line_of[attr_start.min(n - 1)];
+        let last = line_of[(end.saturating_sub(1)).min(n - 1)];
+        for line in mask.iter_mut().take(last + 1).skip(first) {
+            *line = true;
+        }
+        i = end.max(after);
+    }
+    mask
+}
+
+/// Reads a bracket-balanced `[…]` attribute starting at the `[`;
+/// returns (content with whitespace removed, index past the `]`).
+fn attr_content(chars: &[char], open: usize) -> Option<(String, usize)> {
+    let n = chars.len();
+    let mut depth = 0usize;
+    let mut content = String::new();
+    let mut i = open;
+    while i < n {
+        match chars[i] {
+            '[' => {
+                depth += 1;
+                if depth > 1 {
+                    content.push('[');
+                }
+            }
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((content, i + 1));
+                }
+                content.push(']');
+            }
+            c if c.is_whitespace() => {}
+            c => content.push(c),
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_test_attr(content_no_ws: &str) -> bool {
+    content_no_ws == "test"
+        || content_no_ws == "bench"
+        || (content_no_ws.starts_with("cfg(")
+            && content_no_ws.contains("test")
+            && !content_no_ws.contains("not(test"))
+}
+
+/// Index just past the `}` matching the `{` at `open`.
+fn match_brace(chars: &[char], open: usize) -> usize {
+    let n = chars.len();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < n {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Byte offsets of standalone occurrences of `word` in `line` (both
+/// neighbours must be non-identifier characters).
+pub fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let at = from + rel;
+        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = line[at + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + word.len();
+    }
+    hits
+}
+
+/// First non-whitespace char at or after byte offset `from`.
+pub fn next_nonspace(line: &str, from: usize) -> Option<char> {
+    line[from..].chars().find(|c| !c.is_whitespace())
+}
+
+/// Last non-whitespace char strictly before byte offset `to`.
+pub fn prev_nonspace(line: &str, to: usize) -> Option<char> {
+    line[..to].chars().rev().find(|c| !c.is_whitespace())
+}

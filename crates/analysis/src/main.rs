@@ -1,0 +1,97 @@
+//! `mrtweb-analysis` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! mrtweb-analysis check [--json] [--fix-hints] [--root <dir>]
+//! mrtweb-analysis rules
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean (no unsuppressed
+//! findings), 1 when findings remain, 2 on usage or I/O errors.
+
+use mrtweb_analysis::{analyze, find_workspace_root, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut json = false;
+    let mut fix_hints = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(arg.clone()),
+            "--json" => json = true,
+            "--fix-hints" => fix_hints = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    match cmd.as_deref() {
+        Some("rules") => {
+            for (name, desc) in rules::RULES {
+                println!("{name:20} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(root, json, fix_hints),
+        _ => usage("expected a subcommand: `check` or `rules`"),
+    }
+}
+
+fn run_check(root: Option<PathBuf>, json: bool, fix_hints: bool) -> ExitCode {
+    let root = if let Some(r) = root {
+        r
+    } else {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        match find_workspace_root(&cwd) {
+            Some(r) => r,
+            None => return usage("no workspace root found above the current directory"),
+        }
+    };
+    let analysis = match analyze(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mrtweb-analysis: failed to read workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", analysis.to_json());
+    } else {
+        for f in analysis.unsuppressed() {
+            println!("{f}");
+            if fix_hints {
+                println!(
+                    "    hint: suffix the line with `// analysis:allow({}) <why this site is safe>`",
+                    f.rule
+                );
+            }
+        }
+        let suppressed = analysis.suppressed().count();
+        let unsuppressed = analysis.unsuppressed().count();
+        println!(
+            "mrtweb-analysis: {} file(s), {} manifest(s): {} finding(s), {} suppressed",
+            analysis.files_scanned, analysis.manifests_checked, unsuppressed, suppressed
+        );
+    }
+
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mrtweb-analysis: {msg}");
+    eprintln!("usage: mrtweb-analysis check [--json] [--fix-hints] [--root <dir>]");
+    eprintln!("       mrtweb-analysis rules");
+    ExitCode::from(2)
+}

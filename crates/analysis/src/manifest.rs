@@ -1,0 +1,228 @@
+//! Cargo.toml parsing and crate-layering enforcement.
+//!
+//! The workspace's crates form a declared DAG (DESIGN.md §11.3):
+//!
+//! ```text
+//! docmodel ──▶ textproc ──▶ content ─┐
+//!                                    ├─▶ transport ─▶ store
+//! erasure ───────────────────────────┤        │
+//! channel ───────────────────────────┘        ▼
+//!                                            sim ──▶ bench
+//! ```
+//!
+//! `erasure` and `channel` are leaf substrates (no internal deps);
+//! `transport` must never grow an edge to `sim` (the protocol cannot
+//! depend on its own simulator); nothing may form a cycle. The checker
+//! reads each `[dependencies]` section with a minimal hand-rolled TOML
+//! scanner (the analyzer is dependency-free) — it understands exactly
+//! the subset the workspace uses: `[section]` headers, `key = value`
+//! lines and `key.workspace = true` dotted keys.
+
+use crate::report::Finding;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The declared layering: crate → internal crates it may depend on.
+/// The root crate `mrtweb` (the CLI binary) sits above the DAG and may
+/// depend on everything.
+pub const DECLARED_DAG: &[(&str, &[&str])] = &[
+    ("docmodel", &[]),
+    ("erasure", &[]),
+    ("channel", &[]),
+    ("analysis", &[]),
+    ("textproc", &["docmodel"]),
+    ("content", &["docmodel", "textproc"]),
+    (
+        "transport",
+        &["docmodel", "textproc", "content", "erasure", "channel"],
+    ),
+    (
+        "store",
+        &["docmodel", "textproc", "content", "erasure", "transport"],
+    ),
+    (
+        "sim",
+        &[
+            "docmodel",
+            "textproc",
+            "content",
+            "erasure",
+            "channel",
+            "transport",
+        ],
+    ),
+    (
+        "bench",
+        &[
+            "docmodel",
+            "textproc",
+            "content",
+            "erasure",
+            "channel",
+            "transport",
+            "sim",
+        ],
+    ),
+];
+
+/// One internal dependency edge read from a manifest.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Short crate name, e.g. `docmodel` (from `mrtweb-docmodel`).
+    pub name: String,
+    /// 1-indexed line of the dependency entry in the manifest.
+    pub line: usize,
+}
+
+/// Internal (`mrtweb-*`) entries of the `[dependencies]` section.
+///
+/// Dev-dependencies are deliberately excluded: they cannot create link
+/// cycles and test-only layering (e.g. proptest oracles) is unrestricted.
+pub fn internal_deps(manifest: &str) -> Vec<Dep> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `mrtweb-foo.workspace = true` or `mrtweb-foo = { path = … }`
+        let key: String = line
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if let Some(short) = key.strip_prefix("mrtweb-") {
+            deps.push(Dep {
+                name: short.to_owned(),
+                line: idx + 1,
+            });
+        }
+    }
+    deps
+}
+
+/// Checks every crate manifest under `crates/` against the declared
+/// DAG and verifies the *actual* graph is acyclic. Returns findings
+/// plus the number of manifests checked.
+pub fn check_layering(root: &Path) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut graph: BTreeMap<String, Vec<Dep>> = BTreeMap::new();
+    let mut checked = 0usize;
+
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return (findings, 0);
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(std::result::Result::ok)
+        .filter(|e| e.path().join("Cargo.toml").is_file())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort();
+
+    for name in &names {
+        let manifest_path = format!("crates/{name}/Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(root.join(&manifest_path)) else {
+            continue;
+        };
+        checked += 1;
+        let deps = internal_deps(&text);
+        let allowed = DECLARED_DAG
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, allowed)| *allowed);
+        match allowed {
+            None => findings.push(layer_finding(
+                &manifest_path,
+                1,
+                format!("crate `{name}` is not in the declared layering DAG; add it to DECLARED_DAG in crates/analysis/src/manifest.rs"),
+            )),
+            Some(allowed) => {
+                for dep in &deps {
+                    if !allowed.contains(&dep.name.as_str()) {
+                        findings.push(layer_finding(
+                            &manifest_path,
+                            dep.line,
+                            format!(
+                                "`{name}` may not depend on `{dep}` (declared deps: {allowed:?})",
+                                dep = dep.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        graph.insert(name.clone(), deps);
+    }
+
+    findings.extend(find_cycle(&graph));
+    (findings, checked)
+}
+
+/// Depth-first cycle detection over the actual dependency graph
+/// (defence in depth: a cycle would also violate the declared DAG, but
+/// this check keeps working even if DECLARED_DAG is edited carelessly).
+fn find_cycle(graph: &BTreeMap<String, Vec<Dep>>) -> Vec<Finding> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn visit(
+        node: &str,
+        graph: &BTreeMap<String, Vec<Dep>>,
+        marks: &mut BTreeMap<String, Mark>,
+        stack: &mut Vec<String>,
+    ) -> Option<Vec<String>> {
+        marks.insert(node.to_owned(), Mark::Grey);
+        stack.push(node.to_owned());
+        for dep in graph.get(node).into_iter().flatten() {
+            match marks.get(&dep.name).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    let mut cycle = stack.clone();
+                    cycle.push(dep.name.clone());
+                    return Some(cycle);
+                }
+                Mark::White if graph.contains_key(&dep.name) => {
+                    if let Some(c) = visit(&dep.name, graph, marks, stack) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        marks.insert(node.to_owned(), Mark::Black);
+        None
+    }
+
+    let mut marks = BTreeMap::new();
+    for node in graph.keys() {
+        if marks.get(node).copied().unwrap_or(Mark::White) == Mark::White {
+            if let Some(cycle) = visit(node, graph, &mut marks, &mut Vec::new()) {
+                return vec![layer_finding(
+                    "crates",
+                    1,
+                    format!("dependency cycle: {}", cycle.join(" -> ")),
+                )];
+            }
+        }
+    }
+    Vec::new()
+}
+
+fn layer_finding(path: &str, line: usize, message: String) -> Finding {
+    Finding {
+        path: path.to_owned(),
+        line,
+        rule: "layering",
+        message,
+        suppressed: false,
+        justification: None,
+    }
+}

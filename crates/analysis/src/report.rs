@@ -1,0 +1,126 @@
+//! Findings and their textual / JSON presentation.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `no-panic-paths`.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// True when an `// analysis:allow(<rule>) <justification>` comment
+    /// covers this finding.
+    pub suppressed: bool,
+    /// The justification text of the covering suppression, if any.
+    pub justification: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of analyzing a workspace.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every finding, suppressed or not, in walk order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crate manifests checked for layering.
+    pub manifests_checked: usize,
+}
+
+impl Analysis {
+    /// Findings not covered by a suppression — these fail the build.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Findings covered by a justified suppression.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed)
+    }
+
+    /// True when nothing unsuppressed was found.
+    pub fn is_clean(&self) -> bool {
+        self.unsuppressed().next().is_none()
+    }
+
+    /// Machine-readable report. `findings` holds only unsuppressed
+    /// violations (an empty array means the gate passes); justified
+    /// suppressions are listed separately for auditability.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        push_findings(&mut out, self.unsuppressed());
+        out.push_str("],\n  \"suppressed\": [");
+        push_findings(&mut out, self.suppressed());
+        out.push_str("],\n");
+        let _ = write!(
+            out,
+            "  \"files_scanned\": {},\n  \"manifests_checked\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.manifests_checked,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+fn push_findings<'a>(out: &mut String, findings: impl Iterator<Item = &'a Finding>) {
+    let mut first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}",
+            json_string(&f.path),
+            f.line,
+            json_string(f.rule),
+            json_string(&f.message)
+        );
+        if let Some(j) = &f.justification {
+            let _ = write!(out, ", \"justification\": {}", json_string(j));
+        }
+        out.push('}');
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string encoder (the crate is dependency-free).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,315 @@
+//! The rule catalog.
+//!
+//! Each rule encodes one invariant of the transmission stack as an
+//! executable check (see DESIGN.md §11 for the rationale):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic-paths` | library crates degrade gracefully, never panic |
+//! | `safety-comment` | every `unsafe` carries a written soundness argument |
+//! | `no-wallclock-in-sim` | fault-schedule replays are deterministic |
+//! | `layering` | the crate DAG stays acyclic and as declared |
+//! | `no-print-in-lib` | library crates never write to stdio |
+//! | `bad-suppression` | suppressions must carry a justification |
+//!
+//! Any finding can be waived in place with
+//! `// analysis:allow(<rule>) <justification>` on the offending line or
+//! the line above; the justification is mandatory.
+
+use crate::lexer::{find_word, next_nonspace, prev_nonspace, Prepared};
+use crate::report::Finding;
+
+/// Crates whose non-test code must not contain panic paths
+/// (`no-panic-paths`): a panic in decode/ARQ violates the paper's
+/// graceful-degradation contract.
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "erasure",
+    "transport",
+    "channel",
+    "store",
+    "content",
+    "docmodel",
+    "textproc",
+];
+
+/// Crates that must use the virtual `clock` instead of the OS clock
+/// (`no-wallclock-in-sim`), so fault-schedule replays stay
+/// deterministic.
+pub const WALLCLOCK_FREE_CRATES: &[&str] = &["sim", "channel"];
+
+/// Crates allowed to print: the root binary crate, the simulator's
+/// figure emitters, the bench harness, and this analyzer itself.
+pub const PRINT_ALLOWED_CRATES: &[&str] = &["mrtweb", "sim", "bench", "analysis"];
+
+/// All per-file rule identifiers, for `--rules` listing and
+/// suppression validation.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-panic-paths",
+        "forbid unwrap()/expect()/panic!/todo!/unimplemented! in non-test library code",
+    ),
+    (
+        "safety-comment",
+        "every unsafe block/fn must be preceded by a // SAFETY: (or /// # Safety) comment",
+    ),
+    (
+        "no-wallclock-in-sim",
+        "forbid std::time::{Instant, SystemTime} in sim and channel (use the virtual clock)",
+    ),
+    (
+        "layering",
+        "crate dependencies must match the declared DAG (checked from Cargo.toml)",
+    ),
+    (
+        "no-print-in-lib",
+        "forbid println!/eprintln! outside the root binary, sim, bench and analysis",
+    ),
+    (
+        "bad-suppression",
+        "analysis:allow comments must name a known rule and carry a justification",
+    ),
+];
+
+/// Is `rule` a known rule identifier?
+pub fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(name, _)| *name == rule)
+}
+
+/// Scans one prepared file and returns its findings (suppressions
+/// already applied). `krate` is the owning crate's short name
+/// (`erasure`, …, or `mrtweb` for the root crate); `all_test` marks
+/// files that are test code wholesale (under `tests/` or `benches/`).
+pub fn scan_file(krate: &str, path: &str, prep: &Prepared, all_test: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let panic_free = PANIC_FREE_CRATES.contains(&krate);
+    let no_wallclock = WALLCLOCK_FREE_CRATES.contains(&krate);
+    let no_print = !PRINT_ALLOWED_CRATES.contains(&krate);
+
+    for (idx, stripped) in prep.stripped.iter().enumerate() {
+        let in_test = all_test || prep.test.get(idx).copied().unwrap_or(false);
+        let line_no = idx + 1;
+
+        // safety-comment applies everywhere, including test code.
+        for at in find_word(stripped, "unsafe") {
+            if starts_unsafe_construct(stripped, at + "unsafe".len())
+                && !has_safety_comment(prep, idx)
+            {
+                findings.push(raw_finding(
+                    path,
+                    line_no,
+                    "safety-comment",
+                    "`unsafe` without an immediately preceding `// SAFETY:` comment".to_owned(),
+                ));
+            }
+        }
+
+        if in_test {
+            continue;
+        }
+
+        if panic_free {
+            for at in find_word(stripped, "unwrap") {
+                if next_nonspace(stripped, at + "unwrap".len()) == Some('(') {
+                    findings.push(raw_finding(
+                        path,
+                        line_no,
+                        "no-panic-paths",
+                        "`unwrap()` in non-test library code; return a typed error".to_owned(),
+                    ));
+                }
+            }
+            for at in find_word(stripped, "expect") {
+                if prev_nonspace(stripped, at) == Some('.')
+                    && next_nonspace(stripped, at + "expect".len()) == Some('(')
+                {
+                    findings.push(raw_finding(
+                        path,
+                        line_no,
+                        "no-panic-paths",
+                        "`.expect()` in non-test library code; return a typed error".to_owned(),
+                    ));
+                }
+            }
+            for mac in ["panic", "todo", "unimplemented"] {
+                for at in find_word(stripped, mac) {
+                    if next_nonspace(stripped, at + mac.len()) == Some('!') {
+                        findings.push(raw_finding(
+                            path,
+                            line_no,
+                            "no-panic-paths",
+                            format!("`{mac}!` in non-test library code; return a typed error"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        if no_wallclock {
+            for word in ["Instant", "SystemTime"] {
+                if !find_word(stripped, word).is_empty() {
+                    findings.push(raw_finding(
+                        path,
+                        line_no,
+                        "no-wallclock-in-sim",
+                        format!("`{word}` in a deterministic crate; use `mrtweb_channel::clock`"),
+                    ));
+                }
+            }
+        }
+
+        if no_print {
+            for mac in ["println", "eprintln", "print", "eprint", "dbg"] {
+                for at in find_word(stripped, mac) {
+                    if next_nonspace(stripped, at + mac.len()) == Some('!') {
+                        findings.push(raw_finding(
+                            path,
+                            line_no,
+                            "no-print-in-lib",
+                            format!("`{mac}!` in library crate `{krate}`"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    apply_suppressions(path, prep, findings)
+}
+
+/// Does the token stream after an `unsafe` keyword open a block, fn,
+/// impl, trait or extern item? (Filters out e.g. struct fields or
+/// doc-text remnants that happen to contain the word.)
+fn starts_unsafe_construct(stripped: &str, after: usize) -> bool {
+    let rest = stripped[after..].trim_start();
+    if rest.is_empty() {
+        // Construct continues on the next line; treat as a start so we
+        // never under-report unsafe.
+        return true;
+    }
+    if rest.starts_with('{') {
+        return true;
+    }
+    let first_token: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    matches!(first_token.as_str(), "fn" | "impl" | "trait" | "extern")
+}
+
+/// Looks for a soundness argument attached to the `unsafe` at line
+/// `idx`: `SAFETY:` on the same line, or on the contiguous run of
+/// comment/attribute lines immediately above (a `/// # Safety` doc
+/// section on an `unsafe fn` also counts).
+fn has_safety_comment(prep: &Prepared, idx: usize) -> bool {
+    let original = &prep.original;
+    if original[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let line = original[k].trim();
+        let is_annotation =
+            line.starts_with("//") || line.starts_with("#[") || line.starts_with("#![");
+        if !is_annotation {
+            return false;
+        }
+        if line.contains("SAFETY:") || line.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+fn raw_finding(path: &str, line: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        path: path.to_owned(),
+        line,
+        rule,
+        message,
+        suppressed: false,
+        justification: None,
+    }
+}
+
+/// A parsed `// analysis:allow(<rule>) <justification>` comment.
+struct Suppression {
+    rule: String,
+    justification: String,
+}
+
+fn parse_suppression(original_line: &str) -> Option<Suppression> {
+    let at = original_line.find("analysis:allow(")?;
+    let rest = &original_line[at + "analysis:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_owned();
+    // Only `kebab-case` tokens are suppression attempts; this keeps
+    // documentation placeholders like `analysis:allow(<rule>)` from
+    // being read as (malformed) suppressions.
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+        return None;
+    }
+    Some(Suppression {
+        rule,
+        justification: rest[close + 1..].trim().to_owned(),
+    })
+}
+
+/// Marks findings covered by a same-line or previous-line suppression,
+/// and reports malformed suppressions (unknown rule / missing
+/// justification) as `bad-suppression` findings.
+fn apply_suppressions(path: &str, prep: &Prepared, mut findings: Vec<Finding>) -> Vec<Finding> {
+    let suppression_at = |line_no: usize| -> Option<(usize, Suppression)> {
+        // Same line first, then the line above.
+        for candidate in [line_no, line_no.wrapping_sub(1)] {
+            if candidate == 0 || candidate > prep.original.len() {
+                continue;
+            }
+            if let Some(s) = parse_suppression(&prep.original[candidate - 1]) {
+                return Some((candidate, s));
+            }
+        }
+        None
+    };
+
+    for f in &mut findings {
+        if let Some((_, s)) = suppression_at(f.line) {
+            if s.rule == f.rule && !s.justification.is_empty() {
+                f.suppressed = true;
+                f.justification = Some(s.justification);
+            }
+        }
+    }
+
+    // Malformed suppressions are findings in their own right, wherever
+    // they appear (they are never themselves suppressible).
+    let mut extra = Vec::new();
+    for (idx, line) in prep.original.iter().enumerate() {
+        if let Some(s) = parse_suppression(line) {
+            if !known_rule(&s.rule) {
+                extra.push(Finding {
+                    path: path.to_owned(),
+                    line: idx + 1,
+                    rule: "bad-suppression",
+                    message: format!("suppression names unknown rule `{}`", s.rule),
+                    suppressed: false,
+                    justification: None,
+                });
+            } else if s.justification.is_empty() {
+                extra.push(Finding {
+                    path: path.to_owned(),
+                    line: idx + 1,
+                    rule: "bad-suppression",
+                    message: format!(
+                        "suppression of `{}` is missing its mandatory justification",
+                        s.rule
+                    ),
+                    suppressed: false,
+                    justification: None,
+                });
+            }
+        }
+    }
+    findings.extend(extra);
+    findings
+}

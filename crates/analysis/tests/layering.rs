@@ -1,0 +1,120 @@
+//! Layering-rule tests against synthetic workspaces on disk.
+
+use mrtweb_analysis::manifest::{check_layering, internal_deps, DECLARED_DAG};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture_workspace(crates: &[(&str, &[&str])]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "mrtweb-analysis-layering-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&root);
+    for (name, deps) in crates {
+        let dir = root.join("crates").join(name);
+        fs::create_dir_all(&dir).unwrap();
+        let mut manifest = format!("[package]\nname = \"mrtweb-{name}\"\n\n[dependencies]\n");
+        for dep in *deps {
+            let _ = writeln!(manifest, "mrtweb-{dep}.workspace = true");
+        }
+        manifest.push_str("\n[dev-dependencies]\nmrtweb-sim.workspace = true\n");
+        fs::write(dir.join("Cargo.toml"), manifest).unwrap();
+    }
+    root
+}
+
+#[test]
+fn internal_deps_reads_both_toml_styles() {
+    let manifest = "\
+[package]
+name = \"mrtweb-transport\"
+
+[dependencies]
+mrtweb-docmodel.workspace = true
+mrtweb-erasure = { path = \"../erasure\" }
+rand.workspace = true
+# mrtweb-sim.workspace = true  (commented out: must not count)
+
+[dev-dependencies]
+mrtweb-channel.workspace = true
+";
+    let deps = internal_deps(manifest);
+    let names: Vec<&str> = deps.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(names, ["docmodel", "erasure"]);
+    assert_eq!(deps[0].line, 5, "line numbers point at the entry");
+}
+
+#[test]
+fn declared_dag_edges_pass() {
+    let root = fixture_workspace(&[
+        ("docmodel", &[]),
+        ("textproc", &["docmodel"]),
+        ("content", &["docmodel", "textproc"]),
+    ]);
+    let (findings, checked) = check_layering(&root);
+    assert_eq!(checked, 3);
+    assert!(findings.is_empty(), "conforming DAG: {findings:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn undeclared_edge_is_a_finding() {
+    // transport -> sim is the canonical forbidden edge: the protocol
+    // must not depend on its own simulator.
+    let root = fixture_workspace(&[("transport", &["sim", "erasure"])]);
+    let (findings, _) = check_layering(&root);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "layering");
+    assert!(findings[0].message.contains("may not depend on `sim`"));
+    assert!(findings[0].path.ends_with("crates/transport/Cargo.toml"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_crate_must_be_declared() {
+    let root = fixture_workspace(&[("sidecar", &[])]);
+    let (findings, _) = check_layering(&root);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0]
+        .message
+        .contains("not in the declared layering DAG"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cycles_are_detected_even_between_declared_crates() {
+    // content -> textproc is declared; a textproc -> content back-edge
+    // completes a cycle and must produce both an edge finding and a
+    // cycle finding.
+    let root = fixture_workspace(&[("content", &["textproc"]), ("textproc", &["content"])]);
+    let (findings, _) = check_layering(&root);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("dependency cycle")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`textproc` may not depend on `content`")),
+        "{findings:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn declared_dag_is_itself_acyclic_and_complete() {
+    // Sanity: every allowed dep of every crate is itself declared.
+    for (name, allowed) in DECLARED_DAG {
+        for dep in *allowed {
+            assert!(
+                DECLARED_DAG.iter().any(|(n, _)| n == dep),
+                "{name} allows undeclared crate {dep}"
+            );
+            assert_ne!(name, dep, "self-edge in DECLARED_DAG");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Fixture-based tests of the rule engine: every rule gets a positive
+//! finding, a suppression, and false-positive-resistance cases around
+//! strings, comments and test code.
+
+use mrtweb_analysis::{scan_source, Finding};
+
+/// Scans `src` as non-test code of crate `krate` at a fixed path.
+fn scan(krate: &str, src: &str) -> Vec<Finding> {
+    scan_source(krate, "fixture.rs", src, false)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.suppressed).collect()
+}
+
+// ---------------------------------------------------------- no-panic-paths
+
+#[test]
+fn unwrap_in_library_code_is_a_finding() {
+    let f = scan("transport", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    assert_eq!(rules(&f), ["no-panic-paths"]);
+    assert_eq!(f[0].line, 1);
+}
+
+#[test]
+fn every_panic_macro_is_reported() {
+    let src = "fn f() {\n    panic!(\"boom\");\n    todo!();\n    unimplemented!();\n}\n";
+    let f = scan("erasure", src);
+    assert_eq!(rules(&f), ["no-panic-paths"; 3]);
+    assert_eq!(
+        f.iter().map(|x| x.line).collect::<Vec<_>>(),
+        [2, 3, 4],
+        "one finding per macro line"
+    );
+}
+
+#[test]
+fn expect_requires_a_method_call_shape() {
+    // `.expect(` is a finding; a free function named expect_err or a
+    // field access is not.
+    let f = scan("store", "fn f(x: Option<u8>) { x.expect(\"gone\"); }\n");
+    assert_eq!(rules(&f), ["no-panic-paths"]);
+    let ok = scan(
+        "store",
+        "fn g(r: Result<u8, u8>) { r.expect_err(\"fine in name\"); }\n",
+    );
+    assert!(ok.is_empty(), "expect_err must not match: {ok:?}");
+}
+
+#[test]
+fn non_library_crates_may_unwrap() {
+    let f = scan("sim", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    assert!(f.is_empty(), "sim is not a panic-free crate: {f:?}");
+}
+
+#[test]
+fn test_code_may_unwrap() {
+    let src = "\
+fn real() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+";
+    let f = scan("transport", src);
+    assert!(f.is_empty(), "test module must be exempt: {f:?}");
+}
+
+#[test]
+fn test_attribute_without_cfg_mod_is_exempt() {
+    let src = "#[test]\nfn t() { Some(1).unwrap(); }\nfn real(x: Option<u8>) { x.unwrap(); }\n";
+    let f = scan("channel", src);
+    assert_eq!(rules(&f), ["no-panic-paths"]);
+    assert_eq!(f[0].line, 3, "only the non-test unwrap is reported");
+}
+
+// ------------------------------------------- string/comment false positives
+
+#[test]
+fn tokens_inside_strings_and_comments_are_ignored() {
+    let src = "\
+fn f() {
+    // a comment mentioning unwrap() and panic!
+    /* block comment: .expect(\"x\") /* nested: todo!() */ still comment */
+    let s = \"string with unwrap() and panic! inside\";
+    let r = r#\"raw string: .expect(\"quoted\") unimplemented!\"#;
+    let c = '\"';
+    let _ = (s, r, c);
+}
+";
+    let f = scan("erasure", src);
+    assert!(f.is_empty(), "literals/comments must not match: {f:?}");
+}
+
+#[test]
+fn char_literal_quote_does_not_open_a_string() {
+    // A naive lexer treats '"' as the start of a string and swallows
+    // the rest of the file, hiding the real unwrap below.
+    let src = "fn f(x: Option<u8>) {\n    let q = '\"';\n    let _ = q;\n    x.unwrap();\n}\n";
+    let f = scan("transport", src);
+    assert_eq!(rules(&f), ["no-panic-paths"]);
+    assert_eq!(f[0].line, 4);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g(y: Option<u8>) { y.unwrap(); }\n";
+    let f = scan("content", src);
+    assert_eq!(rules(&f), ["no-panic-paths"]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn multiline_strings_stay_masked_across_lines() {
+    let src = "fn f() {\n    let s = \"line one\n        unwrap() on a continuation line\n    \";\n    let _ = s;\n}\n";
+    let f = scan("docmodel", src);
+    assert!(f.is_empty(), "continuation lines are literal text: {f:?}");
+}
+
+// ------------------------------------------------------------- suppression
+
+#[test]
+fn justified_suppression_silences_a_finding() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    // analysis:allow(no-panic-paths) invariant: caller checked is_some\n    x.unwrap()\n}\n";
+    let f = scan("transport", src);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed);
+    assert_eq!(
+        f[0].justification.as_deref(),
+        Some("invariant: caller checked is_some")
+    );
+    assert!(unsuppressed(&f).is_empty());
+}
+
+#[test]
+fn same_line_suppression_works() {
+    let src =
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() } // analysis:allow(no-panic-paths) fixture\n";
+    let f = scan("transport", src);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed);
+}
+
+#[test]
+fn suppression_without_justification_is_rejected() {
+    // Built by concatenation so this file never contains a literal
+    // malformed suppression (the workspace self-check scans it too).
+    let marker = format!("// analysis:{}(no-panic-paths)", "allow");
+    let src = format!("fn f(x: Option<u8>) -> u8 {{\n    {marker}\n    x.unwrap()\n}}\n");
+    let f = scan("transport", &src);
+    let r = rules(&f);
+    assert!(
+        r.contains(&"bad-suppression"),
+        "missing justification: {f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "no-panic-paths" && !x.suppressed),
+        "the finding itself must stay live: {f:?}"
+    );
+}
+
+#[test]
+fn suppression_naming_unknown_rule_is_rejected() {
+    let marker = format!("// analysis:{}(no-panik-paths) oops", "allow");
+    let src = format!("fn f() {{}}\n{marker}\n");
+    let f = scan("transport", &src);
+    assert_eq!(rules(&f), ["bad-suppression"]);
+}
+
+#[test]
+fn suppression_for_a_different_rule_does_not_apply() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    // analysis:allow(no-print-in-lib) wrong rule entirely\n    x.unwrap()\n}\n";
+    let f = scan("transport", src);
+    assert_eq!(unsuppressed(&f).len(), 1);
+    assert_eq!(unsuppressed(&f)[0].rule, "no-panic-paths");
+}
+
+// ---------------------------------------------------------- safety-comment
+
+#[test]
+fn unsafe_block_without_safety_comment_is_a_finding() {
+    let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let f = scan("erasure", src);
+    assert_eq!(rules(&f), ["safety-comment"]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn safety_comment_immediately_above_satisfies_the_rule() {
+    let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads by contract\n    unsafe { *p }\n}\n";
+    assert!(scan("erasure", src).is_empty());
+}
+
+#[test]
+fn safety_doc_section_on_unsafe_fn_satisfies_the_rule() {
+    let src = "\
+/// Reads a byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+#[inline]
+pub unsafe fn read(p: *const u8) -> u8 {
+    // SAFETY: forwarded precondition from this fn's # Safety section
+    unsafe { *p }
+}
+";
+    let f = scan("erasure", src);
+    assert!(f.is_empty(), "doc # Safety must count: {f:?}");
+}
+
+#[test]
+fn unsafe_applies_even_in_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(p: *const u8) {\n        unsafe { core::ptr::read(p) };\n    }\n}\n";
+    let f = scan("erasure", src);
+    assert_eq!(rules(&f), ["safety-comment"]);
+}
+
+#[test]
+fn unsafe_in_identifier_or_string_is_not_a_finding() {
+    let src = "fn f() {\n    let unsafe_count = 1;\n    let s = \"unsafe { }\";\n    let _ = (unsafe_count, s);\n}\n";
+    assert!(scan("erasure", src).is_empty());
+}
+
+// ------------------------------------------------------ no-wallclock-in-sim
+
+#[test]
+fn wallclock_types_are_rejected_in_deterministic_crates() {
+    let src = "use std::time::{Duration, Instant};\nfn f() -> Instant { Instant::now() }\n";
+    let f = scan("channel", src);
+    assert_eq!(rules(&f), ["no-wallclock-in-sim"; 2]);
+    let ok = scan("channel", "use std::time::Duration;\n");
+    assert!(ok.is_empty(), "Duration is fine: {ok:?}");
+}
+
+#[test]
+fn wallclock_is_allowed_outside_sim_and_channel() {
+    let src = "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n";
+    assert!(scan("store", src).is_empty());
+}
+
+// ---------------------------------------------------------- no-print-in-lib
+
+#[test]
+fn prints_in_library_crates_are_findings() {
+    let src = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"err\");\n}\n";
+    let f = scan("store", src);
+    assert_eq!(rules(&f), ["no-print-in-lib"; 2]);
+}
+
+#[test]
+fn prints_are_allowed_in_sim_bench_and_the_root_binary() {
+    let src = "fn f() { println!(\"figure data\"); }\n";
+    for krate in ["sim", "bench", "mrtweb", "analysis"] {
+        assert!(scan(krate, src).is_empty(), "{krate} may print");
+    }
+}
+
+#[test]
+fn prints_in_test_code_are_exempt() {
+    let src =
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"debugging\"); }\n}\n";
+    assert!(scan("store", src).is_empty());
+}
+
+// ------------------------------------------------------------ whole files
+
+#[test]
+fn files_marked_all_test_are_fully_exempt_from_code_rules() {
+    let src = "fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let f = scan_source("transport", "tests/helper.rs", src, true);
+    assert!(f.is_empty(), "integration tests may unwrap: {f:?}");
+}

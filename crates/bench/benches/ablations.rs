@@ -64,7 +64,7 @@ fn benches(c: &mut Criterion) {
             b.iter(|| {
                 seed = seed.wrapping_add(1);
                 run_session(black_box(&params), Lod::Document, seed)
-            })
+            });
         });
     }
     g.finish();
@@ -86,7 +86,7 @@ fn benches(c: &mut Criterion) {
                 seed,
             );
             download(black_box(&plan), Relevance::relevant(), &config, &mut link)
-        })
+        });
     });
     g.bench_function("gilbert_a0.2_burst8", |b| {
         let mut seed = 0u64;
@@ -98,7 +98,7 @@ fn benches(c: &mut Criterion) {
                 seed,
             );
             download(black_box(&plan), Relevance::relevant(), &config, &mut link)
-        })
+        });
     });
     g.finish();
 
@@ -107,11 +107,11 @@ fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pipeline");
     g.bench_function("stemming_on", |b| {
         let p = ScPipeline::new().with_stemming(true);
-        b.iter(|| p.run(black_box(&doc)))
+        b.iter(|| p.run(black_box(&doc)));
     });
     g.bench_function("stemming_off", |b| {
         let p = ScPipeline::new().with_stemming(false);
-        b.iter(|| p.run(black_box(&doc)))
+        b.iter(|| p.run(black_box(&doc)));
     });
     g.finish();
 
@@ -121,10 +121,10 @@ fn benches(c: &mut Criterion) {
     let query = Query::parse("browsing mobile web", &pipeline);
     let mut g = c.benchmark_group("ablation_measures");
     g.bench_function("qic_product_form", |b| {
-        b.iter(|| QueryContent::from_index(black_box(&index), &query))
+        b.iter(|| QueryContent::from_index(black_box(&index), &query));
     });
     g.bench_function("mqic_sum_form", |b| {
-        b.iter(|| ModifiedQueryContent::from_index(black_box(&index), &query))
+        b.iter(|| ModifiedQueryContent::from_index(black_box(&index), &query));
     });
     g.finish();
 }

@@ -10,6 +10,7 @@
 //! root so the perf trajectory is tracked across PRs.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
+use std::fmt::Write as _;
 use std::hint::black_box;
 
 use mrtweb_erasure::crc::{crc16, crc16_reference, crc32, crc32_reference};
@@ -42,24 +43,24 @@ fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("erasure_codec");
     g.throughput(Throughput::Bytes(10240));
     g.bench_function("encode_40_60_scalar_baseline", |b| {
-        b.iter(|| encode_scalar_baseline(&codec, black_box(&raws)))
+        b.iter(|| encode_scalar_baseline(&codec, black_box(&raws)));
     });
     g.bench_function("encode_40_60", |b| {
-        b.iter(|| codec.encode(black_box(&data)))
+        b.iter(|| codec.encode(black_box(&data)));
     });
     let mut buf = Vec::new();
     g.bench_function("encode_into_40_60", |b| {
-        b.iter(|| codec.encode_into(black_box(&data), &mut buf))
+        b.iter(|| codec.encode_into(black_box(&data), &mut buf));
     });
     let threads = default_threads();
     g.bench_function("encode_into_parallel_40_60", |b| {
-        b.iter(|| encode_into_parallel(&codec, black_box(&data), &mut buf, threads))
+        b.iter(|| encode_into_parallel(&codec, black_box(&data), &mut buf, threads));
     });
 
     // Decode from the clear-text prefix (no inversion needed).
     let clear: Vec<(usize, Vec<u8>)> = cooked.iter().take(40).cloned().enumerate().collect();
     g.bench_function("decode_all_clear", |b| {
-        b.iter(|| codec.decode(black_box(&clear), 10240).unwrap())
+        b.iter(|| codec.decode(black_box(&clear), 10240).unwrap());
     });
 
     // Decode from a worst-case survivor set (20 clear lost): once with
@@ -67,15 +68,15 @@ fn benches(c: &mut Criterion) {
     // each call, so the cache's contribution stays visible.
     let mixed: Vec<(usize, Vec<u8>)> = (20..60).map(|i| (i, cooked[i].clone())).collect();
     g.bench_function("decode_20_erasures", |b| {
-        b.iter(|| codec.decode(black_box(&mixed), 10240).unwrap())
+        b.iter(|| codec.decode(black_box(&mixed), 10240).unwrap());
     });
     g.bench_function("decode_20_erasures_uncached", |b| {
-        b.iter(|| codec.decode_uncached(black_box(&mixed), 10240).unwrap())
+        b.iter(|| codec.decode_uncached(black_box(&mixed), 10240).unwrap());
     });
 
     for m in [10usize, 40, 100] {
         g.bench_with_input(BenchmarkId::new("codec_setup", m), &m, |b, &m| {
-            b.iter(|| Codec::new(black_box(m), black_box(m + m / 2), 256).unwrap())
+            b.iter(|| Codec::new(black_box(m), black_box(m + m / 2), 256).unwrap());
         });
     }
 
@@ -87,7 +88,7 @@ fn benches(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(doc.len() as u64));
         let mut out = Vec::new();
         g.bench_with_input(BenchmarkId::new("encode_sweep", ps), &ps, |b, _| {
-            b.iter(|| sweep_codec.encode_into(black_box(&doc), &mut out))
+            b.iter(|| sweep_codec.encode_into(black_box(&doc), &mut out));
         });
         let sweep_cooked = sweep_codec.encode(&doc);
         let survivors: Vec<(usize, Vec<u8>)> =
@@ -100,7 +101,7 @@ fn benches(c: &mut Criterion) {
                     sweep_codec
                         .decode(black_box(&survivors), doc.len())
                         .unwrap()
-                })
+                });
             },
         );
     }
@@ -112,7 +113,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let w = frame.to_wire();
             Frame::from_wire(black_box(&w), 256).unwrap()
-        })
+        });
     });
     g.bench_function("crc16_frame", |b| b.iter(|| crc16(black_box(&wire))));
     g.bench_function("crc32_frame", |b| b.iter(|| crc32(black_box(&wire))));
@@ -123,11 +124,11 @@ fn benches(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(big.len() as u64));
     g.bench_function("crc32_64k_sliced", |b| b.iter(|| crc32(black_box(&big))));
     g.bench_function("crc32_64k_bitwise", |b| {
-        b.iter(|| crc32_reference(black_box(&big)))
+        b.iter(|| crc32_reference(black_box(&big)));
     });
     g.bench_function("crc16_64k_sliced", |b| b.iter(|| crc16(black_box(&big))));
     g.bench_function("crc16_64k_bitwise", |b| {
-        b.iter(|| crc16_reference(black_box(&big)))
+        b.iter(|| crc16_reference(black_box(&big)));
     });
     g.finish();
 }
@@ -142,36 +143,39 @@ fn write_summary(c: &Criterion) {
             .map(|r| r.ns_per_iter)
     }
     let mut out = String::from("{\n  \"bench\": \"erasure_codec\",\n");
-    out.push_str(&format!("  \"quick\": {},\n", c.is_quick()));
+    let _ = writeln!(out, "  \"quick\": {},", c.is_quick());
     if let (Some(scalar), Some(fast)) = (
         find(c, "encode_40_60_scalar_baseline"),
         find(c, "encode_40_60"),
     ) {
-        out.push_str(&format!(
-            "  \"encode_40_60_speedup_vs_scalar\": {:.2},\n",
+        let _ = writeln!(
+            out,
+            "  \"encode_40_60_speedup_vs_scalar\": {:.2},",
             scalar / fast
-        ));
+        );
     }
     if let (Some(bitwise), Some(sliced)) =
         (find(c, "crc32_64k_bitwise"), find(c, "crc32_64k_sliced"))
     {
-        out.push_str(&format!(
-            "  \"crc32_speedup_vs_bitwise\": {:.2},\n",
+        let _ = writeln!(
+            out,
+            "  \"crc32_speedup_vs_bitwise\": {:.2},",
             bitwise / sliced
-        ));
+        );
     }
     out.push_str("  \"results\": [\n");
     let records = c.records();
     for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}",
             r.name, r.ns_per_iter
-        ));
+        );
         if let Some(bytes) = r.bytes_per_iter {
-            out.push_str(&format!(", \"bytes_per_iter\": {bytes}"));
+            let _ = write!(out, ", \"bytes_per_iter\": {bytes}");
         }
         if let Some(mib) = r.mib_per_s {
-            out.push_str(&format!(", \"mib_per_s\": {mib:.1}"));
+            let _ = write!(out, ", \"mib_per_s\": {mib:.1}");
         }
         out.push_str(if i + 1 == records.len() {
             "}\n"

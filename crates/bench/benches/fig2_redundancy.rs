@@ -13,7 +13,7 @@ fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     for m in [10usize, 50, 100] {
         g.bench_with_input(BenchmarkId::new("min_cooked_packets", m), &m, |b, &m| {
-            b.iter(|| min_cooked_packets(black_box(m), black_box(0.3), black_box(0.95)).unwrap())
+            b.iter(|| min_cooked_packets(black_box(m), black_box(0.3), black_box(0.95)).unwrap());
         });
     }
     g.bench_function("full_grid_s95", |b| {
@@ -25,10 +25,10 @@ fn benches(c: &mut Criterion) {
                 }
             }
             total
-        })
+        });
     });
     g.bench_function("success_probability_tail", |b| {
-        b.iter(|| success_probability(black_box(100), black_box(250), black_box(0.5)).unwrap())
+        b.iter(|| success_probability(black_box(100), black_box(250), black_box(0.5)).unwrap());
     });
     g.finish();
 }

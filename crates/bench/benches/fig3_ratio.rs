@@ -21,7 +21,7 @@ fn benches(c: &mut Criterion) {
                 }
             }
             acc
-        })
+        });
     });
     g.bench_function("adaptive_observe_and_plan", |b| {
         let mut ctl = AdaptiveRedundancy::default();
@@ -29,7 +29,7 @@ fn benches(c: &mut Criterion) {
             ctl.observe(black_box(true));
             ctl.observe(black_box(false));
             ctl.plan(black_box(40)).unwrap().cooked
-        })
+        });
     });
     g.finish();
 }

@@ -30,7 +30,7 @@ fn benches(c: &mut Criterion) {
             b.iter(|| {
                 seed = seed.wrapping_add(1);
                 run_session(black_box(p), Lod::Document, seed)
-            })
+            });
         });
     }
     g.finish();

@@ -19,11 +19,11 @@ fn benches(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table1");
     g.bench_function("xml_parse", |b| {
-        b.iter(|| Document::parse_xml(black_box(PAPER_DRAFT_XML)).unwrap())
+        b.iter(|| Document::parse_xml(black_box(PAPER_DRAFT_XML)).unwrap());
     });
     g.bench_function("sc_pipeline", |b| b.iter(|| pipeline.run(black_box(&doc))));
     g.bench_function("sc_build_with_query", |b| {
-        b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)))
+        b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)));
     });
     for q in [
         "mobile",
@@ -35,7 +35,7 @@ fn benches(c: &mut Criterion) {
             &q,
             |b, q| {
                 let query = Query::parse(q, &pipeline);
-                b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)))
+                b.iter(|| StructuralCharacteristic::from_index(black_box(&index), Some(&query)));
             },
         );
     }

@@ -6,6 +6,8 @@
 //! `cargo bench -p mrtweb-bench` for everything, or
 //! `cargo bench -p mrtweb-bench --bench fig4_exp1` for one artifact.
 
+#![forbid(unsafe_code)]
+
 use mrtweb_sim::experiments::Scale;
 
 /// The workload used when a bench regenerates figure data: large enough

@@ -35,6 +35,8 @@
 //! assert!((bw.seconds_for(260) - 0.10833).abs() < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod bernoulli;
 pub mod clock;

@@ -136,7 +136,7 @@ impl UserProfile {
     /// the result plugs into the exact QIC formulas.
     pub fn to_query(&self, top: usize, granularity: u64) -> Query {
         let stems = self.top_stems(top);
-        let max = stems.first().map(|&(_, w)| w).unwrap_or(0.0);
+        let max = stems.first().map_or(0.0, |&(_, w)| w);
         if max <= 0.0 {
             return Query::new();
         }

@@ -8,6 +8,7 @@
 //! the paper's Table 1 prints.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 use mrtweb_docmodel::lod::Lod;
 use mrtweb_docmodel::unit::UnitPath;
@@ -162,12 +163,13 @@ impl StructuralCharacteristic {
             }
             let indent = "  ".repeat(e.path.depth().saturating_sub(1));
             let label = format!("{indent}{}", e.path);
-            out.push_str(&format!(
-                "{label:<25} {ic:.5}    {qic:.5}    {mqic:.5}\n",
+            let _ = writeln!(
+                out,
+                "{label:<25} {ic:.5}    {qic:.5}    {mqic:.5}",
                 ic = e.ic,
                 qic = e.qic,
                 mqic = e.mqic,
-            ));
+            );
         }
         out
     }

@@ -171,13 +171,16 @@ impl SyntheticDocSpec {
         let para_bytes = self.target_bytes / self.paragraph_count();
 
         let mut root = Unit::new(Lod::Document).with_title("Synthetic Document");
-        let mut w_iter = weights.iter();
+        // draw_weights returns exactly paragraph_count() entries, one
+        // consumed per constructed paragraph below.
+        let mut next_weight = 0usize;
         for s in 0..self.sections {
             let mut section = Unit::new(Lod::Section).with_title(format!("Section {s}"));
             for ss in 0..self.subsections_per_section {
                 let mut sub = Unit::new(Lod::Subsection).with_title(format!("Subsection {s}.{ss}"));
                 for _ in 0..self.paragraphs_per_subsection {
-                    let w = *w_iter.next().expect("weight per paragraph");
+                    let w = weights[next_weight];
+                    next_weight += 1;
                     sub.push_child(self.make_paragraph(rng, w, para_bytes));
                 }
                 section.push_child(sub);
@@ -248,8 +251,8 @@ mod tests {
         let w = spec.draw_weights(&mut rng);
         let sum: f64 = w.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
-        let maxw = w.iter().cloned().fold(f64::MIN, f64::max);
-        let minw = w.iter().cloned().fold(f64::MAX, f64::min);
+        let maxw = w.iter().copied().fold(f64::MIN, f64::max);
+        let minw = w.iter().copied().fold(f64::MAX, f64::min);
         assert!(
             maxw / minw <= 4.0 + 1e-9,
             "ratio {} exceeds skew",

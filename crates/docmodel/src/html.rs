@@ -215,9 +215,8 @@ impl HtmlBuilder {
     }
 
     fn close_heading(&mut self, level: usize) {
-        let title = match self.heading_buf.take() {
-            Some((_, buf)) => buf,
-            None => return,
+        let Some((_, title)) = self.heading_buf.take() else {
+            return;
         };
         match level {
             1 => {

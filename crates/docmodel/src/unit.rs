@@ -189,7 +189,7 @@ impl Unit {
     /// Number of content bytes in the subtree (title + runs of every
     /// descendant). This is the unit's transmission size.
     pub fn content_len(&self) -> usize {
-        let own: usize = self.title.as_ref().map_or(0, |t| t.len())
+        let own: usize = self.title.as_ref().map_or(0, std::string::String::len)
             + self.runs.iter().map(|r| r.text.len()).sum::<usize>();
         own + self.children.iter().map(Unit::content_len).sum::<usize>()
     }

@@ -299,9 +299,8 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn read_attr_value(&mut self) -> Result<String, ParseError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(self.err("expected quoted attribute value")),
+        let Some(quote @ (b'"' | b'\'')) = self.peek() else {
+            return Err(self.err("expected quoted attribute value"));
         };
         self.bump();
         let mut out: Vec<u8> = Vec::new();
@@ -516,7 +515,7 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
                 if self_closing {
                     // Immediately close what we just opened.
                     close_element(
-                        &role,
+                        role,
                         &mut stack,
                         &mut emphasis_depth,
                         &mut title_buf,
@@ -539,7 +538,7 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
                     ));
                 }
                 close_element(
-                    &role,
+                    role,
                     &mut stack,
                     &mut emphasis_depth,
                     &mut title_buf,
@@ -593,7 +592,7 @@ pub fn parse_with_schema(input: &str, schema: &Schema) -> Result<Unit, ParseErro
 }
 
 fn close_element(
-    role: &Role,
+    role: Role,
     stack: &mut Vec<Unit>,
     emphasis_depth: &mut usize,
     title_buf: &mut Option<String>,
@@ -601,7 +600,9 @@ fn close_element(
 ) -> Result<(), String> {
     match role {
         Role::Structural(_) => {
-            let unit = stack.pop().expect("structural close with empty stack");
+            let Some(unit) = stack.pop() else {
+                return Err("structural close with empty stack".to_owned());
+            };
             match stack.last_mut() {
                 Some(parent) => parent.push_child(unit),
                 None => *root = Some(unit),
@@ -609,7 +610,9 @@ fn close_element(
         }
         Role::Title => {
             let text = title_buf.take().unwrap_or_default();
-            let top = stack.last_mut().expect("title close outside structure");
+            let Some(top) = stack.last_mut() else {
+                return Err("title close outside structure".to_owned());
+            };
             // An <abstract> pre-set title yields to an explicit <title>.
             top.set_title(Some(text));
         }

@@ -16,7 +16,7 @@ proptest! {
         // Drain until end or error; both are acceptable outcomes.
         for _ in 0..2000 {
             match tok.next_event() {
-                Ok(Some(_)) => continue,
+                Ok(Some(_)) => {}
                 Ok(None) | Err(_) => break,
             }
         }

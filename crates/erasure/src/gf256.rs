@@ -58,6 +58,9 @@ const fn const_mul(a: u8, b: u8) -> u8 {
     }
 }
 
+// Const-evaluated only (it feeds the split-table statics); the 64 KiB
+// scratch array never lives on a runtime stack.
+#[allow(clippy::large_stack_arrays)]
 const fn build_mul_rows() -> [[u8; 256]; 256] {
     let mut rows = [[0u8; 256]; 256];
     let mut c = 0;
@@ -398,12 +401,14 @@ fn kernel<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
+            // SAFETY: AVX2 support was just verified at runtime; the
+            // kernel bounds all accesses to min(dst.len(), src.len()).
             unsafe { simd::mul_avx2::<ACC>(dst, src, c) };
             return;
         }
         if std::arch::is_x86_feature_detected!("ssse3") {
-            // SAFETY: SSSE3 support was just verified at runtime.
+            // SAFETY: SSSE3 support was just verified at runtime; the
+            // kernel bounds all accesses to min(dst.len(), src.len()).
             unsafe { simd::mul_ssse3::<ACC>(dst, src, c) };
             return;
         }
@@ -447,44 +452,69 @@ mod simd {
     //! per 128-bit lane, so with the 16-entry half-tables for a
     //! coefficient `c` loaded into two registers, a whole vector of
     //! products is `shuffle(LO, x & 0x0f) ⊕ shuffle(HI, x >> 4)`.
+    // The `loadu`/`storeu` intrinsics are specified for arbitrarily
+    // aligned pointers; the casts below change only the pointee type
+    // and never assume alignment.
+    #![allow(clippy::cast_ptr_alignment)]
 
     use super::{MUL_HI, MUL_LO};
 
     #[cfg(target_arch = "x86_64")]
-    use std::arch::x86_64::*;
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+        _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
+        _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
+        _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+    };
 
     /// AVX2 kernel: 32 bytes per step.
     ///
     /// # Safety
     ///
-    /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
+    /// Caller must ensure AVX2 is available (checked at runtime by the
+    /// dispatcher). Length mismatches are tolerated: the kernel only
+    /// touches the first `min(dst.len(), src.len())` bytes, exactly
+    /// like the scalar path's zip.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn mul_avx2<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
-        let lo128 = _mm_loadu_si128(MUL_LO[c as usize].as_ptr() as *const __m128i);
-        let hi128 = _mm_loadu_si128(MUL_HI[c as usize].as_ptr() as *const __m128i);
+        // SAFETY: MUL_LO/MUL_HI rows are [u8; 16], so each row supports
+        // exactly one 128-bit unaligned load.
+        let (lo128, hi128) = unsafe {
+            (
+                _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast::<__m128i>()),
+                _mm_loadu_si128(MUL_HI[c as usize].as_ptr().cast::<__m128i>()),
+            )
+        };
         // vpshufb indexes within each 128-bit lane, so the half-tables
         // are replicated into both lanes.
         let lo_tbl = _mm256_broadcastsi128_si256(lo128);
         let hi_tbl = _mm256_broadcastsi128_si256(hi128);
         let mask = _mm256_set1_epi8(0x0f);
 
-        let len = dst.len();
+        let len = dst.len().min(src.len());
         let dp = dst.as_mut_ptr();
         let sp = src.as_ptr();
         let mut i = 0;
         while i + 32 <= len {
-            let x = _mm256_loadu_si256(sp.add(i) as *const __m256i);
-            let lo_idx = _mm256_and_si256(x, mask);
-            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(x), mask);
-            let mut prod = _mm256_xor_si256(
-                _mm256_shuffle_epi8(lo_tbl, lo_idx),
-                _mm256_shuffle_epi8(hi_tbl, hi_idx),
-            );
-            if ACC {
-                let d = _mm256_loadu_si256(dp.add(i) as *const __m256i);
-                prod = _mm256_xor_si256(prod, d);
+            // SAFETY: `i + 32 <= len <= dst.len(), src.len()`, so the
+            // 32-byte unaligned loads and store at offset `i` stay in
+            // bounds of the live `dst`/`src` borrows; `dp`/`sp` are
+            // derived from those borrows and unaligned access is what
+            // the *_loadu_*/*_storeu_* intrinsics are specified for.
+            unsafe {
+                let x = _mm256_loadu_si256(sp.add(i).cast::<__m256i>());
+                let lo_idx = _mm256_and_si256(x, mask);
+                let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(x), mask);
+                let mut prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(lo_tbl, lo_idx),
+                    _mm256_shuffle_epi8(hi_tbl, hi_idx),
+                );
+                if ACC {
+                    let d = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+                    prod = _mm256_xor_si256(prod, d);
+                }
+                _mm256_storeu_si256(dp.add(i).cast::<__m256i>(), prod);
             }
-            _mm256_storeu_si256(dp.add(i) as *mut __m256i, prod);
             i += 32;
         }
         super::mul_portable::<ACC>(&mut dst[i..], &src[i..], c);
@@ -494,30 +524,46 @@ mod simd {
     ///
     /// # Safety
     ///
-    /// Caller must ensure SSSE3 is available and `dst.len() == src.len()`.
+    /// Caller must ensure SSSE3 is available (checked at runtime by
+    /// the dispatcher). Length mismatches are tolerated: the kernel
+    /// only touches the first `min(dst.len(), src.len())` bytes,
+    /// exactly like the scalar path's zip.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn mul_ssse3<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
-        let lo_tbl = _mm_loadu_si128(MUL_LO[c as usize].as_ptr() as *const __m128i);
-        let hi_tbl = _mm_loadu_si128(MUL_HI[c as usize].as_ptr() as *const __m128i);
+        // SAFETY: MUL_LO/MUL_HI rows are [u8; 16], so each row supports
+        // exactly one 128-bit unaligned load.
+        let (lo_tbl, hi_tbl) = unsafe {
+            (
+                _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast::<__m128i>()),
+                _mm_loadu_si128(MUL_HI[c as usize].as_ptr().cast::<__m128i>()),
+            )
+        };
         let mask = _mm_set1_epi8(0x0f);
 
-        let len = dst.len();
+        let len = dst.len().min(src.len());
         let dp = dst.as_mut_ptr();
         let sp = src.as_ptr();
         let mut i = 0;
         while i + 16 <= len {
-            let x = _mm_loadu_si128(sp.add(i) as *const __m128i);
-            let lo_idx = _mm_and_si128(x, mask);
-            let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(x), mask);
-            let mut prod = _mm_xor_si128(
-                _mm_shuffle_epi8(lo_tbl, lo_idx),
-                _mm_shuffle_epi8(hi_tbl, hi_idx),
-            );
-            if ACC {
-                let d = _mm_loadu_si128(dp.add(i) as *const __m128i);
-                prod = _mm_xor_si128(prod, d);
+            // SAFETY: `i + 16 <= len <= dst.len(), src.len()`, so the
+            // 16-byte unaligned loads and store at offset `i` stay in
+            // bounds of the live `dst`/`src` borrows; `dp`/`sp` are
+            // derived from those borrows and unaligned access is what
+            // the *_loadu_*/*_storeu_* intrinsics are specified for.
+            unsafe {
+                let x = _mm_loadu_si128(sp.add(i).cast::<__m128i>());
+                let lo_idx = _mm_and_si128(x, mask);
+                let hi_idx = _mm_and_si128(_mm_srli_epi64::<4>(x), mask);
+                let mut prod = _mm_xor_si128(
+                    _mm_shuffle_epi8(lo_tbl, lo_idx),
+                    _mm_shuffle_epi8(hi_tbl, hi_idx),
+                );
+                if ACC {
+                    let d = _mm_loadu_si128(dp.add(i) as *const __m128i);
+                    prod = _mm_xor_si128(prod, d);
+                }
+                _mm_storeu_si128(dp.add(i).cast::<__m128i>(), prod);
             }
-            _mm_storeu_si128(dp.add(i) as *mut __m128i, prod);
             i += 16;
         }
         super::mul_portable::<ACC>(&mut dst[i..], &src[i..], c);

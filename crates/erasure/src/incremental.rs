@@ -103,10 +103,9 @@ impl IncrementalDecoder {
         }
 
         // Phase 2: whatever survives is supported only on free columns.
-        let pivot = match coeffs.iter().position(|c| !c.is_zero()) {
-            Some(p) => p,
-            // Fully reduced to zero: linearly dependent on held packets.
-            None => return Ok(false),
+        // Fully reduced to zero means linearly dependent on held packets.
+        let Some(pivot) = coeffs.iter().position(|c| !c.is_zero()) else {
+            return Ok(false);
         };
         debug_assert!(
             self.rows[pivot].is_none(),
@@ -178,9 +177,16 @@ impl IncrementalDecoder {
         }
         let mut out = Vec::with_capacity(len);
         for i in 0..self.m {
-            let (_, data) = self.rows[i]
-                .as_ref()
-                .expect("complete decoder has all rows");
+            // A complete decoder (rank == M after elimination) has all
+            // M rows populated; a missing row means the rank
+            // accounting was corrupted, which we surface as not having
+            // enough packets rather than panicking mid-decode.
+            let Some((_, data)) = self.rows[i].as_ref() else {
+                return Err(Error::NotEnoughPackets {
+                    have: self.rank,
+                    need: self.m,
+                });
+            };
             let take = self.packet_size.min(len - out.len());
             out.extend_from_slice(&data[..take]);
             if out.len() == len {

@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod crc;
 pub mod gf256;
 pub mod ida;

@@ -177,6 +177,8 @@ impl Matrix {
     /// [`Error::InvalidParameters`] with the matrix dimensions, since for
     /// Vandermonde-derived matrices it indicates caller misuse
     /// (duplicated packet indices).
+    // Gauss-Jordan reads naturally in the textbook a/n/r/c notation.
+    #[allow(clippy::many_single_char_names)]
     pub fn inverse(&self) -> Result<Matrix, Error> {
         if self.rows != self.cols {
             return Err(Error::InvalidParameters {

@@ -27,8 +27,7 @@ use crate::Error;
 /// parallelism, capped so tiny work items don't drown in spawn cost.
 pub fn default_threads() -> usize {
     thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(16)
 }
 
@@ -160,6 +159,7 @@ impl GroupCodec {
                 .collect();
             results = handles
                 .into_iter()
+                // analysis:allow(no-panic-paths) join() only fails when a worker panicked; re-raising preserves the worker's message, and the kernels the workers run are panic-free on all inputs (property-tested)
                 .map(|h| h.join().expect("encode worker panicked"))
                 .collect();
         });
@@ -196,6 +196,7 @@ impl GroupCodec {
                 .collect();
             results = handles
                 .into_iter()
+                // analysis:allow(no-panic-paths) join() only fails when a worker panicked; decode errors travel in-band as Result, so a join failure can only be a re-raised worker panic
                 .map(|h| h.join().expect("decode worker panicked"))
                 .collect();
         });

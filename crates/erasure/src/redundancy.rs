@@ -57,7 +57,7 @@ pub fn pmf(m: usize, alpha: f64, x: usize) -> Result<f64, Error> {
         return Ok(0.0);
     }
     // Iterate the recurrence t_{x+1} = t_x * α * x / (x+1−M) from t_M.
-    let mut t = (1.0 - alpha).powi(m as i32);
+    let mut t = (1.0 - alpha).powi(i32::try_from(m).unwrap_or(i32::MAX));
     for k in m..x {
         t *= alpha * k as f64 / (k + 1 - m) as f64;
     }
@@ -76,7 +76,7 @@ pub fn success_probability(m: usize, n: usize, alpha: f64) -> Result<f64, Error>
     if n < m {
         return Ok(0.0);
     }
-    let mut t = (1.0 - alpha).powi(m as i32);
+    let mut t = (1.0 - alpha).powi(i32::try_from(m).unwrap_or(i32::MAX));
     let mut cdf = t;
     for k in m..n {
         t *= alpha * k as f64 / (k + 1 - m) as f64;
@@ -122,7 +122,7 @@ pub fn min_cooked_packets(m: usize, alpha: f64, s: f64) -> Result<usize, Error> 
     check_success(s)?;
     assert!(m > 0, "m must be positive");
     let cap = ((64.0 * m as f64 / (1.0 - alpha)).ceil() as usize).max(m + 64);
-    let mut t = (1.0 - alpha).powi(m as i32);
+    let mut t = (1.0 - alpha).powi(i32::try_from(m).unwrap_or(i32::MAX));
     let mut cdf = t;
     let mut n = m;
     while cdf < s && n < cap {
@@ -390,8 +390,8 @@ mod tests {
                 .filter(|p| (p.alpha - alpha).abs() < 1e-9)
                 .map(|p| p.gamma)
                 .collect();
-            let maxg = gs.iter().cloned().fold(f64::MIN, f64::max);
-            let ming = gs.iter().cloned().fold(f64::MAX, f64::min);
+            let maxg = gs.iter().copied().fold(f64::MIN, f64::max);
+            let ming = gs.iter().copied().fold(f64::MAX, f64::min);
             assert!(maxg - ming < 1.0, "gamma spread too wide at alpha={alpha}");
         }
     }

@@ -26,7 +26,7 @@ use mrtweb_transport::session::CacheMode;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let what = args.first().map_or("all", String::as_str);
     let mut scale = Scale {
         docs: 60,
         reps: 5,
@@ -136,8 +136,7 @@ fn main() {
                 let v = pts
                     .iter()
                     .find(|p| p.strategy == strategy && (p.alpha - alpha).abs() < 1e-9)
-                    .map(|p| p.summary.mean)
-                    .unwrap_or(f64::NAN);
+                    .map_or(f64::NAN, |p| p.summary.mean);
                 print!(" {v:>10.2}");
             }
             println!();

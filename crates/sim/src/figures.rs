@@ -52,8 +52,7 @@ pub fn render_figure2() -> String {
                 let n = points
                     .iter()
                     .find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9)
-                    .map(|p| p.n)
-                    .unwrap_or(0);
+                    .map_or(0, |p| p.n);
                 let _ = write!(out, "  {n:>6}");
             }
             let _ = writeln!(out);
@@ -80,8 +79,7 @@ pub fn render_figure3() -> String {
                 let g = points
                     .iter()
                     .find(|p| p.m == m && (p.alpha - alpha).abs() < 1e-9)
-                    .map(|p| p.gamma)
-                    .unwrap_or(f64::NAN);
+                    .map_or(f64::NAN, |p| p.gamma);
                 let _ = write!(out, " {g:>8.3}");
             }
             let _ = writeln!(out);

@@ -19,6 +19,8 @@
 //! * [`table1`] — regenerates Table 1 (IC/QIC/MQIC of a draft of the
 //!   paper) from an embedded XML draft through the full text pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive_session;
 pub mod baselines;
 pub mod browsing;

@@ -162,12 +162,12 @@ mod tests {
             let maxc = d
                 .paragraph_contents
                 .iter()
-                .cloned()
+                .copied()
                 .fold(f64::MIN, f64::max);
             let minc = d
                 .paragraph_contents
                 .iter()
-                .cloned()
+                .copied()
                 .fold(f64::MAX, f64::min);
             assert!(maxc / minc <= 5.0 + 1e-9);
         }
@@ -189,7 +189,7 @@ mod tests {
                 total += d
                     .paragraph_contents
                     .iter()
-                    .cloned()
+                    .copied()
                     .fold(f64::MIN, f64::max);
             }
             total / 50.0

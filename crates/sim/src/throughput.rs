@@ -76,12 +76,12 @@ pub fn measure_throughput(params: &Params, lod: Lod, seed: u64) -> ThroughputRes
         total_time += report.response_time;
         total_packets += report.packets_sent;
         useful_content += report.content;
-        if !irrelevant {
-            useful_bytes += plan.total_bytes() as f64;
-            useful_packets += report.m as u64;
-        } else {
+        if irrelevant {
             // Clear-text packets that contributed to the judgement.
             useful_packets += ((report.content * report.m as f64).round()) as u64;
+        } else {
+            useful_bytes += plan.total_bytes() as f64;
+            useful_packets += report.m as u64;
         }
     }
     ThroughputResult {

@@ -526,7 +526,7 @@ mod tests {
         let header = 4 + 1 + 4 + 4 + 4 + 8 + 4;
         let group_start = header + 4;
         // Kill N - M + 1 packets of group 0: below the decode threshold.
-        for k in 0..(n - m + 1) {
+        for k in 0..=(n - m) {
             blob[group_start + k * (ps + 4)] ^= 0xFF;
         }
         assert_eq!(

@@ -19,6 +19,8 @@
 //!   prepares a ready-to-send [`mrtweb_transport::live::LiveServer`]
 //!   for a `(url, query, LOD, γ)` request.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod disk;
 pub mod gateway;

@@ -26,8 +26,8 @@
 /// make sense for plain English words.
 pub fn stem(word: &str) -> String {
     let mut w = word.to_lowercase();
-    if let Some(stripped) = w.strip_suffix("'s") {
-        w = stripped.to_owned();
+    if w.ends_with("'s") {
+        w.truncate(w.len() - 2);
     }
     w.retain(|c| c != '\'');
     if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_lowercase()) {
@@ -46,7 +46,12 @@ pub fn stem(word: &str) -> String {
     s.step4();
     s.step5();
     s.b.truncate(s.k + 1);
-    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+    // The input was verified all-ASCII-lowercase above and the stemmer
+    // only truncates, so this never takes the lossy path.
+    match String::from_utf8(s.b) {
+        Ok(stemmed) => stemmed,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    }
 }
 
 /// Porter stemmer state: `b[0..=k]` is the word, `j` is the stem

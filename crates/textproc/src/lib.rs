@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod index;
 pub mod keywords;
 pub mod lemmatizer;

@@ -61,7 +61,7 @@ pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
     text.split(|c: char| !(c.is_alphanumeric() || c == '\''))
         .map(|t| t.trim_matches('\''))
         .filter(|t| !t.is_empty() && t.chars().any(char::is_alphabetic))
-        .map(|t| t.to_lowercase())
+        .map(str::to_lowercase)
 }
 
 /// Recognizes a whole document: one [`RecognizedUnit`] per

@@ -82,7 +82,7 @@ proptest! {
         let doc = spec.generate(seed).document;
         let pipeline = ScPipeline::default();
         let index = pipeline.run(&doc);
-        let mut summed: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut summed = std::collections::BTreeMap::<String, u64>::new();
         for e in index.entries() {
             for (stem, n) in &e.counts {
                 *summed.entry(stem.clone()).or_insert(0) += n;

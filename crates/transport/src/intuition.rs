@@ -35,7 +35,7 @@ use crate::plan::{TransmissionPlan, UnitSlice};
 /// let mut ord = IntuitionOrdering::new(0.5);
 /// ord.set("intro", 1.0);
 /// ord.set("appendix", 0.0);
-/// let plan = ord.plan(slices);
+/// let plan = ord.plan(&slices);
 /// assert_eq!(plan.slices()[0].label, "intro");
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,7 +90,7 @@ impl IntuitionOrdering {
 
     /// Builds a transmission plan ordered by blended priority
     /// (descending; ties keep the input order).
-    pub fn plan(&self, slices: Vec<UnitSlice>) -> TransmissionPlan {
+    pub fn plan(&self, slices: &[UnitSlice]) -> TransmissionPlan {
         // Scale intuition to the mean content mass so λ interpolates
         // between comparable quantities.
         let mass_scale = if slices.is_empty() {
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn lambda_zero_is_pure_content_order() {
         let ord = IntuitionOrdering::new(0.0);
-        let plan = ord.plan(slices());
+        let plan = ord.plan(&slices());
         let labels: Vec<&str> = plan.slices().iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, ["b", "c", "a"]);
     }
@@ -133,7 +133,7 @@ mod tests {
     fn lambda_one_is_pure_intuition_order() {
         let mut ord = IntuitionOrdering::new(1.0);
         ord.set("a", 0.9).set("b", 0.1).set("c", 0.5);
-        let plan = ord.plan(slices());
+        let plan = ord.plan(&slices());
         let labels: Vec<&str> = plan.slices().iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, ["a", "c", "b"]);
     }
@@ -142,7 +142,7 @@ mod tests {
     fn blend_promotes_marked_units_without_destroying_content_order() {
         let mut ord = IntuitionOrdering::new(0.3);
         ord.set("a", 1.0); // weak content, strong intuition
-        let plan = ord.plan(slices());
+        let plan = ord.plan(&slices());
         let labels: Vec<&str> = plan.slices().iter().map(|s| s.label.as_str()).collect();
         // "a" climbs above "c" but the strong-content "b" stays first.
         assert_eq!(labels, ["b", "a", "c"]);
@@ -153,7 +153,7 @@ mod tests {
         let mut ord = IntuitionOrdering::new(0.5);
         ord.set("b", 0.0);
         assert_eq!(ord.level("zzz"), 0.0);
-        let plan = ord.plan(slices());
+        let plan = ord.plan(&slices());
         assert_eq!(plan.slices().len(), 3);
     }
 
@@ -161,7 +161,7 @@ mod tests {
     fn plan_preserves_total_content_and_bytes() {
         let mut ord = IntuitionOrdering::new(0.7);
         ord.set("a", 0.4);
-        let plan = ord.plan(slices());
+        let plan = ord.plan(&slices());
         assert!((plan.total_content() - 1.0).abs() < 1e-12);
         assert_eq!(plan.total_bytes(), 30);
     }
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn empty_slices_yield_empty_plan() {
         let ord = IntuitionOrdering::new(0.5);
-        let plan = ord.plan(Vec::new());
+        let plan = ord.plan(&[]);
         assert!(plan.slices().is_empty());
     }
 

@@ -25,6 +25,8 @@
 //!   CRC-framed bytes over a corrupting link (the Rust analogue of the
 //!   paper's Figure 1 CORBA prototype).
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod arq;
 pub mod compress;

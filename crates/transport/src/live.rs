@@ -209,16 +209,13 @@ impl LiveClient {
     /// Feeds one wire frame (possibly corrupted). Returns rendering
     /// events triggered by this frame.
     pub fn on_wire(&mut self, wire: &[u8]) -> Vec<ClientEvent> {
-        let frame = match Frame::from_wire(wire, self.header.packet_size) {
-            Ok(f) => f,
-            Err(_) => {
-                // Corrupted: detected by CRC, discarded. Sequence is
-                // unknown, so we only book the corruption statistically;
-                // index 0 is safe because corrupted packets never alter
-                // intact bookkeeping.
-                self.state.on_packet(0, true);
-                return Vec::new();
-            }
+        let Ok(frame) = Frame::from_wire(wire, self.header.packet_size) else {
+            // Corrupted: detected by CRC, discarded. Sequence is
+            // unknown, so we only book the corruption statistically;
+            // index 0 is safe because corrupted packets never alter
+            // intact bookkeeping.
+            self.state.on_packet(0, true);
+            return Vec::new();
         };
         let idx = frame.sequence() as usize;
         if idx >= self.header.n || self.state.has(idx) {
@@ -637,7 +634,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut last: std::collections::HashMap<String, f64> = Default::default();
+        let mut last = std::collections::HashMap::<String, f64>::new();
         for e in &report.events {
             if let ClientEvent::SliceProgress { label, fraction } = e {
                 let prev = last.insert(label.clone(), *fraction).unwrap_or(0.0);
@@ -661,7 +658,7 @@ mod tests {
         );
         let first_event = report.events.iter().find_map(|e| match e {
             ClientEvent::SliceProgress { label, .. } => Some(label.clone()),
-            _ => None,
+            ClientEvent::Reconstructed => None,
         });
         assert_eq!(first_event.as_deref(), Some(first_label.as_str()));
     }

@@ -340,15 +340,15 @@ mod tests {
             cache_mode: mode,
             ..Default::default()
         };
-        let mut total_nc = 0.0;
-        let mut total_c = 0.0;
+        let mut sum_nocache = 0.0;
+        let mut sum_cache = 0.0;
         for seed in 0..20 {
             let mut link = Link::new(
                 Bandwidth::from_kbps(19.2),
                 BernoulliChannel::new(0.4, seed),
                 0,
             );
-            total_nc += download(
+            sum_nocache += download(
                 &plan,
                 Relevance::relevant(),
                 &mk(CacheMode::NoCaching),
@@ -360,7 +360,7 @@ mod tests {
                 BernoulliChannel::new(0.4, seed),
                 0,
             );
-            total_c += download(
+            sum_cache += download(
                 &plan,
                 Relevance::relevant(),
                 &mk(CacheMode::Caching),
@@ -369,8 +369,8 @@ mod tests {
             .response_time;
         }
         assert!(
-            total_c < total_nc,
-            "caching ({total_c:.1}s) should beat nocaching ({total_nc:.1}s) at alpha=0.4"
+            sum_cache < sum_nocache,
+            "caching ({sum_cache:.1}s) should beat nocaching ({sum_nocache:.1}s) at alpha=0.4"
         );
     }
 
@@ -440,12 +440,12 @@ mod tests {
             let mut link = link_with_mask(mask.clone());
             download(&plan, Relevance::irrelevant(0.35), &cfg, &mut link).response_time
         };
-        let plain = run(1);
+        let serial = run(1);
         let interleaved = run(12);
         assert!(
-            interleaved < plain,
+            interleaved < serial,
             "interleaving should reach F sooner under a front burst \
-             ({interleaved:.2}s vs {plain:.2}s)"
+             ({interleaved:.2}s vs {serial:.2}s)"
         );
     }
 

@@ -71,7 +71,8 @@ fn run(alpha: f64, cache: CacheMode, label: &str) {
             ClientEvent::Reconstructed => {
                 println!("  [render] full document reconstructed");
             }
-            _ => {}
+            // Partial progress below the render threshold.
+            ClientEvent::SliceProgress { .. } => {}
         }
     }
     println!("  units fully rendered from clear text, in arrival order: {rendered:?}");

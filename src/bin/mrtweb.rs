@@ -88,7 +88,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match args[i].as_str() {
             "--query" => {
-                f.query = need(i)?.clone();
+                f.query.clone_from(need(i)?);
                 i += 1;
             }
             "--lod" => {
@@ -116,7 +116,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 i += 1;
             }
             "--scenario" => {
-                f.scenario = need(i)?.clone();
+                f.scenario.clone_from(need(i)?);
                 i += 1;
             }
             "--all" => f.all = true,
@@ -131,7 +131,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 
 fn load_document(path: &str) -> Result<Document, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if path.ends_with(".html") || path.ends_with(".htm") {
+    let ext = std::path::Path::new(path).extension();
+    let is_html =
+        ext.is_some_and(|e| e.eq_ignore_ascii_case("html") || e.eq_ignore_ascii_case("htm"));
+    if is_html {
         mrtweb::docmodel::html::extract(&text).map_err(|e| format!("{e}"))
     } else {
         Document::parse_xml(&text).map_err(|e| format!("{e}"))

@@ -323,7 +323,7 @@ fn live_layer(
 
     // Invariant 5: SliceProgress monotone per slice, in-bounds, and only
     // for planned slices.
-    let mut last: std::collections::HashMap<&str, f64> = Default::default();
+    let mut last = std::collections::HashMap::<&str, f64>::new();
     for e in &report.events {
         if let ClientEvent::SliceProgress { label, fraction } = e {
             h.check(slice_labels.iter().any(|l| l == label), || {

@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod faultrun;
 
 pub use mrtweb_channel as channel;

@@ -45,8 +45,8 @@ fn figure3_range_claim() {
                 .iter()
                 .map(|&m| redundancy_ratio(m, alpha, s).unwrap())
                 .collect();
-            let spread = gs.iter().cloned().fold(f64::MIN, f64::max)
-                - gs.iter().cloned().fold(f64::MAX, f64::min);
+            let spread = gs.iter().copied().fold(f64::MIN, f64::max)
+                - gs.iter().copied().fold(f64::MAX, f64::min);
             assert!(spread < 1.0, "spread {spread} at alpha={alpha}, S={s}");
             assert!(gs.iter().all(|&g| g < 3.5));
         }
@@ -114,7 +114,7 @@ fn figure5_claims() {
     let t5 = run_i(0.5);
     let t10 = run_i(1.0);
     assert!(t0 > t5 && t5 > t10);
-    let midpoint = (t0 + t10) / 2.0;
+    let midpoint = f64::midpoint(t0, t10);
     assert!(
         (t5 - midpoint).abs() / midpoint < 0.15,
         "I-curve should be linear: t0={t0:.2} t5={t5:.2} t10={t10:.2}"
