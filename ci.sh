@@ -57,6 +57,31 @@ for seed in 1 2 3; do
     | grep -E '^(PASS|FAIL)' | sed "s/^/    /"
 done
 
+echo "==> proxy smoke: serve + loadgen over loopback -> BENCH_proxy.json"
+proxy_log="$(mktemp)"
+target/release/mrtweb serve --addr 127.0.0.1:0 --runtime-secs 90 > "$proxy_log" 2>&1 &
+proxy_pid=$!
+trap 'kill "$proxy_pid" 2>/dev/null || true' EXIT
+proxy_addr=""
+for _ in $(seq 1 50); do
+  proxy_addr="$(awk '/^listening on /{print $3; exit}' "$proxy_log" || true)"
+  [ -n "$proxy_addr" ] && break
+  sleep 0.1
+done
+[ -n "$proxy_addr" ] || { echo "proxy did not come up: $(cat "$proxy_log")" >&2; exit 1; }
+echo "    proxy at $proxy_addr"
+timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
+  --clients 8 --requests 32 --json | sed "s/^/    /"
+timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
+  --sweep 1,8,32 --requests 8 --bench-out BENCH_proxy.json > /dev/null
+test -s BENCH_proxy.json || { echo "BENCH_proxy.json missing" >&2; exit 1; }
+# The metrics must parse as JSON and report a clean run: zero CRC
+# rejections, timeouts, and protocol errors across the whole smoke.
+timeout 30 target/release/mrtweb stats --addr "$proxy_addr" --assert-clean | sed "s/^/    /"
+kill "$proxy_pid" 2>/dev/null || true
+wait "$proxy_pid" 2>/dev/null || true
+trap - EXIT
+
 if [ "$run_bench" -eq 1 ]; then
   echo "==> bench smoke (quick mode): erasure_codec -> BENCH_erasure.json"
   MRTWEB_BENCH_QUICK=1 cargo bench -p mrtweb-bench --bench erasure_codec

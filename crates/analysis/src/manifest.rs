@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! docmodel ──▶ textproc ──▶ content ─┐
-//!                                    ├─▶ transport ─▶ store
+//!                                    ├─▶ transport ─▶ store ─▶ proxy
 //! erasure ───────────────────────────┤        │
 //! channel ───────────────────────────┘        ▼
 //!                                            sim ──▶ bench
@@ -40,6 +40,7 @@ pub const DECLARED_DAG: &[(&str, &[&str])] = &[
         "store",
         &["docmodel", "textproc", "content", "erasure", "transport"],
     ),
+    ("proxy", &["erasure", "channel", "transport", "store"]),
     (
         "sim",
         &[

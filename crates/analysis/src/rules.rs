@@ -30,6 +30,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "content",
     "docmodel",
     "textproc",
+    "proxy",
 ];
 
 /// Crates that must use the virtual `clock` instead of the OS clock

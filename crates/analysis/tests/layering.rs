@@ -106,6 +106,40 @@ fn cycles_are_detected_even_between_declared_crates() {
 }
 
 #[test]
+fn proxy_edges_pass() {
+    // The gateway daemon may use the serving stack below it...
+    let root = fixture_workspace(&[("proxy", &["erasure", "channel", "transport", "store"])]);
+    let (findings, checked) = check_layering(&root);
+    assert_eq!(checked, 1);
+    assert!(findings.is_empty(), "conforming proxy deps: {findings:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn proxy_must_not_depend_on_sim() {
+    // ...but a real daemon importing the simulator (or vice versa)
+    // would collapse the real/simulated split.
+    let root = fixture_workspace(&[("proxy", &["sim"])]);
+    let (findings, _) = check_layering(&root);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0]
+        .message
+        .contains("`proxy` may not depend on `sim`"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sim_must_not_depend_on_proxy() {
+    let root = fixture_workspace(&[("sim", &["transport", "proxy"])]);
+    let (findings, _) = check_layering(&root);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0]
+        .message
+        .contains("`sim` may not depend on `proxy`"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn declared_dag_is_itself_acyclic_and_complete() {
     // Sanity: every allowed dep of every crate is itself declared.
     for (name, allowed) in DECLARED_DAG {

@@ -43,6 +43,35 @@ impl fmt::Display for Measure {
     }
 }
 
+/// A string did not name a content measure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMeasureError(String);
+
+impl fmt::Display for ParseMeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown content measure: {:?} (ic, qic, or mqic)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseMeasureError {}
+
+impl std::str::FromStr for Measure {
+    type Err = ParseMeasureError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ic" => Ok(Measure::Ic),
+            "qic" => Ok(Measure::Qic),
+            "mqic" => Ok(Measure::Mqic),
+            other => Err(ParseMeasureError(other.to_owned())),
+        }
+    }
+}
+
 /// One row of the structural characteristic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScEntry {
@@ -193,6 +222,24 @@ mod tests {
         <section><title>Mobile</title><paragraph>mobile web browsing</paragraph></section>\
         <section><title>Other</title><paragraph>database storage engines</paragraph></section>\
         </document>";
+
+    #[test]
+    fn measure_parses_case_insensitively_and_round_trips() {
+        for (s, m) in [
+            ("ic", Measure::Ic),
+            ("IC", Measure::Ic),
+            ("qic", Measure::Qic),
+            ("QIC", Measure::Qic),
+            ("MqIc", Measure::Mqic),
+        ] {
+            assert_eq!(s.parse::<Measure>().unwrap(), m);
+        }
+        for m in [Measure::Ic, Measure::Qic, Measure::Mqic] {
+            assert_eq!(m.to_string().parse::<Measure>().unwrap(), m);
+        }
+        assert!("quality".parse::<Measure>().is_err());
+        assert!("".parse::<Measure>().is_err());
+    }
 
     #[test]
     fn root_row_sums_to_one() {

@@ -1,0 +1,346 @@
+//! The mobile-side blocking client: drives [`LiveClient`] over a real
+//! socket.
+//!
+//! A fetch is one proxy session: HELLO → HEADER → rounds of frames
+//! with CRC verification, progressive [`ClientEvent::SliceProgress`]
+//! rendering, retransmission REQUESTs for what is still missing, and
+//! early stop — either on the relevance threshold (the paper's "stop"
+//! button) or once the leading slices of the ranked plan are fully
+//! renderable (the *target resolution*: the user got the part of the
+//! document the query ranked first).
+
+use std::collections::HashSet;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mrtweb_transport::error::Error as TransportError;
+use mrtweb_transport::live::{ClientEvent, DocumentHeader, LiveClient};
+
+use crate::metrics::MetricsSnapshot;
+use crate::wire::{ErrorCode, Hello, Message, WireError};
+
+/// Everything a fetch needs besides the server address.
+#[derive(Debug, Clone)]
+pub struct FetchOptions {
+    /// Document URL.
+    pub url: String,
+    /// Free-text query (empty → static IC ordering).
+    pub query: String,
+    /// Level of detail (`document`, `section`, `subsection`,
+    /// `paragraph`).
+    pub lod: String,
+    /// Content measure (`ic`, `qic`, `mqic`).
+    pub measure: String,
+    /// Raw packet size in bytes.
+    pub packet_size: u32,
+    /// Redundancy ratio γ.
+    pub gamma: f64,
+    /// Stop once accrued content reaches this threshold.
+    pub stop_at_content: Option<f64>,
+    /// Stop once the first `k` slices of the ranked plan are fully
+    /// renderable — download to a target resolution, not to the end.
+    pub stop_at_slices: Option<usize>,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl FetchOptions {
+    /// Defaults matching the paper's parameters.
+    pub fn new(url: impl Into<String>) -> Self {
+        FetchOptions {
+            url: url.into(),
+            query: String::new(),
+            lod: "paragraph".to_owned(),
+            measure: "ic".to_owned(),
+            packet_size: 256,
+            gamma: 1.5,
+            stop_at_content: None,
+            stop_at_slices: None,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+
+    fn hello(&self) -> Hello {
+        Hello {
+            url: self.url.clone(),
+            query: self.query.clone(),
+            lod: self.lod.clone(),
+            measure: self.measure.clone(),
+            packet_size: self.packet_size,
+            gamma: self.gamma,
+            ..Hello::new("", "")
+        }
+    }
+}
+
+/// Why a fetch failed outright (refusals and transport faults; an
+/// incomplete-but-orderly session comes back as a report instead).
+#[derive(Debug)]
+pub enum FetchError {
+    /// Connecting or socket I/O failed.
+    Io(std::io::Error),
+    /// The server's stream violated the wire protocol.
+    Wire(WireError),
+    /// The header did not describe a usable codec.
+    Transport(TransportError),
+    /// The server refused or aborted the session with a typed error.
+    Rejected {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server sent something out of protocol order.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Io(e) => write!(f, "socket error: {e}"),
+            FetchError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            FetchError::Transport(e) => write!(f, "transport error: {e}"),
+            FetchError::Rejected { code, detail } => {
+                write!(f, "server rejected session ({code}): {detail}")
+            }
+            FetchError::Unexpected(what) => write!(f, "unexpected server message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FetchError::Io(e) => Some(e),
+            FetchError::Wire(e) => Some(e),
+            FetchError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FetchError {
+    fn from(e: std::io::Error) -> Self {
+        FetchError::Io(e)
+    }
+}
+
+impl From<WireError> for FetchError {
+    fn from(e: WireError) -> Self {
+        FetchError::Wire(e)
+    }
+}
+
+impl From<TransportError> for FetchError {
+    fn from(e: TransportError) -> Self {
+        FetchError::Transport(e)
+    }
+}
+
+/// Outcome of one fetch session.
+#[derive(Debug, Clone)]
+pub struct FetchReport {
+    /// Whether the document reconstructed byte-identically.
+    pub completed: bool,
+    /// Whether the client stopped early (threshold or target
+    /// resolution).
+    pub stopped_early: bool,
+    /// Whether the server exhausted its round budget first.
+    pub gave_up: bool,
+    /// The reconstructed payload (empty unless completed).
+    pub payload: Vec<u8>,
+    /// Progressive rendering events in arrival order.
+    pub events: Vec<ClientEvent>,
+    /// Serving rounds observed (1 = no stall).
+    pub rounds: usize,
+    /// Retransmission REQUESTs sent.
+    pub requests_sent: u64,
+    /// Frames received (intact or not).
+    pub frames_received: u64,
+    /// Frames rejected by the transport CRC-16 (the simulated wireless
+    /// hop corrupted them).
+    pub crc_rejects: u64,
+    /// Total wire bytes read.
+    pub bytes_received: u64,
+    /// The transmission header the server announced.
+    pub header: DocumentHeader,
+}
+
+/// Counts wire bytes as messages stream in.
+struct Meter<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R: std::io::Read> std::io::Read for Meter<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+/// Runs one complete fetch session against a proxy at `addr`.
+///
+/// # Errors
+///
+/// [`FetchError::Rejected`] when the server refuses (busy, not found,
+/// bad request, budget); I/O, wire, and codec failures per variant.
+pub fn fetch(addr: impl ToSocketAddrs, options: &FetchOptions) -> Result<FetchReport, FetchError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(options.io_timeout))?;
+    stream.set_write_timeout(Some(options.io_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = Meter {
+        inner: stream,
+        bytes: 0,
+    };
+
+    Message::Hello(options.hello()).write_to(&mut reader.inner)?;
+    let header = match Message::read_from(&mut reader)? {
+        Message::Header(h) => h,
+        Message::Error { code, detail } => return Err(FetchError::Rejected { code, detail }),
+        _ => return Err(FetchError::Unexpected("wanted HEADER or ERROR")),
+    };
+
+    let mut client = LiveClient::new(header.clone()).map_err(TransportError::from)?;
+    let target_labels: Vec<String> = options
+        .stop_at_slices
+        .map(|k| {
+            header
+                .plan
+                .slices()
+                .iter()
+                .take(k)
+                .map(|s| s.label.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut complete_labels: HashSet<String> = HashSet::new();
+
+    let mut report = FetchReport {
+        completed: false,
+        stopped_early: false,
+        gave_up: false,
+        payload: Vec::new(),
+        events: Vec::new(),
+        rounds: 0,
+        requests_sent: 0,
+        frames_received: 0,
+        crc_rejects: 0,
+        bytes_received: 0,
+        header,
+    };
+
+    let mut finishing = false;
+    loop {
+        let msg = match Message::read_from(&mut reader) {
+            Ok(msg) => msg,
+            // After DONE the server may close at any point; a clean or
+            // abrupt EOF while draining is an orderly end.
+            Err(WireError::Io(_)) if finishing => break,
+            Err(e) => return Err(e.into()),
+        };
+        match msg {
+            Message::Frame(bytes) => {
+                report.frames_received += 1;
+                if finishing {
+                    continue; // draining the round after DONE
+                }
+                let events = client.on_wire(&bytes);
+                let reconstructed = events
+                    .iter()
+                    .any(|e| matches!(e, ClientEvent::Reconstructed));
+                if !target_labels.is_empty() {
+                    for event in &events {
+                        if let ClientEvent::SliceProgress { label, fraction } = event {
+                            if *fraction >= 1.0 - 1e-12 && target_labels.contains(label) {
+                                complete_labels.insert(label.clone());
+                            }
+                        }
+                    }
+                }
+                report.events.extend(events);
+                if reconstructed {
+                    report.completed = true;
+                    Message::Done.write_to(&mut reader.inner)?;
+                    finishing = true;
+                } else if stop_reached(options, &client, &target_labels, &complete_labels) {
+                    report.stopped_early = true;
+                    Message::Done.write_to(&mut reader.inner)?;
+                    finishing = true;
+                }
+            }
+            Message::RoundEnd => {
+                report.rounds += 1;
+                if finishing {
+                    break;
+                }
+                // Ask for the deficit only: the cheapest set of
+                // packets that reaches M, per the paper's caching
+                // retransmission scheme.
+                let needed = client.state().needed();
+                if needed.is_empty() {
+                    // Nothing left but not reconstructed (degenerate
+                    // header): end the session honestly.
+                    Message::Done.write_to(&mut reader.inner)?;
+                    break;
+                }
+                let ids: Vec<u16> = needed.iter().map(|&i| i as u16).collect();
+                report.requests_sent += 1;
+                Message::Request(ids).write_to(&mut reader.inner)?;
+            }
+            Message::GaveUp => {
+                report.gave_up = true;
+                break;
+            }
+            Message::Error { code, detail } => return Err(FetchError::Rejected { code, detail }),
+            _ => return Err(FetchError::Unexpected("wanted FRAME, ROUND-END, or ERROR")),
+        }
+    }
+
+    report.crc_rejects = client.state().corrupted();
+    report.bytes_received = reader.bytes;
+    if report.completed {
+        report.payload = client
+            .document_bytes()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default();
+    }
+    Ok(report)
+}
+
+fn stop_reached(
+    options: &FetchOptions,
+    client: &LiveClient,
+    target_labels: &[String],
+    complete_labels: &HashSet<String>,
+) -> bool {
+    if let Some(threshold) = options.stop_at_content {
+        if client.state().content() >= threshold {
+            return true;
+        }
+    }
+    !target_labels.is_empty() && complete_labels.len() >= target_labels.len()
+}
+
+/// Asks a proxy for its metrics snapshot.
+///
+/// # Errors
+///
+/// I/O and wire failures; [`FetchError::Rejected`] if admission control
+/// refuses the probe connection.
+pub fn fetch_metrics(
+    addr: impl ToSocketAddrs,
+    io_timeout: Duration,
+) -> Result<MetricsSnapshot, FetchError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    Message::MetricsRequest.write_to(&mut stream)?;
+    match Message::read_from(&mut stream)? {
+        Message::MetricsReply(snapshot) => Ok(snapshot),
+        Message::Error { code, detail } => Err(FetchError::Rejected { code, detail }),
+        _ => Err(FetchError::Unexpected("wanted METRICS-REPLY")),
+    }
+}

@@ -1,0 +1,36 @@
+//! mrtweb-proxy: the base-station gateway as a real TCP daemon.
+//!
+//! The paper's architecture puts a proxy at the base station: the wired
+//! side fetches and encodes documents, the wireless side streams
+//! dispersal frames to weakly-connected mobile hosts. This crate makes
+//! that half real — a dependency-free `std::net` server that frames the
+//! existing [`mrtweb_transport::live`] protocol over TCP:
+//!
+//! - [`wire`] — length-prefixed, CRC-32-checked message envelopes and
+//!   the HELLO/HEADER handshake that carries a
+//!   [`mrtweb_transport::live::DocumentHeader`] to the client.
+//! - [`server`] — a thread-pool server with per-connection session
+//!   state, admission control (max sessions, bounded accept queue,
+//!   per-session frame budget), read/write timeouts, optional
+//!   fault-injected last hop, and clean shutdown.
+//! - [`client`] — a blocking fetch that drives
+//!   [`mrtweb_transport::live::LiveClient`] over the socket, with
+//!   early stop at a content threshold or target resolution.
+//! - [`metrics`] — lock-free counters with wire-transportable
+//!   snapshots rendered as JSON.
+//! - [`loadgen`] — a closed-loop load generator reporting throughput
+//!   and latency percentiles.
+//!
+//! The TCP hop models the reliable wired backbone (envelope CRCs guard
+//! against framing bugs, not line noise); the simulated wireless last
+//! hop is the optional fault injector mangling inner transport frames,
+//! which the transport CRC-16 catches exactly as in the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod wire;

@@ -1,0 +1,231 @@
+//! Closed-loop load generator: K concurrent clients, R requests each.
+//!
+//! Each worker thread runs [`crate::client::fetch`] back to back and
+//! records per-request wall-clock latency. The aggregate report gives
+//! throughput and latency percentiles (p50/p95/p99) — the numbers the
+//! paper's base-station sizing discussion turns on — and renders as
+//! JSON for `BENCH_proxy.json`.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::client::{fetch, FetchError, FetchOptions};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// The fetch every request performs.
+    pub options: FetchOptions,
+}
+
+/// Aggregate outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests attempted (clients × requests).
+    pub attempted: usize,
+    /// Requests that reconstructed the document.
+    pub completed: usize,
+    /// Requests refused by admission control (typed Busy).
+    pub rejected: usize,
+    /// Requests that failed any other way.
+    pub failed: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub throughput: f64,
+    /// Median latency of completed requests.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Total wire bytes received across all requests.
+    pub bytes_received: u64,
+}
+
+impl LoadReport {
+    /// Renders the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"clients\": {}, \"attempted\": {}, \"completed\": {}, \"rejected\": {}, \
+             \"failed\": {}, \"elapsed_ms\": {:.3}, \"throughput_rps\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"bytes_received\": {}}}",
+            self.clients,
+            self.attempted,
+            self.completed,
+            self.rejected,
+            self.failed,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput,
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.bytes_received,
+        )
+    }
+}
+
+/// The `q`-th percentile (0–100) of an unsorted latency sample, by the
+/// nearest-rank method. Zero when the sample is empty.
+pub fn percentile(samples: &mut [Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let rank = ((q / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// Runs the closed loop against a proxy at `addr`.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let completed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.clients {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(config.requests);
+                for _ in 0..config.requests {
+                    let begin = Instant::now();
+                    match fetch(addr, &config.options) {
+                        Ok(report) => {
+                            bytes.fetch_add(report.bytes_received, Ordering::Relaxed);
+                            if report.completed || report.stopped_early {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                local.push(begin.elapsed());
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(FetchError::Rejected { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let mut all = latencies
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                all.extend(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut samples = latencies
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let completed = completed.into_inner() as usize;
+    LoadReport {
+        clients: config.clients,
+        attempted: config.clients * config.requests,
+        completed,
+        rejected: rejected.into_inner() as usize,
+        failed: failed.into_inner() as usize,
+        elapsed,
+        throughput: if elapsed.as_secs_f64() > 0.0 {
+            completed as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50: percentile(&mut samples, 50.0),
+        p95: percentile(&mut samples, 95.0),
+        p99: percentile(&mut samples, 99.0),
+        bytes_received: bytes.into_inner(),
+    }
+}
+
+/// Runs `run` once per client count and renders the sweep as a JSON
+/// array — the payload of `BENCH_proxy.json`.
+pub fn sweep(
+    addr: SocketAddr,
+    counts: &[usize],
+    requests: usize,
+    options: &FetchOptions,
+) -> (Vec<LoadReport>, String) {
+    let mut reports = Vec::with_capacity(counts.len());
+    for &clients in counts {
+        reports.push(run(
+            addr,
+            &LoadConfig {
+                clients,
+                requests,
+                options: options.clone(),
+            },
+        ));
+    }
+    let json = format!(
+        "[\n  {}\n]",
+        reports
+            .iter()
+            .map(LoadReport::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    (reports, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let mut ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&mut ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&mut ms, 95.0), Duration::from_millis(95));
+        assert_eq!(percentile(&mut ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&mut ms, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&mut [], 50.0), Duration::ZERO);
+        let mut one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&mut one, 50.0), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn report_json_has_the_expected_keys() {
+        let report = LoadReport {
+            clients: 8,
+            attempted: 64,
+            completed: 64,
+            rejected: 0,
+            failed: 0,
+            elapsed: Duration::from_millis(1234),
+            throughput: 51.86,
+            p50: Duration::from_millis(10),
+            p95: Duration::from_millis(20),
+            p99: Duration::from_millis(30),
+            bytes_received: 1 << 20,
+        };
+        let json = report.to_json();
+        for key in [
+            "clients",
+            "attempted",
+            "completed",
+            "rejected",
+            "failed",
+            "elapsed_ms",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "bytes_received",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "{key} missing");
+        }
+        assert!(json.contains("\"clients\": 8"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Server metrics: lock-free counters and a printable snapshot.
+//!
+//! Every counter is a relaxed atomic — the hot path (frame writes)
+//! pays one `fetch_add` per event and nothing else. A
+//! [`MetricsSnapshot`] is a plain-old-data copy taken at observation
+//! time; it travels over the wire protocol (as fixed-width fields, see
+//! [`crate::wire::Message::MetricsReply`]) and renders as JSON for the
+//! CLI and CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared between the accept loop and every session.
+#[derive(Debug, Default)]
+pub struct ProxyMetrics {
+    /// Connections accepted by the listener.
+    pub accepted: AtomicU64,
+    /// Connections refused by admission control (max sessions or full
+    /// accept queue).
+    pub rejected: AtomicU64,
+    /// Sessions currently being served.
+    pub active: AtomicU64,
+    /// Sessions that ended after the client sent DONE.
+    pub completed: AtomicU64,
+    /// Sessions ended by a protocol violation (bad HELLO, out-of-range
+    /// frame request, unparseable control message).
+    pub protocol_errors: AtomicU64,
+    /// Transport frames pushed to clients.
+    pub frames_sent: AtomicU64,
+    /// Total wire bytes written to clients.
+    pub bytes_sent: AtomicU64,
+    /// Retransmission REQUEST control messages served.
+    pub retransmit_requests: AtomicU64,
+    /// Control messages rejected by the envelope CRC-32 check.
+    pub crc_rejects: AtomicU64,
+    /// Sessions reaped after a read/write timeout (idle client).
+    pub timeouts: AtomicU64,
+}
+
+impl ProxyMetrics {
+    /// Copies the counters into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            retransmit_requests: self.retransmit_requests.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`ProxyMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused by admission control.
+    pub rejected: u64,
+    /// Sessions active at snapshot time.
+    pub active: u64,
+    /// Sessions completed cleanly.
+    pub completed: u64,
+    /// Sessions ended by protocol violations.
+    pub protocol_errors: u64,
+    /// Transport frames pushed.
+    pub frames_sent: u64,
+    /// Wire bytes written.
+    pub bytes_sent: u64,
+    /// Retransmission rounds served.
+    pub retransmit_requests: u64,
+    /// Envelope CRC rejections on control reads.
+    pub crc_rejects: u64,
+    /// Idle-session reaps.
+    pub timeouts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Number of wire fields (kept in lockstep with
+    /// [`MetricsSnapshot::as_fields`] / [`MetricsSnapshot::from_fields`]).
+    pub const FIELD_COUNT: usize = 10;
+
+    /// The snapshot as a fixed-order field array for wire transport.
+    pub fn as_fields(&self) -> [u64; Self::FIELD_COUNT] {
+        [
+            self.accepted,
+            self.rejected,
+            self.active,
+            self.completed,
+            self.protocol_errors,
+            self.frames_sent,
+            self.bytes_sent,
+            self.retransmit_requests,
+            self.crc_rejects,
+            self.timeouts,
+        ]
+    }
+
+    /// Rebuilds a snapshot from the wire field order.
+    pub fn from_fields(f: [u64; Self::FIELD_COUNT]) -> Self {
+        MetricsSnapshot {
+            accepted: f[0],
+            rejected: f[1],
+            active: f[2],
+            completed: f[3],
+            protocol_errors: f[4],
+            frames_sent: f[5],
+            bytes_sent: f[6],
+            retransmit_requests: f[7],
+            crc_rejects: f[8],
+            timeouts: f[9],
+        }
+    }
+
+    /// Renders the snapshot as a single JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        for (i, (key, value)) in [
+            ("accepted", self.accepted),
+            ("rejected", self.rejected),
+            ("active", self.active),
+            ("completed", self.completed),
+            ("protocol_errors", self.protocol_errors),
+            ("frames_sent", self.frames_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("retransmit_requests", self.retransmit_requests),
+            ("crc_rejects", self.crc_rejects),
+            ("timeouts", self.timeouts),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{key}\": {value}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Whether the counters that must stay zero on a clean loopback run
+    /// (CRC rejections and idle reaps) are in fact zero.
+    pub fn is_clean(&self) -> bool {
+        self.crc_rejects == 0 && self.timeouts == 0 && self.protocol_errors == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: 12,
+            rejected: 1,
+            active: 3,
+            completed: 9,
+            protocol_errors: 0,
+            frames_sent: 480,
+            bytes_sent: 131_072,
+            retransmit_requests: 17,
+            crc_rejects: 0,
+            timeouts: 0,
+        }
+    }
+
+    #[test]
+    fn field_round_trip_is_identity() {
+        let s = sample();
+        assert_eq!(MetricsSnapshot::from_fields(s.as_fields()), s);
+    }
+
+    #[test]
+    fn json_lists_every_field_once() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "accepted",
+            "rejected",
+            "active",
+            "completed",
+            "protocol_errors",
+            "frames_sent",
+            "bytes_sent",
+            "retransmit_requests",
+            "crc_rejects",
+            "timeouts",
+        ] {
+            assert_eq!(json.matches(&format!("\"{key}\"")).count(), 1, "{key}");
+        }
+        assert!(json.contains("\"frames_sent\": 480"));
+    }
+
+    #[test]
+    fn snapshot_reflects_counter_updates() {
+        let m = ProxyMetrics::default();
+        ProxyMetrics::inc(&m.accepted);
+        ProxyMetrics::add(&m.bytes_sent, 300);
+        ProxyMetrics::inc(&m.timeouts);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.bytes_sent, 300);
+        assert!(!s.is_clean());
+        assert!(MetricsSnapshot::default().is_clean());
+    }
+}

@@ -1,0 +1,592 @@
+//! The base-station gateway daemon: a thread-pool TCP server.
+//!
+//! The paper's deployment model puts the document transmitter at a
+//! proxy on the base station, mediating between web servers and
+//! weakly-connected mobile clients. This module is that daemon:
+//!
+//! * a listener thread **admits** connections — a session slot counter
+//!   enforces `max_sessions`, and a bounded accept queue provides
+//!   backpressure; refusals are *told* to the client with a typed
+//!   [`ErrorCode::Busy`] rather than a silent close;
+//! * a fixed **worker pool** serves admitted sessions: HELLO →
+//!   [`Gateway::prepare`] → HEADER → rounds of frames, with
+//!   retransmission driven by client REQUEST messages exactly like the
+//!   in-process [`mrtweb_transport::live`] protocol;
+//! * per-session **budgets** (frame count, round count) and read/write
+//!   **timeouts** bound every resource a slow, hostile, or vanished
+//!   client can hold; idle sessions are reaped by the read timeout;
+//! * optional **fault injection** mangles the transport frames inside
+//!   the (reliable) proxy envelope, so the PR 2 fault scenarios run
+//!   over real sockets: the TCP hop plays the wired backbone, the
+//!   injected faults play the wireless last hop;
+//! * shutdown is **clean**: a flag plus a listener self-connect wakeup,
+//!   then queue close and worker joins — no thread is ever detached.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mrtweb_channel::bandwidth::Bandwidth;
+use mrtweb_channel::bernoulli::BernoulliChannel;
+use mrtweb_channel::fault::{FaultConfig, FaultyLink};
+use mrtweb_channel::link::Link;
+use mrtweb_store::gateway::{Gateway, GatewayError, Request};
+use mrtweb_transport::error::Error as TransportError;
+use mrtweb_transport::live::LiveServer;
+
+use crate::metrics::{MetricsSnapshot, ProxyMetrics};
+use crate::wire::{ErrorCode, Hello, Message, WireError, PROTOCOL_VERSION};
+
+/// Tunable knobs of the daemon. All bounds are per the admission-control
+/// design in DESIGN.md §12.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission limit: sessions admitted (queued + active) at once.
+    pub max_sessions: usize,
+    /// Worker threads actively serving sessions.
+    pub workers: usize,
+    /// Bounded accept queue between listener and workers; a full queue
+    /// rejects further connections even under `max_sessions`.
+    pub accept_backlog: usize,
+    /// Per-session cap on frames served; exceeding it ends the session
+    /// with [`ErrorCode::BudgetExceeded`].
+    pub frame_budget: u64,
+    /// Per-session cap on serving rounds (initial push + retransmission
+    /// rounds); exceeding it sends [`Message::GaveUp`].
+    pub max_rounds: usize,
+    /// Socket read timeout: an idle client is reaped after this long.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a stalled client is reaped after this long.
+    pub write_timeout: Duration,
+    /// Optional fault schedule mangling the transport frames on the
+    /// write path (the simulated wireless hop).
+    pub fault: Option<FaultConfig>,
+    /// Base seed for per-session fault schedules.
+    pub fault_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            workers: 8,
+            accept_backlog: 64,
+            frame_budget: 1 << 20,
+            max_rounds: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            fault: None,
+            fault_seed: 0,
+        }
+    }
+}
+
+/// Bounded hand-off queue between the listener and the worker pool
+/// (dependency-free: `Mutex` + `Condvar`).
+struct SessionQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    items: VecDeque<(TcpStream, u64)>,
+    closed: bool,
+}
+
+impl SessionQueue {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(SessionQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Enqueues unless full or closed; returns the connection back on
+    /// refusal so the caller can tell the client why.
+    fn try_push(&self, item: (TcpStream, u64)) -> Result<(), (TcpStream, u64)> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next session; `None` once closed and drained.
+    fn pop(&self) -> Option<(TcpStream, u64)> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running proxy daemon. Dropping without [`Server::shutdown`] leaks
+/// the listener thread until process exit; always shut down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ProxyMetrics>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the listener and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(addr: &str, gateway: Gateway, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ProxyMetrics::default());
+        let queue = SessionQueue::new(config.accept_backlog);
+        let gateway = Arc::new(gateway);
+        let admitted = Arc::new(AtomicU64::new(0));
+        let config = Arc::new(config);
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let gateway = Arc::clone(&gateway);
+            let metrics = Arc::clone(&metrics);
+            let admitted = Arc::clone(&admitted);
+            let config = Arc::clone(&config);
+            workers.push(std::thread::spawn(move || {
+                while let Some((stream, session_id)) = queue.pop() {
+                    ProxyMetrics::inc(&metrics.active);
+                    serve_session(stream, session_id, &gateway, &config, &metrics);
+                    metrics.active.fetch_sub(1, Ordering::Relaxed);
+                    admitted.fetch_sub(1, Ordering::Relaxed);
+                }
+            }));
+        }
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            let queue = Arc::clone(&queue);
+            let admitted = Arc::clone(&admitted);
+            let max_sessions = config.max_sessions.max(1) as u64;
+            let write_timeout = config.write_timeout;
+            std::thread::spawn(move || {
+                accept_loop(
+                    &listener,
+                    &shutdown,
+                    &metrics,
+                    &queue,
+                    &admitted,
+                    max_sessions,
+                    write_timeout,
+                );
+                queue.close();
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            metrics,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live counter snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Stops accepting, drains the queue, joins every thread, and
+    /// returns the final counters. In-flight sessions run to completion
+    /// (bounded by their timeouts and budgets).
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the listener out of accept(): connect to ourselves. The
+        // accept loop sees the flag and exits before serving it.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+/// Accepts until shut down, applying admission control.
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    metrics: &ProxyMetrics,
+    queue: &SessionQueue,
+    admitted: &AtomicU64,
+    max_sessions: u64,
+    write_timeout: Duration,
+) {
+    let mut next_session_id = 0u64;
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        ProxyMetrics::inc(&metrics.accepted);
+        let session_id = next_session_id;
+        next_session_id += 1;
+
+        // Admission: reserve a session slot, or refuse loudly.
+        if admitted.fetch_add(1, Ordering::SeqCst) >= max_sessions {
+            admitted.fetch_sub(1, Ordering::SeqCst);
+            reject(stream, write_timeout, metrics, "session limit reached");
+            continue;
+        }
+        if let Err((stream, _)) = queue.try_push((stream, session_id)) {
+            admitted.fetch_sub(1, Ordering::SeqCst);
+            reject(stream, write_timeout, metrics, "accept queue full");
+        }
+    }
+}
+
+/// Tells a refused client why, then hangs up.
+fn reject(mut stream: TcpStream, write_timeout: Duration, metrics: &ProxyMetrics, why: &str) {
+    ProxyMetrics::inc(&metrics.rejected);
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let msg = Message::Error {
+        code: ErrorCode::Busy,
+        detail: why.to_owned(),
+    };
+    let _ = msg.write_to(&mut stream);
+}
+
+/// How one session ended, for counter bookkeeping.
+enum SessionEnd {
+    /// Client sent DONE (or the metrics exchange finished).
+    Completed,
+    /// The peer violated the protocol (bad HELLO, unknown control,
+    /// out-of-range frame index).
+    ProtocolError,
+    /// A read or write timed out (idle or stalled client).
+    TimedOut,
+    /// A garbled control envelope failed the CRC check.
+    CrcReject,
+    /// The socket died or a budget ran out; nothing to count beyond
+    /// what the handler already recorded.
+    Closed,
+}
+
+/// Serves one admitted session to completion.
+fn serve_session(
+    mut stream: TcpStream,
+    session_id: u64,
+    gateway: &Gateway,
+    config: &ServerConfig,
+    metrics: &ProxyMetrics,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let end = session_body(&mut stream, session_id, gateway, config, metrics);
+    match end {
+        SessionEnd::Completed => ProxyMetrics::inc(&metrics.completed),
+        SessionEnd::ProtocolError => ProxyMetrics::inc(&metrics.protocol_errors),
+        SessionEnd::TimedOut => ProxyMetrics::inc(&metrics.timeouts),
+        SessionEnd::CrcReject => ProxyMetrics::inc(&metrics.crc_rejects),
+        SessionEnd::Closed => {}
+    }
+}
+
+/// Sends `msg`, booking the bytes; `false` if the socket failed.
+fn send(stream: &mut TcpStream, metrics: &ProxyMetrics, msg: &Message) -> Result<(), SessionEnd> {
+    let wire = msg.encode();
+    match stream.write_all(&wire).and_then(|()| stream.flush()) {
+        Ok(()) => {
+            ProxyMetrics::add(&metrics.bytes_sent, wire.len() as u64);
+            Ok(())
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(SessionEnd::TimedOut)
+        }
+        Err(_) => Err(SessionEnd::Closed),
+    }
+}
+
+/// Sends a typed error and reports how the session should be counted.
+fn fail(
+    stream: &mut TcpStream,
+    metrics: &ProxyMetrics,
+    code: ErrorCode,
+    detail: String,
+    end: SessionEnd,
+) -> SessionEnd {
+    let _ = send(stream, metrics, &Message::Error { code, detail });
+    end
+}
+
+fn session_body(
+    stream: &mut TcpStream,
+    session_id: u64,
+    gateway: &Gateway,
+    config: &ServerConfig,
+    metrics: &ProxyMetrics,
+) -> SessionEnd {
+    // ── handshake ───────────────────────────────────────────────────
+    let hello = match Message::read_from(stream) {
+        Ok(Message::Hello(h)) => h,
+        Ok(Message::MetricsRequest) => {
+            let reply = Message::MetricsReply(metrics.snapshot());
+            return match send(stream, metrics, &reply) {
+                Ok(()) => SessionEnd::Completed,
+                Err(end) => end,
+            };
+        }
+        Ok(_) => {
+            return fail(
+                stream,
+                metrics,
+                ErrorCode::BadRequest,
+                "expected HELLO".to_owned(),
+                SessionEnd::ProtocolError,
+            )
+        }
+        Err(e) if e.is_timeout() => return SessionEnd::TimedOut,
+        Err(WireError::CrcMismatch) => {
+            return fail(
+                stream,
+                metrics,
+                ErrorCode::BadRequest,
+                "corrupted HELLO envelope".to_owned(),
+                SessionEnd::CrcReject,
+            )
+        }
+        Err(WireError::Io(_)) => return SessionEnd::Closed,
+        Err(e) => {
+            return fail(
+                stream,
+                metrics,
+                ErrorCode::BadRequest,
+                format!("{e}"),
+                SessionEnd::ProtocolError,
+            )
+        }
+    };
+
+    if hello.version != PROTOCOL_VERSION {
+        return fail(
+            stream,
+            metrics,
+            ErrorCode::BadRequest,
+            format!(
+                "protocol version {} unsupported (want {PROTOCOL_VERSION})",
+                hello.version
+            ),
+            SessionEnd::ProtocolError,
+        );
+    }
+
+    let server = match prepare(gateway, &hello) {
+        Ok(server) => server,
+        // An unknown URL or unencodable request is a well-formed ask
+        // that the server refuses — typed, but not a protocol error.
+        Err((code, detail)) => return fail(stream, metrics, code, detail, SessionEnd::Closed),
+    };
+    let header = server.header().clone();
+    let n = header.n;
+    if let Err(end) = send(stream, metrics, &Message::Header(header)) {
+        return end;
+    }
+
+    // The wireless-hop simulator, when configured: mangles transport
+    // frames *inside* intact proxy envelopes, per-session seeded so
+    // concurrent sessions draw independent deterministic schedules.
+    let mut faulty = config.fault.clone().map(|cfg| {
+        let seed = config.fault_seed ^ session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        FaultyLink::new(
+            Link::new(
+                Bandwidth::from_kbps(19.2),
+                BernoulliChannel::new(0.0, seed),
+                seed,
+            ),
+            cfg,
+            seed,
+        )
+    });
+
+    // ── serving rounds ──────────────────────────────────────────────
+    let mut to_send: Vec<usize> = (0..n).collect();
+    let mut frames_served = 0u64;
+    for _round in 0..config.max_rounds {
+        for &idx in &to_send {
+            // The round's indices came off the wire: an out-of-range
+            // request is a typed protocol error, never a panic.
+            let bytes = match server.frame_checked(idx) {
+                Ok(bytes) => bytes,
+                Err(e @ TransportError::FrameOutOfRange { .. }) => {
+                    return fail(
+                        stream,
+                        metrics,
+                        ErrorCode::BadRequest,
+                        format!("{e}"),
+                        SessionEnd::ProtocolError,
+                    );
+                }
+                Err(e) => {
+                    return fail(
+                        stream,
+                        metrics,
+                        ErrorCode::Internal,
+                        format!("{e}"),
+                        SessionEnd::Closed,
+                    );
+                }
+            };
+            if frames_served >= config.frame_budget {
+                return fail(
+                    stream,
+                    metrics,
+                    ErrorCode::BudgetExceeded,
+                    format!("session frame budget {} exhausted", config.frame_budget),
+                    SessionEnd::Closed,
+                );
+            }
+            frames_served += 1;
+            ProxyMetrics::inc(&metrics.frames_sent);
+            if let Some(faulty) = faulty.as_mut() {
+                for delivery in faulty.transmit(bytes) {
+                    if let Err(end) = send(stream, metrics, &Message::Frame(delivery.bytes)) {
+                        return end;
+                    }
+                }
+            } else if let Err(end) = send(stream, metrics, &Message::Frame(bytes.to_vec())) {
+                return end;
+            }
+        }
+        if let Some(faulty) = faulty.as_mut() {
+            // End of round: held (reordered) frames can no longer be
+            // overtaken.
+            for delivery in faulty.flush() {
+                if let Err(end) = send(stream, metrics, &Message::Frame(delivery.bytes)) {
+                    return end;
+                }
+            }
+        }
+        if let Err(end) = send(stream, metrics, &Message::RoundEnd) {
+            return end;
+        }
+
+        // ── control ─────────────────────────────────────────────────
+        match Message::read_from(stream) {
+            Ok(Message::Done) => return SessionEnd::Completed,
+            Ok(Message::Request(ids)) => {
+                ProxyMetrics::inc(&metrics.retransmit_requests);
+                to_send = ids.into_iter().map(usize::from).collect();
+            }
+            Ok(_) => {
+                return fail(
+                    stream,
+                    metrics,
+                    ErrorCode::BadRequest,
+                    "expected REQUEST or DONE".to_owned(),
+                    SessionEnd::ProtocolError,
+                )
+            }
+            Err(e) if e.is_timeout() => return SessionEnd::TimedOut,
+            Err(WireError::CrcMismatch) => {
+                return fail(
+                    stream,
+                    metrics,
+                    ErrorCode::BadRequest,
+                    "corrupted control envelope".to_owned(),
+                    SessionEnd::CrcReject,
+                )
+            }
+            Err(WireError::Io(_)) => return SessionEnd::Closed,
+            Err(e) => {
+                return fail(
+                    stream,
+                    metrics,
+                    ErrorCode::BadRequest,
+                    format!("{e}"),
+                    SessionEnd::ProtocolError,
+                )
+            }
+        }
+    }
+    let _ = send(stream, metrics, &Message::GaveUp);
+    SessionEnd::Closed
+}
+
+/// HELLO → prepared [`LiveServer`], with gateway failures mapped to
+/// wire error codes.
+fn prepare(gateway: &Gateway, hello: &Hello) -> Result<LiveServer, (ErrorCode, String)> {
+    let request = Request::from_options(
+        &hello.url,
+        &hello.query,
+        &hello.lod,
+        &hello.measure,
+        hello.packet_size as usize,
+        hello.gamma,
+    )
+    .map_err(|e| (ErrorCode::BadRequest, format!("{e}")))?;
+    gateway.prepare(&request).map_err(|e| match e {
+        GatewayError::NotFound(_) => (ErrorCode::NotFound, format!("{e}")),
+        GatewayError::BadRequest(_) | GatewayError::Encoding(_) => {
+            (ErrorCode::BadRequest, format!("{e}"))
+        }
+    })
+}

@@ -1,0 +1,648 @@
+//! The proxy wire protocol: length-prefixed, CRC-checked messages.
+//!
+//! Every message travels as one *envelope*:
+//!
+//! ```text
+//! ┌──────────────┬─────────┬──────────────┬───────────────────┐
+//! │ len (u32 BE) │ type u8 │ body (len-1) │ crc32 (u32 BE)    │
+//! └──────────────┴─────────┴──────────────┴───────────────────┘
+//!                 └───── crc32 covers type ‖ body ─────┘
+//! ```
+//!
+//! The CRC-32 envelope check guards the *proxy hop* (TCP is reliable,
+//! but the check catches framing bugs and lets the garbled-input tests
+//! assert hard rejection); the *wireless hop* is modelled inside
+//! [`Message::Frame`] bodies, which carry the transport layer's own
+//! CRC-16 frames ([`mrtweb_erasure::packet::Frame`]) and may arrive
+//! deliberately mangled when the server injects faults. A client feeds
+//! frame bodies to [`mrtweb_transport::live::LiveClient`] unchanged.
+//!
+//! The session handshake serializes the transport's
+//! [`DocumentHeader`] — including the full transmission plan — so the
+//! client can reconstruct progressive-rendering geometry without any
+//! out-of-band channel.
+
+use std::io::{Read, Write};
+
+use mrtweb_erasure::crc::crc32;
+use mrtweb_transport::live::DocumentHeader;
+use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Protocol version carried in every HELLO; bumped on incompatible
+/// changes so mismatched peers fail fast with a typed error.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on one message body (type byte + payload). Large enough
+/// for a 64 KiB frame or a many-slice header, small enough that a
+/// hostile length prefix cannot drive an allocation storm.
+pub const MAX_BODY: usize = 1 << 22;
+
+/// Envelope overhead: length prefix + trailing CRC-32.
+pub const ENVELOPE_OVERHEAD: usize = 8;
+
+/// Why a server ended (or refused) a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The requested URL is not in the store.
+    NotFound = 1,
+    /// The HELLO did not parse or validate (bad LOD, measure, γ, …).
+    BadRequest = 2,
+    /// Admission control refused the session (max sessions reached or
+    /// the accept queue is full).
+    Busy = 3,
+    /// The session exceeded its per-session frame budget.
+    BudgetExceeded = 4,
+    /// The server failed internally (encoding error, I/O fault).
+    Internal = 5,
+    /// The retransmission round budget ran out before completion.
+    GaveUp = 6,
+}
+
+impl ErrorCode {
+    /// Parses the wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ErrorCode::NotFound),
+            2 => Some(ErrorCode::BadRequest),
+            3 => Some(ErrorCode::Busy),
+            4 => Some(ErrorCode::BudgetExceeded),
+            5 => Some(ErrorCode::Internal),
+            6 => Some(ErrorCode::GaveUp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Busy => "busy",
+            ErrorCode::BudgetExceeded => "budget-exceeded",
+            ErrorCode::Internal => "internal",
+            ErrorCode::GaveUp => "gave-up",
+        })
+    }
+}
+
+/// The client's session-opening request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Document URL to fetch.
+    pub url: String,
+    /// Free-text query (empty → static IC ordering server-side).
+    pub query: String,
+    /// Level of detail, as a string (`document`, `section`, …) parsed
+    /// by the store gateway.
+    pub lod: String,
+    /// Content measure (`ic`, `qic`, `mqic`).
+    pub measure: String,
+    /// Raw packet size in bytes.
+    pub packet_size: u32,
+    /// Redundancy ratio γ (cooked = ⌈γ·raw⌉), transported as IEEE bits.
+    pub gamma: f64,
+}
+
+impl Hello {
+    /// A HELLO with the paper's defaults for `url` and `query`.
+    pub fn new(url: impl Into<String>, query: impl Into<String>) -> Self {
+        Hello {
+            version: PROTOCOL_VERSION,
+            url: url.into(),
+            query: query.into(),
+            lod: "paragraph".to_owned(),
+            measure: "qic".to_owned(),
+            packet_size: 256,
+            gamma: 1.5,
+        }
+    }
+}
+
+/// Everything that can travel over a proxy connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: open a session.
+    Hello(Hello),
+    /// Client → server: retransmit exactly these cooked packets.
+    Request(Vec<u16>),
+    /// Client → server: session finished (reconstructed or stopped).
+    Done,
+    /// Client → server: report the server's metrics snapshot.
+    MetricsRequest,
+    /// Server → client: the transmission header (handshake reply).
+    Header(DocumentHeader),
+    /// Server → client: one transport-layer frame (seq ‖ payload ‖
+    /// CRC-16), possibly fault-mangled to model the wireless hop.
+    Frame(Vec<u8>),
+    /// Server → client: all requested frames for this round were sent.
+    RoundEnd,
+    /// Server → client: round budget exhausted, closing.
+    GaveUp,
+    /// Server → client: typed refusal or failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Server → client: the metrics snapshot.
+    MetricsReply(MetricsSnapshot),
+}
+
+const T_HELLO: u8 = 0x01;
+const T_REQUEST: u8 = 0x02;
+const T_DONE: u8 = 0x03;
+const T_METRICS_REQUEST: u8 = 0x04;
+const T_HEADER: u8 = 0x81;
+const T_FRAME: u8 = 0x82;
+const T_ROUND_END: u8 = 0x83;
+const T_GAVE_UP: u8 = 0x84;
+const T_ERROR: u8 = 0x85;
+const T_METRICS_REPLY: u8 = 0x86;
+
+/// Wire-protocol failures. I/O errors keep the underlying error; all
+/// parse failures are static descriptions so tests can match on them.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket failed (includes read/write timeouts).
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_BODY`] or is zero.
+    BadLength(usize),
+    /// The buffer ended before the declared length (truncation).
+    Truncated,
+    /// The envelope CRC-32 does not match (garbled in transit).
+    CrcMismatch,
+    /// Unknown message type byte.
+    BadType(u8),
+    /// The body does not parse as its declared type.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadLength(l) => write!(f, "message length {l} outside 1..={MAX_BODY}"),
+            WireError::Truncated => f.write_str("message truncated"),
+            WireError::CrcMismatch => f.write_str("envelope CRC mismatch"),
+            WireError::BadType(t) => write!(f, "unknown message type {t:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed message body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this is a read/write timeout (idle peer), as opposed to
+    /// a hard failure.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+// ── body writers ────────────────────────────────────────────────────
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(u16::try_from(s.len()).is_ok());
+    put_u16(out, s.len().min(u16::MAX as usize) as u16);
+    out.extend_from_slice(&s.as_bytes()[..s.len().min(u16::MAX as usize)]);
+}
+
+// ── body reader ─────────────────────────────────────────────────────
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Malformed("body shorter than a field"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_be_bytes(raw))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+// ── header (de)serialization ────────────────────────────────────────
+
+fn put_header(out: &mut Vec<u8>, h: &DocumentHeader) {
+    put_u64(out, h.doc_len as u64);
+    put_u16(out, h.m as u16);
+    put_u16(out, h.n as u16);
+    put_u32(out, h.packet_size as u32);
+    let slices = h.plan.slices();
+    put_u32(out, slices.len() as u32);
+    for s in slices {
+        put_str(out, &s.label);
+        put_u64(out, s.bytes as u64);
+        put_u64(out, s.content.to_bits());
+    }
+}
+
+fn read_header(r: &mut Reader<'_>) -> Result<DocumentHeader, WireError> {
+    let doc_len = r.u64()? as usize;
+    let m = r.u16()? as usize;
+    let n = r.u16()? as usize;
+    let packet_size = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    // Each slice needs ≥ 18 body bytes; an absurd count is hostile.
+    if count > r.buf.len() / 18 + 1 {
+        return Err(WireError::Malformed("slice count exceeds body size"));
+    }
+    let mut slices = Vec::with_capacity(count);
+    for _ in 0..count {
+        let label = r.string()?;
+        let bytes = r.u64()? as usize;
+        let content = f64::from_bits(r.u64()?);
+        slices.push(UnitSlice::new(label, bytes, content));
+    }
+    Ok(DocumentHeader {
+        doc_len,
+        m,
+        n,
+        packet_size,
+        // `sequential` preserves the on-wire order, which is already
+        // the server's ranked transmission order.
+        plan: TransmissionPlan::sequential(slices),
+    })
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    for v in m.as_fields() {
+        put_u64(out, v);
+    }
+}
+
+fn read_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let mut fields = [0u64; MetricsSnapshot::FIELD_COUNT];
+    for f in &mut fields {
+        *f = r.u64()?;
+    }
+    Ok(MetricsSnapshot::from_fields(fields))
+}
+
+impl Message {
+    /// Serializes the message into a complete envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let t = match self {
+            Message::Hello(h) => {
+                body.push(h.version);
+                put_str(&mut body, &h.url);
+                put_str(&mut body, &h.query);
+                put_str(&mut body, &h.lod);
+                put_str(&mut body, &h.measure);
+                put_u32(&mut body, h.packet_size);
+                put_u64(&mut body, h.gamma.to_bits());
+                T_HELLO
+            }
+            Message::Request(ids) => {
+                put_u32(&mut body, ids.len() as u32);
+                for &i in ids {
+                    put_u16(&mut body, i);
+                }
+                T_REQUEST
+            }
+            Message::Done => T_DONE,
+            Message::MetricsRequest => T_METRICS_REQUEST,
+            Message::Header(h) => {
+                put_header(&mut body, h);
+                T_HEADER
+            }
+            Message::Frame(bytes) => {
+                body.extend_from_slice(bytes);
+                T_FRAME
+            }
+            Message::RoundEnd => T_ROUND_END,
+            Message::GaveUp => T_GAVE_UP,
+            Message::Error { code, detail } => {
+                body.push(*code as u8);
+                put_str(&mut body, detail);
+                T_ERROR
+            }
+            Message::MetricsReply(m) => {
+                put_metrics(&mut body, m);
+                T_METRICS_REPLY
+            }
+        };
+        let mut envelope = Vec::with_capacity(body.len() + 1 + ENVELOPE_OVERHEAD);
+        put_u32(&mut envelope, (body.len() + 1) as u32);
+        envelope.push(t);
+        envelope.extend_from_slice(&body);
+        let crc = crc32(&envelope[4..]);
+        put_u32(&mut envelope, crc);
+        envelope
+    }
+
+    /// Parses one complete envelope (length prefix through CRC).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] parse variant; a truncated buffer, a mangled
+    /// byte anywhere, or an unknown type never yields `Ok`.
+    pub fn decode(envelope: &[u8]) -> Result<Message, WireError> {
+        if envelope.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_be_bytes([envelope[0], envelope[1], envelope[2], envelope[3]]) as usize;
+        if len == 0 || len > MAX_BODY {
+            return Err(WireError::BadLength(len));
+        }
+        if envelope.len() < 4 + len + 4 {
+            return Err(WireError::Truncated);
+        }
+        if envelope.len() > 4 + len + 4 {
+            return Err(WireError::Malformed("trailing bytes after envelope"));
+        }
+        let payload = &envelope[4..4 + len];
+        let stored = u32::from_be_bytes([
+            envelope[4 + len],
+            envelope[4 + len + 1],
+            envelope[4 + len + 2],
+            envelope[4 + len + 3],
+        ]);
+        if crc32(payload) != stored {
+            return Err(WireError::CrcMismatch);
+        }
+        Message::decode_payload(payload[0], &payload[1..])
+    }
+
+    fn decode_payload(t: u8, body: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(body);
+        let msg = match t {
+            T_HELLO => {
+                let version = r.u8()?;
+                let url = r.string()?;
+                let query = r.string()?;
+                let lod = r.string()?;
+                let measure = r.string()?;
+                let packet_size = r.u32()?;
+                let gamma = f64::from_bits(r.u64()?);
+                Message::Hello(Hello {
+                    version,
+                    url,
+                    query,
+                    lod,
+                    measure,
+                    packet_size,
+                    gamma,
+                })
+            }
+            T_REQUEST => {
+                let count = r.u32()? as usize;
+                if count * 2 != body.len() - 4 {
+                    return Err(WireError::Malformed("request count mismatch"));
+                }
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(r.u16()?);
+                }
+                Message::Request(ids)
+            }
+            T_DONE => Message::Done,
+            T_METRICS_REQUEST => Message::MetricsRequest,
+            T_HEADER => Message::Header(read_header(&mut r)?),
+            T_FRAME => Message::Frame(r.rest().to_vec()),
+            T_ROUND_END => Message::RoundEnd,
+            T_GAVE_UP => Message::GaveUp,
+            T_ERROR => {
+                let code = ErrorCode::from_u8(r.u8()?)
+                    .ok_or(WireError::Malformed("unknown error code"))?;
+                let detail = r.string()?;
+                Message::Error { code, detail }
+            }
+            T_METRICS_REPLY => Message::MetricsReply(read_metrics(&mut r)?),
+            other => return Err(WireError::BadType(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Writes the full envelope to `w` and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (including write timeouts).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Reads exactly one envelope from `r` and parses it.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on socket failure or timeout; parse variants
+    /// for hostile/garbled input. A clean EOF before the first byte
+    /// surfaces as `Io(UnexpectedEof)`.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Message, WireError> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len == 0 || len > MAX_BODY {
+            return Err(WireError::BadLength(len));
+        }
+        let mut rest = vec![0u8; len + 4];
+        r.read_exact(&mut rest)?;
+        let payload = &rest[..len];
+        let stored = u32::from_be_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+        if crc32(payload) != stored {
+            return Err(WireError::CrcMismatch);
+        }
+        Message::decode_payload(payload[0], &payload[1..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_fixture() -> DocumentHeader {
+        DocumentHeader {
+            doc_len: 1234,
+            m: 5,
+            n: 8,
+            packet_size: 256,
+            plan: TransmissionPlan::sequential(vec![
+                UnitSlice::new("0.1", 1000, 0.75),
+                UnitSlice::new("0.2", 234, 0.25),
+            ]),
+        }
+    }
+
+    #[test]
+    fn every_message_type_round_trips() {
+        let msgs = [
+            Message::Hello(Hello::new("http://site/doc", "mobile wireless")),
+            Message::Request(vec![0, 3, 7, 255]),
+            Message::Request(Vec::new()),
+            Message::Done,
+            Message::MetricsRequest,
+            Message::Header(header_fixture()),
+            Message::Frame((0..64).collect()),
+            Message::Frame(Vec::new()),
+            Message::RoundEnd,
+            Message::GaveUp,
+            Message::Error {
+                code: ErrorCode::Busy,
+                detail: "8 sessions active".to_owned(),
+            },
+            Message::MetricsReply(MetricsSnapshot::default()),
+        ];
+        for m in msgs {
+            let wire = m.encode();
+            assert_eq!(Message::decode(&wire).unwrap(), m, "decode {m:?}");
+            let mut cursor = std::io::Cursor::new(wire);
+            assert_eq!(Message::read_from(&mut cursor).unwrap(), m, "stream {m:?}");
+        }
+    }
+
+    #[test]
+    fn header_round_trip_preserves_plan_geometry() {
+        let h = header_fixture();
+        let wire = Message::Header(h.clone()).encode();
+        let Message::Header(back) = Message::decode(&wire).unwrap() else {
+            panic!("wrong type");
+        };
+        assert_eq!(back, h);
+        assert_eq!(back.plan.total_bytes(), h.plan.total_bytes());
+        assert_eq!(back.plan.slice_ranges(), h.plan.slice_ranges());
+    }
+
+    #[test]
+    fn truncation_never_decodes() {
+        let wire = Message::Hello(Hello::new("u", "q")).encode();
+        for cut in 0..wire.len() {
+            assert!(Message::decode(&wire[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected() {
+        let wire = Message::Request(vec![1, 2, 3]).encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x20;
+            assert!(Message::decode(&bad).is_err(), "flip at {i} decoded");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_bounded() {
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        huge.extend_from_slice(&[0; 64]);
+        assert!(matches!(
+            Message::decode(&huge),
+            Err(WireError::BadLength(_))
+        ));
+        let mut zero = Vec::new();
+        put_u32(&mut zero, 0);
+        put_u32(&mut zero, crc32(&[]));
+        assert!(matches!(
+            Message::decode(&zero),
+            Err(WireError::BadLength(0))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected_with_valid_crc() {
+        let body = [0x7Fu8, 1, 2, 3];
+        let mut envelope = Vec::new();
+        put_u32(&mut envelope, body.len() as u32);
+        envelope.extend_from_slice(&body);
+        put_u32(&mut envelope, crc32(&body));
+        assert!(matches!(
+            Message::decode(&envelope),
+            Err(WireError::BadType(0x7F))
+        ));
+    }
+}

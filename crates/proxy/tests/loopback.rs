@@ -1,0 +1,261 @@
+//! Loopback integration tests: a real server on an ephemeral port,
+//! real client sockets, end-to-end reconstruction.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mrtweb_channel::fault::FaultConfig;
+use mrtweb_docmodel::gen::SyntheticDocSpec;
+use mrtweb_proxy::client::{fetch, fetch_metrics, FetchError, FetchOptions};
+use mrtweb_proxy::server::{Server, ServerConfig};
+use mrtweb_proxy::wire::{ErrorCode, Hello, Message};
+use mrtweb_store::gateway::{Gateway, Request};
+use mrtweb_store::store::DocumentStore;
+use mrtweb_transport::live::{run_transfer, ClientEvent, TransferConfig};
+
+const URL: &str = "doc/loopback";
+
+fn test_store(target_bytes: usize) -> Arc<DocumentStore> {
+    let spec = SyntheticDocSpec {
+        target_bytes,
+        ..SyntheticDocSpec::default()
+    };
+    let store = Arc::new(DocumentStore::new(16));
+    store.put(URL, spec.generate(7).document);
+    store
+}
+
+fn start(config: ServerConfig, target_bytes: usize) -> Server {
+    let gateway = Gateway::new(test_store(target_bytes));
+    Server::bind("127.0.0.1:0", gateway, config).expect("bind loopback")
+}
+
+fn options() -> FetchOptions {
+    let mut o = FetchOptions::new(URL);
+    o.io_timeout = Duration::from_secs(20);
+    o
+}
+
+/// What the transport reconstructs in-process for the identical
+/// request — the ground truth payload a socket fetch must match.
+fn reference_payload() -> Vec<u8> {
+    let gateway = Gateway::new(test_store(10_240));
+    let o = options();
+    let request = Request::from_options(
+        &o.url,
+        &o.query,
+        &o.lod,
+        &o.measure,
+        o.packet_size as usize,
+        o.gamma,
+    )
+    .expect("reference request");
+    let live = gateway.prepare(&request).expect("reference prepare");
+    let report = run_transfer(
+        live,
+        &TransferConfig {
+            alpha: 0.0,
+            ..TransferConfig::default()
+        },
+    )
+    .expect("reference transfer");
+    assert!(report.completed, "reference transfer must complete");
+    report.payload
+}
+
+#[test]
+fn eight_concurrent_fetches_reconstruct_byte_identically() {
+    let server = start(ServerConfig::default(), 10_240);
+    let addr = server.local_addr();
+    let expected = reference_payload();
+    assert!(!expected.is_empty());
+
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(move || fetch(addr, &options()).expect("concurrent fetch")))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    for report in &reports {
+        assert!(report.completed, "all eight sessions reconstruct");
+        assert_eq!(
+            report.payload, expected,
+            "socket reconstruction is byte-identical to the in-process transport"
+        );
+        // Progressive rendering never goes backwards: per-slice
+        // fractions are monotone non-decreasing in arrival order.
+        let mut last: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for event in &report.events {
+            if let ClientEvent::SliceProgress { label, fraction } = event {
+                let prev = last.insert(label.as_str(), *fraction).unwrap_or(0.0);
+                assert!(
+                    *fraction >= prev - 1e-12,
+                    "slice {label} regressed: {prev} -> {fraction}"
+                );
+            }
+        }
+    }
+
+    let metrics = server.shutdown();
+    assert!(metrics.accepted >= 8);
+    assert_eq!(metrics.completed, 8);
+    assert!(metrics.is_clean(), "clean run: {}", metrics.to_json());
+}
+
+#[test]
+fn admission_rejects_the_ninth_session() {
+    let config = ServerConfig {
+        max_sessions: 8,
+        workers: 8,
+        read_timeout: Duration::from_secs(20),
+        ..ServerConfig::default()
+    };
+    // A small document keeps each held session's first round inside the
+    // socket buffers, so workers reach their control read and park.
+    let server = start(config, 1024);
+    let addr = server.local_addr();
+
+    // Occupy all eight slots: handshake and then hold the session open.
+    let mut held = Vec::new();
+    for i in 0..8 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("timeout");
+        Message::Hello(Hello::new(URL, ""))
+            .write_to(&mut stream)
+            .expect("hello");
+        match Message::read_from(&mut stream).expect("handshake reply") {
+            Message::Header(_) => held.push(stream),
+            other => panic!("session {i}: wanted HEADER, got {other:?}"),
+        }
+    }
+
+    // The ninth ask must be refused loudly, with a typed Busy.
+    match fetch(addr, &options()) {
+        Err(FetchError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("ninth session should be rejected, got {other:?}"),
+    }
+
+    // Release the slots cleanly: drain each held round, then DONE.
+    for stream in &mut held {
+        loop {
+            match Message::read_from(stream).expect("drain") {
+                Message::RoundEnd => break,
+                Message::Frame(_) => {}
+                other => panic!("wanted FRAME or ROUND-END, got {other:?}"),
+            }
+        }
+        Message::Done.write_to(stream).expect("done");
+    }
+    drop(held);
+
+    let metrics = server.shutdown();
+    assert!(metrics.rejected >= 1, "{}", metrics.to_json());
+    assert_eq!(metrics.completed, 8);
+}
+
+#[test]
+fn early_stop_at_target_resolution_ends_the_session() {
+    let server = start(ServerConfig::default(), 10_240);
+    let mut o = options();
+    o.stop_at_slices = Some(2);
+    let report = fetch(server.local_addr(), &o).expect("fetch");
+    assert!(
+        report.stopped_early || report.completed,
+        "a 2-slice target resolves within the first round"
+    );
+    // A stopped session still ends cleanly server-side.
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 1);
+    assert!(metrics.is_clean(), "{}", metrics.to_json());
+}
+
+#[test]
+fn frame_budget_exhaustion_is_a_typed_refusal() {
+    let config = ServerConfig {
+        frame_budget: 5,
+        ..ServerConfig::default()
+    };
+    let server = start(config, 10_240);
+    match fetch(server.local_addr(), &options()) {
+        Err(FetchError::Rejected { code, .. }) => {
+            assert_eq!(code, ErrorCode::BudgetExceeded);
+        }
+        other => panic!("budget run should be refused, got {other:?}"),
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.frames_sent, 5, "{}", metrics.to_json());
+}
+
+#[test]
+fn faulty_wireless_hop_still_reconstructs() {
+    let config = ServerConfig {
+        fault: Some(FaultConfig::mixed()),
+        fault_seed: 99,
+        ..ServerConfig::default()
+    };
+    let server = start(config, 10_240);
+    let expected = reference_payload();
+    let report = fetch(server.local_addr(), &options()).expect("faulty fetch");
+    assert!(report.completed, "redundancy + ARQ absorb the fault mix");
+    assert_eq!(report.payload, expected, "byte-identical despite faults");
+    assert!(
+        report.crc_rejects > 0,
+        "the mixed preset must corrupt at least one frame"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_documents_are_refused_with_not_found() {
+    let server = start(ServerConfig::default(), 1024);
+    let mut o = options();
+    o.url = "doc/absent".to_owned();
+    match fetch(server.local_addr(), &o) {
+        Err(FetchError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::NotFound),
+        other => panic!("wanted NotFound, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_serves_live_counters() {
+    let server = start(ServerConfig::default(), 1024);
+    let addr = server.local_addr();
+    let _ = fetch(addr, &options()).expect("fetch");
+    let snapshot = fetch_metrics(addr, Duration::from_secs(10)).expect("metrics");
+    assert!(snapshot.accepted >= 1);
+    assert_eq!(snapshot.completed, 1);
+    assert!(snapshot.frames_sent > 0);
+    assert!(snapshot.is_clean(), "{}", snapshot.to_json());
+    server.shutdown();
+}
+
+#[test]
+fn malformed_hello_is_a_protocol_error_not_a_hang() {
+    let server = start(ServerConfig::default(), 1024);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // A valid envelope whose type is fine but whose body is garbage.
+    let mut envelope = Message::Done.encode();
+    envelope[4] = 0x01; // retype as HELLO with an empty body
+    let crc = mrtweb_erasure::crc::crc32(&envelope[4..envelope.len() - 4]);
+    let len = envelope.len();
+    envelope[len - 4..].copy_from_slice(&crc.to_be_bytes());
+    stream.write_all(&envelope).expect("write");
+    match Message::read_from(&mut stream).expect("reply") {
+        Message::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("wanted a typed error, got {other:?}"),
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.protocol_errors, 1, "{}", metrics.to_json());
+}

@@ -1,0 +1,171 @@
+//! Property tests for the proxy wire protocol: encode/decode identity
+//! over the whole message space, and rejection of every truncated or
+//! garbled envelope.
+
+use proptest::prelude::*;
+
+use mrtweb_proxy::metrics::MetricsSnapshot;
+use mrtweb_proxy::wire::{ErrorCode, Hello, Message, WireError, ENVELOPE_OVERHEAD};
+use mrtweb_transport::live::DocumentHeader;
+use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
+
+fn hello_strategy() -> impl Strategy<Value = Hello> {
+    (
+        "[a-z0-9/._-]{0,40}",
+        "[a-z ]{0,40}",
+        prop_oneof![
+            Just("document".to_owned()),
+            Just("section".to_owned()),
+            Just("subsection".to_owned()),
+            Just("paragraph".to_owned()),
+        ],
+        prop_oneof![
+            Just("ic".to_owned()),
+            Just("qic".to_owned()),
+            Just("mqic".to_owned()),
+        ],
+        1u32..4096,
+        1.0f64..4.0,
+    )
+        .prop_map(|(url, query, lod, measure, packet_size, gamma)| Hello {
+            url,
+            query,
+            lod,
+            measure,
+            packet_size,
+            gamma,
+            ..Hello::new("", "")
+        })
+}
+
+fn header_strategy() -> impl Strategy<Value = DocumentHeader> {
+    (
+        1usize..100_000,
+        1usize..200,
+        0usize..120,
+        1usize..2048,
+        proptest::collection::vec(("[a-z0-9.]{1,8}", 1usize..5000, 0.0f64..1.0), 1..12),
+    )
+        .prop_map(
+            |(doc_len, m, extra, packet_size, raw_slices)| DocumentHeader {
+                doc_len,
+                m,
+                n: m + extra,
+                packet_size,
+                plan: TransmissionPlan::sequential(
+                    raw_slices
+                        .into_iter()
+                        .map(|(label, bytes, content)| UnitSlice::new(label, bytes, content))
+                        .collect(),
+                ),
+            },
+        )
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    proptest::collection::vec(
+        any::<u64>(),
+        MetricsSnapshot::FIELD_COUNT..MetricsSnapshot::FIELD_COUNT + 1,
+    )
+    .prop_map(|v| {
+        let mut fields = [0u64; MetricsSnapshot::FIELD_COUNT];
+        fields.copy_from_slice(&v);
+        MetricsSnapshot::from_fields(fields)
+    })
+}
+
+fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::NotFound),
+        Just(ErrorCode::BadRequest),
+        Just(ErrorCode::Busy),
+        Just(ErrorCode::BudgetExceeded),
+        Just(ErrorCode::Internal),
+        Just(ErrorCode::GaveUp),
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        hello_strategy().prop_map(Message::Hello),
+        proptest::collection::vec(any::<u16>(), 0..300).prop_map(Message::Request),
+        Just(Message::Done),
+        Just(Message::MetricsRequest),
+        header_strategy().prop_map(Message::Header),
+        proptest::collection::vec(any::<u8>(), 0..2000).prop_map(Message::Frame),
+        Just(Message::RoundEnd),
+        Just(Message::GaveUp),
+        (error_code_strategy(), "[ -~]{0,60}")
+            .prop_map(|(code, detail)| Message::Error { code, detail }),
+        snapshot_strategy().prop_map(Message::MetricsReply),
+    ]
+}
+
+proptest! {
+    /// Every message survives an encode/decode round trip unchanged.
+    #[test]
+    fn encode_decode_is_identity(msg in message_strategy()) {
+        let wire = msg.encode();
+        prop_assert!(wire.len() > ENVELOPE_OVERHEAD);
+        let back = Message::decode(&wire).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Streamed reads agree with buffer decodes, even for messages
+    /// arriving back to back on one stream.
+    #[test]
+    fn read_from_matches_decode(msgs in proptest::collection::vec(message_strategy(), 1..5)) {
+        let mut stream = Vec::new();
+        for msg in &msgs {
+            stream.extend_from_slice(&msg.encode());
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for msg in &msgs {
+            let got = Message::read_from(&mut cursor).expect("read_from");
+            prop_assert_eq!(&got, msg);
+        }
+    }
+
+    /// No strict prefix of a valid envelope decodes; truncation is
+    /// always detected.
+    #[test]
+    fn truncated_envelopes_never_decode(
+        msg in message_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let wire = msg.encode();
+        let cut = ((wire.len() as f64) * frac) as usize;
+        prop_assert!(cut < wire.len());
+        prop_assert!(Message::decode(&wire[..cut]).is_err());
+    }
+
+    /// Any single corrupted byte is rejected (CRC-32 over type‖body;
+    /// length corruption trips the length or truncation checks).
+    #[test]
+    fn garbled_envelopes_never_decode(
+        msg in message_strategy(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut wire = msg.encode();
+        let pos = ((wire.len() as f64) * pos_frac) as usize % wire.len();
+        wire[pos] ^= flip;
+        match Message::decode(&wire) {
+            Err(_) => {}
+            Ok(back) => prop_assert!(
+                false,
+                "flip of byte {pos} decoded as {back:?}"
+            ),
+        }
+    }
+
+    /// A wrong-CRC envelope reports `CrcMismatch` specifically when the
+    /// damage is confined to the checksum itself.
+    #[test]
+    fn crc_damage_is_reported_as_crc_mismatch(msg in message_strategy(), flip in 1u8..=255) {
+        let mut wire = msg.encode();
+        let last = wire.len() - 1;
+        wire[last] ^= flip;
+        prop_assert!(matches!(Message::decode(&wire), Err(WireError::CrcMismatch)));
+    }
+}

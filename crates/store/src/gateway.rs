@@ -47,6 +47,51 @@ impl Request {
             gamma: 1.5,
         }
     }
+
+    /// Builds a request from the stringly-typed options a wire protocol
+    /// carries (the proxy's HELLO message), validating every field —
+    /// the layering boundary where untrusted peer input becomes typed
+    /// parameters. The proxy crate deliberately has no `docmodel` /
+    /// `content` dependency, so LOD and measure parsing lives here.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BadRequest`] for an unknown LOD or measure name,
+    /// a zero or oversized (> 64 KiB) packet size, or a non-finite or
+    /// sub-1 redundancy ratio.
+    pub fn from_options(
+        url: &str,
+        query: &str,
+        lod: &str,
+        measure: &str,
+        packet_size: usize,
+        gamma: f64,
+    ) -> Result<Self, GatewayError> {
+        let lod: Lod = lod
+            .parse()
+            .map_err(|e| GatewayError::BadRequest(format!("{e}")))?;
+        let measure: Measure = measure
+            .parse()
+            .map_err(|e| GatewayError::BadRequest(format!("{e}")))?;
+        if packet_size == 0 || packet_size > 64 * 1024 {
+            return Err(GatewayError::BadRequest(format!(
+                "packet size {packet_size} outside 1..=65536"
+            )));
+        }
+        if !gamma.is_finite() || gamma < 1.0 {
+            return Err(GatewayError::BadRequest(format!(
+                "redundancy ratio {gamma} must be finite and ≥ 1"
+            )));
+        }
+        Ok(Request {
+            url: url.to_owned(),
+            query: query.to_owned(),
+            lod,
+            measure,
+            packet_size,
+            gamma,
+        })
+    }
 }
 
 /// Gateway errors.
@@ -56,6 +101,8 @@ pub enum GatewayError {
     NotFound(String),
     /// The document cannot be coded with the requested parameters.
     Encoding(ErasureError),
+    /// The request options do not parse or validate.
+    BadRequest(String),
 }
 
 impl std::fmt::Display for GatewayError {
@@ -63,6 +110,7 @@ impl std::fmt::Display for GatewayError {
         match self {
             GatewayError::NotFound(u) => write!(f, "document not found: {u:?}"),
             GatewayError::Encoding(e) => write!(f, "cannot encode transmission: {e}"),
+            GatewayError::BadRequest(what) => write!(f, "bad request: {what}"),
         }
     }
 }
@@ -200,6 +248,27 @@ mod tests {
         let stats = gw.store().stats();
         assert_eq!(stats.sc_misses, 1);
         assert_eq!(stats.sc_hits, 1);
+    }
+
+    #[test]
+    fn from_options_parses_and_validates() {
+        let req = Request::from_options("http://site/paper", "mobile", "section", "QIC", 128, 1.5)
+            .unwrap();
+        assert_eq!(req.lod, Lod::Section);
+        assert_eq!(req.measure, Measure::Qic);
+        assert_eq!(req.packet_size, 128);
+
+        for (lod, measure, ps, gamma) in [
+            ("chapter", "qic", 128, 1.5),      // unknown LOD
+            ("section", "quality", 128, 1.5),  // unknown measure
+            ("section", "qic", 0, 1.5),        // zero packet size
+            ("section", "qic", 1 << 20, 1.5),  // oversized packet
+            ("section", "qic", 128, 0.5),      // γ < 1
+            ("section", "qic", 128, f64::NAN), // non-finite γ
+        ] {
+            let err = Request::from_options("u", "", lod, measure, ps, gamma).unwrap_err();
+            assert!(matches!(err, GatewayError::BadRequest(_)), "{err}");
+        }
     }
 
     #[test]

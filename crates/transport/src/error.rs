@@ -17,6 +17,15 @@ pub enum Error {
     /// The server thread panicked mid-transfer; the transfer state is
     /// unrecoverable.
     ServerPanicked,
+    /// A peer requested a cooked-packet index outside `0..N` — a
+    /// protocol violation (or an index mangled in flight) that servers
+    /// report instead of panicking.
+    FrameOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The transmission's cooked-packet count `N`.
+        n: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -24,6 +33,9 @@ impl fmt::Display for Error {
         match self {
             Error::Codec(e) => write!(f, "erasure codec error: {e}"),
             Error::ServerPanicked => write!(f, "server thread panicked mid-transfer"),
+            Error::FrameOutOfRange { index, n } => {
+                write!(f, "requested frame {index} out of range (N = {n})")
+            }
         }
     }
 }
@@ -32,7 +44,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Codec(e) => Some(e),
-            Error::ServerPanicked => None,
+            Error::ServerPanicked | Error::FrameOutOfRange { .. } => None,
         }
     }
 }

@@ -153,23 +153,36 @@ impl LiveServer {
         &self.header
     }
 
-    /// The wire frame for cooked packet `index` — a copy of the cached
-    /// framing, so repeat requests (retransmission rounds) cost a
-    /// memcpy, not an encode.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index ≥ N`; use [`LiveServer::try_frame`] on routes
-    /// where the index comes off the (faultable) wire.
-    pub fn frame(&self, index: usize) -> Vec<u8> {
-        self.wire_frames[index].clone()
+    /// The cached wire framing for cooked packet `index`, borrowed —
+    /// repeat requests (retransmission rounds) cost nothing beyond the
+    /// socket write, not an encode. `None` for an out-of-range index:
+    /// every serving route must tolerate a request index mangled in
+    /// flight, so there is deliberately no panicking accessor.
+    pub fn frame_bytes(&self, index: usize) -> Option<&[u8]> {
+        self.wire_frames.get(index).map(Vec::as_slice)
     }
 
-    /// Like [`LiveServer::frame`], but `None` for an out-of-range index
-    /// instead of panicking — the server loop's defense against a
-    /// request mangled in flight.
+    /// Like [`LiveServer::frame_bytes`], but owned.
     pub fn try_frame(&self, index: usize) -> Option<Vec<u8>> {
         self.wire_frames.get(index).cloned()
+    }
+
+    /// Like [`LiveServer::frame_bytes`], but an out-of-range index is a
+    /// typed [`TransportError::FrameOutOfRange`] protocol error — for
+    /// servers that must report the violation to the peer instead of
+    /// silently skipping the request.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::FrameOutOfRange`] if `index ≥ N`.
+    pub fn frame_checked(&self, index: usize) -> Result<&[u8], TransportError> {
+        self.wire_frames
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(TransportError::FrameOutOfRange {
+                index,
+                n: self.header.n,
+            })
     }
 }
 
@@ -414,11 +427,11 @@ pub fn run_transfer(
             for &idx in &to_send {
                 // A request index mangled in flight must not crash the
                 // server; unknown packets are simply not served.
-                let Some(bytes) = server.try_frame(idx) else {
+                let Some(bytes) = server.frame_bytes(idx) else {
                     continue;
                 };
                 stats_server.lock().0 += 1;
-                for delivery in faulty.transmit(&bytes) {
+                for delivery in faulty.transmit(bytes) {
                     if wire_tx.send(Wire::Frame(delivery.bytes)).is_err() {
                         break 'rounds; // client hung up
                     }
@@ -688,6 +701,22 @@ mod tests {
             },
         );
         assert!(report.completed);
+    }
+
+    #[test]
+    fn out_of_range_frame_requests_are_typed_errors() {
+        let srv = server(Lod::Paragraph, 1.5);
+        let n = srv.header().n;
+        assert!(srv.frame_bytes(n).is_none());
+        assert!(srv.try_frame(n).is_none());
+        match srv.frame_checked(n) {
+            Err(TransportError::FrameOutOfRange { index, n: reported }) => {
+                assert_eq!(index, n);
+                assert_eq!(reported, n);
+            }
+            other => panic!("expected FrameOutOfRange, got {other:?}"),
+        }
+        assert_eq!(srv.frame_checked(0).unwrap(), srv.frame_bytes(0).unwrap());
     }
 
     #[test]

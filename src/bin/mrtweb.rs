@@ -10,16 +10,33 @@
 //! mrtweb faultrun --scenario NAME [--seed S]           run a fault-injection scenario
 //! mrtweb faultrun --all [--seed S]                     run every scenario
 //! mrtweb faultrun --list                               list scenarios
+//! mrtweb serve [files...] [--addr A] [--max-sessions N] [--workers W] [--fault PRESET]
+//!                                                      run the base-station proxy daemon
+//! mrtweb fetch <url> [--addr A] [--query Q] [--stop-content X] [--stop-slices K]
+//!                                                      fetch a document from a proxy
+//! mrtweb loadgen [--addr A] [--clients K] [--requests R] [--sweep 1,8,32] [--json]
+//!                                                      drive a proxy with concurrent clients
+//! mrtweb stats [--addr A] [--assert-clean]             print a proxy's metrics as JSON
 //! ```
 
+use std::net::ToSocketAddrs as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use mrtweb::channel::fault::FaultConfig;
 use mrtweb::content::query::Query;
 use mrtweb::content::sc::{Measure, StructuralCharacteristic};
 use mrtweb::docmodel::document::Document;
+use mrtweb::docmodel::gen::SyntheticDocSpec;
 use mrtweb::docmodel::lod::Lod;
 use mrtweb::erasure::redundancy::Plan;
 use mrtweb::prelude::CacheMode;
+use mrtweb::proxy::client::{fetch, fetch_metrics, FetchOptions};
+use mrtweb::proxy::loadgen::{self, LoadConfig};
+use mrtweb::proxy::server::{Server, ServerConfig};
+use mrtweb::store::gateway::Gateway;
+use mrtweb::store::store::DocumentStore;
 use mrtweb::textproc::pipeline::ScPipeline;
 use mrtweb::textproc::summary::lead_in_summary;
 use mrtweb::transport::live::{run_transfer, LiveServer, TransferConfig};
@@ -41,11 +58,17 @@ fn main() -> ExitCode {
             eprintln!("  mrtweb summary <file> [--budget BYTES]");
             eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
             eprintln!("  mrtweb faultrun --scenario NAME [--seed S] | --all [--seed S] | --list");
+            eprintln!("  mrtweb serve [files...] [--addr A] [--corpus K] [--max-sessions N] [--workers W] [--frame-budget B] [--fault PRESET] [--seed S] [--runtime-secs T]");
+            eprintln!("  mrtweb fetch <url> [--addr A] [--query Q] [--lod L] [--measure ic|qic|mqic] [--packet-size P] [--gamma G] [--stop-content X] [--stop-slices K] [--out FILE]");
+            eprintln!("  mrtweb loadgen [--addr A] [--url U] [--clients K] [--requests R] [--sweep 1,8,32] [--json] [--bench-out FILE]");
+            eprintln!("  mrtweb stats [--addr A] [--assert-clean]");
             ExitCode::from(2)
         }
     }
 }
 
+// CLI switches are naturally independent booleans, not a state machine.
+#[allow(clippy::struct_excessive_bools)]
 struct Flags {
     query: String,
     lod: Lod,
@@ -58,6 +81,27 @@ struct Flags {
     scenario: String,
     all: bool,
     list: bool,
+    // proxy verbs
+    addr: String,
+    corpus: usize,
+    max_sessions: usize,
+    workers: usize,
+    frame_budget: u64,
+    fault: String,
+    runtime_secs: u64,
+    measure: String,
+    packet_size: u32,
+    stop_content: Option<f64>,
+    stop_slices: Option<usize>,
+    out: String,
+    url: String,
+    clients: usize,
+    requests: usize,
+    sweep: String,
+    json: bool,
+    bench_out: String,
+    assert_clean: bool,
+    timeout_secs: u64,
 }
 
 impl Default for Flags {
@@ -74,6 +118,26 @@ impl Default for Flags {
             scenario: String::new(),
             all: false,
             list: false,
+            addr: "127.0.0.1:7340".to_owned(),
+            corpus: 4,
+            max_sessions: 64,
+            workers: 8,
+            frame_budget: 1 << 20,
+            fault: String::new(),
+            runtime_secs: 0,
+            measure: "ic".to_owned(),
+            packet_size: 256,
+            stop_content: None,
+            stop_slices: None,
+            out: String::new(),
+            url: "doc/0".to_owned(),
+            clients: 8,
+            requests: 16,
+            sweep: String::new(),
+            json: false,
+            bench_out: String::new(),
+            assert_clean: false,
+            timeout_secs: 10,
         }
     }
 }
@@ -122,6 +186,100 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--all" => f.all = true,
             "--list" => f.list = true,
             "--nocache" => f.nocache = true,
+            "--addr" => {
+                f.addr.clone_from(need(i)?);
+                i += 1;
+            }
+            "--corpus" => {
+                f.corpus = need(i)?.parse().map_err(|_| "--corpus needs an integer")?;
+                i += 1;
+            }
+            "--max-sessions" => {
+                f.max_sessions = need(i)?
+                    .parse()
+                    .map_err(|_| "--max-sessions needs an integer")?;
+                i += 1;
+            }
+            "--workers" => {
+                f.workers = need(i)?.parse().map_err(|_| "--workers needs an integer")?;
+                i += 1;
+            }
+            "--frame-budget" => {
+                f.frame_budget = need(i)?
+                    .parse()
+                    .map_err(|_| "--frame-budget needs an integer")?;
+                i += 1;
+            }
+            "--fault" => {
+                f.fault.clone_from(need(i)?);
+                i += 1;
+            }
+            "--runtime-secs" => {
+                f.runtime_secs = need(i)?
+                    .parse()
+                    .map_err(|_| "--runtime-secs needs an integer")?;
+                i += 1;
+            }
+            "--measure" => {
+                f.measure.clone_from(need(i)?);
+                i += 1;
+            }
+            "--packet-size" => {
+                f.packet_size = need(i)?
+                    .parse()
+                    .map_err(|_| "--packet-size needs an integer")?;
+                i += 1;
+            }
+            "--stop-content" => {
+                f.stop_content = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|_| "--stop-content needs a number")?,
+                );
+                i += 1;
+            }
+            "--stop-slices" => {
+                f.stop_slices = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|_| "--stop-slices needs an integer")?,
+                );
+                i += 1;
+            }
+            "--out" => {
+                f.out.clone_from(need(i)?);
+                i += 1;
+            }
+            "--url" => {
+                f.url.clone_from(need(i)?);
+                i += 1;
+            }
+            "--clients" => {
+                f.clients = need(i)?.parse().map_err(|_| "--clients needs an integer")?;
+                i += 1;
+            }
+            "--requests" => {
+                f.requests = need(i)?
+                    .parse()
+                    .map_err(|_| "--requests needs an integer")?;
+                i += 1;
+            }
+            "--sweep" => {
+                f.sweep.clone_from(need(i)?);
+                i += 1;
+            }
+            "--bench-out" => {
+                f.bench_out.clone_from(need(i)?);
+                i += 1;
+            }
+            "--timeout-secs" => {
+                f.timeout_secs = need(i)?
+                    .parse()
+                    .map_err(|_| "--timeout-secs needs an integer")?;
+                i += 1;
+            }
+            "--json" => f.json = true,
+            "--assert-clean" => f.assert_clean = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -312,6 +470,216 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            // Leading non-flag arguments are document files to serve.
+            let mut paths: Vec<String> = Vec::new();
+            let mut rest = &args[1..];
+            while let Some(first) = rest.first() {
+                if first.starts_with("--") {
+                    break;
+                }
+                paths.push(first.clone());
+                rest = &rest[1..];
+            }
+            let flags = parse_flags(rest)?;
+            let store = Arc::new(DocumentStore::new(64));
+            if paths.is_empty() {
+                let spec = SyntheticDocSpec::default();
+                for i in 0..flags.corpus.max(1) {
+                    let generated = spec.generate(flags.seed.wrapping_add(i as u64));
+                    store.put(format!("doc/{i}"), generated.document);
+                }
+            } else {
+                for path in &paths {
+                    store.put(path.clone(), load_document(path)?);
+                }
+            }
+            let config = ServerConfig {
+                max_sessions: flags.max_sessions,
+                workers: flags.workers,
+                frame_budget: flags.frame_budget,
+                fault: parse_fault(&flags.fault)?,
+                fault_seed: flags.seed,
+                ..Default::default()
+            };
+            let server = Server::bind(&flags.addr, Gateway::new(Arc::clone(&store)), config)
+                .map_err(|e| format!("cannot bind {}: {e}", flags.addr))?;
+            println!("listening on {}", server.local_addr());
+            for url in store.urls() {
+                println!("serving {url}");
+            }
+            if flags.runtime_secs > 0 {
+                std::thread::sleep(Duration::from_secs(flags.runtime_secs));
+                let final_metrics = server.shutdown();
+                println!("{}", final_metrics.to_json());
+                Ok(())
+            } else {
+                loop {
+                    std::thread::sleep(Duration::from_hours(1));
+                }
+            }
+        }
+        "fetch" => {
+            let url = args.get(1).ok_or("fetch needs a url")?;
+            let flags = parse_flags(&args[2..])?;
+            let options = FetchOptions {
+                url: url.clone(),
+                query: flags.query.clone(),
+                lod: flags.lod.to_string(),
+                measure: flags.measure.clone(),
+                packet_size: flags.packet_size,
+                gamma: flags.gamma,
+                stop_at_content: flags.stop_content,
+                stop_at_slices: flags.stop_slices,
+                io_timeout: Duration::from_secs(flags.timeout_secs.max(1)),
+            };
+            let report = fetch(flags.addr.as_str(), &options).map_err(|e| e.to_string())?;
+            println!(
+                "M={} N={} packet={}B rounds={} frames={} crc_rejects={} bytes={}",
+                report.header.m,
+                report.header.n,
+                report.header.packet_size,
+                report.rounds,
+                report.frames_received,
+                report.crc_rejects,
+                report.bytes_received
+            );
+            if report.completed {
+                println!("reconstructed {} bytes", report.payload.len());
+            } else if report.stopped_early {
+                println!("stopped early at the requested resolution");
+            } else if report.gave_up {
+                return Err("server gave up before reconstruction".into());
+            } else {
+                return Err("fetch ended without reconstruction".into());
+            }
+            if !flags.out.is_empty() && report.completed {
+                std::fs::write(&flags.out, &report.payload)
+                    .map_err(|e| format!("cannot write {}: {e}", flags.out))?;
+                println!("wrote {}", flags.out);
+            }
+            Ok(())
+        }
+        "loadgen" => {
+            let flags = parse_flags(&args[1..])?;
+            let addr = resolve(&flags.addr)?;
+            let options = FetchOptions {
+                url: flags.url.clone(),
+                query: flags.query.clone(),
+                lod: flags.lod.to_string(),
+                measure: flags.measure.clone(),
+                packet_size: flags.packet_size,
+                gamma: flags.gamma,
+                stop_at_content: flags.stop_content,
+                stop_at_slices: flags.stop_slices,
+                io_timeout: Duration::from_secs(flags.timeout_secs.max(1)),
+            };
+            if flags.sweep.is_empty() {
+                let report = loadgen::run(
+                    addr,
+                    &LoadConfig {
+                        clients: flags.clients.max(1),
+                        requests: flags.requests.max(1),
+                        options,
+                    },
+                );
+                if flags.json {
+                    println!("{}", report.to_json());
+                } else {
+                    println!(
+                        "{} clients × {} requests: {} ok, {} rejected, {} failed in {:.2}s",
+                        report.clients,
+                        flags.requests,
+                        report.completed,
+                        report.rejected,
+                        report.failed,
+                        report.elapsed.as_secs_f64()
+                    );
+                    println!(
+                        "throughput {:.1} req/s, latency p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms",
+                        report.throughput,
+                        report.p50.as_secs_f64() * 1e3,
+                        report.p95.as_secs_f64() * 1e3,
+                        report.p99.as_secs_f64() * 1e3
+                    );
+                }
+                if report.completed == 0 {
+                    return Err("no request completed".into());
+                }
+            } else {
+                let counts = parse_counts(&flags.sweep)?;
+                let (reports, json) =
+                    loadgen::sweep(addr, &counts, flags.requests.max(1), &options);
+                println!("{json}");
+                if !flags.bench_out.is_empty() {
+                    std::fs::write(&flags.bench_out, format!("{json}\n"))
+                        .map_err(|e| format!("cannot write {}: {e}", flags.bench_out))?;
+                }
+                if reports.iter().any(|r| r.completed == 0) {
+                    return Err("a sweep point completed no requests".into());
+                }
+            }
+            Ok(())
+        }
+        "stats" => {
+            let flags = parse_flags(&args[1..])?;
+            let snapshot = fetch_metrics(
+                flags.addr.as_str(),
+                Duration::from_secs(flags.timeout_secs.max(1)),
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{}", snapshot.to_json());
+            if flags.assert_clean && !snapshot.is_clean() {
+                return Err(
+                    "metrics are not clean (crc_rejects, timeouts, or protocol_errors nonzero)"
+                        .into(),
+                );
+            }
+            Ok(())
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// Maps a `--fault` preset name to a fault schedule.
+fn parse_fault(name: &str) -> Result<Option<FaultConfig>, String> {
+    match name {
+        "" | "none" => Ok(None),
+        "clean" => Ok(Some(FaultConfig::clean())),
+        "corrupting" => Ok(Some(FaultConfig::corrupting(0.1))),
+        "bursty" => Ok(Some(FaultConfig::bursty())),
+        "outage" => Ok(Some(FaultConfig::outage_heavy())),
+        "mixed" => Ok(Some(FaultConfig::mixed())),
+        "garbling" => Ok(Some(FaultConfig::garbling())),
+        "dropping" => Ok(Some(FaultConfig::dropping(0.1))),
+        other => Err(format!(
+            "unknown fault preset {other:?} (try clean, corrupting, bursty, outage, mixed, garbling, dropping)"
+        )),
+    }
+}
+
+/// Resolves `host:port` to a socket address.
+fn resolve(addr: &str) -> Result<std::net::SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))
+}
+
+/// Parses a `--sweep` list like `1,8,32`.
+fn parse_counts(list: &str) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad sweep count {s:?}"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err("sweep counts must be positive".to_owned())
+                    } else {
+                        Ok(n)
+                    }
+                })
+        })
+        .collect()
 }

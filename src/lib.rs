@@ -20,7 +20,10 @@
 //!   regenerate every table and figure of the paper's evaluation;
 //! * [`store`] — the server-side document store and database gateway
 //!   (the paper's Figure 1 back end), with binary persistence and
-//!   structural-characteristic caching.
+//!   structural-characteristic caching;
+//! * [`proxy`] — the base-station gateway as a real TCP daemon:
+//!   concurrent sessions over a length-prefixed CRC-checked wire
+//!   protocol, admission control, metrics, and a load generator.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub use mrtweb_channel as channel;
 pub use mrtweb_content as content;
 pub use mrtweb_docmodel as docmodel;
 pub use mrtweb_erasure as erasure;
+pub use mrtweb_proxy as proxy;
 pub use mrtweb_sim as sim;
 pub use mrtweb_store as store;
 pub use mrtweb_textproc as textproc;
