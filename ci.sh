@@ -1,91 +1,192 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus lint and a perf smoke run.
+# Tier-1 gate plus lint, fault matrix, perf smoke and the bench gate,
+# split into named stages so CI jobs (and humans) can run them alone.
 #
-#   ./ci.sh            # everything
-#   ./ci.sh --no-bench # skip the bench smoke (e.g. constrained runners)
+#   ./ci.sh                      # every stage, in order
+#   ./ci.sh --stage clippy       # one stage (repeatable: --stage a --stage b)
+#   ./ci.sh --quick              # reduced proptest cases / single fault seed
+#   ./ci.sh --no-bench           # skip the bench smoke (constrained runners)
 #
-# The bench smoke runs the erasure-codec sweep in quick mode and leaves
-# its machine-readable summary in BENCH_erasure.json at the repo root.
+# Stages, in default order:
+#
+#   fmt          cargo fmt --check
+#   analysis     in-tree lint (panic paths, SAFETY comments, layering)
+#   clippy       pedantic clippy, -D warnings
+#   tier1        release build + default-feature test suite
+#   tests        full workspace test sweep (PROPTEST_CASES honored)
+#   obs-no-trace mrtweb-obs with the `trace` feature off (no-op path)
+#   faults       fault-injection matrix (8 scenarios x seeds)
+#   proxy-smoke  serve + loadgen over loopback -> BENCH_proxy.json
+#   bench        erasure-codec sweep (quick mode) -> BENCH_erasure.json
+#   bench-gate   compare fresh BENCH_*.json against BENCH_BASELINE.json
+#
+# The proxy readiness wait is bounded but configurable: set
+# MRTWEB_PROXY_WAIT_SECS (default 5) on slow runners. The proxy child
+# is torn down unconditionally — including when a stage fails mid-way.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace faults proxy-smoke bench bench-gate"
+
 run_bench=1
-for arg in "$@"; do
-  case "$arg" in
+quick=0
+stages=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
     --no-bench) run_bench=0 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    --quick) quick=1 ;;
+    --stage)
+      shift
+      [ "$#" -gt 0 ] || { echo "--stage needs a name" >&2; exit 2; }
+      case " $ALL_STAGES " in
+        *" $1 "*) stages="$stages $1" ;;
+        *) echo "unknown stage: $1 (known: $ALL_STAGES)" >&2; exit 2 ;;
+      esac
+      ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
+  shift
 done
+[ -n "$stages" ] || stages="$ALL_STAGES"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+# ---- proxy teardown: unconditional, idempotent -------------------------
+proxy_pid=""
+proxy_log=""
+cleanup_proxy() {
+  if [ -n "$proxy_pid" ]; then
+    kill "$proxy_pid" 2>/dev/null || true
+    wait "$proxy_pid" 2>/dev/null || true
+    proxy_pid=""
+  fi
+  if [ -n "$proxy_log" ]; then
+    rm -f "$proxy_log"
+    proxy_log=""
+  fi
+}
+trap cleanup_proxy EXIT
 
-echo "==> mrtweb-analysis (in-tree lint: panic paths, SAFETY comments, layering)"
-cargo run -q -p mrtweb-analysis -- check
+stage_fmt() {
+  echo "==> cargo fmt --check"
+  cargo fmt --all -- --check
+}
 
-echo "==> cargo clippy -D warnings (pedantic)"
-# Pedantic is the baseline; the -A list below names the lints we accept
-# wholesale (cast style in numeric simulation code, doc phrasing) so
-# everything else stays deny-by-default.
-cargo clippy --workspace --all-targets -- \
-  -W clippy::pedantic \
-  -A clippy::cast-possible-truncation \
-  -A clippy::cast-precision-loss \
-  -A clippy::cast-sign-loss \
-  -A clippy::cast-lossless \
-  -A clippy::must-use-candidate \
-  -A clippy::return-self-not-must-use \
-  -A clippy::doc-markdown \
-  -A clippy::float-cmp \
-  -A clippy::unreadable-literal \
-  -A clippy::too-many-lines \
-  -A clippy::missing-errors-doc \
-  -A clippy::missing-panics-doc \
-  -A clippy::module-name-repetitions \
-  -D warnings
+stage_analysis() {
+  echo "==> mrtweb-analysis (in-tree lint: panic paths, SAFETY comments, layering)"
+  cargo run -q -p mrtweb-analysis -- check
+}
 
-echo "==> tier-1: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
+stage_clippy() {
+  echo "==> cargo clippy -D warnings (pedantic)"
+  # Pedantic is the baseline; the -A list below names the lints we accept
+  # wholesale (cast style in numeric simulation code, doc phrasing) so
+  # everything else stays deny-by-default.
+  cargo clippy --workspace --all-targets -- \
+    -W clippy::pedantic \
+    -A clippy::cast-possible-truncation \
+    -A clippy::cast-precision-loss \
+    -A clippy::cast-sign-loss \
+    -A clippy::cast-lossless \
+    -A clippy::must-use-candidate \
+    -A clippy::return-self-not-must-use \
+    -A clippy::doc-markdown \
+    -A clippy::float-cmp \
+    -A clippy::unreadable-literal \
+    -A clippy::too-many-lines \
+    -A clippy::missing-errors-doc \
+    -A clippy::missing-panics-doc \
+    -A clippy::module-name-repetitions \
+    -D warnings
+}
 
-echo "==> workspace tests (PROPTEST_CASES=${PROPTEST_CASES:-192})"
-PROPTEST_CASES="${PROPTEST_CASES:-192}" cargo test --workspace -q
+stage_tier1() {
+  echo "==> tier-1: cargo build --release && cargo test -q"
+  cargo build --release
+  cargo test -q
+}
 
-echo "==> fault-injection matrix (8 scenarios x 3 seeds)"
-for seed in 1 2 3; do
-  target/release/mrtweb faultrun --all --seed "$seed" \
-    | grep -E '^(PASS|FAIL)' | sed "s/^/    /"
-done
+stage_tests() {
+  local cases="${PROPTEST_CASES:-192}"
+  [ "$quick" -eq 1 ] && cases="${PROPTEST_CASES:-32}"
+  echo "==> workspace tests (PROPTEST_CASES=$cases)"
+  PROPTEST_CASES="$cases" cargo test --workspace -q
+}
 
-echo "==> proxy smoke: serve + loadgen over loopback -> BENCH_proxy.json"
-proxy_log="$(mktemp)"
-target/release/mrtweb serve --addr 127.0.0.1:0 --runtime-secs 90 > "$proxy_log" 2>&1 &
-proxy_pid=$!
-trap 'kill "$proxy_pid" 2>/dev/null || true' EXIT
-proxy_addr=""
-for _ in $(seq 1 50); do
-  proxy_addr="$(awk '/^listening on /{print $3; exit}' "$proxy_log" || true)"
-  [ -n "$proxy_addr" ] && break
-  sleep 0.1
-done
-[ -n "$proxy_addr" ] || { echo "proxy did not come up: $(cat "$proxy_log")" >&2; exit 1; }
-echo "    proxy at $proxy_addr"
-timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
-  --clients 8 --requests 32 --json | sed "s/^/    /"
-timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
-  --sweep 1,8,32 --requests 8 --bench-out BENCH_proxy.json > /dev/null
-test -s BENCH_proxy.json || { echo "BENCH_proxy.json missing" >&2; exit 1; }
-# The metrics must parse as JSON and report a clean run: zero CRC
-# rejections, timeouts, and protocol errors across the whole smoke.
-timeout 30 target/release/mrtweb stats --addr "$proxy_addr" --assert-clean | sed "s/^/    /"
-kill "$proxy_pid" 2>/dev/null || true
-wait "$proxy_pid" 2>/dev/null || true
-trap - EXIT
+stage_obs_no_trace() {
+  echo "==> mrtweb-obs with tracing compiled out (--no-default-features)"
+  cargo test -q -p mrtweb-obs --no-default-features
+}
 
-if [ "$run_bench" -eq 1 ]; then
+stage_faults() {
+  local seeds="1 2 3"
+  [ "$quick" -eq 1 ] && seeds="1"
+  echo "==> fault-injection matrix (8 scenarios x seeds: $seeds)"
+  [ -x target/release/mrtweb ] || cargo build --release
+  for seed in $seeds; do
+    target/release/mrtweb faultrun --all --seed "$seed" \
+      | grep -E '^(PASS|FAIL)' | sed "s/^/    /"
+  done
+}
+
+stage_proxy_smoke() {
+  echo "==> proxy smoke: serve + loadgen over loopback -> BENCH_proxy.json"
+  [ -x target/release/mrtweb ] || cargo build --release
+  proxy_log="$(mktemp)"
+  target/release/mrtweb serve --addr 127.0.0.1:0 --runtime-secs 90 > "$proxy_log" 2>&1 &
+  proxy_pid=$!
+  local wait_secs="${MRTWEB_PROXY_WAIT_SECS:-5}"
+  local proxy_addr=""
+  for _ in $(seq 1 $((wait_secs * 10))); do
+    proxy_addr="$(awk '/^listening on /{print $3; exit}' "$proxy_log" || true)"
+    [ -n "$proxy_addr" ] && break
+    # Fail fast if the server died before announcing its address.
+    kill -0 "$proxy_pid" 2>/dev/null \
+      || { echo "proxy exited early: $(cat "$proxy_log")" >&2; return 1; }
+    sleep 0.1
+  done
+  [ -n "$proxy_addr" ] || {
+    echo "proxy did not come up within ${wait_secs}s (MRTWEB_PROXY_WAIT_SECS to raise): $(cat "$proxy_log")" >&2
+    return 1
+  }
+  echo "    proxy at $proxy_addr"
+  timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
+    --clients 8 --requests 32 --json | sed "s/^/    /"
+  timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
+    --sweep 1,8,32 --requests 8 --bench-out BENCH_proxy.json > /dev/null
+  test -s BENCH_proxy.json || { echo "BENCH_proxy.json missing" >&2; return 1; }
+  # The stats snapshot must parse and report a clean run: zero CRC
+  # rejections, timeouts, and protocol errors across the whole smoke.
+  timeout 30 target/release/mrtweb stats --addr "$proxy_addr" --assert-clean | sed "s/^/    /"
+  cleanup_proxy
+}
+
+stage_bench() {
+  if [ "$run_bench" -ne 1 ]; then
+    echo "==> bench smoke skipped (--no-bench)"
+    return 0
+  fi
   echo "==> bench smoke (quick mode): erasure_codec -> BENCH_erasure.json"
   MRTWEB_BENCH_QUICK=1 cargo bench -p mrtweb-bench --bench erasure_codec
-  test -s BENCH_erasure.json || { echo "BENCH_erasure.json missing" >&2; exit 1; }
-fi
+  test -s BENCH_erasure.json || { echo "BENCH_erasure.json missing" >&2; return 1; }
+}
+
+stage_bench_gate() {
+  echo "==> bench gate: fresh BENCH_*.json vs BENCH_BASELINE.json"
+  cargo run -q -p mrtweb-analysis -- bench-gate
+}
+
+for stage in $stages; do
+  case "$stage" in
+    fmt) stage_fmt ;;
+    analysis) stage_analysis ;;
+    clippy) stage_clippy ;;
+    tier1) stage_tier1 ;;
+    tests) stage_tests ;;
+    obs-no-trace) stage_obs_no_trace ;;
+    faults) stage_faults ;;
+    proxy-smoke) stage_proxy_smoke ;;
+    bench) stage_bench ;;
+    bench-gate) stage_bench_gate ;;
+  esac
+done
 
 echo "==> ci.sh OK"

@@ -1,0 +1,677 @@
+//! The CI performance-regression gate.
+//!
+//! Compares freshly produced bench reports (`BENCH_erasure.json`,
+//! `BENCH_proxy.json`) against the committed `BENCH_BASELINE.json`,
+//! metric by metric, inside direction-aware tolerance bands:
+//!
+//! * **higher is better** — `mib_per_s`, `throughput_rps`, and any
+//!   `*speedup*` ratio: the gate fails when the fresh value falls below
+//!   `baseline · (1 − tolerance)`;
+//! * **lower is better** — latency quantiles (`p50_ms`, `p95_ms`,
+//!   `p99_ms`) and overhead percentages (`*_pct`): the gate fails when
+//!   the fresh value rises above `baseline · (1 + tolerance)`.
+//!
+//! The default tolerance is deliberately wide (±50%): shared CI boxes
+//! jitter by tens of percent, and the gate exists to catch order-of-
+//! magnitude regressions (a scalar fallback shipping instead of the
+//! split-table kernel; a lock on the hot path), not 5% noise. Bytes,
+//! counts, and wall-clock totals are configuration, not performance,
+//! and are never compared.
+//!
+//! Everything here is dependency-free, including the minimal JSON
+//! reader — the analyzer must keep working when the rest of the
+//! workspace is broken.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default relative tolerance band.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// Absolute pass threshold for percentage-point metrics (`*_pct`),
+/// in points. Relative bands are meaningless around zero — a tracing
+/// overhead that measures −0.3% one run and +0.8% the next is *noise*,
+/// not a 3.7× regression — so a `*_pct` metric also passes while it
+/// stays under this budget (DESIGN.md §13's overhead budget).
+pub const PCT_ABS_BUDGET: f64 = 2.0;
+
+/// A parsed JSON value (just enough for bench reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered by key.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// A human-readable description with a byte offset on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 number".to_owned())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                let esc = b
+                    .get(*pos + 1)
+                    .ok_or_else(|| format!("dangling escape at byte {}", *pos))?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        // Bench names are ASCII; keep the escape verbatim.
+                        out.push_str("\\u");
+                    }
+                    other => return Err(format!("unsupported escape `\\{}`", *other as char)),
+                }
+                *pos += 2;
+            }
+            _ => {
+                // Copy the full UTF-8 scalar, not just one byte.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("non-utf8 string at byte {}", *pos))?;
+                let ch = rest.chars().next().ok_or("empty string tail")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err(format!("unterminated string starting at byte {start}"))
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        pairs.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger fresh values are fine; shrinking regresses.
+    HigherIsBetter,
+    /// Smaller fresh values are fine; growing regresses.
+    LowerIsBetter,
+}
+
+/// Classifies a flattened metric key, or `None` for non-performance
+/// fields (counts, byte totals, wall-clock totals, booleans).
+#[must_use]
+pub fn direction_of(key: &str) -> Option<Direction> {
+    let leaf = key.rsplit('/').next().unwrap_or(key);
+    if leaf == "mib_per_s" || leaf == "throughput_rps" || leaf.contains("speedup") {
+        return Some(Direction::HigherIsBetter);
+    }
+    if matches!(leaf, "p50_ms" | "p95_ms" | "p99_ms") || leaf.ends_with("_pct") {
+        return Some(Direction::LowerIsBetter);
+    }
+    None
+}
+
+/// Flattened comparable metrics: `key → value`, keys like
+/// `erasure/encode_sweep/256/mib_per_s` or `proxy/clients=8/p99_ms`.
+pub type Metrics = BTreeMap<String, f64>;
+
+/// Extracts the comparable metrics from a parsed `BENCH_erasure.json`.
+#[must_use]
+pub fn erasure_metrics(doc: &Json) -> Metrics {
+    let mut out = Metrics::new();
+    if let Json::Obj(pairs) = doc {
+        for (key, value) in pairs {
+            if let Some(v) = value.as_f64() {
+                insert_if_comparable(&mut out, &format!("erasure/{key}"), v);
+            }
+        }
+    }
+    if let Some(Json::Arr(results)) = doc.get("results") {
+        for entry in results {
+            let Some(name) = entry.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            if let Json::Obj(pairs) = entry {
+                for (key, value) in pairs {
+                    if let Some(v) = value.as_f64() {
+                        insert_if_comparable(&mut out, &format!("erasure/{name}/{key}"), v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the comparable metrics from a parsed `BENCH_proxy.json`
+/// (a loadgen sweep: one object per client count).
+#[must_use]
+pub fn proxy_metrics(doc: &Json) -> Metrics {
+    let mut out = Metrics::new();
+    if let Json::Arr(points) = doc {
+        for point in points {
+            let clients = point
+                .get("clients")
+                .and_then(Json::as_f64)
+                .map_or_else(|| "?".to_owned(), |c| format!("{}", c as u64));
+            if let Json::Obj(pairs) = point {
+                for (key, value) in pairs {
+                    if let Some(v) = value.as_f64() {
+                        insert_if_comparable(
+                            &mut out,
+                            &format!("proxy/clients={clients}/{key}"),
+                            v,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn insert_if_comparable(out: &mut Metrics, key: &str, value: f64) {
+    if direction_of(key).is_some() && value.is_finite() {
+        out.insert(key.to_owned(), value);
+    }
+}
+
+/// One metric's baseline-vs-fresh comparison.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Flattened metric key.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value (`None` when the metric disappeared).
+    pub fresh: Option<f64>,
+    /// Which way this metric improves.
+    pub direction: Direction,
+    /// Whether the fresh value stays inside the tolerance band.
+    pub ok: bool,
+}
+
+impl GateRow {
+    /// Relative change in percent (positive = fresh is larger).
+    #[must_use]
+    pub fn delta_pct(&self) -> Option<f64> {
+        let fresh = self.fresh?;
+        if self.baseline == 0.0 {
+            return None;
+        }
+        Some((fresh - self.baseline) / self.baseline * 100.0)
+    }
+}
+
+/// The gate's verdict over every baseline metric.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-metric rows, baseline order (sorted by key).
+    pub rows: Vec<GateRow>,
+    /// The tolerance band used.
+    pub tolerance: f64,
+    /// Fresh metrics with no baseline entry (informational only).
+    pub unbaselined: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether every metric stayed inside its band.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Regressed rows only.
+    pub fn regressions(&self) -> impl Iterator<Item = &GateRow> {
+        self.rows.iter().filter(|r| !r.ok)
+    }
+
+    /// Renders the delta table — every row on failure, a one-line
+    /// summary on success.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pct = self.tolerance * 100.0;
+        if self.passed() {
+            let _ = writeln!(
+                out,
+                "bench-gate: PASS — {} metric(s) within ±{pct:.0}% of baseline",
+                self.rows.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "bench-gate: FAIL — {} of {} metric(s) outside the ±{pct:.0}% band",
+                self.regressions().count(),
+                self.rows.len()
+            );
+            let _ = writeln!(
+                out,
+                "{:<52} {:>12} {:>12} {:>9}  verdict",
+                "metric", "baseline", "fresh", "delta"
+            );
+            for row in &self.rows {
+                let fresh = row
+                    .fresh
+                    .map_or_else(|| "missing".to_owned(), |v| format!("{v:.1}"));
+                let delta = row
+                    .delta_pct()
+                    .map_or_else(|| "-".to_owned(), |d| format!("{d:+.1}%"));
+                let verdict = if row.ok { "ok" } else { "REGRESSED" };
+                let _ = writeln!(
+                    out,
+                    "{:<52} {:>12.1} {:>12} {:>9}  {verdict}",
+                    row.name, row.baseline, fresh, delta
+                );
+            }
+        }
+        if !self.unbaselined.is_empty() {
+            let _ = writeln!(
+                out,
+                "note: {} fresh metric(s) have no baseline (run --update-baseline to adopt): {}",
+                self.unbaselined.len(),
+                self.unbaselined.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// Compares fresh metrics against the baseline inside `tolerance`.
+#[must_use]
+pub fn gate(baseline: &Metrics, fresh: &Metrics, tolerance: f64) -> GateReport {
+    let rows = baseline
+        .iter()
+        .map(|(name, &base)| {
+            let direction = direction_of(name).unwrap_or(Direction::HigherIsBetter);
+            let fresh_v = fresh.get(name).copied();
+            let ok = match (fresh_v, direction) {
+                // A metric that vanished is a regression: the bench no
+                // longer measures what the baseline promises.
+                (None, _) => false,
+                _ if base == 0.0 => true,
+                (Some(f), Direction::HigherIsBetter) => f >= base * (1.0 - tolerance),
+                (Some(f), Direction::LowerIsBetter) => {
+                    f <= base * (1.0 + tolerance) || (name.ends_with("_pct") && f <= PCT_ABS_BUDGET)
+                }
+            };
+            GateRow {
+                name: name.clone(),
+                baseline: base,
+                fresh: fresh_v,
+                direction,
+                ok,
+            }
+        })
+        .collect();
+    let unbaselined = fresh
+        .keys()
+        .filter(|k| !baseline.contains_key(*k))
+        .cloned()
+        .collect();
+    GateReport {
+        rows,
+        tolerance,
+        unbaselined,
+    }
+}
+
+/// Reads the committed baseline document
+/// (`{"erasure": ..., "proxy": ...}`) into flattened metrics.
+///
+/// # Errors
+///
+/// Malformed JSON or a missing `erasure`/`proxy` section.
+pub fn baseline_metrics(text: &str) -> Result<Metrics, String> {
+    let doc = parse_json(text)?;
+    let erasure = doc
+        .get("erasure")
+        .ok_or("baseline is missing the `erasure` section")?;
+    let proxy = doc
+        .get("proxy")
+        .ok_or("baseline is missing the `proxy` section")?;
+    let mut out = erasure_metrics(erasure);
+    out.extend(proxy_metrics(proxy));
+    Ok(out)
+}
+
+/// Flattens fresh `BENCH_erasure.json` + `BENCH_proxy.json` texts.
+///
+/// # Errors
+///
+/// Malformed JSON in either file.
+pub fn fresh_metrics(erasure_text: &str, proxy_text: &str) -> Result<Metrics, String> {
+    let erasure = parse_json(erasure_text)?;
+    let proxy = parse_json(proxy_text)?;
+    let mut out = erasure_metrics(&erasure);
+    out.extend(proxy_metrics(&proxy));
+    Ok(out)
+}
+
+/// Composes a new `BENCH_BASELINE.json` from the two fresh reports.
+#[must_use]
+pub fn compose_baseline(erasure_text: &str, proxy_text: &str) -> String {
+    format!(
+        "{{\n\"erasure\": {},\n\"proxy\": {}\n}}\n",
+        erasure_text.trim(),
+        proxy_text.trim()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ERASURE: &str = r#"{
+      "bench": "erasure_codec",
+      "quick": false,
+      "encode_40_60_speedup_vs_scalar": 9.9,
+      "results": [
+        {"name": "encode_sweep/256", "ns_per_iter": 11510.8, "bytes_per_iter": 10240, "mib_per_s": 848.4},
+        {"name": "decode_20_erasures", "ns_per_iter": 14545.1, "bytes_per_iter": 10240, "mib_per_s": 671.4}
+      ]
+    }"#;
+
+    const PROXY: &str = r#"[
+      {"clients": 1, "completed": 8, "throughput_rps": 1400.0, "p50_ms": 0.7, "p95_ms": 0.8, "p99_ms": 0.9, "elapsed_ms": 5.7},
+      {"clients": 8, "completed": 64, "throughput_rps": 960.0, "p50_ms": 7.7, "p95_ms": 14.0, "p99_ms": 16.5, "elapsed_ms": 66.4}
+    ]"#;
+
+    fn baseline_text() -> String {
+        compose_baseline(ERASURE, PROXY)
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let base = baseline_metrics(&baseline_text()).unwrap();
+        let fresh = fresh_metrics(ERASURE, PROXY).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.rows.len() >= 9, "rows: {:?}", report.rows.len());
+        assert!(report.unbaselined.is_empty());
+    }
+
+    #[test]
+    fn counts_and_totals_are_not_compared() {
+        let fresh = fresh_metrics(ERASURE, PROXY).unwrap();
+        for key in fresh.keys() {
+            assert!(
+                !key.ends_with("completed")
+                    && !key.ends_with("elapsed_ms")
+                    && !key.ends_with("ns_per_iter")
+                    && !key.ends_with("bytes_per_iter"),
+                "non-performance field compared: {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_regression_fails_with_a_delta_table() {
+        let base = baseline_metrics(&baseline_text()).unwrap();
+        let regressed = ERASURE.replace("\"mib_per_s\": 848.4", "\"mib_per_s\": 84.8");
+        let fresh = fresh_metrics(&regressed, PROXY).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        let bad: Vec<_> = report.regressions().map(|r| r.name.as_str()).collect();
+        assert_eq!(bad, ["erasure/encode_sweep/256/mib_per_s"]);
+        let table = report.render();
+        assert!(table.contains("FAIL"), "{table}");
+        assert!(
+            table.contains("erasure/encode_sweep/256/mib_per_s"),
+            "{table}"
+        );
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("-90.0%"), "{table}");
+    }
+
+    #[test]
+    fn latency_is_lower_better() {
+        let base = baseline_metrics(&baseline_text()).unwrap();
+        // Latency dropping to near zero is an improvement, not a fail.
+        let faster = PROXY.replace("\"p99_ms\": 16.5", "\"p99_ms\": 0.1");
+        let fresh = fresh_metrics(ERASURE, &faster).unwrap();
+        assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        // Latency doubling beyond the band fails.
+        let slower = PROXY.replace("\"p99_ms\": 16.5", "\"p99_ms\": 40.0");
+        let fresh = fresh_metrics(ERASURE, &slower).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions().next().unwrap().name,
+            "proxy/clients=8/p99_ms"
+        );
+    }
+
+    #[test]
+    fn vanished_metrics_are_regressions() {
+        let base = baseline_metrics(&baseline_text()).unwrap();
+        let shrunk = r#"{"bench": "erasure_codec", "results": []}"#;
+        let fresh = fresh_metrics(shrunk, PROXY).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name == "erasure/encode_40_60_speedup_vs_scalar" && r.fresh.is_none()));
+        assert!(report.render().contains("missing"));
+    }
+
+    #[test]
+    fn unbaselined_fresh_metrics_are_noted_not_failed() {
+        let base = baseline_metrics(&baseline_text()).unwrap();
+        let grown = ERASURE.replace(
+            "\"quick\": false,",
+            "\"quick\": false, \"trace_overhead_pct\": 1.2,",
+        );
+        let fresh = fresh_metrics(&grown, PROXY).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(report.passed());
+        assert_eq!(report.unbaselined, ["erasure/trace_overhead_pct"]);
+    }
+
+    #[test]
+    fn parser_reads_the_committed_report_shapes() {
+        let doc = parse_json(ERASURE).unwrap();
+        assert_eq!(
+            doc.get("bench").and_then(Json::as_str),
+            Some("erasure_codec")
+        );
+        assert_eq!(doc.get("quick"), Some(&Json::Bool(false)));
+        let doc = parse_json(PROXY).unwrap();
+        assert!(matches!(doc, Json::Arr(ref v) if v.len() == 2));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn pct_metrics_pass_inside_the_absolute_budget() {
+        let with_overhead = |v: &str| {
+            ERASURE.replace(
+                "\"quick\": false,",
+                &format!("\"quick\": false, \"trace_overhead_pct\": {v},"),
+            )
+        };
+        // Baseline measured a near-zero overhead.
+        let base_text = compose_baseline(&with_overhead("0.1"), PROXY);
+        let base = baseline_metrics(&base_text).unwrap();
+        // 1.5% is 15x the baseline but still inside the 2-point budget.
+        let fresh = fresh_metrics(&with_overhead("1.5"), PROXY).unwrap();
+        assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        // 2.5% blows the absolute budget.
+        let fresh = fresh_metrics(&with_overhead("2.5"), PROXY).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions().next().unwrap().name,
+            "erasure/trace_overhead_pct"
+        );
+    }
+
+    #[test]
+    fn direction_classification() {
+        assert_eq!(
+            direction_of("erasure/x/mib_per_s"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(
+            direction_of("erasure/crc32_speedup_vs_bitwise"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(
+            direction_of("proxy/clients=8/p50_ms"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("erasure/trace_overhead_pct"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(direction_of("proxy/clients=8/completed"), None);
+        assert_eq!(direction_of("erasure/x/ns_per_iter"), None);
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`manifest`] — the declared crate-layering DAG and its checker
 //!   (`layering`), built on a minimal hand-rolled `Cargo.toml` scanner;
 //! * [`engine`] — the workspace walker;
-//! * [`report`] — findings, text and JSON output.
+//! * [`report`] — findings, text and JSON output;
+//! * [`benchgate`] — the CI performance-regression gate comparing
+//!   fresh `BENCH_*.json` reports against `BENCH_BASELINE.json`
+//!   inside direction-aware tolerance bands.
 //!
 //! Run it as `cargo run -p mrtweb-analysis -- check` (the CI gate), or
 //! with `--json` / `--fix-hints` for machine-readable output and
@@ -24,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod benchgate;
 pub mod engine;
 pub mod lexer;
 pub mod manifest;

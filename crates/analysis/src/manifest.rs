@@ -5,12 +5,14 @@
 //! ```text
 //! docmodel ──▶ textproc ──▶ content ─┐
 //!                                    ├─▶ transport ─▶ store ─▶ proxy
-//! erasure ───────────────────────────┤        │
+//! obs ──▶ erasure ───────────────────┤        │
 //! channel ───────────────────────────┘        ▼
 //!                                            sim ──▶ bench
 //! ```
 //!
-//! `erasure` and `channel` are leaf substrates (no internal deps);
+//! `obs` and `channel` are leaf substrates (no internal deps) —
+//! observability must never create a layering edge of its own, and the
+//! channel stays obs-free so fault replays are byte-deterministic;
 //! `transport` must never grow an edge to `sim` (the protocol cannot
 //! depend on its own simulator); nothing may form a cycle. The checker
 //! reads each `[dependencies]` section with a minimal hand-rolled TOML
@@ -27,20 +29,26 @@ use std::path::Path;
 /// depend on everything.
 pub const DECLARED_DAG: &[(&str, &[&str])] = &[
     ("docmodel", &[]),
-    ("erasure", &[]),
+    ("obs", &[]),
+    ("erasure", &["obs"]),
     ("channel", &[]),
     ("analysis", &[]),
     ("textproc", &["docmodel"]),
     ("content", &["docmodel", "textproc"]),
     (
         "transport",
-        &["docmodel", "textproc", "content", "erasure", "channel"],
+        &[
+            "docmodel", "textproc", "content", "erasure", "channel", "obs",
+        ],
     ),
     (
         "store",
         &["docmodel", "textproc", "content", "erasure", "transport"],
     ),
-    ("proxy", &["erasure", "channel", "transport", "store"]),
+    (
+        "proxy",
+        &["erasure", "channel", "transport", "store", "obs"],
+    ),
     (
         "sim",
         &[
@@ -62,6 +70,7 @@ pub const DECLARED_DAG: &[(&str, &[&str])] = &[
             "channel",
             "transport",
             "sim",
+            "obs",
         ],
     ),
 ];

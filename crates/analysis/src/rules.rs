@@ -31,12 +31,16 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "docmodel",
     "textproc",
     "proxy",
+    "obs",
 ];
 
 /// Crates that must use the virtual `clock` instead of the OS clock
 /// (`no-wallclock-in-sim`), so fault-schedule replays stay
 /// deterministic.
-pub const WALLCLOCK_FREE_CRATES: &[&str] = &["sim", "channel"];
+/// `obs` is included with one audited exemption: its monotonic
+/// timestamp source in `clock.rs` is the single allowed wall-clock
+/// site, suppressed in place with a justification.
+pub const WALLCLOCK_FREE_CRATES: &[&str] = &["sim", "channel", "obs"];
 
 /// Crates allowed to print: the root binary crate, the simulator's
 /// figure emitters, the bench harness, and this analyzer itself.

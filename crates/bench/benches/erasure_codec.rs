@@ -49,9 +49,22 @@ fn benches(c: &mut Criterion) {
         b.iter(|| codec.encode(black_box(&data)));
     });
     let mut buf = Vec::new();
+    // Warm the buffer and code/data caches so the traced/untraced pair
+    // below compares tracer cost, not first-touch effects.
+    codec.encode_into(&data, &mut buf);
     g.bench_function("encode_into_40_60", |b| {
         b.iter(|| codec.encode_into(black_box(&data), &mut buf));
     });
+    // Throughput with the tracer recording (one EncodeSpan per call
+    // into the per-thread ring). The headline `trace_overhead_pct` is
+    // computed separately by `measure_trace_overhead` with interleaved
+    // batches; this record just keeps the traced throughput visible.
+    mrtweb_obs::set_enabled(true);
+    g.bench_function("encode_into_40_60_traced", |b| {
+        b.iter(|| codec.encode_into(black_box(&data), &mut buf));
+    });
+    mrtweb_obs::set_enabled(false);
+    let _ = mrtweb_obs::drain();
     let threads = default_threads();
     g.bench_function("encode_into_parallel_40_60", |b| {
         b.iter(|| encode_into_parallel(&codec, black_box(&data), &mut buf, threads));
@@ -133,9 +146,39 @@ fn benches(c: &mut Criterion) {
     g.finish();
 }
 
+/// Measures the tracer's cost on the encode hot path with interleaved
+/// disabled/enabled batches, taking the minimum batch time for each
+/// side so frequency ramps and scheduler interrupts cancel out (the
+/// sequential criterion records above are ordering-biased: whichever
+/// bench runs later sees a warmer CPU). Returns the relative overhead
+/// in percent; negative values mean the difference is below noise.
+fn measure_trace_overhead(codec: &Codec, data: &[u8]) -> f64 {
+    const BATCH: usize = 64;
+    const ROUNDS: usize = 48;
+    let mut buf = Vec::new();
+    codec.encode_into(data, &mut buf); // warm caches and the buffer
+    let mut batch_ns = |enabled: bool| -> f64 {
+        mrtweb_obs::set_enabled(enabled);
+        let start = std::time::Instant::now();
+        for _ in 0..BATCH {
+            codec.encode_into(black_box(data), &mut buf);
+        }
+        start.elapsed().as_nanos() as f64 / BATCH as f64
+    };
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        best_off = best_off.min(batch_ns(false));
+        best_on = best_on.min(batch_ns(true));
+    }
+    mrtweb_obs::set_enabled(false);
+    let _ = mrtweb_obs::drain();
+    (best_on - best_off) / best_off * 100.0
+}
+
 /// Writes every recorded measurement (plus the headline speedups) as
 /// JSON next to the workspace root, overwriting the previous run.
-fn write_summary(c: &Criterion) {
+fn write_summary(c: &Criterion, trace_overhead_pct: f64) {
     fn find(c: &Criterion, name: &str) -> Option<f64> {
         c.records()
             .iter()
@@ -163,6 +206,7 @@ fn write_summary(c: &Criterion) {
             bitwise / sliced
         );
     }
+    let _ = writeln!(out, "  \"trace_overhead_pct\": {trace_overhead_pct:.2},");
     out.push_str("  \"results\": [\n");
     let records = c.records();
     for (i, r) in records.iter().enumerate() {
@@ -195,5 +239,9 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     benches(&mut c);
     c.final_summary();
-    write_summary(&c);
+    let codec = Codec::new(40, 60, 256).unwrap();
+    let data: Vec<u8> = (0..10240).map(|i| (i * 131 + 7) as u8).collect();
+    let overhead = measure_trace_overhead(&codec, &data);
+    eprintln!("trace overhead on encode_into(40,60,256): {overhead:.2}%");
+    write_summary(&c, overhead);
 }

@@ -79,6 +79,22 @@ impl FaultKind {
         )
     }
 
+    /// Stable small integer for observability payloads (0 = deliver;
+    /// the numbering matches the `fault-injected` trace event schema).
+    pub fn code(&self) -> u8 {
+        match self {
+            FaultKind::Deliver => 0,
+            FaultKind::FlipBit { .. } => 1,
+            FaultKind::Burst { .. } => 2,
+            FaultKind::Garble { .. } => 3,
+            FaultKind::Truncate { .. } => 4,
+            FaultKind::Drop => 5,
+            FaultKind::Duplicate => 6,
+            FaultKind::Reorder { .. } => 7,
+            FaultKind::Outage => 8,
+        }
+    }
+
     /// Short stable name for traces and scenario output.
     pub fn label(&self) -> &'static str {
         match self {

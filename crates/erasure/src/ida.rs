@@ -16,6 +16,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
+use mrtweb_obs::{emit, EventKind, Span};
+
 use crate::gf256::{mul_acc, mul_row, Gf256};
 use crate::matrix::Matrix;
 use crate::Error;
@@ -160,6 +162,7 @@ impl Codec {
         for (i, r) in raws.iter().enumerate() {
             assert_eq!(r.len(), self.packet_size, "raw packet {i} has wrong size");
         }
+        let span = Span::start(EventKind::EncodeSpan);
         let mut out = raws;
         out.reserve_exact(self.cooked - self.raw);
         for i in self.raw..self.cooked {
@@ -167,6 +170,7 @@ impl Codec {
             self.fill_redundancy_row(&out[..self.raw], i, &mut p);
             out.push(p);
         }
+        span.end(self.cooked as u64);
         out
     }
 
@@ -190,6 +194,7 @@ impl Codec {
             data.len(),
             self.capacity()
         );
+        let span = Span::start(EventKind::EncodeSpan);
         let ps = self.packet_size;
         out.resize(self.cooked * ps, 0);
         let (clear, redundancy) = out.split_at_mut(self.raw * ps);
@@ -202,6 +207,7 @@ impl Codec {
                 mul_acc(row, &clear[j * ps..(j + 1) * ps], self.generator.get(i, j));
             }
         }
+        span.end(self.cooked as u64);
     }
 
     /// Computes redundancy row `index` (`M ≤ index < N`) from the raw
@@ -300,6 +306,18 @@ impl Codec {
         len: usize,
         use_cache: bool,
     ) -> Result<Vec<u8>, Error> {
+        let span = Span::start(EventKind::DecodeSpan);
+        let out = self.decode_inner(packets, len, use_cache);
+        span.end(self.raw as u64);
+        out
+    }
+
+    fn decode_inner(
+        &self,
+        packets: &[(usize, Vec<u8>)],
+        len: usize,
+        use_cache: bool,
+    ) -> Result<Vec<u8>, Error> {
         if len > self.capacity() {
             return Err(Error::LengthOverflow {
                 requested: len,
@@ -388,8 +406,10 @@ impl Codec {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(inv) = cache.get(&key) {
+            emit(EventKind::CacheHit, self.raw as u64, cache.len() as u64);
             return Ok(Arc::clone(inv));
         }
+        emit(EventKind::CacheMiss, self.raw as u64, cache.len() as u64);
         drop(cache); // do not hold the lock across the O(M³) inversion
         let inv = Arc::new(self.generator.select_rows(indices).inverse()?);
         let mut cache = self

@@ -20,6 +20,8 @@
 
 use std::thread;
 
+use mrtweb_obs::{EventKind, Span};
+
 use crate::ida::{ChunkedCodec, Codec, Group, GroupPackets};
 use crate::Error;
 
@@ -58,6 +60,7 @@ pub fn encode_into_parallel(codec: &Codec, data: &[u8], out: &mut Vec<u8>, threa
         data.len(),
         codec.capacity()
     );
+    let span = Span::start(EventKind::EncodeSpan);
     out.resize(n * ps, 0);
     let (clear, redundancy) = out.split_at_mut(m * ps);
     clear[..data.len()].copy_from_slice(data);
@@ -76,6 +79,7 @@ pub fn encode_into_parallel(codec: &Codec, data: &[u8], out: &mut Vec<u8>, threa
             });
         }
     });
+    span.end(n as u64);
 }
 
 /// Splits the flat clear prefix into per-packet slices for row math.

@@ -1,0 +1,274 @@
+//! Trace export, import, and summarization.
+//!
+//! The interchange format is JSONL: one event object per line, with
+//! stable kebab-case kind names from [`EventKind::name`]. It is written
+//! and parsed here with no serde dependency — the schema is five flat
+//! fields, so a purpose-built reader is both smaller and stricter than
+//! a generic one.
+//!
+//! [`summarize`] folds a trace into per-kind counts and span-duration
+//! histograms; [`render_summary`] turns that into the aligned text
+//! table the `mrtweb trace summarize` verb prints.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::hist::HistSnapshot;
+use crate::hist::Histogram;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Renders one event as a single JSONL line (no trailing newline).
+#[must_use]
+pub fn event_to_jsonl(e: &TraceEvent) -> String {
+    format!(
+        "{{\"ts\": {}, \"thread\": {}, \"kind\": \"{}\", \"a\": {}, \"b\": {}}}",
+        e.ts,
+        e.thread,
+        e.kind.name(),
+        e.a,
+        e.b
+    )
+}
+
+/// Renders a whole trace as JSONL, one event per line. A non-zero
+/// dropped count is recorded as a leading meta line.
+#[must_use]
+pub fn trace_to_jsonl(t: &Trace) -> String {
+    let mut out = String::new();
+    if t.dropped > 0 {
+        let _ = writeln!(out, "{{\"meta\": \"dropped\", \"count\": {}}}", t.dropped);
+    }
+    for e in &t.events {
+        out.push_str(&event_to_jsonl(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts `"key": <digits>` from a JSONL line. Tolerates arbitrary
+/// spacing after the colon; values are unsigned integers.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = line[at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"key": "<value>"` from a JSONL line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = line[at..].trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Parses JSONL produced by [`trace_to_jsonl`] back into a [`Trace`].
+/// Unparseable lines are an error; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns the offending 1-based line number and a short reason.
+pub fn trace_from_jsonl(text: &str) -> Result<Trace, String> {
+    let mut t = Trace::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if field_str(line, "meta") == Some("dropped") {
+            t.dropped += field_u64(line, "count")
+                .ok_or_else(|| format!("line {}: dropped meta line without count", i + 1))?;
+            continue;
+        }
+        let kind_name =
+            field_str(line, "kind").ok_or_else(|| format!("line {}: missing kind", i + 1))?;
+        let kind = EventKind::from_name(kind_name)
+            .ok_or_else(|| format!("line {}: unknown kind {kind_name:?}", i + 1))?;
+        let ts = field_u64(line, "ts").ok_or_else(|| format!("line {}: missing ts", i + 1))?;
+        let thread =
+            field_u64(line, "thread").ok_or_else(|| format!("line {}: missing thread", i + 1))?;
+        let thread =
+            u16::try_from(thread).map_err(|_| format!("line {}: thread id out of range", i + 1))?;
+        let a = field_u64(line, "a").ok_or_else(|| format!("line {}: missing a", i + 1))?;
+        let b = field_u64(line, "b").ok_or_else(|| format!("line {}: missing b", i + 1))?;
+        t.events.push(TraceEvent {
+            ts,
+            thread,
+            kind,
+            a,
+            b,
+        });
+    }
+    Ok(t)
+}
+
+/// Per-kind rollup of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// `(kind, occurrence count, span-duration stats)` for every kind
+    /// present, in discriminant order. The histogram is empty for
+    /// non-span kinds.
+    pub kinds: Vec<(EventKind, u64, HistSnapshot)>,
+    /// Total events summarized.
+    pub total: u64,
+    /// Events lost to ring overwrites.
+    pub dropped: u64,
+    /// Trace duration: last `ts` (plus span length) minus first `ts`.
+    pub elapsed_ns: u64,
+}
+
+/// Folds a trace into per-kind counts and span-duration histograms.
+#[must_use]
+pub fn summarize(t: &Trace) -> Summary {
+    let mut counts = [0u64; EventKind::ALL.len()];
+    let hists: Vec<Histogram> = EventKind::ALL.iter().map(|_| Histogram::new()).collect();
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for e in &t.events {
+        let slot = e.kind as usize - 1;
+        counts[slot] += 1;
+        lo = lo.min(e.ts);
+        if e.kind.is_span() {
+            hists[slot].record(e.a);
+            hi = hi.max(e.ts.saturating_add(e.a));
+        } else {
+            hi = hi.max(e.ts);
+        }
+    }
+    let kinds = EventKind::ALL
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| counts[*i] > 0)
+        .map(|(i, &k)| (k, counts[i], hists[i].snapshot()))
+        .collect();
+    Summary {
+        kinds,
+        total: t.events.len() as u64,
+        dropped: t.dropped,
+        elapsed_ns: hi.saturating_sub(lo),
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a [`Summary`] as the aligned table printed by
+/// `mrtweb trace summarize`.
+#[must_use]
+pub fn render_summary(s: &Summary) -> String {
+    let mut out = format!(
+        "{} events, {} dropped, {} elapsed\n",
+        s.total,
+        s.dropped,
+        fmt_ns(s.elapsed_ns)
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>10} {:>10} {:>10}",
+        "kind", "count", "p50", "p99", "max"
+    );
+    for (kind, count, hist) in &s.kinds {
+        if hist.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>10} {:>10} {:>10}",
+                kind.name(),
+                count,
+                "-",
+                "-",
+                "-"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>10} {:>10} {:>10}",
+                kind.name(),
+                count,
+                fmt_ns(hist.quantile(0.5)),
+                fmt_ns(hist.quantile(0.99)),
+                fmt_ns(hist.max)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent {
+                    ts: 100,
+                    thread: 0,
+                    kind: EventKind::TransferStart,
+                    a: 8,
+                    b: 12,
+                },
+                TraceEvent {
+                    ts: 150,
+                    thread: 1,
+                    kind: EventKind::EncodeSpan,
+                    a: 5_000,
+                    b: 4096,
+                },
+                TraceEvent {
+                    ts: 9_000,
+                    thread: 0,
+                    kind: EventKind::TransferEnd,
+                    a: 1,
+                    b: 2,
+                },
+            ],
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let t = sample_trace();
+        let text = trace_to_jsonl(&t);
+        assert!(text.lines().next().unwrap().contains("\"meta\""));
+        let back = trace_from_jsonl(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(trace_from_jsonl("{\"kind\": \"no-such\"}").is_err());
+        assert!(trace_from_jsonl("{\"ts\": 1}").is_err());
+        let err = trace_from_jsonl("\n\n{\"kind\": \"crc-reject\"}").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(trace_from_jsonl("").unwrap().events.is_empty());
+    }
+
+    #[test]
+    fn summary_counts_and_span_stats() {
+        let s = summarize(&sample_trace());
+        assert_eq!(s.total, 3);
+        assert_eq!(s.dropped, 3);
+        // Elapsed covers TransferStart at 100 through TransferEnd at 9000.
+        assert_eq!(s.elapsed_ns, 8_900);
+        let enc = s
+            .kinds
+            .iter()
+            .find(|(k, _, _)| *k == EventKind::EncodeSpan)
+            .unwrap();
+        assert_eq!(enc.1, 1);
+        assert_eq!(enc.2.count, 1);
+        assert_eq!(enc.2.max, 5_000);
+        let table = render_summary(&s);
+        assert!(table.contains("encode-span"));
+        assert!(table.contains("3 dropped"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Fixed-bucket log-scale histograms for latency and size samples.
+//!
+//! The bucket layout is HDR-style: values below [`EXACT`] get one
+//! bucket each (exact small counts), and every octave above that is cut
+//! into [`SUB`] sub-buckets, so the relative width of any bucket is at
+//! most `1/SUB` (12.5%). Quantiles computed from bucket counts are
+//! therefore within one bucket of the true sample quantile — never more
+//! than 12.5% above it.
+//!
+//! [`Histogram`] is the live, thread-safe recorder (relaxed atomics, one
+//! `fetch_add` per sample on the bucket plus bookkeeping); a
+//! [`HistSnapshot`] is the plain-old-data copy that merges, serializes,
+//! and answers quantile queries. Merging snapshots is bucket-wise
+//! addition — associative and commutative, so per-thread histograms can
+//! be combined in any order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this have exact, width-1 buckets.
+pub const EXACT: u64 = 16;
+
+/// Sub-buckets per octave above the exact range.
+pub const SUB: usize = 8;
+
+/// Total bucket count: 16 exact + 8 per octave for exponents 4..=63.
+pub const NBUCKETS: usize = EXACT as usize + 60 * SUB;
+
+/// The bucket a value falls into.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    // Exponent of the leading bit (≥ 4 because v ≥ 16).
+    let e = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (e - 3)) & 7) as usize;
+    EXACT as usize + (e - 4) * SUB + sub
+}
+
+/// The `[lo, hi)` value range of bucket `idx`. The top bucket's `hi`
+/// saturates at `u64::MAX`.
+#[must_use]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < EXACT as usize {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let rel = idx - EXACT as usize;
+    let e = 4 + rel / SUB;
+    let sub = (rel % SUB) as u64;
+    let shift = (e - 3) as u32;
+    let lo = (8 + sub) << shift;
+    let next = 8 + sub + 1;
+    let hi = if next <= (u64::MAX >> shift) {
+        next << shift
+    } else {
+        u64::MAX
+    };
+    (lo, hi)
+}
+
+/// Live, thread-safe histogram. All updates are relaxed atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::iter::repeat_with(AtomicU64::default)
+                .take(NBUCKETS)
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time plain copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-old-data histogram state: mergeable, serializable, queryable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts, trailing zero buckets trimmed.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest rank over buckets:
+    /// returns the upper edge of the bucket holding the ranked sample,
+    /// clamped to the observed maximum — so the answer is never below
+    /// the true quantile and at most one bucket width (≤ 12.5%) above.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(idx);
+                return (hi - 1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise merge: associative, commutative, identity = empty.
+    #[must_use]
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let mut buckets = Vec::with_capacity(len);
+        for i in 0..len {
+            buckets.push(
+                self.buckets.get(i).copied().unwrap_or(0)
+                    + other.buckets.get(i).copied().unwrap_or(0),
+            );
+        }
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let count = self.count + other.count;
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.wrapping_add(other.sum),
+            min,
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Renders the headline stats as one JSON object (nanosecond
+    /// samples read naturally as `*_ns` quantities).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_total_and_ordered() {
+        let mut prev_hi = 0u64;
+        for idx in 0..NBUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, prev_hi, "bucket {idx} not contiguous");
+            assert!(hi > lo, "bucket {idx} empty: {lo}..{hi}");
+            prev_hi = hi;
+        }
+        assert_eq!(prev_hi, u64::MAX, "top bucket must reach u64::MAX");
+        for v in [0u64, 1, 15, 16, 17, 255, 256, 1_000_000, u64::MAX] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "{v} not in {lo}..{hi}"
+            );
+        }
+        assert!(bucket_index(u64::MAX) < NBUCKETS);
+    }
+
+    #[test]
+    fn quantiles_track_known_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5);
+        assert!((500..=563).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_inert() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.merge(&s), s);
+        assert!(s.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn merge_equals_recording_together() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let both = Histogram::new();
+        for v in 0..500u64 {
+            let target = if v % 3 == 0 { &a } else { &b };
+            target.record(v * 7);
+            both.record(v * 7);
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), both.snapshot());
+    }
+}

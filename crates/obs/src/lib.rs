@@ -1,0 +1,40 @@
+//! Dependency-free observability substrate for the mrtweb stack.
+//!
+//! The paper's evaluation (Figures 6 and 7 of *On Supporting
+//! Weakly-Connected Browsing in a Mobile Web Environment*) rests on
+//! measurements of transfer latency, per-round progress, and loss
+//! behaviour; this crate is the in-tree instrument that produces those
+//! numbers without perturbing them. It has three parts:
+//!
+//! * [`trace`] — a structured event tracer with per-thread lock-free
+//!   ring buffers merged into one causally-ordered timeline on
+//!   [`trace::drain`]. Disabled at runtime by default, and compiled out
+//!   entirely without the `trace` feature (the hot path becomes a
+//!   no-op and [`Span`] is zero-sized);
+//! * [`hist`] — fixed-bucket log-scale histograms (≤ 12.5% relative
+//!   quantile error) whose snapshots merge associatively across
+//!   threads;
+//! * [`registry`] — named counter/gauge/histogram registries whose
+//!   snapshots serialize to JSON and cross the proxy stats wire.
+//!
+//! [`event`] defines the shared event vocabulary, [`clock`] is the
+//! single audited monotonic-clock site, and [`export`] round-trips
+//! traces through JSONL and renders summaries.
+//!
+//! Layering: `obs` sits at the bottom of the workspace DAG (a leaf
+//! below `erasure`, `transport`, and `proxy`) and therefore depends on
+//! nothing — not even the workspace's own crates.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use event::{EventKind, TraceEvent};
+pub use hist::{HistSnapshot, Histogram};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use trace::{drain, emit, emit_at, is_enabled, set_enabled, Span, Trace};

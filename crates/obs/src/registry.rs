@@ -1,0 +1,248 @@
+//! Named counter, gauge, and histogram registries.
+//!
+//! A [`Registry`] hands out `Arc`-shared metric handles keyed by name.
+//! Callers fetch a handle once (the only time a lock is taken) and then
+//! update it with relaxed atomics. [`Registry::snapshot`] copies every
+//! metric into a plain [`RegistrySnapshot`] that sorts, serializes, and
+//! crosses the wire without touching the live registry again.
+
+use crate::hist::{HistSnapshot, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Monotonic named counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed instantaneous gauge (e.g. active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A set of named metrics. Handles are created on first use and shared
+/// thereafter; names are stable identifiers that cross the stats wire.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(v) = map.get(name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    map.insert(name.to_owned(), Arc::clone(&v));
+    v
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created zero-valued on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created zero-valued on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.hists, name)
+    }
+
+    /// A point-in-time copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let hists = self
+            .hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+/// Plain copy of a [`Registry`]: sorted name/value pairs, safe to
+/// serialize or ship across the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name, sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name, sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name, sorted.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// The counter named `name`, or 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The gauge named `name`, or 0 when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram named `name`, or an empty one when absent.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> HistSnapshot {
+        self.hists
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or_else(HistSnapshot::default, |(_, v)| v.clone())
+    }
+
+    /// Renders the snapshot as one JSON object with `counters`,
+    /// `gauges`, and `histograms` sub-objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, v)) in self.hists.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {}", v.to_json());
+        }
+        out.push_str("\n  }\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_copies() {
+        let r = Registry::new();
+        let c = r.counter("frames-sent");
+        r.counter("frames-sent").add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        let g = r.gauge("active");
+        g.inc();
+        g.inc();
+        g.dec();
+        r.histogram("latency-ns").record(250);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("frames-sent"), 4);
+        assert_eq!(snap.gauge("active"), 1);
+        assert_eq!(snap.hist("latency-ns").count, 1);
+        assert_eq!(snap.counter("no-such"), 0);
+        assert_eq!(snap.gauge("no-such"), 0);
+        assert!(snap.hist("no-such").is_empty());
+        c.add(10);
+        assert_eq!(snap.counter("frames-sent"), 4, "snapshot is a copy");
+    }
+
+    #[test]
+    fn json_names_all_sections() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.gauge("b").set(-2);
+        r.histogram("c").record(5);
+        let json = r.snapshot().to_json();
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"a\": 1",
+            "\"b\": -2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

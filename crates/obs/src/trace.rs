@@ -1,0 +1,261 @@
+//! The structured event tracer: per-thread ring buffers, merged on
+//! drain.
+//!
+//! Hot-path contract: [`emit`] is a relaxed flag load when tracing is
+//! disabled, and a clock read plus four relaxed stores into the calling
+//! thread's own ring when enabled. No locks, no allocation (after the
+//! thread's first event), no cross-thread contention. The only mutex in
+//! the module guards thread registration and [`drain`] — paths the hot
+//! layers never touch.
+//!
+//! Each ring keeps the most recent [`RING_CAP`] events; when a thread
+//! outruns the drain, the oldest events are overwritten and counted in
+//! [`Trace::dropped`] rather than blocking the writer. Overwrite races
+//! during a drain are detected by re-reading the ring head and
+//! discarding any slot that may have been torn, so a drained trace
+//! never contains a half-written event.
+//!
+//! Compiling the crate without the `trace` feature replaces everything
+//! here with guaranteed no-ops: [`Span`] is zero-sized, [`emit`]
+//! compiles to nothing, and [`drain`] always returns an empty trace.
+
+use crate::event::TraceEvent;
+
+/// Events retained per thread between drains. Power of two so the ring
+/// index is a mask.
+pub const RING_CAP: usize = 8192;
+
+/// A drained, causally-ordered trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Events sorted by timestamp (ties broken by thread id).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites since the previous drain.
+    pub dropped: u64,
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{Trace, RING_CAP};
+    use crate::clock::now_nanos;
+    use crate::event::{EventKind, TraceEvent};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// One ring slot; written only by the owning thread, read by drain.
+    #[derive(Default)]
+    struct Slot {
+        ts: AtomicU64,
+        kind: AtomicU64,
+        a: AtomicU64,
+        b: AtomicU64,
+    }
+
+    struct ThreadRing {
+        /// Dense id assigned at registration, stamped into every event.
+        thread: u16,
+        /// Total events ever written by the owner (monotonic).
+        head: AtomicU64,
+        /// Watermark of events already consumed by drain.
+        drained: AtomicU64,
+        slots: Vec<Slot>,
+    }
+
+    impl ThreadRing {
+        fn push(&self, ts: u64, kind: EventKind, a: u64, b: u64) {
+            let h = self.head.load(Ordering::Relaxed);
+            let slot = &self.slots[(h as usize) & (RING_CAP - 1)];
+            slot.ts.store(ts, Ordering::Relaxed);
+            slot.kind.store(u64::from(kind as u16), Ordering::Relaxed);
+            slot.a.store(a, Ordering::Relaxed);
+            slot.b.store(b, Ordering::Relaxed);
+            // Publish the slot: drain acquires `head` before reading it.
+            self.head.store(h + 1, Ordering::Release);
+        }
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static RINGS: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        static RING: std::cell::OnceCell<Arc<ThreadRing>> =
+            const { std::cell::OnceCell::new() };
+    }
+
+    fn register() -> Arc<ThreadRing> {
+        let mut rings = RINGS.lock().unwrap_or_else(PoisonError::into_inner);
+        let thread = u16::try_from(rings.len()).unwrap_or(u16::MAX);
+        let ring = Arc::new(ThreadRing {
+            thread,
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            slots: std::iter::repeat_with(Slot::default)
+                .take(RING_CAP)
+                .collect(),
+        });
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Turns event recording on or off process-wide. Off by default.
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently being recorded.
+    #[must_use]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Records one event stamped with the current monotonic time.
+    #[inline]
+    pub fn emit(kind: EventKind, a: u64, b: u64) {
+        if !is_enabled() {
+            return;
+        }
+        emit_at(now_nanos(), kind, a, b);
+    }
+
+    /// Records one event with an explicit timestamp — span ends use
+    /// this to report their *start* time, keeping drained traces
+    /// causally ordered.
+    #[inline]
+    pub fn emit_at(ts: u64, kind: EventKind, a: u64, b: u64) {
+        if !is_enabled() {
+            return;
+        }
+        RING.with(|cell| cell.get_or_init(register).push(ts, kind, a, b));
+    }
+
+    /// A timed region. Create with [`Span::start`], finish with
+    /// [`Span::end`]; the event is emitted once, at the end, with
+    /// `ts` = start and `a` = duration in nanoseconds.
+    #[must_use = "a span only records when ended"]
+    #[derive(Debug)]
+    pub struct Span {
+        start_ns: u64,
+        kind: EventKind,
+    }
+
+    impl Span {
+        /// Opens a span of `kind` now. When tracing is disabled the
+        /// span is disarmed and [`Span::end`] does nothing.
+        #[inline]
+        pub fn start(kind: EventKind) -> Span {
+            let start_ns = if is_enabled() { now_nanos() } else { u64::MAX };
+            Span { start_ns, kind }
+        }
+
+        /// Closes the span, emitting its event with payload word `b`.
+        #[inline]
+        pub fn end(self, b: u64) {
+            if self.start_ns == u64::MAX {
+                return;
+            }
+            let dur = now_nanos().saturating_sub(self.start_ns);
+            emit_at(self.start_ns, self.kind, dur, b);
+        }
+    }
+
+    /// Merges every thread's ring into one causally-ordered trace and
+    /// advances the consumed watermarks. Events written concurrently
+    /// with the drain are left for the next one.
+    pub fn drain() -> Trace {
+        let rings = RINGS.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<TraceEvent> = Vec::new();
+        let mut dropped = 0u64;
+        for ring in rings.iter() {
+            let head = ring.head.load(Ordering::Acquire);
+            let consumed = ring.drained.load(Ordering::Relaxed);
+            let start = consumed.max(head.saturating_sub(RING_CAP as u64));
+            dropped += start - consumed;
+            let mut raw: Vec<(u64, TraceEvent)> = Vec::with_capacity((head - start) as usize);
+            for i in start..head {
+                let slot = &ring.slots[(i as usize) & (RING_CAP - 1)];
+                let ts = slot.ts.load(Ordering::Relaxed);
+                let kind = slot.kind.load(Ordering::Relaxed);
+                let a = slot.a.load(Ordering::Relaxed);
+                let b = slot.b.load(Ordering::Relaxed);
+                let Some(kind) = EventKind::from_u16(kind as u16) else {
+                    dropped += 1; // unreadable discriminant: treat as torn
+                    continue;
+                };
+                raw.push((
+                    i,
+                    TraceEvent {
+                        ts,
+                        thread: ring.thread,
+                        kind,
+                        a,
+                        b,
+                    },
+                ));
+            }
+            // Any slot the writer may have overwritten while we read it
+            // is suspect; drop it rather than surface a torn event.
+            let head_after = ring.head.load(Ordering::Acquire);
+            let safe_floor = head_after.saturating_sub(RING_CAP as u64);
+            if safe_floor > start {
+                let torn = raw.iter().filter(|(i, _)| *i < safe_floor).count() as u64;
+                dropped += torn;
+                raw.retain(|(i, _)| *i >= safe_floor);
+            }
+            ring.drained.store(head, Ordering::Relaxed);
+            out.extend(raw.into_iter().map(|(_, e)| e));
+        }
+        drop(rings);
+        out.sort_unstable_by_key(|e| (e.ts, e.thread, e.kind));
+        Trace {
+            events: out,
+            dropped,
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::Trace;
+    use crate::event::EventKind;
+
+    /// No-op: the tracer is compiled out.
+    pub fn set_enabled(_on: bool) {}
+
+    /// Always `false`: the tracer is compiled out.
+    #[must_use]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op: the tracer is compiled out.
+    #[inline]
+    pub fn emit(_kind: EventKind, _a: u64, _b: u64) {}
+
+    /// No-op: the tracer is compiled out.
+    #[inline]
+    pub fn emit_at(_ts: u64, _kind: EventKind, _a: u64, _b: u64) {}
+
+    /// Zero-sized stand-in; starting and ending it compiles to nothing.
+    #[must_use = "a span only records when ended"]
+    #[derive(Debug)]
+    pub struct Span;
+
+    impl Span {
+        /// No-op: the tracer is compiled out.
+        #[inline]
+        pub fn start(_kind: EventKind) -> Span {
+            Span
+        }
+
+        /// No-op: the tracer is compiled out.
+        #[inline]
+        pub fn end(self, _b: u64) {}
+    }
+
+    /// Always empty: the tracer is compiled out.
+    pub fn drain() -> Trace {
+        Trace::default()
+    }
+}
+
+pub use imp::{drain, emit, emit_at, is_enabled, set_enabled, Span};

@@ -1,0 +1,76 @@
+//! Property sweep for the log-scale histogram: merge is a commutative
+//! monoid over snapshots, and every quantile answer is bounded by the
+//! bucket layout's 12.5% relative error guarantee.
+
+use mrtweb_obs::hist::{bucket_bounds, bucket_index, HistSnapshot, Histogram, NBUCKETS};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Mixed-magnitude sample strategy: plain small values plus shifted
+/// ones so octave buckets above the exact range get exercised.
+fn sample() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..56).prop_map(|(v, shift)| (v % 1024) << shift)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_and_associative(
+        xs in proptest::collection::vec(sample(), 0..64),
+        ys in proptest::collection::vec(sample(), 0..64),
+        zs in proptest::collection::vec(sample(), 0..64),
+    ) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // Identity: merging with empty changes nothing.
+        prop_assert_eq!(a.merge(&HistSnapshot::default()), a.clone());
+        // Merge equals recording everything into one histogram.
+        let mut all = xs.clone();
+        all.extend(&ys);
+        prop_assert_eq!(a.merge(&b), snapshot_of(&all));
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_error(
+        samples in proptest::collection::vec(sample(), 1..128),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&samples);
+        let mut samples = samples;
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let got = snap.quantile(q);
+        // Never below the true quantile, never above the end of its
+        // bucket (≤ 12.5% relative error), never above the max sample.
+        prop_assert!(got >= truth, "quantile {got} < true {truth}");
+        let (_, hi) = bucket_bounds(bucket_index(truth));
+        prop_assert!(got < hi || hi == u64::MAX, "quantile {got} outside bucket of {truth}");
+        prop_assert!(got <= *samples.last().unwrap());
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NBUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v, "{v} below bucket {idx} = {lo}..{hi}");
+        prop_assert!(v < hi || hi == u64::MAX, "{v} above bucket {idx} = {lo}..{hi}");
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(samples in proptest::collection::vec(sample(), 1..128)) {
+        let snap = snapshot_of(&samples);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().copied().fold(0u64, u64::wrapping_add));
+        prop_assert_eq!(snap.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *samples.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the global tracer.
+//!
+//! The tracer is process-global state (one ring registry, one enabled
+//! flag), so every test here serializes on [`lock`] and starts by
+//! draining whatever earlier tests left behind.
+
+#![cfg(feature = "trace")]
+
+use mrtweb_obs::trace::{drain, emit, is_enabled, set_enabled, Span, RING_CAP};
+use mrtweb_obs::EventKind;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Serializes tests and resets tracer state.
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+    set_enabled(false);
+    let _ = drain();
+    guard
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let _g = lock();
+    assert!(!is_enabled());
+    emit(EventKind::CrcReject, 1, 2);
+    let span = Span::start(EventKind::EncodeSpan);
+    span.end(99);
+    let t = drain();
+    assert!(t.events.is_empty());
+    assert_eq!(t.dropped, 0);
+}
+
+#[test]
+fn events_drain_in_causal_order() {
+    let _g = lock();
+    set_enabled(true);
+    emit(EventKind::TransferStart, 8, 12);
+    emit(EventKind::SliceProgress, 0, 500_000);
+    emit(EventKind::TransferEnd, 1, 3);
+    set_enabled(false);
+    let t = drain();
+    assert_eq!(t.dropped, 0);
+    let kinds: Vec<EventKind> = t.events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        [
+            EventKind::TransferStart,
+            EventKind::SliceProgress,
+            EventKind::TransferEnd
+        ]
+    );
+    assert!(t.events.windows(2).all(|w| w[0].ts <= w[1].ts));
+    assert_eq!(t.events[0].a, 8);
+    assert_eq!(t.events[0].b, 12);
+}
+
+#[test]
+fn spans_report_start_time_and_duration() {
+    let _g = lock();
+    set_enabled(true);
+    emit(EventKind::SessionStart, 7, 0);
+    let span = Span::start(EventKind::RequestSpan);
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    span.end(7);
+    set_enabled(false);
+    let t = drain();
+    assert_eq!(t.events.len(), 2);
+    // The span sorts *after* SessionStart because its ts is its start.
+    let (start, span) = (&t.events[0], &t.events[1]);
+    assert_eq!(start.kind, EventKind::SessionStart);
+    assert_eq!(span.kind, EventKind::RequestSpan);
+    assert!(span.ts >= start.ts);
+    assert!(span.a >= 2_000_000, "duration {} < 2ms", span.a);
+    assert_eq!(span.b, 7);
+}
+
+#[test]
+fn cross_thread_events_merge_with_distinct_thread_ids() {
+    let _g = lock();
+    set_enabled(true);
+    emit(EventKind::SessionStart, 1, 0);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for f in 0..50u64 {
+                    emit(EventKind::FrameSent, i, f);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    set_enabled(false);
+    let t = drain();
+    assert_eq!(t.dropped, 0);
+    let frames: Vec<_> = t
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::FrameSent)
+        .collect();
+    assert_eq!(frames.len(), 200);
+    let threads: std::collections::BTreeSet<u16> = frames.iter().map(|e| e.thread).collect();
+    assert_eq!(threads.len(), 4, "four writer threads: {threads:?}");
+    assert!(t.events.windows(2).all(|w| w[0].ts <= w[1].ts));
+}
+
+#[test]
+fn overflow_counts_dropped_and_keeps_newest() {
+    let _g = lock();
+    set_enabled(true);
+    let extra = 100u64;
+    for i in 0..(RING_CAP as u64 + extra) {
+        emit(EventKind::FrameSent, 0, i);
+    }
+    set_enabled(false);
+    let t = drain();
+    assert_eq!(t.events.len(), RING_CAP);
+    assert_eq!(t.dropped, extra);
+    // The survivors are exactly the newest RING_CAP events.
+    let min_b = t.events.iter().map(|e| e.b).min().unwrap();
+    assert_eq!(min_b, extra);
+    // A second drain with nothing new is empty and drops nothing.
+    let t2 = drain();
+    assert!(t2.events.is_empty());
+    assert_eq!(t2.dropped, 0);
+}
+
+#[test]
+fn reenabling_resumes_cleanly() {
+    let _g = lock();
+    set_enabled(true);
+    emit(EventKind::CacheMiss, 3, 0);
+    set_enabled(false);
+    emit(EventKind::CacheMiss, 4, 0);
+    set_enabled(true);
+    emit(EventKind::CacheHit, 5, 0);
+    set_enabled(false);
+    let t = drain();
+    let kinds: Vec<_> = t.events.iter().map(|e| (e.kind, e.a)).collect();
+    assert_eq!(
+        kinds,
+        [(EventKind::CacheMiss, 3), (EventKind::CacheHit, 5)],
+        "emit while disabled must vanish"
+    );
+}

@@ -16,7 +16,8 @@ use std::time::Duration;
 use mrtweb_transport::error::Error as TransportError;
 use mrtweb_transport::live::{ClientEvent, DocumentHeader, LiveClient};
 
-use crate::metrics::MetricsSnapshot;
+use mrtweb_obs::RegistrySnapshot;
+
 use crate::wire::{ErrorCode, Hello, Message, WireError};
 
 /// Everything a fetch needs besides the server address.
@@ -324,23 +325,24 @@ fn stop_reached(
     !target_labels.is_empty() && complete_labels.len() >= target_labels.len()
 }
 
-/// Asks a proxy for its metrics snapshot.
+/// Asks a proxy for its stats snapshot (named counters, gauges, and
+/// latency histograms).
 ///
 /// # Errors
 ///
 /// I/O and wire failures; [`FetchError::Rejected`] if admission control
 /// refuses the probe connection.
-pub fn fetch_metrics(
+pub fn fetch_stats(
     addr: impl ToSocketAddrs,
     io_timeout: Duration,
-) -> Result<MetricsSnapshot, FetchError> {
+) -> Result<RegistrySnapshot, FetchError> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(io_timeout))?;
     stream.set_write_timeout(Some(io_timeout))?;
-    Message::MetricsRequest.write_to(&mut stream)?;
+    Message::StatsRequest.write_to(&mut stream)?;
     match Message::read_from(&mut stream)? {
-        Message::MetricsReply(snapshot) => Ok(snapshot),
+        Message::StatsReply(snapshot) => Ok(snapshot),
         Message::Error { code, detail } => Err(FetchError::Rejected { code, detail }),
-        _ => Err(FetchError::Unexpected("wanted METRICS-REPLY")),
+        _ => Err(FetchError::Unexpected("wanted STATS-REPLY")),
     }
 }

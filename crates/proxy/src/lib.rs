@@ -16,7 +16,8 @@
 //! - [`client`] — a blocking fetch that drives
 //!   [`mrtweb_transport::live::LiveClient`] over the socket, with
 //!   early stop at a content threshold or target resolution.
-//! - [`metrics`] — lock-free counters with wire-transportable
+//! - [`stats`] — named counters, gauges, and per-request latency
+//!   histograms on the [`mrtweb_obs`] registry, with wire-transportable
 //!   snapshots rendered as JSON.
 //! - [`loadgen`] — a closed-loop load generator reporting throughput
 //!   and latency percentiles.
@@ -31,6 +32,6 @@
 
 pub mod client;
 pub mod loadgen;
-pub mod metrics;
 pub mod server;
+pub mod stats;
 pub mod wire;

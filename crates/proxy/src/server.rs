@@ -34,11 +34,13 @@ use mrtweb_channel::bandwidth::Bandwidth;
 use mrtweb_channel::bernoulli::BernoulliChannel;
 use mrtweb_channel::fault::{FaultConfig, FaultyLink};
 use mrtweb_channel::link::Link;
+use mrtweb_obs::clock::now_nanos;
+use mrtweb_obs::{emit, emit_at, EventKind, RegistrySnapshot};
 use mrtweb_store::gateway::{Gateway, GatewayError, Request};
 use mrtweb_transport::error::Error as TransportError;
 use mrtweb_transport::live::LiveServer;
 
-use crate::metrics::{MetricsSnapshot, ProxyMetrics};
+use crate::stats::ProxyStats;
 use crate::wire::{ErrorCode, Hello, Message, WireError, PROTOCOL_VERSION};
 
 /// Tunable knobs of the daemon. All bounds are per the admission-control
@@ -154,7 +156,7 @@ impl SessionQueue {
 pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    metrics: Arc<ProxyMetrics>,
+    stats: Arc<ProxyStats>,
     accept_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -179,7 +181,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(ProxyMetrics::default());
+        let stats = Arc::new(ProxyStats::new());
         let queue = SessionQueue::new(config.accept_backlog);
         let gateway = Arc::new(gateway);
         let admitted = Arc::new(AtomicU64::new(0));
@@ -189,14 +191,14 @@ impl Server {
         for _ in 0..config.workers.max(1) {
             let queue = Arc::clone(&queue);
             let gateway = Arc::clone(&gateway);
-            let metrics = Arc::clone(&metrics);
+            let stats = Arc::clone(&stats);
             let admitted = Arc::clone(&admitted);
             let config = Arc::clone(&config);
             workers.push(std::thread::spawn(move || {
                 while let Some((stream, session_id)) = queue.pop() {
-                    ProxyMetrics::inc(&metrics.active);
-                    serve_session(stream, session_id, &gateway, &config, &metrics);
-                    metrics.active.fetch_sub(1, Ordering::Relaxed);
+                    stats.active.inc();
+                    serve_session(stream, session_id, &gateway, &config, &stats);
+                    stats.active.dec();
                     admitted.fetch_sub(1, Ordering::Relaxed);
                 }
             }));
@@ -204,7 +206,7 @@ impl Server {
 
         let accept_handle = {
             let shutdown = Arc::clone(&shutdown);
-            let metrics = Arc::clone(&metrics);
+            let stats = Arc::clone(&stats);
             let queue = Arc::clone(&queue);
             let admitted = Arc::clone(&admitted);
             let max_sessions = config.max_sessions.max(1) as u64;
@@ -213,7 +215,7 @@ impl Server {
                 accept_loop(
                     &listener,
                     &shutdown,
-                    &metrics,
+                    &stats,
                     &queue,
                     &admitted,
                     max_sessions,
@@ -226,7 +228,7 @@ impl Server {
         Ok(Server {
             local_addr,
             shutdown,
-            metrics,
+            stats,
             accept_handle: Some(accept_handle),
             workers,
         })
@@ -237,15 +239,15 @@ impl Server {
         self.local_addr
     }
 
-    /// A live counter snapshot.
-    pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+    /// A live stats snapshot.
+    pub fn stats(&self) -> RegistrySnapshot {
+        self.stats.snapshot()
     }
 
     /// Stops accepting, drains the queue, joins every thread, and
-    /// returns the final counters. In-flight sessions run to completion
+    /// returns the final stats. In-flight sessions run to completion
     /// (bounded by their timeouts and budgets).
-    pub fn shutdown(mut self) -> MetricsSnapshot {
+    pub fn shutdown(mut self) -> RegistrySnapshot {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the listener out of accept(): connect to ourselves. The
         // accept loop sees the flag and exits before serving it.
@@ -256,7 +258,7 @@ impl Server {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        self.metrics.snapshot()
+        self.stats.snapshot()
     }
 }
 
@@ -264,7 +266,7 @@ impl Server {
 fn accept_loop(
     listener: &TcpListener,
     shutdown: &AtomicBool,
-    metrics: &ProxyMetrics,
+    stats: &ProxyStats,
     queue: &SessionQueue,
     admitted: &AtomicU64,
     max_sessions: u64,
@@ -281,26 +283,50 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        ProxyMetrics::inc(&metrics.accepted);
+        stats.accepted.inc();
         let session_id = next_session_id;
         next_session_id += 1;
 
         // Admission: reserve a session slot, or refuse loudly.
         if admitted.fetch_add(1, Ordering::SeqCst) >= max_sessions {
             admitted.fetch_sub(1, Ordering::SeqCst);
-            reject(stream, write_timeout, metrics, "session limit reached");
+            reject(
+                stream,
+                write_timeout,
+                stats,
+                session_id,
+                0,
+                "session limit reached",
+            );
             continue;
         }
         if let Err((stream, _)) = queue.try_push((stream, session_id)) {
             admitted.fetch_sub(1, Ordering::SeqCst);
-            reject(stream, write_timeout, metrics, "accept queue full");
+            reject(
+                stream,
+                write_timeout,
+                stats,
+                session_id,
+                1,
+                "accept queue full",
+            );
         }
     }
 }
 
-/// Tells a refused client why, then hangs up.
-fn reject(mut stream: TcpStream, write_timeout: Duration, metrics: &ProxyMetrics, why: &str) {
-    ProxyMetrics::inc(&metrics.rejected);
+/// Tells a refused client why, then hangs up. `reason` follows the
+/// [`EventKind::AdmissionReject`] schema (0 = session slots full,
+/// 1 = accept queue full).
+fn reject(
+    mut stream: TcpStream,
+    write_timeout: Duration,
+    stats: &ProxyStats,
+    session_id: u64,
+    reason: u64,
+    why: &str,
+) {
+    stats.rejected.inc();
+    emit(EventKind::AdmissionReject, session_id, reason);
     let _ = stream.set_write_timeout(Some(write_timeout));
     let msg = Message::Error {
         code: ErrorCode::Busy,
@@ -331,27 +357,45 @@ fn serve_session(
     session_id: u64,
     gateway: &Gateway,
     config: &ServerConfig,
-    metrics: &ProxyMetrics,
+    stats: &ProxyStats,
 ) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let _ = stream.set_nodelay(true);
-    let end = session_body(&mut stream, session_id, gateway, config, metrics);
-    match end {
-        SessionEnd::Completed => ProxyMetrics::inc(&metrics.completed),
-        SessionEnd::ProtocolError => ProxyMetrics::inc(&metrics.protocol_errors),
-        SessionEnd::TimedOut => ProxyMetrics::inc(&metrics.timeouts),
-        SessionEnd::CrcReject => ProxyMetrics::inc(&metrics.crc_rejects),
-        SessionEnd::Closed => {}
-    }
+    emit(EventKind::SessionStart, session_id, 0);
+    let start = now_nanos();
+    let end = session_body(&mut stream, session_id, gateway, config, stats);
+    let elapsed = now_nanos().saturating_sub(start);
+    stats.request_latency.record(elapsed);
+    emit_at(start, EventKind::RequestSpan, elapsed, session_id);
+    let end_code = match end {
+        SessionEnd::Completed => {
+            stats.completed.inc();
+            0
+        }
+        SessionEnd::ProtocolError => {
+            stats.protocol_errors.inc();
+            1
+        }
+        SessionEnd::TimedOut => {
+            stats.timeouts.inc();
+            2
+        }
+        SessionEnd::CrcReject => {
+            stats.crc_rejects.inc();
+            3
+        }
+        SessionEnd::Closed => 4,
+    };
+    emit(EventKind::SessionEnd, session_id, end_code);
 }
 
 /// Sends `msg`, booking the bytes; `false` if the socket failed.
-fn send(stream: &mut TcpStream, metrics: &ProxyMetrics, msg: &Message) -> Result<(), SessionEnd> {
+fn send(stream: &mut TcpStream, stats: &ProxyStats, msg: &Message) -> Result<(), SessionEnd> {
     let wire = msg.encode();
     match stream.write_all(&wire).and_then(|()| stream.flush()) {
         Ok(()) => {
-            ProxyMetrics::add(&metrics.bytes_sent, wire.len() as u64);
+            stats.bytes_sent.add(wire.len() as u64);
             Ok(())
         }
         Err(e)
@@ -369,12 +413,12 @@ fn send(stream: &mut TcpStream, metrics: &ProxyMetrics, msg: &Message) -> Result
 /// Sends a typed error and reports how the session should be counted.
 fn fail(
     stream: &mut TcpStream,
-    metrics: &ProxyMetrics,
+    stats: &ProxyStats,
     code: ErrorCode,
     detail: String,
     end: SessionEnd,
 ) -> SessionEnd {
-    let _ = send(stream, metrics, &Message::Error { code, detail });
+    let _ = send(stream, stats, &Message::Error { code, detail });
     end
 }
 
@@ -383,14 +427,14 @@ fn session_body(
     session_id: u64,
     gateway: &Gateway,
     config: &ServerConfig,
-    metrics: &ProxyMetrics,
+    stats: &ProxyStats,
 ) -> SessionEnd {
     // ── handshake ───────────────────────────────────────────────────
     let hello = match Message::read_from(stream) {
         Ok(Message::Hello(h)) => h,
-        Ok(Message::MetricsRequest) => {
-            let reply = Message::MetricsReply(metrics.snapshot());
-            return match send(stream, metrics, &reply) {
+        Ok(Message::StatsRequest) => {
+            let reply = Message::StatsReply(stats.snapshot());
+            return match send(stream, stats, &reply) {
                 Ok(()) => SessionEnd::Completed,
                 Err(end) => end,
             };
@@ -398,7 +442,7 @@ fn session_body(
         Ok(_) => {
             return fail(
                 stream,
-                metrics,
+                stats,
                 ErrorCode::BadRequest,
                 "expected HELLO".to_owned(),
                 SessionEnd::ProtocolError,
@@ -406,19 +450,20 @@ fn session_body(
         }
         Err(e) if e.is_timeout() => return SessionEnd::TimedOut,
         Err(WireError::CrcMismatch) => {
+            emit(EventKind::CrcReject, session_id, 0);
             return fail(
                 stream,
-                metrics,
+                stats,
                 ErrorCode::BadRequest,
                 "corrupted HELLO envelope".to_owned(),
                 SessionEnd::CrcReject,
-            )
+            );
         }
         Err(WireError::Io(_)) => return SessionEnd::Closed,
         Err(e) => {
             return fail(
                 stream,
-                metrics,
+                stats,
                 ErrorCode::BadRequest,
                 format!("{e}"),
                 SessionEnd::ProtocolError,
@@ -429,7 +474,7 @@ fn session_body(
     if hello.version != PROTOCOL_VERSION {
         return fail(
             stream,
-            metrics,
+            stats,
             ErrorCode::BadRequest,
             format!(
                 "protocol version {} unsupported (want {PROTOCOL_VERSION})",
@@ -443,11 +488,11 @@ fn session_body(
         Ok(server) => server,
         // An unknown URL or unencodable request is a well-formed ask
         // that the server refuses — typed, but not a protocol error.
-        Err((code, detail)) => return fail(stream, metrics, code, detail, SessionEnd::Closed),
+        Err((code, detail)) => return fail(stream, stats, code, detail, SessionEnd::Closed),
     };
     let header = server.header().clone();
     let n = header.n;
-    if let Err(end) = send(stream, metrics, &Message::Header(header)) {
+    if let Err(end) = send(stream, stats, &Message::Header(header)) {
         return end;
     }
 
@@ -470,7 +515,9 @@ fn session_body(
     // ── serving rounds ──────────────────────────────────────────────
     let mut to_send: Vec<usize> = (0..n).collect();
     let mut frames_served = 0u64;
-    for _round in 0..config.max_rounds {
+    let mut faults_seen = 0usize;
+    for round in 0..config.max_rounds {
+        let round_span = mrtweb_obs::Span::start(EventKind::RoundSpan);
         for &idx in &to_send {
             // The round's indices came off the wire: an out-of-range
             // request is a typed protocol error, never a panic.
@@ -479,7 +526,7 @@ fn session_body(
                 Err(e @ TransportError::FrameOutOfRange { .. }) => {
                     return fail(
                         stream,
-                        metrics,
+                        stats,
                         ErrorCode::BadRequest,
                         format!("{e}"),
                         SessionEnd::ProtocolError,
@@ -488,7 +535,7 @@ fn session_body(
                 Err(e) => {
                     return fail(
                         stream,
-                        metrics,
+                        stats,
                         ErrorCode::Internal,
                         format!("{e}"),
                         SessionEnd::Closed,
@@ -496,23 +543,26 @@ fn session_body(
                 }
             };
             if frames_served >= config.frame_budget {
+                emit(EventKind::BudgetExhausted, session_id, config.frame_budget);
                 return fail(
                     stream,
-                    metrics,
+                    stats,
                     ErrorCode::BudgetExceeded,
                     format!("session frame budget {} exhausted", config.frame_budget),
                     SessionEnd::Closed,
                 );
             }
             frames_served += 1;
-            ProxyMetrics::inc(&metrics.frames_sent);
+            stats.frames_sent.inc();
+            emit(EventKind::FrameSent, session_id, idx as u64);
             if let Some(faulty) = faulty.as_mut() {
                 for delivery in faulty.transmit(bytes) {
-                    if let Err(end) = send(stream, metrics, &Message::Frame(delivery.bytes)) {
+                    if let Err(end) = send(stream, stats, &Message::Frame(delivery.bytes)) {
                         return end;
                     }
                 }
-            } else if let Err(end) = send(stream, metrics, &Message::Frame(bytes.to_vec())) {
+                faults_seen = book_faults(faulty, faults_seen, stats);
+            } else if let Err(end) = send(stream, stats, &Message::Frame(bytes.to_vec())) {
                 return end;
             }
         }
@@ -520,26 +570,28 @@ fn session_body(
             // End of round: held (reordered) frames can no longer be
             // overtaken.
             for delivery in faulty.flush() {
-                if let Err(end) = send(stream, metrics, &Message::Frame(delivery.bytes)) {
+                if let Err(end) = send(stream, stats, &Message::Frame(delivery.bytes)) {
                     return end;
                 }
             }
         }
-        if let Err(end) = send(stream, metrics, &Message::RoundEnd) {
+        if let Err(end) = send(stream, stats, &Message::RoundEnd) {
             return end;
         }
+        round_span.end(round as u64);
 
         // ── control ─────────────────────────────────────────────────
         match Message::read_from(stream) {
             Ok(Message::Done) => return SessionEnd::Completed,
             Ok(Message::Request(ids)) => {
-                ProxyMetrics::inc(&metrics.retransmit_requests);
+                stats.retransmit_requests.inc();
+                emit(EventKind::RetransmitRequest, session_id, ids.len() as u64);
                 to_send = ids.into_iter().map(usize::from).collect();
             }
             Ok(_) => {
                 return fail(
                     stream,
-                    metrics,
+                    stats,
                     ErrorCode::BadRequest,
                     "expected REQUEST or DONE".to_owned(),
                     SessionEnd::ProtocolError,
@@ -547,19 +599,20 @@ fn session_body(
             }
             Err(e) if e.is_timeout() => return SessionEnd::TimedOut,
             Err(WireError::CrcMismatch) => {
+                emit(EventKind::CrcReject, session_id, 0);
                 return fail(
                     stream,
-                    metrics,
+                    stats,
                     ErrorCode::BadRequest,
                     "corrupted control envelope".to_owned(),
                     SessionEnd::CrcReject,
-                )
+                );
             }
             Err(WireError::Io(_)) => return SessionEnd::Closed,
             Err(e) => {
                 return fail(
                     stream,
-                    metrics,
+                    stats,
                     ErrorCode::BadRequest,
                     format!("{e}"),
                     SessionEnd::ProtocolError,
@@ -567,8 +620,29 @@ fn session_body(
             }
         }
     }
-    let _ = send(stream, metrics, &Message::GaveUp);
+    let _ = send(stream, stats, &Message::GaveUp);
     SessionEnd::Closed
+}
+
+/// Re-emits newly scheduled wireless-hop faults as trace events and
+/// books the counter; returns the new watermark. The channel layer
+/// stays deterministic and obs-free — the proxy polls its replay trace
+/// instead.
+fn book_faults<L: mrtweb_channel::loss::LossModel>(
+    faulty: &FaultyLink<L>,
+    seen: usize,
+    stats: &ProxyStats,
+) -> usize {
+    let trace = faulty.scheduler().trace();
+    for event in &trace[seen..] {
+        stats.faults_injected.inc();
+        emit(
+            EventKind::FaultInjected,
+            event.packet,
+            u64::from(event.kind.code()),
+        );
+    }
+    trace.len()
 }
 
 /// HELLO → prepared [`LiveServer`], with gateway failures mapped to

@@ -28,11 +28,14 @@ use mrtweb_erasure::crc::crc32;
 use mrtweb_transport::live::DocumentHeader;
 use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
 
-use crate::metrics::MetricsSnapshot;
+use mrtweb_obs::hist::NBUCKETS;
+use mrtweb_obs::{HistSnapshot, RegistrySnapshot};
 
 /// Protocol version carried in every HELLO; bumped on incompatible
 /// changes so mismatched peers fail fast with a typed error.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 replaced the fixed-field metrics reply with the generic
+/// named-registry stats encoding.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on one message body (type byte + payload). Large enough
 /// for a 64 KiB frame or a many-slice header, small enough that a
@@ -133,8 +136,8 @@ pub enum Message {
     Request(Vec<u16>),
     /// Client → server: session finished (reconstructed or stopped).
     Done,
-    /// Client → server: report the server's metrics snapshot.
-    MetricsRequest,
+    /// Client → server: report the server's stats snapshot.
+    StatsRequest,
     /// Server → client: the transmission header (handshake reply).
     Header(DocumentHeader),
     /// Server → client: one transport-layer frame (seq ‖ payload ‖
@@ -151,20 +154,21 @@ pub enum Message {
         /// Human-readable detail.
         detail: String,
     },
-    /// Server → client: the metrics snapshot.
-    MetricsReply(MetricsSnapshot),
+    /// Server → client: the full named-registry stats snapshot
+    /// (counters, gauges, and sparse histograms).
+    StatsReply(RegistrySnapshot),
 }
 
 const T_HELLO: u8 = 0x01;
 const T_REQUEST: u8 = 0x02;
 const T_DONE: u8 = 0x03;
-const T_METRICS_REQUEST: u8 = 0x04;
+const T_STATS_REQUEST: u8 = 0x04;
 const T_HEADER: u8 = 0x81;
 const T_FRAME: u8 = 0x82;
 const T_ROUND_END: u8 = 0x83;
 const T_GAVE_UP: u8 = 0x84;
 const T_ERROR: u8 = 0x85;
-const T_METRICS_REPLY: u8 = 0x86;
+const T_STATS_REPLY: u8 = 0x86;
 
 /// Wire-protocol failures. I/O errors keep the underlying error; all
 /// parse failures are static descriptions so tests can match on them.
@@ -355,18 +359,105 @@ fn read_header(r: &mut Reader<'_>) -> Result<DocumentHeader, WireError> {
     })
 }
 
-fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
-    for v in m.as_fields() {
-        put_u64(out, v);
+// ── stats (de)serialization ─────────────────────────────────────────
+//
+// The registry snapshot travels as three self-describing sections:
+//
+// ```text
+// u16 n_counters, then n × (str name, u64 value)
+// u16 n_gauges,   then n × (str name, u64 two's-complement value)
+// u16 n_hists,    then n × (str name, u64 count/sum/min/max,
+//                           u16 n_nonzero, n × (u16 bucket, u64 count))
+// ```
+//
+// Histogram buckets go sparse: a latency histogram touches a handful
+// of its 496 buckets, so (index, count) pairs beat a dense array.
+
+fn put_stats(out: &mut Vec<u8>, s: &RegistrySnapshot) {
+    put_u16(out, s.counters.len().min(u16::MAX as usize) as u16);
+    for (name, v) in &s.counters {
+        put_str(out, name);
+        put_u64(out, *v);
+    }
+    put_u16(out, s.gauges.len().min(u16::MAX as usize) as u16);
+    for (name, v) in &s.gauges {
+        put_str(out, name);
+        put_u64(out, *v as u64);
+    }
+    put_u16(out, s.hists.len().min(u16::MAX as usize) as u16);
+    for (name, h) in &s.hists {
+        put_str(out, name);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        put_u64(out, h.min);
+        put_u64(out, h.max);
+        let nonzero: Vec<(usize, u64)> = h
+            .buckets
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, c)| *c > 0)
+            .collect();
+        put_u16(out, nonzero.len().min(u16::MAX as usize) as u16);
+        for (idx, c) in nonzero {
+            put_u16(out, idx.min(u16::MAX as usize) as u16);
+            put_u64(out, c);
+        }
     }
 }
 
-fn read_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
-    let mut fields = [0u64; MetricsSnapshot::FIELD_COUNT];
-    for f in &mut fields {
-        *f = r.u64()?;
+fn read_stats(r: &mut Reader<'_>) -> Result<RegistrySnapshot, WireError> {
+    let n_counters = r.u16()? as usize;
+    let mut counters = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        let name = r.string()?;
+        counters.push((name, r.u64()?));
     }
-    Ok(MetricsSnapshot::from_fields(fields))
+    let n_gauges = r.u16()? as usize;
+    let mut gauges = Vec::with_capacity(n_gauges);
+    for _ in 0..n_gauges {
+        let name = r.string()?;
+        gauges.push((name, r.u64()?.cast_signed()));
+    }
+    let n_hists = r.u16()? as usize;
+    let mut hists = Vec::with_capacity(n_hists);
+    for _ in 0..n_hists {
+        let name = r.string()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let nonzero = r.u16()? as usize;
+        let mut buckets: Vec<u64> = Vec::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..nonzero {
+            let idx = r.u16()? as usize;
+            if idx >= NBUCKETS {
+                return Err(WireError::Malformed("histogram bucket out of range"));
+            }
+            if prev.is_some_and(|p| idx <= p) {
+                return Err(WireError::Malformed("histogram buckets out of order"));
+            }
+            prev = Some(idx);
+            buckets.resize(idx + 1, 0);
+            buckets[idx] = r.u64()?;
+        }
+        hists.push((
+            name,
+            HistSnapshot {
+                buckets,
+                count,
+                sum,
+                min,
+                max,
+            },
+        ));
+    }
+    Ok(RegistrySnapshot {
+        counters,
+        gauges,
+        hists,
+    })
 }
 
 impl Message {
@@ -392,7 +483,7 @@ impl Message {
                 T_REQUEST
             }
             Message::Done => T_DONE,
-            Message::MetricsRequest => T_METRICS_REQUEST,
+            Message::StatsRequest => T_STATS_REQUEST,
             Message::Header(h) => {
                 put_header(&mut body, h);
                 T_HEADER
@@ -408,9 +499,9 @@ impl Message {
                 put_str(&mut body, detail);
                 T_ERROR
             }
-            Message::MetricsReply(m) => {
-                put_metrics(&mut body, m);
-                T_METRICS_REPLY
+            Message::StatsReply(s) => {
+                put_stats(&mut body, s);
+                T_STATS_REPLY
             }
         };
         let mut envelope = Vec::with_capacity(body.len() + 1 + ENVELOPE_OVERHEAD);
@@ -488,7 +579,7 @@ impl Message {
                 Message::Request(ids)
             }
             T_DONE => Message::Done,
-            T_METRICS_REQUEST => Message::MetricsRequest,
+            T_STATS_REQUEST => Message::StatsRequest,
             T_HEADER => Message::Header(read_header(&mut r)?),
             T_FRAME => Message::Frame(r.rest().to_vec()),
             T_ROUND_END => Message::RoundEnd,
@@ -499,7 +590,7 @@ impl Message {
                 let detail = r.string()?;
                 Message::Error { code, detail }
             }
-            T_METRICS_REPLY => Message::MetricsReply(read_metrics(&mut r)?),
+            T_STATS_REPLY => Message::StatsReply(read_stats(&mut r)?),
             other => return Err(WireError::BadType(other)),
         };
         r.finish()?;
@@ -558,6 +649,18 @@ mod tests {
         }
     }
 
+    fn stats_fixture() -> RegistrySnapshot {
+        let registry = mrtweb_obs::Registry::new();
+        registry.counter("accepted").add(12);
+        registry.counter("frames_sent").add(480);
+        registry.gauge("active").set(-3);
+        let h = registry.histogram("request_latency_ns");
+        h.record(900);
+        h.record(1_000_000);
+        h.record(4_000_000_000);
+        registry.snapshot()
+    }
+
     #[test]
     fn every_message_type_round_trips() {
         let msgs = [
@@ -565,7 +668,7 @@ mod tests {
             Message::Request(vec![0, 3, 7, 255]),
             Message::Request(Vec::new()),
             Message::Done,
-            Message::MetricsRequest,
+            Message::StatsRequest,
             Message::Header(header_fixture()),
             Message::Frame((0..64).collect()),
             Message::Frame(Vec::new()),
@@ -575,7 +678,8 @@ mod tests {
                 code: ErrorCode::Busy,
                 detail: "8 sessions active".to_owned(),
             },
-            Message::MetricsReply(MetricsSnapshot::default()),
+            Message::StatsReply(RegistrySnapshot::default()),
+            Message::StatsReply(stats_fixture()),
         ];
         for m in msgs {
             let wire = m.encode();
@@ -595,6 +699,47 @@ mod tests {
         assert_eq!(back, h);
         assert_eq!(back.plan.total_bytes(), h.plan.total_bytes());
         assert_eq!(back.plan.slice_ranges(), h.plan.slice_ranges());
+    }
+
+    #[test]
+    fn stats_round_trip_preserves_quantiles() {
+        let snap = stats_fixture();
+        let wire = Message::StatsReply(snap.clone()).encode();
+        let Message::StatsReply(back) = Message::decode(&wire).unwrap() else {
+            panic!("wrong type");
+        };
+        assert_eq!(back, snap);
+        let h = back.hist("request_latency_ns");
+        assert_eq!(h.count, 3);
+        assert_eq!(
+            h.quantile(0.5),
+            snap.hist("request_latency_ns").quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn hostile_histogram_bucket_is_rejected() {
+        // A bucket index past NBUCKETS must be a typed parse error, not
+        // a huge allocation.
+        let mut body = vec![T_STATS_REPLY];
+        put_u16(&mut body, 0); // counters
+        put_u16(&mut body, 0); // gauges
+        put_u16(&mut body, 1); // one histogram
+        put_str(&mut body, "h");
+        for _ in 0..4 {
+            put_u64(&mut body, 1); // count/sum/min/max
+        }
+        put_u16(&mut body, 1); // one sparse bucket…
+        put_u16(&mut body, u16::MAX); // …far out of range
+        put_u64(&mut body, 1);
+        let mut envelope = Vec::new();
+        put_u32(&mut envelope, body.len() as u32);
+        envelope.extend_from_slice(&body);
+        put_u32(&mut envelope, crc32(&body));
+        assert!(matches!(
+            Message::decode(&envelope),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -8,8 +8,9 @@ use std::time::Duration;
 
 use mrtweb_channel::fault::FaultConfig;
 use mrtweb_docmodel::gen::SyntheticDocSpec;
-use mrtweb_proxy::client::{fetch, fetch_metrics, FetchError, FetchOptions};
+use mrtweb_proxy::client::{fetch, fetch_stats, FetchError, FetchOptions};
 use mrtweb_proxy::server::{Server, ServerConfig};
+use mrtweb_proxy::stats::{self, REQUEST_LATENCY_NS};
 use mrtweb_proxy::wire::{ErrorCode, Hello, Message};
 use mrtweb_store::gateway::{Gateway, Request};
 use mrtweb_store::store::DocumentStore;
@@ -102,10 +103,24 @@ fn eight_concurrent_fetches_reconstruct_byte_identically() {
         }
     }
 
-    let metrics = server.shutdown();
-    assert!(metrics.accepted >= 8);
-    assert_eq!(metrics.completed, 8);
-    assert!(metrics.is_clean(), "clean run: {}", metrics.to_json());
+    let snapshot = server.shutdown();
+    assert!(snapshot.counter("accepted") >= 8);
+    assert_eq!(snapshot.counter("completed"), 8);
+    assert!(
+        stats::is_clean(&snapshot),
+        "clean run: {}",
+        snapshot.to_json()
+    );
+    // One latency sample per session served — the histogram and the
+    // session counters must agree exactly.
+    let latency = snapshot.hist(REQUEST_LATENCY_NS);
+    assert_eq!(
+        latency.count,
+        8,
+        "request latency histogram counts every session: {}",
+        snapshot.to_json()
+    );
+    assert!(latency.max >= latency.min);
 }
 
 #[test]
@@ -156,9 +171,9 @@ fn admission_rejects_the_ninth_session() {
     }
     drop(held);
 
-    let metrics = server.shutdown();
-    assert!(metrics.rejected >= 1, "{}", metrics.to_json());
-    assert_eq!(metrics.completed, 8);
+    let snapshot = server.shutdown();
+    assert!(snapshot.counter("rejected") >= 1, "{}", snapshot.to_json());
+    assert_eq!(snapshot.counter("completed"), 8);
 }
 
 #[test]
@@ -172,9 +187,9 @@ fn early_stop_at_target_resolution_ends_the_session() {
         "a 2-slice target resolves within the first round"
     );
     // A stopped session still ends cleanly server-side.
-    let metrics = server.shutdown();
-    assert_eq!(metrics.completed, 1);
-    assert!(metrics.is_clean(), "{}", metrics.to_json());
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("completed"), 1);
+    assert!(stats::is_clean(&snapshot), "{}", snapshot.to_json());
 }
 
 #[test]
@@ -190,8 +205,8 @@ fn frame_budget_exhaustion_is_a_typed_refusal() {
         }
         other => panic!("budget run should be refused, got {other:?}"),
     }
-    let metrics = server.shutdown();
-    assert_eq!(metrics.frames_sent, 5, "{}", metrics.to_json());
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("frames_sent"), 5, "{}", snapshot.to_json());
 }
 
 #[test]
@@ -226,15 +241,21 @@ fn unknown_documents_are_refused_with_not_found() {
 }
 
 #[test]
-fn metrics_endpoint_serves_live_counters() {
+fn stats_endpoint_serves_live_counters_and_histograms() {
     let server = start(ServerConfig::default(), 1024);
     let addr = server.local_addr();
     let _ = fetch(addr, &options()).expect("fetch");
-    let snapshot = fetch_metrics(addr, Duration::from_secs(10)).expect("metrics");
-    assert!(snapshot.accepted >= 1);
-    assert_eq!(snapshot.completed, 1);
-    assert!(snapshot.frames_sent > 0);
-    assert!(snapshot.is_clean(), "{}", snapshot.to_json());
+    let snapshot = fetch_stats(addr, Duration::from_secs(10)).expect("stats");
+    assert!(snapshot.counter("accepted") >= 1);
+    assert_eq!(snapshot.counter("completed"), 1);
+    assert!(snapshot.counter("frames_sent") > 0);
+    assert!(stats::is_clean(&snapshot), "{}", snapshot.to_json());
+    // The latency histogram crosses the wire with its quantiles intact:
+    // the one finished fetch is one sample (the probe itself snapshots
+    // before recording its own latency).
+    let latency = snapshot.hist(REQUEST_LATENCY_NS);
+    assert_eq!(latency.count, 1, "{}", snapshot.to_json());
+    assert!(latency.quantile(0.5) > 0, "a real fetch takes nonzero time");
     server.shutdown();
 }
 
@@ -256,6 +277,11 @@ fn malformed_hello_is_a_protocol_error_not_a_hang() {
         Message::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
         other => panic!("wanted a typed error, got {other:?}"),
     }
-    let metrics = server.shutdown();
-    assert_eq!(metrics.protocol_errors, 1, "{}", metrics.to_json());
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.counter("protocol_errors"),
+        1,
+        "{}",
+        snapshot.to_json()
+    );
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use mrtweb_proxy::metrics::MetricsSnapshot;
+use mrtweb_obs::{HistSnapshot, Histogram, RegistrySnapshot};
 use mrtweb_proxy::wire::{ErrorCode, Hello, Message, WireError, ENVELOPE_OVERHEAD};
 use mrtweb_transport::live::DocumentHeader;
 use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
@@ -62,16 +62,29 @@ fn header_strategy() -> impl Strategy<Value = DocumentHeader> {
         )
 }
 
-fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
-    proptest::collection::vec(
-        any::<u64>(),
-        MetricsSnapshot::FIELD_COUNT..MetricsSnapshot::FIELD_COUNT + 1,
-    )
-    .prop_map(|v| {
-        let mut fields = [0u64; MetricsSnapshot::FIELD_COUNT];
-        fields.copy_from_slice(&v);
-        MetricsSnapshot::from_fields(fields)
+/// Builds a histogram snapshot by actually recording samples, so the
+/// bucket vector has exactly the trimmed shape real snapshots have.
+fn hist_strategy() -> impl Strategy<Value = HistSnapshot> {
+    proptest::collection::vec(any::<u64>(), 0..50).prop_map(|samples| {
+        let h = Histogram::default();
+        for s in samples {
+            h.record(s);
+        }
+        h.snapshot()
     })
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = RegistrySnapshot> {
+    (
+        proptest::collection::vec(("[a-z_]{1,12}", any::<u64>()), 0..6),
+        proptest::collection::vec(("[a-z_]{1,12}", any::<i64>()), 0..6),
+        proptest::collection::vec(("[a-z_]{1,12}", hist_strategy()), 0..3),
+    )
+        .prop_map(|(counters, gauges, hists)| RegistrySnapshot {
+            counters,
+            gauges,
+            hists,
+        })
 }
 
 fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
@@ -90,14 +103,14 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         hello_strategy().prop_map(Message::Hello),
         proptest::collection::vec(any::<u16>(), 0..300).prop_map(Message::Request),
         Just(Message::Done),
-        Just(Message::MetricsRequest),
+        Just(Message::StatsRequest),
         header_strategy().prop_map(Message::Header),
         proptest::collection::vec(any::<u8>(), 0..2000).prop_map(Message::Frame),
         Just(Message::RoundEnd),
         Just(Message::GaveUp),
         (error_code_strategy(), "[ -~]{0,60}")
             .prop_map(|(code, detail)| Message::Error { code, detail }),
-        snapshot_strategy().prop_map(Message::MetricsReply),
+        snapshot_strategy().prop_map(Message::StatsReply),
     ]
 }
 

@@ -29,6 +29,7 @@ use mrtweb_erasure::ida::Codec;
 use mrtweb_erasure::packet::Frame;
 use mrtweb_erasure::par::{default_threads, encode_into_parallel};
 use mrtweb_erasure::Error;
+use mrtweb_obs::{emit, EventKind, Span};
 
 use crate::error::Error as TransportError;
 use crate::plan::{plan_document, TransmissionPlan};
@@ -228,6 +229,7 @@ impl LiveClient {
             // index 0 is safe because corrupted packets never alter
             // intact bookkeeping.
             self.state.on_packet(0, true);
+            emit(EventKind::CrcReject, self.state.corrupted(), 0);
             return Vec::new();
         };
         let idx = frame.sequence() as usize;
@@ -271,6 +273,12 @@ impl LiveClient {
             }
             self.slice_have[i] += overlap;
             let fraction = self.slice_have[i] as f64 / (range.end - range.start) as f64;
+            // a = slice index in plan order, b = basis points complete.
+            emit(
+                EventKind::SliceProgress,
+                i as u64,
+                (fraction.min(1.0) * 10_000.0) as u64,
+            );
             events.push(ClientEvent::SliceProgress {
                 label: self.header.plan.slices()[i].label.clone(),
                 fraction: fraction.min(1.0),
@@ -296,6 +304,25 @@ impl LiveClient {
         self.slice_have.iter_mut().for_each(|b| *b = 0);
         self.reconstructed = None;
     }
+}
+
+/// Re-emits newly recorded fault-scheduler events as trace events,
+/// returning the new high-water mark. The channel layer stays
+/// deterministic and observability-free; the transport narrates on its
+/// behalf.
+fn book_fault_events<L: mrtweb_channel::loss::LossModel>(
+    faulty: &FaultyLink<L>,
+    seen: usize,
+) -> usize {
+    let trace = faulty.scheduler().trace();
+    for event in &trace[seen..] {
+        emit(
+            EventKind::FaultInjected,
+            event.packet,
+            u64::from(event.kind.code()),
+        );
+    }
+    trace.len()
 }
 
 /// Control messages from client to server.
@@ -398,6 +425,7 @@ pub fn run_transfer(
     // (frames_sent, rounds), shared with the server thread.
     let stats: Arc<Mutex<(u64, usize)>> = Arc::new(Mutex::new((0, 0)));
     let header = server.header().clone();
+    emit(EventKind::TransferStart, header.m as u64, header.n as u64);
     let n = header.n;
     let alpha = config.alpha;
     let seed = config.seed;
@@ -415,15 +443,19 @@ pub fn run_transfer(
         );
         let mut faulty = FaultyLink::new(link, fault_cfg, seed ^ 2);
         let mut to_send: Vec<usize> = (0..n).collect();
+        // Fault-scheduler events already re-emitted as trace events.
+        let mut faults_seen = 0usize;
         'rounds: loop {
-            {
+            let round = {
                 let mut s = stats_server.lock();
                 s.1 += 1;
                 if s.1 > max_rounds {
                     let _ = wire_tx.send(Wire::GaveUp);
                     break 'rounds;
                 }
-            }
+                s.1
+            };
+            let round_span = Span::start(EventKind::RoundSpan);
             for &idx in &to_send {
                 // A request index mangled in flight must not crash the
                 // server; unknown packets are simply not served.
@@ -433,7 +465,10 @@ pub fn run_transfer(
                 stats_server.lock().0 += 1;
                 for delivery in faulty.transmit(bytes) {
                     if wire_tx.send(Wire::Frame(delivery.bytes)).is_err() {
-                        break 'rounds; // client hung up
+                        // Client hung up (reconstructed or stopped):
+                        // the round still happened — close its span.
+                        round_span.end(round as u64);
+                        break 'rounds;
                     }
                 }
             }
@@ -441,9 +476,12 @@ pub fn run_transfer(
             // frames can no longer be overtaken.
             for delivery in faulty.flush() {
                 if wire_tx.send(Wire::Frame(delivery.bytes)).is_err() {
+                    round_span.end(round as u64);
                     break 'rounds;
                 }
             }
+            faults_seen = book_fault_events(&faulty, faults_seen);
+            round_span.end(round as u64);
             if wire_tx.send(Wire::RoundEnd).is_err() {
                 break 'rounds;
             }
@@ -452,6 +490,8 @@ pub fn run_transfer(
                 Ok(Control::Done) | Err(_) => break 'rounds,
             }
         }
+        faults_seen = book_fault_events(&faulty, faults_seen);
+        let _ = faults_seen;
         faulty.into_trace()
     });
 
@@ -511,6 +551,11 @@ pub fn run_transfer(
     let _ = gave_up;
 
     let (frames_sent, rounds) = *stats.lock();
+    emit(
+        EventKind::TransferEnd,
+        u64::from(completed),
+        rounds.min(max_rounds) as u64,
+    );
     Ok(TransferReport {
         completed,
         stopped_early,

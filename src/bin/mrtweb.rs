@@ -16,7 +16,8 @@
 //!                                                      fetch a document from a proxy
 //! mrtweb loadgen [--addr A] [--clients K] [--requests R] [--sweep 1,8,32] [--json]
 //!                                                      drive a proxy with concurrent clients
-//! mrtweb stats [--addr A] [--assert-clean]             print a proxy's metrics as JSON
+//! mrtweb stats [--addr A] [--assert-clean]             print a proxy's stats as JSON
+//! mrtweb trace <record|dump|summarize> ...             work with observability traces
 //! ```
 
 use std::net::ToSocketAddrs as _;
@@ -32,7 +33,7 @@ use mrtweb::docmodel::gen::SyntheticDocSpec;
 use mrtweb::docmodel::lod::Lod;
 use mrtweb::erasure::redundancy::Plan;
 use mrtweb::prelude::CacheMode;
-use mrtweb::proxy::client::{fetch, fetch_metrics, FetchOptions};
+use mrtweb::proxy::client::{fetch, fetch_stats, FetchOptions};
 use mrtweb::proxy::loadgen::{self, LoadConfig};
 use mrtweb::proxy::server::{Server, ServerConfig};
 use mrtweb::store::gateway::Gateway;
@@ -62,6 +63,9 @@ fn main() -> ExitCode {
             eprintln!("  mrtweb fetch <url> [--addr A] [--query Q] [--lod L] [--measure ic|qic|mqic] [--packet-size P] [--gamma G] [--stop-content X] [--stop-slices K] [--out FILE]");
             eprintln!("  mrtweb loadgen [--addr A] [--url U] [--clients K] [--requests R] [--sweep 1,8,32] [--json] [--bench-out FILE]");
             eprintln!("  mrtweb stats [--addr A] [--assert-clean]");
+            eprintln!("  mrtweb trace record <file> [--out FILE] [transfer flags]");
+            eprintln!("  mrtweb trace dump <trace.jsonl>");
+            eprintln!("  mrtweb trace summarize <trace.jsonl>");
             ExitCode::from(2)
         }
     }
@@ -510,8 +514,8 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if flags.runtime_secs > 0 {
                 std::thread::sleep(Duration::from_secs(flags.runtime_secs));
-                let final_metrics = server.shutdown();
-                println!("{}", final_metrics.to_json());
+                let final_stats = server.shutdown();
+                println!("{}", final_stats.to_json());
                 Ok(())
             } else {
                 loop {
@@ -623,22 +627,112 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "stats" => {
             let flags = parse_flags(&args[1..])?;
-            let snapshot = fetch_metrics(
+            let snapshot = fetch_stats(
                 flags.addr.as_str(),
                 Duration::from_secs(flags.timeout_secs.max(1)),
             )
             .map_err(|e| e.to_string())?;
             println!("{}", snapshot.to_json());
-            if flags.assert_clean && !snapshot.is_clean() {
+            if flags.assert_clean && !mrtweb::proxy::stats::is_clean(&snapshot) {
                 return Err(
-                    "metrics are not clean (crc_rejects, timeouts, or protocol_errors nonzero)"
+                    "stats are not clean (crc_rejects, timeouts, or protocol_errors nonzero)"
                         .into(),
                 );
             }
             Ok(())
         }
+        "trace" => {
+            let verb = args
+                .get(1)
+                .ok_or("trace needs a verb: record, dump, or summarize")?;
+            match verb.as_str() {
+                "record" => {
+                    let path = args.get(2).ok_or("trace record needs a file")?;
+                    let flags = parse_flags(&args[3..])?;
+                    trace_record(path, &flags)
+                }
+                "dump" => {
+                    let path = args.get(2).ok_or("trace dump needs a .jsonl file")?;
+                    let trace = load_trace(path)?;
+                    for event in &trace.events {
+                        println!(
+                            "{:>14} ns  thread {:>3}  {:<20} a={:<12} b={}",
+                            event.ts,
+                            event.thread,
+                            event.kind.name(),
+                            event.a,
+                            event.b
+                        );
+                    }
+                    if trace.dropped > 0 {
+                        println!("({} events dropped at record time)", trace.dropped);
+                    }
+                    Ok(())
+                }
+                "summarize" => {
+                    let path = args.get(2).ok_or("trace summarize needs a .jsonl file")?;
+                    let trace = load_trace(path)?;
+                    let summary = mrtweb::obs::export::summarize(&trace);
+                    print!("{}", mrtweb::obs::export::render_summary(&summary));
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unknown trace verb {other:?} (try record, dump, summarize)"
+                )),
+            }
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// Runs a live transfer with the tracer enabled and writes the captured
+/// trace as JSONL to `--out` (or stdout).
+fn trace_record(path: &str, flags: &Flags) -> Result<(), String> {
+    let doc = load_document(path)?;
+    let (sc, measure) = build_sc(&doc, &flags.query);
+    mrtweb::obs::trace::set_enabled(true);
+    let _ = mrtweb::obs::trace::drain(); // discard anything stale
+    let server = LiveServer::new_auto(&doc, &sc, flags.lod, measure, 64, flags.gamma)
+        .map_err(|e| format!("{e}"))?;
+    let report = run_transfer(
+        server,
+        &TransferConfig {
+            alpha: flags.alpha,
+            seed: flags.seed,
+            cache_mode: if flags.nocache {
+                CacheMode::NoCaching
+            } else {
+                CacheMode::Caching
+            },
+            ..Default::default()
+        },
+    );
+    mrtweb::obs::trace::set_enabled(false);
+    let trace = mrtweb::obs::trace::drain();
+    let report = report.map_err(|e| e.to_string())?;
+    eprintln!(
+        "transfer: completed={} rounds={} frames={} corrupted={} — {} trace events",
+        report.completed,
+        report.rounds,
+        report.frames_sent,
+        report.frames_corrupted,
+        trace.events.len()
+    );
+    let jsonl = mrtweb::obs::export::trace_to_jsonl(&trace);
+    if flags.out.is_empty() {
+        print!("{jsonl}");
+    } else {
+        std::fs::write(&flags.out, &jsonl)
+            .map_err(|e| format!("cannot write {}: {e}", flags.out))?;
+        eprintln!("wrote {}", flags.out);
+    }
+    Ok(())
+}
+
+/// Reads and parses a JSONL trace file.
+fn load_trace(path: &str) -> Result<mrtweb::obs::trace::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    mrtweb::obs::export::trace_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Maps a `--fault` preset name to a fault schedule.

@@ -20,6 +20,8 @@
 //! reproduces with `mrtweb faultrun --scenario <name> --seed <s>`; the
 //! scheduler's trace is carried in the report for replay and diagnosis.
 
+use std::sync::{Mutex, PoisonError};
+
 use mrtweb_channel::bandwidth::Bandwidth;
 use mrtweb_channel::fault::{
     apply_fault, render_trace, FaultConfig, FaultEvent, FaultKind, FaultScheduler, ScheduledLoss,
@@ -88,6 +90,9 @@ pub struct ScenarioReport {
     pub failures: Vec<String>,
     /// The concatenated fault traces of every injected layer.
     pub trace: Vec<FaultEvent>,
+    /// The causally-ordered observability timeline recorded during the
+    /// run (empty when the `trace` feature is compiled out).
+    pub timeline: mrtweb_obs::Trace,
 }
 
 impl ScenarioReport {
@@ -115,6 +120,24 @@ impl ScenarioReport {
         if !self.passed() {
             let _ = writeln!(out, "fault trace ({} events):", self.trace.len());
             out.push_str(&render_trace(&self.trace));
+            if !self.timeline.events.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "observability timeline ({} events, causal order):",
+                    self.timeline.events.len()
+                );
+                for e in &self.timeline.events {
+                    let _ = writeln!(
+                        out,
+                        "  {:>14} ns  thread {:>3}  {:<18} a={:<12} b={}",
+                        e.ts,
+                        e.thread,
+                        e.kind.name(),
+                        e.a,
+                        e.b
+                    );
+                }
+            }
             let _ = writeln!(
                 out,
                 "reproduce with: mrtweb faultrun --scenario {} --seed {}",
@@ -157,63 +180,78 @@ impl Harness {
 /// back inside the `Ok` report, never as `Err`.
 pub fn run_scenario(name: &str, seed: u64) -> Result<ScenarioReport, String> {
     let mut h = Harness::new();
-    match name {
-        "clean" => {
-            live_layer(
-                &mut h,
-                &FaultConfig::clean(),
-                seed,
-                CacheMode::Caching,
-                true,
-            );
-            session_layer(&mut h, &FaultConfig::clean(), seed);
-            arq_layer(&mut h, &FaultConfig::clean(), seed);
-            store_layer(&mut h, &FaultConfig::clean(), seed);
-        }
-        "bernoulli" => {
-            let cfg = FaultConfig::corrupting(0.3);
-            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
-            live_layer(&mut h, &cfg, seed, CacheMode::NoCaching, false);
-            session_layer(&mut h, &cfg, seed);
-        }
-        "burst" => {
-            let cfg = FaultConfig::bursty();
-            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
-            store_layer(&mut h, &cfg, seed);
-        }
-        "outage" => {
-            let cfg = FaultConfig::outage_heavy();
-            session_layer(&mut h, &cfg, seed);
-            arq_layer(&mut h, &cfg, seed);
-        }
-        "mixed" => {
-            let cfg = FaultConfig::mixed();
-            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
-            session_layer(&mut h, &cfg, seed);
-        }
-        "garble" => {
-            let cfg = FaultConfig::garbling();
-            live_layer(&mut h, &cfg, seed, CacheMode::Caching, false);
-            store_layer(&mut h, &cfg, seed);
-        }
-        "arq-storm" => {
-            let cfg = FaultConfig::dropping(0.35);
-            arq_layer(&mut h, &cfg, seed);
-            session_layer(&mut h, &cfg, seed);
-        }
-        "store-rot" => {
-            store_layer(&mut h, &FaultConfig::mixed(), seed);
-            store_hardening(&mut h, seed);
-        }
-        other => return Err(format!("unknown scenario {other:?}")),
+    // One scenario records at a time, so each report's timeline holds
+    // exactly its own run's events (the tracer is process-global).
+    let _guard = TIMELINE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let was_tracing = mrtweb_obs::is_enabled();
+    mrtweb_obs::set_enabled(true);
+    if !was_tracing {
+        let _ = mrtweb_obs::drain(); // start from an empty buffer
     }
+    let outcome = drive(name, seed, &mut h);
+    mrtweb_obs::set_enabled(was_tracing);
+    let timeline = mrtweb_obs::drain();
+    outcome?;
     Ok(ScenarioReport {
         scenario: name.to_string(),
         seed,
         checks: h.checks,
         failures: h.failures,
         trace: h.trace,
+        timeline,
     })
+}
+
+/// Serializes scenario runs so concurrent callers (tests) don't drain
+/// each other's trace events.
+static TIMELINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn drive(name: &str, seed: u64, h: &mut Harness) -> Result<(), String> {
+    match name {
+        "clean" => {
+            live_layer(h, &FaultConfig::clean(), seed, CacheMode::Caching, true);
+            session_layer(h, &FaultConfig::clean(), seed);
+            arq_layer(h, &FaultConfig::clean(), seed);
+            store_layer(h, &FaultConfig::clean(), seed);
+        }
+        "bernoulli" => {
+            let cfg = FaultConfig::corrupting(0.3);
+            live_layer(h, &cfg, seed, CacheMode::Caching, false);
+            live_layer(h, &cfg, seed, CacheMode::NoCaching, false);
+            session_layer(h, &cfg, seed);
+        }
+        "burst" => {
+            let cfg = FaultConfig::bursty();
+            live_layer(h, &cfg, seed, CacheMode::Caching, false);
+            store_layer(h, &cfg, seed);
+        }
+        "outage" => {
+            let cfg = FaultConfig::outage_heavy();
+            session_layer(h, &cfg, seed);
+            arq_layer(h, &cfg, seed);
+        }
+        "mixed" => {
+            let cfg = FaultConfig::mixed();
+            live_layer(h, &cfg, seed, CacheMode::Caching, false);
+            session_layer(h, &cfg, seed);
+        }
+        "garble" => {
+            let cfg = FaultConfig::garbling();
+            live_layer(h, &cfg, seed, CacheMode::Caching, false);
+            store_layer(h, &cfg, seed);
+        }
+        "arq-storm" => {
+            let cfg = FaultConfig::dropping(0.35);
+            arq_layer(h, &cfg, seed);
+            session_layer(h, &cfg, seed);
+        }
+        "store-rot" => {
+            store_layer(h, &FaultConfig::mixed(), seed);
+            store_hardening(h, seed);
+        }
+        other => return Err(format!("unknown scenario {other:?}")),
+    }
+    Ok(())
 }
 
 /// Runs every scenario under one seed.
@@ -636,6 +674,28 @@ mod tests {
     #[test]
     fn unknown_scenario_is_an_error() {
         assert!(run_scenario("nope", 1).is_err());
+    }
+
+    #[test]
+    fn faulted_scenarios_capture_an_observability_timeline() {
+        let r = run_scenario("mixed", 1).unwrap();
+        assert!(
+            r.timeline
+                .events
+                .iter()
+                .any(|e| e.kind == mrtweb_obs::EventKind::FaultInjected),
+            "mixed scenario timeline has no fault-injected events ({} total)",
+            r.timeline.events.len()
+        );
+        assert!(
+            r.timeline
+                .events
+                .iter()
+                .any(|e| e.kind == mrtweb_obs::EventKind::RoundSpan),
+            "mixed scenario timeline has no round spans"
+        );
+        // Causal order: timestamps never run backwards.
+        assert!(r.timeline.events.windows(2).all(|w| w[0].ts <= w[1].ts));
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   structural-characteristic caching;
 //! * [`proxy`] — the base-station gateway as a real TCP daemon:
 //!   concurrent sessions over a length-prefixed CRC-checked wire
-//!   protocol, admission control, metrics, and a load generator.
+//!   protocol, admission control, stats, and a load generator;
+//! * [`obs`] — the observability subsystem: a lock-free structured
+//!   event tracer, log-scale latency histograms, and named
+//!   counter/gauge registries, compile-out-able via the `trace`
+//!   feature.
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@ pub use mrtweb_channel as channel;
 pub use mrtweb_content as content;
 pub use mrtweb_docmodel as docmodel;
 pub use mrtweb_erasure as erasure;
+pub use mrtweb_obs as obs;
 pub use mrtweb_proxy as proxy;
 pub use mrtweb_sim as sim;
 pub use mrtweb_store as store;
