@@ -9,16 +9,19 @@
 #
 # Stages, in default order:
 #
-#   fmt          cargo fmt --check
-#   analysis     in-tree lint (panic paths, SAFETY comments, layering)
-#   clippy       pedantic clippy, -D warnings
-#   tier1        release build + default-feature test suite
-#   tests        full workspace test sweep (PROPTEST_CASES honored)
-#   obs-no-trace mrtweb-obs with the `trace` feature off (no-op path)
-#   faults       fault-injection matrix (8 scenarios x seeds)
-#   proxy-smoke  serve + loadgen over loopback -> BENCH_proxy.json
-#   bench        erasure-codec sweep (quick mode) -> BENCH_erasure.json
-#   bench-gate   compare fresh BENCH_*.json against BENCH_BASELINE.json
+#   fmt            cargo fmt --check
+#   analysis       in-tree lint (panic paths, SAFETY comments, layering)
+#   clippy         pedantic clippy, -D warnings
+#   tier1          release build + default-feature test suite
+#   tests          full workspace test sweep (PROPTEST_CASES honored)
+#   obs-no-trace   mrtweb-obs with the `trace` feature off (no-op path)
+#   proxy-fallback mrtweb-proxy with the `event` feature off (blocking
+#                  engine only, unsafe code forbidden crate-wide)
+#   faults         fault-injection matrix (8 scenarios x seeds)
+#   proxy-smoke    event-engine serve + loadgen over loopback,
+#                  closed sweep up to C=1024 -> BENCH_proxy.json
+#   bench          erasure-codec sweep (quick mode) -> BENCH_erasure.json
+#   bench-gate     compare fresh BENCH_*.json against BENCH_BASELINE.json
 #
 # The proxy readiness wait is bounded but configurable: set
 # MRTWEB_PROXY_WAIT_SECS (default 5) on slow runners. The proxy child
@@ -26,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace faults proxy-smoke bench bench-gate"
+ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke bench bench-gate"
 
 run_bench=1
 quick=0
@@ -116,6 +119,11 @@ stage_obs_no_trace() {
   cargo test -q -p mrtweb-obs --no-default-features
 }
 
+stage_proxy_fallback() {
+  echo "==> mrtweb-proxy fallback build (--no-default-features: blocking engine only)"
+  cargo test -q -p mrtweb-proxy --no-default-features
+}
+
 stage_faults() {
   local seeds="1 2 3"
   [ "$quick" -eq 1 ] && seeds="1"
@@ -128,10 +136,11 @@ stage_faults() {
 }
 
 stage_proxy_smoke() {
-  echo "==> proxy smoke: serve + loadgen over loopback -> BENCH_proxy.json"
+  echo "==> proxy smoke: event-engine serve + loadgen over loopback -> BENCH_proxy.json"
   [ -x target/release/mrtweb ] || cargo build --release
   proxy_log="$(mktemp)"
-  target/release/mrtweb serve --addr 127.0.0.1:0 --runtime-secs 90 > "$proxy_log" 2>&1 &
+  target/release/mrtweb serve --addr 127.0.0.1:0 --engine auto \
+    --max-sessions 4096 --runtime-secs 120 > "$proxy_log" 2>&1 &
   proxy_pid=$!
   local wait_secs="${MRTWEB_PROXY_WAIT_SECS:-5}"
   local proxy_addr=""
@@ -148,11 +157,22 @@ stage_proxy_smoke() {
     return 1
   }
   echo "    proxy at $proxy_addr"
+  grep -q "engine event" "$proxy_log" \
+    || echo "    note: event engine unavailable, smoking the blocking fallback"
   timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
     --clients 8 --requests 32 --json | sed "s/^/    /"
+  # Open-loop mode: offered vs attempted rate, coordinated-omission-free
+  # latency. A deliberately modest rate so the stage never flakes.
   timeout 60 target/release/mrtweb loadgen --addr "$proxy_addr" \
-    --sweep 1,8,32 --requests 8 --bench-out BENCH_proxy.json > /dev/null
+    --clients 32 --requests 8 --rate 500 --arrival poisson --json | sed "s/^/    /"
+  timeout 120 target/release/mrtweb loadgen --addr "$proxy_addr" \
+    --sweep 1,8,32,256,1024 --requests 8 --bench-out BENCH_proxy.json > /dev/null
   test -s BENCH_proxy.json || { echo "BENCH_proxy.json missing" >&2; return 1; }
+  # The C=1024 point is the held-concurrency acceptance check: every
+  # session admitted, zero rejected, zero failed.
+  grep -q '"clients": 1024, "mode": "closed", "attempted": 8192, "completed": 8192, "rejected": 0, "failed": 0' \
+    BENCH_proxy.json \
+    || { echo "C=1024 sweep point not clean:" >&2; cat BENCH_proxy.json >&2; return 1; }
   # The stats snapshot must parse and report a clean run: zero CRC
   # rejections, timeouts, and protocol errors across the whole smoke.
   timeout 30 target/release/mrtweb stats --addr "$proxy_addr" --assert-clean | sed "s/^/    /"
@@ -182,6 +202,7 @@ for stage in $stages; do
     tier1) stage_tier1 ;;
     tests) stage_tests ;;
     obs-no-trace) stage_obs_no_trace ;;
+    proxy-fallback) stage_proxy_fallback ;;
     faults) stage_faults ;;
     proxy-smoke) stage_proxy_smoke ;;
     bench) stage_bench ;;

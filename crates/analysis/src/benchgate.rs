@@ -4,12 +4,14 @@
 //! `BENCH_proxy.json`) against the committed `BENCH_BASELINE.json`,
 //! metric by metric, inside direction-aware tolerance bands:
 //!
-//! * **higher is better** — `mib_per_s`, `throughput_rps`, and any
+//! * **higher is better** — `mib_per_s`, `throughput_rps`,
+//!   `max_in_flight` (concurrency actually sustained), and any
 //!   `*speedup*` ratio: the gate fails when the fresh value falls below
 //!   `baseline · (1 − tolerance)`;
 //! * **lower is better** — latency quantiles (`p50_ms`, `p95_ms`,
-//!   `p99_ms`) and overhead percentages (`*_pct`): the gate fails when
-//!   the fresh value rises above `baseline · (1 + tolerance)`.
+//!   `p99_ms`, `p99_9_ms`) and overhead percentages (`*_pct`): the
+//!   gate fails when the fresh value rises above
+//!   `baseline · (1 + tolerance)`.
 //!
 //! The default tolerance is deliberately wide (±50%): shared CI boxes
 //! jitter by tens of percent, and the gate exists to catch order-of-
@@ -248,10 +250,15 @@ pub enum Direction {
 #[must_use]
 pub fn direction_of(key: &str) -> Option<Direction> {
     let leaf = key.rsplit('/').next().unwrap_or(key);
-    if leaf == "mib_per_s" || leaf == "throughput_rps" || leaf.contains("speedup") {
+    if leaf == "mib_per_s"
+        || leaf == "throughput_rps"
+        || leaf == "max_in_flight"
+        || leaf == "max_sessions_in_flight"
+        || leaf.contains("speedup")
+    {
         return Some(Direction::HigherIsBetter);
     }
-    if matches!(leaf, "p50_ms" | "p95_ms" | "p99_ms") || leaf.ends_with("_pct") {
+    if matches!(leaf, "p50_ms" | "p95_ms" | "p99_ms" | "p99_9_ms") || leaf.ends_with("_pct") {
         return Some(Direction::LowerIsBetter);
     }
     None
@@ -671,7 +678,19 @@ mod tests {
             direction_of("erasure/trace_overhead_pct"),
             Some(Direction::LowerIsBetter)
         );
+        assert_eq!(
+            direction_of("proxy/clients=32/p99_9_ms"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("proxy/clients=1024/max_in_flight"),
+            Some(Direction::HigherIsBetter)
+        );
         assert_eq!(direction_of("proxy/clients=8/completed"), None);
         assert_eq!(direction_of("erasure/x/ns_per_iter"), None);
+        // Offered vs attempted rates describe the generator, not the
+        // server; they are configuration, never gated.
+        assert_eq!(direction_of("proxy/clients=8/offered_rps"), None);
+        assert_eq!(direction_of("proxy/clients=8/attempted_rps"), None);
     }
 }

@@ -14,7 +14,8 @@
 //! documents, which is how a server would amortize the cost.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use mrtweb_obs::{emit, EventKind, Span};
 
@@ -29,6 +30,46 @@ use crate::Error;
 /// effectively unbounded in practice while capping worst-case memory at
 /// `512 · M²` bytes.
 const INVERSE_CACHE_CAP: usize = 512;
+
+/// Distinct `(M, N)` shapes retained in the process-wide substrate
+/// registry before it is reset. A gateway serves a handful of shapes
+/// (one per document-size class), so this is effectively unbounded;
+/// the cap only defends against a peer cycling packet sizes to pin
+/// `O(cap · N·M)` matrix memory.
+const SHARED_SUBSTRATE_CAP: usize = 64;
+
+/// The expensive, parameter-determined part of a codec: the systematic
+/// generator and the survivor-keyed decode-inverse cache. Everything in
+/// here depends only on `(M, N)`, so every session with the same shape
+/// can share one copy.
+#[derive(Debug, Clone)]
+struct Substrate {
+    generator: Arc<Matrix>,
+    inverse_cache: Arc<Mutex<HashMap<Vec<u8>, Arc<Matrix>>>>,
+}
+
+fn substrate_registry() -> &'static Mutex<HashMap<(usize, usize), Substrate>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<(usize, usize), Substrate>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Decode-inverse cache hits across every codec in the process.
+static INVERSE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Decode-inverse cache misses across every codec in the process.
+static INVERSE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide decode-inverse cache traffic as `(hits, misses)`.
+///
+/// Counts every [`Codec`] in the process, shared or private. A hit
+/// recorded by one session against an inverse another session paid for
+/// is exactly the cross-session reuse the shared substrate exists to
+/// provide; the proxy mirrors these into its stats snapshot.
+pub fn inverse_cache_counters() -> (u64, u64) {
+    (
+        INVERSE_HITS.load(Ordering::Relaxed),
+        INVERSE_MISSES.load(Ordering::Relaxed),
+    )
+}
 
 /// A configured `(M, N)` information-dispersal codec.
 ///
@@ -52,10 +93,12 @@ pub struct Codec {
     raw: usize,
     cooked: usize,
     packet_size: usize,
-    generator: Matrix,
+    generator: Arc<Matrix>,
     /// Decode inverses keyed by the surviving cooked-index set. Shared
     /// across clones (and therefore across worker threads in the `par`
-    /// layer) so every thread benefits from every inversion.
+    /// layer) so every thread benefits from every inversion. Codecs
+    /// built by [`Codec::shared`] additionally share this cache with
+    /// every other shared codec of the same `(M, N)` shape.
     inverse_cache: Arc<Mutex<HashMap<Vec<u8>, Arc<Matrix>>>>,
 }
 
@@ -74,7 +117,7 @@ impl Codec {
         if packet_size == 0 {
             return Err(Error::ZeroPacketSize);
         }
-        let generator = Matrix::vandermonde(cooked, raw)?.into_systematic()?;
+        let generator = Arc::new(Matrix::vandermonde(cooked, raw)?.into_systematic()?);
         debug_assert!(generator.is_systematic());
         Ok(Codec {
             raw,
@@ -82,6 +125,64 @@ impl Codec {
             packet_size,
             generator,
             inverse_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Like [`Codec::new`], but backed by the process-wide substrate
+    /// registry: the systematic generator is computed once per `(M, N)`
+    /// shape, and the decode-inverse cache is one shared, bounded map
+    /// across every session using that shape.
+    ///
+    /// This is the constructor for concurrent servers and clients — the
+    /// `O(N·M²)` systematic elimination and each `O(M³)` decode
+    /// inversion are paid once per process instead of once per session.
+    /// [`Codec::new`] remains fully private and uncached so benchmarks
+    /// measuring setup cost stay honest.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Codec::new`].
+    pub fn shared(raw: usize, cooked: usize, packet_size: usize) -> Result<Self, Error> {
+        if raw == 0 || cooked < raw || cooked > 256 {
+            return Err(Error::InvalidParameters { raw, cooked });
+        }
+        if packet_size == 0 {
+            return Err(Error::ZeroPacketSize);
+        }
+        let mut registry = substrate_registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(sub) = registry.get(&(raw, cooked)) {
+            let sub = sub.clone();
+            drop(registry);
+            return Ok(Codec {
+                raw,
+                cooked,
+                packet_size,
+                generator: sub.generator,
+                inverse_cache: sub.inverse_cache,
+            });
+        }
+        // First session with this shape pays for the elimination. The
+        // lock is held across it so concurrent first-comers do not race
+        // to duplicate the work; the window is one-time per shape.
+        let generator = Arc::new(Matrix::vandermonde(cooked, raw)?.into_systematic()?);
+        debug_assert!(generator.is_systematic());
+        let sub = Substrate {
+            generator: Arc::clone(&generator),
+            inverse_cache: Arc::new(Mutex::new(HashMap::new())),
+        };
+        if registry.len() >= SHARED_SUBSTRATE_CAP {
+            registry.clear();
+        }
+        registry.insert((raw, cooked), sub.clone());
+        drop(registry);
+        Ok(Codec {
+            raw,
+            cooked,
+            packet_size,
+            generator: sub.generator,
+            inverse_cache: sub.inverse_cache,
         })
     }
 
@@ -406,9 +507,11 @@ impl Codec {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(inv) = cache.get(&key) {
+            INVERSE_HITS.fetch_add(1, Ordering::Relaxed);
             emit(EventKind::CacheHit, self.raw as u64, cache.len() as u64);
             return Ok(Arc::clone(inv));
         }
+        INVERSE_MISSES.fetch_add(1, Ordering::Relaxed);
         emit(EventKind::CacheMiss, self.raw as u64, cache.len() as u64);
         drop(cache); // do not hold the lock across the O(M³) inversion
         let inv = Arc::new(self.generator.select_rows(indices).inverse()?);
@@ -712,5 +815,72 @@ mod tests {
         let groups = chunked.encode(&[]);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len, 0);
+    }
+
+    #[test]
+    fn shared_codecs_share_generator_and_inverse_cache() {
+        // Shapes chosen to be unique to this test so parallel tests
+        // cannot pre-warm them.
+        let a = Codec::shared(7, 13, 16).unwrap();
+        let b = Codec::shared(7, 13, 32).unwrap(); // packet size differs, shape matches
+        assert!(Arc::ptr_eq(&a.generator, &b.generator));
+        assert!(Arc::ptr_eq(&a.inverse_cache, &b.inverse_cache));
+
+        // An inversion paid by `a` is a cache hit for `b` — this is the
+        // cross-session reuse the proxy relies on.
+        let data = sample(7 * 16);
+        let cooked = a.encode(&data);
+        let survivors: Vec<_> = cooked
+            .iter()
+            .enumerate()
+            .skip(6)
+            .map(|(i, p)| (i, p.clone()))
+            .collect();
+        let (_, miss0) = inverse_cache_counters();
+        assert_eq!(a.decode(&survivors, data.len()).unwrap(), data);
+        let (hit1, miss1) = inverse_cache_counters();
+        // Counters are process-global, so other tests may also bump
+        // them concurrently — assert monotonically.
+        assert!(miss1 > miss0);
+        assert_eq!(
+            a.inverse_cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            1
+        );
+        // Same survivor pattern decoded through the *other* codec: the
+        // inversion `a` paid for is a pure hit for `b`.
+        let survivors32: Vec<_> = b
+            .encode(&sample(7 * 32))
+            .into_iter()
+            .enumerate()
+            .skip(6)
+            .collect();
+        assert!(b.decode(&survivors32, 7 * 32).is_ok());
+        let (hit2, _) = inverse_cache_counters();
+        assert!(hit2 > hit1);
+    }
+
+    #[test]
+    fn shared_matches_private_codec_output() {
+        let shared = Codec::shared(5, 9, 8).unwrap();
+        let private = Codec::new(5, 9, 8).unwrap();
+        let data = sample(37);
+        assert_eq!(shared.encode(&data), private.encode(&data));
+        let cooked = shared.encode(&data);
+        let survivors: Vec<_> = cooked.into_iter().enumerate().skip(3).collect();
+        assert_eq!(
+            shared.decode(&survivors, 37).unwrap(),
+            private.decode(&survivors, 37).unwrap()
+        );
+    }
+
+    #[test]
+    fn shared_validates_parameters() {
+        assert!(Codec::shared(0, 1, 4).is_err());
+        assert!(Codec::shared(4, 3, 4).is_err());
+        assert!(Codec::shared(4, 257, 4).is_err());
+        assert!(Codec::shared(4, 8, 0).is_err());
     }
 }

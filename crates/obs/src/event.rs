@@ -52,6 +52,9 @@ pub enum EventKind {
     /// `b` = fault code (1 flip-bit, 2 burst, 3 garble, 4 truncate,
     /// 5 drop, 6 duplicate, 7 reorder, 8 outage).
     FaultInjected = 17,
+    /// One event-loop readiness wait (`epoll_wait`). `a` = duration ns,
+    /// `b` = number of fds reported ready.
+    LoopWait = 18,
 }
 
 impl EventKind {
@@ -74,6 +77,7 @@ impl EventKind {
         EventKind::BudgetExhausted,
         EventKind::RequestSpan,
         EventKind::FaultInjected,
+        EventKind::LoopWait,
     ];
 
     /// Stable kebab-case name used by the JSONL export.
@@ -97,6 +101,7 @@ impl EventKind {
             EventKind::BudgetExhausted => "budget-exhausted",
             EventKind::RequestSpan => "request-span",
             EventKind::FaultInjected => "fault-injected",
+            EventKind::LoopWait => "loop-wait",
         }
     }
 
@@ -109,6 +114,7 @@ impl EventKind {
                 | EventKind::EncodeSpan
                 | EventKind::DecodeSpan
                 | EventKind::RequestSpan
+                | EventKind::LoopWait
         )
     }
 

@@ -167,16 +167,46 @@ pub struct FetchReport {
     pub header: DocumentHeader,
 }
 
-/// Counts wire bytes as messages stream in.
+/// Counts wire bytes as messages stream in, reading the socket in
+/// large chunks: `Message::read_from` issues many small reads (4-byte
+/// prefix, then body), and unbuffered that is two-plus syscalls per
+/// message — measurable at load-generator rates.
 struct Meter<R> {
     inner: R,
     bytes: u64,
+    buf: Vec<u8>,
+    pos: usize,
+    cap: usize,
+}
+
+impl<R: std::io::Read> Meter<R> {
+    fn new(inner: R) -> Self {
+        Meter {
+            inner,
+            bytes: 0,
+            buf: vec![0u8; 16 * 1024],
+            pos: 0,
+            cap: 0,
+        }
+    }
 }
 
 impl<R: std::io::Read> std::io::Read for Meter<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.bytes += n as u64;
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.cap {
+            // Big requests (frame bodies) bypass the buffer entirely.
+            if out.len() >= self.buf.len() {
+                let n = self.inner.read(out)?;
+                self.bytes += n as u64;
+                return Ok(n);
+            }
+            self.cap = self.inner.read(&mut self.buf)?;
+            self.pos = 0;
+            self.bytes += self.cap as u64;
+        }
+        let n = out.len().min(self.cap - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
         Ok(n)
     }
 }
@@ -192,10 +222,7 @@ pub fn fetch(addr: impl ToSocketAddrs, options: &FetchOptions) -> Result<FetchRe
     stream.set_read_timeout(Some(options.io_timeout))?;
     stream.set_write_timeout(Some(options.io_timeout))?;
     stream.set_nodelay(true)?;
-    let mut reader = Meter {
-        inner: stream,
-        bytes: 0,
-    };
+    let mut reader = Meter::new(stream);
 
     Message::Hello(options.hello()).write_to(&mut reader.inner)?;
     let header = match Message::read_from(&mut reader)? {

@@ -13,6 +13,15 @@
 //!   state, admission control (max sessions, bounded accept queue,
 //!   per-session frame budget), read/write timeouts, optional
 //!   fault-injected last hop, and clean shutdown.
+//! - [`event`] (Linux, feature `event`, on by default) — the
+//!   event-driven engine: a dedicated acceptor distributing
+//!   connections across sharded epoll readiness loops, one
+//!   nonblocking session state machine per connection, bounded
+//!   write-backpressured output buffers. Same wire protocol, same
+//!   admission and fault semantics, same observability events — it
+//!   exists to break the thread-pool's throughput ceiling.
+//! - [`sys`] — the libc-free epoll/eventfd syscall shim the event
+//!   engine stands on.
 //! - [`client`] — a blocking fetch that drives
 //!   [`mrtweb_transport::live::LiveClient`] over the socket, with
 //!   early stop at a content threshold or target resolution.
@@ -27,11 +36,19 @@
 //! hop is the optional fault injector mangling inner transport frames,
 //! which the transport CRC-16 catches exactly as in the simulator.
 
-#![forbid(unsafe_code)]
+// The only unsafe in this crate is the epoll syscall shim in `sys`;
+// every other module stays unsafe-free, and the blocking-fallback
+// build proves it crate-wide.
+#![cfg_attr(not(all(target_os = "linux", feature = "event")), forbid(unsafe_code))]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(all(target_os = "linux", feature = "event"))]
+pub mod event;
 pub mod loadgen;
 pub mod server;
 pub mod stats;
+#[cfg(all(target_os = "linux", feature = "event"))]
+pub mod sys;
 pub mod wire;

@@ -1,25 +1,79 @@
-//! Closed-loop load generator: K concurrent clients, R requests each.
+//! Load generator: closed-loop and open-loop arrival modes.
 //!
-//! Each worker thread runs [`crate::client::fetch`] back to back and
-//! records per-request wall-clock latency. The aggregate report gives
-//! throughput and latency percentiles (p50/p95/p99) — the numbers the
-//! paper's base-station sizing discussion turns on — and renders as
-//! JSON for `BENCH_proxy.json`.
+//! Each worker thread runs [`crate::client::fetch`] and records
+//! per-request latency. Two arrival disciplines are supported:
+//!
+//! * **Closed loop** — each client issues its next request the moment
+//!   the previous one finishes. This measures sustained system
+//!   throughput, but its latency numbers carry *coordinated omission*
+//!   bias: a slow server slows the arrival process itself, so the
+//!   percentiles never see the queueing a real open population would
+//!   suffer.
+//! * **Open loop** — arrivals follow a precomputed schedule at a target
+//!   rate (fixed-interval or Poisson), independent of completions.
+//!   Latency is measured from the *scheduled* arrival, so time spent
+//!   waiting for a free client slot counts against the server, and the
+//!   report separates **offered** rps (the schedule) from **attempted**
+//!   rps (what the generator actually achieved). When the generator
+//!   itself cannot keep up, the run is flagged
+//!   [`LoadReport::generator_limited`] rather than silently reporting
+//!   the shortfall as server throughput.
+//!
+//! The aggregate report gives throughput and latency percentiles
+//! (p50/p95/p99/p99.9) — the numbers the paper's base-station sizing
+//! discussion turns on — and renders as JSON for `BENCH_proxy.json`.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::client::{fetch, FetchError, FetchOptions};
 
+/// How request arrivals are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// Closed loop: the next request starts when the previous one
+    /// finishes.
+    Closed,
+    /// Open loop with evenly spaced arrivals.
+    OpenFixed {
+        /// Target offered load, requests per second.
+        rps: f64,
+    },
+    /// Open loop with exponential (Poisson-process) interarrival
+    /// times, deterministic in `seed`.
+    OpenPoisson {
+        /// Target offered load (mean), requests per second.
+        rps: f64,
+        /// Schedule seed.
+        seed: u64,
+    },
+}
+
+impl ArrivalMode {
+    /// Stable name used in the JSON report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalMode::Closed => "closed",
+            ArrivalMode::OpenFixed { .. } => "open-fixed",
+            ArrivalMode::OpenPoisson { .. } => "open-poisson",
+        }
+    }
+}
+
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
-    /// Concurrent client threads.
+    /// Concurrent client threads (open loop: the slot pool arrivals
+    /// are served from).
     pub clients: usize,
-    /// Requests per client.
+    /// Requests per client (total arrivals = clients × requests in
+    /// every mode).
     pub requests: usize,
+    /// Arrival discipline.
+    pub mode: ArrivalMode,
     /// The fetch every request performs.
     pub options: FetchOptions,
 }
@@ -29,6 +83,8 @@ pub struct LoadConfig {
 pub struct LoadReport {
     /// Concurrent client threads.
     pub clients: usize,
+    /// Arrival discipline name (`closed`, `open-fixed`, `open-poisson`).
+    pub mode: &'static str,
     /// Requests attempted (clients × requests).
     pub attempted: usize,
     /// Requests that reconstructed the document.
@@ -41,12 +97,26 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Completed requests per second.
     pub throughput: f64,
+    /// Scheduled arrival rate (open loop); equals `attempted_rps` in
+    /// closed loop, where the schedule *is* the completions.
+    pub offered_rps: f64,
+    /// Arrivals the generator actually issued per second.
+    pub attempted_rps: f64,
+    /// Whether the generator, not the server, bounded the run: a
+    /// meaningful fraction of open-loop arrivals started late because
+    /// no client slot was free. Throughput from a flagged run
+    /// understates the server.
+    pub generator_limited: bool,
     /// Median latency of completed requests.
     pub p50: Duration,
     /// 95th-percentile latency.
     pub p95: Duration,
     /// 99th-percentile latency.
     pub p99: Duration,
+    /// 99.9th-percentile latency.
+    pub p99_9: Duration,
+    /// Most requests this generator had in flight at once.
+    pub max_in_flight: u64,
     /// Total wire bytes received across all requests.
     pub bytes_received: u64,
 }
@@ -55,19 +125,28 @@ impl LoadReport {
     /// Renders the report as a single JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"clients\": {}, \"attempted\": {}, \"completed\": {}, \"rejected\": {}, \
-             \"failed\": {}, \"elapsed_ms\": {:.3}, \"throughput_rps\": {:.3}, \
-             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"bytes_received\": {}}}",
+            "{{\"clients\": {}, \"mode\": \"{}\", \"attempted\": {}, \"completed\": {}, \
+             \"rejected\": {}, \"failed\": {}, \"elapsed_ms\": {:.3}, \
+             \"throughput_rps\": {:.3}, \"offered_rps\": {:.3}, \"attempted_rps\": {:.3}, \
+             \"generator_limited\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"p99_9_ms\": {:.3}, \"max_in_flight\": {}, \
+             \"bytes_received\": {}}}",
             self.clients,
+            self.mode,
             self.attempted,
             self.completed,
             self.rejected,
             self.failed,
             self.elapsed.as_secs_f64() * 1e3,
             self.throughput,
+            self.offered_rps,
+            self.attempted_rps,
+            self.generator_limited,
             self.p50.as_secs_f64() * 1e3,
             self.p95.as_secs_f64() * 1e3,
             self.p99.as_secs_f64() * 1e3,
+            self.p99_9.as_secs_f64() * 1e3,
+            self.max_in_flight,
             self.bytes_received,
         )
     }
@@ -84,27 +163,95 @@ pub fn percentile(samples: &mut [Duration], q: f64) -> Duration {
     samples[rank.clamp(1, samples.len()) - 1]
 }
 
-/// Runs the closed loop against a proxy at `addr`.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Precomputed arrival offsets from run start, one per request.
+/// `None` in closed loop, where arrivals are completion-driven.
+fn build_schedule(mode: ArrivalMode, total: usize) -> Option<Vec<Duration>> {
+    match mode {
+        ArrivalMode::Closed => None,
+        ArrivalMode::OpenFixed { rps } => {
+            let rate = rps.max(1e-9);
+            Some(
+                (0..total)
+                    .map(|i| Duration::from_secs_f64(i as f64 / rate))
+                    .collect(),
+            )
+        }
+        ArrivalMode::OpenPoisson { rps, seed } => {
+            let rate = rps.max(1e-9);
+            let mut state = seed;
+            let mut at = 0.0f64;
+            Some(
+                (0..total)
+                    .map(|_| {
+                        let here = at;
+                        // Inverse-CDF exponential draw on the top 53
+                        // bits (uniform in [0, 1)).
+                        let uni = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                        at += -(1.0 - uni).ln() / rate;
+                        Duration::from_secs_f64(here)
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Runs one load-generation pass against a proxy at `addr`.
 pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let total = config.clients.max(1) * config.requests;
+    let schedule = build_schedule(config.mode, total);
+    // Lateness grace: one mean interarrival. Arrivals starting later
+    // than this behind schedule mean every client slot was busy.
+    let (offered_rps, grace) = match config.mode {
+        ArrivalMode::Closed => (0.0, Duration::ZERO),
+        ArrivalMode::OpenFixed { rps } | ArrivalMode::OpenPoisson { rps, .. } => {
+            (rps, Duration::from_secs_f64(1.0 / rps.max(1e-9)))
+        }
+    };
+
     let completed = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let bytes = AtomicU64::new(0);
+    let late_starts = AtomicU64::new(0);
+    let in_flight = AtomicU64::new(0);
+    let hwm_in_flight = AtomicU64::new(0);
+    let next_arrival = AtomicUsize::new(0);
     let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
 
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..config.clients {
+        for _ in 0..config.clients.max(1) {
             scope.spawn(|| {
                 let mut local = Vec::with_capacity(config.requests);
-                for _ in 0..config.requests {
+                let mut fetch_once = |scheduled: Option<Duration>| {
+                    let flying = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                    hwm_in_flight.fetch_max(flying, Ordering::Relaxed);
                     let begin = Instant::now();
-                    match fetch(addr, &config.options) {
+                    let outcome = fetch(addr, &config.options);
+                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                    match outcome {
                         Ok(report) => {
                             bytes.fetch_add(report.bytes_received, Ordering::Relaxed);
                             if report.completed || report.stopped_early {
                                 completed.fetch_add(1, Ordering::Relaxed);
-                                local.push(begin.elapsed());
+                                // Open loop: latency runs from the
+                                // *scheduled* arrival, so slot-wait
+                                // queueing counts (no coordinated
+                                // omission).
+                                let latency = match scheduled {
+                                    Some(due) => start.elapsed().saturating_sub(due),
+                                    None => begin.elapsed(),
+                                };
+                                local.push(latency);
                             } else {
                                 failed.fetch_add(1, Ordering::Relaxed);
                             }
@@ -116,6 +263,24 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                             failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                };
+                match &schedule {
+                    None => {
+                        for _ in 0..config.requests {
+                            fetch_once(None);
+                        }
+                    }
+                    Some(schedule) => loop {
+                        let i = next_arrival.fetch_add(1, Ordering::Relaxed);
+                        let Some(&due) = schedule.get(i) else { break };
+                        let now = start.elapsed();
+                        if let Some(wait) = due.checked_sub(now) {
+                            std::thread::sleep(wait);
+                        } else if now.saturating_sub(due) > grace {
+                            late_starts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        fetch_once(Some(due));
+                    },
                 }
                 let mut all = latencies
                     .lock()
@@ -130,21 +295,37 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let completed = completed.into_inner() as usize;
+    let secs = elapsed.as_secs_f64();
+    let attempted_rps = if secs > 0.0 { total as f64 / secs } else { 0.0 };
+    let late = late_starts.into_inner();
     LoadReport {
         clients: config.clients,
-        attempted: config.clients * config.requests,
+        mode: config.mode.name(),
+        attempted: total,
         completed,
         rejected: rejected.into_inner() as usize,
         failed: failed.into_inner() as usize,
         elapsed,
-        throughput: if elapsed.as_secs_f64() > 0.0 {
-            completed as f64 / elapsed.as_secs_f64()
+        throughput: if secs > 0.0 {
+            completed as f64 / secs
         } else {
             0.0
         },
+        offered_rps: if offered_rps > 0.0 {
+            offered_rps
+        } else {
+            attempted_rps
+        },
+        attempted_rps,
+        // More than 5% of arrivals found no free slot within one mean
+        // interarrival: the generator, not the server, was the
+        // bottleneck.
+        generator_limited: schedule.is_some() && late * 20 > total as u64,
         p50: percentile(&mut samples, 50.0),
         p95: percentile(&mut samples, 95.0),
         p99: percentile(&mut samples, 99.0),
+        p99_9: percentile(&mut samples, 99.9),
+        max_in_flight: hwm_in_flight.into_inner(),
         bytes_received: bytes.into_inner(),
     }
 }
@@ -155,6 +336,7 @@ pub fn sweep(
     addr: SocketAddr,
     counts: &[usize],
     requests: usize,
+    mode: ArrivalMode,
     options: &FetchOptions,
 ) -> (Vec<LoadReport>, String) {
     let mut reports = Vec::with_capacity(counts.len());
@@ -164,6 +346,7 @@ pub fn sweep(
             &LoadConfig {
                 clients,
                 requests,
+                mode,
                 options: options.clone(),
             },
         ));
@@ -196,36 +379,97 @@ mod tests {
     }
 
     #[test]
+    fn fixed_schedule_is_evenly_spaced() {
+        let sched = build_schedule(ArrivalMode::OpenFixed { rps: 100.0 }, 5).unwrap();
+        assert_eq!(sched.len(), 5);
+        assert_eq!(sched[0], Duration::ZERO);
+        for (i, &at) in sched.iter().enumerate() {
+            let want = Duration::from_secs_f64(i as f64 * 0.01);
+            let diff = at.abs_diff(want);
+            assert!(diff < Duration::from_micros(1), "slot {i}: {at:?}");
+        }
+        assert!(build_schedule(ArrivalMode::Closed, 5).is_none());
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_near_rate() {
+        let a = build_schedule(
+            ArrivalMode::OpenPoisson {
+                rps: 1000.0,
+                seed: 42,
+            },
+            2000,
+        )
+        .unwrap();
+        let b = build_schedule(
+            ArrivalMode::OpenPoisson {
+                rps: 1000.0,
+                seed: 42,
+            },
+            2000,
+        )
+        .unwrap();
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = build_schedule(
+            ArrivalMode::OpenPoisson {
+                rps: 1000.0,
+                seed: 43,
+            },
+            2000,
+        )
+        .unwrap();
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "monotone arrivals");
+        // 2000 arrivals at 1000/s: the span concentrates near 2s.
+        let span = a.last().unwrap().as_secs_f64();
+        assert!((1.5..2.5).contains(&span), "span {span}");
+    }
+
+    #[test]
     fn report_json_has_the_expected_keys() {
         let report = LoadReport {
             clients: 8,
+            mode: "open-poisson",
             attempted: 64,
             completed: 64,
             rejected: 0,
             failed: 0,
             elapsed: Duration::from_millis(1234),
             throughput: 51.86,
+            offered_rps: 60.0,
+            attempted_rps: 51.9,
+            generator_limited: false,
             p50: Duration::from_millis(10),
             p95: Duration::from_millis(20),
             p99: Duration::from_millis(30),
+            p99_9: Duration::from_millis(40),
+            max_in_flight: 8,
             bytes_received: 1 << 20,
         };
         let json = report.to_json();
         for key in [
             "clients",
+            "mode",
             "attempted",
             "completed",
             "rejected",
             "failed",
             "elapsed_ms",
             "throughput_rps",
+            "offered_rps",
+            "attempted_rps",
+            "generator_limited",
             "p50_ms",
             "p95_ms",
             "p99_ms",
+            "p99_9_ms",
+            "max_in_flight",
             "bytes_received",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "{key} missing");
         }
         assert!(json.contains("\"clients\": 8"));
+        assert!(json.contains("\"mode\": \"open-poisson\""));
+        assert!(json.contains("\"generator_limited\": false"));
     }
 }

@@ -262,6 +262,117 @@ impl Server {
     }
 }
 
+/// Object-safe face shared by both serving engines, so callers (CLI,
+/// load generator, tests, CI) switch engines with a flag instead of a
+/// type.
+pub trait ProxyServer: Send {
+    /// The bound address (resolves ephemeral ports).
+    fn local_addr(&self) -> SocketAddr;
+    /// A live stats snapshot.
+    fn stats(&self) -> RegistrySnapshot;
+    /// Stops the daemon and returns the final stats.
+    fn shutdown(self: Box<Self>) -> RegistrySnapshot;
+}
+
+impl ProxyServer for Server {
+    fn local_addr(&self) -> SocketAddr {
+        Server::local_addr(self)
+    }
+
+    fn stats(&self) -> RegistrySnapshot {
+        Server::stats(self)
+    }
+
+    fn shutdown(self: Box<Self>) -> RegistrySnapshot {
+        Server::shutdown(*self)
+    }
+}
+
+#[cfg(all(target_os = "linux", feature = "event"))]
+impl ProxyServer for crate::event::EventServer {
+    fn local_addr(&self) -> SocketAddr {
+        crate::event::EventServer::local_addr(self)
+    }
+
+    fn stats(&self) -> RegistrySnapshot {
+        crate::event::EventServer::stats(self)
+    }
+
+    fn shutdown(self: Box<Self>) -> RegistrySnapshot {
+        crate::event::EventServer::shutdown(*self)
+    }
+}
+
+/// Which serving engine [`bind_engine`] starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The event engine where the build supports it, else blocking.
+    #[default]
+    Auto,
+    /// The epoll readiness-loop engine (Linux, feature `event`);
+    /// binding fails elsewhere.
+    Event,
+    /// The thread-pool engine, available on every build.
+    Blocking,
+}
+
+impl Engine {
+    /// Parses a CLI engine name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "auto" => Some(Engine::Auto),
+            "event" => Some(Engine::Event),
+            "blocking" => Some(Engine::Blocking),
+            _ => None,
+        }
+    }
+
+    /// The engine that actually runs on this build (resolves `Auto`).
+    #[must_use]
+    pub fn resolved(self) -> &'static str {
+        match self {
+            Engine::Blocking => "blocking",
+            Engine::Event => "event",
+            Engine::Auto => {
+                if cfg!(all(target_os = "linux", feature = "event")) {
+                    "event"
+                } else {
+                    "blocking"
+                }
+            }
+        }
+    }
+}
+
+/// Binds the chosen engine behind the [`ProxyServer`] face.
+///
+/// # Errors
+///
+/// Socket/epoll setup failures, and `Unsupported` when [`Engine::Event`]
+/// is demanded on a build without the event engine.
+pub fn bind_engine(
+    addr: &str,
+    gateway: Gateway,
+    config: ServerConfig,
+    engine: Engine,
+) -> std::io::Result<Box<dyn ProxyServer>> {
+    match engine {
+        Engine::Blocking => Ok(Box::new(Server::bind(addr, gateway, config)?)),
+        #[cfg(all(target_os = "linux", feature = "event"))]
+        Engine::Auto | Engine::Event => Ok(Box::new(crate::event::EventServer::bind(
+            addr, gateway, config,
+        )?)),
+        #[cfg(not(all(target_os = "linux", feature = "event")))]
+        Engine::Auto => Ok(Box::new(Server::bind(addr, gateway, config)?)),
+        #[cfg(not(all(target_os = "linux", feature = "event")))]
+        Engine::Event => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "event engine requires Linux and the `event` feature",
+        )),
+    }
+}
+
 /// Accepts until shut down, applying admission control.
 fn accept_loop(
     listener: &TcpListener,
@@ -288,7 +399,8 @@ fn accept_loop(
         next_session_id += 1;
 
         // Admission: reserve a session slot, or refuse loudly.
-        if admitted.fetch_add(1, Ordering::SeqCst) >= max_sessions {
+        let prior = admitted.fetch_add(1, Ordering::SeqCst);
+        if prior >= max_sessions {
             admitted.fetch_sub(1, Ordering::SeqCst);
             reject(
                 stream,
@@ -300,6 +412,7 @@ fn accept_loop(
             );
             continue;
         }
+        stats.note_in_flight(prior + 1);
         if let Err((stream, _)) = queue.try_push((stream, session_id)) {
             admitted.fetch_sub(1, Ordering::SeqCst);
             reject(
@@ -316,8 +429,9 @@ fn accept_loop(
 
 /// Tells a refused client why, then hangs up. `reason` follows the
 /// [`EventKind::AdmissionReject`] schema (0 = session slots full,
-/// 1 = accept queue full).
-fn reject(
+/// 1 = accept queue full). Shared with the event engine, which applies
+/// identical admission semantics.
+pub(crate) fn reject(
     mut stream: TcpStream,
     write_timeout: Duration,
     stats: &ProxyStats,
@@ -335,8 +449,10 @@ fn reject(
     let _ = msg.write_to(&mut stream);
 }
 
-/// How one session ended, for counter bookkeeping.
-enum SessionEnd {
+/// How one session ended, for counter bookkeeping. Both engines map
+/// ends to identical counters and trace codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionEnd {
     /// Client sent DONE (or the metrics exchange finished).
     Completed,
     /// The peer violated the protocol (bad HELLO, unknown control,
@@ -628,7 +744,7 @@ fn session_body(
 /// books the counter; returns the new watermark. The channel layer
 /// stays deterministic and obs-free — the proxy polls its replay trace
 /// instead.
-fn book_faults<L: mrtweb_channel::loss::LossModel>(
+pub(crate) fn book_faults<L: mrtweb_channel::loss::LossModel>(
     faulty: &FaultyLink<L>,
     seen: usize,
     stats: &ProxyStats,
@@ -646,8 +762,13 @@ fn book_faults<L: mrtweb_channel::loss::LossModel>(
 }
 
 /// HELLO → prepared [`LiveServer`], with gateway failures mapped to
-/// wire error codes.
-fn prepare(gateway: &Gateway, hello: &Hello) -> Result<LiveServer, (ErrorCode, String)> {
+/// wire error codes. Served through the gateway's shared cache:
+/// concurrent and repeat sessions for one request shape replay a
+/// single encode.
+pub(crate) fn prepare(
+    gateway: &Gateway,
+    hello: &Hello,
+) -> Result<Arc<LiveServer>, (ErrorCode, String)> {
     let request = Request::from_options(
         &hello.url,
         &hello.query,
@@ -657,7 +778,7 @@ fn prepare(gateway: &Gateway, hello: &Hello) -> Result<LiveServer, (ErrorCode, S
         hello.gamma,
     )
     .map_err(|e| (ErrorCode::BadRequest, format!("{e}")))?;
-    gateway.prepare(&request).map_err(|e| match e {
+    gateway.prepare_shared(&request).map_err(|e| match e {
         GatewayError::NotFound(_) => (ErrorCode::NotFound, format!("{e}")),
         GatewayError::BadRequest(_) | GatewayError::Encoding(_) => {
             (ErrorCode::BadRequest, format!("{e}"))

@@ -8,6 +8,7 @@
 //! caches the hot handles so the serving path still pays one relaxed
 //! `fetch_add` per event, exactly like before.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mrtweb_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
@@ -36,6 +37,20 @@ pub const TIMEOUTS: &str = "timeouts";
 pub const FAULTS_INJECTED: &str = "faults_injected";
 /// Per-session wall time, handshake to teardown, in nanoseconds.
 pub const REQUEST_LATENCY_NS: &str = "request_latency_ns";
+/// Time each event loop spent blocked in `epoll_wait`, in nanoseconds
+/// (event engine only; the idle-time mirror of serving CPU).
+pub const LOOP_WAIT_NS: &str = "loop_wait_ns";
+/// High-water mark of concurrently admitted sessions (gauge).
+pub const MAX_SESSIONS_IN_FLIGHT: &str = "max_sessions_in_flight";
+/// High-water mark of one session's output buffer in bytes (gauge;
+/// bounded by the backpressure cap plus one envelope).
+pub const OUTBUF_HWM_BYTES: &str = "outbuf_hwm_bytes";
+/// Process-wide decode-inverse cache hits (gauge mirrored from the
+/// shared erasure substrate at snapshot time).
+pub const DECODE_CACHE_HITS: &str = "decode_cache_hits";
+/// Process-wide decode-inverse cache misses (gauge mirrored from the
+/// shared erasure substrate at snapshot time).
+pub const DECODE_CACHE_MISSES: &str = "decode_cache_misses";
 
 /// Live server statistics: an obs [`Registry`] plus cached handles for
 /// every counter the serving path touches.
@@ -66,6 +81,18 @@ pub struct ProxyStats {
     pub faults_injected: Arc<Counter>,
     /// Per-session latency samples (nanoseconds).
     pub request_latency: Arc<Histogram>,
+    /// Event-loop readiness-wait samples (nanoseconds).
+    pub loop_wait: Arc<Histogram>,
+    /// High-water mark of admitted sessions; written via
+    /// [`ProxyStats::note_in_flight`], published at snapshot time.
+    hwm_in_flight: AtomicU64,
+    /// High-water mark of a session output buffer; written via
+    /// [`ProxyStats::note_outbuf`], published at snapshot time.
+    hwm_outbuf: AtomicU64,
+    max_in_flight_gauge: Arc<Gauge>,
+    outbuf_hwm_gauge: Arc<Gauge>,
+    decode_hits_gauge: Arc<Gauge>,
+    decode_misses_gauge: Arc<Gauge>,
 }
 
 impl Default for ProxyStats {
@@ -92,14 +119,44 @@ impl ProxyStats {
             timeouts: registry.counter(TIMEOUTS),
             faults_injected: registry.counter(FAULTS_INJECTED),
             request_latency: registry.histogram(REQUEST_LATENCY_NS),
+            loop_wait: registry.histogram(LOOP_WAIT_NS),
+            hwm_in_flight: AtomicU64::new(0),
+            hwm_outbuf: AtomicU64::new(0),
+            max_in_flight_gauge: registry.gauge(MAX_SESSIONS_IN_FLIGHT),
+            outbuf_hwm_gauge: registry.gauge(OUTBUF_HWM_BYTES),
+            decode_hits_gauge: registry.gauge(DECODE_CACHE_HITS),
+            decode_misses_gauge: registry.gauge(DECODE_CACHE_MISSES),
             registry,
         }
     }
 
+    /// Records the current number of admitted sessions, keeping the
+    /// high-water mark.
+    pub fn note_in_flight(&self, current: u64) {
+        self.hwm_in_flight.fetch_max(current, Ordering::Relaxed);
+    }
+
+    /// Records one session's output-buffer occupancy, keeping the
+    /// high-water mark. Proves backpressure: the published gauge stays
+    /// bounded by the per-session cap plus one envelope.
+    pub fn note_outbuf(&self, bytes: u64) {
+        self.hwm_outbuf.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every metric (the payload of the wire
-    /// stats endpoint and the CLI `stats` verb).
+    /// stats endpoint and the CLI `stats` verb). High-water marks and
+    /// the process-wide decode-cache counters are published into their
+    /// gauges here, so every snapshot — local or over the wire — sees
+    /// them.
     #[must_use]
     pub fn snapshot(&self) -> RegistrySnapshot {
+        self.max_in_flight_gauge
+            .set(self.hwm_in_flight.load(Ordering::Relaxed).cast_signed());
+        self.outbuf_hwm_gauge
+            .set(self.hwm_outbuf.load(Ordering::Relaxed).cast_signed());
+        let (hits, misses) = mrtweb_erasure::ida::inverse_cache_counters();
+        self.decode_hits_gauge.set(hits.cast_signed());
+        self.decode_misses_gauge.set(misses.cast_signed());
         self.registry.snapshot()
     }
 }
@@ -132,6 +189,29 @@ mod tests {
         assert!(is_clean(&snap));
         s.timeouts.inc();
         assert!(!is_clean(&s.snapshot()));
+    }
+
+    #[test]
+    fn high_water_marks_publish_at_snapshot() {
+        let s = ProxyStats::new();
+        s.note_in_flight(3);
+        s.note_in_flight(9);
+        s.note_in_flight(5); // lower sample never regresses the mark
+        s.note_outbuf(70_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.gauge(MAX_SESSIONS_IN_FLIGHT), 9);
+        assert_eq!(snap.gauge(OUTBUF_HWM_BYTES), 70_000);
+    }
+
+    #[test]
+    fn decode_cache_gauges_mirror_the_shared_substrate() {
+        let s = ProxyStats::new();
+        let snap = s.snapshot();
+        let (hits, misses) = mrtweb_erasure::ida::inverse_cache_counters();
+        // Other tests decode concurrently, so assert consistency, not
+        // exact values: the snapshot can only lag the live counters.
+        assert!(snap.gauge(DECODE_CACHE_HITS) <= hits.cast_signed());
+        assert!(snap.gauge(DECODE_CACHE_MISSES) <= misses.cast_signed());
     }
 
     #[test]

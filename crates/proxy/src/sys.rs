@@ -1,0 +1,314 @@
+//! Libc-free Linux syscall shim for the event-driven server.
+//!
+//! The event engine needs exactly two kernel facilities std does not
+//! expose: **epoll** (scalable readiness notification) and **eventfd**
+//! (a cheap cross-thread wakeup the acceptor uses to nudge worker
+//! loops). Rather than pull in a dependency, this module declares the
+//! four C runtime entry points directly — std already links the C
+//! runtime, so the symbols are always present — and wraps them in safe
+//! RAII types ([`Epoll`], [`WakeFd`]) built on [`OwnedFd`].
+//!
+//! Everything `unsafe` in the proxy crate lives in this file, each
+//! block with a SAFETY argument; the rest of the crate is forbidden
+//! from using `unsafe` at all on the fallback build.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readiness: the fd has bytes to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup: both directions closed (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half (half-open connection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs
+/// it to 4-byte alignment (a 32-bit legacy); other architectures use
+/// natural alignment. Getting this wrong corrupts the event array, so
+/// the layout mirrors the uapi definition exactly.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct RawEpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut RawEpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// One readiness event: the token registered for the fd and the
+/// `EPOLL*` mask the kernel reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    /// Caller-chosen token identifying the registration.
+    pub token: u64,
+    /// Bitwise OR of ready `EPOLL*` conditions.
+    pub mask: u32,
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error if the kernel refuses (fd exhaustion).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 reads no caller memory; it returns a
+        // new fd or -1, checked before use.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, valid descriptor that
+        // nothing else owns; OwnedFd takes sole responsibility for
+        // closing it.
+        let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        let mut ev = RawEpollEvent {
+            events: mask,
+            data: token,
+        };
+        // SAFETY: `ev` is a live, properly-laid-out epoll_event for
+        // the duration of the call; the kernel only reads it. Both fds
+        // are valid (self.fd is owned, `fd` is the caller's open
+        // socket).
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &raw mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for the conditions in `mask`, reported with
+    /// `token`.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error (e.g. the fd is already registered).
+    pub fn add(&self, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, mask, token)
+    }
+
+    /// Changes the interest mask of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error (e.g. the fd was never registered).
+    pub fn modify(&self, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, mask, token)
+    }
+
+    /// Removes `fd` from the interest set. Harmless if the fd is
+    /// already gone (closing an fd deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`-1` blocks indefinitely), filling `out` with the ready
+    /// set. A signal interruption or timeout yields an empty `out`.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error for genuine failures (never `EINTR`).
+    pub fn wait(&self, out: &mut Vec<Readiness>, timeout_ms: i32) -> io::Result<()> {
+        const CAPACITY: usize = 256;
+        const CAPACITY_I32: i32 = 256;
+        let mut events = [RawEpollEvent { events: 0, data: 0 }; CAPACITY];
+        // SAFETY: `events` outlives the call and holds CAPACITY
+        // properly-laid-out entries; maxevents matches, so the kernel
+        // writes only within bounds.
+        let n = unsafe {
+            epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                CAPACITY_I32,
+                timeout_ms,
+            )
+        };
+        out.clear();
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for ev in events.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let RawEpollEvent { events, data } = *ev;
+            out.push(Readiness {
+                token: data,
+                mask: events,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An owned eventfd used as a cross-thread wakeup: any thread calls
+/// [`WakeFd::wake`], and the event loop polling the fd sees `EPOLLIN`.
+#[derive(Debug)]
+pub struct WakeFd {
+    fd: OwnedFd,
+}
+
+impl WakeFd {
+    /// Creates a nonblocking eventfd (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error if the kernel refuses.
+    pub fn new() -> io::Result<WakeFd> {
+        // SAFETY: eventfd reads no caller memory; it returns a new fd
+        // or -1, checked before use.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, valid descriptor that
+        // nothing else owns.
+        let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+        Ok(WakeFd { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Signals the fd: the next `epoll_wait` on it reports `EPOLLIN`.
+    /// Best-effort; an error (counter at `u64::MAX − 1`) is ignored
+    /// because a saturated counter is already a pending wakeup.
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        // SAFETY: `one` is 8 valid bytes for the duration of the call
+        // and the fd is an open eventfd owned by self.
+        let _ = unsafe { write(self.fd.as_raw_fd(), one.as_ptr(), one.len()) };
+    }
+
+    /// Consumes all pending wakeups so the fd stops reporting readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: `buf` is 8 writable bytes for the duration of the
+        // call and the fd is an open eventfd owned by self. One read
+        // resets the counter to zero (non-semaphore eventfd).
+        let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn wakefd_round_trip_through_epoll() {
+        let ep = Epoll::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        ep.add(wake.raw(), EPOLLIN, 7).unwrap();
+
+        let mut ready = Vec::new();
+        ep.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty(), "no wakeup pending yet");
+
+        wake.wake();
+        ep.wait(&mut ready, 1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].token, 7);
+        assert_ne!(ready[0].mask & EPOLLIN, 0);
+
+        wake.drain();
+        ep.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty(), "drained fd is no longer readable");
+    }
+
+    #[test]
+    fn socket_readability_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(rx.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        let mut ready = Vec::new();
+        ep.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty());
+
+        tx.write_all(b"ping").unwrap();
+        tx.flush().unwrap();
+        ep.wait(&mut ready, 1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].token, 42);
+        assert_ne!(ready[0].mask & EPOLLIN, 0);
+
+        // A socket with kernel buffer space is write-ready.
+        ep.modify(rx.as_raw_fd(), EPOLLOUT, 43).unwrap();
+        ep.wait(&mut ready, 1000).unwrap();
+        assert_eq!(ready[0].token, 43);
+        assert_ne!(ready[0].mask & EPOLLOUT, 0);
+
+        ep.delete(rx.as_raw_fd());
+        ep.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty(), "deleted fd reports nothing");
+
+        let mut rx = rx;
+        let mut buf = [0u8; 4];
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(rx.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 1).unwrap();
+        drop(tx);
+
+        let mut ready = Vec::new();
+        ep.wait(&mut ready, 1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_ne!(
+            ready[0].mask & (EPOLLRDHUP | EPOLLHUP | EPOLLIN),
+            0,
+            "closed peer must surface via rdhup/hup/in, got {:#x}",
+            ready[0].mask
+        );
+    }
+}

@@ -463,54 +463,64 @@ fn read_stats(r: &mut Reader<'_>) -> Result<RegistrySnapshot, WireError> {
 impl Message {
     /// Serializes the message into a complete envelope.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the complete envelope to `out` without any intermediate
+    /// allocation — the send path for buffered writers: a server batches
+    /// many envelopes into one socket write by appending them all here.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len_at = out.len();
+        put_u32(out, 0); // length placeholder, patched below
+        let payload_at = out.len();
+        out.push(0); // type placeholder
         let t = match self {
             Message::Hello(h) => {
-                body.push(h.version);
-                put_str(&mut body, &h.url);
-                put_str(&mut body, &h.query);
-                put_str(&mut body, &h.lod);
-                put_str(&mut body, &h.measure);
-                put_u32(&mut body, h.packet_size);
-                put_u64(&mut body, h.gamma.to_bits());
+                out.push(h.version);
+                put_str(out, &h.url);
+                put_str(out, &h.query);
+                put_str(out, &h.lod);
+                put_str(out, &h.measure);
+                put_u32(out, h.packet_size);
+                put_u64(out, h.gamma.to_bits());
                 T_HELLO
             }
             Message::Request(ids) => {
-                put_u32(&mut body, ids.len() as u32);
+                put_u32(out, ids.len() as u32);
                 for &i in ids {
-                    put_u16(&mut body, i);
+                    put_u16(out, i);
                 }
                 T_REQUEST
             }
             Message::Done => T_DONE,
             Message::StatsRequest => T_STATS_REQUEST,
             Message::Header(h) => {
-                put_header(&mut body, h);
+                put_header(out, h);
                 T_HEADER
             }
             Message::Frame(bytes) => {
-                body.extend_from_slice(bytes);
+                out.extend_from_slice(bytes);
                 T_FRAME
             }
             Message::RoundEnd => T_ROUND_END,
             Message::GaveUp => T_GAVE_UP,
             Message::Error { code, detail } => {
-                body.push(*code as u8);
-                put_str(&mut body, detail);
+                out.push(*code as u8);
+                put_str(out, detail);
                 T_ERROR
             }
             Message::StatsReply(s) => {
-                put_stats(&mut body, s);
+                put_stats(out, s);
                 T_STATS_REPLY
             }
         };
-        let mut envelope = Vec::with_capacity(body.len() + 1 + ENVELOPE_OVERHEAD);
-        put_u32(&mut envelope, (body.len() + 1) as u32);
-        envelope.push(t);
-        envelope.extend_from_slice(&body);
-        let crc = crc32(&envelope[4..]);
-        put_u32(&mut envelope, crc);
-        envelope
+        out[payload_at] = t;
+        let len = out.len() - payload_at;
+        out[len_at..len_at + 4].copy_from_slice(&(len as u32).to_be_bytes());
+        let crc = crc32(&out[payload_at..]);
+        put_u32(out, crc);
     }
 
     /// Parses one complete envelope (length prefix through CRC).
@@ -629,6 +639,124 @@ impl Message {
             return Err(WireError::CrcMismatch);
         }
         Message::decode_payload(payload[0], &payload[1..])
+    }
+}
+
+/// Appends a FRAME envelope carrying `payload` to `out`, bypassing
+/// [`Message`] construction entirely.
+///
+/// The event-driven server sends tens of frames per round from cached
+/// wire bytes; this writes `len ‖ type ‖ payload ‖ crc32` straight into
+/// the session's output buffer — no `Vec<u8>` clone per frame, no
+/// intermediate envelope. Byte-identical to
+/// `Message::Frame(payload.to_vec()).encode()`.
+pub fn put_frame_envelope(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, (payload.len() + 1) as u32);
+    let payload_at = out.len();
+    out.push(T_FRAME);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[payload_at..]);
+    put_u32(out, crc);
+}
+
+/// Incremental envelope decoder: absorbs arbitrarily-split byte chunks
+/// from a nonblocking socket and yields complete [`Message`]s.
+///
+/// The blocking path reads exactly one envelope per call
+/// ([`Message::read_from`]); a readiness loop instead gets whatever the
+/// kernel has — half a length prefix, three coalesced envelopes, a
+/// frame split mid-CRC. `StreamDecoder` buffers the tail and resumes:
+///
+/// ```
+/// use mrtweb_proxy::wire::{Message, StreamDecoder};
+///
+/// let wire = Message::Done.encode();
+/// let mut dec = StreamDecoder::new();
+/// dec.absorb(&wire[..3]); // partial length prefix
+/// assert!(dec.next_message().unwrap().is_none());
+/// dec.absorb(&wire[3..]);
+/// assert_eq!(dec.next_message().unwrap(), Some(Message::Done));
+/// ```
+///
+/// Parse failures ([`WireError::BadLength`], [`WireError::CrcMismatch`],
+/// …) are sticky in practice: the stream has lost framing, so the
+/// session must be torn down — there is no resynchronization point.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// Consumed-prefix length at which [`StreamDecoder`] compacts its
+/// buffer instead of letting it grow.
+const DECODER_COMPACT_AT: usize = 64 * 1024;
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Buffers `bytes` read from the stream.
+    pub fn absorb(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered (partial envelopes included).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Parses the next complete envelope out of the buffer.
+    ///
+    /// `Ok(None)` means the buffer holds no complete envelope yet —
+    /// absorb more bytes and retry.
+    ///
+    /// # Errors
+    ///
+    /// The same parse variants as [`Message::decode`]; an error means
+    /// the stream is corrupt and the connection should be dropped.
+    pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let b = &self.buf[self.pos..];
+        let len = u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        // Validate the prefix before waiting for the body: a hostile
+        // length must fail now, not buffer 4 GiB first.
+        if len == 0 || len > MAX_BODY {
+            return Err(WireError::BadLength(len));
+        }
+        if avail < 4 + len + 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = &b[4..4 + len];
+        let stored =
+            u32::from_be_bytes([b[4 + len], b[4 + len + 1], b[4 + len + 2], b[4 + len + 3]]);
+        if crc32(payload) != stored {
+            return Err(WireError::CrcMismatch);
+        }
+        let msg = Message::decode_payload(payload[0], &payload[1..])?;
+        self.pos += 4 + len + 4;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= DECODER_COMPACT_AT {
+            self.compact();
+        }
+        Ok(Some(msg))
+    }
+
+    /// Drops the consumed prefix so the buffer never grows past one
+    /// partial envelope plus unparsed input.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
     }
 }
 
@@ -776,6 +904,92 @@ mod tests {
             Message::decode(&zero),
             Err(WireError::BadLength(0))
         ));
+    }
+
+    fn message_menagerie() -> Vec<Message> {
+        vec![
+            Message::Hello(Hello::new("http://site/doc", "mobile wireless")),
+            Message::Request(vec![0, 3, 7, 255]),
+            Message::Done,
+            Message::Header(header_fixture()),
+            Message::Frame((0..64).collect()),
+            Message::RoundEnd,
+            Message::Error {
+                code: ErrorCode::Busy,
+                detail: "8 sessions active".to_owned(),
+            },
+            Message::StatsReply(stats_fixture()),
+        ]
+    }
+
+    #[test]
+    fn encode_into_appends_byte_identical_envelopes() {
+        let mut batch = Vec::new();
+        let mut expect = Vec::new();
+        for m in message_menagerie() {
+            m.encode_into(&mut batch);
+            expect.extend_from_slice(&m.encode());
+        }
+        assert_eq!(batch, expect);
+    }
+
+    #[test]
+    fn frame_envelope_helper_matches_message_encode() {
+        for payload in [&b""[..], &b"x"[..], &[0u8; 300][..]] {
+            let mut fast = Vec::new();
+            put_frame_envelope(&mut fast, payload);
+            assert_eq!(fast, Message::Frame(payload.to_vec()).encode());
+        }
+    }
+
+    #[test]
+    fn stream_decoder_yields_coalesced_messages_in_order() {
+        let msgs = message_menagerie();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            m.encode_into(&mut wire);
+        }
+        let mut dec = StreamDecoder::new();
+        dec.absorb(&wire);
+        for m in &msgs {
+            assert_eq!(dec.next_message().unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(dec.next_message().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_resumes_across_any_split_point() {
+        let wire = Message::Hello(Hello::new("http://site/doc", "q")).encode();
+        for cut in 0..=wire.len() {
+            let mut dec = StreamDecoder::new();
+            dec.absorb(&wire[..cut]);
+            if cut < wire.len() {
+                assert_eq!(dec.next_message().unwrap(), None, "cut {cut}");
+                dec.absorb(&wire[cut..]);
+            }
+            assert!(dec.next_message().unwrap().is_some(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_rejects_hostile_length_before_buffering() {
+        let mut dec = StreamDecoder::new();
+        dec.absorb(&u32::MAX.to_be_bytes());
+        assert!(matches!(dec.next_message(), Err(WireError::BadLength(_))));
+        let mut zero = StreamDecoder::new();
+        zero.absorb(&0u32.to_be_bytes());
+        assert!(matches!(zero.next_message(), Err(WireError::BadLength(0))));
+    }
+
+    #[test]
+    fn stream_decoder_rejects_corrupt_crc() {
+        let mut wire = Message::Request(vec![1, 2, 3]).encode();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let mut dec = StreamDecoder::new();
+        dec.absorb(&wire);
+        assert!(matches!(dec.next_message(), Err(WireError::CrcMismatch)));
     }
 
     #[test]

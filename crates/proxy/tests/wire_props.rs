@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use mrtweb_obs::{HistSnapshot, Histogram, RegistrySnapshot};
-use mrtweb_proxy::wire::{ErrorCode, Hello, Message, WireError, ENVELOPE_OVERHEAD};
+use mrtweb_proxy::wire::{ErrorCode, Hello, Message, StreamDecoder, WireError, ENVELOPE_OVERHEAD};
 use mrtweb_transport::live::DocumentHeader;
 use mrtweb_transport::plan::{TransmissionPlan, UnitSlice};
 
@@ -180,5 +180,128 @@ proptest! {
         let last = wire.len() - 1;
         wire[last] ^= flip;
         prop_assert!(matches!(Message::decode(&wire), Err(WireError::CrcMismatch)));
+    }
+
+    /// The incremental decoder fed one byte at a time — the worst
+    /// possible fragmentation, exercising a resume at **every** byte
+    /// boundary — yields exactly the message sequence the one-shot
+    /// decoder would, and ends with an empty buffer.
+    #[test]
+    fn byte_at_a_time_decode_matches_one_shot(
+        msgs in proptest::collection::vec(message_strategy(), 1..4),
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            msg.encode_into(&mut wire);
+        }
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for &byte in &wire {
+            dec.absorb(&[byte]);
+            while let Some(msg) = dec.next_message().expect("clean stream") {
+                got.push(msg);
+            }
+        }
+        prop_assert_eq!(&got, &msgs);
+        prop_assert_eq!(dec.buffered(), 0);
+        prop_assert!(matches!(dec.next_message(), Ok(None)));
+    }
+
+    /// Any chunking of a coalesced multi-message stream — including
+    /// chunks that span envelope boundaries — decodes to the identical
+    /// message sequence. This is the read path the event engine's
+    /// 16 KiB socket reads actually produce.
+    #[test]
+    fn incremental_decode_matches_one_shot_for_any_chunking(
+        msgs in proptest::collection::vec(message_strategy(), 1..5),
+        chunk in 1usize..257,
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            msg.encode_into(&mut wire);
+        }
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.absorb(piece);
+            while let Some(msg) = dec.next_message().expect("clean stream") {
+                got.push(msg);
+            }
+        }
+        prop_assert_eq!(&got, &msgs);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Cutting the stream mid-envelope is never an error: the decoder
+    /// reports "pending" (repeatedly, idempotently) until the missing
+    /// bytes arrive, then yields the final message intact.
+    #[test]
+    fn truncated_tail_stays_pending_until_the_bytes_arrive(
+        msgs in proptest::collection::vec(message_strategy(), 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        let mut last_len = 0;
+        for msg in &msgs {
+            let before = wire.len();
+            msg.encode_into(&mut wire);
+            last_len = wire.len() - before;
+        }
+        // Withhold 1..=last_len bytes: the cut always lands inside the
+        // final envelope.
+        let cut = ((last_len - 1) as f64 * frac) as usize + 1;
+        let split = wire.len() - cut;
+
+        let mut dec = StreamDecoder::new();
+        dec.absorb(&wire[..split]);
+        let mut got = Vec::new();
+        while let Some(msg) = dec.next_message().expect("clean prefix") {
+            got.push(msg);
+        }
+        prop_assert_eq!(&got, &msgs[..msgs.len() - 1]);
+        // Pending is stable: asking again changes nothing.
+        prop_assert!(matches!(dec.next_message(), Ok(None)));
+        prop_assert!(matches!(dec.next_message(), Ok(None)));
+
+        dec.absorb(&wire[split..]);
+        prop_assert_eq!(
+            dec.next_message().expect("completed tail"),
+            Some(msgs[msgs.len() - 1].clone())
+        );
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// A corrupted checksum mid-stream surfaces as the same
+    /// `CrcMismatch` the one-shot decoder reports, every message before
+    /// the damage is still delivered, and the error is sticky — the
+    /// decoder never silently resynchronises past corruption.
+    #[test]
+    fn corrupt_crc_mid_stream_matches_one_shot_and_is_sticky(
+        msgs in proptest::collection::vec(message_strategy(), 1..4),
+        flip in 1u8..=255,
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            msg.encode_into(&mut wire);
+        }
+        // Damage the final envelope's trailing CRC byte.
+        let last = wire.len() - 1;
+        wire[last] ^= flip;
+        let damaged = {
+            let mut start = 0;
+            for msg in &msgs[..msgs.len() - 1] {
+                start += msg.encode().len();
+            }
+            &wire[start..]
+        };
+        prop_assert!(matches!(Message::decode(damaged), Err(WireError::CrcMismatch)));
+
+        let mut dec = StreamDecoder::new();
+        dec.absorb(&wire);
+        for msg in &msgs[..msgs.len() - 1] {
+            prop_assert_eq!(dec.next_message().expect("intact prefix").as_ref(), Some(msg));
+        }
+        prop_assert!(matches!(dec.next_message(), Err(WireError::CrcMismatch)));
+        prop_assert!(matches!(dec.next_message(), Err(WireError::CrcMismatch)));
     }
 }

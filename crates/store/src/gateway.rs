@@ -7,10 +7,13 @@
 //! from the [`DocumentStore`] and hands back a ready
 //! [`LiveServer`], plus the plan metadata a sequence manager needs.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mrtweb_content::query::Query;
 use mrtweb_content::sc::Measure;
+use mrtweb_docmodel::document::Document;
 use mrtweb_docmodel::lod::Lod;
 use mrtweb_erasure::Error as ErasureError;
 use mrtweb_transport::live::LiveServer;
@@ -123,21 +126,119 @@ impl From<ErasureError> for GatewayError {
     }
 }
 
+/// Cache key for a prepared transmission: everything that shapes the
+/// cooked frames. The document itself is checked by pointer identity
+/// in the cached value, so a `put` over the same URL invalidates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PreparedKey {
+    url: String,
+    query: String,
+    lod: Lod,
+    measure: Measure,
+    packet_size: usize,
+    gamma_bits: u64,
+}
+
+impl PreparedKey {
+    fn of(request: &Request) -> Self {
+        PreparedKey {
+            url: request.url.clone(),
+            query: request.query.clone(),
+            lod: request.lod,
+            measure: request.measure,
+            packet_size: request.packet_size,
+            gamma_bits: request.gamma.to_bits(),
+        }
+    }
+}
+
+/// Bound on distinct request shapes the gateway keeps prepared.
+const PREPARED_CACHE_CAP: usize = 64;
+
+/// A cached prepared transmission, pinned to the exact document it was
+/// encoded from so replacement in the store invalidates the entry.
+type PreparedEntry = (Arc<Document>, Arc<LiveServer>);
+
 /// The serving side of the prototype.
 #[derive(Debug)]
 pub struct Gateway {
     store: Arc<DocumentStore>,
+    /// Prepared transmissions shared across concurrent sessions: the
+    /// cooked frames for a request shape are immutable, so every
+    /// session fetching the same document with the same parameters
+    /// replays one encode instead of redoing slicing, ranking, and
+    /// GF(2⁸) math per session. Each entry pins the source document so
+    /// a hit is honoured only while that exact document is still what
+    /// the store serves.
+    prepared: Mutex<HashMap<PreparedKey, PreparedEntry>>,
+    prepared_hits: AtomicU64,
+    prepared_misses: AtomicU64,
 }
 
 impl Gateway {
     /// Wraps a store.
     pub fn new(store: Arc<DocumentStore>) -> Self {
-        Gateway { store }
+        Gateway {
+            store,
+            prepared: Mutex::new(HashMap::new()),
+            prepared_hits: AtomicU64::new(0),
+            prepared_misses: AtomicU64::new(0),
+        }
     }
 
     /// The underlying store.
     pub fn store(&self) -> &Arc<DocumentStore> {
         &self.store
+    }
+
+    /// `(hits, misses)` of the prepared-transmission cache.
+    pub fn prepared_cache_counters(&self) -> (u64, u64) {
+        (
+            self.prepared_hits.load(Ordering::Relaxed),
+            self.prepared_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Like [`Gateway::prepare`], but returns a shared handle served
+    /// from a bounded per-gateway cache: repeat requests for the same
+    /// `(url, query, lod, measure, packet size, γ)` reuse the already
+    /// encoded transmission. The cache is invalidated per entry when
+    /// the store's document for that URL is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::prepare`].
+    pub fn prepare_shared(&self, request: &Request) -> Result<Arc<LiveServer>, GatewayError> {
+        let doc = self
+            .store
+            .document(&request.url)
+            .ok_or_else(|| GatewayError::NotFound(request.url.clone()))?;
+        let key = PreparedKey::of(request);
+        if let Some((cached_doc, live)) = self
+            .prepared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            if Arc::ptr_eq(cached_doc, &doc) {
+                self.prepared_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(live));
+            }
+        }
+        self.prepared_misses.fetch_add(1, Ordering::Relaxed);
+        let live = Arc::new(self.prepare(request)?);
+        let mut map = self
+            .prepared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.len() >= PREPARED_CACHE_CAP && !map.contains_key(&key) {
+            // Shapes beyond the cap are rare (a hostile client cycling
+            // parameters); dropping the whole map is simpler than LRU
+            // and keeps the common small-corpus case untouched.
+            map.clear();
+        }
+        map.insert(key, (doc, Arc::clone(&live)));
+        Ok(live)
     }
 
     /// Prepares a live transmission for a request.
@@ -212,6 +313,51 @@ mod tests {
         assert!(report.completed);
         let text = String::from_utf8_lossy(&report.payload);
         assert!(text.contains("mobile wireless browsing"));
+    }
+
+    #[test]
+    fn prepare_shared_caches_and_invalidates_on_replacement() {
+        let gw = gateway();
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        let first = gw.prepare_shared(&req).unwrap();
+        let second = gw.prepare_shared(&req).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same request shape shares one prepared transmission"
+        );
+        let (hits, misses) = gw.prepared_cache_counters();
+        assert_eq!((hits, misses), (1, 1));
+
+        // A different shape is its own entry.
+        let wider = Request {
+            packet_size: 64,
+            ..req.clone()
+        };
+        let third = gw.prepare_shared(&wider).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+
+        // Replacing the document invalidates the hit: the cached frames
+        // describe bytes the store no longer serves.
+        gw.store().put(
+            "http://site/paper",
+            Document::parse_xml(
+                "<document><title>Paper v2</title>\
+                 <section><title>New</title>\
+                 <paragraph>entirely different content now</paragraph></section>\
+                 </document>",
+            )
+            .unwrap(),
+        );
+        let fresh = gw.prepare_shared(&req).unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &fresh),
+            "a replaced document must not serve stale cached frames"
+        );
+        let (_, misses_after) = gw.prepared_cache_counters();
+        assert!(misses_after >= 3);
     }
 
     #[test]

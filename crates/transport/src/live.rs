@@ -99,7 +99,10 @@ impl LiveServer {
         let (plan, payload) = plan_document(doc, sc, lod, measure);
         let m = plan.raw_packets(packet_size);
         let n = ((m as f64 * gamma).round() as usize).max(m);
-        let codec = Codec::new(m, n, packet_size)?;
+        // Shared substrate: concurrent sessions serving the same (M, N)
+        // shape reuse one systematic generator instead of re-deriving
+        // it per session.
+        let codec = Codec::shared(m, n, packet_size)?;
         let mut cooked = Vec::new();
         encode_into_parallel(&codec, &payload, &mut cooked, default_threads());
         let wire_frames = cooked
@@ -206,7 +209,11 @@ impl LiveClient {
     ///
     /// Propagates codec construction errors for inconsistent headers.
     pub fn new(header: DocumentHeader) -> Result<Self, Error> {
-        let codec = Codec::new(header.m, header.n, header.packet_size)?;
+        // Shared substrate: every client session with this (M, N) shape
+        // shares one generator and one survivor-keyed decode-inverse
+        // cache, so a loss pattern inverted by any session is a cache
+        // hit for all of them.
+        let codec = Codec::shared(header.m, header.n, header.packet_size)?;
         let contents = header.plan.packet_contents(header.packet_size);
         let state = ReceiverState::new(header.m, header.n, contents);
         let slice_have = vec![0usize; header.plan.slices().len()];
@@ -416,10 +423,14 @@ pub fn run_transfer(
     server: LiveServer,
     config: &TransferConfig,
 ) -> Result<TransferReport, TransportError> {
-    // A small bounded window models the link's in-flight capacity: the
-    // server cannot run arbitrarily far ahead of the client, so a
-    // "stop" takes effect after at most a few frames.
-    let (wire_tx, wire_rx): (Sender<Wire>, Receiver<Wire>) = bounded(4);
+    // A rendezvous channel models a link with no in-flight buffering:
+    // the server hands over one delivery at a time, so a "stop" takes
+    // effect after at most one further frame. Zero capacity also makes
+    // the fault trace a pure function of the schedule — the server
+    // cannot race a variable distance ahead of a client hangup, which
+    // keeps replaying a failing schedule exact even when decode timing
+    // varies (e.g. a warm shared inverse cache on the second run).
+    let (wire_tx, wire_rx): (Sender<Wire>, Receiver<Wire>) = bounded(0);
     let (ctl_tx, ctl_rx): (Sender<Control>, Receiver<Control>) = unbounded();
 
     // (frames_sent, rounds), shared with the server thread.

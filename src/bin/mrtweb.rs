@@ -10,12 +10,12 @@
 //! mrtweb faultrun --scenario NAME [--seed S]           run a fault-injection scenario
 //! mrtweb faultrun --all [--seed S]                     run every scenario
 //! mrtweb faultrun --list                               list scenarios
-//! mrtweb serve [files...] [--addr A] [--max-sessions N] [--workers W] [--fault PRESET]
+//! mrtweb serve [files...] [--addr A] [--engine E] [--max-sessions N] [--workers W] [--fault PRESET]
 //!                                                      run the base-station proxy daemon
 //! mrtweb fetch <url> [--addr A] [--query Q] [--stop-content X] [--stop-slices K]
 //!                                                      fetch a document from a proxy
-//! mrtweb loadgen [--addr A] [--clients K] [--requests R] [--sweep 1,8,32] [--json]
-//!                                                      drive a proxy with concurrent clients
+//! mrtweb loadgen [--addr A] [--clients K] [--requests R] [--rate RPS] [--sweep 1,8,32] [--json]
+//!                                                      drive a proxy (closed or open loop)
 //! mrtweb stats [--addr A] [--assert-clean]             print a proxy's stats as JSON
 //! mrtweb trace <record|dump|summarize> ...             work with observability traces
 //! ```
@@ -34,8 +34,8 @@ use mrtweb::docmodel::lod::Lod;
 use mrtweb::erasure::redundancy::Plan;
 use mrtweb::prelude::CacheMode;
 use mrtweb::proxy::client::{fetch, fetch_stats, FetchOptions};
-use mrtweb::proxy::loadgen::{self, LoadConfig};
-use mrtweb::proxy::server::{Server, ServerConfig};
+use mrtweb::proxy::loadgen::{self, ArrivalMode, LoadConfig};
+use mrtweb::proxy::server::{bind_engine, Engine, ServerConfig};
 use mrtweb::store::gateway::Gateway;
 use mrtweb::store::store::DocumentStore;
 use mrtweb::textproc::pipeline::ScPipeline;
@@ -59,9 +59,9 @@ fn main() -> ExitCode {
             eprintln!("  mrtweb summary <file> [--budget BYTES]");
             eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
             eprintln!("  mrtweb faultrun --scenario NAME [--seed S] | --all [--seed S] | --list");
-            eprintln!("  mrtweb serve [files...] [--addr A] [--corpus K] [--max-sessions N] [--workers W] [--frame-budget B] [--fault PRESET] [--seed S] [--runtime-secs T]");
+            eprintln!("  mrtweb serve [files...] [--addr A] [--engine auto|event|blocking] [--corpus K] [--max-sessions N] [--workers W] [--frame-budget B] [--fault PRESET] [--seed S] [--runtime-secs T]");
             eprintln!("  mrtweb fetch <url> [--addr A] [--query Q] [--lod L] [--measure ic|qic|mqic] [--packet-size P] [--gamma G] [--stop-content X] [--stop-slices K] [--out FILE]");
-            eprintln!("  mrtweb loadgen [--addr A] [--url U] [--clients K] [--requests R] [--sweep 1,8,32] [--json] [--bench-out FILE]");
+            eprintln!("  mrtweb loadgen [--addr A] [--url U] [--clients K] [--requests R] [--rate RPS --arrival fixed|poisson] [--sweep 1,8,32] [--json] [--bench-out FILE]");
             eprintln!("  mrtweb stats [--addr A] [--assert-clean]");
             eprintln!("  mrtweb trace record <file> [--out FILE] [transfer flags]");
             eprintln!("  mrtweb trace dump <trace.jsonl>");
@@ -106,6 +106,9 @@ struct Flags {
     bench_out: String,
     assert_clean: bool,
     timeout_secs: u64,
+    engine: String,
+    rate: f64,
+    arrival: String,
 }
 
 impl Default for Flags {
@@ -142,6 +145,9 @@ impl Default for Flags {
             bench_out: String::new(),
             assert_clean: false,
             timeout_secs: 10,
+            engine: "auto".to_owned(),
+            rate: 0.0,
+            arrival: "fixed".to_owned(),
         }
     }
 }
@@ -280,6 +286,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.timeout_secs = need(i)?
                     .parse()
                     .map_err(|_| "--timeout-secs needs an integer")?;
+                i += 1;
+            }
+            "--engine" => {
+                f.engine.clone_from(need(i)?);
+                i += 1;
+            }
+            "--rate" => {
+                f.rate = need(i)?.parse().map_err(|_| "--rate needs a number")?;
+                i += 1;
+            }
+            "--arrival" => {
+                f.arrival.clone_from(need(i)?);
                 i += 1;
             }
             "--json" => f.json = true,
@@ -506,9 +524,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 fault_seed: flags.seed,
                 ..Default::default()
             };
-            let server = Server::bind(&flags.addr, Gateway::new(Arc::clone(&store)), config)
-                .map_err(|e| format!("cannot bind {}: {e}", flags.addr))?;
-            println!("listening on {}", server.local_addr());
+            let engine = Engine::parse(&flags.engine).ok_or_else(|| {
+                format!("unknown engine {:?} (auto|event|blocking)", flags.engine)
+            })?;
+            let server = bind_engine(
+                &flags.addr,
+                Gateway::new(Arc::clone(&store)),
+                config,
+                engine,
+            )
+            .map_err(|e| format!("cannot bind {}: {e}", flags.addr))?;
+            println!(
+                "listening on {} (engine {})",
+                server.local_addr(),
+                engine.resolved()
+            );
             for url in store.urls() {
                 println!("serving {url}");
             }
@@ -578,12 +608,27 @@ fn run(args: &[String]) -> Result<(), String> {
                 stop_at_slices: flags.stop_slices,
                 io_timeout: Duration::from_secs(flags.timeout_secs.max(1)),
             };
+            let mode = if flags.rate > 0.0 {
+                match flags.arrival.as_str() {
+                    "fixed" => ArrivalMode::OpenFixed { rps: flags.rate },
+                    "poisson" => ArrivalMode::OpenPoisson {
+                        rps: flags.rate,
+                        seed: flags.seed,
+                    },
+                    other => {
+                        return Err(format!("unknown arrival {other:?} (fixed|poisson)"));
+                    }
+                }
+            } else {
+                ArrivalMode::Closed
+            };
             if flags.sweep.is_empty() {
                 let report = loadgen::run(
                     addr,
                     &LoadConfig {
                         clients: flags.clients.max(1),
                         requests: flags.requests.max(1),
+                        mode,
                         options,
                     },
                 );
@@ -591,21 +636,35 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("{}", report.to_json());
                 } else {
                     println!(
-                        "{} clients × {} requests: {} ok, {} rejected, {} failed in {:.2}s",
+                        "{} clients × {} requests ({}): {} ok, {} rejected, {} failed in {:.2}s",
                         report.clients,
                         flags.requests,
+                        report.mode,
                         report.completed,
                         report.rejected,
                         report.failed,
                         report.elapsed.as_secs_f64()
                     );
                     println!(
-                        "throughput {:.1} req/s, latency p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms",
+                        "throughput {:.1} req/s, latency p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms p99.9 {:.1}ms",
                         report.throughput,
                         report.p50.as_secs_f64() * 1e3,
                         report.p95.as_secs_f64() * 1e3,
-                        report.p99.as_secs_f64() * 1e3
+                        report.p99.as_secs_f64() * 1e3,
+                        report.p99_9.as_secs_f64() * 1e3
                     );
+                    if mode != ArrivalMode::Closed {
+                        println!(
+                            "offered {:.1} req/s, attempted {:.1} req/s{}",
+                            report.offered_rps,
+                            report.attempted_rps,
+                            if report.generator_limited {
+                                " (GENERATOR LIMITED: throughput understates the server)"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
                 }
                 if report.completed == 0 {
                     return Err("no request completed".into());
@@ -613,7 +672,7 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 let counts = parse_counts(&flags.sweep)?;
                 let (reports, json) =
-                    loadgen::sweep(addr, &counts, flags.requests.max(1), &options);
+                    loadgen::sweep(addr, &counts, flags.requests.max(1), mode, &options);
                 println!("{json}");
                 if !flags.bench_out.is_empty() {
                     std::fs::write(&flags.bench_out, format!("{json}\n"))
