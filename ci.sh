@@ -17,9 +17,11 @@
 #   obs-no-trace   mrtweb-obs with the `trace` feature off (no-op path)
 #   proxy-fallback mrtweb-proxy with the `event` feature off (blocking
 #                  engine only, unsafe code forbidden crate-wide)
-#   faults         fault-injection matrix (8 scenarios x seeds)
+#   faults         fault-injection matrix (12 scenarios x seeds)
 #   proxy-smoke    event-engine serve + loadgen over loopback,
 #                  closed sweep up to C=1024 -> BENCH_proxy.json
+#   broadcast      carousel smoke: 256 listeners x 4 channels with zero
+#                  re-encodes, K-sweep -> BENCH_broadcast.json
 #   bench          erasure-codec sweep (quick mode) -> BENCH_erasure.json
 #   bench-gate     compare fresh BENCH_*.json against BENCH_BASELINE.json
 #
@@ -29,7 +31,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke bench bench-gate"
+ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke broadcast bench bench-gate"
 
 run_bench=1
 quick=0
@@ -127,7 +129,7 @@ stage_proxy_fallback() {
 stage_faults() {
   local seeds="1 2 3"
   [ "$quick" -eq 1 ] && seeds="1"
-  echo "==> fault-injection matrix (8 scenarios x seeds: $seeds)"
+  echo "==> fault-injection matrix (12 scenarios x seeds: $seeds)"
   [ -x target/release/mrtweb ] || cargo build --release
   for seed in $seeds; do
     target/release/mrtweb faultrun --all --seed "$seed" \
@@ -179,6 +181,25 @@ stage_proxy_smoke() {
   cleanup_proxy
 }
 
+stage_broadcast() {
+  echo "==> broadcast smoke: carousel fan-out + K-sweep -> BENCH_broadcast.json"
+  [ -x target/release/mrtweb ] || cargo build --release
+  # Acceptance: every listener completes and the trace shows exactly one
+  # encode per document regardless of listener count (the verb exits
+  # nonzero otherwise).
+  target/release/mrtweb broadcast --listeners 256 --channels 4 | sed "s/^/    /"
+  # Under corrupting air the CRC + redundancy path must still finish.
+  target/release/mrtweb broadcast --listeners 32 --fault corrupting | sed "s/^/    /"
+  local sweep_out
+  sweep_out="$(target/release/mrtweb broadcast --sweep 1,2,4 --bench-out BENCH_broadcast.json | tail -1)"
+  echo "    $sweep_out"
+  test -s BENCH_broadcast.json || { echo "BENCH_broadcast.json missing" >&2; return 1; }
+  case "$sweep_out" in
+    *"decreasing with K: true"*) ;;
+    *) echo "mean access time did not decrease with more channels" >&2; return 1 ;;
+  esac
+}
+
 stage_bench() {
   if [ "$run_bench" -ne 1 ]; then
     echo "==> bench smoke skipped (--no-bench)"
@@ -205,6 +226,7 @@ for stage in $stages; do
     proxy-fallback) stage_proxy_fallback ;;
     faults) stage_faults ;;
     proxy-smoke) stage_proxy_smoke ;;
+    broadcast) stage_broadcast ;;
     bench) stage_bench ;;
     bench-gate) stage_bench_gate ;;
   esac

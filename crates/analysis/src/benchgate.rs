@@ -1,17 +1,20 @@
 //! The CI performance-regression gate.
 //!
 //! Compares freshly produced bench reports (`BENCH_erasure.json`,
-//! `BENCH_proxy.json`) against the committed `BENCH_BASELINE.json`,
-//! metric by metric, inside direction-aware tolerance bands:
+//! `BENCH_proxy.json`, `BENCH_broadcast.json`) against the committed
+//! `BENCH_BASELINE.json`, metric by metric, inside direction-aware
+//! tolerance bands:
 //!
 //! * **higher is better** — `mib_per_s`, `throughput_rps`,
-//!   `max_in_flight` (concurrency actually sustained), and any
+//!   `max_in_flight` (concurrency actually sustained),
+//!   `listeners_completed` (broadcast listeners that finished), and any
 //!   `*speedup*` ratio: the gate fails when the fresh value falls below
 //!   `baseline · (1 − tolerance)`;
 //! * **lower is better** — latency quantiles (`p50_ms`, `p95_ms`,
-//!   `p99_ms`, `p99_9_ms`) and overhead percentages (`*_pct`): the
-//!   gate fails when the fresh value rises above
-//!   `baseline · (1 + tolerance)`.
+//!   `p99_ms`, `p99_9_ms`), broadcast access-time quantiles
+//!   (`mean_access_slots`, `p95_access_slots`), and overhead
+//!   percentages (`*_pct`): the gate fails when the fresh value rises
+//!   above `baseline · (1 + tolerance)`.
 //!
 //! The default tolerance is deliberately wide (±50%): shared CI boxes
 //! jitter by tens of percent, and the gate exists to catch order-of-
@@ -254,11 +257,16 @@ pub fn direction_of(key: &str) -> Option<Direction> {
         || leaf == "throughput_rps"
         || leaf == "max_in_flight"
         || leaf == "max_sessions_in_flight"
+        || leaf == "listeners_completed"
         || leaf.contains("speedup")
     {
         return Some(Direction::HigherIsBetter);
     }
-    if matches!(leaf, "p50_ms" | "p95_ms" | "p99_ms" | "p99_9_ms") || leaf.ends_with("_pct") {
+    if matches!(
+        leaf,
+        "p50_ms" | "p95_ms" | "p99_ms" | "p99_9_ms" | "mean_access_slots" | "p95_access_slots"
+    ) || leaf.ends_with("_pct")
+    {
         return Some(Direction::LowerIsBetter);
     }
     None
@@ -316,6 +324,28 @@ pub fn proxy_metrics(doc: &Json) -> Metrics {
                             v,
                         );
                     }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the comparable metrics from a parsed `BENCH_broadcast.json`
+/// (`{"broadcast": {<skew>: {<kN>: {metric: value}}}}`).
+#[must_use]
+pub fn broadcast_metrics(doc: &Json) -> Metrics {
+    let mut out = Metrics::new();
+    let Some(Json::Obj(skews)) = doc.get("broadcast") else {
+        return out;
+    };
+    for (skew, points) in skews {
+        let Json::Obj(points) = points else { continue };
+        for (k, leafs) in points {
+            let Json::Obj(leafs) = leafs else { continue };
+            for (key, value) in leafs {
+                if let Some(v) = value.as_f64() {
+                    insert_if_comparable(&mut out, &format!("broadcast/{skew}/{k}/{key}"), v);
                 }
             }
         }
@@ -470,7 +500,9 @@ pub fn gate(baseline: &Metrics, fresh: &Metrics, tolerance: f64) -> GateReport {
 }
 
 /// Reads the committed baseline document
-/// (`{"erasure": ..., "proxy": ...}`) into flattened metrics.
+/// (`{"erasure": ..., "proxy": ..., "broadcast": ...}`) into flattened
+/// metrics. The `broadcast` section is optional so baselines that
+/// predate it still gate their other sections.
 ///
 /// # Errors
 ///
@@ -485,29 +517,57 @@ pub fn baseline_metrics(text: &str) -> Result<Metrics, String> {
         .ok_or("baseline is missing the `proxy` section")?;
     let mut out = erasure_metrics(erasure);
     out.extend(proxy_metrics(proxy));
+    // The baseline carries the broadcast section under the same
+    // `broadcast` key the report file uses, so the extractor reads the
+    // whole document directly (and yields nothing when absent).
+    out.extend(broadcast_metrics(&doc));
     Ok(out)
 }
 
-/// Flattens fresh `BENCH_erasure.json` + `BENCH_proxy.json` texts.
+/// Flattens fresh `BENCH_erasure.json` + `BENCH_proxy.json` +
+/// `BENCH_broadcast.json` texts.
 ///
 /// # Errors
 ///
-/// Malformed JSON in either file.
-pub fn fresh_metrics(erasure_text: &str, proxy_text: &str) -> Result<Metrics, String> {
+/// Malformed JSON in any file.
+pub fn fresh_metrics(
+    erasure_text: &str,
+    proxy_text: &str,
+    broadcast_text: &str,
+) -> Result<Metrics, String> {
     let erasure = parse_json(erasure_text)?;
     let proxy = parse_json(proxy_text)?;
+    let broadcast = parse_json(broadcast_text)?;
     let mut out = erasure_metrics(&erasure);
     out.extend(proxy_metrics(&proxy));
+    out.extend(broadcast_metrics(&broadcast));
     Ok(out)
 }
 
-/// Composes a new `BENCH_BASELINE.json` from the two fresh reports.
+/// Composes a new `BENCH_BASELINE.json` from the three fresh reports.
+/// The broadcast report's own `{"broadcast": ...}` wrapper is unwrapped
+/// into the baseline's section.
 #[must_use]
-pub fn compose_baseline(erasure_text: &str, proxy_text: &str) -> String {
+pub fn compose_baseline(erasure_text: &str, proxy_text: &str, broadcast_text: &str) -> String {
+    let broadcast_inner = broadcast_text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .map_or_else(
+            || broadcast_text.trim().to_owned(),
+            |inner| {
+                inner
+                    .trim()
+                    .strip_prefix("\"broadcast\"")
+                    .and_then(|t| t.trim_start().strip_prefix(':'))
+                    .map_or_else(|| broadcast_text.trim().to_owned(), |v| v.trim().to_owned())
+            },
+        );
     format!(
-        "{{\n\"erasure\": {},\n\"proxy\": {}\n}}\n",
+        "{{\n\"erasure\": {},\n\"proxy\": {},\n\"broadcast\": {}\n}}\n",
         erasure_text.trim(),
-        proxy_text.trim()
+        proxy_text.trim(),
+        broadcast_inner
     )
 }
 
@@ -530,14 +590,27 @@ mod tests {
       {"clients": 8, "completed": 64, "throughput_rps": 960.0, "p50_ms": 7.7, "p95_ms": 14.0, "p99_ms": 16.5, "elapsed_ms": 66.4}
     ]"#;
 
+    const BROADCAST: &str = r#"{
+      "broadcast": {
+        "flat": {
+          "k1": {"mean_access_slots": 128.5, "p95_access_slots": 234.0, "listeners_completed": 32},
+          "k4": {"mean_access_slots": 38.3, "p95_access_slots": 52.0, "listeners_completed": 32}
+        },
+        "skewed": {
+          "k1": {"mean_access_slots": 161.0, "p95_access_slots": 415.0, "listeners_completed": 32},
+          "k4": {"mean_access_slots": 40.6, "p95_access_slots": 114.0, "listeners_completed": 32}
+        }
+      }
+    }"#;
+
     fn baseline_text() -> String {
-        compose_baseline(ERASURE, PROXY)
+        compose_baseline(ERASURE, PROXY, BROADCAST)
     }
 
     #[test]
     fn identical_reports_pass_the_gate() {
         let base = baseline_metrics(&baseline_text()).unwrap();
-        let fresh = fresh_metrics(ERASURE, PROXY).unwrap();
+        let fresh = fresh_metrics(ERASURE, PROXY, BROADCAST).unwrap();
         let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(report.passed(), "{}", report.render());
         assert!(report.rows.len() >= 9, "rows: {:?}", report.rows.len());
@@ -546,13 +619,17 @@ mod tests {
 
     #[test]
     fn counts_and_totals_are_not_compared() {
-        let fresh = fresh_metrics(ERASURE, PROXY).unwrap();
+        let fresh = fresh_metrics(ERASURE, PROXY, BROADCAST).unwrap();
         for key in fresh.keys() {
+            // The per-request `completed` count is configuration;
+            // `listeners_completed` is the broadcast success metric and
+            // *is* gated, so match the leaf exactly.
+            let leaf = key.rsplit('/').next().unwrap();
             assert!(
-                !key.ends_with("completed")
-                    && !key.ends_with("elapsed_ms")
-                    && !key.ends_with("ns_per_iter")
-                    && !key.ends_with("bytes_per_iter"),
+                leaf != "completed"
+                    && leaf != "elapsed_ms"
+                    && leaf != "ns_per_iter"
+                    && leaf != "bytes_per_iter",
                 "non-performance field compared: {key}"
             );
         }
@@ -562,7 +639,7 @@ mod tests {
     fn throughput_regression_fails_with_a_delta_table() {
         let base = baseline_metrics(&baseline_text()).unwrap();
         let regressed = ERASURE.replace("\"mib_per_s\": 848.4", "\"mib_per_s\": 84.8");
-        let fresh = fresh_metrics(&regressed, PROXY).unwrap();
+        let fresh = fresh_metrics(&regressed, PROXY, BROADCAST).unwrap();
         let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         let bad: Vec<_> = report.regressions().map(|r| r.name.as_str()).collect();
@@ -582,11 +659,11 @@ mod tests {
         let base = baseline_metrics(&baseline_text()).unwrap();
         // Latency dropping to near zero is an improvement, not a fail.
         let faster = PROXY.replace("\"p99_ms\": 16.5", "\"p99_ms\": 0.1");
-        let fresh = fresh_metrics(ERASURE, &faster).unwrap();
+        let fresh = fresh_metrics(ERASURE, &faster, BROADCAST).unwrap();
         assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
         // Latency doubling beyond the band fails.
         let slower = PROXY.replace("\"p99_ms\": 16.5", "\"p99_ms\": 40.0");
-        let fresh = fresh_metrics(ERASURE, &slower).unwrap();
+        let fresh = fresh_metrics(ERASURE, &slower, BROADCAST).unwrap();
         let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         assert_eq!(
@@ -596,10 +673,43 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_access_time_is_lower_better_and_completions_higher_better() {
+        let base = baseline_metrics(&baseline_text()).unwrap();
+        // Access time halving is an improvement.
+        let faster =
+            BROADCAST.replace("\"mean_access_slots\": 40.6", "\"mean_access_slots\": 20.0");
+        let fresh = fresh_metrics(ERASURE, PROXY, &faster).unwrap();
+        assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        // Access time blowing past the band fails.
+        let slower = BROADCAST.replace(
+            "\"mean_access_slots\": 40.6",
+            "\"mean_access_slots\": 400.0",
+        );
+        let fresh = fresh_metrics(ERASURE, PROXY, &slower).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions().next().unwrap().name,
+            "broadcast/skewed/k4/mean_access_slots"
+        );
+        // Listeners starving fails the higher-is-better check.
+        let starved = BROADCAST.replace(
+            "\"p95_access_slots\": 114.0, \"listeners_completed\": 32",
+            "\"p95_access_slots\": 114.0, \"listeners_completed\": 2",
+        );
+        let fresh = fresh_metrics(ERASURE, PROXY, &starved).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name.ends_with("listeners_completed")));
+    }
+
+    #[test]
     fn vanished_metrics_are_regressions() {
         let base = baseline_metrics(&baseline_text()).unwrap();
         let shrunk = r#"{"bench": "erasure_codec", "results": []}"#;
-        let fresh = fresh_metrics(shrunk, PROXY).unwrap();
+        let fresh = fresh_metrics(shrunk, PROXY, BROADCAST).unwrap();
         let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         assert!(report
@@ -615,7 +725,7 @@ mod tests {
             "\"quick\": false,",
             "\"quick\": false, \"trace_overhead_pct\": 1.2,",
         );
-        let fresh = fresh_metrics(&grown, PROXY).unwrap();
+        let fresh = fresh_metrics(&grown, PROXY, BROADCAST).unwrap();
         let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(report.passed());
         assert_eq!(report.unbaselined, ["erasure/trace_overhead_pct"]);
@@ -645,13 +755,13 @@ mod tests {
             )
         };
         // Baseline measured a near-zero overhead.
-        let base_text = compose_baseline(&with_overhead("0.1"), PROXY);
+        let base_text = compose_baseline(&with_overhead("0.1"), PROXY, BROADCAST);
         let base = baseline_metrics(&base_text).unwrap();
         // 1.5% is 15x the baseline but still inside the 2-point budget.
-        let fresh = fresh_metrics(&with_overhead("1.5"), PROXY).unwrap();
+        let fresh = fresh_metrics(&with_overhead("1.5"), PROXY, BROADCAST).unwrap();
         assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
         // 2.5% blows the absolute budget.
-        let fresh = fresh_metrics(&with_overhead("2.5"), PROXY).unwrap();
+        let fresh = fresh_metrics(&with_overhead("2.5"), PROXY, BROADCAST).unwrap();
         let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         assert_eq!(
@@ -688,6 +798,18 @@ mod tests {
         );
         assert_eq!(direction_of("proxy/clients=8/completed"), None);
         assert_eq!(direction_of("erasure/x/ns_per_iter"), None);
+        assert_eq!(
+            direction_of("broadcast/skewed/k4/mean_access_slots"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("broadcast/flat/k1/p95_access_slots"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("broadcast/skewed/k2/listeners_completed"),
+            Some(Direction::HigherIsBetter)
+        );
         // Offered vs attempted rates describe the generator, not the
         // server; they are configuration, never gated.
         assert_eq!(direction_of("proxy/clients=8/offered_rps"), None);

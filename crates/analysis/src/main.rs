@@ -4,7 +4,8 @@
 //! mrtweb-analysis check [--json] [--fix-hints] [--root <dir>]
 //! mrtweb-analysis rules
 //! mrtweb-analysis bench-gate [--baseline <file>] [--erasure <file>]
-//!                            [--proxy <file>] [--tolerance <frac>]
+//!                            [--proxy <file>] [--broadcast <file>]
+//!                            [--tolerance <frac>]
 //!                            [--update-baseline] [--root <dir>]
 //! ```
 //!
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut erasure: Option<PathBuf> = None;
     let mut proxy: Option<PathBuf> = None;
+    let mut broadcast: Option<PathBuf> = None;
     let mut tolerance = benchgate::DEFAULT_TOLERANCE;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -49,6 +51,10 @@ fn main() -> ExitCode {
             "--proxy" => match it.next() {
                 Some(f) => proxy = Some(PathBuf::from(f)),
                 None => return usage("--proxy needs a file argument"),
+            },
+            "--broadcast" => match it.next() {
+                Some(f) => broadcast = Some(PathBuf::from(f)),
+                None => return usage("--broadcast needs a file argument"),
             },
             "--tolerance" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
                 Some(t) if t > 0.0 && t.is_finite() => tolerance = t,
@@ -75,6 +81,7 @@ fn main() -> ExitCode {
                 &baseline.unwrap_or_else(|| root.join("BENCH_BASELINE.json")),
                 &erasure.unwrap_or_else(|| root.join("BENCH_erasure.json")),
                 &proxy.unwrap_or_else(|| root.join("BENCH_proxy.json")),
+                &broadcast.unwrap_or_else(|| root.join("BENCH_broadcast.json")),
                 tolerance,
                 update_baseline,
             )
@@ -136,6 +143,7 @@ fn run_bench_gate(
     baseline_path: &Path,
     erasure_path: &Path,
     proxy_path: &Path,
+    broadcast_path: &Path,
     tolerance: f64,
     update_baseline: bool,
 ) -> ExitCode {
@@ -153,9 +161,13 @@ fn run_bench_gate(
         Ok(t) => t,
         Err(code) => return code,
     };
+    let broadcast_text = match read(broadcast_path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
 
     if update_baseline {
-        let composed = benchgate::compose_baseline(&erasure_text, &proxy_text);
+        let composed = benchgate::compose_baseline(&erasure_text, &proxy_text, &broadcast_text);
         if let Err(e) = std::fs::write(baseline_path, composed) {
             eprintln!(
                 "mrtweb-analysis: cannot write {}: {e}",
@@ -164,9 +176,10 @@ fn run_bench_gate(
             return ExitCode::from(2);
         }
         println!(
-            "bench-gate: baseline updated from {} + {} -> {}",
+            "bench-gate: baseline updated from {} + {} + {} -> {}",
             erasure_path.display(),
             proxy_path.display(),
+            broadcast_path.display(),
             baseline_path.display()
         );
         return ExitCode::SUCCESS;
@@ -186,7 +199,7 @@ fn run_bench_gate(
             return ExitCode::from(2);
         }
     };
-    let fresh = match benchgate::fresh_metrics(&erasure_text, &proxy_text) {
+    let fresh = match benchgate::fresh_metrics(&erasure_text, &proxy_text, &broadcast_text) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("mrtweb-analysis: bad bench report: {e}");
@@ -208,7 +221,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("usage: mrtweb-analysis check [--json] [--fix-hints] [--root <dir>]");
     eprintln!("       mrtweb-analysis rules");
     eprintln!("       mrtweb-analysis bench-gate [--baseline <file>] [--erasure <file>]");
-    eprintln!("                                  [--proxy <file>] [--tolerance <frac>]");
+    eprintln!("                                  [--proxy <file>] [--broadcast <file>]");
+    eprintln!("                                  [--tolerance <frac>]");
     eprintln!("                                  [--update-baseline] [--root <dir>]");
     ExitCode::from(2)
 }

@@ -17,7 +17,9 @@
 //!   the corruption probability, the paper's suggested driver for
 //!   adaptive redundancy (§4.2, citing the authors' cache-management work);
 //! * [`link`] — a lossy FIFO link combining bandwidth, loss model and
-//!   clock, with real byte-corruption for end-to-end wire tests.
+//!   clock, with real byte-corruption for end-to-end wire tests;
+//! * [`medium`] — a shared broadcast medium: one transmitted frame
+//!   fans out to many taps, each with an independent fault schedule.
 //!
 //! # Example
 //!
@@ -45,4 +47,5 @@ pub mod fault;
 pub mod gilbert;
 pub mod link;
 pub mod loss;
+pub mod medium;
 pub mod outage;

@@ -1,0 +1,212 @@
+//! Shared broadcast medium: one transmission, many independent taps.
+//!
+//! Unicast links ([`crate::link`]) pair one sender with one receiver.
+//! A broadcast carousel inverts that: the base station transmits each
+//! frame *once* and every tuned-in listener hears its own copy through
+//! its own radio conditions. [`SharedMedium`] models exactly that — a
+//! single `transmit` fans one frame out to `L` taps, each tap drawing
+//! its fate from a private deterministic [`FaultScheduler`], so two
+//! listeners standing in different fade patterns see different losses
+//! of the *same* on-air schedule.
+//!
+//! Broadcast semantics restrict the fault vocabulary: there is no
+//! per-listener retransmission stream, so multiplicity faults
+//! (duplicate, reorder) degrade to clean delivery, while drop and
+//! outage both mean "the frame never reached this tap". Byte-damaging
+//! faults (bit flips, bursts, garbles, truncation) corrupt the tap's
+//! private copy — the frame CRC is the listener's only defense, exactly
+//! as on the unicast path.
+
+use crate::fault::{apply_fault, FaultConfig, FaultEvent, FaultKind, FaultScheduler};
+
+/// What one tap heard for one transmitted frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// Nothing arrived (drop or disconnection window).
+    Lost,
+    /// These bytes arrived — possibly damaged; the receiver's CRC
+    /// discipline decides whether to trust them.
+    Heard(Vec<u8>),
+}
+
+impl Delivery {
+    /// The received bytes, when anything arrived at all.
+    #[must_use]
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            Delivery::Lost => None,
+            Delivery::Heard(b) => Some(b),
+        }
+    }
+}
+
+/// One listener's radio: a private fault schedule over the shared air.
+#[derive(Debug)]
+struct Tap {
+    scheduler: FaultScheduler,
+}
+
+/// A broadcast channel carrying one frame per slot to many taps.
+#[derive(Debug)]
+pub struct SharedMedium {
+    taps: Vec<Tap>,
+    transmitted: u64,
+}
+
+impl SharedMedium {
+    /// A medium with `listeners` taps, each seeded from `base_seed`
+    /// and its tap index so runs replay deterministically while taps
+    /// stay mutually independent.
+    #[must_use]
+    pub fn new(cfg: &FaultConfig, base_seed: u64, listeners: usize) -> Self {
+        let taps = (0..listeners)
+            .map(|i| Tap {
+                scheduler: FaultScheduler::new(
+                    cfg.clone(),
+                    base_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                ),
+            })
+            .collect();
+        SharedMedium {
+            taps,
+            transmitted: 0,
+        }
+    }
+
+    /// Number of taps on the medium.
+    #[must_use]
+    pub fn listeners(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Frames transmitted so far.
+    #[must_use]
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Transmits one frame to every tap; element `i` of the result is
+    /// what tap `i` heard.
+    pub fn transmit(&mut self, frame: &[u8]) -> Vec<Delivery> {
+        self.transmitted += 1;
+        self.taps
+            .iter_mut()
+            .map(|tap| Self::receive(tap, frame))
+            .collect()
+    }
+
+    /// Transmits one frame to a single tap (listeners tuned to the
+    /// same channel but joining at different times consume different
+    /// prefixes of their fault schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range.
+    pub fn transmit_to(&mut self, tap: usize, frame: &[u8]) -> Delivery {
+        assert!(tap < self.taps.len(), "tap {tap} out of range");
+        Self::receive(&mut self.taps[tap], frame)
+    }
+
+    fn receive(tap: &mut Tap, frame: &[u8]) -> Delivery {
+        let kind = match tap.scheduler.next_kind(frame.len()) {
+            // No per-listener stream to duplicate or reorder within:
+            // the carousel itself is the retransmission.
+            FaultKind::Duplicate | FaultKind::Reorder { .. } => FaultKind::Deliver,
+            k => k,
+        };
+        match kind {
+            FaultKind::Drop | FaultKind::Outage => Delivery::Lost,
+            FaultKind::Deliver => Delivery::Heard(frame.to_vec()),
+            damaging => {
+                let mut copy = frame.to_vec();
+                apply_fault(damaging, &mut copy);
+                Delivery::Heard(copy)
+            }
+        }
+    }
+
+    /// The fault trace of tap `i` (for replay and reporting).
+    #[must_use]
+    pub fn trace(&self, tap: usize) -> &[FaultEvent] {
+        self.taps.get(tap).map_or(&[], |t| t.scheduler.trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_medium_delivers_every_frame_verbatim() {
+        let mut medium = SharedMedium::new(&FaultConfig::clean(), 1, 4);
+        for slot in 0..16u8 {
+            let frame = vec![slot; 32];
+            for d in medium.transmit(&frame) {
+                assert_eq!(d, Delivery::Heard(frame.clone()));
+            }
+        }
+        assert_eq!(medium.transmitted(), 16);
+        assert_eq!(medium.listeners(), 4);
+    }
+
+    #[test]
+    fn taps_fail_independently() {
+        let mut medium = SharedMedium::new(&FaultConfig::dropping(0.5), 7, 2);
+        let mut fates = [Vec::new(), Vec::new()];
+        for _ in 0..64 {
+            let out = medium.transmit(&[0xAB; 16]);
+            for (tap, d) in out.into_iter().enumerate() {
+                fates[tap].push(d == Delivery::Lost);
+            }
+        }
+        assert_ne!(fates[0], fates[1], "taps shared one fault stream");
+        assert!(fates.iter().all(|f| f.iter().any(|&lost| lost)));
+        assert!(fates.iter().all(|f| f.iter().any(|&lost| !lost)));
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |(): ()| {
+            let mut medium = SharedMedium::new(&FaultConfig::mixed(), 99, 3);
+            (0..48)
+                .map(|slot| medium.transmit(&[slot as u8; 24]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(()), run(()));
+    }
+
+    #[test]
+    fn multiplicity_faults_degrade_to_delivery() {
+        // A config that only duplicates/reorders must behave cleanly.
+        let cfg = FaultConfig {
+            p_duplicate: 0.5,
+            p_reorder: 0.5,
+            ..FaultConfig::clean()
+        };
+        let mut medium = SharedMedium::new(&cfg, 3, 1);
+        for _ in 0..32 {
+            let out = medium.transmit(&[1, 2, 3, 4]);
+            assert_eq!(out, vec![Delivery::Heard(vec![1, 2, 3, 4])]);
+        }
+    }
+
+    #[test]
+    fn damaging_faults_change_bytes_not_count() {
+        let mut medium = SharedMedium::new(&FaultConfig::corrupting(0.9), 5, 1);
+        let frame = vec![0u8; 64];
+        let mut damaged = 0;
+        for _ in 0..64 {
+            match medium.transmit_to(0, &frame) {
+                Delivery::Lost => {}
+                Delivery::Heard(b) => {
+                    assert!(b.len() <= frame.len());
+                    if b != frame {
+                        damaged += 1;
+                    }
+                }
+            }
+        }
+        assert!(damaged > 0, "corrupting config never damaged a frame");
+        assert!(!medium.trace(0).is_empty());
+    }
+}

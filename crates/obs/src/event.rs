@@ -55,6 +55,16 @@ pub enum EventKind {
     /// One event-loop readiness wait (`epoll_wait`). `a` = duration ns,
     /// `b` = number of fds reported ready.
     LoopWait = 18,
+    /// A broadcast carousel channel wrapped around to slot 0.
+    /// `a` = channel index, `b` = completed cycle count.
+    CarouselCycle = 19,
+    /// A broadcast listener joined mid-cycle. `a` = listener id,
+    /// `b` = the cycle slot position it tuned in at.
+    TuneIn = 20,
+    /// A broadcast listener stopped before hearing the full cycle
+    /// (any-M reconstruction or content-fraction LOD stop).
+    /// `a` = listener id, `b` = slots listened since tune-in.
+    EarlyStop = 21,
 }
 
 impl EventKind {
@@ -78,6 +88,9 @@ impl EventKind {
         EventKind::RequestSpan,
         EventKind::FaultInjected,
         EventKind::LoopWait,
+        EventKind::CarouselCycle,
+        EventKind::TuneIn,
+        EventKind::EarlyStop,
     ];
 
     /// Stable kebab-case name used by the JSONL export.
@@ -102,6 +115,9 @@ impl EventKind {
             EventKind::RequestSpan => "request-span",
             EventKind::FaultInjected => "fault-injected",
             EventKind::LoopWait => "loop-wait",
+            EventKind::CarouselCycle => "carousel-cycle",
+            EventKind::TuneIn => "tune-in",
+            EventKind::EarlyStop => "early-stop",
         }
     }
 

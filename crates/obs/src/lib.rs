@@ -32,6 +32,7 @@ pub mod event;
 pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod testkit;
 pub mod trace;
 
 pub use event::{EventKind, TraceEvent};

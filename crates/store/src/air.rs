@@ -1,0 +1,131 @@
+//! Store-to-air glue for broadcast carousels.
+//!
+//! The broadcast carousel ([`mrtweb_transport::broadcast`]) transmits
+//! *stored* cooked records verbatim — the store's dispersed blob
+//! ([`crate::codec`]) is already the on-air format, record for record.
+//! This module lifts a blob into a [`BroadcastDoc`] by parsing its
+//! header and copying the records out untouched: no decode, no
+//! re-encode, so putting a document on the air costs a header parse
+//! regardless of how many listeners will hear it.
+//!
+//! The dependency points this way (store → transport) because the
+//! workspace layering runs store *above* transport: the transport
+//! crate defines the abstract on-air document and this crate knows how
+//! its persistence maps onto it.
+
+use crate::codec::{BlobPackets, CodecError};
+use mrtweb_transport::broadcast::BroadcastDoc;
+
+/// Lifts a dispersed blob into an on-air broadcast document.
+///
+/// `contents` is the per-clear-packet information content, group-major
+/// (`groups · M` entries, summing to ~1 over the document) — the same
+/// QIC figures the transmission plan computed at `put` time. Pass
+/// `None` for a uniform spread (every clear packet equally valuable).
+///
+/// # Errors
+///
+/// [`CodecError`] if the blob fails header validation or `contents`
+/// has the wrong shape for the blob's `(groups, M)` layout.
+pub fn broadcast_doc_from_blob(
+    id: u16,
+    weight: f64,
+    blob: &[u8],
+    contents: Option<&[f64]>,
+) -> Result<BroadcastDoc, CodecError> {
+    let view = BlobPackets::parse(blob)?;
+    let (m, groups) = (view.m(), view.groups());
+    let contents = match contents {
+        None => BroadcastDoc::uniform_contents(groups, m),
+        Some(flat) => {
+            if flat.len() != groups * m {
+                return Err(CodecError("contents shape disagrees with blob layout"));
+            }
+            (0..groups)
+                .map(|g| flat[g * m..(g + 1) * m].to_vec())
+                .collect()
+        }
+    };
+    // The stored CRC travels with the packet (not recomputed), so
+    // at-rest damage stays visible to listeners.
+    let records = (0..groups)
+        .map(|g| (0..view.n()).map(|i| view.record(g, i).to_vec()).collect())
+        .collect();
+    Ok(BroadcastDoc {
+        id,
+        weight,
+        m,
+        n: view.n(),
+        packet_size: view.packet_size(),
+        doc_len: view.doc_len(),
+        group_lens: (0..groups).map(|g| view.group_len(g)).collect(),
+        records,
+        contents,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_dispersed;
+    use mrtweb_transport::broadcast::{BroadcastListener, Carousel, CarouselConfig, StopRule};
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(37) ^ 0x5A)
+            .collect()
+    }
+
+    #[test]
+    fn blob_lifts_to_air_doc_and_round_trips_through_a_carousel() {
+        let body = payload(700);
+        let blob = encode_dispersed(&body, 4, 6, 64).unwrap();
+        let doc = broadcast_doc_from_blob(3, 1.0, &blob, None).unwrap();
+        assert_eq!(doc.m, 4);
+        assert_eq!(doc.n, 6);
+        assert_eq!(doc.doc_len, 700);
+        assert!(doc.records.iter().all(|g| g.len() == 6));
+
+        let car = Carousel::build(std::slice::from_ref(&doc), &CarouselConfig::default()).unwrap();
+        let mut l = BroadcastListener::new(1, 3, StopRule::Complete);
+        let mut slot = 0u64;
+        while !l.hear(slot, Some(car.frame_at(0, slot))) {
+            slot += 1;
+            assert!(slot < 4 * car.cycle_len(0) as u64);
+        }
+        assert_eq!(l.bytes(), Some(&body[..]), "air round trip changed bytes");
+    }
+
+    #[test]
+    fn at_rest_damage_survives_the_lift_and_is_caught_on_air() {
+        let body = payload(256);
+        let mut blob = encode_dispersed(&body, 2, 4, 128).unwrap();
+        // Damage one stored packet byte (inside the first record's
+        // packet region, past the 29-byte header + 4-byte group_len).
+        blob[29 + 4 + 10] ^= 0xFF;
+        let doc = broadcast_doc_from_blob(1, 1.0, &blob, None).unwrap();
+        let car = Carousel::build(std::slice::from_ref(&doc), &CarouselConfig::default()).unwrap();
+        let mut l = BroadcastListener::new(1, 1, StopRule::Complete);
+        let mut slot = 0u64;
+        while !l.hear(slot, Some(car.frame_at(0, slot))) {
+            slot += 1;
+            assert!(slot < 4 * car.cycle_len(0) as u64);
+        }
+        // Redundancy covers the damaged record; the bytes still match.
+        assert_eq!(l.bytes(), Some(&body[..]));
+        assert!(l.corrupt_frames() >= 1, "at-rest damage went unnoticed");
+    }
+
+    #[test]
+    fn custom_contents_must_match_the_layout() {
+        let blob = encode_dispersed(&payload(100), 2, 3, 64).unwrap();
+        assert!(broadcast_doc_from_blob(1, 1.0, &blob, Some(&[0.5])).is_err());
+        let doc = broadcast_doc_from_blob(1, 1.0, &blob, Some(&[0.7, 0.3])).unwrap();
+        assert_eq!(doc.contents, vec![vec![0.7, 0.3]]);
+    }
+
+    #[test]
+    fn garbage_blobs_are_rejected() {
+        assert!(broadcast_doc_from_blob(1, 1.0, b"not a blob", None).is_err());
+    }
+}

@@ -375,6 +375,203 @@ pub fn decode_dispersed(mut input: &[u8]) -> Result<Vec<u8>, CodecError> {
     Ok(out)
 }
 
+/// A zero-decode view over a dispersed blob's cooked-packet records —
+/// the broadcast carousel's on-air format.
+///
+/// The carousel transmits the *stored* records (`packet bytes ‖
+/// crc32`) verbatim: encoding happened exactly once, at `put` time,
+/// and an unbounded number of listeners replays from the same bytes.
+/// This view parses and bounds-checks the MRTB header and record
+/// layout without reconstructing anything, so iterating a blob's
+/// packets costs a header parse, not a decode.
+#[derive(Debug, Clone, Copy)]
+pub struct BlobPackets<'a> {
+    m: usize,
+    n: usize,
+    packet_size: usize,
+    doc_len: usize,
+    n_groups: usize,
+    /// The group region: `n_groups` × (`group_len` + `n` records).
+    body: &'a [u8],
+}
+
+/// One on-air packet: its dispersal coordinates and stored bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AirPacketRef<'a> {
+    /// Dispersal group the packet belongs to.
+    pub group: usize,
+    /// Cooked packet index within the group (`0..N`).
+    pub index: usize,
+    /// The packet bytes (length `packet_size`).
+    pub packet: &'a [u8],
+    /// Whether the stored CRC-32 still matches the packet bytes.
+    pub intact: bool,
+}
+
+impl<'a> BlobPackets<'a> {
+    /// Parses a blob header and validates the record layout.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] for wrong magic/version, hostile header fields,
+    /// truncation, or trailing garbage — the same discipline as
+    /// [`decode_dispersed`], minus the reconstruction.
+    pub fn parse(blob: &'a [u8]) -> Result<Self, CodecError> {
+        let mut input = blob;
+        let magic = get_exact(&mut input, 4)?;
+        if magic != BLOB_MAGIC {
+            return Err(CodecError("bad blob magic"));
+        }
+        if get_u8(&mut input)? != VERSION {
+            return Err(CodecError("unsupported version"));
+        }
+        let m = get_u32(&mut input)? as usize;
+        let n = get_u32(&mut input)? as usize;
+        let packet_size = get_u32(&mut input)? as usize;
+        if m == 0 || n < m || n > 256 || packet_size == 0 || packet_size > MAX_LEN {
+            return Err(CodecError("invalid dispersal parameters"));
+        }
+        let doc_len = get_u64(&mut input)? as usize;
+        if doc_len > MAX_LEN {
+            return Err(CodecError("length field exceeds sanity bound"));
+        }
+        let n_groups = get_len(&mut input)?;
+        let group_capacity = m * packet_size;
+        let expected_groups = if doc_len == 0 {
+            1
+        } else {
+            doc_len.div_ceil(group_capacity)
+        };
+        if n_groups != expected_groups {
+            return Err(CodecError("group count inconsistent with length"));
+        }
+        let group_bytes = 4 + n * (packet_size + 4);
+        if input.len() != n_groups * group_bytes {
+            return Err(CodecError("truncated input"));
+        }
+        let view = BlobPackets {
+            m,
+            n,
+            packet_size,
+            doc_len,
+            n_groups,
+            body: input,
+        };
+        for g in 0..n_groups {
+            if view.group_len(g) > group_capacity {
+                return Err(CodecError("group length exceeds capacity"));
+            }
+        }
+        Ok(view)
+    }
+
+    /// Raw packets per group (`M`).
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Cooked packets per group (`N`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes per cooked packet.
+    #[must_use]
+    pub fn packet_size(&self) -> usize {
+        self.packet_size
+    }
+
+    /// Total payload length the blob reconstructs to.
+    #[must_use]
+    pub fn doc_len(&self) -> usize {
+        self.doc_len
+    }
+
+    /// Number of dispersal groups.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Payload bytes carried by group `group` (≤ `M · packet_size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn group_len(&self, group: usize) -> usize {
+        let at = group * self.group_stride();
+        let b = &self.body[at..at + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
+    }
+
+    /// The stored packet bytes at (`group`, `index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    #[must_use]
+    pub fn packet(&self, group: usize, index: usize) -> &'a [u8] {
+        let at = self.record_at(group, index);
+        &self.body[at..at + self.packet_size]
+    }
+
+    /// The full stored record at (`group`, `index`): packet bytes
+    /// followed by their little-endian CRC-32, exactly as persisted —
+    /// the broadcast carousel's on-air unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    #[must_use]
+    pub fn record(&self, group: usize, index: usize) -> &'a [u8] {
+        let at = self.record_at(group, index);
+        &self.body[at..at + self.packet_size + 4]
+    }
+
+    /// Whether the stored CRC-32 at (`group`, `index`) still matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    #[must_use]
+    pub fn is_intact(&self, group: usize, index: usize) -> bool {
+        let at = self.record_at(group, index) + self.packet_size;
+        let b = &self.body[at..at + 4];
+        let stored = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        crc32(self.packet(group, index)) == stored
+    }
+
+    /// Every on-air packet in carousel order (group-major).
+    pub fn iter(&self) -> impl Iterator<Item = AirPacketRef<'a>> + '_ {
+        let (groups, n) = (self.n_groups, self.n);
+        (0..groups).flat_map(move |group| {
+            (0..n).map(move |index| AirPacketRef {
+                group,
+                index,
+                packet: self.packet(group, index),
+                intact: self.is_intact(group, index),
+            })
+        })
+    }
+
+    fn group_stride(&self) -> usize {
+        4 + self.n * (self.packet_size + 4)
+    }
+
+    fn record_at(&self, group: usize, index: usize) -> usize {
+        assert!(
+            group < self.n_groups && index < self.n,
+            "packet ({group}, {index}) out of range ({} groups × N={})",
+            self.n_groups,
+            self.n
+        );
+        group * self.group_stride() + 4 + index * (self.packet_size + 4)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

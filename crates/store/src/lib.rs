@@ -17,10 +17,14 @@
 //! * [`disk`] — directory-backed persistence with atomic replace;
 //! * [`gateway`] — [`gateway::Gateway`]: store + pipeline glue that
 //!   prepares a ready-to-send [`mrtweb_transport::live::LiveServer`]
-//!   for a `(url, query, LOD, γ)` request.
+//!   for a `(url, query, LOD, γ)` request;
+//! * [`air`] — lifts a dispersed blob into an on-air
+//!   [`mrtweb_transport::broadcast::BroadcastDoc`] with zero decode or
+//!   re-encode (the blob's records *are* the carousel's frames).
 
 #![forbid(unsafe_code)]
 
+pub mod air;
 pub mod codec;
 pub mod disk;
 pub mod gateway;

@@ -23,12 +23,17 @@
 //! * [`prefetch`] — IC-ranked idle-bandwidth prefetching (§6 direction);
 //! * [`live`] — a threaded client/server prototype exchanging real
 //!   CRC-framed bytes over a corrupting link (the Rust analogue of the
-//!   paper's Figure 1 CORBA prototype).
+//!   paper's Figure 1 CORBA prototype);
+//! * [`broadcast`] — carousel delivery over a shared medium: the
+//!   stored cooked records cycle on air verbatim (one encode at store
+//!   time, unbounded listeners), with interleaved air-index frames and
+//!   a tune-in-anywhere listener (§6's broadcast direction).
 
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
 pub mod arq;
+pub mod broadcast;
 pub mod compress;
 pub mod error;
 pub mod intuition;

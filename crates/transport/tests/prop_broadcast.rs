@@ -1,0 +1,226 @@
+//! Property-based tests for the broadcast carousel.
+//!
+//! The paper's broadcast direction (§6) only works if the carousel is
+//! *dependable*: a listener tuning in anywhere, under bounded loss,
+//! must complete within a bounded number of cycles, and stopping early
+//! at `M` must never change the reconstructed bytes. These properties
+//! pin exactly that, over randomized corpus shapes, skews, join
+//! offsets, and loss patterns.
+
+use proptest::prelude::*;
+
+use mrtweb_erasure::crc::crc32;
+use mrtweb_erasure::ida::Codec;
+use mrtweb_erasure::par::GroupCodec;
+use mrtweb_transport::broadcast::{
+    BroadcastDoc, BroadcastListener, Carousel, CarouselConfig, Skew, Slot, SlotRef, StopRule,
+};
+
+/// Cook a payload into a broadcast document the way the store does:
+/// dispersal-encode once, append each packet's CRC-32.
+fn cook(id: u16, weight: f64, m: usize, n: usize, ps: usize, payload: &[u8]) -> BroadcastDoc {
+    let codec = Codec::new(m, n, ps).expect("valid test parameters");
+    let groups = GroupCodec::new(codec).encode(payload);
+    BroadcastDoc {
+        id,
+        weight,
+        m,
+        n,
+        packet_size: ps,
+        doc_len: payload.len(),
+        group_lens: groups.iter().map(|g| g.len).collect(),
+        records: groups
+            .iter()
+            .map(|g| {
+                g.cooked
+                    .iter()
+                    .map(|p| {
+                        let mut r = p.clone();
+                        r.extend_from_slice(&crc32(p).to_le_bytes());
+                        r
+                    })
+                    .collect()
+            })
+            .collect(),
+        contents: BroadcastDoc::uniform_contents(groups.len(), m),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DocSpec {
+    m: usize,
+    extra: usize,
+    ps: usize,
+    len: usize,
+    weight: f64,
+}
+
+fn doc_spec() -> impl Strategy<Value = DocSpec> {
+    (1usize..5, 0usize..4, 4usize..24, 1usize..300, 0.1f64..16.0).prop_map(
+        |(m, extra, ps, len, weight)| DocSpec {
+            m,
+            extra,
+            ps,
+            len,
+            weight,
+        },
+    )
+}
+
+fn corpus(specs: &[DocSpec]) -> (Vec<BroadcastDoc>, Vec<Vec<u8>>) {
+    let payloads: Vec<Vec<u8>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (0..s.len)
+                .map(|b| (b as u8).wrapping_mul(13) ^ i as u8)
+                .collect()
+        })
+        .collect();
+    let docs = specs
+        .iter()
+        .zip(&payloads)
+        .enumerate()
+        .map(|(i, (s, p))| cook(i as u16, s.weight, s.m, s.m + s.extra, s.ps, p))
+        .collect();
+    (docs, payloads)
+}
+
+fn config(channels: usize, skew: Skew, index_every: usize) -> CarouselConfig {
+    CarouselConfig {
+        channels,
+        skew,
+        index_every,
+    }
+}
+
+proptest! {
+    /// A listener joining at *any* offset, losing at most `N − M`
+    /// distinct packet indices of its document per cycle, still
+    /// completes within two cycles of air time (one to catch an index
+    /// frame, one to sweep the surviving packets) and reconstructs the
+    /// exact bytes.
+    #[test]
+    fn bounded_loss_completes_within_two_cycles(
+        spec in doc_spec(),
+        join in 0u64..500,
+        index_every in 1usize..8,
+        lost_seed in any::<u64>(),
+    ) {
+        let (docs, payloads) = corpus(std::slice::from_ref(&spec));
+        let n = spec.m + spec.extra;
+        let car = Carousel::build(&docs, &config(1, Skew::Flat, index_every))
+            .expect("valid corpus");
+        let cycle = car.cycle_len(0) as u64;
+        // Kill up to N−M packet indices (same ones every cycle: the
+        // adversarial stationary fade).
+        let losable = spec.extra;
+        let lost: std::collections::BTreeSet<usize> =
+            (0..losable).map(|k| ((lost_seed >> (k * 8)) as usize) % n).collect();
+        let mut l = BroadcastListener::new(7, 0, StopRule::Complete);
+        let mut slot = join;
+        loop {
+            let frame = car.frame_at(0, slot);
+            let heard = match mrtweb_transport::broadcast::parse_frame(frame) {
+                Ok(mrtweb_transport::broadcast::AirFrame::Data { index, .. })
+                    if lost.contains(&usize::from(index)) => None,
+                _ => Some(frame),
+            };
+            if l.hear(slot, heard) {
+                break;
+            }
+            slot += 1;
+            prop_assert!(
+                slot - join <= 2 * cycle + 2,
+                "no completion within two cycles (cycle={cycle}, join={join})"
+            );
+        }
+        prop_assert_eq!(l.bytes(), Some(&payloads[0][..]));
+    }
+
+    /// Building the same corpus twice yields byte-identical schedules
+    /// and frames — the carousel is a pure function of its inputs.
+    #[test]
+    fn schedules_are_deterministic(
+        specs in proptest::collection::vec(doc_spec(), 1..5),
+        channels in 1usize..4,
+        index_every in 0usize..10,
+        skewed in any::<bool>(),
+    ) {
+        let (docs, _) = corpus(&specs);
+        let skew = if skewed { Skew::Popularity } else { Skew::Flat };
+        let cfg = config(channels, skew, index_every);
+        let a = Carousel::build(&docs, &cfg).expect("valid corpus");
+        let b = Carousel::build(&docs, &cfg).expect("valid corpus");
+        prop_assert_eq!(a.channels(), b.channels());
+        for ch in 0..a.channels() {
+            prop_assert_eq!(a.slots(ch), b.slots(ch));
+            for s in 0..a.cycle_len(ch) {
+                prop_assert_eq!(a.frame_at(ch, s as u64), b.frame_at(ch, s as u64));
+            }
+        }
+    }
+
+    /// Popularity skew repeats hot packets but never starves any: every
+    /// packet of every document appears at least once per cycle, and
+    /// each document's packets all live on a single channel.
+    #[test]
+    fn skewed_schedules_cycle_every_packet(
+        specs in proptest::collection::vec(doc_spec(), 1..6),
+        channels in 1usize..4,
+        index_every in 0usize..10,
+    ) {
+        let (docs, _) = corpus(&specs);
+        let car = Carousel::build(&docs, &config(channels, Skew::Popularity, index_every))
+            .expect("valid corpus");
+        for d in &docs {
+            let home = car.channel_of(d.id).expect("document missing from air");
+            for g in 0..d.group_lens.len() {
+                for i in 0..d.n {
+                    let r = SlotRef { doc: d.id, group: g as u16, index: i as u16 };
+                    prop_assert!(car.frequency_of(r) >= 1, "{:?} starved", r);
+                    // All repetitions on the home channel.
+                    let elsewhere = (0..car.channels())
+                        .filter(|&c| c != home)
+                        .flat_map(|c| car.slots(c))
+                        .any(|s| matches!(s, Slot::Data(x) if *x == r));
+                    prop_assert!(!elsewhere, "{:?} leaked across channels", r);
+                }
+            }
+        }
+    }
+
+    /// Early stop at `M` yields exactly the bytes a patient listener
+    /// collecting *every* packet would reconstruct — redundancy is
+    /// interchangeable, so stopping early loses nothing.
+    #[test]
+    fn early_stop_bytes_equal_full_collection_bytes(
+        spec in doc_spec(),
+        join_a in 0u64..300,
+        join_b in 0u64..300,
+        index_every in 1usize..8,
+    ) {
+        let (docs, payloads) = corpus(std::slice::from_ref(&spec));
+        let car = Carousel::build(&docs, &config(1, Skew::Flat, index_every))
+            .expect("valid corpus");
+        let cycle = car.cycle_len(0) as u64;
+        let run = |rule: StopRule, join: u64| {
+            let mut l = BroadcastListener::new(join, 0, rule);
+            let mut slot = join;
+            while !l.hear(slot, Some(car.frame_at(0, slot))) {
+                slot += 1;
+                assert!(slot - join <= 4 * cycle, "listener did not finish");
+            }
+            (l.bytes().map(<[u8]>::to_vec), l.access_slots().unwrap_or(u64::MAX))
+        };
+        let (early_bytes, early_slots) = run(StopRule::Complete, join_a);
+        let (full_bytes, full_slots) = run(StopRule::AllPackets, join_b);
+        prop_assert_eq!(early_bytes.as_deref(), Some(&payloads[0][..]));
+        prop_assert_eq!(full_bytes.as_deref(), Some(&payloads[0][..]));
+        // Early stop is never slower than full collection from the
+        // same start (it needs a subset of the packets).
+        if join_a == join_b {
+            prop_assert!(early_slots <= full_slots);
+        }
+    }
+}

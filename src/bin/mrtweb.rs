@@ -59,6 +59,7 @@ fn main() -> ExitCode {
             eprintln!("  mrtweb summary <file> [--budget BYTES]");
             eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
             eprintln!("  mrtweb faultrun --scenario NAME [--seed S] | --all [--seed S] | --list");
+            eprintln!("  mrtweb broadcast [--docs D] [--listeners L] [--channels K] [--skew flat|popularity] [--index-every I] [--packet-size P] [--gamma G] [--fault PRESET] [--stop-content X] [--seed S] [--json] [--sweep 1,2,4] [--bench-out FILE]");
             eprintln!("  mrtweb serve [files...] [--addr A] [--engine auto|event|blocking] [--corpus K] [--max-sessions N] [--workers W] [--frame-budget B] [--fault PRESET] [--seed S] [--runtime-secs T]");
             eprintln!("  mrtweb fetch <url> [--addr A] [--query Q] [--lod L] [--measure ic|qic|mqic] [--packet-size P] [--gamma G] [--stop-content X] [--stop-slices K] [--out FILE]");
             eprintln!("  mrtweb loadgen [--addr A] [--url U] [--clients K] [--requests R] [--rate RPS --arrival fixed|poisson] [--sweep 1,8,32] [--json] [--bench-out FILE]");
@@ -104,6 +105,12 @@ struct Flags {
     sweep: String,
     json: bool,
     bench_out: String,
+    // broadcast verb
+    listeners: usize,
+    channels: usize,
+    docs: usize,
+    skew: String,
+    index_every: usize,
     assert_clean: bool,
     timeout_secs: u64,
     engine: String,
@@ -143,6 +150,11 @@ impl Default for Flags {
             sweep: String::new(),
             json: false,
             bench_out: String::new(),
+            listeners: 32,
+            channels: 1,
+            docs: 8,
+            skew: "popularity".to_owned(),
+            index_every: 16,
             assert_clean: false,
             timeout_secs: 10,
             engine: "auto".to_owned(),
@@ -298,6 +310,32 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--arrival" => {
                 f.arrival.clone_from(need(i)?);
+                i += 1;
+            }
+            "--listeners" => {
+                f.listeners = need(i)?
+                    .parse()
+                    .map_err(|_| "--listeners needs an integer")?;
+                i += 1;
+            }
+            "--channels" => {
+                f.channels = need(i)?
+                    .parse()
+                    .map_err(|_| "--channels needs an integer")?;
+                i += 1;
+            }
+            "--docs" => {
+                f.docs = need(i)?.parse().map_err(|_| "--docs needs an integer")?;
+                i += 1;
+            }
+            "--skew" => {
+                f.skew.clone_from(need(i)?);
+                i += 1;
+            }
+            "--index-every" => {
+                f.index_every = need(i)?
+                    .parse()
+                    .map_err(|_| "--index-every needs an integer")?;
                 i += 1;
             }
             "--json" => f.json = true,
@@ -489,6 +527,80 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if failed > 0 {
                 return Err(format!("{failed} of {} scenario(s) failed", reports.len()));
+            }
+            Ok(())
+        }
+        "broadcast" => {
+            let flags = parse_flags(&args[1..])?;
+            let skew = match flags.skew.as_str() {
+                "flat" => mrtweb::transport::broadcast::Skew::Flat,
+                "popularity" | "skewed" => mrtweb::transport::broadcast::Skew::Popularity,
+                other => return Err(format!("unknown skew {other:?} (flat|popularity)")),
+            };
+            let stop = match flags.stop_content {
+                Some(x) => mrtweb::transport::broadcast::StopRule::Content(x),
+                None => mrtweb::transport::broadcast::StopRule::Complete,
+            };
+            let cfg = mrtweb::broadcast::RunConfig {
+                docs: flags.docs.max(1),
+                listeners: flags.listeners.max(1),
+                channels: flags.channels.max(1),
+                skew,
+                index_every: flags.index_every,
+                packet_size: flags.packet_size.max(4) as usize,
+                gamma: flags.gamma,
+                seed: flags.seed,
+                fault: parse_fault(&flags.fault)?,
+                stop,
+                max_cycles: 64,
+            };
+            if !flags.sweep.is_empty() || !flags.bench_out.is_empty() {
+                let ks = if flags.sweep.is_empty() {
+                    vec![1, 2, 4]
+                } else {
+                    parse_counts(&flags.sweep)?
+                };
+                let (json, points, decreasing) = mrtweb::broadcast::bench_sweep(&cfg, &ks)?;
+                println!("{json}");
+                if !flags.bench_out.is_empty() {
+                    std::fs::write(&flags.bench_out, format!("{json}\n"))
+                        .map_err(|e| format!("cannot write {}: {e}", flags.bench_out))?;
+                }
+                println!("sweep: K={ks:?} skewed mean access decreasing with K: {decreasing}");
+                if points.iter().any(|p| p.listeners_completed == 0) {
+                    return Err("a sweep point completed no listeners".into());
+                }
+                return Ok(());
+            }
+            let report = mrtweb::broadcast::run(&cfg)?;
+            if flags.json {
+                println!(
+                    "{{\"docs\": {}, \"channels\": {}, \"listeners\": {}, \"completed\": {}, \"byte_identical\": {}, \"mean_access_slots\": {:.3}, \"p95_access_slots\": {:.3}, \"encode_spans\": {}, \"zero_reencode\": {}}}",
+                    report.docs,
+                    report.channels,
+                    report.outcomes.len(),
+                    report.completed,
+                    report.byte_identical,
+                    report.mean_access_slots,
+                    report.p95_access_slots,
+                    report.encode_spans,
+                    report.zero_reencode()
+                );
+            } else {
+                print!("{}", report.render());
+            }
+            if report.completed < report.outcomes.len() {
+                return Err(format!(
+                    "{} of {} listener(s) did not complete",
+                    report.outcomes.len() - report.completed,
+                    report.outcomes.len()
+                ));
+            }
+            if !report.zero_reencode() {
+                return Err(format!(
+                    "carousel re-encoded: {} encode spans for {} documents",
+                    report.encode_spans, report.docs
+                ));
             }
             Ok(())
         }

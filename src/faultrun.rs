@@ -20,18 +20,21 @@
 //! reproduces with `mrtweb faultrun --scenario <name> --seed <s>`; the
 //! scheduler's trace is carried in the report for replay and diagnosis.
 
-use std::sync::{Mutex, PoisonError};
-
 use mrtweb_channel::bandwidth::Bandwidth;
 use mrtweb_channel::fault::{
     apply_fault, render_trace, FaultConfig, FaultEvent, FaultKind, FaultScheduler, ScheduledLoss,
 };
 use mrtweb_channel::link::Link;
+use mrtweb_channel::medium::SharedMedium;
 use mrtweb_content::sc::{Measure, StructuralCharacteristic};
 use mrtweb_docmodel::gen::SyntheticDocSpec;
 use mrtweb_docmodel::lod::Lod;
+use mrtweb_store::air::broadcast_doc_from_blob;
 use mrtweb_store::codec::{decode_dispersed, encode_dispersed};
 use mrtweb_transport::arq::{download_arq, ArqConfig};
+use mrtweb_transport::broadcast::{
+    BroadcastDoc, BroadcastListener, Carousel, CarouselConfig, Skew, StopRule,
+};
 use mrtweb_transport::live::{run_transfer, ClientEvent, LiveServer, TransferConfig};
 use mrtweb_transport::plan::{plan_document, TransmissionPlan, UnitSlice};
 use mrtweb_transport::session::{download, CacheMode, Outcome, Relevance, SessionConfig};
@@ -69,6 +72,22 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     (
         "store-rot",
         "at-rest packet rot in dispersed blobs: decode survives ≥M intact per group, fails cleanly below",
+    ),
+    (
+        "broadcast-join",
+        "carousel listeners joining mid-cycle at scattered offsets on clean air: all complete byte-identically within two cycles",
+    ),
+    (
+        "broadcast-outage",
+        "a disconnection window spanning a carousel cycle boundary: listeners ride out the outage and still reconstruct exactly",
+    ),
+    (
+        "broadcast-earlystop",
+        "per-listener early stop at M: early-stopping bytes equal the patient all-packets collection, and stop before it",
+    ),
+    (
+        "broadcast-corrupt",
+        "corrupted frames on the air: CRC discards damage, redundancy covers it, and every completion stays byte-identical",
     ),
 ];
 
@@ -181,16 +200,11 @@ impl Harness {
 pub fn run_scenario(name: &str, seed: u64) -> Result<ScenarioReport, String> {
     let mut h = Harness::new();
     // One scenario records at a time, so each report's timeline holds
-    // exactly its own run's events (the tracer is process-global).
-    let _guard = TIMELINE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
-    let was_tracing = mrtweb_obs::is_enabled();
-    mrtweb_obs::set_enabled(true);
-    if !was_tracing {
-        let _ = mrtweb_obs::drain(); // start from an empty buffer
-    }
+    // exactly its own run's events (the tracer is process-global; the
+    // capture session owns the cross-crate timeline lock).
+    let session = mrtweb_obs::testkit::capture();
     let outcome = drive(name, seed, &mut h);
-    mrtweb_obs::set_enabled(was_tracing);
-    let timeline = mrtweb_obs::drain();
+    let timeline = session.finish();
     outcome?;
     Ok(ScenarioReport {
         scenario: name.to_string(),
@@ -201,10 +215,6 @@ pub fn run_scenario(name: &str, seed: u64) -> Result<ScenarioReport, String> {
         timeline,
     })
 }
-
-/// Serializes scenario runs so concurrent callers (tests) don't drain
-/// each other's trace events.
-static TIMELINE_LOCK: Mutex<()> = Mutex::new(());
 
 fn drive(name: &str, seed: u64, h: &mut Harness) -> Result<(), String> {
     match name {
@@ -249,6 +259,10 @@ fn drive(name: &str, seed: u64, h: &mut Harness) -> Result<(), String> {
             store_layer(h, &FaultConfig::mixed(), seed);
             store_hardening(h, seed);
         }
+        "broadcast-join" => broadcast_layer(h, BroadcastArm::Join, seed),
+        "broadcast-outage" => broadcast_layer(h, BroadcastArm::Outage, seed),
+        "broadcast-earlystop" => broadcast_layer(h, BroadcastArm::EarlyStop, seed),
+        "broadcast-corrupt" => broadcast_layer(h, BroadcastArm::Corrupt, seed),
         other => return Err(format!("unknown scenario {other:?}")),
     }
     Ok(())
@@ -641,6 +655,241 @@ fn store_hardening(h: &mut Harness, seed: u64) {
     h.check(decode_dispersed(&grown).is_err(), || {
         "store: blob with trailing garbage decoded".to_string()
     });
+}
+
+/// Which broadcast stress the scenario applies.
+#[derive(Debug, Clone, Copy)]
+enum BroadcastArm {
+    Join,
+    Outage,
+    EarlyStop,
+    Corrupt,
+}
+
+/// Three documents carved from the planner fixture, dispersal-encoded
+/// once each through the store codec and lifted onto the air.
+fn broadcast_fixture() -> (Vec<BroadcastDoc>, Vec<Vec<u8>>) {
+    let (_, _, payload) = fixture();
+    let third = payload.len() / 3;
+    let bodies = vec![
+        payload[..third].to_vec(),
+        payload[third..2 * third].to_vec(),
+        payload[2 * third..].to_vec(),
+    ];
+    let params = [(4usize, 6usize, 64usize), (3, 5, 48), (2, 4, 96)];
+    let docs = bodies
+        .iter()
+        .zip(&params)
+        .enumerate()
+        .map(|(i, (body, &(m, n, ps)))| {
+            let blob = encode_dispersed(body, m, n, ps).expect("valid parameters");
+            broadcast_doc_from_blob(i as u16, 1.0 / (i + 1) as f64, &blob, None)
+                .expect("store blob lifts to air")
+        })
+        .collect();
+    (docs, bodies)
+}
+
+/// Drives a listener over clean frames, with slots in `lost` heard as
+/// nothing. Returns the slot it completed at, if it did before `bound`.
+fn drive_clean(
+    car: &Carousel,
+    ch: usize,
+    l: &mut BroadcastListener,
+    join: u64,
+    bound: u64,
+    lost: impl Fn(u64) -> bool,
+) -> Option<u64> {
+    for slot in join..=join + bound {
+        let heard = if lost(slot) {
+            None
+        } else {
+            Some(car.frame_at(ch, slot))
+        };
+        if l.hear(slot, heard) {
+            return Some(slot);
+        }
+    }
+    None
+}
+
+/// The broadcast carousel under fault: whatever the air does, every
+/// completed listener must hold the exact stored bytes, and the
+/// scenario's timing promise must hold.
+#[allow(clippy::too_many_lines)]
+fn broadcast_layer(h: &mut Harness, arm: BroadcastArm, seed: u64) {
+    let (docs, bodies) = broadcast_fixture();
+    match arm {
+        BroadcastArm::Join => {
+            // Scattered mid-cycle joins on clean air across two flat
+            // channels: completion within two cycles of tune-in.
+            let car = Carousel::build(
+                &docs,
+                &CarouselConfig {
+                    channels: 2,
+                    skew: Skew::Flat,
+                    index_every: 4,
+                },
+            )
+            .expect("valid corpus");
+            for (k, doc) in docs.iter().enumerate() {
+                let ch = car.channel_of(doc.id).expect("document on air");
+                let cycle = car.cycle_len(ch) as u64;
+                for probe in 0..4u64 {
+                    let join = seed
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(probe.wrapping_mul(7919))
+                        % (2 * cycle);
+                    let mut l = BroadcastListener::new(probe, doc.id, StopRule::Complete);
+                    let done = drive_clean(&car, ch, &mut l, join, 2 * cycle + 2, |_| false);
+                    h.check(done.is_some(), || {
+                        format!("broadcast: doc {k} join {join} missed the two-cycle bound")
+                    });
+                    h.check(l.bytes() == Some(&bodies[k][..]), || {
+                        format!("broadcast: doc {k} join {join} reconstructed wrong bytes")
+                    });
+                }
+            }
+        }
+        BroadcastArm::Outage => {
+            let car = Carousel::build(
+                &docs,
+                &CarouselConfig {
+                    channels: 1,
+                    skew: Skew::Flat,
+                    index_every: 3,
+                },
+            )
+            .expect("valid corpus");
+            let cycle = car.cycle_len(0) as u64;
+            // A deterministic blackout straddling the first cycle
+            // boundary: nothing heard in [cycle−2, cycle+3].
+            for (k, doc) in docs.iter().enumerate() {
+                let mut l = BroadcastListener::new(k as u64, doc.id, StopRule::Complete);
+                let window = |s: u64| s >= cycle - 2 && s <= cycle + 3;
+                let done = drive_clean(&car, 0, &mut l, seed % cycle, 6 * cycle, window);
+                h.check(done.is_some(), || {
+                    format!("broadcast: doc {k} never completed around the boundary outage")
+                });
+                h.check(l.bytes() == Some(&bodies[k][..]), || {
+                    format!("broadcast: doc {k} outage run reconstructed wrong bytes")
+                });
+            }
+            // The stochastic arm: outage-heavy shared air, one tap per
+            // listener, generous horizon.
+            let mut medium = SharedMedium::new(&FaultConfig::outage_heavy(), seed, docs.len());
+            let mut listeners: Vec<BroadcastListener> = docs
+                .iter()
+                .map(|d| BroadcastListener::new(u64::from(d.id), d.id, StopRule::Complete))
+                .collect();
+            for slot in 0..24 * cycle {
+                if listeners.iter().all(BroadcastListener::is_done) {
+                    break;
+                }
+                let frame = car.frame_at(0, slot).to_vec();
+                for (tap, l) in listeners.iter_mut().enumerate() {
+                    if !l.is_done() {
+                        let delivery = medium.transmit_to(tap, &frame);
+                        l.hear(slot, delivery.bytes());
+                    }
+                }
+            }
+            h.trace
+                .extend((0..docs.len()).flat_map(|t| medium.trace(t).to_vec()));
+            for (k, l) in listeners.iter().enumerate() {
+                h.check(l.is_done(), || {
+                    format!("broadcast: listener {k} starved through outage-heavy air")
+                });
+                h.check(l.bytes() == Some(&bodies[k][..]), || {
+                    format!("broadcast: listener {k} outage-heavy bytes differ")
+                });
+            }
+        }
+        BroadcastArm::EarlyStop => {
+            let car = Carousel::build(
+                &docs,
+                &CarouselConfig {
+                    channels: 1,
+                    skew: Skew::Popularity,
+                    index_every: 2,
+                },
+            )
+            .expect("valid corpus");
+            let cycle = car.cycle_len(0) as u64;
+            for (k, doc) in docs.iter().enumerate() {
+                let join = seed.wrapping_mul(31).wrapping_add(k as u64) % cycle;
+                let mut early = BroadcastListener::new(0, doc.id, StopRule::Complete);
+                let mut full = BroadcastListener::new(1, doc.id, StopRule::AllPackets);
+                let early_done = drive_clean(&car, 0, &mut early, join, 8 * cycle, |_| false);
+                let full_done = drive_clean(&car, 0, &mut full, join, 8 * cycle, |_| false);
+                h.check(early_done.is_some() && full_done.is_some(), || {
+                    format!("broadcast: doc {k} early/full listeners did not finish")
+                });
+                h.check(
+                    early.bytes() == Some(&bodies[k][..]) && full.bytes() == Some(&bodies[k][..]),
+                    || format!("broadcast: doc {k} early-stop bytes differ from full collection"),
+                );
+                h.check(early.access_slots() <= full.access_slots(), || {
+                    format!(
+                        "broadcast: doc {k} early stop ({:?}) slower than all-packets ({:?})",
+                        early.access_slots(),
+                        full.access_slots()
+                    )
+                });
+            }
+        }
+        BroadcastArm::Corrupt => {
+            let car = Carousel::build(
+                &docs,
+                &CarouselConfig {
+                    channels: 1,
+                    skew: Skew::Flat,
+                    index_every: 4,
+                },
+            )
+            .expect("valid corpus");
+            let cycle = car.cycle_len(0) as u64;
+            let taps = 5;
+            let mut medium = SharedMedium::new(&FaultConfig::corrupting(0.25), seed, taps);
+            let mut listeners: Vec<BroadcastListener> = (0..taps as u64)
+                .map(|i| {
+                    BroadcastListener::new(
+                        i,
+                        docs[(i as usize) % docs.len()].id,
+                        StopRule::Complete,
+                    )
+                })
+                .collect();
+            for slot in 0..24 * cycle {
+                if listeners.iter().all(BroadcastListener::is_done) {
+                    break;
+                }
+                let frame = car.frame_at(0, slot).to_vec();
+                for (tap, l) in listeners.iter_mut().enumerate() {
+                    if !l.is_done() {
+                        let delivery = medium.transmit_to(tap, &frame);
+                        l.hear(slot, delivery.bytes());
+                    }
+                }
+            }
+            h.trace
+                .extend((0..taps).flat_map(|t| medium.trace(t).to_vec()));
+            let mut rejected = 0u64;
+            for (i, l) in listeners.iter().enumerate() {
+                let k = i % docs.len();
+                h.check(l.is_done(), || {
+                    format!("broadcast: listener {i} never completed through corruption")
+                });
+                h.check(l.bytes() == Some(&bodies[k][..]), || {
+                    format!("broadcast: listener {i} accepted corrupted bytes")
+                });
+                rejected += l.corrupt_frames();
+            }
+            h.check(rejected > 0, || {
+                "broadcast: corrupting air produced zero CRC rejections".to_string()
+            });
+        }
+    }
 }
 
 #[cfg(test)]

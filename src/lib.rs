@@ -57,6 +57,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod broadcast;
 pub mod faultrun;
 
 pub use mrtweb_channel as channel;

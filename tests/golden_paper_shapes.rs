@@ -307,3 +307,21 @@ fn fig7_skew_curves_match_golden() {
     let points = experiment4(&GOLDEN_SCALE, GOLDEN_SEED);
     check_golden("fig7.json", &improvement_points_json(&points), figure_tol);
 }
+
+/// Flat-carousel access time: the emitter sweeps every join offset on
+/// clean air, so everything is deterministic; the slot counts must
+/// reproduce exactly and the mean may drift only by a fraction of a
+/// slot under benign scheduler refactors.
+fn broadcast_tol(key: &str) -> (f64, f64) {
+    match key {
+        "mean_access_slots" | "model_mean_slots" => (0.5, 0.01),
+        _ => (1e-9, 0.0),
+    }
+}
+
+#[test]
+fn broadcast_flat_access_matches_golden() {
+    let json =
+        mrtweb::broadcast::golden_flat_access(GOLDEN_SEED).expect("golden broadcast corpus builds");
+    check_golden("broadcast_access.json", &json, broadcast_tol);
+}
