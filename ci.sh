@@ -24,6 +24,12 @@
 #                  re-encodes, K-sweep -> BENCH_broadcast.json
 #   bench          erasure-codec sweep (quick mode) -> BENCH_erasure.json
 #   bench-gate     compare fresh BENCH_*.json against BENCH_BASELINE.json
+#   miri           cargo miri test on the concurrency-bearing crates
+#                  (SKIPs when the miri component is not installed)
+#   tsan           ThreadSanitizer test pass on the concurrency-bearing
+#                  crates (SKIPs without nightly + rust-src: TSan needs
+#                  an instrumented std via -Zbuild-std to avoid false
+#                  positives in uninstrumented runtime code)
 #
 # The proxy readiness wait is bounded but configurable: set
 # MRTWEB_PROXY_WAIT_SECS (default 5) on slow runners. The proxy child
@@ -31,7 +37,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke broadcast bench bench-gate"
+ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke broadcast bench bench-gate miri tsan"
 
 run_bench=1
 quick=0
@@ -215,6 +221,53 @@ stage_bench_gate() {
   cargo run -q -p mrtweb-analysis -- bench-gate
 }
 
+# The crates whose lock/atomic traffic the sanitizers exercise: the obs
+# ring buffer, the proxy's admission counters and the transport layer's
+# live protocol threads.
+SANITIZER_CRATES="-p mrtweb-obs -p mrtweb-transport -p mrtweb-erasure"
+
+stage_miri() {
+  echo "==> miri: interpreter-checked test pass (UB + data-race detection)"
+  local tc=""
+  if cargo miri --version >/dev/null 2>&1; then
+    tc=""
+  elif cargo +nightly miri --version >/dev/null 2>&1; then
+    tc="+nightly"
+  else
+    echo "    SKIP: miri component not installed (rustup component add miri)"
+    return 0
+  fi
+  # Isolation off: the obs clock shim reads Instant::now once to pin
+  # its epoch (the workspace's single audited wall-clock site). A low
+  # proptest case count keeps the ~100x interpreter slowdown bounded.
+  # shellcheck disable=SC2086  # word-splitting of tc and the -p list is intended
+  MIRIFLAGS="-Zmiri-disable-isolation" PROPTEST_CASES=8 \
+    cargo $tc miri test -q $SANITIZER_CRATES
+}
+
+stage_tsan() {
+  echo "==> tsan: ThreadSanitizer test pass on the concurrency-bearing crates"
+  if ! rustc +nightly --version >/dev/null 2>&1; then
+    echo "    SKIP: nightly toolchain not installed (-Zsanitizer requires nightly)"
+    return 0
+  fi
+  local sysroot
+  sysroot="$(rustc +nightly --print sysroot)"
+  if [ ! -d "$sysroot/lib/rustlib/src/rust/library" ]; then
+    # Without -Zbuild-std the uninstrumented std reports false races
+    # (e.g. in std::sync::mpmc inside libtest itself), so a TSan run
+    # against a prebuilt std would cry wolf on every execution.
+    echo "    SKIP: rust-src not installed (rustup component add rust-src --toolchain nightly)"
+    return 0
+  fi
+  local triple
+  triple="$(rustc +nightly --version --verbose | awk '/^host:/{print $2}')"
+  # shellcheck disable=SC2086  # word-splitting of the -p list is intended
+  RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
+    PROPTEST_CASES=16 \
+    cargo +nightly test -q -Zbuild-std --target "$triple" $SANITIZER_CRATES
+}
+
 for stage in $stages; do
   case "$stage" in
     fmt) stage_fmt ;;
@@ -229,6 +282,8 @@ for stage in $stages; do
     broadcast) stage_broadcast ;;
     bench) stage_bench ;;
     bench-gate) stage_bench_gate ;;
+    miri) stage_miri ;;
+    tsan) stage_tsan ;;
   esac
 done
 

@@ -103,7 +103,7 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
@@ -123,7 +123,9 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
+    if b.get(*pos..)
+        .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+    {
         *pos += lit.len();
         Ok(value)
     } else {
@@ -133,10 +135,14 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, 
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 number".to_owned())?;
+    let text = std::str::from_utf8(b.get(start..*pos).unwrap_or(&[]))
+        .map_err(|_| "non-utf8 number".to_owned())?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("bad number `{text}` at byte {start}"))
@@ -173,7 +179,7 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
             }
             _ => {
                 // Copy the full UTF-8 scalar, not just one byte.
-                let rest = std::str::from_utf8(&b[*pos..])
+                let rest = std::str::from_utf8(b.get(*pos..).unwrap_or(&[]))
                     .map_err(|_| format!("non-utf8 string at byte {}", *pos))?;
                 let ch = rest.chars().next().ok_or("empty string tail")?;
                 out.push(ch);

@@ -1,7 +1,9 @@
 //! Workspace walker: discovers crates, prepares every `.rs` file and
-//! runs the rule catalog plus the layering check.
+//! runs the rule catalog (per-file rules, then the per-crate lock
+//! graph) plus the layering check.
 
 use crate::lexer::Prepared;
+use crate::lockgraph::{self, CrateFile};
 use crate::manifest;
 use crate::report::{Analysis, Finding};
 use crate::rules;
@@ -16,7 +18,7 @@ pub fn analyze(root: &Path) -> io::Result<Analysis> {
     // Root binary crate (`mrtweb`): src/ only; top-level tests/ and
     // examples/ are test code and exempt from every per-file rule by
     // construction, so they are not walked.
-    scan_tree(root, &root.join("src"), "mrtweb", false, &mut analysis)?;
+    scan_crate_dirs(root, "mrtweb", &[(root.join("src"), false)], &mut analysis)?;
 
     // Workspace member crates under crates/.
     let crates_dir = root.join("crates");
@@ -33,10 +35,13 @@ pub fn analyze(root: &Path) -> io::Result<Analysis> {
             .collect();
         names.sort();
         for (name, dir) in names {
-            scan_tree(root, &dir.join("src"), &name, false, &mut analysis)?;
             // Integration tests and benches are test code wholesale.
-            scan_tree(root, &dir.join("tests"), &name, true, &mut analysis)?;
-            scan_tree(root, &dir.join("benches"), &name, true, &mut analysis)?;
+            let trees = [
+                (dir.join("src"), false),
+                (dir.join("tests"), true),
+                (dir.join("benches"), true),
+            ];
+            scan_crate_dirs(root, &name, &trees, &mut analysis)?;
         }
     }
 
@@ -47,17 +52,40 @@ pub fn analyze(root: &Path) -> io::Result<Analysis> {
     // Deterministic report order regardless of filesystem iteration.
     analysis
         .findings
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(analysis)
 }
 
-/// Recursively scans every `.rs` file under `dir` as part of `krate`.
-fn scan_tree(
+/// Prepares every `.rs` file in a crate's source trees, runs the
+/// per-file rules, then the crate-wide lock graph.
+fn scan_crate_dirs(
+    root: &Path,
+    krate: &str,
+    trees: &[(PathBuf, bool)],
+    analysis: &mut Analysis,
+) -> io::Result<()> {
+    let mut files: Vec<CrateFile> = Vec::new();
+    for (dir, all_test) in trees {
+        collect_tree(root, dir, *all_test, &mut files)?;
+    }
+    analysis.files_scanned += files.len();
+    for f in &files {
+        analysis
+            .findings
+            .extend(rules::scan_file(krate, &f.path, &f.prep, f.all_test));
+    }
+    analysis
+        .findings
+        .extend(lockgraph::scan_crate(krate, &files));
+    Ok(())
+}
+
+/// Recursively prepares every `.rs` file under `dir`.
+fn collect_tree(
     root: &Path,
     dir: &Path,
-    krate: &str,
     all_test: bool,
-    analysis: &mut Analysis,
+    files: &mut Vec<CrateFile>,
 ) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
@@ -69,7 +97,7 @@ fn scan_tree(
     entries.sort();
     for path in entries {
         if path.is_dir() {
-            scan_tree(root, &path, krate, all_test, analysis)?;
+            collect_tree(root, &path, all_test, files)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             let text = std::fs::read_to_string(&path)?;
             let rel = path
@@ -77,19 +105,29 @@ fn scan_tree(
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            analysis.files_scanned += 1;
-            analysis
-                .findings
-                .extend(scan_source(krate, &rel, &text, all_test));
+            files.push(CrateFile {
+                path: rel,
+                prep: Prepared::new(&text),
+                all_test,
+            });
         }
     }
     Ok(())
 }
 
 /// Scans a single source text (exposed for fixture-based unit tests).
+/// Runs the per-file rules *and* the lock graph over the one file, so
+/// fixtures exercise `lock-discipline` too.
 pub fn scan_source(krate: &str, path: &str, text: &str, all_test: bool) -> Vec<Finding> {
     let prep = Prepared::new(text);
-    rules::scan_file(krate, path, &prep, all_test)
+    let mut findings = rules::scan_file(krate, path, &prep, all_test);
+    let file = CrateFile {
+        path: path.to_owned(),
+        prep: Prepared::new(text),
+        all_test,
+    };
+    findings.extend(lockgraph::scan_crate(krate, std::slice::from_ref(&file)));
+    findings
 }
 
 /// Walks upward from `start` to the first directory whose `Cargo.toml`

@@ -314,7 +314,7 @@ fn is_test_attr(content_no_ws: &str) -> bool {
 }
 
 /// Index just past the `}` matching the `{` at `open`.
-fn match_brace(chars: &[char], open: usize) -> usize {
+pub(crate) fn match_brace(chars: &[char], open: usize) -> usize {
     let n = chars.len();
     let mut depth = 0usize;
     let mut i = open;

@@ -11,8 +11,12 @@
 //!   literals, raw strings and nested block comments are never scanned
 //!   for rule tokens; `#[cfg(test)]` regions are masked);
 //! * [`rules`] — the rule catalog (`no-panic-paths`, `safety-comment`,
-//!   `no-wallclock-in-sim`, `no-print-in-lib`, `bad-suppression`) and
-//!   the `// analysis:allow(<rule>) <justification>` waiver syntax;
+//!   `no-wallclock-in-sim`, `no-print-in-lib`, `bad-suppression`,
+//!   `ordering-comment`, `untrusted-parser`) and the
+//!   `// analysis:allow(<rule>) <justification>` waiver syntax;
+//! * [`lockgraph`] — the `lock-discipline` rule: a per-crate
+//!   lock-acquisition graph built from guard scopes, flagging order
+//!   cycles, guards held across blocking calls, and `_`-bound guards;
 //! * [`manifest`] — the declared crate-layering DAG and its checker
 //!   (`layering`), built on a minimal hand-rolled `Cargo.toml` scanner;
 //! * [`engine`] — the workspace walker;
@@ -30,6 +34,7 @@
 pub mod benchgate;
 pub mod engine;
 pub mod lexer;
+pub mod lockgraph;
 pub mod manifest;
 pub mod report;
 pub mod rules;

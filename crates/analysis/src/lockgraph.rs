@@ -1,0 +1,448 @@
+//! The `lock-discipline` rule: a per-crate lock-acquisition graph.
+//!
+//! Built lexically from the stripped source (same machinery as the
+//! cfg(test) masking): an *acquisition site* is a `.lock()`, `.read()`
+//! or `.write()` call with an empty argument list (which is what
+//! distinguishes `RwLock::read` from `io::Read::read` — the latter
+//! takes a buffer). From each site the scanner derives
+//!
+//! * the *lock node* — the receiver chain (`self.` stripped), so
+//!   `self.shared.intake.lock()` and `worker.shared.intake.lock()`
+//!   both name `shared.intake`;
+//! * the *guard scope* — for `let g = m.lock()` the rest of the
+//!   enclosing brace block (truncated at `drop(g)`); for a temporary
+//!   (`m.lock().push(x)`) the rest of the statement;
+//! * findings inside that scope:
+//!   * another acquisition ⇒ an edge `held → acquired` in the crate's
+//!     lock graph; cycles in that graph are potential deadlocks;
+//!   * a blocking call (`.send(`, `.recv(`, `.accept(`, `.connect(`,
+//!     `sleep(`) ⇒ a guard-held-across-blocking finding. `Condvar::
+//!     wait` is deliberately *not* in the list: waiting releases the
+//!     guard, that is the whole point of a condvar;
+//!   * the same node re-acquired ⇒ a self-deadlock finding.
+//! * `let _ = m.lock()` ⇒ a finding: the guard drops immediately,
+//!   which is almost never what the author meant.
+//!
+//! Scopes are tracked across lines (the scanner works on the
+//! flattened file), but not across function calls: a helper that
+//! takes a guard by value is out of lexical reach. That keeps the
+//! rule cheap and its false positives local and suppressible.
+
+use crate::lexer::Prepared;
+use crate::report::Finding;
+use crate::rules;
+use std::collections::BTreeMap;
+
+/// One prepared source file of a crate, as collected by the engine.
+pub struct CrateFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Lexed source.
+    pub prep: Prepared,
+    /// True for files under `tests/` / `benches/`.
+    pub all_test: bool,
+}
+
+const METHODS: &[&str] = &["lock", "read", "write"];
+const BLOCKING: &[&str] = &[".send(", ".recv(", ".accept(", ".connect(", "sleep("];
+
+/// A lock-acquisition site in one file's flattened char stream.
+struct Site {
+    /// Char offset of the receiver's first character.
+    recv_start: usize,
+    /// Char offset just past the `()` argument list.
+    args_end: usize,
+    /// Lock node name, `None` when the receiver is an opaque
+    /// expression (e.g. `stdout().lock()`); opaque receivers still get
+    /// scope checks but never join the graph (their names collide).
+    node: Option<String>,
+    /// 1-indexed line of the method call.
+    line: usize,
+    /// 1-indexed char column of the method call.
+    col: usize,
+}
+
+enum Binding {
+    /// `let g = m.lock()` — guard lives to the end of the enclosing
+    /// block, or to `drop(g)`.
+    Named(String),
+    /// `let _ = m.lock()` — dropped on the spot.
+    Underscore,
+    /// `let (a, b) = …` and friends: block-scoped, no drop tracking.
+    Pattern,
+    /// No `let` — guard is a temporary living to the statement's end.
+    Temporary,
+}
+
+/// Scans one crate's files and returns lock-discipline findings with
+/// suppressions already applied (per the file each finding lands in).
+pub fn scan_crate(krate: &str, files: &[CrateFile]) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+    // (from, to) -> acquisition site of the edge's target, for reports.
+    let mut edges: BTreeMap<(String, String), (String, usize, usize, String)> = BTreeMap::new();
+
+    for file in files {
+        if file.all_test {
+            continue;
+        }
+        scan_file(file, &mut findings, &mut edges);
+    }
+
+    // Cycle detection over the per-crate graph.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut reported: Vec<Vec<String>> = Vec::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        let mut stack = vec![start];
+        find_cycles(
+            start,
+            &adj,
+            &mut stack,
+            &mut reported,
+            &edges,
+            &mut findings,
+        );
+    }
+
+    // Suppressions live in the file each finding points at.
+    let mut out = Vec::new();
+    for file in files {
+        let mut mine: Vec<Finding> = findings
+            .iter()
+            .filter(|f| f.path == file.path)
+            .cloned()
+            .collect();
+        rules::mark_suppressions(&file.prep, &mut mine);
+        out.extend(mine);
+    }
+    let _ = krate; // the graph is per-crate by construction
+    out
+}
+
+/// Depth-first search for cycles reachable from `stack.last()`;
+/// reports each distinct cycle (as a node set) once.
+fn find_cycles<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    reported: &mut Vec<Vec<String>>,
+    edges: &BTreeMap<(String, String), (String, usize, usize, String)>,
+    findings: &mut Vec<Finding>,
+) {
+    // Bounded: lock graphs here are tiny; depth > graph size is a cycle
+    // already found.
+    for &next in adj.get(node).map(Vec::as_slice).unwrap_or_default() {
+        if let Some(at) = stack.iter().position(|&n| n == next) {
+            let mut cycle: Vec<String> = stack[at..].iter().map(|s| (*s).to_owned()).collect();
+            let mut key = cycle.clone();
+            key.sort();
+            if reported.contains(&key) {
+                continue;
+            }
+            reported.push(key);
+            cycle.push(next.to_owned());
+            let (path, line, col, held) = edges
+                .get(&(node.to_owned(), next.to_owned()))
+                .cloned()
+                .unwrap_or_else(|| (String::new(), 0, 0, String::new()));
+            findings.push(rules::raw_finding(
+                &path,
+                line,
+                col,
+                "lock-discipline",
+                format!(
+                    "lock-order cycle `{}` (this `{next}` acquisition happens while `{held}` is held); acquire locks in one global order",
+                    cycle.join(" -> ")
+                ),
+            ));
+            continue;
+        }
+        if stack.len() > adj.len() {
+            continue;
+        }
+        stack.push(next);
+        find_cycles(next, adj, stack, reported, edges, findings);
+        stack.pop();
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn scan_file(
+    file: &CrateFile,
+    findings: &mut Vec<Finding>,
+    edges: &mut BTreeMap<(String, String), (String, usize, usize, String)>,
+) {
+    let prep = &file.prep;
+    let text = prep.stripped.join("\n");
+    let chars: Vec<char> = text.chars().collect();
+    let n_chars = chars.len();
+
+    // Char offset -> (0-indexed line, 0-indexed column).
+    let mut line_of = Vec::with_capacity(n_chars + 1);
+    let mut col_of = Vec::with_capacity(n_chars + 1);
+    let (mut ln, mut co) = (0usize, 0usize);
+    for &c in &chars {
+        line_of.push(ln);
+        col_of.push(co);
+        if c == '\n' {
+            ln += 1;
+            co = 0;
+        } else {
+            co += 1;
+        }
+    }
+    line_of.push(ln);
+    col_of.push(co);
+
+    let in_test = |at: usize| -> bool {
+        prep.test
+            .get(line_of[at.min(n_chars)])
+            .copied()
+            .unwrap_or(false)
+    };
+
+    // 1. Collect every non-test acquisition site.
+    let mut sites: Vec<Site> = Vec::new();
+    let mut i = 0;
+    while i < n_chars {
+        if chars[i] != '.' {
+            i += 1;
+            continue;
+        }
+        let Some(method) = METHODS.iter().find(|method| {
+            let end = i + 1 + method.len();
+            end + 2 <= n_chars
+                && chars[i + 1..end].iter().collect::<String>() == **method
+                && chars[end] == '('
+                && chars[end + 1] == ')'
+        }) else {
+            i += 1;
+            continue;
+        };
+        let args_end = i + 1 + method.len() + 2;
+        if in_test(i) {
+            i = args_end;
+            continue;
+        }
+        // Receiver chain: idents, `.` and `::` only; a `)` boundary
+        // means the root is an expression we cannot name.
+        let mut j = i;
+        while j > 0 {
+            let c = chars[j - 1];
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let chain: String = chars[j..i].iter().collect();
+        let opaque = chain.is_empty() || (j > 0 && chars[j - 1] == ')');
+        let node = if opaque {
+            None
+        } else {
+            Some(chain.strip_prefix("self.").unwrap_or(&chain).to_owned())
+        };
+        sites.push(Site {
+            recv_start: j,
+            args_end,
+            node,
+            line: line_of[i] + 1,
+            col: col_of[i] + 1,
+        });
+        i = args_end;
+    }
+
+    // 2. Per site: binding, scope, findings.
+    for (si, site) in sites.iter().enumerate() {
+        let binding = classify_binding(&chars, site.recv_start);
+        let path = file.path.as_str();
+        let held_name = site.node.clone().unwrap_or_else(|| "<expr>".to_owned());
+
+        let scope_end = match &binding {
+            Binding::Underscore => {
+                findings.push(rules::raw_finding(
+                    path,
+                    site.line,
+                    site.col,
+                    "lock-discipline",
+                    format!(
+                        "lock guard of `{held_name}` bound to `_` is dropped immediately; bind it to a name (or drop the statement)"
+                    ),
+                ));
+                continue;
+            }
+            Binding::Named(name) => block_scope_end(&chars, site.args_end, Some(name)),
+            Binding::Pattern => block_scope_end(&chars, site.args_end, None),
+            Binding::Temporary => statement_scope_end(&chars, site.args_end),
+        };
+
+        // 2a. Nested acquisitions -> graph edges / self-deadlock.
+        for inner in &sites[si + 1..] {
+            if inner.recv_start >= scope_end {
+                break;
+            }
+            match (&site.node, &inner.node) {
+                (Some(held), Some(acquired)) if held == acquired => {
+                    findings.push(rules::raw_finding(
+                        path,
+                        inner.line,
+                        inner.col,
+                        "lock-discipline",
+                        format!(
+                            "lock `{held}` re-acquired while its own guard is still held (self-deadlock)"
+                        ),
+                    ));
+                }
+                (Some(held), Some(acquired)) => {
+                    edges
+                        .entry((held.clone(), acquired.clone()))
+                        .or_insert_with(|| (path.to_owned(), inner.line, inner.col, held.clone()));
+                }
+                _ => {}
+            }
+        }
+
+        // 2b. Blocking calls under the guard.
+        for pat in BLOCKING {
+            let mut from = site.args_end;
+            while let Some(at) = find_chars(&chars, pat, from, scope_end) {
+                from = at + pat.len();
+                // `sleep(` must be a word of its own (not `.send(`-style
+                // dotted, so guard against `type_sleep(` etc.).
+                if !pat.starts_with('.') {
+                    let before = if at == 0 { ' ' } else { chars[at - 1] };
+                    if before.is_alphanumeric() || before == '_' {
+                        continue;
+                    }
+                }
+                findings.push(rules::raw_finding(
+                    path,
+                    line_of[at] + 1,
+                    col_of[at] + 1,
+                    "lock-discipline",
+                    format!(
+                        "`{}` called while the `{held_name}` guard is held; shrink the critical section (compute under the lock, block outside it)",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// What does the statement around the receiver at `recv_start` bind
+/// the guard to?
+fn classify_binding(chars: &[char], recv_start: usize) -> Binding {
+    // Back to the statement boundary.
+    let mut k = recv_start;
+    while k > 0 && !matches!(chars[k - 1], ';' | '{' | '}') {
+        k -= 1;
+    }
+    let prefix: String = chars[k..recv_start].iter().collect();
+    let prefix = prefix.trim();
+    let Some(rest) = prefix.strip_prefix("let ") else {
+        return Binding::Temporary;
+    };
+    let pat = rest.trim_end_matches('=').trim();
+    let pat = pat.strip_prefix("mut ").unwrap_or(pat).trim();
+    // `let g: Guard<'_> = …` still binds `g`.
+    let pat = pat.split(':').next().unwrap_or(pat).trim();
+    if pat == "_" {
+        return Binding::Underscore;
+    }
+    if !pat.is_empty() && pat.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Binding::Named(pat.to_owned());
+    }
+    Binding::Pattern
+}
+
+/// End (exclusive char offset) of the enclosing brace block, starting
+/// the walk just after the acquisition's `()`. Truncated at a
+/// `drop(<guard>)` when the guard's name is known.
+fn block_scope_end(chars: &[char], from: usize, guard: Option<&str>) -> usize {
+    let n = chars.len();
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < n {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            'd' if guard.is_some() && is_drop_of(chars, i, guard.unwrap_or_default()) => {
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// End (exclusive char offset) of the current statement: the first
+/// `;` outside any nested bracket, or the enclosing block's close.
+fn statement_scope_end(chars: &[char], from: usize) -> usize {
+    let n = chars.len();
+    let mut paren = 0i32;
+    let mut brace = 0i32;
+    let mut i = from;
+    while i < n {
+        match chars[i] {
+            '(' | '[' => paren += 1,
+            ')' | ']' => paren -= 1,
+            '{' => brace += 1,
+            '}' => {
+                brace -= 1;
+                if brace < 0 {
+                    return i;
+                }
+            }
+            ';' if paren <= 0 && brace == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Is `chars[at..]` the call `drop(<name>)` (whitespace-tolerant)?
+fn is_drop_of(chars: &[char], at: usize, name: &str) -> bool {
+    let n = chars.len();
+    if at > 0 && (chars[at - 1].is_alphanumeric() || chars[at - 1] == '_' || chars[at - 1] == '.') {
+        return false;
+    }
+    let word: String = chars[at..n.min(at + 4)].iter().collect();
+    if word != "drop" {
+        return false;
+    }
+    let mut i = at + 4;
+    while i < n && chars[i] == ' ' {
+        i += 1;
+    }
+    if i >= n || chars[i] != '(' {
+        return false;
+    }
+    i += 1;
+    let inner_start = i;
+    while i < n && chars[i] != ')' {
+        i += 1;
+    }
+    let inner: String = chars[inner_start..i].iter().collect();
+    inner.trim() == name
+}
+
+/// First occurrence of the ASCII pattern `pat` in `chars[from..to)`.
+fn find_chars(chars: &[char], pat: &str, from: usize, to: usize) -> Option<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    let to = to.min(chars.len());
+    if p.is_empty() || from + p.len() > to {
+        return None;
+    }
+    (from..=to - p.len()).find(|&i| chars[i..i + p.len()] == p[..])
+}

@@ -118,10 +118,7 @@ fn run_check(root: Option<PathBuf>, json: bool, fix_hints: bool) -> ExitCode {
         for f in analysis.unsuppressed() {
             println!("{f}");
             if fix_hints {
-                println!(
-                    "    hint: suffix the line with `// analysis:allow({}) <why this site is safe>`",
-                    f.rule
-                );
+                println!("    hint: {}", fix_hint(f.rule));
             }
         }
         let suppressed = analysis.suppressed().count();
@@ -136,6 +133,33 @@ fn run_check(root: Option<PathBuf>, json: bool, fix_hints: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Editor-ready remediation template for a rule; the generic
+/// suppression syntax is the fallback for rules without a mechanical
+/// rewrite.
+fn fix_hint(rule: &str) -> String {
+    match rule {
+        "ordering-comment" => {
+            "add `// ORDERING: <why this ordering suffices>` on or above the line \
+             (one comment covers a contiguous run of atomic ops), or upgrade the \
+             ordering if the justification will not write itself"
+                .to_owned()
+        }
+        "lock-discipline" => {
+            "shrink the critical section: copy what you need out of the guard in a \
+             `{ let g = m.lock(); … }` block, then send/recv/acquire after the block; \
+             establish one global lock order to break cycles"
+                .to_owned()
+        }
+        "untrusted-parser" => {
+            "rewrite `buf[a..b]` as `buf.get(a..b)` (handle None as a truncated-input \
+             error) and `a + b` / `a * b` as `a.checked_add(b)` / `a.checked_mul(b)` \
+             (or `saturating_*` when the result only feeds a comparison)"
+                .to_owned()
+        }
+        rule => format!("suffix the line with `// analysis:allow({rule}) <why this site is safe>`"),
     }
 }
 

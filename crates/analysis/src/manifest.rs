@@ -230,6 +230,7 @@ fn layer_finding(path: &str, line: usize, message: String) -> Finding {
     Finding {
         path: path.to_owned(),
         line,
+        col: 0,
         rule: "layering",
         message,
         suppressed: false,

@@ -10,6 +10,9 @@ pub struct Finding {
     pub path: String,
     /// 1-indexed line number.
     pub line: usize,
+    /// 1-indexed byte column of the offending token (0 when the
+    /// finding has no meaningful sub-line position, e.g. layering).
+    pub col: usize,
     /// Rule identifier, e.g. `no-panic-paths`.
     pub rule: &'static str,
     /// Human-readable description of the violation.
@@ -23,11 +26,19 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: {}: {}",
-            self.path, self.line, self.rule, self.message
-        )
+        if self.col == 0 {
+            write!(
+                f,
+                "{}:{}: {}: {}",
+                self.path, self.line, self.rule, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {}: {}",
+                self.path, self.line, self.col, self.rule, self.message
+            )
+        }
     }
 }
 
@@ -88,9 +99,10 @@ fn push_findings<'a>(out: &mut String, findings: impl Iterator<Item = &'a Findin
         out.push_str("\n    {");
         let _ = write!(
             out,
-            "\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}",
+            "\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}",
             json_string(&f.path),
             f.line,
+            f.col,
             json_string(f.rule),
             json_string(&f.message)
         );

@@ -273,6 +273,292 @@ fn prints_in_test_code_are_exempt() {
     assert!(scan("store", src).is_empty());
 }
 
+// --------------------------------------------------------- ordering-comment
+
+#[test]
+fn relaxed_without_justification_is_a_finding() {
+    let src = "fn f(c: &std::sync::atomic::AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed)\n}\n";
+    let f = scan("transport", src);
+    assert_eq!(rules(&f), ["ordering-comment"]);
+    assert_eq!(f[0].line, 2);
+    assert!(f[0].col > 0, "byte column must be set: {f:?}");
+}
+
+#[test]
+fn every_non_seqcst_ordering_needs_a_comment() {
+    let src = "\
+fn f(c: &std::sync::atomic::AtomicU64) {
+    c.load(Ordering::Acquire);
+    c.store(1, Ordering::Release);
+    c.fetch_add(1, Ordering::AcqRel);
+}
+";
+    let f = scan("obs", src);
+    assert_eq!(rules(&f), ["ordering-comment"; 3]);
+}
+
+#[test]
+fn seqcst_is_exempt_as_the_conservative_default() {
+    let src = "fn f(c: &std::sync::atomic::AtomicU64) { c.store(1, Ordering::SeqCst); }\n";
+    assert!(scan("obs", src).is_empty());
+}
+
+#[test]
+fn ordering_comment_same_line_or_above_satisfies_the_rule() {
+    let src = "\
+fn f(c: &std::sync::atomic::AtomicU64) {
+    // ORDERING: pure tally, nothing published through it
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Relaxed); // ORDERING: monitoring read
+}
+";
+    let f = scan("obs", src);
+    assert!(f.is_empty(), "adjacent ORDERING comments count: {f:?}");
+}
+
+#[test]
+fn one_comment_covers_a_contiguous_atomic_run() {
+    let src = "\
+fn f(c: &std::sync::atomic::AtomicU64) {
+    // ORDERING: independent tallies, each exact via RMW atomicity
+    c.fetch_add(1, Ordering::Relaxed);
+    c.fetch_add(2, Ordering::Relaxed);
+    c.fetch_max(3, Ordering::Relaxed);
+}
+";
+    assert!(scan("obs", src).is_empty());
+}
+
+#[test]
+fn a_gap_in_the_run_breaks_comment_coverage() {
+    let src = "\
+fn f(c: &std::sync::atomic::AtomicU64) {
+    // ORDERING: covers only the adjacent run
+    c.fetch_add(1, Ordering::Relaxed);
+    let x = 1;
+    c.fetch_add(x, Ordering::Relaxed);
+}
+";
+    let f = scan("obs", src);
+    assert_eq!(rules(&f), ["ordering-comment"]);
+    assert_eq!(f[0].line, 5, "only the site past the gap is reported");
+}
+
+#[test]
+fn relaxed_in_test_code_is_exempt() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(c: &std::sync::atomic::AtomicU64) {
+        c.load(Ordering::Relaxed);
+    }
+}
+";
+    assert!(scan("obs", src).is_empty());
+}
+
+#[test]
+fn ordering_finding_is_suppressible() {
+    let src = "fn f(c: &std::sync::atomic::AtomicU64) {\n    c.load(Ordering::Relaxed); // analysis:allow(ordering-comment) fixture justification\n}\n";
+    let f = scan("obs", src);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed);
+}
+
+// ---------------------------------------------------------- lock-discipline
+
+#[test]
+fn guard_bound_to_underscore_is_a_finding() {
+    let src = "fn f(m: &std::sync::Mutex<u8>) {\n    let _ = m.lock();\n}\n";
+    let f = scan("transport", src);
+    assert_eq!(rules(&f), ["lock-discipline"]);
+    assert!(f[0].message.contains("bound to `_`"), "{f:?}");
+}
+
+#[test]
+fn send_while_guard_is_held_is_a_finding() {
+    let src = "\
+fn f(m: &std::sync::Mutex<u8>, tx: &std::sync::mpsc::Sender<u8>) {
+    let g = m.lock();
+    let _ = tx.send(*g);
+}
+";
+    let f = scan("transport", src);
+    assert_eq!(rules(&f), ["lock-discipline"]);
+    assert!(f[0].message.contains("send"), "{f:?}");
+}
+
+#[test]
+fn sending_after_the_guard_scope_is_clean() {
+    let src = "\
+fn f(m: &std::sync::Mutex<u8>, tx: &std::sync::mpsc::Sender<u8>) {
+    let v = {
+        let g = m.lock();
+        *g
+    };
+    let _ = tx.send(v);
+}
+";
+    let f = scan("transport", src);
+    assert!(f.is_empty(), "scoped guard then send is fine: {f:?}");
+}
+
+#[test]
+fn dropping_the_guard_ends_its_critical_section() {
+    let src = "\
+fn f(m: &std::sync::Mutex<u8>, tx: &std::sync::mpsc::Sender<u8>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    let _ = tx.send(v);
+}
+";
+    let f = scan("transport", src);
+    assert!(f.is_empty(), "drop(g) releases the lock: {f:?}");
+}
+
+#[test]
+fn opposite_acquisition_orders_form_a_cycle() {
+    let src = "\
+fn ab(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) -> u8 {
+    let ga = a.lock();
+    let gb = b.lock();
+    *ga + *gb
+}
+
+fn ba(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) -> u8 {
+    let gb = b.lock();
+    let ga = a.lock();
+    *ga + *gb
+}
+";
+    let f = scan("transport", src);
+    assert_eq!(rules(&f), ["lock-discipline"]);
+    assert!(f[0].message.contains("lock-order cycle"), "{f:?}");
+}
+
+#[test]
+fn disjoint_critical_sections_do_not_form_a_cycle() {
+    // The same two locks, never held together: no edge, no cycle.
+    let src = "\
+fn fa(a: &std::sync::Mutex<u8>) -> u8 {
+    let ga = a.lock();
+    *ga
+}
+
+fn fb(b: &std::sync::Mutex<u8>) -> u8 {
+    let gb = b.lock();
+    *gb
+}
+";
+    let f = scan("transport", src);
+    assert!(f.is_empty(), "no overlap, no edge: {f:?}");
+}
+
+#[test]
+fn io_read_calls_are_not_lock_acquisitions() {
+    // Lock methods are recognized by their EMPTY argument list;
+    // io::Read::read(&mut buf) takes arguments and must not match.
+    let src = "\
+fn f(s: &mut std::net::TcpStream, tx: &std::sync::mpsc::Sender<u8>) {
+    let mut buf = [0u8; 16];
+    let n = s.read(&mut buf);
+    let _ = tx.send(buf[0]);
+    let _ = n;
+}
+";
+    let f = scan("proxy", src);
+    assert!(f.is_empty(), ".read(args) is io, not a lock: {f:?}");
+}
+
+#[test]
+fn lock_finding_is_suppressible() {
+    let src = "fn f(m: &std::sync::Mutex<u8>) {\n    let _ = m.lock(); // analysis:allow(lock-discipline) poisoning probe fixture\n}\n";
+    let f = scan("transport", src);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed);
+}
+
+// --------------------------------------------------------- untrusted-parser
+
+/// Scans `src` as if it were the proxy wire module (a designated
+/// untrusted-parser surface).
+fn scan_wire(src: &str) -> Vec<Finding> {
+    scan_source("proxy", "crates/proxy/src/wire.rs", src, false)
+}
+
+#[test]
+fn raw_indexing_in_a_wire_module_is_a_finding() {
+    let src = "fn f(buf: &[u8], i: usize) -> u8 {\n    buf[i]\n}\n";
+    let f = scan_wire(src);
+    assert_eq!(rules(&f), ["untrusted-parser"]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn range_indexing_in_a_wire_module_is_a_finding() {
+    let src = "fn f(buf: &[u8], n: usize) -> &[u8] {\n    &buf[4..n]\n}\n";
+    let f = scan_wire(src);
+    assert_eq!(rules(&f), ["untrusted-parser"]);
+}
+
+#[test]
+fn bare_length_arithmetic_in_a_wire_module_is_a_finding() {
+    let src = "fn f(buf: &[u8]) -> usize {\n    buf.len() + 4\n}\n";
+    let f = scan_wire(src);
+    assert_eq!(rules(&f), ["untrusted-parser"]);
+}
+
+#[test]
+fn literal_indexing_and_checked_arithmetic_are_clean() {
+    let src = "\
+fn f(buf: &[u8]) -> Option<u8> {
+    let first = buf.first().copied();
+    let tail = buf.get(4..)?;
+    let end = buf.len().checked_add(4)?;
+    let cap = buf.len().saturating_mul(2);
+    let _ = (tail, end, cap, buf[0]);
+    first
+}
+";
+    let f = scan_wire(src);
+    assert!(f.is_empty(), "get/checked/saturating/[0] are fine: {f:?}");
+}
+
+#[test]
+fn the_same_code_outside_wire_modules_is_not_flagged() {
+    let src = "fn f(buf: &[u8], i: usize) -> u8 { buf[i] }\n";
+    let f = scan_source("proxy", "crates/proxy/src/server.rs", src, false);
+    assert!(f.is_empty(), "only designated surfaces are audited: {f:?}");
+}
+
+#[test]
+fn broadcast_designation_is_scoped_to_its_decode_fns() {
+    // In transport/broadcast.rs only the frame-decode fns are wire
+    // surfaces; the scheduler's indexing is internal and exempt.
+    let src = "\
+fn schedule(weights: &[u64], i: usize) -> u64 {
+    weights[i]
+}
+
+fn parse_frame(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}
+";
+    let f = scan_source("transport", "crates/transport/src/broadcast.rs", src, false);
+    assert_eq!(rules(&f), ["untrusted-parser"]);
+    assert_eq!(f[0].line, 6, "only the decode fn is audited: {f:?}");
+}
+
+#[test]
+fn parser_finding_is_suppressible() {
+    let src = "fn f(buf: &[u8], i: usize) -> u8 {\n    buf[i] // analysis:allow(untrusted-parser) index bounded by caller loop\n}\n";
+    let f = scan_wire(src);
+    assert_eq!(f.len(), 1);
+    assert!(f[0].suppressed);
+}
+
 // ------------------------------------------------------------ whole files
 
 #[test]

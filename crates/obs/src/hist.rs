@@ -91,6 +91,10 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
+        // ORDERING: independent statistical tallies; readers tolerate a
+        // sample being half-applied (bucket bumped, sum not yet) because
+        // snapshots are explicitly point-in-time approximations. RMW
+        // atomicity keeps each individual total exact.
         self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -101,31 +105,36 @@ impl Histogram {
     /// Samples recorded so far.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // ORDERING: monitoring read; no other memory depends on it.
         self.count.load(Ordering::Relaxed)
     }
 
     /// A point-in-time plain copy.
     #[must_use]
     pub fn snapshot(&self) -> HistSnapshot {
+        // ORDERING: a snapshot is a deliberately fuzzy cut across
+        // concurrent recorders — the fields may disagree by the samples
+        // in flight, which stronger orderings would not fix (that needs
+        // a lock). Relaxed reads of each tally are sufficient.
         let mut buckets: Vec<u64> = self
             .counts
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Relaxed)) // ORDERING: fuzzy cut
             .collect();
         while buckets.last() == Some(&0) {
             buckets.pop();
         }
-        let count = self.count.load(Ordering::Relaxed);
+        let count = self.count.load(Ordering::Relaxed); // ORDERING: fuzzy cut
         HistSnapshot {
             buckets,
             count,
-            sum: self.sum.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed), // ORDERING: fuzzy cut
             min: if count == 0 {
                 0
             } else {
-                self.min.load(Ordering::Relaxed)
+                self.min.load(Ordering::Relaxed) // ORDERING: fuzzy cut
             },
-            max: self.max.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed), // ORDERING: fuzzy cut
         }
     }
 }

@@ -24,12 +24,15 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ORDERING: a metric counter synchronizes nothing — RMW
+        // atomicity keeps the total exact, and readers only report it.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // ORDERING: monitoring read; staleness is acceptable by design.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -41,22 +44,27 @@ pub struct Gauge(AtomicI64);
 impl Gauge {
     /// Adds one.
     pub fn inc(&self) {
+        // ORDERING: gauge updates are self-contained tallies; nothing
+        // is published through them, so relaxed RMW/stores suffice.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Subtracts one.
     pub fn dec(&self) {
+        // ORDERING: see `inc` — same self-contained tally.
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Overwrites the value.
     pub fn set(&self, v: i64) {
+        // ORDERING: last-writer-wins is the intended gauge semantics.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
+        // ORDERING: monitoring read; staleness is acceptable by design.
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -11,9 +11,12 @@
 //!
 //! ```
 //! let session = mrtweb_obs::testkit::capture();
+//! // With the `trace` feature compiled out the tracer is a no-op and
+//! // the captured timeline stays empty.
+//! let tracing = mrtweb_obs::is_enabled();
 //! mrtweb_obs::emit(mrtweb_obs::EventKind::CrcReject, 1, 0);
 //! let timeline = session.finish();
-//! assert_eq!(timeline.events.len(), 1);
+//! assert_eq!(timeline.events.len(), usize::from(tracing));
 //! ```
 
 use std::sync::{Mutex, MutexGuard, PoisonError};

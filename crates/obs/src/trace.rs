@@ -63,13 +63,19 @@ mod imp {
 
     impl ThreadRing {
         fn push(&self, ts: u64, kind: EventKind, a: u64, b: u64) {
+            // ORDERING: only the owning thread writes `head`, so its own
+            // last store is always visible to this relaxed load.
             let h = self.head.load(Ordering::Relaxed);
             let slot = &self.slots[(h as usize) & (RING_CAP - 1)];
+            // ORDERING: plain payload stores — the Release on `head`
+            // below is the single publication point; drain never reads a
+            // slot before acquiring a `head` that covers it.
             slot.ts.store(ts, Ordering::Relaxed);
             slot.kind.store(u64::from(kind as u16), Ordering::Relaxed);
             slot.a.store(a, Ordering::Relaxed);
             slot.b.store(b, Ordering::Relaxed);
-            // Publish the slot: drain acquires `head` before reading it.
+            // ORDERING: Release publishes the slot stores above; drain's
+            // Acquire load of `head` makes them visible before it reads.
             self.head.store(h + 1, Ordering::Release);
         }
     }
@@ -99,12 +105,15 @@ mod imp {
 
     /// Turns event recording on or off process-wide. Off by default.
     pub fn set_enabled(on: bool) {
+        // ORDERING: an advisory on/off flag guarding only event volume;
+        // a racing emit on either side of the flip is harmless.
         ENABLED.store(on, Ordering::Relaxed);
     }
 
     /// Whether events are currently being recorded.
     #[must_use]
     pub fn is_enabled() -> bool {
+        // ORDERING: see `set_enabled` — advisory flag, no data guarded.
         ENABLED.load(Ordering::Relaxed)
     }
 
@@ -166,13 +175,22 @@ mod imp {
         let mut out: Vec<TraceEvent> = Vec::new();
         let mut dropped = 0u64;
         for ring in rings.iter() {
+            // ORDERING: Acquire pairs with push's Release store — every
+            // slot below `head` is fully written before we read it.
             let head = ring.head.load(Ordering::Acquire);
+            // ORDERING: `drained` is only touched under the RINGS lock,
+            // which this function holds; the atomic is for shape, not
+            // synchronization.
             let consumed = ring.drained.load(Ordering::Relaxed);
             let start = consumed.max(head.saturating_sub(RING_CAP as u64));
             dropped += start - consumed;
             let mut raw: Vec<(u64, TraceEvent)> = Vec::with_capacity((head - start) as usize);
             for i in start..head {
                 let slot = &ring.slots[(i as usize) & (RING_CAP - 1)];
+                // ORDERING: the Acquire on `head` above ordered these
+                // payload reads; a slot lapped mid-read yields stale or
+                // mixed words, which the `safe_floor` re-check below
+                // discards instead of surfacing.
                 let ts = slot.ts.load(Ordering::Relaxed);
                 let kind = slot.kind.load(Ordering::Relaxed);
                 let a = slot.a.load(Ordering::Relaxed);
@@ -194,6 +212,8 @@ mod imp {
             }
             // Any slot the writer may have overwritten while we read it
             // is suspect; drop it rather than surface a torn event.
+            // ORDERING: Acquire so this re-read observes at least every
+            // overwrite whose slot stores could have raced ours.
             let head_after = ring.head.load(Ordering::Acquire);
             let safe_floor = head_after.saturating_sub(RING_CAP as u64);
             if safe_floor > start {
@@ -201,6 +221,8 @@ mod imp {
                 dropped += torn;
                 raw.retain(|(i, _)| *i >= safe_floor);
             }
+            // ORDERING: only drains write `drained`, serialized by the
+            // RINGS lock held for this whole function.
             ring.drained.store(head, Ordering::Relaxed);
             out.extend(raw.into_iter().map(|(_, e)| e));
         }

@@ -532,6 +532,9 @@ impl Worker {
             intake.drain(..).count() as u64
         };
         if leftovers > 0 {
+            // ORDERING: releasing admission slots only needs the RMW to
+            // be atomic — the connection state itself was handed over
+            // through the intake mutex, not through this counter.
             self.admitted.fetch_sub(leftovers, Ordering::Relaxed);
         }
     }
@@ -547,6 +550,9 @@ impl Worker {
                 .pop_front();
             let Some((stream, id)) = item else { break };
             if stream.set_nonblocking(true).is_err() {
+                // ORDERING: slot release; atomic RMW keeps the bound
+                // exact, and the acceptor tolerates a momentarily stale
+                // view (it only over-queues by at most the race window).
                 self.admitted.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }
@@ -561,6 +567,7 @@ impl Worker {
             {
                 emit(EventKind::SessionEnd, id, 4);
                 self.stats.active.dec();
+                // ORDERING: slot release — see `admit_intake` above.
                 self.admitted.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }
@@ -668,6 +675,8 @@ impl Worker {
         };
         emit(EventKind::SessionEnd, id, end_code);
         self.stats.active.dec();
+        // ORDERING: slot release at session teardown; the admission
+        // counter bounds concurrency but publishes no session state.
         self.admitted.fetch_sub(1, Ordering::Relaxed);
     }
 }

@@ -233,15 +233,23 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             scope.spawn(|| {
                 let mut local = Vec::with_capacity(config.requests);
                 let mut fetch_once = |scheduled: Option<Duration>| {
+                    // ORDERING: load-report tallies shared only between
+                    // these worker closures and the final report, which
+                    // reads them after `thread::scope` joins every
+                    // worker (the join is the synchronization point).
+                    // Relaxed RMWs keep each total exact in between.
                     let flying = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
                     hwm_in_flight.fetch_max(flying, Ordering::Relaxed);
                     let begin = Instant::now();
                     let outcome = fetch(addr, &config.options);
+                    // ORDERING: see the tally comment above.
                     in_flight.fetch_sub(1, Ordering::Relaxed);
                     match outcome {
                         Ok(report) => {
+                            // ORDERING: scope-joined tallies, as above.
                             bytes.fetch_add(report.bytes_received, Ordering::Relaxed);
                             if report.completed || report.stopped_early {
+                                // ORDERING: scope-joined tally.
                                 completed.fetch_add(1, Ordering::Relaxed);
                                 // Open loop: latency runs from the
                                 // *scheduled* arrival, so slot-wait
@@ -253,13 +261,16 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                                 };
                                 local.push(latency);
                             } else {
+                                // ORDERING: scope-joined tally.
                                 failed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                         Err(FetchError::Rejected { .. }) => {
+                            // ORDERING: scope-joined tally.
                             rejected.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(_) => {
+                            // ORDERING: scope-joined tally.
                             failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -271,12 +282,17 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                         }
                     }
                     Some(schedule) => loop {
+                        // ORDERING: a work-stealing ticket — RMW
+                        // atomicity alone guarantees each arrival index
+                        // is claimed exactly once; the schedule itself
+                        // is immutable shared data.
                         let i = next_arrival.fetch_add(1, Ordering::Relaxed);
                         let Some(&due) = schedule.get(i) else { break };
                         let now = start.elapsed();
                         if let Some(wait) = due.checked_sub(now) {
                             std::thread::sleep(wait);
                         } else if now.saturating_sub(due) > grace {
+                            // ORDERING: scope-joined tally.
                             late_starts.fetch_add(1, Ordering::Relaxed);
                         }
                         fetch_once(Some(due));

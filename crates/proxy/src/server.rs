@@ -199,6 +199,10 @@ impl Server {
                     stats.active.inc();
                     serve_session(stream, session_id, &gateway, &config, &stats);
                     stats.active.dec();
+                    // ORDERING: admission-slot release; the counter only
+                    // bounds concurrent sessions (acceptor re-checks it
+                    // every accept) and publishes no session state — the
+                    // work queue is the handoff.
                     admitted.fetch_sub(1, Ordering::Relaxed);
                 }
             }));

@@ -133,6 +133,8 @@ impl ProxyStats {
     /// Records the current number of admitted sessions, keeping the
     /// high-water mark.
     pub fn note_in_flight(&self, current: u64) {
+        // ORDERING: high-water mark — fetch_max is atomic so the mark
+        // never loses a larger sample; readers only report it.
         self.hwm_in_flight.fetch_max(current, Ordering::Relaxed);
     }
 
@@ -140,6 +142,7 @@ impl ProxyStats {
     /// high-water mark. Proves backpressure: the published gauge stays
     /// bounded by the per-session cap plus one envelope.
     pub fn note_outbuf(&self, bytes: u64) {
+        // ORDERING: high-water mark, as in `note_in_flight`.
         self.hwm_outbuf.fetch_max(bytes, Ordering::Relaxed);
     }
 
@@ -150,10 +153,12 @@ impl ProxyStats {
     /// them.
     #[must_use]
     pub fn snapshot(&self) -> RegistrySnapshot {
+        // Snapshot reads of the high-water marks; a mark raced past us
+        // is simply picked up by the next snapshot.
         self.max_in_flight_gauge
-            .set(self.hwm_in_flight.load(Ordering::Relaxed).cast_signed());
+            .set(self.hwm_in_flight.load(Ordering::Relaxed).cast_signed()); // ORDERING: fuzzy snapshot
         self.outbuf_hwm_gauge
-            .set(self.hwm_outbuf.load(Ordering::Relaxed).cast_signed());
+            .set(self.hwm_outbuf.load(Ordering::Relaxed).cast_signed()); // ORDERING: fuzzy snapshot
         let (hits, misses) = mrtweb_erasure::ida::inverse_cache_counters();
         self.decode_hits_gauge.set(hits.cast_signed());
         self.decode_misses_gauge.set(misses.cast_signed());

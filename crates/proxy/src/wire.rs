@@ -246,8 +246,9 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     debug_assert!(u16::try_from(s.len()).is_ok());
-    put_u16(out, s.len().min(u16::MAX as usize) as u16);
-    out.extend_from_slice(&s.as_bytes()[..s.len().min(u16::MAX as usize)]);
+    let clamped = s.len().min(u16::MAX as usize);
+    put_u16(out, clamped as u16);
+    out.extend_from_slice(s.as_bytes().get(..clamped).unwrap_or(s.as_bytes()));
 }
 
 // ── body reader ─────────────────────────────────────────────────────
@@ -266,9 +267,11 @@ impl<'a> Reader<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
             .ok_or(WireError::Malformed("body shorter than a field"))?;
-        let out = &self.buf[self.pos..end];
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::Malformed("body shorter than a field"))?;
         self.pos = end;
         Ok(out)
     }
@@ -301,7 +304,7 @@ impl<'a> Reader<'a> {
     }
 
     fn rest(&mut self) -> &'a [u8] {
-        let out = &self.buf[self.pos..];
+        let out = self.buf.get(self.pos..).unwrap_or(&[]);
         self.pos = self.buf.len();
         out
     }
@@ -439,8 +442,11 @@ fn read_stats(r: &mut Reader<'_>) -> Result<RegistrySnapshot, WireError> {
                 return Err(WireError::Malformed("histogram buckets out of order"));
             }
             prev = Some(idx);
-            buckets.resize(idx + 1, 0);
-            buckets[idx] = r.u64()?;
+            buckets.resize(idx.saturating_add(1), 0);
+            let v = r.u64()?;
+            if let Some(slot) = buckets.get_mut(idx) {
+                *slot = v;
+            }
         }
         hists.push((
             name,
@@ -516,10 +522,14 @@ impl Message {
                 T_STATS_REPLY
             }
         };
-        out[payload_at] = t;
+        if let Some(slot) = out.get_mut(payload_at) {
+            *slot = t;
+        }
         let len = out.len() - payload_at;
-        out[len_at..len_at + 4].copy_from_slice(&(len as u32).to_be_bytes());
-        let crc = crc32(&out[payload_at..]);
+        if let Some(dst) = out.get_mut(len_at..len_at.saturating_add(4)) {
+            dst.copy_from_slice(&(len as u32).to_be_bytes());
+        }
+        let crc = crc32(out.get(payload_at..).unwrap_or(&[]));
         put_u32(out, crc);
     }
 
@@ -530,30 +540,19 @@ impl Message {
     /// Any [`WireError`] parse variant; a truncated buffer, a mangled
     /// byte anywhere, or an unknown type never yields `Ok`.
     pub fn decode(envelope: &[u8]) -> Result<Message, WireError> {
-        if envelope.len() < 4 {
+        let Some((payload, stored, total)) = split_envelope(envelope)? else {
             return Err(WireError::Truncated);
-        }
-        let len = u32::from_be_bytes([envelope[0], envelope[1], envelope[2], envelope[3]]) as usize;
-        if len == 0 || len > MAX_BODY {
-            return Err(WireError::BadLength(len));
-        }
-        if envelope.len() < 4 + len + 4 {
-            return Err(WireError::Truncated);
-        }
-        if envelope.len() > 4 + len + 4 {
+        };
+        if envelope.len() > total {
             return Err(WireError::Malformed("trailing bytes after envelope"));
         }
-        let payload = &envelope[4..4 + len];
-        let stored = u32::from_be_bytes([
-            envelope[4 + len],
-            envelope[4 + len + 1],
-            envelope[4 + len + 2],
-            envelope[4 + len + 3],
-        ]);
         if crc32(payload) != stored {
             return Err(WireError::CrcMismatch);
         }
-        Message::decode_payload(payload[0], &payload[1..])
+        let (&t, body) = payload
+            .split_first()
+            .ok_or(WireError::Malformed("empty payload"))?;
+        Message::decode_payload(t, body)
     }
 
     fn decode_payload(t: u8, body: &[u8]) -> Result<Message, WireError> {
@@ -579,7 +578,9 @@ impl Message {
             }
             T_REQUEST => {
                 let count = r.u32()? as usize;
-                if count * 2 != body.len() - 4 {
+                // body.len() >= 4 here (r.u32 just consumed 4 bytes);
+                // a count whose doubling overflows is a mismatch too.
+                if count.checked_mul(2) != body.len().checked_sub(4) {
                     return Err(WireError::Malformed("request count mismatch"));
                 }
                 let mut ids = Vec::with_capacity(count);
@@ -631,14 +632,20 @@ impl Message {
         if len == 0 || len > MAX_BODY {
             return Err(WireError::BadLength(len));
         }
-        let mut rest = vec![0u8; len + 4];
+        // len <= MAX_BODY, so the widened allocation cannot overflow.
+        let mut rest = vec![0u8; len.saturating_add(4)];
         r.read_exact(&mut rest)?;
-        let payload = &rest[..len];
-        let stored = u32::from_be_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+        let (Some(payload), Some(crc_bytes)) = (rest.get(..len), rest.get(len..)) else {
+            return Err(WireError::Truncated);
+        };
+        let stored = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
         if crc32(payload) != stored {
             return Err(WireError::CrcMismatch);
         }
-        Message::decode_payload(payload[0], &payload[1..])
+        let (&t, body) = payload
+            .split_first()
+            .ok_or(WireError::Malformed("empty payload"))?;
+        Message::decode_payload(t, body)
     }
 }
 
@@ -651,12 +658,40 @@ impl Message {
 /// intermediate envelope. Byte-identical to
 /// `Message::Frame(payload.to_vec()).encode()`.
 pub fn put_frame_envelope(out: &mut Vec<u8>, payload: &[u8]) {
-    put_u32(out, (payload.len() + 1) as u32);
+    put_u32(out, payload.len().saturating_add(1) as u32);
     let payload_at = out.len();
     out.push(T_FRAME);
     out.extend_from_slice(payload);
-    let crc = crc32(&out[payload_at..]);
+    let crc = crc32(out.get(payload_at..).unwrap_or(&[]));
     put_u32(out, crc);
+}
+
+/// A complete envelope split off the head of a buffer:
+/// `(payload, stored crc, total envelope length)`, or `None` while the
+/// buffer is still short of one whole envelope.
+type SplitEnvelope<'a> = Option<(&'a [u8], u32, usize)>;
+
+/// Splits the complete envelope at the head of `b`, panic-free on
+/// every input shape. `Ok(None)` means `b` does not yet hold a
+/// complete envelope (the incremental decoder's "absorb more" case);
+/// a hostile length prefix fails as soon as the 4 prefix bytes are
+/// present.
+fn split_envelope(b: &[u8]) -> Result<SplitEnvelope<'_>, WireError> {
+    let Some(len_bytes) = b.get(..4) else {
+        return Ok(None);
+    };
+    let len = u32::from_be_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+    if len == 0 || len > MAX_BODY {
+        return Err(WireError::BadLength(len));
+    }
+    // len <= MAX_BODY, so neither sum can overflow usize.
+    let body_end = 4usize.saturating_add(len);
+    let total = body_end.saturating_add(4);
+    let (Some(payload), Some(crc_bytes)) = (b.get(4..body_end), b.get(body_end..total)) else {
+        return Ok(None);
+    };
+    let stored = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    Ok(Some((payload, stored, total)))
 }
 
 /// Incremental envelope decoder: absorbs arbitrarily-split byte chunks
@@ -717,30 +752,22 @@ impl StreamDecoder {
     /// The same parse variants as [`Message::decode`]; an error means
     /// the stream is corrupt and the connection should be dropped.
     pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
-        let avail = self.buf.len() - self.pos;
-        if avail < 4 {
+        // split_envelope validates the length prefix before waiting for
+        // the body: a hostile length must fail now, not buffer 4 GiB
+        // first.
+        let b = self.buf.get(self.pos..).unwrap_or(&[]);
+        let Some((payload, stored, total)) = split_envelope(b)? else {
             self.compact();
             return Ok(None);
-        }
-        let b = &self.buf[self.pos..];
-        let len = u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize;
-        // Validate the prefix before waiting for the body: a hostile
-        // length must fail now, not buffer 4 GiB first.
-        if len == 0 || len > MAX_BODY {
-            return Err(WireError::BadLength(len));
-        }
-        if avail < 4 + len + 4 {
-            self.compact();
-            return Ok(None);
-        }
-        let payload = &b[4..4 + len];
-        let stored =
-            u32::from_be_bytes([b[4 + len], b[4 + len + 1], b[4 + len + 2], b[4 + len + 3]]);
+        };
         if crc32(payload) != stored {
             return Err(WireError::CrcMismatch);
         }
-        let msg = Message::decode_payload(payload[0], &payload[1..])?;
-        self.pos += 4 + len + 4;
+        let (&t, body) = payload
+            .split_first()
+            .ok_or(WireError::Malformed("empty payload"))?;
+        let msg = Message::decode_payload(t, body)?;
+        self.pos += total;
         if self.pos == self.buf.len() {
             self.buf.clear();
             self.pos = 0;

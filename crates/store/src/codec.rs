@@ -288,7 +288,13 @@ pub fn encode_dispersed(
     let codec = DispersalCodec::new(m, n, packet_size)
         .map_err(|_| CodecError("invalid dispersal parameters"))?;
     let groups = GroupCodec::new(codec).encode(payload);
-    let mut buf = BytesMut::with_capacity(29 + groups.len() * (4 + n * (packet_size + 4)));
+    // Capacity is a hint: saturation just means one extra realloc.
+    let group_bytes = packet_size
+        .saturating_add(4)
+        .saturating_mul(n)
+        .saturating_add(4);
+    let mut buf =
+        BytesMut::with_capacity(29usize.saturating_add(groups.len().saturating_mul(group_bytes)));
     buf.put_slice(BLOB_MAGIC);
     buf.put_u8(VERSION);
     buf.put_u32_le(m as u32);
@@ -436,7 +442,9 @@ impl<'a> BlobPackets<'a> {
             return Err(CodecError("length field exceeds sanity bound"));
         }
         let n_groups = get_len(&mut input)?;
-        let group_capacity = m * packet_size;
+        let group_capacity = m
+            .checked_mul(packet_size)
+            .ok_or(CodecError("invalid dispersal parameters"))?;
         let expected_groups = if doc_len == 0 {
             1
         } else {
@@ -445,8 +453,12 @@ impl<'a> BlobPackets<'a> {
         if n_groups != expected_groups {
             return Err(CodecError("group count inconsistent with length"));
         }
-        let group_bytes = 4 + n * (packet_size + 4);
-        if input.len() != n_groups * group_bytes {
+        let group_bytes = packet_size
+            .checked_add(4)
+            .and_then(|per_record| per_record.checked_mul(n))
+            .and_then(|records| records.checked_add(4))
+            .ok_or(CodecError("truncated input"))?;
+        if Some(input.len()) != n_groups.checked_mul(group_bytes) {
             return Err(CodecError("truncated input"));
         }
         let view = BlobPackets {
@@ -502,8 +514,11 @@ impl<'a> BlobPackets<'a> {
     /// Panics if `group` is out of range.
     #[must_use]
     pub fn group_len(&self, group: usize) -> usize {
-        let at = group * self.group_stride();
-        let b = &self.body[at..at + 4];
+        assert!(group < self.n_groups, "group {group} out of range");
+        let at = group.saturating_mul(self.group_stride());
+        let Some(b) = self.body.get(at..at.saturating_add(4)) else {
+            unreachable!("record layout validated by parse()")
+        };
         u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
     }
 
@@ -515,7 +530,10 @@ impl<'a> BlobPackets<'a> {
     #[must_use]
     pub fn packet(&self, group: usize, index: usize) -> &'a [u8] {
         let at = self.record_at(group, index);
-        &self.body[at..at + self.packet_size]
+        let Some(p) = self.body.get(at..at.saturating_add(self.packet_size)) else {
+            unreachable!("record layout validated by parse()")
+        };
+        p
     }
 
     /// The full stored record at (`group`, `index`): packet bytes
@@ -528,7 +546,11 @@ impl<'a> BlobPackets<'a> {
     #[must_use]
     pub fn record(&self, group: usize, index: usize) -> &'a [u8] {
         let at = self.record_at(group, index);
-        &self.body[at..at + self.packet_size + 4]
+        let end = at.saturating_add(self.packet_size).saturating_add(4);
+        let Some(r) = self.body.get(at..end) else {
+            unreachable!("record layout validated by parse()")
+        };
+        r
     }
 
     /// Whether the stored CRC-32 at (`group`, `index`) still matches.
@@ -538,8 +560,12 @@ impl<'a> BlobPackets<'a> {
     /// Panics if either coordinate is out of range.
     #[must_use]
     pub fn is_intact(&self, group: usize, index: usize) -> bool {
-        let at = self.record_at(group, index) + self.packet_size;
-        let b = &self.body[at..at + 4];
+        let at = self
+            .record_at(group, index)
+            .saturating_add(self.packet_size);
+        let Some(b) = self.body.get(at..at.saturating_add(4)) else {
+            unreachable!("record layout validated by parse()")
+        };
         let stored = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
         crc32(self.packet(group, index)) == stored
     }
@@ -558,7 +584,12 @@ impl<'a> BlobPackets<'a> {
     }
 
     fn group_stride(&self) -> usize {
-        4 + self.n * (self.packet_size + 4)
+        // parse() proved this sum fits with checked arithmetic, so
+        // saturation never actually engages.
+        self.packet_size
+            .saturating_add(4)
+            .saturating_mul(self.n)
+            .saturating_add(4)
     }
 
     fn record_at(&self, group: usize, index: usize) -> usize {
@@ -568,7 +599,10 @@ impl<'a> BlobPackets<'a> {
             self.n_groups,
             self.n
         );
-        group * self.group_stride() + 4 + index * (self.packet_size + 4)
+        group
+            .saturating_mul(self.group_stride())
+            .saturating_add(4)
+            .saturating_add(index.saturating_mul(self.packet_size.saturating_add(4)))
     }
 }
 

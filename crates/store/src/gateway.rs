@@ -194,6 +194,8 @@ impl Gateway {
     /// `(hits, misses)` of the prepared-transmission cache.
     pub fn prepared_cache_counters(&self) -> (u64, u64) {
         (
+            // ORDERING: monitoring counters — each total is independently
+            // exact; a torn (hits, misses) pair only skews one snapshot.
             self.prepared_hits.load(Ordering::Relaxed),
             self.prepared_misses.load(Ordering::Relaxed),
         )
@@ -221,10 +223,13 @@ impl Gateway {
             .get(&key)
         {
             if Arc::ptr_eq(cached_doc, &doc) {
+                // ORDERING: pure tally — the cached value travels via
+                // the `prepared` mutex, not through this counter.
                 self.prepared_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(live));
             }
         }
+        // ORDERING: same monitoring tally as the hit counter above.
         self.prepared_misses.fetch_add(1, Ordering::Relaxed);
         let live = Arc::new(self.prepare(request)?);
         let mut map = self

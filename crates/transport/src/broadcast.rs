@@ -363,8 +363,14 @@ pub fn parse_frame(bytes: &[u8]) -> Result<AirFrame<'_>, BroadcastError> {
                 for _ in 0..n_groups {
                     group_lens.push(get_u32(&mut cur)?);
                 }
-                let mut contents_ppm = Vec::with_capacity(n_groups * usize::from(m));
-                for _ in 0..n_groups * usize::from(m) {
+                let contents_len = n_groups
+                    .checked_mul(usize::from(m))
+                    .ok_or(BroadcastError("index frame contents overflow"))?;
+                // Capacity is clamped to what the frame can still hold,
+                // so a corrupt count cannot force a giant allocation
+                // before the truncated-input error below fires.
+                let mut contents_ppm = Vec::with_capacity(contents_len.min(cur.len() / 4));
+                for _ in 0..contents_len {
                     contents_ppm.push(get_u32(&mut cur)?);
                 }
                 docs.push(DocMeta {

@@ -457,15 +457,20 @@ pub fn run_transfer(
         // Fault-scheduler events already re-emitted as trace events.
         let mut faults_seen = 0usize;
         'rounds: loop {
+            // Bump the round counter under the lock, but send GaveUp
+            // after releasing it: wire_tx is a rendezvous channel, so a
+            // send blocks until the client turns around — holding the
+            // stats mutex across that wait would stall the client's own
+            // stats reads.
             let round = {
                 let mut s = stats_server.lock();
                 s.1 += 1;
-                if s.1 > max_rounds {
-                    let _ = wire_tx.send(Wire::GaveUp);
-                    break 'rounds;
-                }
                 s.1
             };
+            if round > max_rounds {
+                let _ = wire_tx.send(Wire::GaveUp);
+                break 'rounds;
+            }
             let round_span = Span::start(EventKind::RoundSpan);
             for &idx in &to_send {
                 // A request index mangled in flight must not crash the
