@@ -17,11 +17,14 @@
 #   obs-no-trace   mrtweb-obs with the `trace` feature off (no-op path)
 #   proxy-fallback mrtweb-proxy with the `event` feature off (blocking
 #                  engine only, unsafe code forbidden crate-wide)
-#   faults         fault-injection matrix (12 scenarios x seeds)
+#   faults         fault-injection matrix (14 scenarios x seeds)
 #   proxy-smoke    event-engine serve + loadgen over loopback,
 #                  closed sweep up to C=1024 -> BENCH_proxy.json
 #   broadcast      carousel smoke: 256 listeners x 4 channels with zero
 #                  re-encodes, K-sweep -> BENCH_broadcast.json
+#   edge           edge-cache smoke: zero-re-encode hit path, two-cell
+#                  roaming handoff, eviction under a tiny budget; folds
+#                  the edge section into BENCH_proxy.json
 #   bench          erasure-codec sweep (quick mode) -> BENCH_erasure.json
 #   bench-gate     compare fresh BENCH_*.json against BENCH_BASELINE.json
 #   miri           cargo miri test on the concurrency-bearing crates
@@ -37,7 +40,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke broadcast bench bench-gate miri tsan"
+ALL_STAGES="fmt analysis clippy tier1 tests obs-no-trace proxy-fallback faults proxy-smoke broadcast edge bench bench-gate miri tsan"
 
 run_bench=1
 quick=0
@@ -135,7 +138,7 @@ stage_proxy_fallback() {
 stage_faults() {
   local seeds="1 2 3"
   [ "$quick" -eq 1 ] && seeds="1"
-  echo "==> fault-injection matrix (12 scenarios x seeds: $seeds)"
+  echo "==> fault-injection matrix (14 scenarios x seeds: $seeds)"
   [ -x target/release/mrtweb ] || cargo build --release
   for seed in $seeds; do
     target/release/mrtweb faultrun --all --seed "$seed" \
@@ -204,6 +207,38 @@ stage_broadcast() {
     *"decreasing with K: true"*) ;;
     *) echo "mean access time did not decrease with more channels" >&2; return 1 ;;
   esac
+}
+
+stage_edge() {
+  echo "==> edge smoke: zero-re-encode hits, two-cell roaming, eviction under budget"
+  [ -x target/release/mrtweb ] || cargo build --release
+  # Acceptance: repeat requests hit the cache and the trace shows one
+  # encode per distinct document; the verb exits nonzero otherwise.
+  local run_out
+  run_out="$(target/release/mrtweb edge --docs 8 --requests 64)"
+  echo "$run_out" | sed "s/^/    /"
+  case "$run_out" in
+    *"zero_reencode=true"*) ;;
+    *) echo "edge smoke re-encoded a cached document" >&2; return 1 ;;
+  esac
+  # A 12 KiB budget over this corpus must evict yet never exceed the
+  # budget (the verb checks under_budget itself; assert the pressure).
+  local evict_out
+  evict_out="$(target/release/mrtweb edge --docs 6 --requests 18 --budget $((12 * 1024)))"
+  echo "$evict_out" | sed "s/^/    /"
+  case "$evict_out" in
+    *"under_budget=true"*) ;;
+    *) echo "edge eviction run exceeded its byte budget" >&2; return 1 ;;
+  esac
+  # Two-cell roaming handoff: cell B serves the resume from the one
+  # migrated record, byte-identically, cheaper than a restart.
+  target/release/mrtweb edge --roam --docs 3 | sed "s/^/    /"
+  # Fold the measured hit/miss latencies into the bench envelope the
+  # gate reads (idempotent over the proxy-smoke array).
+  target/release/mrtweb edge --docs 8 --requests 64 --bench-out BENCH_proxy.json > /dev/null
+  test -s BENCH_proxy.json || { echo "BENCH_proxy.json missing" >&2; return 1; }
+  grep -q '"edge":' BENCH_proxy.json \
+    || { echo "BENCH_proxy.json has no edge section" >&2; return 1; }
 }
 
 stage_bench() {
@@ -280,6 +315,7 @@ for stage in $stages; do
     faults) stage_faults ;;
     proxy-smoke) stage_proxy_smoke ;;
     broadcast) stage_broadcast ;;
+    edge) stage_edge ;;
     bench) stage_bench ;;
     bench-gate) stage_bench_gate ;;
     miri) stage_miri ;;

@@ -40,6 +40,14 @@ pub const DEFAULT_TOLERANCE: f64 = 0.5;
 /// stays under this budget (DESIGN.md §13's overhead budget).
 pub const PCT_ABS_BUDGET: f64 = 2.0;
 
+/// Absolute pass threshold for the edge cache's hit rate, in percent.
+/// `cache_hit_rate_pct` improves upward, so the `*_pct` near-zero
+/// budget above cannot apply; instead a fresh run also passes while
+/// the hit rate stays at or above this floor — a cache serving three
+/// of four repeat requests is healthy regardless of how a lucky
+/// baseline run scored.
+pub const HIT_RATE_ABS_BUDGET: f64 = 75.0;
+
 /// A parsed JSON value (just enough for bench reports).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -264,13 +272,23 @@ pub fn direction_of(key: &str) -> Option<Direction> {
         || leaf == "max_in_flight"
         || leaf == "max_sessions_in_flight"
         || leaf == "listeners_completed"
+        || leaf == "cache_hit_rate_pct"
         || leaf.contains("speedup")
     {
         return Some(Direction::HigherIsBetter);
     }
     if matches!(
         leaf,
-        "p50_ms" | "p95_ms" | "p99_ms" | "p99_9_ms" | "mean_access_slots" | "p95_access_slots"
+        "p50_ms"
+            | "p95_ms"
+            | "p99_ms"
+            | "p99_9_ms"
+            | "mean_access_slots"
+            | "p95_access_slots"
+            | "cache_hit_p50_ms"
+            | "cache_hit_p99_ms"
+            | "encode_miss_p50_ms"
+            | "encode_miss_p99_ms"
     ) || leaf.ends_with("_pct")
     {
         return Some(Direction::LowerIsBetter);
@@ -310,12 +328,16 @@ pub fn erasure_metrics(doc: &Json) -> Metrics {
     out
 }
 
-/// Extracts the comparable metrics from a parsed `BENCH_proxy.json`
-/// (a loadgen sweep: one object per client count).
+/// Extracts the comparable metrics from a parsed `BENCH_proxy.json`.
+/// Accepts both shapes: the historical bare loadgen sweep (an array of
+/// per-client-count objects) and the envelope
+/// `{"proxy": [<sweep>], "edge": {<edge cache metrics>}}` the edge
+/// stage writes.
 #[must_use]
 pub fn proxy_metrics(doc: &Json) -> Metrics {
     let mut out = Metrics::new();
-    if let Json::Arr(points) = doc {
+    let points = doc.get("proxy").unwrap_or(doc);
+    if let Json::Arr(points) = points {
         for point in points {
             let clients = point
                 .get("clients")
@@ -331,6 +353,13 @@ pub fn proxy_metrics(doc: &Json) -> Metrics {
                         );
                     }
                 }
+            }
+        }
+    }
+    if let Some(Json::Obj(edge)) = doc.get("edge") {
+        for (key, value) in edge {
+            if let Some(v) = value.as_f64() {
+                insert_if_comparable(&mut out, &format!("proxy/edge/{key}"), v);
             }
         }
     }
@@ -479,7 +508,10 @@ pub fn gate(baseline: &Metrics, fresh: &Metrics, tolerance: f64) -> GateReport {
                 // longer measures what the baseline promises.
                 (None, _) => false,
                 _ if base == 0.0 => true,
-                (Some(f), Direction::HigherIsBetter) => f >= base * (1.0 - tolerance),
+                (Some(f), Direction::HigherIsBetter) => {
+                    f >= base * (1.0 - tolerance)
+                        || (name.ends_with("cache_hit_rate_pct") && f >= HIT_RATE_ABS_BUDGET)
+                }
                 (Some(f), Direction::LowerIsBetter) => {
                     f <= base * (1.0 + tolerance) || (name.ends_with("_pct") && f <= PCT_ABS_BUDGET)
                 }
@@ -596,6 +628,18 @@ mod tests {
       {"clients": 8, "completed": 64, "throughput_rps": 960.0, "p50_ms": 7.7, "p95_ms": 14.0, "p99_ms": 16.5, "elapsed_ms": 66.4}
     ]"#;
 
+    const PROXY_ENVELOPE: &str = r#"{
+      "proxy": [
+        {"clients": 1, "completed": 8, "throughput_rps": 1400.0, "p50_ms": 0.7, "p95_ms": 0.8, "p99_ms": 0.9, "elapsed_ms": 5.7},
+        {"clients": 8, "completed": 64, "throughput_rps": 960.0, "p50_ms": 7.7, "p95_ms": 14.0, "p99_ms": 16.5, "elapsed_ms": 66.4}
+      ],
+      "edge": {
+        "cache_hit_p50_ms": 0.05, "cache_hit_p99_ms": 0.2,
+        "encode_miss_p50_ms": 1.4, "encode_miss_p99_ms": 3.1,
+        "cache_hit_rate_pct": 87.5, "cache_hit_speedup_vs_miss": 28.0
+      }
+    }"#;
+
     const BROADCAST: &str = r#"{
       "broadcast": {
         "flat": {
@@ -621,6 +665,80 @@ mod tests {
         assert!(report.passed(), "{}", report.render());
         assert!(report.rows.len() >= 9, "rows: {:?}", report.rows.len());
         assert!(report.unbaselined.is_empty());
+    }
+
+    #[test]
+    fn proxy_envelope_parses_both_shapes() {
+        // The bare array and the enveloped sweep flatten to the same
+        // proxy/clients=… keys; the envelope adds proxy/edge/… keys.
+        let bare = proxy_metrics(&parse_json(PROXY).unwrap());
+        let envelope = proxy_metrics(&parse_json(PROXY_ENVELOPE).unwrap());
+        for (k, v) in &bare {
+            assert_eq!(envelope.get(k), Some(v), "missing {k}");
+        }
+        assert_eq!(envelope.get("proxy/edge/cache_hit_p50_ms"), Some(&0.05));
+        assert_eq!(envelope.get("proxy/edge/cache_hit_rate_pct"), Some(&87.5));
+        assert_eq!(
+            envelope.get("proxy/edge/cache_hit_speedup_vs_miss"),
+            Some(&28.0)
+        );
+    }
+
+    #[test]
+    fn edge_latencies_gate_lower_better_and_hit_rate_higher_better() {
+        let base_text = compose_baseline(ERASURE, PROXY_ENVELOPE, BROADCAST);
+        let base = baseline_metrics(&base_text).unwrap();
+        assert_eq!(
+            direction_of("proxy/edge/cache_hit_p50_ms"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("proxy/edge/cache_hit_rate_pct"),
+            Some(Direction::HigherIsBetter)
+        );
+
+        // A hit latency blowing past the band fails.
+        let slower =
+            PROXY_ENVELOPE.replace("\"cache_hit_p99_ms\": 0.2", "\"cache_hit_p99_ms\": 2.0");
+        let fresh = fresh_metrics(ERASURE, &slower, BROADCAST).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name == "proxy/edge/cache_hit_p99_ms"));
+
+        // The hit rate passes on the absolute floor even when the
+        // baseline scored higher than the band allows for...
+        let lower = PROXY_ENVELOPE.replace(
+            "\"cache_hit_rate_pct\": 87.5",
+            "\"cache_hit_rate_pct\": 76.0",
+        );
+        let base_hot_text = compose_baseline(
+            ERASURE,
+            &PROXY_ENVELOPE.replace(
+                "\"cache_hit_rate_pct\": 87.5",
+                "\"cache_hit_rate_pct\": 99.9",
+            ),
+            BROADCAST,
+        );
+        let base_hot = baseline_metrics(&base_hot_text).unwrap();
+        let fresh = fresh_metrics(ERASURE, &lower, BROADCAST).unwrap();
+        assert!(
+            gate(&base_hot, &fresh, 0.1).passed(),
+            "≥ {HIT_RATE_ABS_BUDGET}% hit rate is an absolute pass"
+        );
+        // ...but a collapsed hit rate below both the band and the
+        // floor fails.
+        let cold = PROXY_ENVELOPE.replace(
+            "\"cache_hit_rate_pct\": 87.5",
+            "\"cache_hit_rate_pct\": 10.0",
+        );
+        let fresh = fresh_metrics(ERASURE, &cold, BROADCAST).unwrap();
+        let report = gate(&base_hot, &fresh, 0.1);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name == "proxy/edge/cache_hit_rate_pct"));
     }
 
     #[test]

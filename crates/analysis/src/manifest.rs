@@ -43,7 +43,14 @@ pub const DECLARED_DAG: &[(&str, &[&str])] = &[
     ),
     (
         "store",
-        &["docmodel", "textproc", "content", "erasure", "transport"],
+        &[
+            "docmodel",
+            "textproc",
+            "content",
+            "erasure",
+            "transport",
+            "obs",
+        ],
     ),
     (
         "proxy",

@@ -105,6 +105,7 @@ const JUSTIFIED_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"
 pub const WIRE_PARSER_SURFACES: &[(&str, Option<&[&str]>)] = &[
     ("crates/proxy/src/wire.rs", None),
     ("crates/store/src/codec.rs", None),
+    ("crates/store/src/migrate.rs", None),
     ("crates/analysis/src/benchgate.rs", None),
     (
         "crates/transport/src/broadcast.rs",

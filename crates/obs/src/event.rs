@@ -65,6 +65,24 @@ pub enum EventKind {
     /// (any-M reconstruction or content-fraction LOD stop).
     /// `a` = listener id, `b` = slots listened since tune-in.
     EarlyStop = 21,
+    /// An edge-cache lookup served a cooked blob without re-encoding.
+    /// `a` = resident intact packets, `b` = m (data packets).
+    EdgeHit = 22,
+    /// An edge-cache lookup missed (absent, or below M intact).
+    /// `a` = 1 if the entry existed but had decayed below M, else 0.
+    EdgeMiss = 23,
+    /// The edge cache freed bytes under its budget. `a` = bytes freed,
+    /// `b` = 0 parity trim, 1 whole-entry eviction.
+    EdgeEvict = 24,
+    /// A migration record shipped a document between cells.
+    /// `a` = record bytes on the backhaul, `b` = blob bytes inside it.
+    EdgeMigrate = 25,
+    /// A roaming client resumed mid-transfer at a new cell.
+    /// `a` = cooked packets already held, `b` = packets still missing.
+    HandoffResume = 26,
+    /// One edge-cache serve, lookup to ready transmission.
+    /// `a` = duration ns, `b` = 1 hit, 0 miss.
+    EdgeServeSpan = 27,
 }
 
 impl EventKind {
@@ -91,6 +109,12 @@ impl EventKind {
         EventKind::CarouselCycle,
         EventKind::TuneIn,
         EventKind::EarlyStop,
+        EventKind::EdgeHit,
+        EventKind::EdgeMiss,
+        EventKind::EdgeEvict,
+        EventKind::EdgeMigrate,
+        EventKind::HandoffResume,
+        EventKind::EdgeServeSpan,
     ];
 
     /// Stable kebab-case name used by the JSONL export.
@@ -118,6 +142,12 @@ impl EventKind {
             EventKind::CarouselCycle => "carousel-cycle",
             EventKind::TuneIn => "tune-in",
             EventKind::EarlyStop => "early-stop",
+            EventKind::EdgeHit => "edge-hit",
+            EventKind::EdgeMiss => "edge-miss",
+            EventKind::EdgeEvict => "edge-evict",
+            EventKind::EdgeMigrate => "edge-migrate",
+            EventKind::HandoffResume => "handoff-resume",
+            EventKind::EdgeServeSpan => "edge-serve-span",
         }
     }
 
@@ -131,6 +161,7 @@ impl EventKind {
                 | EventKind::DecodeSpan
                 | EventKind::RequestSpan
                 | EventKind::LoopWait
+                | EventKind::EdgeServeSpan
         )
     }
 

@@ -766,9 +766,11 @@ pub(crate) fn book_faults<L: mrtweb_channel::loss::LossModel>(
 }
 
 /// HELLO → prepared [`LiveServer`], with gateway failures mapped to
-/// wire error codes. Served through the gateway's shared cache:
-/// concurrent and repeat sessions for one request shape replay a
-/// single encode.
+/// wire error codes. Served through the gateway's edge cache when the
+/// base station has one attached (a hit re-frames the at-rest cooked
+/// blob with zero codec work), and through the shared
+/// prepared-transmission cache otherwise: concurrent and repeat
+/// sessions for one request shape replay a single encode either way.
 pub(crate) fn prepare(
     gateway: &Gateway,
     hello: &Hello,
@@ -782,10 +784,14 @@ pub(crate) fn prepare(
         hello.gamma,
     )
     .map_err(|e| (ErrorCode::BadRequest, format!("{e}")))?;
-    gateway.prepare_shared(&request).map_err(|e| match e {
-        GatewayError::NotFound(_) => (ErrorCode::NotFound, format!("{e}")),
-        GatewayError::BadRequest(_) | GatewayError::Encoding(_) => {
-            (ErrorCode::BadRequest, format!("{e}"))
-        }
-    })
+    gateway
+        .prepare_edge(&request)
+        .map(|(server, _hit)| server)
+        .map_err(|e| match e {
+            GatewayError::NotFound(_) => (ErrorCode::NotFound, format!("{e}")),
+            GatewayError::BadRequest(_) | GatewayError::Encoding(_) => {
+                (ErrorCode::BadRequest, format!("{e}"))
+            }
+            GatewayError::Edge(_) => (ErrorCode::Internal, format!("{e}")),
+        })
 }

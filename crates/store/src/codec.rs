@@ -26,7 +26,7 @@ pub const BLOB_MAGIC: &[u8; 4] = b"MRTB";
 pub const VERSION: u8 = 1;
 
 /// Upper bound on any single length field (guards hostile input).
-const MAX_LEN: usize = 16 * 1024 * 1024;
+pub(crate) const MAX_LEN: usize = 16 * 1024 * 1024;
 
 /// Decoding error with a terse reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,12 +40,12 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_exact<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+pub(crate) fn get_exact<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
     if input.len() < n {
         return Err(CodecError("truncated input"));
     }
@@ -54,21 +54,21 @@ fn get_exact<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError>
     Ok(head)
 }
 
-fn get_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
+pub(crate) fn get_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
     Ok(get_exact(input, 1)?[0])
 }
 
-fn get_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
+pub(crate) fn get_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
     let mut b = get_exact(input, 4)?;
     Ok(b.get_u32_le())
 }
 
-fn get_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
+pub(crate) fn get_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
     let mut b = get_exact(input, 8)?;
     Ok(b.get_u64_le())
 }
 
-fn get_len(input: &mut &[u8]) -> Result<usize, CodecError> {
+pub(crate) fn get_len(input: &mut &[u8]) -> Result<usize, CodecError> {
     let n = get_u32(input)? as usize;
     if n > MAX_LEN {
         return Err(CodecError("length field exceeds sanity bound"));
@@ -76,17 +76,17 @@ fn get_len(input: &mut &[u8]) -> Result<usize, CodecError> {
     Ok(n)
 }
 
-fn get_str(input: &mut &[u8]) -> Result<String, CodecError> {
+pub(crate) fn get_str(input: &mut &[u8]) -> Result<String, CodecError> {
     let n = get_len(input)?;
     let bytes = get_exact(input, n)?;
     String::from_utf8(bytes.to_vec()).map_err(|_| CodecError("invalid UTF-8 in string"))
 }
 
-fn lod_to_byte(l: Lod) -> u8 {
+pub(crate) fn lod_to_byte(l: Lod) -> u8 {
     l.depth() as u8
 }
 
-fn lod_from_byte(b: u8) -> Result<Lod, CodecError> {
+pub(crate) fn lod_from_byte(b: u8) -> Result<Lod, CodecError> {
     if b > 4 {
         return Err(CodecError("invalid LOD tag"));
     }

@@ -47,7 +47,7 @@ impl From<CodecError> for DiskError {
 }
 
 /// FNV-1a hash for stable, filesystem-safe filenames.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= *b as u64;

@@ -1,0 +1,255 @@
+//! IC-aware eviction planning for the edge cache.
+//!
+//! The planner is a pure function from a snapshot of cache residents to
+//! a list of [`Action`]s that free at least the requested bytes. It is
+//! deliberately side-effect free — [`crate::edge::EdgeCache`] applies
+//! the plan under its lock, and the property suite drives the planner
+//! directly with arbitrary snapshots.
+//!
+//! Policy, in the order bytes are reclaimed:
+//!
+//! 1. **Trim parity first.** A cooked blob's parity packets carry no
+//!    clear text and the least marginal information content: any `M`
+//!    intact packets reconstruct, so shedding redundancy only narrows
+//!    the at-rest damage margin (the full blob stays on disk and can be
+//!    re-hydrated). Probation entries are trimmed before protected
+//!    ones, least recently used first.
+//! 2. **Evict whole entries last.** Only when every trimmable parity
+//!    packet is gone do entire entries leave memory — probation LRU
+//!    first, then protected LRU. The clear-text prefix of a hot
+//!    (protected) document — the QIC-ranked head of its transmission
+//!    plan — is therefore pinned longest, exactly the bytes a
+//!    weakly-connected client renders first.
+//!
+//! The two-segment (probation/protected) structure makes the cache
+//! scan resistant: a sweep of one-shot requests churns probation while
+//! re-referenced documents sit untouched in protected.
+
+/// Which LRU segment a resident entry lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// First touch: candidates for early reclamation.
+    Probation,
+    /// Re-referenced at least once: survives scans.
+    Protected,
+}
+
+/// A snapshot of one resident cache entry, as the planner sees it.
+#[derive(Debug, Clone)]
+pub struct Resident {
+    /// Which segment the entry is in.
+    pub segment: Segment,
+    /// Monotone tick of the entry's last use (higher = more recent).
+    pub last_used: u64,
+    /// Resident bytes of the clear-text prefix (`m · packet_size`).
+    pub clear_bytes: usize,
+    /// Resident bytes of parity packets still in memory.
+    pub parity_bytes: usize,
+    /// Resident parity packet count still in memory.
+    pub parity_packets: usize,
+    /// Bytes per packet.
+    pub packet_size: usize,
+}
+
+impl Resident {
+    fn total_bytes(&self) -> usize {
+        self.clear_bytes + self.parity_bytes
+    }
+}
+
+/// One planned reclamation step, indexed into the snapshot slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Drop `packets` resident parity packets from entry `victim`.
+    TrimParity {
+        /// Index into the snapshot passed to [`plan_eviction`].
+        victim: usize,
+        /// How many parity packets to release.
+        packets: usize,
+    },
+    /// Drop entry `victim` from memory entirely.
+    Evict {
+        /// Index into the snapshot passed to [`plan_eviction`].
+        victim: usize,
+    },
+}
+
+/// Plans reclamation of at least `bytes_to_free` bytes from
+/// `residents`. Returns the (possibly empty) action list; if the whole
+/// snapshot is smaller than the request the plan frees everything it
+/// can.
+#[must_use]
+pub fn plan_eviction(residents: &[Resident], bytes_to_free: usize) -> Vec<Action> {
+    let mut actions = Vec::new();
+    let mut freed = 0usize;
+
+    // Phase 1: shed parity, low-IC first — probation before protected,
+    // LRU order within each segment.
+    let mut trim_order: Vec<usize> = (0..residents.len())
+        .filter(|&i| residents[i].parity_packets > 0)
+        .collect();
+    trim_order.sort_by_key(|&i| {
+        (
+            residents[i].segment == Segment::Protected,
+            residents[i].last_used,
+        )
+    });
+    let mut trimmed = vec![0usize; residents.len()];
+    for i in trim_order {
+        if freed >= bytes_to_free {
+            break;
+        }
+        let r = &residents[i];
+        let need = bytes_to_free - freed;
+        let want = if r.packet_size == 0 {
+            r.parity_packets
+        } else {
+            need.div_ceil(r.packet_size).min(r.parity_packets)
+        };
+        if want > 0 {
+            actions.push(Action::TrimParity {
+                victim: i,
+                packets: want,
+            });
+            trimmed[i] = want;
+            freed += want * r.packet_size;
+        }
+    }
+
+    // Phase 2: whole-entry eviction — probation LRU, then protected
+    // LRU, so hot clear-text prefixes go last.
+    let mut evict_order: Vec<usize> = (0..residents.len()).collect();
+    evict_order.sort_by_key(|&i| {
+        (
+            residents[i].segment == Segment::Protected,
+            residents[i].last_used,
+        )
+    });
+    for i in evict_order {
+        if freed >= bytes_to_free {
+            break;
+        }
+        let r = &residents[i];
+        let remaining = r.total_bytes() - trimmed[i] * r.packet_size;
+        actions.push(Action::Evict { victim: i });
+        freed += remaining;
+    }
+    actions
+}
+
+/// Total bytes a plan frees against the snapshot it was made from.
+#[must_use]
+pub fn planned_bytes(residents: &[Resident], actions: &[Action]) -> usize {
+    let mut trimmed = vec![0usize; residents.len()];
+    let mut freed = 0usize;
+    for a in actions {
+        match *a {
+            Action::TrimParity { victim, packets } => {
+                if let Some(r) = residents.get(victim) {
+                    let take = packets.min(r.parity_packets - trimmed[victim]);
+                    trimmed[victim] += take;
+                    freed += take * r.packet_size;
+                }
+            }
+            Action::Evict { victim } => {
+                if let Some(r) = residents.get(victim) {
+                    freed += r.total_bytes() - trimmed[victim] * r.packet_size;
+                    trimmed[victim] = r.parity_packets;
+                }
+            }
+        }
+    }
+    freed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resident(segment: Segment, last_used: u64, m: usize, parity: usize, ps: usize) -> Resident {
+        Resident {
+            segment,
+            last_used,
+            clear_bytes: m * ps,
+            parity_bytes: parity * ps,
+            parity_packets: parity,
+            packet_size: ps,
+        }
+    }
+
+    #[test]
+    fn parity_trims_before_any_eviction() {
+        let snap = vec![
+            resident(Segment::Protected, 9, 4, 2, 64),
+            resident(Segment::Probation, 1, 4, 3, 64),
+        ];
+        let plan = plan_eviction(&snap, 128);
+        assert_eq!(
+            plan,
+            vec![Action::TrimParity {
+                victim: 1,
+                packets: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn probation_parity_goes_before_protected_parity() {
+        let snap = vec![
+            resident(Segment::Protected, 1, 4, 3, 64),
+            resident(Segment::Probation, 9, 4, 3, 64),
+        ];
+        let plan = plan_eviction(&snap, 64 * 4);
+        assert_eq!(
+            plan,
+            vec![
+                Action::TrimParity {
+                    victim: 1,
+                    packets: 3
+                },
+                Action::TrimParity {
+                    victim: 0,
+                    packets: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn whole_eviction_is_probation_lru_then_protected_lru() {
+        let snap = vec![
+            resident(Segment::Protected, 2, 2, 0, 64),
+            resident(Segment::Probation, 5, 2, 0, 64),
+            resident(Segment::Probation, 3, 2, 0, 64),
+        ];
+        let plan = plan_eviction(&snap, 64 * 5);
+        assert_eq!(
+            plan,
+            vec![
+                Action::Evict { victim: 2 },
+                Action::Evict { victim: 1 },
+                Action::Evict { victim: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_frees_at_least_the_request_when_possible() {
+        let snap = vec![
+            resident(Segment::Probation, 1, 3, 2, 32),
+            resident(Segment::Protected, 2, 3, 1, 32),
+        ];
+        let total: usize = snap.iter().map(Resident::total_bytes).sum();
+        for want in [0, 1, 32, 100, total, total + 999] {
+            let plan = plan_eviction(&snap, want);
+            let freed = planned_bytes(&snap, &plan);
+            assert!(freed >= want.min(total), "want {want}, freed {freed}");
+        }
+    }
+
+    #[test]
+    fn zero_request_plans_nothing() {
+        let snap = vec![resident(Segment::Probation, 1, 3, 2, 32)];
+        assert!(plan_eviction(&snap, 0).is_empty());
+    }
+}

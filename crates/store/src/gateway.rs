@@ -16,8 +16,11 @@ use mrtweb_content::sc::Measure;
 use mrtweb_docmodel::document::Document;
 use mrtweb_docmodel::lod::Lod;
 use mrtweb_erasure::Error as ErasureError;
-use mrtweb_transport::live::LiveServer;
+use mrtweb_transport::live::{DocumentHeader, LiveServer};
+use mrtweb_transport::plan::plan_document;
 
+use crate::codec::{encode_dispersed, BlobPackets};
+use crate::edge::{EdgeCache, EdgeError, EdgeKey};
 use crate::store::DocumentStore;
 
 /// A transmission request.
@@ -106,6 +109,8 @@ pub enum GatewayError {
     Encoding(ErasureError),
     /// The request options do not parse or validate.
     BadRequest(String),
+    /// The edge cache failed (disk or blob validation).
+    Edge(EdgeError),
 }
 
 impl std::fmt::Display for GatewayError {
@@ -114,6 +119,7 @@ impl std::fmt::Display for GatewayError {
             GatewayError::NotFound(u) => write!(f, "document not found: {u:?}"),
             GatewayError::Encoding(e) => write!(f, "cannot encode transmission: {e}"),
             GatewayError::BadRequest(what) => write!(f, "bad request: {what}"),
+            GatewayError::Edge(e) => write!(f, "{e}"),
         }
     }
 }
@@ -123,6 +129,12 @@ impl std::error::Error for GatewayError {}
 impl From<ErasureError> for GatewayError {
     fn from(e: ErasureError) -> Self {
         GatewayError::Encoding(e)
+    }
+}
+
+impl From<EdgeError> for GatewayError {
+    fn from(e: EdgeError) -> Self {
+        GatewayError::Edge(e)
     }
 }
 
@@ -173,6 +185,9 @@ pub struct Gateway {
     prepared: Mutex<HashMap<PreparedKey, PreparedEntry>>,
     prepared_hits: AtomicU64,
     prepared_misses: AtomicU64,
+    /// The base station's disk-backed cache of cooked blobs, when this
+    /// gateway fronts a cell.
+    edge: Option<Arc<EdgeCache>>,
 }
 
 impl Gateway {
@@ -183,12 +198,56 @@ impl Gateway {
             prepared: Mutex::new(HashMap::new()),
             prepared_hits: AtomicU64::new(0),
             prepared_misses: AtomicU64::new(0),
+            edge: None,
         }
+    }
+
+    /// Attaches an edge cache: [`Gateway::prepare_edge`] will serve
+    /// cooked blobs from it, and its evictions invalidate this
+    /// gateway's prepared transmissions.
+    #[must_use]
+    pub fn with_edge(mut self, edge: Arc<EdgeCache>) -> Self {
+        self.edge = Some(edge);
+        self
+    }
+
+    /// The attached edge cache, if any.
+    pub fn edge(&self) -> Option<&Arc<EdgeCache>> {
+        self.edge.as_ref()
     }
 
     /// The underlying store.
     pub fn store(&self) -> &Arc<DocumentStore> {
         &self.store
+    }
+
+    /// Drops prepared transmissions whose documents left the edge
+    /// cache since the last call. An edge eviction means the cell no
+    /// longer vouches for those cooked bytes (budget pressure or
+    /// at-rest rot), so the prepared entry — same key shape — must not
+    /// keep serving them; the next request re-prepares from the store.
+    pub fn sync_edge_invalidations(&self) {
+        let Some(edge) = &self.edge else {
+            return;
+        };
+        let evicted = edge.drain_evicted();
+        if evicted.is_empty() {
+            return;
+        }
+        let mut map = self
+            .prepared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for k in evicted {
+            map.remove(&PreparedKey {
+                url: k.url,
+                query: k.query,
+                lod: k.lod,
+                measure: k.measure,
+                packet_size: k.packet_size,
+                gamma_bits: k.gamma_bits,
+            });
+        }
     }
 
     /// `(hits, misses)` of the prepared-transmission cache.
@@ -211,6 +270,7 @@ impl Gateway {
     ///
     /// Same as [`Gateway::prepare`].
     pub fn prepare_shared(&self, request: &Request) -> Result<Arc<LiveServer>, GatewayError> {
+        self.sync_edge_invalidations();
         let doc = self
             .store
             .document(&request.url)
@@ -244,6 +304,63 @@ impl Gateway {
         }
         map.insert(key, (doc, Arc::clone(&live)));
         Ok(live)
+    }
+
+    /// Prepares a transmission through the edge cache: a hit re-frames
+    /// the cached cooked blob with **zero** erasure-codec work (no
+    /// `EncodeSpan`); a miss cooks the blob once (exactly one encode),
+    /// admits it, and serves from the same bytes. Returns the server
+    /// and whether it was a cache hit. Without an attached edge cache
+    /// this falls back to [`Gateway::prepare_shared`] (never a hit).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::prepare`], plus [`GatewayError::Edge`] for
+    /// disk failures in the cache.
+    pub fn prepare_edge(&self, request: &Request) -> Result<(Arc<LiveServer>, bool), GatewayError> {
+        let Some(edge) = &self.edge else {
+            return Ok((self.prepare_shared(request)?, false));
+        };
+        self.sync_edge_invalidations();
+        let key = EdgeKey::of(request);
+        if let Some(served) = edge.serve(&key) {
+            let live = LiveServer::from_cooked(served.header, served.packets)?;
+            return Ok((Arc::new(live), true));
+        }
+        // Miss: cook the dispersed blob once; it is both the at-rest
+        // cache entry and the source of this response's frames.
+        let doc = self
+            .store
+            .document(&request.url)
+            .ok_or_else(|| GatewayError::NotFound(request.url.clone()))?;
+        let query = Query::parse(&request.query, self.store.pipeline());
+        let sc = self
+            .store
+            .structural_characteristic(&request.url, &query)
+            .ok_or_else(|| GatewayError::NotFound(request.url.clone()))?;
+        let (plan, payload) = plan_document(&doc, &sc, request.lod, request.measure);
+        let m = plan.raw_packets(request.packet_size);
+        let n = ((m as f64 * request.gamma).round() as usize).max(m);
+        let blob = encode_dispersed(&payload, m, n, request.packet_size).map_err(|_| {
+            GatewayError::Encoding(ErasureError::InvalidParameters { raw: m, cooked: n })
+        })?;
+        let header = DocumentHeader {
+            doc_len: payload.len(),
+            m,
+            n,
+            packet_size: request.packet_size,
+            plan,
+        };
+        // Admission may be refused (clear prefix alone over budget);
+        // the response still serves from the blob just cooked.
+        edge.admit(key, header.clone(), &blob)?;
+        let view =
+            BlobPackets::parse(&blob).map_err(|e| GatewayError::Edge(EdgeError::Codec(e)))?;
+        let packets = (0..view.n())
+            .map(|i| view.is_intact(0, i).then(|| view.packet(0, i).to_vec()))
+            .collect();
+        let live = LiveServer::from_cooked(header, packets)?;
+        Ok((Arc::new(live), false))
     }
 
     /// Prepares a live transmission for a request.
@@ -399,6 +516,122 @@ mod tests {
         let stats = gw.store().stats();
         assert_eq!(stats.sc_misses, 1);
         assert_eq!(stats.sc_hits, 1);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("mrtweb-gw-edge-{tag}-{nanos}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn edge_hit_skips_the_codec_and_matches_the_miss_bytes() {
+        let dir = temp_dir("hit");
+        let store = Arc::new(DocumentStore::new(8));
+        store.put(
+            "http://site/paper",
+            Document::parse_xml(
+                "<document><title>Paper</title>\
+                 <section><title>Hot</title>\
+                 <paragraph>mobile wireless browsing content</paragraph></section>\
+                 </document>",
+            )
+            .unwrap(),
+        );
+        let edge = Arc::new(EdgeCache::new(&dir, 1 << 20).unwrap());
+        let gw = Gateway::new(store).with_edge(edge);
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+
+        let session = mrtweb_obs::testkit::capture();
+        let (miss_srv, hit0) = gw.prepare_edge(&req).unwrap();
+        let (hit_srv, hit1) = gw.prepare_edge(&req).unwrap();
+        let trace = session.finish();
+        assert!(!hit0, "first request must miss");
+        assert!(hit1, "second request must hit");
+        let encodes = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == mrtweb_obs::EventKind::EncodeSpan)
+            .count();
+        assert_eq!(encodes, 1, "one document, one encode — hits re-frame");
+
+        // A hit serves byte-identical frames to the miss that cooked it.
+        assert_eq!(miss_srv.header(), hit_srv.header());
+        for i in 0..miss_srv.header().n {
+            assert_eq!(miss_srv.frame_bytes(i), hit_srv.frame_bytes(i));
+        }
+
+        // And the hit transfers the same document end to end.
+        let report = run_transfer(
+            Arc::try_unwrap(hit_srv).unwrap(),
+            &TransferConfig {
+                alpha: 0.2,
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.completed);
+        assert!(String::from_utf8_lossy(&report.payload).contains("mobile wireless browsing"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn edge_eviction_invalidates_prepared_transmissions() {
+        let dir = temp_dir("invalidate");
+        let store = Arc::new(DocumentStore::new(8));
+        store.put(
+            "http://site/paper",
+            Document::parse_xml(
+                "<document><title>Paper</title>\
+                 <section><title>Hot</title>\
+                 <paragraph>mobile wireless browsing content</paragraph></section>\
+                 </document>",
+            )
+            .unwrap(),
+        );
+        let edge = Arc::new(EdgeCache::new(&dir, 1 << 20).unwrap());
+        let gw = Gateway::new(store).with_edge(Arc::clone(&edge));
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+
+        // Populate both caches: the edge blob and a prepared entry.
+        gw.prepare_edge(&req).unwrap();
+        let first = gw.prepare_shared(&req).unwrap();
+        let again = gw.prepare_shared(&req).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "prepared entry is cached");
+
+        // Evict the document from the edge cache. The document in the
+        // store is unchanged, so before the edge-eviction sync this
+        // would keep hitting on pointer identity — the regression.
+        edge.remove(&EdgeKey::of(&req));
+        let fresh = gw.prepare_shared(&req).unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &fresh),
+            "an edge-evicted document must drop its prepared transmission"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepare_edge_without_cache_falls_back_to_shared() {
+        let gw = gateway();
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        let (srv, hit) = gw.prepare_edge(&req).unwrap();
+        assert!(!hit);
+        assert!(srv.header().m >= 1);
     }
 
     #[test]

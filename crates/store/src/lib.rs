@@ -20,12 +20,21 @@
 //!   for a `(url, query, LOD, γ)` request;
 //! * [`air`] — lifts a dispersed blob into an on-air
 //!   [`mrtweb_transport::broadcast::BroadcastDoc`] with zero decode or
-//!   re-encode (the blob's records *are* the carousel's frames).
+//!   re-encode (the blob's records *are* the carousel's frames);
+//! * [`edge`] — the base station's bounded, disk-backed cache of
+//!   cooked blobs: hits re-frame stored packets with zero codec work;
+//! * [`evict`] — the cache's IC-aware eviction planner (trim low-IC
+//!   parity first, pin hot clear-text prefixes, segmented LRU);
+//! * [`migrate`] — the CRC-framed cell-to-cell migration record that
+//!   lets a document roam with its user.
 
 #![forbid(unsafe_code)]
 
 pub mod air;
 pub mod codec;
 pub mod disk;
+pub mod edge;
+pub mod evict;
 pub mod gateway;
+pub mod migrate;
 pub mod store;

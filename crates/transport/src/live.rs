@@ -75,8 +75,11 @@ pub enum ClientEvent {
 #[derive(Debug)]
 pub struct LiveServer {
     header: DocumentHeader,
-    /// Pre-framed wire bytes for every cooked packet, index = sequence.
-    wire_frames: Vec<Vec<u8>>,
+    /// Pre-framed wire bytes per cooked packet, index = sequence.
+    /// `None` marks a packet this server cannot serve (an edge cache
+    /// that trimmed parity, or a blob record that rotted at rest);
+    /// serving routes skip it and any `M` of the rest still suffice.
+    wire_frames: Vec<Option<Vec<u8>>>,
 }
 
 impl LiveServer {
@@ -108,7 +111,7 @@ impl LiveServer {
         let wire_frames = cooked
             .chunks_exact(packet_size)
             .enumerate()
-            .map(|(i, payload)| Frame::new(i as u16, payload.to_vec()).to_wire().to_vec())
+            .map(|(i, payload)| Some(Frame::new(i as u16, payload.to_vec()).to_wire().to_vec()))
             .collect();
         Ok(LiveServer {
             header: DocumentHeader {
@@ -152,6 +155,56 @@ impl LiveServer {
         }
     }
 
+    /// Builds a server directly from already-cooked packets — an edge
+    /// cache serving the at-rest dispersed blob. No codec is
+    /// constructed and no [`EventKind::EncodeSpan`] is emitted: the
+    /// packets were encoded exactly once when the blob was cooked, and
+    /// this path only re-frames them for the wire. `None` entries mark
+    /// packets the cache no longer holds intact (trimmed parity, at-rest
+    /// rot); the server skips those sequences and the client
+    /// reconstructs from any `M` of the rest.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameters`] if `cooked.len() != header.n`, any
+    /// present packet is not exactly `header.packet_size` bytes, or
+    /// fewer than `header.m` packets are present.
+    pub fn from_cooked(
+        header: DocumentHeader,
+        cooked: Vec<Option<Vec<u8>>>,
+    ) -> Result<Self, Error> {
+        let invalid = Error::InvalidParameters {
+            raw: header.m,
+            cooked: header.n,
+        };
+        if cooked.len() != header.n || header.packet_size == 0 {
+            return Err(invalid);
+        }
+        let present = cooked.iter().flatten().count();
+        if present < header.m {
+            return Err(Error::NotEnoughPackets {
+                have: present,
+                need: header.m,
+            });
+        }
+        if cooked
+            .iter()
+            .flatten()
+            .any(|p| p.len() != header.packet_size)
+        {
+            return Err(invalid);
+        }
+        let wire_frames = cooked
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| payload.map(|p| Frame::new(i as u16, p).to_wire().to_vec()))
+            .collect();
+        Ok(LiveServer {
+            header,
+            wire_frames,
+        })
+    }
+
     /// The control-channel header describing this transmission.
     pub fn header(&self) -> &DocumentHeader {
         &self.header
@@ -163,12 +216,12 @@ impl LiveServer {
     /// every serving route must tolerate a request index mangled in
     /// flight, so there is deliberately no panicking accessor.
     pub fn frame_bytes(&self, index: usize) -> Option<&[u8]> {
-        self.wire_frames.get(index).map(Vec::as_slice)
+        self.wire_frames.get(index).and_then(|f| f.as_deref())
     }
 
     /// Like [`LiveServer::frame_bytes`], but owned.
     pub fn try_frame(&self, index: usize) -> Option<Vec<u8>> {
-        self.wire_frames.get(index).cloned()
+        self.wire_frames.get(index).and_then(Clone::clone)
     }
 
     /// Like [`LiveServer::frame_bytes`], but an out-of-range index is a
@@ -178,11 +231,12 @@ impl LiveServer {
     ///
     /// # Errors
     ///
-    /// [`TransportError::FrameOutOfRange`] if `index ≥ N`.
+    /// [`TransportError::FrameOutOfRange`] if `index ≥ N` or the
+    /// packet at `index` is not held by this server.
     pub fn frame_checked(&self, index: usize) -> Result<&[u8], TransportError> {
         self.wire_frames
             .get(index)
-            .map(Vec::as_slice)
+            .and_then(|f| f.as_deref())
             .ok_or(TransportError::FrameOutOfRange {
                 index,
                 n: self.header.n,

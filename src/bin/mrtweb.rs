@@ -10,6 +10,8 @@
 //! mrtweb faultrun --scenario NAME [--seed S]           run a fault-injection scenario
 //! mrtweb faultrun --all [--seed S]                     run every scenario
 //! mrtweb faultrun --list                               list scenarios
+//! mrtweb edge [--docs D] [--requests R] [--budget BYTES] [--roam] [--bench-out FILE]
+//!                                                      drive the base-station edge cache
 //! mrtweb serve [files...] [--addr A] [--engine E] [--max-sessions N] [--workers W] [--fault PRESET]
 //!                                                      run the base-station proxy daemon
 //! mrtweb fetch <url> [--addr A] [--query Q] [--stop-content X] [--stop-slices K]
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
             eprintln!("  mrtweb summary <file> [--budget BYTES]");
             eprintln!("  mrtweb redundancy <M> <alpha> [--success S]");
             eprintln!("  mrtweb faultrun --scenario NAME [--seed S] | --all [--seed S] | --list");
+            eprintln!("  mrtweb edge [--docs D] [--requests R] [--budget BYTES] [--packet-size P] [--gamma G] [--seed S] [--roam] [--json] [--bench-out FILE]");
             eprintln!("  mrtweb broadcast [--docs D] [--listeners L] [--channels K] [--skew flat|popularity] [--index-every I] [--packet-size P] [--gamma G] [--fault PRESET] [--stop-content X] [--seed S] [--json] [--sweep 1,2,4] [--bench-out FILE]");
             eprintln!("  mrtweb serve [files...] [--addr A] [--engine auto|event|blocking] [--corpus K] [--max-sessions N] [--workers W] [--frame-budget B] [--fault PRESET] [--seed S] [--runtime-secs T]");
             eprintln!("  mrtweb fetch <url> [--addr A] [--query Q] [--lod L] [--measure ic|qic|mqic] [--packet-size P] [--gamma G] [--stop-content X] [--stop-slices K] [--out FILE]");
@@ -86,6 +89,10 @@ struct Flags {
     scenario: String,
     all: bool,
     list: bool,
+    // edge verb: a separate resident-byte budget so `--budget` (the
+    // summary verb's sentence budget, default 512) keeps its meaning.
+    byte_budget: usize,
+    roam: bool,
     // proxy verbs
     addr: String,
     corpus: usize,
@@ -132,6 +139,8 @@ impl Default for Flags {
             scenario: String::new(),
             all: false,
             list: false,
+            byte_budget: 1 << 20,
+            roam: false,
             addr: "127.0.0.1:7340".to_owned(),
             corpus: 4,
             max_sessions: 64,
@@ -195,8 +204,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--budget" => {
                 f.budget = need(i)?.parse().map_err(|_| "--budget needs an integer")?;
+                f.byte_budget = f.budget;
                 i += 1;
             }
+            "--roam" => f.roam = true,
             "--success" => {
                 f.success = need(i)?.parse().map_err(|_| "--success needs a number")?;
                 i += 1;
@@ -601,6 +612,68 @@ fn run(args: &[String]) -> Result<(), String> {
                     "carousel re-encoded: {} encode spans for {} documents",
                     report.encode_spans, report.docs
                 ));
+            }
+            Ok(())
+        }
+        "edge" => {
+            let flags = parse_flags(&args[1..])?;
+            let cfg = mrtweb::edge::RunConfig {
+                docs: flags.docs.max(1),
+                requests: flags.requests.max(1),
+                byte_budget: flags.byte_budget.max(1),
+                packet_size: flags.packet_size.max(4) as usize,
+                gamma: flags.gamma,
+                seed: flags.seed,
+            };
+            if flags.roam {
+                let report = mrtweb::edge::roam(&cfg)?;
+                print!("{}", report.render());
+                if !report.all_byte_identical() {
+                    return Err("a roamed document did not reconstruct byte-identically".into());
+                }
+                if !report.resumes_cheaper_than_restart() {
+                    return Err("a resume pushed ≥ M frames over the new wireless hop".into());
+                }
+                if report.migrations_in > report.docs as u64 {
+                    return Err(format!(
+                        "{} migration records for {} documents (must be ≤ 1 per document)",
+                        report.migrations_in, report.docs
+                    ));
+                }
+                return Ok(());
+            }
+            let report = mrtweb::edge::run(&cfg)?;
+            if flags.json {
+                println!("{}", mrtweb::edge::edge_metrics_json(&report));
+            } else {
+                print!("{}", report.render());
+            }
+            if !report.byte_identical {
+                return Err("an edge hit served frames that differ from the miss".into());
+            }
+            if !report.under_budget() {
+                return Err(format!(
+                    "resident bytes {} exceed the budget {}",
+                    report.resident_bytes, report.byte_budget
+                ));
+            }
+            // Re-encodes are legitimate only after an eviction dropped
+            // the entry; a roomy budget must encode once per document.
+            if report.evictions == 0 && !report.zero_reencode() {
+                return Err(format!(
+                    "edge cache re-encoded: {} encode spans for {} documents",
+                    report.encode_spans, report.docs
+                ));
+            }
+            if !flags.bench_out.is_empty() {
+                let existing = std::fs::read_to_string(&flags.bench_out).ok();
+                let json = mrtweb::edge::envelope_bench_json(
+                    existing.as_deref(),
+                    &mrtweb::edge::edge_metrics_json(&report),
+                );
+                std::fs::write(&flags.bench_out, format!("{json}\n"))
+                    .map_err(|e| format!("cannot write {}: {e}", flags.bench_out))?;
+                println!("wrote {}", flags.bench_out);
             }
             Ok(())
         }

@@ -3,7 +3,9 @@
 //! Each named scenario drives one or more layers of the stack — the
 //! threaded live transport, the session protocol (stall →
 //! NoCaching/Caching retransmission), the selective-repeat ARQ
-//! baseline, and the dispersed-blob store — through a seed-driven
+//! baseline, the dispersed-blob store, the broadcast carousel, and the
+//! base-station edge cache with its roaming handoff — through a
+//! seed-driven
 //! [`FaultConfig`] schedule, and checks the protocol invariants the
 //! paper's design promises:
 //!
@@ -26,16 +28,21 @@ use mrtweb_channel::fault::{
 };
 use mrtweb_channel::link::Link;
 use mrtweb_channel::medium::SharedMedium;
+use mrtweb_content::query::Query;
 use mrtweb_content::sc::{Measure, StructuralCharacteristic};
 use mrtweb_docmodel::gen::SyntheticDocSpec;
 use mrtweb_docmodel::lod::Lod;
 use mrtweb_store::air::broadcast_doc_from_blob;
 use mrtweb_store::codec::{decode_dispersed, encode_dispersed};
+use mrtweb_store::edge::{EdgeCache, EdgeKey};
+use mrtweb_store::gateway::{Gateway, Request};
+use mrtweb_store::migrate::{decode_record, encode_record, MigrationRecord};
+use mrtweb_store::store::DocumentStore;
 use mrtweb_transport::arq::{download_arq, ArqConfig};
 use mrtweb_transport::broadcast::{
     BroadcastDoc, BroadcastListener, Carousel, CarouselConfig, Skew, StopRule,
 };
-use mrtweb_transport::live::{run_transfer, ClientEvent, LiveServer, TransferConfig};
+use mrtweb_transport::live::{run_transfer, ClientEvent, LiveClient, LiveServer, TransferConfig};
 use mrtweb_transport::plan::{plan_document, TransmissionPlan, UnitSlice};
 use mrtweb_transport::session::{download, CacheMode, Outcome, Relevance, SessionConfig};
 
@@ -88,6 +95,14 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     (
         "broadcast-corrupt",
         "corrupted frames on the air: CRC discards damage, redundancy covers it, and every completion stays byte-identical",
+    ),
+    (
+        "edge-rot",
+        "at-rest rot of an edge-cached blob: the rotted entry never serves, the gateway re-encodes from the store, and the refreshed cache hits byte-identically",
+    ),
+    (
+        "edge-roam-outage",
+        "a migration record damaged on the backhaul: decode rejects it cleanly, and the new cell falls back to one re-encode with a byte-identical resume",
     ),
 ];
 
@@ -263,6 +278,8 @@ fn drive(name: &str, seed: u64, h: &mut Harness) -> Result<(), String> {
         "broadcast-outage" => broadcast_layer(h, BroadcastArm::Outage, seed),
         "broadcast-earlystop" => broadcast_layer(h, BroadcastArm::EarlyStop, seed),
         "broadcast-corrupt" => broadcast_layer(h, BroadcastArm::Corrupt, seed),
+        "edge-rot" => edge_layer(h, EdgeArm::Rot, seed),
+        "edge-roam-outage" => edge_layer(h, EdgeArm::RoamOutage, seed),
         other => return Err(format!("unknown scenario {other:?}")),
     }
     Ok(())
@@ -888,6 +905,320 @@ fn broadcast_layer(h: &mut Harness, arm: BroadcastArm, seed: u64) {
             h.check(rejected > 0, || {
                 "broadcast: corrupting air produced zero CRC rejections".to_string()
             });
+        }
+    }
+}
+
+/// Which edge-cache stress the scenario applies.
+#[derive(Debug, Clone, Copy)]
+enum EdgeArm {
+    Rot,
+    RoamOutage,
+}
+
+/// One base-station cell for the edge scenarios: corpus, cache,
+/// gateway, and the scratch directory holding the cache's blobs.
+struct EdgeCell {
+    dir: std::path::PathBuf,
+    store: std::sync::Arc<DocumentStore>,
+    edge: std::sync::Arc<EdgeCache>,
+    gateway: Gateway,
+}
+
+/// A seeded two-document corpus behind a gateway with a disk-backed
+/// edge cache, in a scratch directory unique to this run. The
+/// directory name is wall-clock-salted so concurrent runs never
+/// collide; nothing checked downstream depends on it.
+fn edge_cell(tag: &str, seed: u64, docs: usize) -> Result<EdgeCell, String> {
+    use std::sync::Arc;
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_err(|e| format!("{e}"))?
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!("mrtweb-faultrun-{tag}-{seed}-{nanos}"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{e}"))?;
+    let store = Arc::new(DocumentStore::new(docs.max(4)));
+    for i in 0..docs {
+        let generated = SyntheticDocSpec {
+            sections: 2,
+            subsections_per_section: 2,
+            paragraphs_per_subsection: 2,
+            target_bytes: 1500 + (i % 3) * 400,
+            ..Default::default()
+        }
+        .generate(seed.wrapping_add(i as u64));
+        store.put(format!("http://cell/doc{i}"), generated.document);
+    }
+    let edge = Arc::new(EdgeCache::new(&dir, 1 << 20).map_err(|e| format!("{e}"))?);
+    let gateway = Gateway::new(Arc::clone(&store)).with_edge(Arc::clone(&edge));
+    Ok(EdgeCell {
+        dir,
+        store,
+        edge,
+        gateway,
+    })
+}
+
+/// The payload the planner would transmit for `req` — the byte-identity
+/// ground truth every edge serve must reconstruct to.
+fn edge_expected(store: &DocumentStore, req: &Request) -> Option<Vec<u8>> {
+    let doc = store.document(&req.url)?;
+    let query = Query::parse(&req.query, store.pipeline());
+    let sc = store.structural_characteristic(&req.url, &query)?;
+    Some(plan_document(&doc, &sc, req.lod, req.measure).1)
+}
+
+/// Reconstructs a document from `server`, returning its payload bytes.
+fn edge_reconstruct(server: &LiveServer) -> Option<Vec<u8>> {
+    let mut client = LiveClient::new(server.header().clone()).ok()?;
+    for f in 0..server.header().n {
+        if client.document_bytes().is_some() {
+            break;
+        }
+        if let Some(wire) = server.frame_bytes(f) {
+            client.on_wire(wire);
+        }
+    }
+    client.document_bytes().map(<[u8]>::to_vec)
+}
+
+/// The edge cache under fault: at-rest blob rot at one cell, and a
+/// migration record damaged on the backhaul between two cells. Every
+/// failure must be detected (never served), every fallback must
+/// re-encode from the store, and every completed reconstruction must
+/// stay byte-identical.
+#[allow(clippy::too_many_lines)]
+fn edge_layer(h: &mut Harness, arm: EdgeArm, seed: u64) {
+    let docs = 2usize;
+    match arm {
+        EdgeArm::Rot => {
+            let cell = match edge_cell("rot", seed, docs) {
+                Ok(cell) => cell,
+                Err(e) => {
+                    h.check(false, || format!("edge-rot: cell setup failed: {e}"));
+                    return;
+                }
+            };
+            let (dir, store, edge, gateway) = (cell.dir, cell.store, cell.edge, cell.gateway);
+            for i in 0..docs {
+                let req = Request {
+                    url: format!("http://cell/doc{i}"),
+                    query: String::new(),
+                    lod: Lod::Paragraph,
+                    measure: Measure::Ic,
+                    packet_size: 64,
+                    gamma: 1.5,
+                };
+                let Some(expected) = edge_expected(&store, &req) else {
+                    h.check(false, || format!("edge-rot: doc {i} has no plan"));
+                    continue;
+                };
+                // Admit via the miss path, then prove the repeat hits.
+                let first = gateway.prepare_edge(&req);
+                let repeat = gateway.prepare_edge(&req);
+                if let (Ok((_, hit0)), Ok((_, hit1))) = (&first, &repeat) {
+                    h.check(!hit0, || {
+                        format!("edge-rot: doc {i} first request served from an empty cache")
+                    });
+                    h.check(*hit1, || {
+                        format!("edge-rot: doc {i} repeat request missed a warm cache")
+                    });
+                } else {
+                    h.check(false, || format!("edge-rot: doc {i} prepare failed"));
+                    continue;
+                }
+
+                // Rot the blob at rest: truncation (structural damage)
+                // for even documents, whole-file garble (every byte
+                // corrupted, CRC stress) for odd ones.
+                let key = EdgeKey::of(&req);
+                let path = edge.blob_path(&key);
+                let damaged = std::fs::read(&path).map(|mut bytes| {
+                    if i % 2 == 0 {
+                        bytes.truncate(bytes.len() / 2);
+                    } else {
+                        for (j, b) in bytes.iter_mut().enumerate() {
+                            *b ^= (seed as u8).wrapping_add(j as u8) | 1;
+                        }
+                    }
+                    std::fs::write(&path, &bytes)
+                });
+                h.check(matches!(damaged, Ok(Ok(()))), || {
+                    format!("edge-rot: doc {i} could not damage blob on disk")
+                });
+                // Force the next serve through the rotted file.
+                edge.flush_resident();
+
+                // Invariant 2: the rot is detected, never served. The
+                // unservable entry is reported evicted so the gateway's
+                // prepared-transmission sync drops any stale handle.
+                h.check(edge.serve(&key).is_none(), || {
+                    format!("edge-rot: doc {i} served a rotted blob")
+                });
+
+                // Fallback: the next request re-encodes from the store
+                // and re-admits; the one after hits the refreshed entry.
+                // Both reconstruct byte-identically (invariant 1).
+                for (label, want_hit) in [("re-encode", false), ("refreshed hit", true)] {
+                    match gateway.prepare_edge(&req) {
+                        Ok((server, hit)) => {
+                            h.check(hit == want_hit, || {
+                                format!(
+                                    "edge-rot: doc {i} {label} expected hit={want_hit}, got {hit}"
+                                )
+                            });
+                            h.check(
+                                edge_reconstruct(&server).as_deref() == Some(&expected[..]),
+                                || {
+                                    format!(
+                                        "edge-rot: doc {i} {label} reconstruction not byte-identical"
+                                    )
+                                },
+                            );
+                        }
+                        Err(e) => h.check(false, || {
+                            format!("edge-rot: doc {i} {label} prepare failed: {e}")
+                        }),
+                    }
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        EdgeArm::RoamOutage => {
+            // Two cells; unlike the clean roam driver, cell B also holds
+            // the corpus, because the backhaul outage forces it to fall
+            // back to its own store when the migration record is lost.
+            let cell_a = match edge_cell("roam-a", seed, docs) {
+                Ok(cell) => cell,
+                Err(e) => {
+                    h.check(false, || {
+                        format!("edge-roam-outage: cell A setup failed: {e}")
+                    });
+                    return;
+                }
+            };
+            let cell_b = match edge_cell("roam-b", seed, docs) {
+                Ok(cell) => cell,
+                Err(e) => {
+                    h.check(false, || {
+                        format!("edge-roam-outage: cell B setup failed: {e}")
+                    });
+                    let _ = std::fs::remove_dir_all(&cell_a.dir);
+                    return;
+                }
+            };
+            let (dir_a, store_a, edge_a, gateway_a) =
+                (cell_a.dir, cell_a.store, cell_a.edge, cell_a.gateway);
+            let (dir_b, edge_b, gateway_b) = (cell_b.dir, cell_b.edge, cell_b.gateway);
+            for i in 0..docs {
+                let req = Request {
+                    url: format!("http://cell/doc{i}"),
+                    query: String::new(),
+                    lod: Lod::Paragraph,
+                    measure: Measure::Ic,
+                    packet_size: 64,
+                    gamma: 1.5,
+                };
+                let Some(expected) = edge_expected(&store_a, &req) else {
+                    h.check(false, || format!("edge-roam-outage: doc {i} has no plan"));
+                    continue;
+                };
+                // Start the transfer at cell A and bank half the frames.
+                let Ok((server_a, _)) = gateway_a.prepare_edge(&req) else {
+                    h.check(false, || {
+                        format!("edge-roam-outage: doc {i} prepare at cell A failed")
+                    });
+                    continue;
+                };
+                let m = server_a.header().m;
+                let held = (m / 2).clamp(1, m.saturating_sub(1).max(1));
+                let Ok(mut client) = LiveClient::new(server_a.header().clone()) else {
+                    h.check(false, || {
+                        format!("edge-roam-outage: doc {i} client construction failed")
+                    });
+                    continue;
+                };
+                for f in 0..held {
+                    if let Some(wire) = server_a.frame_bytes(f) {
+                        client.on_wire(wire);
+                    }
+                }
+
+                // The migration record is damaged in backhaul transit:
+                // a seed-picked byte flip. CRC framing must reject it —
+                // cleanly, never by panicking (invariant 2).
+                let key = EdgeKey::of(&req);
+                let Some((header, blob)) = edge_a.export_blob(&key) else {
+                    h.check(false, || {
+                        format!("edge-roam-outage: doc {i} never admitted at cell A")
+                    });
+                    continue;
+                };
+                let record = encode_record(&MigrationRecord { key, header, blob });
+                h.check(decode_record(&record).is_ok(), || {
+                    format!("edge-roam-outage: doc {i} pristine record failed to decode")
+                });
+                let mut corrupted = record.clone();
+                let pos =
+                    (seed as usize).wrapping_mul(2_654_435_761).wrapping_add(i) % corrupted.len();
+                corrupted[pos] ^= 0xFF;
+                h.check(decode_record(&corrupted).is_err(), || {
+                    format!("edge-roam-outage: doc {i} record with byte {pos} flipped decoded")
+                });
+                // Hostile truncations and growth must also fail cleanly.
+                for cut in [0, 1, 7, record.len() / 2, record.len() - 1] {
+                    h.check(decode_record(&record[..cut]).is_err(), || {
+                        format!("edge-roam-outage: doc {i} record truncated to {cut} decoded")
+                    });
+                }
+                let mut grown = record.clone();
+                grown.extend_from_slice(&[(seed & 0xFF) as u8; 5]);
+                h.check(decode_record(&grown).is_err(), || {
+                    format!("edge-roam-outage: doc {i} record with trailing garbage decoded")
+                });
+
+                // The record is lost, so nothing was admitted at cell B:
+                // the resume falls back to exactly one re-encode from
+                // B's own store, and only missing packets cross the new
+                // wireless hop.
+                h.check(edge_b.serve(&EdgeKey::of(&req)).is_none(), || {
+                    format!("edge-roam-outage: doc {i} appeared at cell B without a migration")
+                });
+                let Ok((server_b, hit_b)) = gateway_b.prepare_edge(&req) else {
+                    h.check(false, || {
+                        format!("edge-roam-outage: doc {i} fallback prepare at cell B failed")
+                    });
+                    continue;
+                };
+                h.check(!hit_b, || {
+                    format!("edge-roam-outage: doc {i} cell B claimed a hit on an empty cache")
+                });
+                let missing = client.state().missing();
+                let mut new_hop_frames = 0usize;
+                for idx in missing {
+                    if client.document_bytes().is_some() {
+                        break;
+                    }
+                    let Some(wire) = server_b.frame_bytes(idx) else {
+                        continue;
+                    };
+                    client.on_wire(wire);
+                    new_hop_frames += 1;
+                }
+                // Invariant 1: the resume completes byte-identically,
+                // and the banked cell-A packets kept their value.
+                h.check(client.document_bytes() == Some(&expected[..]), || {
+                    format!("edge-roam-outage: doc {i} fallback resume not byte-identical")
+                });
+                h.check(new_hop_frames < m, || {
+                    format!(
+                        "edge-roam-outage: doc {i} pushed {new_hop_frames} frames for M={m} — \
+                         the roam bought nothing"
+                    )
+                });
+            }
+            let _ = std::fs::remove_dir_all(&dir_a);
+            let _ = std::fs::remove_dir_all(&dir_b);
         }
     }
 }

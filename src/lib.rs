@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod broadcast;
+pub mod edge;
 pub mod faultrun;
 
 pub use mrtweb_channel as channel;
