@@ -333,6 +333,10 @@ fn on_readable(
 /// borrow of the session's `server` field before mutating the session.
 enum Outcome {
     Served,
+    /// An in-range packet this server does not hold (a trimmed or
+    /// rotted edge-cache entry): skip the sequence, the client
+    /// reconstructs from any M of the rest.
+    Skipped,
     Fail(ErrorCode, String, SessionEnd),
 }
 
@@ -391,6 +395,7 @@ fn pump(s: &mut Session, config: &ServerConfig, stats: &ProxyStats) {
                     }
                     Outcome::Served
                 }
+                Err(TransportError::FrameNotHeld { .. }) => Outcome::Skipped,
                 // The round's indices came off the wire: out-of-range
                 // is a typed protocol error, never a panic.
                 Err(e @ TransportError::FrameOutOfRange { .. }) => Outcome::Fail(

@@ -640,9 +640,13 @@ fn session_body(
         let round_span = mrtweb_obs::Span::start(EventKind::RoundSpan);
         for &idx in &to_send {
             // The round's indices came off the wire: an out-of-range
-            // request is a typed protocol error, never a panic.
+            // request is a typed protocol error, never a panic. An
+            // in-range packet this server does not hold (a trimmed or
+            // rotted edge-cache entry) is skipped — the client
+            // reconstructs from any M of the rest.
             let bytes = match server.frame_checked(idx) {
                 Ok(bytes) => bytes,
+                Err(TransportError::FrameNotHeld { .. }) => continue,
                 Err(e @ TransportError::FrameOutOfRange { .. }) => {
                     return fail(
                         stream,

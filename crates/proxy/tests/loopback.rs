@@ -382,11 +382,15 @@ fn slow_reader_is_backpressured_by_a_bounded_output_buffer() {
     .expect("hello");
 
     // Do not read. The server fills the socket, then its out-buffer,
-    // then stalls on write readiness — bounded the whole time.
-    std::thread::sleep(Duration::from_millis(700));
+    // then stalls on write readiness — bounded the whole time. How long
+    // the fill takes depends on machine load, so poll rather than sleep.
+    wait_for(
+        &*server,
+        "a serving session to record pending output",
+        |s| s.gauge(OUTBUF_HWM_BYTES) > 0,
+    );
     let stalled = server.stats();
     let hwm = stalled.gauge(OUTBUF_HWM_BYTES);
-    assert!(hwm > 0, "a serving session records its pending output");
     // The pump stops once 64 KiB is pending, overshooting by at most
     // one frame envelope: the buffer is bounded no matter how much of
     // the round remains unsent.
@@ -478,5 +482,76 @@ fn half_open_client_hangup_ends_the_session_cleanly() {
             "a hangup is not a protocol error ({engine:?}): {}",
             snapshot.to_json()
         );
+    }
+}
+
+/// A cache hit whose parity was trimmed by the edge byte budget serves
+/// by skipping the missing frames: the session completes from the M
+/// clear-prefix packets instead of dying with a BadRequest — on both
+/// engines.
+#[test]
+fn trimmed_edge_entry_serves_by_skipping_missing_frames() {
+    use mrtweb_store::edge::EdgeCache;
+    let expected = reference_payload();
+    // The request shape's clear-prefix size: a budget of exactly
+    // m · packet_size admits the entry, then budget enforcement trims
+    // every parity packet.
+    let o = options();
+    let request = Request::from_options(
+        &o.url,
+        &o.query,
+        &o.lod,
+        &o.measure,
+        o.packet_size as usize,
+        o.gamma,
+    )
+    .expect("request");
+    let header = Gateway::new(test_store(10_240))
+        .prepare(&request)
+        .expect("reference prepare")
+        .header()
+        .clone();
+    assert!(header.n > header.m, "fixture must have parity to trim");
+    let budget = header.m * header.packet_size;
+
+    for engine in engines() {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("mrtweb-loopback-edge-{engine:?}-{nanos}"));
+        let edge = Arc::new(EdgeCache::new(&dir, budget).expect("edge cache"));
+        let gateway = Gateway::new(test_store(10_240)).with_edge(Arc::clone(&edge));
+        let server =
+            bind_engine("127.0.0.1:0", gateway, ServerConfig::default(), engine).expect("bind");
+        let addr = server.local_addr();
+
+        // Miss: cooks and admits; enforcement trims all parity.
+        let miss = fetch(addr, &options()).expect("miss fetch");
+        assert!(miss.completed, "engine {engine:?}");
+        let stats_after = edge.stats();
+        assert!(
+            stats_after.trimmed_packets > 0,
+            "budget must trim parity: {stats_after:?}"
+        );
+
+        // Hit: the resident entry has holes where the parity was; the
+        // serving loop must skip those sequences, not fail the session.
+        let hit = fetch(addr, &options()).expect("hit fetch with trimmed parity");
+        assert!(hit.completed, "engine {engine:?}");
+        assert_eq!(hit.payload, expected, "engine {engine:?}");
+        assert_eq!(edge.stats().hits, 1, "engine {engine:?}");
+
+        wait_for(&*server, "both sessions completing", |s| {
+            s.counter(COMPLETED) == 2
+        });
+        let snapshot = server.shutdown();
+        assert_eq!(
+            snapshot.counter("protocol_errors"),
+            0,
+            "engine {engine:?}: {}",
+            snapshot.to_json()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -130,6 +130,13 @@ pub struct EdgeServed {
     pub header: DocumentHeader,
     /// Cooked packet payloads by sequence index, length `n`.
     pub packets: Vec<Option<Vec<u8>>>,
+    /// The store generation the blob was cooked from
+    /// ([`EdgeCache::admit_from_store`]), or `None` for entries the
+    /// edge holds authoritatively (a migrated blob from another cell).
+    /// The gateway compares it against the store's current generation
+    /// before honouring a hit, so a replaced or deleted document never
+    /// keeps serving from the cache.
+    pub origin: Option<u64>,
 }
 
 /// Point-in-time cache statistics.
@@ -147,6 +154,10 @@ pub struct EdgeStats {
     pub migrations_out: u64,
     /// Migration records admitted from another cell.
     pub migrations_in: u64,
+    /// Admissions that failed outright (cache-disk I/O, blob/header
+    /// disagreement) — the request still serves from the cooked blob,
+    /// only the cache copy is lost.
+    pub admit_failures: u64,
     /// Bytes currently resident in memory.
     pub resident_bytes: usize,
     /// Entries currently resident.
@@ -160,6 +171,9 @@ struct Entry {
     /// Cooked packets by sequence; `None` = trimmed from memory or
     /// rotted at rest. Indices `0..m` are the clear-text prefix.
     packets: Vec<Option<Vec<u8>>>,
+    /// Store generation the blob was cooked from; `None` = the edge
+    /// holds this entry authoritatively (migrated from another cell).
+    origin: Option<u64>,
     segment: Segment,
     last_used: u64,
 }
@@ -213,6 +227,7 @@ pub struct EdgeCache {
     trimmed_packets: AtomicU64,
     migrations_out: AtomicU64,
     migrations_in: AtomicU64,
+    admit_failures: AtomicU64,
     /// Hit serve latency, lookup to serve-ready packets, nanoseconds.
     hit_ns: Histogram,
 }
@@ -237,6 +252,7 @@ impl EdgeCache {
             trimmed_packets: AtomicU64::new(0),
             migrations_out: AtomicU64::new(0),
             migrations_in: AtomicU64::new(0),
+            admit_failures: AtomicU64::new(0),
             hit_ns: Histogram::new(),
         })
     }
@@ -300,6 +316,7 @@ impl EdgeCache {
             trimmed_packets: self.trimmed_packets.load(Ordering::Relaxed),
             migrations_out: self.migrations_out.load(Ordering::Relaxed),
             migrations_in: self.migrations_in.load(Ordering::Relaxed),
+            admit_failures: self.admit_failures.load(Ordering::Relaxed),
             resident_bytes: self.resident_bytes(),
             entries: self.len(),
         }
@@ -316,6 +333,12 @@ impl EdgeCache {
     /// resident; the byte budget is then enforced (other entries trim
     /// parity or leave memory, per [`crate::evict`]).
     ///
+    /// The entry carries no origin generation — the edge vouches for it
+    /// unconditionally (the roaming case). When the blob was cooked
+    /// from a document in this cell's store, use
+    /// [`EdgeCache::admit_from_store`] instead so replacement of that
+    /// document invalidates the cached blob.
+    ///
     /// Returns `Ok(false)` — refused, nothing written — when the
     /// clear-text prefix alone (`m · packet_size`) exceeds the whole
     /// budget: such an entry could never serve from memory within it.
@@ -329,6 +352,49 @@ impl EdgeCache {
         key: EdgeKey,
         header: DocumentHeader,
         blob: &[u8],
+    ) -> Result<bool, EdgeError> {
+        self.admit_with_origin(key, header, blob, None)
+    }
+
+    /// Like [`EdgeCache::admit`], but stamps the entry with the store
+    /// generation of the document the blob was cooked from. A later hit
+    /// is honoured only while the store still holds that exact
+    /// generation ([`EdgeServed::origin`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EdgeCache::admit`].
+    pub fn admit_from_store(
+        &self,
+        key: EdgeKey,
+        header: DocumentHeader,
+        blob: &[u8],
+        generation: u64,
+    ) -> Result<bool, EdgeError> {
+        self.admit_with_origin(key, header, blob, Some(generation))
+    }
+
+    fn admit_with_origin(
+        &self,
+        key: EdgeKey,
+        header: DocumentHeader,
+        blob: &[u8],
+        origin: Option<u64>,
+    ) -> Result<bool, EdgeError> {
+        let admitted = self.try_admit(key, header, blob, origin);
+        if admitted.is_err() {
+            // ORDERING: monitoring tally only.
+            self.admit_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    fn try_admit(
+        &self,
+        key: EdgeKey,
+        header: DocumentHeader,
+        blob: &[u8],
+        origin: Option<u64>,
     ) -> Result<bool, EdgeError> {
         let view = BlobPackets::parse(blob)?;
         if view.m() != header.m
@@ -363,6 +429,7 @@ impl EdgeCache {
             Entry {
                 header,
                 packets,
+                origin,
                 segment: Segment::Probation,
                 last_used: tick,
             },
@@ -398,9 +465,20 @@ impl EdgeCache {
             // from the at-rest blob. Disk I/O under the lock is the
             // rare path (only after budget pressure or rot), and keeps
             // the entry state transition atomic.
-            let rehydrated = fs::read(self.blob_path(key))
-                .ok()
-                .and_then(|blob| BlobPackets::parse(&blob).ok().map(|v| hydrate(&v)));
+            let want = entry.header.clone();
+            let rehydrated = fs::read(self.blob_path(key)).ok().and_then(|blob| {
+                let view = BlobPackets::parse(&blob).ok()?;
+                // Same cross-check as admission: blob filenames are a
+                // 64-bit hash, so a colliding key's blob (or any
+                // swapped file) must not hydrate under this entry's
+                // header — treat a mismatch like at-rest rot.
+                (view.m() == want.m
+                    && view.n() == want.n
+                    && view.packet_size() == want.packet_size
+                    && view.doc_len() == want.doc_len
+                    && view.groups() == 1)
+                    .then(|| hydrate(&view))
+            });
             let entry = inner
                 .entries
                 .get_mut(key)
@@ -446,6 +524,7 @@ impl EdgeCache {
         let served = EdgeServed {
             header: entry.header.clone(),
             packets: entry.packets.clone(),
+            origin: entry.origin,
         };
         let intact = entry.resident_intact() as u64;
         drop(inner);
@@ -724,6 +803,43 @@ mod tests {
         let evicted = cache.drain_evicted();
         assert_eq!(evicted, vec![key]);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rehydration_rejects_a_blob_that_disagrees_with_the_header() {
+        // Blob filenames are a 64-bit hash: a collision (or any swapped
+        // file) can put a differently-shaped blob under this entry's
+        // name. Rehydration must cross-check the header, like admission
+        // does, and treat the mismatch as at-rest rot.
+        let dir = temp_dir("swap");
+        let cache = EdgeCache::new(&dir, 1 << 20).unwrap();
+        let (key, header, _) = fixture(64, 1.5);
+        let (_, other_header, other_blob) = fixture(32, 1.5);
+        assert_ne!(header.packet_size, other_header.packet_size);
+        let (_, _, blob) = fixture(64, 1.5);
+        cache.admit(key.clone(), header, &blob).unwrap();
+        // Swap in a valid blob of the wrong shape, then force the disk
+        // path.
+        fs::write(cache.blob_path(&key), &other_blob).unwrap();
+        cache.flush_resident();
+        assert!(cache.serve(&key).is_none());
+        assert_eq!(cache.drain_evicted(), vec![key]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_admission_is_tallied() {
+        let dir = temp_dir("admitfail");
+        let cache = EdgeCache::new(&dir, 1 << 20).unwrap();
+        let (key, header, blob) = fixture(64, 1.5);
+        // Blob directory gone: the durable write must fail.
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(
+            cache.admit(key.clone(), header, &blob),
+            Err(EdgeError::Io(_))
+        ));
+        assert_eq!(cache.stats().admit_failures, 1);
+        assert!(!cache.contains(&key));
     }
 
     #[test]

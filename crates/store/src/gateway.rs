@@ -313,10 +313,18 @@ impl Gateway {
     /// and whether it was a cache hit. Without an attached edge cache
     /// this falls back to [`Gateway::prepare_shared`] (never a hit).
     ///
+    /// A hit is honoured only while the store still holds the document
+    /// generation the blob was cooked from — replacing or deleting the
+    /// document invalidates the cached blob (migrated entries, which
+    /// the edge holds authoritatively, always serve). Cache-side
+    /// admission failures never fail the request: the response serves
+    /// from the just-cooked blob and the failure is only tallied.
+    ///
     /// # Errors
     ///
-    /// Same as [`Gateway::prepare`], plus [`GatewayError::Edge`] for
-    /// disk failures in the cache.
+    /// Same as [`Gateway::prepare`], plus [`GatewayError::Edge`] if the
+    /// just-cooked blob fails to re-parse (an internal invariant, not a
+    /// cache-disk condition).
     pub fn prepare_edge(&self, request: &Request) -> Result<(Arc<LiveServer>, bool), GatewayError> {
         let Some(edge) = &self.edge else {
             return Ok((self.prepare_shared(request)?, false));
@@ -324,14 +332,31 @@ impl Gateway {
         self.sync_edge_invalidations();
         let key = EdgeKey::of(request);
         if let Some(served) = edge.serve(&key) {
-            let live = LiveServer::from_cooked(served.header, served.packets)?;
-            return Ok((Arc::new(live), true));
+            let fresh = match served.origin {
+                // Cooked from this cell's store: honoured only while
+                // the store still holds that exact document version.
+                Some(generation) => self.store.generation(&request.url) == Some(generation),
+                // Migrated from another cell: the edge copy is the
+                // authority (the roaming client's held packets came
+                // from these very bytes).
+                None => true,
+            };
+            if fresh {
+                let live = LiveServer::from_cooked(served.header, served.packets)?;
+                return Ok((Arc::new(live), true));
+            }
+            // The document behind the blob was replaced or deleted:
+            // drop the stale entry (which also invalidates any prepared
+            // transmission built from it) and fall through to the miss
+            // path against the store's current state.
+            edge.remove(&key);
+            self.sync_edge_invalidations();
         }
         // Miss: cook the dispersed blob once; it is both the at-rest
         // cache entry and the source of this response's frames.
-        let doc = self
+        let (doc, generation) = self
             .store
-            .document(&request.url)
+            .document_with_generation(&request.url)
             .ok_or_else(|| GatewayError::NotFound(request.url.clone()))?;
         let query = Query::parse(&request.query, self.store.pipeline());
         let sc = self
@@ -351,9 +376,12 @@ impl Gateway {
             packet_size: request.packet_size,
             plan,
         };
-        // Admission may be refused (clear prefix alone over budget);
-        // the response still serves from the blob just cooked.
-        edge.admit(key, header.clone(), &blob)?;
+        // Admission may be refused (clear prefix alone over budget) or
+        // fail outright on the cache's own disk — either way the
+        // response still serves from the blob just cooked; only the
+        // cache copy is lost. The cache tallies failures
+        // (`EdgeStats::admit_failures`).
+        let _ = edge.admit_from_store(key, header.clone(), &blob, generation);
         let view =
             BlobPackets::parse(&blob).map_err(|e| GatewayError::Edge(EdgeError::Codec(e)))?;
         let packets = (0..view.n())
@@ -620,6 +648,127 @@ mod tests {
             "an edge-evicted document must drop its prepared transmission"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn edge_gateway(tag: &str) -> (std::path::PathBuf, Arc<EdgeCache>, Gateway) {
+        let dir = temp_dir(tag);
+        let store = Arc::new(DocumentStore::new(8));
+        store.put(
+            "http://site/paper",
+            Document::parse_xml(
+                "<document><title>Paper</title>\
+                 <section><title>Hot</title>\
+                 <paragraph>mobile wireless browsing content</paragraph></section>\
+                 </document>",
+            )
+            .unwrap(),
+        );
+        let edge = Arc::new(EdgeCache::new(&dir, 1 << 20).unwrap());
+        let gw = Gateway::new(store).with_edge(Arc::clone(&edge));
+        (dir, edge, gw)
+    }
+
+    fn transfer_text(srv: Arc<LiveServer>) -> String {
+        let report = run_transfer(
+            Arc::try_unwrap(srv).unwrap(),
+            &TransferConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.completed);
+        String::from_utf8_lossy(&report.payload).into_owned()
+    }
+
+    #[test]
+    fn edge_hit_is_invalidated_when_the_document_is_replaced() {
+        let (dir, edge, gw) = edge_gateway("stale-put");
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        let (_, hit) = gw.prepare_edge(&req).unwrap();
+        assert!(!hit);
+        gw.store().put(
+            "http://site/paper",
+            Document::parse_xml(
+                "<document><title>Paper v2</title>\
+                 <section><title>Fresh</title>\
+                 <paragraph>mobile wireless replacement content entirely</paragraph></section>\
+                 </document>",
+            )
+            .unwrap(),
+        );
+        // The cached blob was cooked from the replaced document: the
+        // next request must miss and re-cook from the new one.
+        let (srv, hit) = gw.prepare_edge(&req).unwrap();
+        assert!(!hit, "a replaced document must not serve from the edge");
+        assert!(transfer_text(srv).contains("replacement content"));
+        // And the re-cooked blob is a valid hit again.
+        let (srv, hit) = gw.prepare_edge(&req).unwrap();
+        assert!(hit);
+        assert!(transfer_text(srv).contains("replacement content"));
+        std::fs::remove_dir_all(&dir).unwrap();
+        drop(edge);
+    }
+
+    #[test]
+    fn edge_stops_serving_deleted_documents() {
+        let (dir, edge, gw) = edge_gateway("stale-remove");
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        gw.prepare_edge(&req).unwrap();
+        assert!(edge.contains(&EdgeKey::of(&req)));
+        gw.store().remove("http://site/paper");
+        let err = gw.prepare_edge(&req).unwrap_err();
+        assert!(
+            matches!(err, GatewayError::NotFound(_)),
+            "a deleted document must not keep serving from the edge: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrated_entries_serve_without_a_store_document() {
+        // Cell A cooks and exports; cell B's store knows nothing — the
+        // migrated blob is all it has, and it must serve as a hit (the
+        // roaming client's held packets came from those bytes).
+        let (dir_a, edge_a, gw_a) = edge_gateway("roam-a");
+        let dir_b = temp_dir("roam-b");
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        gw_a.prepare_edge(&req).unwrap();
+        let key = EdgeKey::of(&req);
+        let (header, blob) = edge_a.export_blob(&key).unwrap();
+        let edge_b = Arc::new(EdgeCache::new(&dir_b, 1 << 20).unwrap());
+        assert!(edge_b.admit_migrated(key.clone(), header, &blob).unwrap());
+        let gw_b = Gateway::new(Arc::new(DocumentStore::new(8))).with_edge(edge_b);
+        let (srv, hit) = gw_b.prepare_edge(&req).unwrap();
+        assert!(hit, "a migrated entry serves without a store document");
+        assert!(transfer_text(srv).contains("mobile wireless browsing"));
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn edge_admit_failure_still_serves_the_request() {
+        let (dir, edge, gw) = edge_gateway("admit-io");
+        let req = Request {
+            packet_size: 32,
+            ..Request::new("http://site/paper", "mobile wireless")
+        };
+        // Kill the cache's blob directory: admission will fail on I/O,
+        // but the blob was already cooked and must still serve.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let (srv, hit) = gw.prepare_edge(&req).unwrap();
+        assert!(!hit);
+        assert!(transfer_text(srv).contains("mobile wireless browsing"));
+        assert_eq!(edge.stats().admit_failures, 1);
     }
 
     #[test]

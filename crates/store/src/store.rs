@@ -1,6 +1,7 @@
 //! The concurrent document store with structural-characteristic caching.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -25,6 +26,11 @@ pub struct CacheStats {
 struct StoredDoc {
     document: Arc<Document>,
     index: Arc<DocumentIndex>,
+    /// Store-wide unique id of this exact document version; a `put`
+    /// over the same URL assigns a fresh one, so derived caches (the
+    /// edge cache's cooked blobs) can detect replacement without
+    /// holding the document pointer.
+    generation: u64,
     /// Query-keyed SC cache with insertion-order eviction.
     sc_cache: HashMap<String, Arc<StructuralCharacteristic>>,
     sc_order: Vec<String>,
@@ -63,6 +69,8 @@ pub struct DocumentStore {
     pipeline: ScPipeline,
     sc_capacity: usize,
     stats: RwLock<CacheStats>,
+    /// Source of [`StoredDoc::generation`] values.
+    next_generation: AtomicU64,
 }
 
 impl DocumentStore {
@@ -74,6 +82,7 @@ impl DocumentStore {
             pipeline: ScPipeline::default(),
             sc_capacity,
             stats: RwLock::new(CacheStats::default()),
+            next_generation: AtomicU64::new(0),
         }
     }
 
@@ -95,6 +104,9 @@ impl DocumentStore {
         let stored = StoredDoc {
             document: Arc::new(document),
             index,
+            // ORDERING: only uniqueness matters, not publication order —
+            // the value travels to readers under the `docs` lock.
+            generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
             sc_cache: HashMap::new(),
             sc_order: Vec::new(),
         };
@@ -102,6 +114,25 @@ impl DocumentStore {
             .write()
             .insert(url.into(), stored)
             .map(|s| s.document)
+    }
+
+    /// The generation of the document currently stored at `url`, or
+    /// `None` for unknown URLs. Every `put` assigns a fresh value, so a
+    /// derived artifact stamped with the generation it was built from
+    /// (an edge-cache blob) is stale exactly when the stamps differ.
+    pub fn generation(&self, url: &str) -> Option<u64> {
+        self.docs.read().get(url).map(|s| s.generation)
+    }
+
+    /// The document at `url` together with its generation, read under
+    /// one lock — a derived artifact cooked from the returned document
+    /// can stamp itself with a generation that is guaranteed to match
+    /// it, even against a concurrent `put`.
+    pub fn document_with_generation(&self, url: &str) -> Option<(Arc<Document>, u64)> {
+        self.docs
+            .read()
+            .get(url)
+            .map(|s| (Arc::clone(&s.document), s.generation))
     }
 
     /// Removes a document.

@@ -26,6 +26,14 @@ pub enum Error {
         /// The transmission's cooked-packet count `N`.
         n: usize,
     },
+    /// A valid index `0..N` whose packet this server does not hold —
+    /// an edge cache trimmed the parity or the at-rest record rotted.
+    /// Serving routes skip the sequence (the client reconstructs from
+    /// any `M` of the rest); it is not a peer violation.
+    FrameNotHeld {
+        /// The requested index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -36,6 +44,9 @@ impl fmt::Display for Error {
             Error::FrameOutOfRange { index, n } => {
                 write!(f, "requested frame {index} out of range (N = {n})")
             }
+            Error::FrameNotHeld { index } => {
+                write!(f, "frame {index} not held by this server")
+            }
         }
     }
 }
@@ -44,7 +55,9 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Codec(e) => Some(e),
-            Error::ServerPanicked | Error::FrameOutOfRange { .. } => None,
+            Error::ServerPanicked | Error::FrameOutOfRange { .. } | Error::FrameNotHeld { .. } => {
+                None
+            }
         }
     }
 }

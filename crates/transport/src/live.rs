@@ -224,23 +224,26 @@ impl LiveServer {
         self.wire_frames.get(index).and_then(Clone::clone)
     }
 
-    /// Like [`LiveServer::frame_bytes`], but an out-of-range index is a
-    /// typed [`TransportError::FrameOutOfRange`] protocol error — for
-    /// servers that must report the violation to the peer instead of
-    /// silently skipping the request.
+    /// Like [`LiveServer::frame_bytes`], but a failed lookup is typed —
+    /// for servers that must tell a peer violation apart from a packet
+    /// this server legitimately lacks (a trimmed edge-cache entry).
     ///
     /// # Errors
     ///
-    /// [`TransportError::FrameOutOfRange`] if `index ≥ N` or the
-    /// packet at `index` is not held by this server.
+    /// [`TransportError::FrameOutOfRange`] if `index ≥ N` — a protocol
+    /// violation to report to the peer; [`TransportError::FrameNotHeld`]
+    /// if `index` is valid but the packet is not held — a sequence the
+    /// serving loop skips.
     pub fn frame_checked(&self, index: usize) -> Result<&[u8], TransportError> {
-        self.wire_frames
+        let slot = self
+            .wire_frames
             .get(index)
-            .and_then(|f| f.as_deref())
             .ok_or(TransportError::FrameOutOfRange {
                 index,
                 n: self.header.n,
-            })
+            })?;
+        slot.as_deref()
+            .ok_or(TransportError::FrameNotHeld { index })
     }
 }
 
@@ -832,6 +835,43 @@ mod tests {
             other => panic!("expected FrameOutOfRange, got {other:?}"),
         }
         assert_eq!(srv.frame_checked(0).unwrap(), srv.frame_bytes(0).unwrap());
+    }
+
+    #[test]
+    fn not_held_frames_are_distinct_from_out_of_range() {
+        // A from_cooked server with a trimmed parity packet — the shape
+        // an edge cache serves after budget pressure. The hole must be
+        // a skippable FrameNotHeld, not the peer-violation error.
+        let (doc, sc) = fixture();
+        let (plan, payload) = plan_document(&doc, &sc, Lod::Paragraph, Measure::Qic);
+        let packet_size = 32;
+        let m = plan.raw_packets(packet_size);
+        let n = ((m as f64 * 1.5).round() as usize).max(m);
+        let codec = Codec::shared(m, n, packet_size).unwrap();
+        let mut cooked = Vec::new();
+        encode_into_parallel(&codec, &payload, &mut cooked, default_threads());
+        let mut packets: Vec<Option<Vec<u8>>> = cooked
+            .chunks_exact(packet_size)
+            .map(|p| Some(p.to_vec()))
+            .collect();
+        packets[n - 1] = None;
+        let header = DocumentHeader {
+            doc_len: payload.len(),
+            m,
+            n,
+            packet_size,
+            plan,
+        };
+        let srv = LiveServer::from_cooked(header, packets).unwrap();
+        assert!(matches!(
+            srv.frame_checked(n - 1),
+            Err(TransportError::FrameNotHeld { index }) if index == n - 1
+        ));
+        assert!(matches!(
+            srv.frame_checked(n),
+            Err(TransportError::FrameOutOfRange { .. })
+        ));
+        assert!(srv.frame_checked(0).is_ok());
     }
 
     #[test]
