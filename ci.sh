@@ -17,7 +17,7 @@
 #   obs-no-trace   mrtweb-obs with the `trace` feature off (no-op path)
 #   proxy-fallback mrtweb-proxy with the `event` feature off (blocking
 #                  engine only, unsafe code forbidden crate-wide)
-#   faults         fault-injection matrix (14 scenarios x seeds)
+#   faults         fault-injection matrix (every faultrun scenario x seeds)
 #   proxy-smoke    event-engine serve + loadgen over loopback,
 #                  closed sweep up to C=1024 -> BENCH_proxy.json
 #   broadcast      carousel smoke: 256 listeners x 4 channels with zero
@@ -138,8 +138,13 @@ stage_proxy_fallback() {
 stage_faults() {
   local seeds="1 2 3"
   [ "$quick" -eq 1 ] && seeds="1"
-  echo "==> fault-injection matrix (14 scenarios x seeds: $seeds)"
   [ -x target/release/mrtweb ] || cargo build --release
+  # Scenario count comes from the binary itself (--list prints a header
+  # line, then one indented line per scenario) so the matrix can grow
+  # without this script going stale.
+  local scenarios
+  scenarios="$(target/release/mrtweb faultrun --list | grep -c '^  ')"
+  echo "==> fault-injection matrix ($scenarios scenarios x seeds: $seeds)"
   for seed in $seeds; do
     target/release/mrtweb faultrun --all --seed "$seed" \
       | grep -E '^(PASS|FAIL)' | sed "s/^/    /"

@@ -21,7 +21,11 @@
 //! magnitude regressions (a scalar fallback shipping instead of the
 //! split-table kernel; a lock on the hot path), not 5% noise. Bytes,
 //! counts, and wall-clock totals are configuration, not performance,
-//! and are never compared.
+//! and are never compared. A few *dimensionless* metrics additionally
+//! carry absolute hard caps (see [`hard_cap_of`]): the fitted
+//! `setup_scaling_exponent` and the `decode_cold_over_warm_ratio` are
+//! immune to runner speed, so they gate against a fixed contract
+//! rather than a measured baseline.
 //!
 //! Everything here is dependency-free, including the minimal JSON
 //! reader — the analyzer must keep working when the rest of the
@@ -47,6 +51,35 @@ pub const PCT_ABS_BUDGET: f64 = 2.0;
 /// of four repeat requests is healthy regardless of how a lucky
 /// baseline run scored.
 pub const HIT_RATE_ABS_BUDGET: f64 = 75.0;
+
+/// Hard ceiling on the fitted `setup_scaling_exponent`: codec setup
+/// must stay at or under `O(M^2.3)` *measured*. The exponent is a
+/// slope, so it is immune to runner speed — unlike the tolerance band,
+/// this cap is a tightening contract: a fresh run over it fails even
+/// when the baseline run was also over it.
+pub const SETUP_EXPONENT_CAP: f64 = 2.3;
+
+/// Hard ceiling on `decode_cold_over_warm_ratio`: a cache-cold decode
+/// (fresh survivor-matrix inversion) must finish within this multiple
+/// of a cache-warm one. Scale-invariant like the exponent cap — it
+/// pins the closed-form Cauchy inverse, whose cost must stay small
+/// next to the row reconstruction it unblocks.
+pub const COLD_WARM_RATIO_CAP: f64 = 2.0;
+
+/// Absolute hard cap for a metric, or `None` for band-only gating.
+///
+/// Caps apply on top of the tolerance band and only ever tighten it:
+/// these metrics are dimensionless ratios (safe on slow runners), so an
+/// absolute contract is meaningful where one on nanoseconds would not
+/// be.
+#[must_use]
+pub fn hard_cap_of(key: &str) -> Option<f64> {
+    match key.rsplit('/').next().unwrap_or(key) {
+        "setup_scaling_exponent" => Some(SETUP_EXPONENT_CAP),
+        "decode_cold_over_warm_ratio" => Some(COLD_WARM_RATIO_CAP),
+        _ => None,
+    }
+}
 
 /// A parsed JSON value (just enough for bench reports).
 #[derive(Debug, Clone, PartialEq)]
@@ -267,6 +300,15 @@ pub enum Direction {
 #[must_use]
 pub fn direction_of(key: &str) -> Option<Direction> {
     let leaf = key.rsplit('/').next().unwrap_or(key);
+    // Raw ns_per_iter is usually configuration-dependent noise, but
+    // codec setup has no throughput form — its wall time *is* the
+    // metric the Cauchy construction exists to shrink.
+    if leaf == "ns_per_iter" && key.contains("codec_setup") {
+        return Some(Direction::LowerIsBetter);
+    }
+    if leaf == "setup_scaling_exponent" || leaf == "decode_cold_over_warm_ratio" {
+        return Some(Direction::LowerIsBetter);
+    }
     if leaf == "mib_per_s"
         || leaf == "throughput_rps"
         || leaf == "max_in_flight"
@@ -513,7 +555,11 @@ pub fn gate(baseline: &Metrics, fresh: &Metrics, tolerance: f64) -> GateReport {
                         || (name.ends_with("cache_hit_rate_pct") && f >= HIT_RATE_ABS_BUDGET)
                 }
                 (Some(f), Direction::LowerIsBetter) => {
-                    f <= base * (1.0 + tolerance) || (name.ends_with("_pct") && f <= PCT_ABS_BUDGET)
+                    let in_band = f <= base * (1.0 + tolerance)
+                        || (name.ends_with("_pct") && f <= PCT_ABS_BUDGET);
+                    // Hard caps tighten the verdict: a scale-invariant
+                    // ratio over its contract fails even inside the band.
+                    in_band && hard_cap_of(name).is_none_or(|cap| f <= cap)
                 }
             };
             GateRow {
@@ -856,6 +902,70 @@ mod tests {
     }
 
     #[test]
+    fn codec_setup_ns_regression_fails() {
+        let with_setup = ERASURE.replace(
+            "\"results\": [",
+            "\"results\": [\n        {\"name\": \"codec_setup/100\", \"ns_per_iter\": 60000.0},",
+        );
+        let base_text = compose_baseline(&with_setup, PROXY, BROADCAST);
+        let base = baseline_metrics(&base_text).unwrap();
+        assert!(base.contains_key("erasure/codec_setup/100/ns_per_iter"));
+        // Setup collapsing back toward Gauss-Jordan cost (a 20x jump)
+        // blows the band.
+        let slow = with_setup.replace("60000.0", "1200000.0");
+        let fresh = fresh_metrics(&slow, PROXY, BROADCAST).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name == "erasure/codec_setup/100/ns_per_iter"));
+    }
+
+    #[test]
+    fn hard_caps_tighten_the_band() {
+        assert_eq!(
+            hard_cap_of("erasure/setup_scaling_exponent"),
+            Some(SETUP_EXPONENT_CAP)
+        );
+        assert_eq!(
+            hard_cap_of("erasure/decode_cold_over_warm_ratio"),
+            Some(COLD_WARM_RATIO_CAP)
+        );
+        assert_eq!(hard_cap_of("erasure/codec_setup/100/ns_per_iter"), None);
+
+        let with_ratios = |exp: &str, ratio: &str| {
+            ERASURE.replace(
+                "\"quick\": false,",
+                &format!(
+                    "\"quick\": false, \"setup_scaling_exponent\": {exp}, \
+                     \"decode_cold_over_warm_ratio\": {ratio},"
+                ),
+            )
+        };
+        // A baseline that itself sits near the caps: the ±50% band
+        // alone would admit fresh values far over them.
+        let base_text = compose_baseline(&with_ratios("2.0", "1.8"), PROXY, BROADCAST);
+        let base = baseline_metrics(&base_text).unwrap();
+        // Inside band, inside caps: pass.
+        let fresh = fresh_metrics(&with_ratios("2.1", "1.9"), PROXY, BROADCAST).unwrap();
+        assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        // Inside the band (2.9 < 2.0 * 1.5) but over the 2.3 cap: fail.
+        let fresh = fresh_metrics(&with_ratios("2.9", "1.9"), PROXY, BROADCAST).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name == "erasure/setup_scaling_exponent"));
+        // Cold decode drifting past 2x warm: fail even inside the band.
+        let fresh = fresh_metrics(&with_ratios("2.1", "2.6"), PROXY, BROADCAST).unwrap();
+        let report = gate(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.name == "erasure/decode_cold_over_warm_ratio"));
+    }
+
+    #[test]
     fn parser_reads_the_committed_report_shapes() {
         let doc = parse_json(ERASURE).unwrap();
         assert_eq!(
@@ -922,6 +1032,20 @@ mod tests {
         );
         assert_eq!(direction_of("proxy/clients=8/completed"), None);
         assert_eq!(direction_of("erasure/x/ns_per_iter"), None);
+        // Setup cost has no throughput form: its ns_per_iter is the
+        // metric, unlike every other bench's.
+        assert_eq!(
+            direction_of("erasure/codec_setup/100/ns_per_iter"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("erasure/setup_scaling_exponent"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_of("erasure/decode_cold_over_warm_ratio"),
+            Some(Direction::LowerIsBetter)
+        );
         assert_eq!(
             direction_of("broadcast/skewed/k4/mean_access_slots"),
             Some(Direction::LowerIsBetter)

@@ -34,6 +34,11 @@ fn encode_scalar_baseline(codec: &Codec, raws: &[Vec<u8>]) -> Vec<Vec<u8>> {
     cooked
 }
 
+/// The `codec_setup` M values. The fitted exponent below spans an
+/// order of magnitude so constant setup overhead at M = 10 cannot
+/// masquerade as good scaling.
+const SETUP_SWEEP: [usize; 4] = [10, 40, 100, 200];
+
 fn benches(c: &mut Criterion) {
     let codec = Codec::new(40, 60, 256).unwrap();
     let data: Vec<u8> = (0..10240).map(|i| (i * 131 + 7) as u8).collect();
@@ -87,9 +92,11 @@ fn benches(c: &mut Criterion) {
         b.iter(|| codec.decode_uncached(black_box(&mixed), 10240).unwrap());
     });
 
-    for m in [10usize, 40, 100] {
+    // Setup-cost sweep for the scaling-exponent fit. N = 1.5·M capped
+    // at GF(2⁸)'s 256 cooked-packet ceiling (M = 200 → N = 256).
+    for m in SETUP_SWEEP {
         g.bench_with_input(BenchmarkId::new("codec_setup", m), &m, |b, &m| {
-            b.iter(|| Codec::new(black_box(m), black_box(m + m / 2), 256).unwrap());
+            b.iter(|| Codec::new(black_box(m), black_box((m + m / 2).min(256)), 256).unwrap());
         });
     }
 
@@ -207,6 +214,40 @@ fn write_summary(c: &Criterion, trace_overhead_pct: f64) {
         );
     }
     let _ = writeln!(out, "  \"trace_overhead_pct\": {trace_overhead_pct:.2},");
+    // Least-squares slope of log(setup ns) against log(M): the measured
+    // scaling exponent of codec construction. The Cauchy path should
+    // fit ≈ 2 (O(M·N) with N ∝ M); the old Gauss-Jordan path fit ≈ 3.
+    let points: Vec<(f64, f64)> = SETUP_SWEEP
+        .iter()
+        .filter_map(|m| find(c, &format!("codec_setup/{m}")).map(|ns| (*m as f64, ns)))
+        .collect();
+    if points.len() >= 2 {
+        let n = points.len() as f64;
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for (m, ns) in &points {
+            sx += m.ln();
+            sy += ns.ln();
+        }
+        let (mx, my) = (sx / n, sy / n);
+        let (mut cov, mut var) = (0.0, 0.0);
+        for (m, ns) in &points {
+            cov += (m.ln() - mx) * (ns.ln() - my);
+            var += (m.ln() - mx) * (m.ln() - mx);
+        }
+        if var > 0.0 {
+            let _ = writeln!(out, "  \"setup_scaling_exponent\": {:.3},", cov / var);
+        }
+    }
+    if let (Some(cold), Some(warm)) = (
+        find(c, "decode_20_erasures_uncached"),
+        find(c, "decode_20_erasures"),
+    ) {
+        let _ = writeln!(
+            out,
+            "  \"decode_cold_over_warm_ratio\": {:.3},",
+            cold / warm
+        );
+    }
     out.push_str("  \"results\": [\n");
     let records = c.records();
     for (i, r) in records.iter().enumerate() {

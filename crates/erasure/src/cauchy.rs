@@ -1,0 +1,316 @@
+//! Cauchy-matrix codec construction: O(M·N) generator setup and the
+//! closed-form O(M²) decode inverse.
+//!
+//! The seed codec built its systematic generator by inverting the top
+//! `M × M` block of a Vandermonde matrix (Gauss–Jordan, `O(M³)`) and
+//! multiplying it back through all `N` rows (`O(N·M²)`); every cold
+//! decode then paid another `O(M³)` Gauss–Jordan to invert the survivor
+//! submatrix. Both costs vanish with a *Cauchy layout*: the parity block
+//! is written down directly as
+//!
+//! ```text
+//! G = [ I_M ]          C[i][j] = 1 / (xᵢ + yⱼ)
+//!     [  C  ]          xᵢ = i (cooked parity index, M ≤ i < N)
+//!                      yⱼ = j (raw index, j < M)
+//! ```
+//!
+//! with `x` and `y` drawn from disjoint subsets of GF(2⁸) — so every
+//! denominator is nonzero and each entry is a single table-driven field
+//! inversion. No elimination, no matmul: the generator is `O(M·N)`
+//! lookups total.
+//!
+//! The payoff at decode time is the classical closed form for the
+//! inverse of a Cauchy matrix `A[a][b] = 1/(u_a + v_b)`:
+//!
+//! ```text
+//! A⁻¹[b][a] = ( Π_k (u_a + v_k) · Π_k (u_k + v_b) )
+//!             / ( (u_a + v_b) · Π_{k≠a} (u_a + u_k) · Π_{k≠b} (v_b + v_k) )
+//! ```
+//!
+//! (the usual (−1)^{a+b} signs vanish in characteristic 2). With the
+//! four product families precomputed in `O(r²)`, every entry is three
+//! multiplies and one division — `O(r²)` for the whole inverse, where
+//! `r` is the number of *parity* survivors, not `M`.
+//!
+//! A real survivor set mixes clear-text rows (identity rows of `G`) with
+//! parity rows. [`decode_inverse`] exploits that structure instead of
+//! inverting the dense `M × M` submatrix: clear survivors pin their raw
+//! packet directly (a permutation entry), and only the `r` missing raw
+//! packets are solved through the `r × r` sub-Cauchy system. The
+//! back-substitution of the clear columns — naïvely an `O(r²·k)` matrix
+//! product — also collapses, because the Cauchy inverse is *separable*:
+//! a partial-fraction identity reduces each clear-column coefficient to
+//! closed form too (see the comments in the function body), leaving the
+//! entire `M × M` decode matrix at `O(r·(r + k)) ⊆ O(M²)` where the
+//! seed paid `O(M³)` per cold survivor set.
+//!
+//! Why any `M` rows of `G` stay invertible (the IDA contract): choose
+//! `k` clear rows `P` and `r = M − k` parity rows `R`. Permute columns
+//! so `P` comes first; the submatrix is block-triangular with an
+//! identity block over `P` and the `r × r` block `C[R][Q]` over the
+//! missing columns `Q` — itself a Cauchy matrix on distinct points, so
+//! its determinant `Π(cross sums)/Π(pair sums)` is nonzero.
+//!
+//! [`matrix`](crate::matrix) keeps the dense Gauss–Jordan path intact:
+//! it is the oracle the `prop_cauchy` property suite checks every one of
+//! these shortcuts against.
+
+use crate::gf256::Gf256;
+use crate::matrix::Matrix;
+use crate::Error;
+
+/// Builds the systematic Cauchy generator for `raw` (`M`) input packets
+/// and `cooked` (`N`) output packets in `O(M·N)` field operations.
+///
+/// Row `i < raw` is the `i`-th identity row; row `i ≥ raw` is the Cauchy
+/// row `1/(i + j)` over GF(2⁸). Any `raw` rows form an invertible
+/// matrix (see the module docs), which is the property
+/// [`Codec::decode`](crate::ida::Codec::decode) relies on.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameters`] unless `1 ≤ raw ≤ cooked ≤ 256`.
+pub fn systematic_generator(raw: usize, cooked: usize) -> Result<Matrix, Error> {
+    if raw == 0 || cooked < raw || cooked > 256 {
+        return Err(Error::InvalidParameters { raw, cooked });
+    }
+    Ok(Matrix::from_fn(cooked, raw, |i, j| {
+        if i < raw {
+            if i == j {
+                Gf256::ONE
+            } else {
+                Gf256::ZERO
+            }
+        } else {
+            // i ∈ [raw, cooked) and j ∈ [0, raw) are disjoint byte
+            // ranges, so i + j ≠ 0 and the inversion cannot hit zero.
+            (Gf256::new(i as u8) + Gf256::new(j as u8)).inverse()
+        }
+    }))
+}
+
+/// Computes the decode matrix `B` for a survivor set: `B · G[indices] = I`,
+/// so `raw_j = Σ_k B[j][k] · survivor_k`.
+///
+/// `indices` are the cooked indices of the `raw` chosen survivors, in
+/// the order their payloads will be supplied. The cost is
+/// `O(M + r·(r + k))` where `r` counts parity survivors and `k` clear
+/// survivors — quadratic at worst, and linear in `M` for the few-loss
+/// patterns real sessions see, which is what makes cache-cold decodes
+/// affordable.
+///
+/// # Errors
+///
+/// * [`Error::BadPacketIndex`] for an index `≥ cooked`.
+/// * [`Error::InvalidParameters`] if the survivor count is not exactly
+///   `raw` or an index repeats (a duplicated survivor makes the
+///   submatrix singular, exactly as the Gauss–Jordan oracle reports).
+// The single-letter names mirror the u/v/f/g/S notation in the math
+// comments above each block; longer names would decouple code from proof.
+#[allow(clippy::many_single_char_names)]
+pub fn decode_inverse(raw: usize, cooked: usize, indices: &[usize]) -> Result<Matrix, Error> {
+    if raw == 0 || cooked < raw || cooked > 256 {
+        return Err(Error::InvalidParameters { raw, cooked });
+    }
+    if indices.len() != raw {
+        return Err(Error::InvalidParameters { raw, cooked });
+    }
+    let mut seen = vec![false; cooked];
+    for &idx in indices {
+        if idx >= cooked {
+            return Err(Error::BadPacketIndex(idx));
+        }
+        if seen[idx] {
+            return Err(Error::InvalidParameters { raw, cooked });
+        }
+        seen[idx] = true;
+    }
+
+    // Partition the survivors: clear rows pin their raw packet directly;
+    // parity rows jointly determine the missing ones.
+    let mut have_raw = vec![false; raw];
+    // Survivor-vector position of each clear row's raw index.
+    let mut clear_pos = vec![usize::MAX; raw];
+    // (cooked index, survivor-vector position) of each parity survivor.
+    let mut parity: Vec<(usize, usize)> = Vec::new();
+    for (pos, &idx) in indices.iter().enumerate() {
+        if idx < raw {
+            have_raw[idx] = true;
+            clear_pos[idx] = pos;
+        } else {
+            parity.push((idx, pos));
+        }
+    }
+    let missing: Vec<usize> = (0..raw).filter(|&j| !have_raw[j]).collect();
+    // |missing| = raw − #clear = #parity because indices are distinct.
+    let r = missing.len();
+    debug_assert_eq!(r, parity.len());
+
+    let mut b = Matrix::zero(raw, raw);
+    for j in 0..raw {
+        if have_raw[j] {
+            b.set(j, clear_pos[j], Gf256::ONE);
+        }
+    }
+    if r == 0 {
+        return Ok(b);
+    }
+
+    // The r × r sub-Cauchy system: u_a = parity cooked index, v_b =
+    // missing raw index, A[a][b] = 1/(u_a + v_b). Its closed-form
+    // inverse is *separable* around the cross term,
+    //
+    //   D[b][a] = f(a) · g(b) / (u_a + v_b)
+    //   f(a) = Π_k (u_a + v_k) / Π_{k≠a} (u_a + u_k)
+    //   g(b) = Π_k (u_k + v_b) / Π_{k≠b} (v_b + v_k)
+    //
+    // with the (−1)^{a+b} signs gone in characteristic 2. The product
+    // families cost O(r²); every entry after that is O(1).
+    let u: Vec<Gf256> = parity
+        .iter()
+        .map(|&(idx, _)| Gf256::new(idx as u8))
+        .collect();
+    let v: Vec<Gf256> = missing.iter().map(|&j| Gf256::new(j as u8)).collect();
+    let mut f = vec![Gf256::ONE; r];
+    let mut g = vec![Gf256::ONE; r];
+    for a in 0..r {
+        let mut num_u = Gf256::ONE; // Π_k (u_a + v_k)
+        let mut den_u = Gf256::ONE; // Π_{k≠a} (u_a + u_k)
+        let mut num_v = Gf256::ONE; // Π_k (u_k + v_a)
+        let mut den_v = Gf256::ONE; // Π_{k≠a} (v_a + v_k)
+        for k in 0..r {
+            num_u *= u[a] + v[k];
+            num_v *= u[k] + v[a];
+            if k != a {
+                // u (parity cooked indices) and v (raw indices) are each
+                // internally distinct, so neither factor is zero.
+                den_u *= u[a] + u[k];
+                den_v *= v[a] + v[k];
+            }
+        }
+        f[a] = num_u / den_u;
+        g[a] = num_v / den_v;
+    }
+
+    // Parity survivor a satisfies
+    //   survivor_a = Σ_{p clear} (1/(u_a + p)) · raw_p + Σ_b A[a][b] · raw_{missing_b},
+    // so with D = A⁻¹,
+    //   raw_{missing_b} = Σ_a D[b][a]·survivor_a
+    //                   + Σ_p ( Σ_a D[b][a]/(u_a + p) ) · survivor_{t(p)}.
+    // The clear-column coefficient is a Cauchy inverse multiplied by
+    // another Cauchy column — and separability turns that back into
+    // closed form. With S(w) = Σ_a f(a)/(u_a + w), partial fractions
+    // over characteristic 2 give
+    //   1/((u_a + v_b)(u_a + p)) = (1/(v_b + p))·(1/(u_a + v_b) + 1/(u_a + p))
+    //   Σ_a D[b][a]/(u_a + p)    = g(b)·(S(v_b) + S(p)) / (v_b + p)
+    // (v_b ≠ p: one raw index is missing, the other present), so the
+    // clear block costs O(r·k) instead of the O(r²·k) matrix product —
+    // the whole inverse is O(r·(r + k)) ⊆ O(M²).
+    let mut s_v = vec![Gf256::ZERO; r]; // S at the missing raw points
+    for b_i in 0..r {
+        for a in 0..r {
+            s_v[b_i] += f[a] / (u[a] + v[b_i]);
+        }
+    }
+    // (point, survivor position, S(point)) per clear survivor.
+    let clear: Vec<(Gf256, usize, Gf256)> = clear_pos
+        .iter()
+        .enumerate()
+        .filter(|&(_, &pos)| pos != usize::MAX)
+        .map(|(p, &pos)| {
+            let y = Gf256::new(p as u8);
+            let mut s = Gf256::ZERO;
+            for a in 0..r {
+                s += f[a] / (u[a] + y);
+            }
+            (y, pos, s)
+        })
+        .collect();
+    for b_i in 0..r {
+        let row = missing[b_i];
+        for a in 0..r {
+            b.set(row, parity[a].1, f[a] * g[b_i] / (u[a] + v[b_i]));
+        }
+        for &(y, pos, s_y) in &clear {
+            b.set(row, pos, g[b_i] * (s_v[b_i] + s_y) / (v[b_i] + y));
+        }
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_systematic_and_matches_oracle_inverse() {
+        for (m, n) in [(1usize, 1usize), (1, 4), (3, 5), (5, 9), (40, 60)] {
+            let g = systematic_generator(m, n).unwrap();
+            assert!(g.is_systematic(), "({m},{n}) not systematic");
+            assert_eq!(g.rows(), n);
+            assert_eq!(g.cols(), m);
+        }
+    }
+
+    #[test]
+    fn generator_rejects_bad_shapes() {
+        assert!(systematic_generator(0, 1).is_err());
+        assert!(systematic_generator(4, 3).is_err());
+        assert!(systematic_generator(4, 257).is_err());
+        assert!(systematic_generator(256, 256).is_ok());
+    }
+
+    #[test]
+    fn decode_inverse_matches_gauss_jordan_oracle() {
+        let (m, n) = (5, 9);
+        let g = systematic_generator(m, n).unwrap();
+        for indices in [
+            vec![0usize, 1, 2, 3, 4], // all clear
+            vec![4, 5, 6, 7, 8],      // mixed
+            vec![8, 7, 6, 5, 0],      // out of order
+            vec![5, 6, 7, 8, 4],      // single clear survivor
+            vec![6, 8, 5, 7, 4],      // shuffled
+        ] {
+            let fast = decode_inverse(m, n, &indices).unwrap();
+            let oracle = g.select_rows(&indices).inverse().unwrap();
+            assert_eq!(fast, oracle, "mismatch for survivors {indices:?}");
+        }
+    }
+
+    #[test]
+    fn decode_inverse_all_parity_survivors() {
+        // r = M: the pure closed-form Cauchy path with no substitution.
+        let (m, n) = (4, 9);
+        let g = systematic_generator(m, n).unwrap();
+        let indices = vec![5usize, 8, 6, 7];
+        let fast = decode_inverse(m, n, &indices).unwrap();
+        let oracle = g.select_rows(&indices).inverse().unwrap();
+        assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn decode_inverse_validates_input() {
+        assert_eq!(
+            decode_inverse(3, 5, &[0, 1, 9]),
+            Err(Error::BadPacketIndex(9))
+        );
+        assert!(decode_inverse(3, 5, &[0, 1]).is_err()); // too few
+        assert!(decode_inverse(3, 5, &[0, 1, 1]).is_err()); // duplicate
+        assert!(decode_inverse(0, 5, &[]).is_err());
+    }
+
+    #[test]
+    fn full_shape_sweep_against_oracle() {
+        // Every (M, N) up to 8 with a deterministic survivor choice.
+        for n in 1usize..=8 {
+            for m in 1..=n {
+                let g = systematic_generator(m, n).unwrap();
+                // Take the *last* M cooked indices: maximizes parity rows.
+                let indices: Vec<usize> = (n - m..n).collect();
+                let fast = decode_inverse(m, n, &indices).unwrap();
+                let oracle = g.select_rows(&indices).inverse().unwrap();
+                assert_eq!(fast, oracle, "mismatch at M={m} N={n}");
+            }
+        }
+    }
+}

@@ -112,6 +112,51 @@ pub(crate) const MUL_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
 /// `MUL_HI[c][n] = c·(n << 4)` for high nibbles `n < 16`.
 pub(crate) const MUL_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
 
+/// Packs multiplication by `c` as an 8×8 GF(2) bit matrix in the qword
+/// layout `GF2P8AFFINEQB` expects.
+///
+/// Multiplication by a constant is GF(2)-linear on the bits of `x`:
+/// `bit_i(c·x) = ⊕_k M[i][k]·bit_k(x)` with `M[i][k] = bit_i(c·2ᵏ)`.
+/// The instruction computes `dst.bit[i] = parity(A.byte[7−i] & x)`, so
+/// row `i` of `M` (as a bit mask over `k`) lands in byte `7−i` of the
+/// qword.
+const fn gfni_matrix(c: u8) -> u64 {
+    let mut m: u64 = 0;
+    let mut i = 0;
+    while i < 8 {
+        let mut row: u64 = 0;
+        let mut k = 0;
+        while k < 8 {
+            if (const_mul(c, 1 << k) >> i) & 1 != 0 {
+                row |= 1 << k;
+            }
+            k += 1;
+        }
+        m |= row << (8 * (7 - i));
+        i += 1;
+    }
+    m
+}
+
+const fn build_gfni_table() -> [u64; 256] {
+    let mut t = [0u64; 256];
+    let mut c = 0;
+    while c < 256 {
+        t[c] = gfni_matrix(c as u8);
+        c += 1;
+    }
+    t
+}
+
+/// `GFNI_AFFINE[c]` = the affine-transform qword computing `x ↦ c·x`.
+///
+/// `gf2p8mulb` itself is useless here — it is hardwired to the AES
+/// polynomial `0x11b`, not this codec's `0x11d` — but `gf2p8affineqb`
+/// applies an *arbitrary* 8×8 bit matrix per byte, and multiplication
+/// by a constant in any GF(2⁸) representation is such a matrix. One
+/// broadcast of this qword replaces both nibble-table shuffles.
+pub(crate) const GFNI_AFFINE: [u64; 256] = build_gfni_table();
+
 /// An element of GF(2⁸).
 ///
 /// # Example
@@ -394,12 +439,119 @@ pub fn mul_acc_scalar(dst: &mut [u8], src: &[u8], c: Gf256) {
     }
 }
 
+/// SIMD dispatch tiers for the bulk GF(2⁸) kernels, widest first.
+///
+/// [`mul_acc`]/[`mul_row`] pick the widest detected tier automatically;
+/// the per-tier entry points ([`mul_acc_with_tier`]/[`mul_row_with_tier`])
+/// exist so equivalence tests can pin each kernel against the scalar
+/// oracle on whatever hardware the suite happens to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// `gf2p8affineqb` on 64-byte ZMM vectors (GFNI + AVX-512F).
+    Gfni512,
+    /// `gf2p8affineqb` on 32-byte YMM vectors (GFNI + AVX2).
+    Gfni256,
+    /// `vpshufb` split-nibble tables on 32-byte vectors.
+    Avx2,
+    /// `pshufb` split-nibble tables on 16-byte vectors.
+    Ssse3,
+    /// Dense-row table lookups; always available.
+    Portable,
+}
+
+/// Tiers usable on this CPU, widest first; [`Tier::Portable`] is always
+/// present and always last.
+pub fn detected_tiers() -> Vec<Tier> {
+    let mut tiers = Vec::with_capacity(5);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("gfni") {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                tiers.push(Tier::Gfni512);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                tiers.push(Tier::Gfni256);
+            }
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push(Tier::Avx2);
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            tiers.push(Tier::Ssse3);
+        }
+    }
+    tiers.push(Tier::Portable);
+    tiers
+}
+
+/// `dst[i] ^= c·src[i]` through one specific dispatch tier.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `tier` is not in
+/// [`detected_tiers`] on this CPU.
+pub fn mul_acc_with_tier(tier: Tier, dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_acc requires equal-length slices");
+    kernel_at_tier::<true>(tier, dst, src, c.0);
+}
+
+/// `dst[i] = c·src[i]` through one specific dispatch tier.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `tier` is not in
+/// [`detected_tiers`] on this CPU.
+pub fn mul_row_with_tier(tier: Tier, dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_row requires equal-length slices");
+    kernel_at_tier::<false>(tier, dst, src, c.0);
+}
+
+fn kernel_at_tier<const ACC: bool>(tier: Tier, dst: &mut [u8], src: &[u8], c: u8) {
+    assert!(
+        detected_tiers().contains(&tier),
+        "tier {tier:?} not supported on this CPU"
+    );
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the assert above verified the tier's CPU features at
+        // runtime; every kernel bounds its accesses to
+        // min(dst.len(), src.len()).
+        Tier::Gfni512 => unsafe { simd::mul_gfni512::<ACC>(dst, src, c) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — tier membership implies GFNI + AVX2.
+        Tier::Gfni256 => unsafe { simd::mul_gfni256::<ACC>(dst, src, c) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — tier membership implies AVX2.
+        Tier::Avx2 => unsafe { simd::mul_avx2::<ACC>(dst, src, c) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — tier membership implies SSSE3.
+        Tier::Ssse3 => unsafe { simd::mul_ssse3::<ACC>(dst, src, c) },
+        _ => mul_portable::<ACC>(dst, src, c),
+    }
+}
+
 /// Shared dispatch for [`mul_acc`] (`ACC = true`) and [`mul_row`]
 /// (`ACC = false`) once the `c ∈ {0, 1}` fast paths are handled.
 #[inline]
 fn kernel<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
     #[cfg(target_arch = "x86_64")]
     {
+        if std::arch::is_x86_feature_detected!("gfni") {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: GFNI + AVX-512F support was just verified at
+                // runtime; the kernel bounds all accesses to
+                // min(dst.len(), src.len()).
+                unsafe { simd::mul_gfni512::<ACC>(dst, src, c) };
+                return;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: GFNI + AVX2 support was just verified at
+                // runtime; the kernel bounds all accesses to
+                // min(dst.len(), src.len()).
+                unsafe { simd::mul_gfni256::<ACC>(dst, src, c) };
+                return;
+            }
+        }
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just verified at runtime; the
             // kernel bounds all accesses to min(dst.len(), src.len()).
@@ -457,15 +609,91 @@ mod simd {
     // and never assume alignment.
     #![allow(clippy::cast_ptr_alignment)]
 
-    use super::{MUL_HI, MUL_LO};
+    use super::{GFNI_AFFINE, MUL_HI, MUL_LO};
 
     #[cfg(target_arch = "x86_64")]
     use std::arch::x86_64::{
-        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
-        _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
-        _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
+        __m128i, __m256i, __m512i, _mm256_and_si256, _mm256_broadcastsi128_si256,
+        _mm256_gf2p8affine_epi64_epi8, _mm256_loadu_si256, _mm256_set1_epi64x, _mm256_set1_epi8,
+        _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256, _mm256_xor_si256,
+        _mm512_gf2p8affine_epi64_epi8, _mm512_loadu_si512, _mm512_set1_epi64, _mm512_storeu_si512,
+        _mm512_xor_si512, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
         _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
     };
+
+    /// GFNI + AVX-512 kernel: 64 bytes per step.
+    ///
+    /// One `vgf2p8affineqb` against the broadcast [`GFNI_AFFINE`] qword
+    /// multiplies 64 bytes by `c` — the 8×8 bit matrix encodes the
+    /// `0x11d` field, sidestepping `gf2p8mulb`'s hardwired `0x11b`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure GFNI and AVX-512F are available (checked at
+    /// runtime by the dispatcher). Length mismatches are tolerated: the
+    /// kernel only touches the first `min(dst.len(), src.len())` bytes,
+    /// exactly like the scalar path's zip.
+    #[target_feature(enable = "gfni,avx512f")]
+    pub(super) unsafe fn mul_gfni512<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
+        let mat = _mm512_set1_epi64(GFNI_AFFINE[c as usize].cast_signed());
+        let len = dst.len().min(src.len());
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + 64 <= len {
+            // SAFETY: `i + 64 <= len <= dst.len(), src.len()`, so the
+            // 64-byte unaligned loads and store at offset `i` stay in
+            // bounds of the live `dst`/`src` borrows; `dp`/`sp` are
+            // derived from those borrows and unaligned access is what
+            // the *_loadu_*/*_storeu_* intrinsics are specified for.
+            unsafe {
+                let x = _mm512_loadu_si512(sp.add(i).cast::<__m512i>());
+                let mut prod = _mm512_gf2p8affine_epi64_epi8::<0>(x, mat);
+                if ACC {
+                    let d = _mm512_loadu_si512(dp.add(i).cast::<__m512i>());
+                    prod = _mm512_xor_si512(prod, d);
+                }
+                _mm512_storeu_si512(dp.add(i).cast::<__m512i>(), prod);
+            }
+            i += 64;
+        }
+        super::mul_portable::<ACC>(&mut dst[i..], &src[i..], c);
+    }
+
+    /// GFNI (VEX-encoded) + AVX2 kernel: 32 bytes per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure GFNI and AVX2 are available (checked at
+    /// runtime by the dispatcher). Length mismatches are tolerated: the
+    /// kernel only touches the first `min(dst.len(), src.len())` bytes,
+    /// exactly like the scalar path's zip.
+    #[target_feature(enable = "gfni,avx2")]
+    pub(super) unsafe fn mul_gfni256<const ACC: bool>(dst: &mut [u8], src: &[u8], c: u8) {
+        let mat = _mm256_set1_epi64x(GFNI_AFFINE[c as usize].cast_signed());
+        let len = dst.len().min(src.len());
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + 32 <= len {
+            // SAFETY: `i + 32 <= len <= dst.len(), src.len()`, so the
+            // 32-byte unaligned loads and store at offset `i` stay in
+            // bounds of the live `dst`/`src` borrows; `dp`/`sp` are
+            // derived from those borrows and unaligned access is what
+            // the *_loadu_*/*_storeu_* intrinsics are specified for.
+            unsafe {
+                let x = _mm256_loadu_si256(sp.add(i).cast::<__m256i>());
+                let mut prod = _mm256_gf2p8affine_epi64_epi8::<0>(x, mat);
+                if ACC {
+                    let d = _mm256_loadu_si256(dp.add(i).cast::<__m256i>());
+                    prod = _mm256_xor_si256(prod, d);
+                }
+                _mm256_storeu_si256(dp.add(i).cast::<__m256i>(), prod);
+            }
+            i += 32;
+        }
+        super::mul_portable::<ACC>(&mut dst[i..], &src[i..], c);
+    }
 
     /// AVX2 kernel: 32 bytes per step.
     ///
@@ -726,6 +954,56 @@ mod tests {
                 mul_acc_scalar(&mut reference, &src, c);
                 mul_row(&mut fast, &src, c);
                 assert_eq!(fast, reference, "mul_row mismatch at c={c} len={len}");
+            }
+        }
+    }
+
+    /// The affine qwords must encode exactly the multiplication tables:
+    /// applying the bit matrix in scalar mirrors what `gf2p8affineqb`
+    /// does per byte, independent of whether the CPU has GFNI.
+    #[test]
+    fn gfni_affine_matrices_encode_multiplication() {
+        fn apply(mat: u64, x: u8) -> u8 {
+            let mut out = 0u8;
+            for i in 0..8 {
+                let row = (mat >> (8 * (7 - i))) as u8;
+                out |= (((row & x).count_ones() & 1) as u8) << i;
+            }
+            out
+        }
+        for c in all() {
+            let mat = GFNI_AFFINE[c.0 as usize];
+            for x in all() {
+                assert_eq!(
+                    apply(mat, x.0),
+                    (c * x).0,
+                    "affine matrix wrong at c={c} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_detected_tier_matches_scalar() {
+        let tiers = detected_tiers();
+        assert_eq!(tiers.last(), Some(&Tier::Portable));
+        for tier in tiers {
+            for len in KERNEL_LENGTHS {
+                let src = pseudo_bytes(len, 33);
+                let init = pseudo_bytes(len, 77);
+                for c in [Gf256(0), Gf256(1), Gf256(2), Gf256(0x1d), Gf256(0xff)] {
+                    let mut acc = init.clone();
+                    let mut acc_ref = init.clone();
+                    mul_acc_with_tier(tier, &mut acc, &src, c);
+                    mul_acc_scalar(&mut acc_ref, &src, c);
+                    assert_eq!(acc, acc_ref, "acc mismatch tier={tier:?} c={c} len={len}");
+
+                    let mut row = init.clone();
+                    let mut row_ref = vec![0u8; len];
+                    mul_row_with_tier(tier, &mut row, &src, c);
+                    mul_acc_scalar(&mut row_ref, &src, c);
+                    assert_eq!(row, row_ref, "row mismatch tier={tier:?} c={c} len={len}");
+                }
             }
         }
     }

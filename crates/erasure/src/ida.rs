@@ -1,17 +1,18 @@
-//! Systematic information dispersal (Rabin IDA with a Vandermonde twist).
+//! Systematic information dispersal (Rabin IDA on a Cauchy layout).
 //!
 //! Rabin's Information Dispersal Algorithm splits a file into `M` *raw*
 //! packets and disperses them into `N ≥ M` *cooked* packets such that any
-//! `M` cooked packets reconstruct the file. The paper modifies the
-//! dispersal matrix — a Vandermonde matrix brought to *systematic* form
-//! by elementary column operations — so that the first `M` cooked packets
-//! are the raw packets verbatim ("clear text"). A mobile client can
-//! therefore render the leading portion of a document the moment those
-//! packets arrive, without waiting for `M` packets to invert a matrix.
+//! `M` cooked packets reconstruct the file. The paper uses a systematic
+//! dispersal matrix so that the first `M` cooked packets are the raw
+//! packets verbatim ("clear text"): a mobile client can render the
+//! leading portion of a document the moment those packets arrive,
+//! without waiting for `M` packets to invert a matrix.
 //!
-//! [`Codec`] is configured once per `(M, N, packet size)` triple: the
-//! systematic generator matrix is computed eagerly and reused across
-//! documents, which is how a server would amortize the cost.
+//! The generator is built by the [`cauchy`](crate::cauchy) module:
+//! identity rows over a Cauchy parity block, written down directly in
+//! `O(M·N)` (no Gauss–Jordan elimination), with survivor inverses from
+//! the closed-form Cauchy formula in `O(M²)`. [`Codec`] is configured
+//! once per `(M, N, packet size)` triple and reused across documents.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +20,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use mrtweb_obs::{emit, EventKind, Span};
 
+use crate::cauchy;
 use crate::gf256::{mul_acc, mul_row, Gf256};
 use crate::matrix::Matrix;
 use crate::Error;
@@ -119,7 +121,7 @@ impl Codec {
         if packet_size == 0 {
             return Err(Error::ZeroPacketSize);
         }
-        let generator = Arc::new(Matrix::vandermonde(cooked, raw)?.into_systematic()?);
+        let generator = Arc::new(cauchy::systematic_generator(raw, cooked)?);
         debug_assert!(generator.is_systematic());
         Ok(Codec {
             raw,
@@ -136,10 +138,10 @@ impl Codec {
     /// across every session using that shape.
     ///
     /// This is the constructor for concurrent servers and clients — the
-    /// `O(N·M²)` systematic elimination and each `O(M³)` decode
-    /// inversion are paid once per process instead of once per session.
-    /// [`Codec::new`] remains fully private and uncached so benchmarks
-    /// measuring setup cost stay honest.
+    /// `O(N·M)` generator construction and each `O(M²)` closed-form
+    /// decode inversion are paid once per process instead of once per
+    /// session. [`Codec::new`] remains fully private and uncached so
+    /// benchmarks measuring setup cost stay honest.
     ///
     /// # Errors
     ///
@@ -165,10 +167,10 @@ impl Codec {
                 inverse_cache: sub.inverse_cache,
             });
         }
-        // First session with this shape pays for the elimination. The
-        // lock is held across it so concurrent first-comers do not race
-        // to duplicate the work; the window is one-time per shape.
-        let generator = Arc::new(Matrix::vandermonde(cooked, raw)?.into_systematic()?);
+        // First session with this shape pays for the construction — now
+        // O(N·M) table lookups, so holding the lock across it is cheap;
+        // it still prevents concurrent first-comers duplicating the work.
+        let generator = Arc::new(cauchy::systematic_generator(raw, cooked)?);
         debug_assert!(generator.is_systematic());
         let sub = Substrate {
             generator: Arc::clone(&generator),
@@ -477,7 +479,7 @@ impl Codec {
             let inv = if use_cache {
                 self.inverse_for(&indices)?
             } else {
-                Arc::new(self.generator.select_rows(&indices).inverse()?)
+                Arc::new(cauchy::decode_inverse(self.raw, self.cooked, &indices)?)
             };
             for r in 0..self.raw {
                 let start = r * ps;
@@ -499,9 +501,10 @@ impl Codec {
     /// cache when present.
     ///
     /// Weakly-connected sessions revisit the same few loss patterns
-    /// (burst losses hit the same interleave positions), so the
-    /// `O(M³)` Gauss–Jordan inversion — which dominates small-packet
-    /// decodes — is paid once per pattern instead of once per document.
+    /// (burst losses hit the same interleave positions), so even the
+    /// closed-form `O(M²)` Cauchy inversion is paid once per pattern
+    /// instead of once per document; the cache also keeps small-packet
+    /// warm decodes allocation-free.
     fn inverse_for(&self, indices: &[usize]) -> Result<Arc<Matrix>, Error> {
         let key: Vec<u8> = indices.iter().map(|&i| i as u8).collect();
         let cache = self
@@ -518,8 +521,8 @@ impl Codec {
         // ORDERING: same monitoring tally as the hit counter above.
         INVERSE_MISSES.fetch_add(1, Ordering::Relaxed);
         emit(EventKind::CacheMiss, self.raw as u64, cache.len() as u64);
-        drop(cache); // do not hold the lock across the O(M³) inversion
-        let inv = Arc::new(self.generator.select_rows(indices).inverse()?);
+        drop(cache); // do not hold the lock across the inversion
+        let inv = Arc::new(cauchy::decode_inverse(self.raw, self.cooked, indices)?);
         let mut cache = self
             .inverse_cache
             .lock()

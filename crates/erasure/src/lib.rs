@@ -8,7 +8,11 @@
 //! * [`gf256`] — arithmetic over the finite field GF(2⁸), the substrate
 //!   for all coding operations;
 //! * [`matrix`] — dense matrices over GF(2⁸) with Gauss–Jordan inversion
-//!   and Vandermonde constructors;
+//!   and Vandermonde constructors (the correctness oracle for the fast
+//!   paths);
+//! * [`cauchy`] — the Cauchy-matrix construction the codec actually
+//!   runs on: `O(M·N)` systematic generator setup and a closed-form
+//!   `O(M²)` survivor inverse;
 //! * [`ida`] — a *systematic* variant of Rabin's Information Dispersal
 //!   Algorithm: `M` raw packets are transformed into `N ≥ M` cooked
 //!   packets such that **any** `M` intact cooked packets reconstruct the
@@ -47,6 +51,7 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cauchy;
 pub mod crc;
 pub mod gf256;
 pub mod ida;
